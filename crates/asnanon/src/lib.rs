@@ -1,0 +1,31 @@
+//! # confanon-asnanon — AS number and BGP community anonymization
+//!
+//! Paper §4.4–§4.5. "Public ASNs need to be anonymized because they are
+//! globally unique and the mapping between public ASN and network owner
+//! can be obtained from many sources. There are no semantics and no
+//! relationships embedded in public ASNs, so a random permutation can be
+//! used to anonymize them. Since private ASNs are not globally unique and
+//! do not leak identity information, they are not anonymized."
+//!
+//! * [`AsnMap`] — keyed permutation of the public range (1..=64511) by
+//!   cycle-walking a Feistel bijection; private ASNs (64512..=65535) and
+//!   the reserved ASN 0 pass through;
+//! * [`CommunityMap`] — `asn:value` anonymization: the ASN half goes
+//!   through [`AsnMap`], the value half through an independent keyed
+//!   permutation of `u16` (a permutation rather than a hash so distinct
+//!   communities never merge — merging would fabricate relationships);
+//! * [`rewrite`] — the §4.4 regexp machinery: enumerate the language a
+//!   numeric atom accepts over all 2^16 ASNs, map it, and rebuild the
+//!   pattern as the alternation of the image (optionally compacted
+//!   through the minimal-DFA → regexp pipeline of `confanon-regexlang`).
+
+pub mod map;
+pub mod map32;
+pub mod rewrite;
+
+pub use map::{AsnMap, CommunityMap, LargeCommunityMap, PRIVATE_ASN_START};
+pub use map32::{is_public32, AsnMap32, AS_TRANS, PRIVATE_ASN32_START};
+pub use rewrite::{
+    rewrite_aspath_regex, rewrite_aspath_regex32, rewrite_community_regex, Rewrite32Error,
+    RewriteOptions,
+};

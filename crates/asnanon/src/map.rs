@@ -1,0 +1,301 @@
+//! Keyed permutations for ASNs and community values.
+
+use confanon_crypto::FeistelPermutation;
+
+/// First ASN of the private range (64512..=65535 are private-use,
+/// RFC 1930 / IANA).
+pub const PRIVATE_ASN_START: u16 = 64512;
+
+/// True if `asn` is in the public, globally-unique range that must be
+/// anonymized. ASN 0 is reserved and treated like a private value (it
+/// cannot identify anyone).
+pub fn is_public(asn: u16) -> bool {
+    asn != 0 && asn < PRIVATE_ASN_START
+}
+
+/// The keyed random permutation over public AS numbers.
+///
+/// The underlying Feistel network is a bijection on all of `u16`; public
+/// inputs are *cycle-walked* (re-applied until the image is public),
+/// which restricts the bijection to a bijection on the public range.
+/// Private ASNs and 0 map to themselves per the paper.
+///
+/// ```
+/// use confanon_asnanon::AsnMap;
+/// let m = AsnMap::new(b"owner-secret");
+/// assert_eq!(m.map(65001), 65001);          // private: unchanged
+/// assert_ne!(m.map(701), 701);              // public: moved (w.h.p.)
+/// assert!(m.map(701) < 64512 && m.map(701) != 0);
+/// ```
+pub struct AsnMap {
+    perm: FeistelPermutation,
+}
+
+impl AsnMap {
+    /// Creates a map keyed by the owner secret.
+    pub fn new(owner_secret: &[u8]) -> AsnMap {
+        AsnMap {
+            perm: FeistelPermutation::new(owner_secret, "asn"),
+        }
+    }
+
+    /// Maps one ASN.
+    pub fn map(&self, asn: u16) -> u16 {
+        if !is_public(asn) {
+            return asn;
+        }
+        let mut y = self.perm.apply(asn);
+        // Cycle-walk: the orbit returns to `asn` (which is public) after
+        // finitely many steps, so this terminates; in expectation it takes
+        // ~2^16 / 64511 ≈ 1.02 applications.
+        while !is_public(y) {
+            y = self.perm.apply(y);
+        }
+        y
+    }
+
+    /// Inverts the map (useful for audits and tests).
+    pub fn unmap(&self, asn: u16) -> u16 {
+        if !is_public(asn) {
+            return asn;
+        }
+        let mut x = self.perm.invert(asn);
+        while !is_public(x) {
+            x = self.perm.invert(x);
+        }
+        x
+    }
+}
+
+/// BGP community (`asn:value`) anonymization.
+///
+/// §4.5: "To be conservative, we must assume that even the integer part
+/// of the attributes … are publicly known and sufficiently distinctive to
+/// identify the network owner, so the integer part of community
+/// attributes must also be anonymized." The value half uses an
+/// independent keyed permutation so that distinct communities stay
+/// distinct and equal communities stay equal — referential integrity for
+/// the `match community` / `set community` relationship.
+pub struct CommunityMap {
+    asn: AsnMap,
+    value: FeistelPermutation,
+}
+
+impl CommunityMap {
+    /// Creates a map keyed by the owner secret.
+    pub fn new(owner_secret: &[u8]) -> CommunityMap {
+        CommunityMap {
+            asn: AsnMap::new(owner_secret),
+            value: FeistelPermutation::new(owner_secret, "community-value"),
+        }
+    }
+
+    /// Access to the underlying ASN map (shared with plain-ASN rules).
+    pub fn asn_map(&self) -> &AsnMap {
+        &self.asn
+    }
+
+    /// Maps the value half.
+    pub fn map_value(&self, v: u16) -> u16 {
+        self.value.apply(v)
+    }
+
+    /// Maps a structured community.
+    pub fn map_pair(&self, asn: u16, value: u16) -> (u16, u16) {
+        (self.asn.map(asn), self.map_value(value))
+    }
+
+    /// Anonymizes a textual `asn:value` token, returning `None` when the
+    /// token is not a well-formed community (the caller falls through to
+    /// other rules).
+    ///
+    /// Well-known communities written numerically (e.g. `no-export` as
+    /// `65535:65281`) have a private ASN half and keep it; the value half
+    /// is still permuted per the paper's conservative stance.
+    pub fn map_token(&self, token: &str) -> Option<String> {
+        let (a, v) = token.split_once(':')?;
+        let asn: u16 = parse_u16(a)?;
+        let value: u16 = parse_u16(v)?;
+        let (ma, mv) = self.map_pair(asn, value);
+        Some(format!("{ma}:{mv}"))
+    }
+}
+
+/// Strict decimal u16 parse: digits only, no signs, value ≤ 65535.
+fn parse_u16(s: &str) -> Option<u16> {
+    if s.is_empty() || s.len() > 5 || !s.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    s.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn public_private_split() {
+        assert!(is_public(1));
+        assert!(is_public(701));
+        assert!(is_public(64511));
+        assert!(!is_public(0));
+        assert!(!is_public(64512));
+        assert!(!is_public(65535));
+    }
+
+    #[test]
+    fn private_asns_fixed() {
+        let m = AsnMap::new(b"s");
+        for asn in [0u16, 64512, 65000, 65535] {
+            assert_eq!(m.map(asn), asn);
+        }
+    }
+
+    #[test]
+    fn public_maps_to_public_bijectively() {
+        let m = AsnMap::new(b"s");
+        let mut seen = vec![false; 1 << 16];
+        for asn in 1..PRIVATE_ASN_START {
+            let y = m.map(asn);
+            assert!(is_public(y), "{asn} -> {y} not public");
+            assert!(!seen[y as usize], "collision at image {y}");
+            seen[y as usize] = true;
+            assert_eq!(m.unmap(y), asn);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_secret() {
+        let a = AsnMap::new(b"s");
+        let b = AsnMap::new(b"s");
+        let c = AsnMap::new(b"t");
+        assert_eq!(a.map(701), b.map(701));
+        assert_ne!(a.map(701), c.map(701)); // w.h.p. for distinct keys
+    }
+
+    #[test]
+    fn community_token_round_trip() {
+        let m = CommunityMap::new(b"s");
+        let out = m.map_token("701:120").unwrap();
+        let (a, v) = out.split_once(':').unwrap();
+        assert_eq!(a.parse::<u16>().unwrap(), m.asn_map().map(701));
+        assert_eq!(v.parse::<u16>().unwrap(), m.map_value(120));
+        // Referential integrity.
+        assert_eq!(m.map_token("701:120"), m.map_token("701:120"));
+    }
+
+    #[test]
+    fn community_value_is_permutation() {
+        let m = CommunityMap::new(b"s");
+        let mut seen = std::collections::HashSet::new();
+        for v in (0..=u16::MAX).step_by(13) {
+            assert!(seen.insert(m.map_value(v)));
+        }
+    }
+
+    #[test]
+    fn malformed_community_tokens_rejected() {
+        let m = CommunityMap::new(b"s");
+        for t in [
+            "701", ":", "701:", ":120", "701:1234567", "a:b", "701:12x", "-1:5", "701:120:3",
+        ] {
+            assert!(m.map_token(t).is_none(), "{t:?}");
+        }
+    }
+
+    #[test]
+    fn well_known_private_half_kept() {
+        let m = CommunityMap::new(b"s");
+        let out = m.map_token("65535:65281").unwrap();
+        assert!(out.starts_with("65535:"));
+    }
+}
+
+/// RFC 8092 *large* BGP communities: `GlobalAdmin:Data1:Data2`, three
+/// 32-bit fields with the global administrator being an ASN. Another
+/// post-paper construct (2017) a contemporary anonymizer must cover —
+/// without it the ASN half of `64496:1:2`-style attributes leaks.
+pub struct LargeCommunityMap {
+    asn32: crate::map32::AsnMap32,
+    value: confanon_crypto::FeistelPermutation32,
+}
+
+impl LargeCommunityMap {
+    /// Creates a map keyed by the owner secret.
+    pub fn new(owner_secret: &[u8]) -> LargeCommunityMap {
+        LargeCommunityMap {
+            asn32: crate::map32::AsnMap32::new(owner_secret),
+            value: confanon_crypto::FeistelPermutation32::new(owner_secret, "large-community"),
+        }
+    }
+
+    /// Anonymizes a textual `ga:d1:d2` token; `None` when the token is
+    /// not a well-formed large community.
+    pub fn map_token(&self, token: &str) -> Option<String> {
+        let mut parts = token.split(':');
+        let (a, b, c) = (parts.next()?, parts.next()?, parts.next()?);
+        if parts.next().is_some() {
+            return None;
+        }
+        let ga = parse_u32(a)?;
+        let d1 = parse_u32(b)?;
+        let d2 = parse_u32(c)?;
+        Some(format!(
+            "{}:{}:{}",
+            self.asn32.map(ga),
+            self.value.apply(d1),
+            self.value.apply(d2)
+        ))
+    }
+}
+
+/// Strict decimal u32 parse.
+fn parse_u32(s: &str) -> Option<u32> {
+    if s.is_empty() || s.len() > 10 || !s.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    s.parse().ok()
+}
+
+#[cfg(test)]
+mod large_tests {
+    use super::*;
+
+    #[test]
+    fn large_community_round_trip() {
+        let m = LargeCommunityMap::new(b"s");
+        let out = m.map_token("64496:1:2").expect("well formed");
+        let parts: Vec<&str> = out.split(':').collect();
+        assert_eq!(parts.len(), 3);
+        // 64496 is a 2-byte public ASN: stays 2-byte public.
+        let ga: u32 = parts[0].parse().unwrap();
+        assert!(crate::map32::is_public32(ga));
+        assert!(ga <= 65535);
+        // Deterministic.
+        assert_eq!(m.map_token("64496:1:2"), Some(out));
+    }
+
+    #[test]
+    fn four_byte_global_admin() {
+        let m = LargeCommunityMap::new(b"s");
+        let out = m.map_token("199999:7:8").unwrap();
+        let ga: u32 = out.split(':').next().unwrap().parse().unwrap();
+        assert!(ga > 65535, "4-byte admin stayed 4-byte: {out}");
+    }
+
+    #[test]
+    fn malformed_large_communities_rejected() {
+        let m = LargeCommunityMap::new(b"s");
+        for t in ["1:2", "1:2:3:4", "a:2:3", "1::3", "99999999999:1:2", ""] {
+            assert!(m.map_token(t).is_none(), "{t:?}");
+        }
+    }
+
+    #[test]
+    fn private_admin_passes_values_still_move() {
+        let m = LargeCommunityMap::new(b"s");
+        let out = m.map_token("65001:10:20").unwrap();
+        assert!(out.starts_with("65001:"), "{out}");
+        assert_ne!(out, "65001:10:20");
+    }
+}

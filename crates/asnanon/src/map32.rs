@@ -1,0 +1,172 @@
+//! 4-byte AS numbers (RFC 4893 / RFC 6793) — the obvious extension.
+//!
+//! The paper could write "there are only 2^16 ASNs in BGPv4" in 2004;
+//! 4-byte ASNs arrived three years later, so a contemporary release must
+//! handle them. The same design carries over:
+//!
+//! * reserved/private ranges pass through: 0, 23456 (AS_TRANS),
+//!   64512..=65534 and 4200000000..=4294967294 (private use, RFC 6996),
+//!   65535 and 4294967295 (reserved, RFC 7300);
+//! * public ASNs permute through a keyed 32-bit Feistel bijection with
+//!   cycle-walking;
+//! * the 2-byte/4-byte split is preserved: a 2-byte public ASN maps to a
+//!   2-byte public ASN (via the paper's original [`AsnMap`]) and a 4-byte
+//!   one to a 4-byte one — whether a config needs 4-byte support is a
+//!   structural property old route reflectors genuinely care about;
+//! * regexp rewriting enumerates atoms over the 2^32 universe by walking
+//!   the decimal digit tree through the DFA
+//!   ([`confanon_regexlang::lang::accepted_numbers_bounded`]) rather than
+//!   brute force.
+
+use confanon_crypto::FeistelPermutation32;
+
+use crate::map::{is_public, AsnMap};
+
+/// First 4-byte private ASN (RFC 6996).
+pub const PRIVATE_ASN32_START: u32 = 4_200_000_000;
+/// Last 4-byte private ASN (RFC 6996); 4294967295 itself is reserved.
+pub const PRIVATE_ASN32_END: u32 = 4_294_967_294;
+/// AS_TRANS (RFC 4893): the 2-byte stand-in for 4-byte ASNs. Mapping it
+/// would corrupt the migration semantics, so it is pinned.
+pub const AS_TRANS: u32 = 23_456;
+
+/// True if `asn` is public (identity-bearing) in the 32-bit space.
+pub fn is_public32(asn: u32) -> bool {
+    if asn == AS_TRANS {
+        return false;
+    }
+    if asn <= u32::from(u16::MAX) {
+        return is_public(asn as u16);
+    }
+    !(PRIVATE_ASN32_START..=u32::MAX).contains(&asn)
+}
+
+/// Keyed permutation over the public 32-bit ASN space.
+pub struct AsnMap32 {
+    map16: AsnMap,
+    perm: FeistelPermutation32,
+}
+
+impl AsnMap32 {
+    /// Creates a map keyed by the owner secret. The 2-byte half reuses
+    /// the paper's 16-bit permutation, so a network anonymized before its
+    /// 4-byte migration maps identically afterward.
+    pub fn new(owner_secret: &[u8]) -> AsnMap32 {
+        AsnMap32 {
+            map16: AsnMap::new(owner_secret),
+            perm: FeistelPermutation32::new(owner_secret, "asn32"),
+        }
+    }
+
+    /// The embedded 2-byte map.
+    pub fn map16(&self) -> &AsnMap {
+        &self.map16
+    }
+
+    /// Maps one ASN, preserving the 2-byte/4-byte split and passing
+    /// reserved/private values through.
+    pub fn map(&self, asn: u32) -> u32 {
+        if !is_public32(asn) {
+            return asn;
+        }
+        if asn <= u32::from(u16::MAX) {
+            // 2-byte public, minus AS_TRANS which is excluded above. The
+            // 16-bit permutation may land on AS_TRANS, which would turn a
+            // plain ASN into the migration sentinel — cycle past it.
+            let mut y = self.map16.map(asn as u16);
+            while u32::from(y) == AS_TRANS {
+                y = self.map16.map(y);
+            }
+            return u32::from(y);
+        }
+        // 4-byte public: cycle-walk within the 4-byte public region.
+        let mut y = self.perm.apply(asn);
+        while !is_public32(y) || y <= u32::from(u16::MAX) {
+            y = self.perm.apply(y);
+        }
+        y
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_classification() {
+        assert!(is_public32(1));
+        assert!(is_public32(701));
+        assert!(is_public32(65_536));
+        assert!(is_public32(199_999));
+        assert!(!is_public32(0));
+        assert!(!is_public32(AS_TRANS));
+        assert!(!is_public32(64_512));
+        assert!(!is_public32(65_535));
+        assert!(!is_public32(PRIVATE_ASN32_START));
+        assert!(!is_public32(PRIVATE_ASN32_END));
+        assert!(!is_public32(u32::MAX));
+    }
+
+    #[test]
+    fn reserved_and_private_fixed() {
+        let m = AsnMap32::new(b"s");
+        for asn in [0u32, AS_TRANS, 64_512, 65_535, PRIVATE_ASN32_START, u32::MAX] {
+            assert_eq!(m.map(asn), asn);
+        }
+    }
+
+    #[test]
+    fn two_byte_publics_stay_two_byte() {
+        let m = AsnMap32::new(b"s");
+        for asn in [1u32, 701, 1239, 7018, 64_511] {
+            let y = m.map(asn);
+            assert!(y <= 65_535, "{asn} -> {y} left the 2-byte space");
+            assert!(is_public32(y));
+            assert_ne!(y, AS_TRANS);
+        }
+    }
+
+    #[test]
+    fn two_byte_map_agrees_with_paper_map() {
+        // Backward compatibility: unless the 16-bit image is AS_TRANS,
+        // the 32-bit map equals the paper's 16-bit map.
+        let m = AsnMap32::new(b"s");
+        for asn in [701u32, 1239, 7018, 3356] {
+            let y16 = m.map16().map(asn as u16);
+            if u32::from(y16) != AS_TRANS {
+                assert_eq!(m.map(asn), u32::from(y16));
+            }
+        }
+    }
+
+    #[test]
+    fn four_byte_publics_stay_four_byte() {
+        let m = AsnMap32::new(b"s");
+        for asn in [65_536u32, 100_000, 199_999, 4_199_999_999] {
+            let y = m.map(asn);
+            assert!(y > 65_535, "{asn} -> {y} fell into the 2-byte space");
+            assert!(is_public32(y), "{asn} -> {y} not public");
+        }
+    }
+
+    #[test]
+    fn injective_across_a_sample() {
+        let m = AsnMap32::new(b"s");
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..20_000u32 {
+            let asn = 65_536 + i * 1_009;
+            if is_public32(asn) {
+                assert!(seen.insert(m.map(asn)), "collision at {asn}");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_and_keyed() {
+        let a = AsnMap32::new(b"s");
+        let b = AsnMap32::new(b"s");
+        let c = AsnMap32::new(b"t");
+        assert_eq!(a.map(100_000), b.map(100_000));
+        assert_ne!(a.map(100_000), c.map(100_000));
+    }
+}

@@ -1,0 +1,53 @@
+//! Shared workload builders for the Criterion benches.
+//!
+//! Every bench regenerates a quantitative claim from the paper's
+//! evaluation (see DESIGN.md's experiment index); the workloads here are
+//! the corpora those benches run over, built once per process.
+
+use confanon_confgen::{generate_dataset, Dataset, DatasetSpec};
+
+/// A small but representative dataset: 8 networks, ~10 routers each.
+pub fn bench_dataset() -> Dataset {
+    generate_dataset(&DatasetSpec {
+        seed: 0xBE7C,
+        networks: 8,
+        mean_routers: 10,
+        backbone_fraction: 0.5,
+    })
+}
+
+/// One mid-size router config (≈ the paper's median of ~340 lines).
+pub fn median_router_config() -> String {
+    let ds = bench_dataset();
+    let mut configs: Vec<&str> = ds
+        .networks
+        .iter()
+        .flat_map(|n| n.routers.iter().map(|r| r.config.as_str()))
+        .collect();
+    configs.sort_by_key(|c| c.lines().count());
+    configs[configs.len() / 2].to_string()
+}
+
+/// A large router config (≥ 1000 lines, the paper's 90th percentile).
+pub fn large_router_config() -> String {
+    let ds = bench_dataset();
+    ds.networks
+        .iter()
+        .flat_map(|n| n.routers.iter().map(|r| r.config.as_str()))
+        .max_by_key(|c| c.lines().count())
+        .expect("nonempty dataset")
+        .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_have_expected_shapes() {
+        let m = median_router_config();
+        let l = large_router_config();
+        assert!(m.lines().count() >= 50);
+        assert!(l.lines().count() > m.lines().count());
+    }
+}

@@ -1,0 +1,117 @@
+//! The addressing plan: sequential subnet allocation within owner blocks.
+//!
+//! Networks own a handful of address blocks (public space for backbones,
+//! RFC 1918 plus a public block for enterprises). Links take /30s, LANs
+//! /24s, loopbacks /32s — the size mix is what gives each network the
+//! subnet-size histogram that experiment E10 fingerprints.
+
+use confanon_netprim::{Ip, Prefix};
+
+/// Sequential allocator of equal-or-varying-size subnets from one block.
+#[derive(Debug, Clone)]
+pub struct Allocator {
+    block: Prefix,
+    /// Next free address (cursor), relative to the block start.
+    cursor: u64,
+}
+
+impl Allocator {
+    /// Creates an allocator over `block`.
+    pub fn new(block: Prefix) -> Allocator {
+        Allocator { block, cursor: 0 }
+    }
+
+    /// The underlying block.
+    pub fn block(&self) -> Prefix {
+        self.block
+    }
+
+    /// Allocates the next aligned subnet of length `len`, or `None` when
+    /// the block is exhausted.
+    pub fn alloc(&mut self, len: u8) -> Option<Prefix> {
+        assert!(len >= self.block.len() && len <= 32);
+        let size = 1u64 << (32 - len);
+        // Align the cursor up to a multiple of the subnet size.
+        let aligned = self.cursor.div_ceil(size) * size;
+        let total: u64 = if self.block.len() == 0 {
+            1 << 32
+        } else {
+            1u64 << (32 - self.block.len())
+        };
+        if aligned + size > total {
+            return None;
+        }
+        self.cursor = aligned + size;
+        let addr = Ip((u64::from(self.block.network().0) + aligned) as u32);
+        Some(Prefix::new(addr, len))
+    }
+
+    /// Fraction of the block consumed.
+    pub fn utilization(&self) -> f64 {
+        let total: u64 = if self.block.len() == 0 {
+            1 << 32
+        } else {
+            1u64 << (32 - self.block.len())
+        };
+        self.cursor as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_non_overlapping() {
+        let mut a = Allocator::new("10.0.0.0/16".parse().unwrap());
+        let s1 = a.alloc(30).unwrap();
+        let s2 = a.alloc(30).unwrap();
+        assert_eq!(s1.to_string(), "10.0.0.0/30");
+        assert_eq!(s2.to_string(), "10.0.0.4/30");
+        assert!(!s1.contains_prefix(s2));
+    }
+
+    #[test]
+    fn alignment_after_mixed_sizes() {
+        let mut a = Allocator::new("10.0.0.0/16".parse().unwrap());
+        a.alloc(30).unwrap(); // 10.0.0.0/30
+        let lan = a.alloc(24).unwrap(); // must skip to the next /24 boundary
+        assert_eq!(lan.to_string(), "10.0.1.0/24");
+        let link = a.alloc(30).unwrap();
+        assert_eq!(link.to_string(), "10.0.2.0/30");
+    }
+
+    #[test]
+    fn exhaustion_returns_none() {
+        let mut a = Allocator::new("10.0.0.0/30".parse().unwrap());
+        assert!(a.alloc(30).is_some());
+        assert!(a.alloc(30).is_none());
+        assert!(a.alloc(32).is_none());
+    }
+
+    #[test]
+    fn host_prefixes() {
+        let mut a = Allocator::new("192.0.2.0/24".parse().unwrap());
+        let l0 = a.alloc(32).unwrap();
+        let l1 = a.alloc(32).unwrap();
+        assert_eq!(l0.to_string(), "192.0.2.0/32");
+        assert_eq!(l1.to_string(), "192.0.2.1/32");
+    }
+
+    #[test]
+    fn utilization_grows() {
+        let mut a = Allocator::new("10.0.0.0/24".parse().unwrap());
+        assert_eq!(a.utilization(), 0.0);
+        a.alloc(25).unwrap();
+        assert!((a.utilization() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn allocations_stay_inside_block() {
+        let block: Prefix = "172.16.0.0/20".parse().unwrap();
+        let mut a = Allocator::new(block);
+        while let Some(s) = a.alloc(26) {
+            assert!(block.contains_prefix(s), "{s} outside {block}");
+        }
+    }
+}

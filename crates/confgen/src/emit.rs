@@ -1,0 +1,669 @@
+//! Configuration text emission.
+//!
+//! Renders one planned router to IOS-style text, honouring version
+//! quirks, injecting identity-bearing comments at the network's comment
+//! rate, planting the policy regexps the network's feature flags call
+//! for, and padding with realistic filler (ACL entries, static routes)
+//! toward the router's sampled target length.
+
+use confanon_netprim::{Ip, Ip6, Prefix, WildcardMask};
+use rand::Rng;
+
+use crate::names::{self, phone, pick};
+use crate::topo::{Igp, NetworkPlan, NetworkProfile, RouterRole};
+use crate::truth::GroundTruth;
+
+/// Emits the configuration for router `idx` of `plan`, extending the
+/// network's ground truth with anything identity-bearing it plants.
+pub fn emit_router<R: Rng>(
+    plan: &NetworkPlan,
+    idx: usize,
+    rng: &mut R,
+    truth: &mut GroundTruth,
+) -> String {
+    let r = &plan.routers[idx];
+    let q = &r.quirks;
+    let corp = plan.corp;
+    let mut out = Lines::new(plan.comment_rate, corp);
+
+    out.push(format!("version {}", strip_suffix(&q.version)));
+    if !q.ancient {
+        out.push("service timestamps debug uptime".to_string());
+        out.push("service timestamps log uptime".to_string());
+    }
+    out.push("service password-encryption".to_string());
+    out.push("!".to_string());
+    out.push(format!("hostname {}", r.hostname));
+    out.push("!".to_string());
+
+    // Banner — only where the comment budget can afford ~20 words over
+    // the router's expected size (heavy-commenting networks, mostly).
+    let expected_words = r.target_lines * 4;
+    if rng.gen_bool(0.6) && plan.comment_rate * expected_words as f64 > 24.0 {
+        let d = q.banner_delim;
+        let contact = format!("noc@{corp}.com");
+        let ph = phone(rng);
+        truth.phone_numbers.insert(ph.clone());
+        // Banner text must not contain the delimiter character — IOS
+        // terminates the banner at its first occurrence.
+        let d1 = d.chars().last().unwrap_or('#');
+        let body1 = format!("{corp} network operations - contact {contact}").replace(d1, "-");
+        let body2 = format!("or call {ph}").replace(d1, "-");
+        out.push(format!("banner motd {d}"));
+        out.force_comment_line(body1);
+        out.force_comment_line(body2);
+        out.force_comment_line("Access strictly prohibited!".to_string());
+        out.push(d.to_string());
+        out.push("!".to_string());
+    }
+
+    // Secrets.
+    let secret = format!("{}{}", pick(rng, names::CORPS), rng.gen_range(100..999));
+    truth.secrets.insert(secret.clone());
+    out.push(format!("enable secret 5 {secret}"));
+    let user = pick(rng, names::USERNAMES);
+    truth.usernames.insert(user.to_string());
+    out.push(format!("username {user} password 7 {secret}"));
+    if q.emits_subnet_zero {
+        out.push("ip subnet-zero".to_string());
+    }
+    if q.emits_ip_classless {
+        out.push("ip classless".to_string());
+    }
+    out.push(format!("ip domain-name {corp}.com"));
+    out.push("!".to_string());
+
+    // Loopback.
+    out.push("interface Loopback0".to_string());
+    out.push(format!(" ip address {} 255.255.255.255", r.loopback));
+    out.push("!".to_string());
+
+    // Dual stack on modern images only.
+    let dual_stack = plan.v6_block.is_some() && q.gig_interfaces;
+    if dual_stack {
+        out.push("ipv6 unicast-routing".to_string());
+        out.push("!".to_string());
+    }
+
+    // Interfaces.
+    for (if_idx, ifp) in r.interfaces.iter().enumerate() {
+        out.push(format!("interface {}", ifp.name));
+        if let Some(d) = &ifp.description {
+            out.push_comment_line(format!(" description {d}"));
+        }
+        out.push(format!(" ip address {} {}", ifp.addr, ifp.mask));
+        if dual_stack {
+            // One /64 per (router, interface) out of the network's /32.
+            let block = plan.v6_block.expect("dual_stack implies block");
+            let subnet = block
+                | ((idx as u128 & 0xFFFF) << 80)
+                | ((if_idx as u128 & 0xFFFF) << 64);
+            let addr6 = Ip6(subnet | 1);
+            truth.v6_addresses.insert(addr6.to_string());
+            out.push(format!(" ipv6 address {addr6}/64"));
+        }
+        if plan.features.compartmentalized && rng.gen_bool(0.3) {
+            out.push(" ip nat inside".to_string());
+        }
+        if rng.gen_bool(0.2) {
+            out.push(" no ip directed-broadcast".to_string());
+        }
+        out.push("!".to_string());
+    }
+
+    // IGP.
+    match plan.igp {
+        Igp::Ospf => {
+            out.push(format!("router ospf {}", plan.igp_pid));
+            let area = match r.role {
+                RouterRole::Core => 0,
+                RouterRole::Aggregation => 0,
+                RouterRole::Edge => idx % 4,
+            };
+            for s in r.link_subnets.iter().chain(&r.lans) {
+                let w = WildcardMask::from_prefix_len(s.len());
+                out.push(format!(" network {} {} area {}", s.network(), w, area));
+            }
+            out.push(format!(
+                " network {} 0.0.0.0 area 0",
+                r.loopback
+            ));
+        }
+        Igp::Rip => {
+            out.push("router rip".to_string());
+            // Classful: advertise the classful networks containing our
+            // subnets (this is why class preservation matters).
+            let mut nets: Vec<String> = r
+                .link_subnets
+                .iter()
+                .chain(&r.lans)
+                .map(|s| classful_network(s.network()).to_string())
+                .collect();
+            nets.push(classful_network(r.loopback).to_string());
+            nets.sort();
+            nets.dedup();
+            for n in nets {
+                out.push(format!(" network {n}"));
+            }
+        }
+        Igp::Eigrp => {
+            out.push(format!("router eigrp {}", plan.igp_pid));
+            let mut nets: Vec<String> = r
+                .link_subnets
+                .iter()
+                .chain(&r.lans)
+                .map(|s| classful_network(s.network()).to_string())
+                .collect();
+            nets.sort();
+            nets.dedup();
+            for n in nets {
+                out.push(format!(" network {n}"));
+            }
+            out.push(" no auto-summary".to_string());
+        }
+    }
+    out.push("!".to_string());
+
+    // BGP.
+    if r.bgp {
+        out.push(format!("router bgp {}", plan.asn));
+        if q.emits_bgp_log_neighbor {
+            out.push(" bgp log-neighbor-changes".to_string());
+        }
+        // Large backbones run confederations: the public identifier and
+        // the private member ASNs both appear (locators R10/R11).
+        if plan.profile == NetworkProfile::Backbone && plan.routers.len() >= 12 {
+            out.push(format!(" bgp confederation identifier {}", plan.asn));
+            out.push(format!(
+                " bgp confederation peers {} {}",
+                64512 + (idx % 8) as u16,
+                64520 + (idx % 4) as u16
+            ));
+        }
+        if plan.igp == Igp::Rip && rng.gen_bool(0.3) {
+            out.push(" redistribute rip".to_string());
+        }
+        for lan in &r.lans {
+            out.push(format!(
+                " network {} mask {}",
+                lan.network(),
+                lan.netmask()
+            ));
+        }
+        // iBGP sessions: full mesh in small networks; hub-and-spoke via
+        // route reflectors in large ones.
+        let is_rr = plan.route_reflectors.contains(&r.loopback);
+        for &lb in &plan.bgp_loopbacks {
+            if lb == r.loopback {
+                continue;
+            }
+            let session_wanted = plan.route_reflectors.is_empty()
+                || is_rr
+                || plan.route_reflectors.contains(&lb);
+            if !session_wanted {
+                continue;
+            }
+            out.push(format!(" neighbor {lb} remote-as {}", plan.asn));
+            out.push(format!(" neighbor {lb} update-source Loopback0"));
+            if is_rr && !plan.route_reflectors.contains(&lb) {
+                out.push(format!(" neighbor {lb} route-reflector-client"));
+            }
+        }
+        // eBGP peers with policy. Map names are fixed per peer here and
+        // reused by the definitions below — referential integrity is a
+        // property the validation suites check, so the generator must
+        // produce it.
+        let peer_maps: Vec<String> = r
+            .peers
+            .iter()
+            .enumerate()
+            .map(|(pi, p)| {
+                format!(
+                    "{}-{}-{}",
+                    p.carrier.to_uppercase(),
+                    pick(rng, names::POLICY_WORDS),
+                    pi
+                )
+            })
+            .collect();
+        for (pi, (p, map)) in r.peers.iter().zip(&peer_maps).enumerate() {
+            out.push(format!(" neighbor {} remote-as {}", p.addr, p.asn));
+            if rng.gen_bool(0.4) {
+                out.push(format!(" neighbor {} prefix-list PL-{} in", p.addr, pi));
+            }
+            out.push_comment_line(format!(" neighbor {} description {} transit", p.addr, p.carrier));
+            if rng.gen_bool(0.15) {
+                // Legacy-AS migration: the session presents the old
+                // public ASN via local-as (locator R15).
+                out.push(format!(" neighbor {} local-as {}", p.addr, plan.asn.wrapping_add(7)));
+            }
+            out.push(format!(" neighbor {} route-map {map}-in in", p.addr));
+            out.push(format!(" neighbor {} route-map {map}-out out", p.addr));
+        }
+        out.push("!".to_string());
+
+        // Policy sections for each peer, reusing the attachment names.
+        for (pi, (p, map)) in r.peers.iter().zip(&peer_maps).enumerate() {
+            let aclnum = 100 + pi * 3;
+            let aspath = 50 + pi;
+            let commlist = 80 + pi;
+
+            out.push(format!("route-map {map}-in deny 10"));
+            out.push(format!(" match as-path {aspath}"));
+            out.push(format!("route-map {map}-in permit 20"));
+            out.push(format!(" set local-preference {}", 80 + pi * 10));
+            out.push(format!(" set community {}:{}", plan.asn, 100 + pi));
+            out.push(format!("route-map {map}-out permit 10"));
+            out.push(format!(" match ip address {aclnum}"));
+            if rng.gen_bool(0.4) {
+                // Outbound traffic engineering: prepend our own ASN
+                // (locator R08).
+                out.push(format!(
+                    " set as-path prepend {0} {0}",
+                    plan.asn
+                ));
+            }
+            if plan.features.compartmentalized && rng.gen_bool(0.3) {
+                // VPN-ish route targets (locator R17).
+                out.push(format!(" set extcommunity rt {}:{}", plan.asn, 400 + pi));
+            }
+            if plan.features.asn_alternation && rng.gen_bool(0.8) {
+                let other = names::PEER_ASNS[(pi + 3) % names::PEER_ASNS.len()];
+                truth.peer_asns.insert(other.to_string());
+                out.push(format!(
+                    "ip as-path access-list {aspath} permit (_{}_|_{}_)",
+                    p.asn, other
+                ));
+            } else if plan.features.public_asn_ranges && p.asn >= 701 && p.asn <= 705 {
+                // The UUNET block: a range regexp over public ASNs.
+                for a in 701..=705u16 {
+                    truth.peer_asns.insert(a.to_string());
+                }
+                out.push(format!(
+                    "ip as-path access-list {aspath} permit _70[1-5]_"
+                ));
+            } else {
+                out.push(format!(
+                    "ip as-path access-list {aspath} permit _{}_",
+                    p.asn
+                ));
+            }
+            if plan.features.private_asn_ranges && rng.gen_bool(0.5) {
+                out.push(format!(
+                    "ip as-path access-list {} deny _6451[2-9]_",
+                    aspath
+                ));
+            }
+            if plan.features.community_regexps {
+                if plan.features.community_ranges {
+                    out.push(format!(
+                        "ip community-list {commlist} permit {}:7[1-5]..",
+                        p.asn
+                    ));
+                } else {
+                    out.push(format!(
+                        "ip community-list {commlist} permit {}:[0-9]+",
+                        p.asn
+                    ));
+                }
+            } else {
+                out.push(format!(
+                    "ip community-list {commlist} permit {}:{}",
+                    p.asn,
+                    7000 + pi
+                ));
+            }
+            // A prefix-list admitting only our blocks from this peer
+            // (exercises the R23 prefix-token rule on policy objects).
+            if let Some(lan) = r.lans.first() {
+                out.push(format!(
+                    "ip prefix-list PL-{pi} seq 5 permit {lan} le 28"
+                ));
+            }
+            out.push(format!("ip prefix-list PL-{pi} seq 10 deny 0.0.0.0/0 le 32"));
+            // The export ACL covering our LANs.
+            if let Some(lan) = r.lans.first() {
+                out.push(format!(
+                    "access-list {aclnum} permit ip {} {} any",
+                    lan.network(),
+                    WildcardMask::from_prefix_len(lan.len())
+                ));
+            } else {
+                out.push(format!("access-list {aclnum} permit ip any any"));
+            }
+            out.push("!".to_string());
+        }
+    }
+
+    // Compartmentalization markers (§6.3): NAT pools and probe-dropping.
+    if plan.features.compartmentalized && matches!(r.role, RouterRole::Edge) {
+        out.push(format!(
+            "ip nat pool {}-pool {} {} netmask 255.255.255.0",
+            corp,
+            Ip::from_octets(10, 200, idx as u8, 1),
+            Ip::from_octets(10, 200, idx as u8, 254),
+        ));
+        out.push("access-list 199 deny icmp any any traceroute".to_string());
+        out.push("access-list 199 permit ip any any".to_string());
+        out.push("!".to_string());
+    }
+
+    // Dual-stack static routes toward the core.
+    if dual_stack && !r.interfaces.is_empty() {
+        let block = plan.v6_block.expect("dual_stack implies block");
+        let target = Ip6(block | ((idx as u128 & 0xFFFF) << 80) | 2);
+        truth.v6_addresses.insert(target.to_string());
+        out.push(format!("ipv6 route {}/48 {target}", Ip6(block)));
+        out.push("!".to_string());
+    }
+
+    // Management plumbing.
+    let snmp = format!("{}snmp{}", corp, rng.gen_range(10..99));
+    truth.secrets.insert(snmp.clone());
+    out.push(format!("snmp-server community {snmp} RO"));
+    out.push(format!("snmp-server location {} pop", r.city));
+    out.push(format!("ntp server {}", Ip::from_octets(192, 5, 41, 40)));
+    if rng.gen_bool(0.1) {
+        let ph = phone(rng);
+        truth.phone_numbers.insert(ph.clone());
+        out.push(format!("dialer string {ph}"));
+    }
+    out.push("line vty 0 4".to_string());
+    out.push(format!(" password {secret}"));
+    out.push(" login".to_string());
+    out.push("!".to_string());
+
+    // Filler toward the target length: static routes and ACL entries
+    // into our own space (keeps the address census realistic).
+    let mut filler_acl = 150;
+    while out.len() + 1 < r.target_lines {
+        match rng.gen_range(0..3) {
+            0 => {
+                let s = r
+                    .lans
+                    .first()
+                    .copied()
+                    .unwrap_or_else(|| Prefix::new(r.loopback, 24));
+                let host = s.host(rng.gen_range(0..s.size().min(200)));
+                truth.addresses.insert(host.to_string());
+                out.push(format!(
+                    "ip route {} 255.255.255.255 {}",
+                    host,
+                    r.interfaces
+                        .first()
+                        .map(|i| i.addr)
+                        .unwrap_or(r.loopback)
+                ));
+            }
+            1 => {
+                // Ordinary (non-special) addresses only: loopback or
+                // multicast hosts would legitimately pass through the
+                // anonymizer unchanged and carry no identity anyway.
+                let a = loop {
+                    let cand = Ip(rng.gen::<u32>() & 0x7FFF_FFFF);
+                    if confanon_netprim::special_kind(cand).is_none() {
+                        break cand;
+                    }
+                };
+                out.push(format!(
+                    "access-list {filler_acl} deny ip host {a} any log"
+                ));
+                truth.addresses.insert(a.to_string());
+                if rng.gen_bool(0.05) {
+                    // Extended ACLs live in 100..=199; cycle within the
+                    // filler sub-range.
+                    filler_acl = 150 + (filler_acl - 149) % 49;
+                }
+            }
+            _ => {
+                out.push_comment_line(format!(
+                    "! {} {} capacity notes - call {}",
+                    pick(rng, names::CARRIERS),
+                    r.city,
+                    phone(rng)
+                ));
+            }
+        }
+    }
+    out.push("end".to_string());
+
+    // Record the carrier words the comment generator used.
+    for w in out.carrier_words_used.drain(..) {
+        truth.carrier_words.insert(w);
+    }
+    out.finish()
+}
+
+/// Classful containing network of `ip` (A → /8, B → /16, C → /24).
+fn classful_network(ip: Ip) -> Ip {
+    use confanon_netprim::AddrClass;
+    let len = match ip.class() {
+        AddrClass::A => 8,
+        AddrClass::B => 16,
+        _ => 24,
+    };
+    Prefix::new(ip, len).network()
+}
+
+/// Strips feature-set suffixes for the `version` line (`12.2(13)T` is the
+/// image name; `version 12.2` is what configs carry).
+fn strip_suffix(v: &str) -> &str {
+    v.split('(').next().unwrap_or(v)
+}
+
+/// Line accumulator that occasionally injects comment lines to hit the
+/// network's comment-word rate.
+struct Lines {
+    lines: Vec<String>,
+    comment_rate: f64,
+    corp: &'static str,
+    /// Comment words injected so far / total words, tracked approximately.
+    words: usize,
+    comment_words: usize,
+    carrier_words_used: Vec<String>,
+    /// Cheap deterministic counter-based injection (no RNG needed here).
+    tick: usize,
+}
+
+impl Lines {
+    fn new(comment_rate: f64, corp: &'static str) -> Lines {
+        Lines {
+            lines: Vec::new(),
+            comment_rate,
+            corp,
+            words: 0,
+            comment_words: 0,
+            carrier_words_used: Vec::new(),
+            tick: 0,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.lines.len()
+    }
+
+    fn push(&mut self, line: String) {
+        self.words += line.split_whitespace().count();
+        self.lines.push(line);
+        self.maybe_comment();
+    }
+
+    /// Whether the comment budget allows `extra` more comment words.
+    /// Keeps the realized comment fraction at or below the network's
+    /// sampled rate (the injector in `maybe_comment` tops it up from
+    /// below, so per-network fractions converge to the rate).
+    fn budget_allows(&self, extra: usize) -> bool {
+        (self.comment_words + extra) as f64 <= self.comment_rate * (self.words + extra) as f64
+    }
+
+    /// Pushes a line that is itself comment-ish (descriptions) if the
+    /// budget allows; returns whether it was emitted.
+    fn push_comment_line(&mut self, line: String) -> bool {
+        let w = line.split_whitespace().count();
+        if !self.budget_allows(w) {
+            return false;
+        }
+        self.words += w;
+        self.comment_words += w;
+        self.lines.push(line);
+        true
+    }
+
+    /// Unconditionally pushes a comment-ish line (banner bodies: the
+    /// block-level decision already consulted the budget).
+    fn force_comment_line(&mut self, line: String) {
+        let w = line.split_whitespace().count();
+        self.words += w;
+        self.comment_words += w;
+        self.lines.push(line);
+    }
+
+    /// Injects `!` comment lines to steer toward the target rate.
+    fn maybe_comment(&mut self) {
+        let carrier = names::CARRIERS[self.tick % names::CARRIERS.len()];
+        let line = format!("! {} circuit via {carrier} - ask {} noc", self.corp, carrier);
+        let w = line.split_whitespace().count();
+        if self.budget_allows(w) {
+            self.tick += 1;
+            self.words += w;
+            self.comment_words += w;
+            self.carrier_words_used.push(carrier.to_string());
+            self.lines.push(line);
+        }
+    }
+
+    fn finish(self) -> String {
+        let mut s = self.lines.join("\n");
+        s.push('\n');
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::NetworkFeatures;
+    use crate::topo::{plan_network, NetworkProfile};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn emit_one(features: NetworkFeatures) -> (String, GroundTruth) {
+        let mut rng = StdRng::seed_from_u64(31);
+        let plan = plan_network(&mut rng, 0, NetworkProfile::Backbone, 12, features);
+        let mut truth = plan.truth.clone();
+        let cfg = emit_router(&plan, 0, &mut rng, &mut truth);
+        (cfg, truth)
+    }
+
+    #[test]
+    fn emits_core_sections() {
+        let (cfg, _) = emit_one(NetworkFeatures::default());
+        assert!(cfg.contains("hostname cr1."));
+        assert!(cfg.contains("interface Loopback0"));
+        assert!(cfg.contains("router bgp"));
+        assert!(cfg.lines().count() >= 50);
+        assert!(cfg.ends_with("end\n"));
+    }
+
+    #[test]
+    fn interfaces_carry_addresses() {
+        let (cfg, truth) = emit_one(NetworkFeatures::default());
+        let addr_lines = cfg.lines().filter(|l| l.trim().starts_with("ip address")).count();
+        assert!(addr_lines >= 3);
+        assert!(!truth.addresses.is_empty());
+    }
+
+    #[test]
+    fn alternation_feature_plants_alternation() {
+        let f = NetworkFeatures {
+            asn_alternation: true,
+            ..Default::default()
+        };
+        let (cfg, _) = emit_one(f);
+        assert!(
+            cfg.contains("permit (_") || cfg.contains("_|_"),
+            "no alternation regexp:\n{cfg}"
+        );
+    }
+
+    #[test]
+    fn community_range_feature_plants_range_pattern() {
+        let f = NetworkFeatures {
+            community_regexps: true,
+            community_ranges: true,
+            ..Default::default()
+        };
+        let (cfg, _) = emit_one(f);
+        assert!(cfg.contains(":7[1-5].."), "{cfg}");
+    }
+
+    #[test]
+    fn compartmentalization_markers_present() {
+        let mut rng = StdRng::seed_from_u64(77);
+        let f = NetworkFeatures {
+            compartmentalized: true,
+            ..Default::default()
+        };
+        let plan = plan_network(&mut rng, 1, NetworkProfile::Enterprise, 10, f);
+        let mut truth = plan.truth.clone();
+        // Find an edge router.
+        let edge = plan
+            .routers
+            .iter()
+            .position(|r| r.role == RouterRole::Edge)
+            .unwrap();
+        let cfg = emit_router(&plan, edge, &mut rng, &mut truth);
+        assert!(cfg.contains("ip nat pool"));
+        assert!(cfg.contains("deny icmp any any traceroute"));
+    }
+
+    #[test]
+    fn classful_network_by_class() {
+        assert_eq!(classful_network("10.5.6.7".parse().unwrap()).to_string(), "10.0.0.0");
+        assert_eq!(
+            classful_network("172.20.6.7".parse().unwrap()).to_string(),
+            "172.20.0.0"
+        );
+        assert_eq!(
+            classful_network("192.168.6.7".parse().unwrap()).to_string(),
+            "192.168.6.0"
+        );
+    }
+
+    #[test]
+    fn target_lines_respected_approximately() {
+        let mut rng = StdRng::seed_from_u64(55);
+        let plan = plan_network(
+            &mut rng,
+            2,
+            NetworkProfile::Backbone,
+            8,
+            NetworkFeatures::default(),
+        );
+        let mut truth = plan.truth.clone();
+        for (i, r) in plan.routers.iter().enumerate() {
+            let cfg = emit_router(&plan, i, &mut rng, &mut truth);
+            let lines = cfg.lines().count();
+            // Must reach the target unless the base config already
+            // overshoots it.
+            assert!(
+                lines + 5 >= r.target_lines.min(10_000) || lines >= r.target_lines,
+                "{}: {lines} vs target {}",
+                r.hostname,
+                r.target_lines
+            );
+        }
+    }
+
+    #[test]
+    fn ground_truth_is_superset_of_planted_leaks() {
+        let (cfg, truth) = emit_one(NetworkFeatures::default());
+        // The snmp community string planted must be in truth.
+        let snmp_line = cfg
+            .lines()
+            .find(|l| l.starts_with("snmp-server community"))
+            .unwrap();
+        let community = snmp_line.split_whitespace().nth(2).unwrap();
+        assert!(truth.secrets.contains(community), "{community}");
+    }
+}

@@ -1,0 +1,162 @@
+//! Per-network feature flags, matched to the paper's incidence counts.
+//!
+//! §4.4: digit wildcards/ranges over public ASNs in 2 of 31 networks,
+//! over private ASNs in 3 of 31, alternation in 10 of 31. §4.5: community
+//! regexps in 5 of 31, with range expressions in 2 of those. §6.3:
+//! internal compartmentalization in 10 of 31.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Which policy-language features a network's configs exercise.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetworkFeatures {
+    /// Range/wildcard regexps over *public* ASNs (paper: 2/31).
+    pub public_asn_ranges: bool,
+    /// Range regexps over *private* ASNs (paper: 3/31).
+    pub private_asn_ranges: bool,
+    /// Alternation regexps over ASNs (paper: 10/31).
+    pub asn_alternation: bool,
+    /// Community regexps at all (paper: 5/31).
+    pub community_regexps: bool,
+    /// Community regexps with ranges (paper: 2/31, subset of the above).
+    pub community_ranges: bool,
+    /// Internal compartmentalization: NAT splits, probe-dropping ACLs
+    /// (paper: 10/31).
+    pub compartmentalized: bool,
+}
+
+/// Counts over a dataset (for the census experiment E4/E14).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FeatureCensus {
+    /// Networks in the dataset.
+    pub networks: usize,
+    /// Count with [`NetworkFeatures::public_asn_ranges`].
+    pub public_asn_ranges: usize,
+    /// Count with [`NetworkFeatures::private_asn_ranges`].
+    pub private_asn_ranges: usize,
+    /// Count with [`NetworkFeatures::asn_alternation`].
+    pub asn_alternation: usize,
+    /// Count with [`NetworkFeatures::community_regexps`].
+    pub community_regexps: usize,
+    /// Count with [`NetworkFeatures::community_ranges`].
+    pub community_ranges: usize,
+    /// Count with [`NetworkFeatures::compartmentalized`].
+    pub compartmentalized: usize,
+}
+
+impl FeatureCensus {
+    /// Tallies a set of per-network features.
+    pub fn tally(features: &[NetworkFeatures]) -> FeatureCensus {
+        FeatureCensus {
+            networks: features.len(),
+            public_asn_ranges: features.iter().filter(|f| f.public_asn_ranges).count(),
+            private_asn_ranges: features.iter().filter(|f| f.private_asn_ranges).count(),
+            asn_alternation: features.iter().filter(|f| f.asn_alternation).count(),
+            community_regexps: features.iter().filter(|f| f.community_regexps).count(),
+            community_ranges: features.iter().filter(|f| f.community_ranges).count(),
+            compartmentalized: features.iter().filter(|f| f.compartmentalized).count(),
+        }
+    }
+}
+
+/// Assigns features to `n` networks with incidence scaled from the
+/// paper's 31-network counts (exact when `n == 31`).
+pub fn assign_features<R: Rng>(rng: &mut R, n: usize) -> Vec<NetworkFeatures> {
+    let scale = |count31: usize| -> usize {
+        if n == 31 {
+            count31
+        } else {
+            ((count31 * n) as f64 / 31.0).round() as usize
+        }
+    };
+
+    let mut features = vec![NetworkFeatures::default(); n];
+
+    // Each feature gets an independent shuffled assignment so features
+    // overlap the way independent adoption would.
+    fn mark<R: Rng>(
+        rng: &mut R,
+        features: &mut [NetworkFeatures],
+        k: usize,
+        f: impl Fn(&mut NetworkFeatures),
+    ) {
+        let mut order: Vec<usize> = (0..features.len()).collect();
+        order.shuffle(rng);
+        for &i in order.iter().take(k.min(features.len())) {
+            f(&mut features[i]);
+        }
+    }
+
+    mark(rng, &mut features, scale(2), |f| f.public_asn_ranges = true);
+    mark(rng, &mut features, scale(3), |f| f.private_asn_ranges = true);
+    mark(rng, &mut features, scale(10), |f| f.asn_alternation = true);
+    mark(rng, &mut features, scale(10), |f| f.compartmentalized = true);
+
+    // Community regexps: 5 networks, 2 of which use ranges.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(rng);
+    for (j, &i) in order.iter().take(scale(5)).enumerate() {
+        features[i].community_regexps = true;
+        if j < scale(2) {
+            features[i].community_ranges = true;
+        }
+    }
+
+    features
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exact_at_31_networks() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let f = assign_features(&mut rng, 31);
+        let c = FeatureCensus::tally(&f);
+        assert_eq!(c.networks, 31);
+        assert_eq!(c.public_asn_ranges, 2);
+        assert_eq!(c.private_asn_ranges, 3);
+        assert_eq!(c.asn_alternation, 10);
+        assert_eq!(c.community_regexps, 5);
+        assert_eq!(c.community_ranges, 2);
+        assert_eq!(c.compartmentalized, 10);
+    }
+
+    #[test]
+    fn community_ranges_subset_of_community_regexps() {
+        let mut rng = StdRng::seed_from_u64(10);
+        for f in assign_features(&mut rng, 31) {
+            if f.community_ranges {
+                assert!(f.community_regexps);
+            }
+        }
+    }
+
+    #[test]
+    fn scales_for_other_sizes() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let f = assign_features(&mut rng, 62);
+        let c = FeatureCensus::tally(&f);
+        assert_eq!(c.asn_alternation, 20);
+        assert_eq!(c.community_regexps, 10);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = assign_features(&mut StdRng::seed_from_u64(5), 31);
+        let b = assign_features(&mut StdRng::seed_from_u64(5), 31);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn small_n_does_not_panic() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let f = assign_features(&mut rng, 2);
+        assert_eq!(f.len(), 2);
+    }
+}

@@ -1,0 +1,38 @@
+//! # confanon-confgen — synthetic router-configuration corpus generator
+//!
+//! The paper's dataset — 7655 routers in 31 backbone and enterprise
+//! networks, 4.3 million lines across 200+ IOS versions — is proprietary
+//! carrier data. This crate is the documented substitution (DESIGN.md §5):
+//! a deterministic generator whose output matches the dataset's *published
+//! marginals*:
+//!
+//! * per-router config sizes log-normally distributed through the paper's
+//!   quartiles (25th percentile 183 lines, 90th percentile 1123, clamped
+//!   to the reported 50..10,000 range);
+//! * comment mass averaging 1.5% of words (90th percentile 6%);
+//! * per-network policy-regexp incidence: ranges/wildcards over public
+//!   ASNs in 2 of 31 networks, over private ASNs in 3 of 31, alternation
+//!   in 10 of 31, community regexps in 5 of 31 (ranges in 2), internal
+//!   compartmentalization in 10 of 31 (§4.4, §4.5, §6.3);
+//! * an IOS-version quirk matrix yielding 200+ distinct version strings
+//!   with syntax differences (banner delimiters, interface naming,
+//!   `ip classless`, …).
+//!
+//! Each network carries machine-readable [`GroundTruth`] — every
+//! identity-bearing string the generator planted — so experiments can
+//! verify the anonymizer removed all of it without trusting the
+//! anonymizer's own bookkeeping.
+
+pub mod addr;
+pub mod emit;
+pub mod features;
+pub mod names;
+pub mod spec;
+pub mod topo;
+pub mod truth;
+pub mod versions;
+
+pub use features::NetworkFeatures;
+pub use spec::{generate_dataset, paper_dataset_spec, small_dataset_spec, Dataset, DatasetSpec};
+pub use topo::{Network, NetworkProfile, Router, RouterRole};
+pub use truth::GroundTruth;

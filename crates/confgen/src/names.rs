@@ -1,0 +1,131 @@
+//! Name pools: the identity-bearing strings the generator plants.
+//!
+//! Realism matters for the *leak* experiments: the paper's motivating
+//! examples are `global crossing` in a comment, UUNET's ASN, Foo Corp's
+//! hostname. The pools below mix the paper's own examples with other
+//! well-known (historical) carrier names, US city codes, and corporate
+//! names, so anonymized output can be audited for the same classes of
+//! leak the paper worried about.
+
+use rand::Rng;
+
+/// Fictional owner corporations (the "Foo Corp" role).
+pub const CORPS: &[&str] = &[
+    "foocorp", "acmenet", "globex", "initech", "umbrella", "wayne", "stark", "tyrell",
+    "cyberdyne", "hooli", "piedpiper", "wonka", "oscorp", "dunder", "vandelay", "prestige",
+    "duff", "monarch", "sirius", "zorg", "virtucon", "gringotts", "macguffin", "contoso",
+    "fabrikam", "northwind", "ollivander", "aperture", "blackmesa", "weyland", "yutani",
+];
+
+/// Real (historical) carrier names — the strings that must never survive
+/// in comments. `global` + `crossing` is the paper's own example.
+pub const CARRIERS: &[&str] = &[
+    "uunet", "sprint", "sprintlink", "genuity", "globalcrossing", "level3", "qwest", "mci",
+    "att", "verio", "abovenet", "exodus", "psinet", "cogent", "teleglobe", "cablewireless",
+];
+
+/// Airport-style city codes used in router hostnames.
+pub const CITIES: &[&str] = &[
+    "lax", "sfo", "nyc", "chi", "dfw", "atl", "sea", "bos", "iad", "den", "mia", "phx", "msp",
+    "det", "stl", "pit", "phl", "san", "pdx", "slc", "hou", "mci2", "bna", "clt", "rdu", "aus",
+];
+
+/// Public AS numbers of well-known (2004-era) carriers, used as eBGP
+/// peers. 701..705 is the UUNET block the paper's Figure 1 references;
+/// 1239 is Sprint; 1 is Genuity (the paper's grep-caveat footnote).
+/// Note: AS 174 (Cogent's short ASN) is deliberately absent — like AS 1
+/// (Genuity), it collides with ubiquitous plain integers (extended ACL
+/// numbers run 100..=199) and poisons grep-style leak scanning; we plant
+/// Cogent's post-merger ASN 16631 instead.
+pub const PEER_ASNS: &[u16] = &[
+    701, 702, 703, 704, 705, 1239, 7018, 3356, 3549, 16631, 2914, 6453, 209, 3561, 4323, 6461,
+    2828, 852, 577,
+];
+
+/// Genuity's AS number. Deliberately *not* in [`PEER_ASNS`]: the paper's
+/// §6.1 footnote observes that grep-style leak scanning "would work
+/// poorly for Genuity customers as Genuity's AS number (AS 1) will appear
+/// in many unrelated config lines". The `genuity_caveat` test reproduces
+/// that observation explicitly.
+pub const GENUITY_ASN: u16 = 1;
+
+/// Words used to build route-map and filter names (mixed with carrier
+/// names so that policy names leak identity the way `UUNET-import` does).
+pub const POLICY_WORDS: &[&str] = &[
+    "import", "export", "transit", "customer", "peerfilter", "backbone", "blackhole",
+    "martians", "bogons", "preferred", "backup", "primary", "localpref", "prepend",
+];
+
+/// First names for `username` lines (identity-bearing).
+pub const USERNAMES: &[&str] = &[
+    "jsmith", "agreenberg", "dmaltz", "jrexford", "hzhang", "gxie", "jzhan", "opsadmin",
+    "netops", "jdoe",
+];
+
+/// Picks one element of `pool` uniformly.
+pub fn pick<'a, R: Rng>(rng: &mut R, pool: &[&'a str]) -> &'a str {
+    pool[rng.gen_range(0..pool.len())]
+}
+
+/// Picks one u16 of `pool` uniformly.
+pub fn pick_u16<R: Rng>(rng: &mut R, pool: &[u16]) -> u16 {
+    pool[rng.gen_range(0..pool.len())]
+}
+
+/// A ten-digit North-American phone number.
+pub fn phone<R: Rng>(rng: &mut R) -> String {
+    format!(
+        "1{}{}",
+        rng.gen_range(200..999),
+        rng.gen_range(1_000_000..9_999_999)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pools_are_nonempty_and_lowercase() {
+        for pool in [CORPS, CARRIERS, CITIES, POLICY_WORDS, USERNAMES] {
+            assert!(!pool.is_empty());
+            for w in pool {
+                assert_eq!(*w, w.to_ascii_lowercase(), "{w}");
+            }
+        }
+    }
+
+    #[test]
+    fn peer_asns_are_public() {
+        for &a in PEER_ASNS {
+            assert!(a != 0 && a < 64512, "{a}");
+        }
+    }
+
+    #[test]
+    fn uunet_block_present_for_figure1_style_policies() {
+        for a in [701u16, 702, 703, 704, 705, 1239] {
+            assert!(PEER_ASNS.contains(&a));
+        }
+    }
+
+    #[test]
+    fn phone_shape() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let p = phone(&mut rng);
+        assert_eq!(p.len(), 11);
+        assert!(p.starts_with('1'));
+        assert!(p.bytes().all(|b| b.is_ascii_digit()));
+    }
+
+    #[test]
+    fn pick_is_deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..10 {
+            assert_eq!(pick(&mut a, CORPS), pick(&mut b, CORPS));
+        }
+    }
+}

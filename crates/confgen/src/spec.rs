@@ -1,0 +1,204 @@
+//! Dataset specifications and top-level generation.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::emit::emit_router;
+use crate::features::{assign_features, FeatureCensus};
+use crate::topo::{plan_network, Network, NetworkProfile, Router};
+
+/// Parameters of a dataset.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DatasetSpec {
+    /// RNG seed: the dataset is a pure function of the spec.
+    pub seed: u64,
+    /// Number of networks.
+    pub networks: usize,
+    /// Mean routers per network (sampled per network around this).
+    pub mean_routers: usize,
+    /// Fraction of networks that are backbones (the rest enterprise).
+    pub backbone_fraction: f64,
+}
+
+/// The paper's dataset shape: 31 networks, 7655 routers total
+/// (≈ 247 per network), a mix of backbone and enterprise.
+pub fn paper_dataset_spec(seed: u64) -> DatasetSpec {
+    DatasetSpec {
+        seed,
+        networks: 31,
+        mean_routers: 247,
+        backbone_fraction: 0.35,
+    }
+}
+
+/// A small dataset for tests and examples: 31 networks held (so the
+/// incidence counts stay exact) but only a handful of routers each.
+pub fn small_dataset_spec(seed: u64) -> DatasetSpec {
+    DatasetSpec {
+        seed,
+        networks: 31,
+        mean_routers: 8,
+        backbone_fraction: 0.35,
+    }
+}
+
+/// A generated dataset.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dataset {
+    /// The spec that produced it.
+    pub spec: DatasetSpec,
+    /// The networks.
+    pub networks: Vec<Network>,
+}
+
+impl Dataset {
+    /// Total routers.
+    pub fn total_routers(&self) -> usize {
+        self.networks.iter().map(|n| n.routers.len()).sum()
+    }
+
+    /// Total config lines.
+    pub fn total_lines(&self) -> usize {
+        self.networks.iter().map(Network::total_lines).sum()
+    }
+
+    /// Tallies the per-network feature flags (experiment E4/E14).
+    pub fn feature_census(&self) -> FeatureCensus {
+        let f: Vec<_> = self.networks.iter().map(|n| n.features).collect();
+        FeatureCensus::tally(&f)
+    }
+}
+
+/// Generates a dataset from a spec.
+pub fn generate_dataset(spec: &DatasetSpec) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let features = assign_features(&mut rng, spec.networks);
+    let mut networks = Vec::with_capacity(spec.networks);
+
+    #[allow(clippy::needless_range_loop)] // i doubles as the corp index
+    for i in 0..spec.networks {
+        let profile = if (i as f64 + 0.5) / spec.networks as f64 <= spec.backbone_fraction {
+            NetworkProfile::Backbone
+        } else {
+            NetworkProfile::Enterprise
+        };
+        // Router counts vary ×[0.3, 2.2] around the mean; backbones lean
+        // larger.
+        let scale: f64 = rng.gen_range(0.3..2.2)
+            * if profile == NetworkProfile::Backbone {
+                1.3
+            } else {
+                0.8
+            };
+        let n_routers = ((spec.mean_routers as f64 * scale) as usize).max(3);
+
+        let plan = plan_network(&mut rng, i, profile, n_routers, features[i]);
+        let mut truth = plan.truth.clone();
+        let routers: Vec<Router> = (0..plan.routers.len())
+            .map(|ri| {
+                let config = emit_router(&plan, ri, &mut rng, &mut truth);
+                Router {
+                    hostname: plan.routers[ri].hostname.clone(),
+                    ios_version: plan.routers[ri].quirks.version.clone(),
+                    role: plan.routers[ri].role,
+                    config,
+                }
+            })
+            .collect();
+
+        networks.push(Network {
+            name: format!("{}-{}", plan.corp, i),
+            profile,
+            asn: plan.asn,
+            features: features[i],
+            routers,
+            ground_truth: truth,
+        });
+    }
+
+    Dataset {
+        spec: spec.clone(),
+        networks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_dataset_generates() {
+        let ds = generate_dataset(&small_dataset_spec(1));
+        assert_eq!(ds.networks.len(), 31);
+        assert!(ds.total_routers() >= 31 * 3);
+        assert!(ds.total_lines() > 10_000);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate_dataset(&small_dataset_spec(7));
+        let b = generate_dataset(&small_dataset_spec(7));
+        assert_eq!(a.total_lines(), b.total_lines());
+        assert_eq!(
+            a.networks[0].routers[0].config,
+            b.networks[0].routers[0].config
+        );
+    }
+
+    #[test]
+    fn seeds_differ() {
+        let a = generate_dataset(&small_dataset_spec(7));
+        let b = generate_dataset(&small_dataset_spec(8));
+        assert_ne!(
+            a.networks[0].routers[0].config,
+            b.networks[0].routers[0].config
+        );
+    }
+
+    #[test]
+    fn census_matches_paper_at_31() {
+        let ds = generate_dataset(&small_dataset_spec(3));
+        let c = ds.feature_census();
+        assert_eq!(c.networks, 31);
+        assert_eq!(c.public_asn_ranges, 2);
+        assert_eq!(c.private_asn_ranges, 3);
+        assert_eq!(c.asn_alternation, 10);
+        assert_eq!(c.community_regexps, 5);
+        assert_eq!(c.community_ranges, 2);
+        assert_eq!(c.compartmentalized, 10);
+    }
+
+    #[test]
+    fn mixes_profiles() {
+        let ds = generate_dataset(&small_dataset_spec(2));
+        let backbones = ds
+            .networks
+            .iter()
+            .filter(|n| n.profile == NetworkProfile::Backbone)
+            .count();
+        assert!((5..=20).contains(&backbones), "{backbones}");
+    }
+
+    #[test]
+    fn version_diversity_reaches_paper_scale_on_full_dataset() {
+        // Only the paper-scale dataset needs 200+ versions; the small one
+        // just needs diversity.
+        let ds = generate_dataset(&small_dataset_spec(4));
+        let versions: std::collections::HashSet<&str> = ds
+            .networks
+            .iter()
+            .flat_map(|n| n.routers.iter().map(|r| r.ios_version.as_str()))
+            .collect();
+        assert!(versions.len() > 50, "{}", versions.len());
+    }
+
+    #[test]
+    fn ground_truth_nonempty_everywhere() {
+        let ds = generate_dataset(&small_dataset_spec(5));
+        for n in &ds.networks {
+            assert!(!n.ground_truth.addresses.is_empty(), "{}", n.name);
+            assert!(!n.ground_truth.own_asns.is_empty(), "{}", n.name);
+        }
+    }
+}

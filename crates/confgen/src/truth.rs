@@ -1,0 +1,84 @@
+//! Ground truth: every identity-bearing string a generated network
+//! contains, recorded by the generator itself.
+//!
+//! The leak experiments must not trust the anonymizer's own bookkeeping
+//! (that would be circular); the generator knows exactly what it planted.
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+
+/// Identity-bearing content planted in one network's configs.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct GroundTruth {
+    /// The owner's corporate name and derived words.
+    pub owner_words: BTreeSet<String>,
+    /// Carrier names dropped into comments/descriptions.
+    pub carrier_words: BTreeSet<String>,
+    /// City codes in hostnames and descriptions.
+    pub city_words: BTreeSet<String>,
+    /// The owner's public ASN(s), decimal.
+    pub own_asns: BTreeSet<String>,
+    /// Public peer ASNs, decimal.
+    pub peer_asns: BTreeSet<String>,
+    /// Every IPv4 literal planted (ordinary addresses only).
+    pub addresses: BTreeSet<String>,
+    /// Every IPv6 literal planted (canonical RFC 5952 text).
+    pub v6_addresses: BTreeSet<String>,
+    /// Phone numbers in dialer strings / banners.
+    pub phone_numbers: BTreeSet<String>,
+    /// SNMP communities, passwords, keys.
+    pub secrets: BTreeSet<String>,
+    /// Usernames.
+    pub usernames: BTreeSet<String>,
+}
+
+impl GroundTruth {
+    /// All public ASN strings (own + peers).
+    pub fn all_asns(&self) -> BTreeSet<String> {
+        self.own_asns.union(&self.peer_asns).cloned().collect()
+    }
+
+    /// All identity words (owner, carriers, cities, usernames).
+    pub fn all_words(&self) -> BTreeSet<String> {
+        let mut w = self.owner_words.clone();
+        w.extend(self.carrier_words.iter().cloned());
+        w.extend(self.city_words.iter().cloned());
+        w.extend(self.usernames.iter().cloned());
+        w.extend(self.secrets.iter().cloned());
+        w
+    }
+
+    /// Converts to the `confanon-core` leak-record shape (as plain sets;
+    /// the dependency points the other way, so this stays stringly). The
+    /// first component is every identity-bearing *digit string* — public
+    /// ASNs and phone numbers — which the scanner matches against whole
+    /// digit runs.
+    pub fn record_tuple(&self) -> (BTreeSet<String>, BTreeSet<String>, BTreeSet<String>) {
+        let mut numbers = self.all_asns();
+        numbers.extend(self.phone_numbers.iter().cloned());
+        let mut addrs = self.addresses.clone();
+        // IPv6 literals are matched as whole whitespace tokens by the
+        // scanner, same as quads.
+        addrs.extend(self.v6_addresses.iter().cloned());
+        (numbers, addrs, self.all_words())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unions_cover_components() {
+        let mut t = GroundTruth::default();
+        t.own_asns.insert("1111".into());
+        t.peer_asns.insert("701".into());
+        t.owner_words.insert("foocorp".into());
+        t.city_words.insert("lax".into());
+        assert_eq!(t.all_asns().len(), 2);
+        assert!(t.all_words().contains("lax"));
+        let (asns, _, words) = t.record_tuple();
+        assert!(asns.contains("701") && words.contains("foocorp"));
+    }
+}

@@ -1,0 +1,134 @@
+//! The IOS-version quirk matrix.
+//!
+//! "The routers in our dataset run over 200 different IOS versions" and
+//! "small, but syntactically significant changes occur between Cisco IOS
+//! versions" (§3.1). We generate version strings from a train × release ×
+//! rebuild × feature-set grid (well over 200 combinations) and derive the
+//! syntax quirks deterministically from the string, so two routers on the
+//! same version always agree.
+
+use rand::Rng;
+
+/// Syntax differences the emitter honours.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VersionQuirks {
+    /// The version string for the `version` line (e.g. `12.2(13)T1`).
+    pub version: String,
+    /// Banner delimiter this operator/IOS combination uses.
+    pub banner_delim: &'static str,
+    /// Interface naming: `Ethernet` vs `FastEthernet` vs `GigabitEthernet`.
+    pub fast_interfaces: bool,
+    /// Gigabit interfaces available (12.2+).
+    pub gig_interfaces: bool,
+    /// Emits `ip classless` (11.3+ default-on, printed explicitly by some
+    /// trains).
+    pub emits_ip_classless: bool,
+    /// Emits `bgp log-neighbor-changes` inside `router bgp`.
+    pub emits_bgp_log_neighbor: bool,
+    /// Uses `ip subnet-zero` line.
+    pub emits_subnet_zero: bool,
+    /// Writes no `service timestamps` lines (very old trains).
+    pub ancient: bool,
+}
+
+/// The release trains we draw from.
+const TRAINS: &[(u8, u8)] = &[
+    (11, 0),
+    (11, 1),
+    (11, 2),
+    (11, 3),
+    (12, 0),
+    (12, 1),
+    (12, 2),
+    (12, 3),
+    (12, 4),
+];
+
+/// Feature-set suffixes.
+const SUFFIXES: &[&str] = &["", "T", "S", "E", "T1", "S2", "E3", "M"];
+
+/// Deterministically derives quirks from train/release/suffix choices.
+pub fn sample_version<R: Rng>(rng: &mut R) -> VersionQuirks {
+    let (major, minor) = TRAINS[rng.gen_range(0..TRAINS.len())];
+    let release = rng.gen_range(1..=25u8);
+    let suffix = SUFFIXES[rng.gen_range(0..SUFFIXES.len())];
+    let version = format!("{major}.{minor}({release}){suffix}");
+
+    let modernity = u32::from(major) * 10 + u32::from(minor); // 110..=124
+    // Banner delimiter varies by operator habit; keyed off the release so
+    // it is stable per version string.
+    let banner_delim = match release % 4 {
+        0 => "^C",
+        1 => "#",
+        2 => "~",
+        _ => "@",
+    };
+    VersionQuirks {
+        banner_delim,
+        fast_interfaces: modernity >= 113,
+        gig_interfaces: modernity >= 122,
+        emits_ip_classless: modernity >= 113,
+        emits_bgp_log_neighbor: modernity >= 120,
+        emits_subnet_zero: modernity >= 120 && release % 2 == 0,
+        ancient: modernity < 112,
+        version,
+    }
+}
+
+/// Upper bound on distinct version strings the grid can produce
+/// (trains × releases × suffixes).
+pub fn grid_size() -> usize {
+    TRAINS.len() * 25 * SUFFIXES.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::HashSet;
+
+    #[test]
+    fn grid_exceeds_two_hundred() {
+        assert!(grid_size() > 200, "{}", grid_size());
+    }
+
+    #[test]
+    fn sampling_reaches_two_hundred_distinct_versions() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = HashSet::new();
+        for _ in 0..5000 {
+            seen.insert(sample_version(&mut rng).version);
+        }
+        assert!(seen.len() > 200, "only {} distinct versions", seen.len());
+    }
+
+    #[test]
+    fn quirks_are_deterministic_per_string() {
+        // Two samples yielding the same version string must agree on all
+        // quirks (quirks derive from the string's components).
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut by_version = std::collections::HashMap::new();
+        for _ in 0..3000 {
+            let q = sample_version(&mut rng);
+            if let Some(prev) = by_version.insert(q.version.clone(), q.clone()) {
+                assert_eq!(prev, q, "quirks diverged for {}", q.version);
+            }
+        }
+    }
+
+    #[test]
+    fn modern_trains_have_modern_features() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..500 {
+            let q = sample_version(&mut rng);
+            if q.gig_interfaces {
+                assert!(q.fast_interfaces, "{}", q.version);
+                assert!(q.emits_ip_classless);
+            }
+            if q.ancient {
+                assert!(!q.emits_bgp_log_neighbor);
+            }
+        }
+    }
+}

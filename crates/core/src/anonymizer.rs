@@ -1,0 +1,1180 @@
+//! The anonymization pipeline.
+//!
+//! One pass over the config: classify lines (comments, banners, free
+//! text, commands), then rewrite command lines token by token under the
+//! 28 rules. The order of checks per token mirrors the paper's
+//! conservatism — context rules (ASNs, secrets, regexps) first, then
+//! addresses, then the generic "hash anything not on the pass-list"
+//! fallback, so nothing escapes by being unrecognized.
+
+use std::collections::HashSet;
+
+use confanon_asnanon::rewrite::{rewrite_aspath_regex_full, rewrite_community_regex_full};
+use confanon_asnanon::{AsnMap, CommunityMap, LargeCommunityMap, RewriteOptions};
+use confanon_crypto::TokenHasher;
+use confanon_iosparse::{classify_lines, rebuild, segment, tokenize, LineKind, Segment};
+use confanon_ipanon::{Ip6Anonymizer, IpAnonymizer, RandomScramble};
+use confanon_netprim::{special6_kind, special_kind, Ip, Ip6};
+
+use crate::leak::LeakRecord;
+use crate::passlist::PassList;
+use crate::rules::RuleId;
+use crate::stats::AnonymizationStats;
+
+/// Which IP-address mapping the pipeline uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IpScheme {
+    /// The paper's extended `-a50` trie: prefix-, class-, and
+    /// subnet-address-preserving (the production scheme).
+    #[default]
+    StructurePreserving,
+    /// The negative control: injective per-address scramble with no
+    /// structural guarantees. The validation suites are *expected to
+    /// fail* under this scheme — that failure is experiment E15's
+    /// quantified argument for the paper's design.
+    Scramble,
+}
+
+/// Configuration for an [`Anonymizer`].
+pub struct AnonymizerConfig {
+    /// The secret chosen by the network owner (salts every hash and keys
+    /// every permutation; §6.1).
+    pub owner_secret: Vec<u8>,
+    /// Compact rewritten regexps through the minimal-DFA synthesis
+    /// extension instead of emitting raw alternations.
+    pub compact_regexps: bool,
+    /// Rules disabled for ablation experiments (§6.1 iteration). Empty in
+    /// production.
+    pub disabled_rules: HashSet<RuleId>,
+    /// The pass-list of unprivileged tokens.
+    pub pass_list: PassList,
+    /// IP mapping scheme (default: the paper's structure-preserving trie).
+    pub ip_scheme: IpScheme,
+}
+
+impl AnonymizerConfig {
+    /// Production defaults: all 28 rules on, builtin pass-list.
+    pub fn new(owner_secret: Vec<u8>) -> AnonymizerConfig {
+        AnonymizerConfig {
+            owner_secret,
+            compact_regexps: false,
+            disabled_rules: HashSet::new(),
+            pass_list: PassList::builtin(),
+            ip_scheme: IpScheme::default(),
+        }
+    }
+
+    /// Disables one rule (builder style).
+    pub fn without_rule(mut self, rule: RuleId) -> AnonymizerConfig {
+        self.disabled_rules.insert(rule);
+        self
+    }
+}
+
+/// The result of anonymizing one configuration.
+#[derive(Debug, Clone)]
+pub struct AnonymizedConfig {
+    /// The anonymized text.
+    pub text: String,
+    /// Counters for this config.
+    pub stats: AnonymizationStats,
+}
+
+/// The anonymizer. Holds the keyed mapping state shared across all
+/// configs of one network — "all identifiers must be anonymized in a
+/// consistent manner" (§3.2), which extends across files: the same
+/// route-map name, address, or ASN in two routers of one network must map
+/// identically, so one `Anonymizer` instance processes the whole network.
+pub struct Anonymizer {
+    cfg: AnonymizerConfig,
+    hasher: TokenHasher,
+    ip: IpAnonymizer,
+    ip6: Ip6Anonymizer,
+    scramble: RandomScramble,
+    community: CommunityMap,
+    large_community: LargeCommunityMap,
+    record: LeakRecord,
+    /// Numeric strings and dotted quads the anonymizer itself emitted
+    /// (permutation images, rewritten-regexp members, re-digited phones).
+    /// These are the principled exclusion set for the §6.1 scanner: a
+    /// *leak* is an original value surviving, not an image coinciding
+    /// with one.
+    emitted: std::collections::BTreeSet<String>,
+    total_stats: AnonymizationStats,
+}
+
+impl Anonymizer {
+    /// Creates an anonymizer for one network.
+    pub fn new(cfg: AnonymizerConfig) -> Anonymizer {
+        let hasher = TokenHasher::new(&cfg.owner_secret);
+        let ip = IpAnonymizer::with_options(
+            &cfg.owner_secret,
+            !cfg.disabled_rules.contains(&RuleId::R24SubnetAddressPreserve),
+        );
+        let ip6 = Ip6Anonymizer::new(&cfg.owner_secret);
+        let scramble = RandomScramble::new(&cfg.owner_secret);
+        let community = CommunityMap::new(&cfg.owner_secret);
+        let large_community = LargeCommunityMap::new(&cfg.owner_secret);
+        Anonymizer {
+            cfg,
+            hasher,
+            ip,
+            ip6,
+            scramble,
+            community,
+            large_community,
+            record: LeakRecord::default(),
+            emitted: std::collections::BTreeSet::new(),
+            total_stats: AnonymizationStats::default(),
+        }
+    }
+
+    /// The ASN permutation in use (for audits and experiments).
+    pub fn asn_map(&self) -> &AsnMap {
+        self.community.asn_map()
+    }
+
+    /// The community map in use (for audits and experiments).
+    pub fn community_map(&self) -> &CommunityMap {
+        &self.community
+    }
+
+    /// Everything recorded so far for leak scanning (§6.1).
+    pub fn leak_record(&self) -> &LeakRecord {
+        &self.record
+    }
+
+    /// Every numeric string / dotted quad the anonymizer emitted as a
+    /// replacement value — pass these to
+    /// [`crate::leak::LeakScanner::scan_excluding`] to suppress the
+    /// image-coincidence false positives the paper's Genuity footnote
+    /// describes.
+    pub fn emitted_exclusions(&self) -> Vec<String> {
+        self.emitted.iter().cloned().collect()
+    }
+
+    /// Aggregate statistics across every config processed so far.
+    pub fn total_stats(&self) -> &AnonymizationStats {
+        &self.total_stats
+    }
+
+    fn enabled(&self, rule: RuleId) -> bool {
+        !self.cfg.disabled_rules.contains(&rule)
+    }
+
+    /// Anonymizes one configuration file.
+    pub fn anonymize_config(&mut self, text: &str) -> AnonymizedConfig {
+        let lines: Vec<String> = text.lines().map(str::to_string).collect();
+        let kinds = classify_lines(&lines);
+        let mut stats = AnonymizationStats::default();
+        let mut out = String::with_capacity(text.len());
+        // Delimiter of the banner block currently open, for BannerEnd.
+        let mut current_banner_delim: Option<String> = None;
+
+        for (line, kind) in lines.iter().zip(&kinds) {
+            stats.lines_total += 1;
+            let words = tokenize(line).len() as u64;
+            stats.words_total += words;
+            match kind {
+                LineKind::Blank => {
+                    out.push('\n');
+                }
+                LineKind::Comment => {
+                    if self.enabled(RuleId::R03BangComments) {
+                        stats.fire(RuleId::R03BangComments);
+                        stats.comment_lines_stripped += 1;
+                        // Keep the structural bang; drop the text. The
+                        // bang itself is one "word" that survives.
+                        stats.words_removed_as_comments += words.saturating_sub(1);
+                        out.push_str("!\n");
+                    } else {
+                        out.push_str(line);
+                        out.push('\n');
+                    }
+                }
+                LineKind::FreeText => {
+                    if self.enabled(RuleId::R04DescriptionText) {
+                        stats.fire(RuleId::R04DescriptionText);
+                        stats.freetext_lines_dropped += 1;
+                        stats.words_removed_as_comments += words;
+                        // Drop the whole line.
+                    } else {
+                        out.push_str(&self.anonymize_command_line(line, &mut stats));
+                        out.push('\n');
+                    }
+                }
+                LineKind::BannerHeader => {
+                    let toks = tokenize(line);
+                    let texts: Vec<&str> = toks.iter().map(|t| t.text).collect();
+                    current_banner_delim = confanon_iosparse::banner_delimiter(&texts);
+                    if self.enabled(RuleId::R05BannerBlocks) {
+                        stats.fire(RuleId::R05BannerBlocks);
+                        // Keep `banner <type> <delim…>` but truncate any
+                        // text after the opening delimiter on this line
+                        // (one-line banners).
+                        let kept = banner_header_skeleton(line);
+                        let kept_words = tokenize(&kept).len() as u64;
+                        stats.words_removed_as_comments += words.saturating_sub(kept_words);
+                        out.push_str(&kept);
+                        out.push('\n');
+                    } else {
+                        out.push_str(line);
+                        out.push('\n');
+                    }
+                }
+                LineKind::BannerBody => {
+                    if self.enabled(RuleId::R05BannerBlocks) {
+                        stats.banner_lines_dropped += 1;
+                        stats.words_removed_as_comments += words;
+                    } else {
+                        out.push_str(line);
+                        out.push('\n');
+                    }
+                }
+                LineKind::BannerEnd => {
+                    if self.enabled(RuleId::R05BannerBlocks) {
+                        // Emit only the delimiter: the closing line may
+                        // carry banner text before/after it (IOS discards
+                        // text after the delimiter, but text *before* it
+                        // is content — e.g. a body line that happens to
+                        // contain the delimiter character).
+                        let delim = current_banner_delim.take().unwrap_or_default();
+                        let kept_words = u64::from(!delim.is_empty());
+                        stats.words_removed_as_comments += words.saturating_sub(kept_words);
+                        out.push_str(&delim);
+                        out.push('\n');
+                    } else {
+                        out.push_str(line.trim_end());
+                        out.push('\n');
+                    }
+                }
+                LineKind::Command => {
+                    out.push_str(&self.anonymize_command_line(line, &mut stats));
+                    out.push('\n');
+                }
+            }
+        }
+
+        self.total_stats.merge(&stats);
+        AnonymizedConfig { text: out, stats }
+    }
+
+    /// Token-level rewriting of one command line.
+    fn anonymize_command_line(&mut self, line: &str, stats: &mut AnonymizationStats) -> String {
+        let toks = tokenize(line);
+        let texts: Vec<&str> = toks.iter().map(|t| t.text).collect();
+        let lower: Vec<String> = texts.iter().map(|t| t.to_ascii_lowercase()).collect();
+        let lref: Vec<&str> = lower.iter().map(String::as_str).collect();
+        let mut out: Vec<Option<String>> = vec![None; texts.len()];
+
+        self.apply_context_rules(&lref, &texts, &mut out, stats);
+
+        // Per-token pass for everything the context rules left alone.
+        for (i, tok) in texts.iter().enumerate() {
+            if out[i].is_some() {
+                continue;
+            }
+            out[i] = Some(self.anonymize_token(tok, stats));
+        }
+
+        let rewritten: Vec<String> = out.into_iter().map(|o| o.expect("filled")).collect();
+        rebuild(line, &toks, &rewritten)
+    }
+
+    /// The line-context rules: ASN locators (R06–R17), regexp rewriting
+    /// (R09, R12), and the miscellaneous identity rules (R18–R21). Fills
+    /// `out[i]` for every token it decides; leaves the rest `None`.
+    fn apply_context_rules(
+        &mut self,
+        lower: &[&str],
+        texts: &[&str],
+        out: &mut [Option<String>],
+        stats: &mut AnonymizationStats,
+    ) {
+        match lower {
+            ["router", "bgp", ..] if lower.len() >= 3 => {
+                self.asn_at(2, texts, out, stats, RuleId::R06RouterBgpAsn);
+            }
+            ["neighbor", _, "remote-as", ..] if lower.len() >= 4 => {
+                self.asn_at(3, texts, out, stats, RuleId::R07NeighborRemoteAs);
+            }
+            ["neighbor", _, "local-as", ..] if lower.len() >= 4 => {
+                self.asn_at(3, texts, out, stats, RuleId::R15NeighborLocalAs);
+            }
+            ["set", "as-path", "prepend", ..] => {
+                for i in 3..texts.len() {
+                    self.asn_at(i, texts, out, stats, RuleId::R08AsPathPrepend);
+                }
+            }
+            ["bgp", "confederation", "identifier", ..] if lower.len() >= 4 => {
+                self.asn_at(3, texts, out, stats, RuleId::R10ConfederationIdentifier);
+            }
+            ["bgp", "confederation", "peers", ..] => {
+                for i in 3..texts.len() {
+                    self.asn_at(i, texts, out, stats, RuleId::R11ConfederationPeers);
+                }
+            }
+            ["bgp", "listen", "range", ..] => {
+                if let Some(pos) = lower.iter().position(|t| *t == "remote-as") {
+                    if pos + 1 < texts.len() {
+                        self.asn_at(pos + 1, texts, out, stats, RuleId::R16BgpListenRange);
+                    }
+                }
+            }
+            ["set", "extcommunity", _, ..] => {
+                for i in 3..texts.len() {
+                    if self.enabled(RuleId::R17ExtCommunityContext) {
+                        if let Some(mapped) = self.try_community(texts[i], stats) {
+                            stats.fire(RuleId::R17ExtCommunityContext);
+                            out[i] = Some(mapped);
+                        }
+                    }
+                }
+            }
+            ["ip", "as-path", "access-list", _, act, ..]
+                if lower.len() >= 6 && matches!(*act, "permit" | "deny") =>
+            {
+                self.rewrite_regex_tokens(5, texts, out, stats, RegexDomain::AsPath);
+            }
+            ["ip", "community-list", _, act, ..]
+                if lower.len() >= 5 && matches!(*act, "permit" | "deny") =>
+            {
+                self.community_list_tokens(4, texts, out, stats);
+            }
+            // Named/expanded community-list form:
+            // `ip community-list expanded NAME permit <regexp>`.
+            ["ip", "community-list", kind, _, act, ..]
+                if lower.len() >= 6
+                    && matches!(*kind, "standard" | "expanded")
+                    && matches!(*act, "permit" | "deny") =>
+            {
+                self.community_list_tokens(5, texts, out, stats);
+            }
+            ["set", "community", ..] => {
+                for i in 2..texts.len() {
+                    if matches!(lower[i], "additive" | "none" | "internet") {
+                        continue;
+                    }
+                    if self.enabled(RuleId::R13SetCommunity) {
+                        if let Some(mapped) = self.try_community(texts[i], stats) {
+                            stats.fire(RuleId::R13SetCommunity);
+                            out[i] = Some(mapped);
+                        }
+                    }
+                }
+            }
+            ["hostname", ..] if lower.len() >= 2 => {
+                self.hash_whole(1, texts, out, stats, RuleId::R19HostnameDomain);
+            }
+            ["ip", "domain-name", ..] if lower.len() >= 3 => {
+                self.hash_whole(2, texts, out, stats, RuleId::R19HostnameDomain);
+            }
+            ["ip", "domain", "name", ..] if lower.len() >= 4 => {
+                self.hash_whole(3, texts, out, stats, RuleId::R19HostnameDomain);
+            }
+            ["snmp-server", "community", ..] if lower.len() >= 3 => {
+                self.hash_secret(2, texts, out, stats);
+            }
+            ["username", ..] if lower.len() >= 2 => {
+                self.hash_secret(1, texts, out, stats);
+                self.hash_after_keyword(lower, texts, out, stats);
+            }
+            ["dialer", "string", ..] if lower.len() >= 3
+                && self.enabled(RuleId::R18DialerStrings) => {
+                    stats.fire(RuleId::R18DialerStrings);
+                    stats.phone_numbers_mapped += 1;
+                    let image = self.map_phone(texts[2]);
+                    self.emitted.insert(image.clone());
+                    out[2] = Some(image);
+                }
+            ["ntp", "server", ..] | ["logging", "host", ..] | ["tacacs-server", "host", ..]
+            | ["radius-server", "host", ..]
+                // Addresses are handled by the per-token IP rule; a *name*
+                // argument hashes whole so domain structure dies (R21).
+                if self.enabled(RuleId::R21ServerLiterals) && texts.len() >= 3 => {
+                    let arg = texts[2];
+                    if arg.parse::<Ip>().is_err() {
+                        stats.fire(RuleId::R21ServerLiterals);
+                        self.record_word(arg);
+                        out[2] = Some(self.hasher.hash_token(arg));
+                    }
+                }
+            ["ip", "name-server", ..] => { /* per-token IP rule covers it */ }
+            _ => {}
+        }
+
+        // Secrets appearing behind `password` / `secret` / `key` keywords
+        // anywhere on the line (R20), e.g. `enable secret 5 $1$...`.
+        if lower.first().is_some_and(|h| *h != "username") {
+            self.hash_after_keyword(lower, texts, out, stats);
+        }
+    }
+
+    /// Permutes the ASN token at `i` if it parses as a 16-bit number.
+    fn asn_at(
+        &mut self,
+        i: usize,
+        texts: &[&str],
+        out: &mut [Option<String>],
+        stats: &mut AnonymizationStats,
+        rule: RuleId,
+    ) {
+        if !self.enabled(rule) || i >= texts.len() {
+            return;
+        }
+        let Ok(asn) = texts[i].parse::<u16>() else {
+            return;
+        };
+        stats.fire(rule);
+        stats.asns_mapped += 1;
+        if confanon_asnanon::map::is_public(asn) {
+            self.record.asns.insert(asn.to_string());
+        }
+        let image = self.asn_map().map(asn).to_string();
+        self.emitted.insert(image.clone());
+        out[i] = Some(image);
+    }
+
+    /// Maps a community literal token, recording the ASN half. With R27
+    /// disabled (ablation) the value half keeps its original integer —
+    /// exactly the information/anonymity trade-off of §4.5.
+    fn try_community(&mut self, token: &str, stats: &mut AnonymizationStats) -> Option<String> {
+        let (a, v) = token.split_once(':')?;
+        if !a.bytes().all(|b| b.is_ascii_digit()) || !v.bytes().all(|b| b.is_ascii_digit()) {
+            return None;
+        }
+        let asn: u16 = a.parse().ok()?;
+        let value: u16 = v.parse().ok()?;
+        stats.communities_mapped += 1;
+        if confanon_asnanon::map::is_public(asn) {
+            self.record.asns.insert(asn.to_string());
+        }
+        let ma = self.asn_map().map(asn);
+        let mv = if self.enabled(RuleId::R27CommunityValueHashing) {
+            stats.fire(RuleId::R27CommunityValueHashing);
+            self.community.map_value(value)
+        } else {
+            value
+        };
+        self.emitted.insert(ma.to_string());
+        self.emitted.insert(mv.to_string());
+        Some(format!("{ma}:{mv}"))
+    }
+
+    /// Rewrites the regexp occupying tokens `from..` (joined by spaces).
+    fn rewrite_regex_tokens(
+        &mut self,
+        from: usize,
+        texts: &[&str],
+        out: &mut [Option<String>],
+        stats: &mut AnonymizationStats,
+        domain: RegexDomain,
+    ) {
+        let rule = match domain {
+            RegexDomain::AsPath => RuleId::R09AsPathAccessListRegex,
+            RegexDomain::Community => RuleId::R12CommunityListPattern,
+        };
+        if !self.enabled(rule) || from >= texts.len() {
+            return;
+        }
+        let pattern = texts[from..].join(" ");
+        let opts = RewriteOptions {
+            compact: self.cfg.compact_regexps,
+        };
+        let rewritten = match domain {
+            RegexDomain::AsPath => rewrite_aspath_regex_full(&pattern, self.asn_map(), opts),
+            RegexDomain::Community => {
+                rewrite_community_regex_full(&pattern, &self.community, opts)
+            }
+        };
+        stats.fire(rule);
+        match rewritten {
+            Ok(r) => {
+                // Record exactly the public ASNs the original pattern
+                // named (R28): the pre-image language of its atoms.
+                if self.enabled(RuleId::R28LeakHighlighting) {
+                    for asn in &r.public_asns_named {
+                        self.record.asns.insert(asn.to_string());
+                    }
+                }
+                stats.regexps_rewritten += 1;
+                // Every digit run the rewritten pattern contains is an
+                // emitted image.
+                let mut run = String::new();
+                for c in r.pattern.chars().chain(std::iter::once('|')) {
+                    if c.is_ascii_digit() {
+                        run.push(c);
+                    } else if !run.is_empty() {
+                        self.emitted.insert(std::mem::take(&mut run));
+                    }
+                }
+                out[from] = Some(r.pattern);
+                for slot in out.iter_mut().take(texts.len()).skip(from + 1) {
+                    *slot = Some(String::new());
+                }
+            }
+            Err(_) => {
+                // Conservative fallback: an unparseable pattern is hashed
+                // whole. Structure dies, anonymity survives.
+                stats.regexps_fallback_hashed += 1;
+                out[from] = Some(self.hasher.hash_token(&pattern));
+                for slot in out.iter_mut().take(texts.len()).skip(from + 1) {
+                    *slot = Some(String::new());
+                }
+            }
+        }
+    }
+
+    /// `ip community-list … permit <patterns…>`: literal communities map
+    /// directly; anything else is treated as one community regexp.
+    fn community_list_tokens(
+        &mut self,
+        from: usize,
+        texts: &[&str],
+        out: &mut [Option<String>],
+        stats: &mut AnonymizationStats,
+    ) {
+        if !self.enabled(RuleId::R12CommunityListPattern) || from >= texts.len() {
+            return;
+        }
+        let all_literals = texts[from..]
+            .iter()
+            .all(|t| self.community.map_token(t).is_some());
+        if all_literals {
+            for i in from..texts.len() {
+                let mapped = self.try_community(texts[i], stats).expect("checked literal");
+                stats.fire(RuleId::R12CommunityListPattern);
+                out[i] = Some(mapped);
+            }
+        } else {
+            self.rewrite_regex_tokens(from, texts, out, stats, RegexDomain::Community);
+        }
+    }
+
+    /// Hashes the token at `i` as a whole (no segmentation), recording it.
+    fn hash_whole(
+        &mut self,
+        i: usize,
+        texts: &[&str],
+        out: &mut [Option<String>],
+        stats: &mut AnonymizationStats,
+        rule: RuleId,
+    ) {
+        if !self.enabled(rule) || i >= texts.len() {
+            return;
+        }
+        stats.fire(rule);
+        self.record_word(texts[i]);
+        out[i] = Some(self.hasher.hash_token(texts[i]));
+    }
+
+    /// Hashes the secret token at `i` (R20).
+    fn hash_secret(
+        &mut self,
+        i: usize,
+        texts: &[&str],
+        out: &mut [Option<String>],
+        stats: &mut AnonymizationStats,
+    ) {
+        if !self.enabled(RuleId::R20SecretsAndKeys) || i >= texts.len() {
+            return;
+        }
+        stats.fire(RuleId::R20SecretsAndKeys);
+        stats.secrets_hashed += 1;
+        self.record_word(texts[i]);
+        out[i] = Some(self.hasher.hash_token(texts[i]));
+    }
+
+    /// Hashes every token following a `password`/`secret`/`key` keyword,
+    /// skipping a single-digit encryption-type code (`password 7 ABCDEF`).
+    fn hash_after_keyword(
+        &mut self,
+        lower: &[&str],
+        texts: &[&str],
+        out: &mut [Option<String>],
+        stats: &mut AnonymizationStats,
+    ) {
+        if !self.enabled(RuleId::R20SecretsAndKeys) {
+            return;
+        }
+        #[allow(clippy::needless_range_loop)] // indexes three slices
+        for i in 0..lower.len() {
+            if matches!(lower[i], "password" | "secret" | "key" | "md5") {
+                let mut j = i + 1;
+                if j < texts.len() && texts[j].len() == 1 && texts[j].chars().all(|c| c.is_ascii_digit()) {
+                    j += 1; // encryption type code
+                }
+                if j < texts.len() && out[j].is_none() {
+                    stats.fire(RuleId::R20SecretsAndKeys);
+                    stats.secrets_hashed += 1;
+                    self.record_word(texts[j]);
+                    out[j] = Some(self.hasher.hash_token(texts[j]));
+                }
+            }
+        }
+    }
+
+    fn record_word(&mut self, word: &str) {
+        if self.enabled(RuleId::R28LeakHighlighting) {
+            // Record the alphabetic segments (the scanner matches runs).
+            for seg in segment(word) {
+                if let Segment::Alpha(a) = seg {
+                    if !self.cfg.pass_list.contains(a) {
+                        self.record.words.insert(a.to_ascii_lowercase());
+                    }
+                }
+            }
+        }
+    }
+
+    /// Keyed re-digiting of a phone number: digits map to digits, other
+    /// characters (quotes, dashes) survive.
+    fn map_phone(&self, token: &str) -> String {
+        let digest = self.hasher.digest(&format!("phone:{token}"));
+        let mut di = 0usize;
+        token
+            .chars()
+            .map(|c| {
+                if c.is_ascii_digit() {
+                    let d = digest[di % digest.len()] % 10;
+                    di += 1;
+                    char::from(b'0' + d)
+                } else {
+                    c
+                }
+            })
+            .collect()
+    }
+
+    /// The generic per-token transformation: addresses, prefixes,
+    /// community literals, numbers, and the segmentation + pass-list +
+    /// hash fallback.
+    fn anonymize_token(&mut self, tok: &str, stats: &mut AnonymizationStats) -> String {
+        // R22/R24/R25: IPv4 literal.
+        if let Ok(ip) = tok.parse::<Ip>() {
+            if self.enabled(RuleId::R22Ipv4Literal) {
+                return self.map_ip(ip, stats).to_string();
+            }
+            return tok.to_string();
+        }
+        // R23: prefix token `a.b.c.d/len`.
+        if let Some((addr, len)) = tok.split_once('/') {
+            if let (Ok(ip), Ok(len)) = (addr.parse::<Ip>(), len.parse::<u8>()) {
+                if len <= 32 && self.enabled(RuleId::R23PrefixToken) {
+                    stats.fire(RuleId::R23PrefixToken);
+                    let mapped = self.map_ip(ip, stats);
+                    return format!("{mapped}/{len}");
+                }
+                return tok.to_string();
+            }
+        }
+        // R14: bare community attribute — classic `asn:value` or RFC 8092
+        // large `ga:d1:d2`.
+        if self.enabled(RuleId::R14CommunityAttributeToken) {
+            if let Some(mapped) = self.try_community(tok, stats) {
+                stats.fire(RuleId::R14CommunityAttributeToken);
+                return mapped;
+            }
+            if let Some(mapped) = self.large_community.map_token(tok) {
+                stats.fire(RuleId::R14CommunityAttributeToken);
+                stats.communities_mapped += 1;
+                if let Some(ga) = tok.split(':').next() {
+                    if ga
+                        .parse::<u32>()
+                        .is_ok_and(confanon_asnanon::is_public32)
+                    {
+                        self.record.asns.insert(ga.to_string());
+                    }
+                }
+                for field in mapped.split(':') {
+                    self.emitted.insert(field.to_string());
+                }
+                return mapped;
+            }
+        }
+        // R22/R23 for IPv6 (post-paper extension): `2001:db8::1` and
+        // `2001:db8::/32` tokens. Communities were ruled out above, so a
+        // colon-bearing token that parses as IPv6 is one.
+        if tok.contains(':') && self.enabled(RuleId::R22Ipv4Literal) {
+            if let Ok(ip6) = tok.parse::<Ip6>() {
+                return self.map_ip6(ip6, stats).to_string();
+            }
+            if let Some((addr, len)) = tok.rsplit_once('/') {
+                if let (Ok(ip6), Ok(len)) = (addr.parse::<Ip6>(), len.parse::<u8>()) {
+                    if len <= 128 {
+                        stats.fire(RuleId::R23PrefixToken);
+                        let mapped = self.map_ip6(ip6, stats);
+                        return format!("{mapped}/{len}");
+                    }
+                }
+            }
+        }
+        // Simple integers are generally not anonymized (§4.1).
+        if tok.bytes().all(|b| b.is_ascii_digit()) {
+            return tok.to_string();
+        }
+        // R01/R02/R26: segmentation, pass-list, hash.
+        if !self.enabled(RuleId::R26TokenHashing) {
+            return tok.to_string();
+        }
+        let segs = segment(tok);
+        if segs.len() > 1 {
+            // R02: punctuation split the word into independently checked
+            // segments (`cr1.lax.foo.com`, `Ethernet0/0`).
+            stats.fire(RuleId::R02SplitPunctuation);
+        }
+        let mut outb = String::with_capacity(tok.len());
+        for seg in segs {
+            match seg {
+                Segment::Other(o) => outb.push_str(o),
+                Segment::Alpha(a) => {
+                    if self.cfg.pass_list.contains(a) {
+                        stats.segments_passed += 1;
+                        outb.push_str(a);
+                    } else {
+                        stats.fire(RuleId::R26TokenHashing);
+                        stats.segments_hashed += 1;
+                        self.record_word(a);
+                        outb.push_str(&self.hasher.hash_token(a));
+                    }
+                }
+            }
+        }
+        stats.fire(RuleId::R01SplitAlphaRuns);
+        outb
+    }
+
+    /// Maps one address with recording and stats.
+    fn map_ip(&mut self, ip: Ip, stats: &mut AnonymizationStats) -> Ip {
+        if special_kind(ip).is_some()
+            && self.enabled(RuleId::R25SpecialAddressPassthrough) {
+                stats.fire(RuleId::R25SpecialAddressPassthrough);
+                stats.ips_special_passthrough += 1;
+                return ip;
+            }
+            // Ablation: treat as ordinary (this is precisely the bug the
+            // rule exists to prevent; the validation suite catches it).
+        stats.fire(RuleId::R22Ipv4Literal);
+        if self.enabled(RuleId::R24SubnetAddressPreserve) && ip.0.trailing_zeros() >= 8 {
+            // Subnet-address preservation applies to this mapping.
+            stats.fire(RuleId::R24SubnetAddressPreserve);
+        }
+        stats.ips_mapped += 1;
+        if self.enabled(RuleId::R28LeakHighlighting) {
+            self.record.ips.insert(ip.to_string());
+        }
+        let image = match self.cfg.ip_scheme {
+            IpScheme::StructurePreserving => self.ip.anonymize(ip),
+            IpScheme::Scramble => self.scramble.anonymize(ip),
+        };
+        self.emitted.insert(image.to_string());
+        image
+    }
+}
+
+impl Anonymizer {
+    /// Maps one IPv6 address with recording and stats.
+    fn map_ip6(&mut self, ip: Ip6, stats: &mut AnonymizationStats) -> Ip6 {
+        if special6_kind(ip).is_some()
+            && self.enabled(RuleId::R25SpecialAddressPassthrough) {
+                stats.fire(RuleId::R25SpecialAddressPassthrough);
+                stats.ips_special_passthrough += 1;
+                return ip;
+            }
+        stats.fire(RuleId::R22Ipv4Literal);
+        stats.ips6_mapped += 1;
+        if self.enabled(RuleId::R28LeakHighlighting) {
+            self.record.ips.insert(ip.to_string());
+        }
+        let image = self.ip6.anonymize(ip);
+        self.emitted.insert(image.to_string());
+        image
+    }
+}
+
+/// Regexp domains for [`Anonymizer::rewrite_regex_tokens`].
+#[derive(Clone, Copy)]
+enum RegexDomain {
+    AsPath,
+    Community,
+}
+
+/// Truncates a banner header to `banner <type> <delim>` (drops any
+/// same-line banner text).
+fn banner_header_skeleton(line: &str) -> String {
+    let toks = tokenize(line);
+    if toks.len() < 3 {
+        return line.trim_end().to_string();
+    }
+    let delim_tok = toks[2].text;
+    let delim: String = if delim_tok.starts_with('^') && delim_tok.len() >= 2 {
+        delim_tok[..2].to_string()
+    } else {
+        delim_tok.chars().take(1).collect()
+    };
+    format!("{} {} {}", toks[0].text, toks[1].text, delim)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figure1::FIGURE1_CONFIG;
+
+    fn run(text: &str) -> AnonymizedConfig {
+        let mut a = Anonymizer::new(AnonymizerConfig::new(b"test-secret".to_vec()));
+        a.anonymize_config(text)
+    }
+
+    #[test]
+    fn figure1_end_to_end_removes_identity() {
+        let mut a = Anonymizer::new(AnonymizerConfig::new(b"test-secret".to_vec()));
+        let out = a.anonymize_config(FIGURE1_CONFIG);
+        // Identity words: these cannot appear even as substrings (the
+        // hash alphabet is hex, which cannot spell any of them).
+        for leak in ["foo", "lax", "uunet", "sfo", "xxx", "main st"] {
+            assert!(
+                !out.text.to_ascii_lowercase().contains(leak),
+                "{leak:?} survived:\n{}",
+                out.text
+            );
+        }
+        // Numbers and addresses: whole-token scan via the §6.1 scanner,
+        // excluding legitimate permutation images (a mapped ASN may
+        // coincide with another recorded ASN's digits).
+        let rec = a.leak_record().clone();
+        let mut images: Vec<String> = rec
+            .asns
+            .iter()
+            .map(|s| a.asn_map().map(s.parse().unwrap()).to_string())
+            .collect();
+        // Legitimate community-value images from the rewritten
+        // `701:7[1-5]..` pattern: values 7100..=7599 permute into the
+        // output, and any of them may collide with a recorded ASN's
+        // digits. The §6.1 reviewer dismisses those from context.
+        images.extend((7100u16..=7599).map(|v| a.community_map().map_value(v).to_string()));
+        let report = crate::leak::LeakScanner::scan_excluding(&rec, images, &out.text);
+        assert!(report.is_clean(), "leaks: {:#?}", report.leaks);
+    }
+
+    #[test]
+    fn figure1_preserves_structure() {
+        let out = run(FIGURE1_CONFIG);
+        // Keywords survive.
+        for kept in [
+            "interface Ethernet0",
+            "router bgp",
+            "redistribute rip",
+            "route-map",
+            "255.255.255.0",
+            "router rip",
+            "access-list 143 permit ip",
+        ] {
+            assert!(out.text.contains(kept), "{kept:?} lost:\n{}", out.text);
+        }
+    }
+
+    #[test]
+    fn referential_integrity_of_route_map_names() {
+        let out = run(FIGURE1_CONFIG);
+        // `UUNET-import` appears at a use (line 19) and a definition
+        // (lines 22, 25); after anonymization the same hashed form must
+        // appear at all three places.
+        let hashed: Vec<&str> = out
+            .text
+            .lines()
+            .filter(|l| l.contains("route-map") && l.contains("-import"))
+            .collect();
+        assert!(hashed.len() >= 3, "{:?}", hashed);
+        let name = hashed[0]
+            .split_whitespace()
+            .find(|t| t.ends_with("-import"))
+            .unwrap();
+        for l in &hashed {
+            assert!(l.contains(name), "inconsistent name in {l}");
+        }
+    }
+
+    #[test]
+    fn subnet_contains_relationship_preserved() {
+        // Figure 1: RIP's `network 1.0.0.0` must still contain the
+        // interface address post-anonymization.
+        let out = run(FIGURE1_CONFIG);
+        let mut rip_net = None;
+        let mut eth_addr = None;
+        for l in out.text.lines() {
+            if let Some(rest) = l.trim().strip_prefix("network ") {
+                rip_net = Some(rest.trim().parse::<Ip>().unwrap());
+            }
+            if l.trim().starts_with("ip address") {
+                let t: Vec<&str> = l.split_whitespace().collect();
+                if eth_addr.is_none() {
+                    eth_addr = Some(t[2].parse::<Ip>().unwrap());
+                }
+            }
+        }
+        let (net, host) = (rip_net.unwrap(), eth_addr.unwrap());
+        assert!(
+            confanon_netprim::Prefix::new(net, 8).contains(host),
+            "{net} no longer contains {host}"
+        );
+    }
+
+    #[test]
+    fn masks_and_wildcards_survive() {
+        let out = run(" ip address 1.2.3.4 255.255.255.252\naccess-list 1 permit 1.2.3.0 0.0.0.255\n");
+        assert!(out.text.contains("255.255.255.252"));
+        assert!(out.text.contains("0.0.0.255"));
+        assert!(!out.text.contains("1.2.3.4"));
+    }
+
+    #[test]
+    fn asn_consistency_across_lines_and_files() {
+        let mut a = Anonymizer::new(AnonymizerConfig::new(b"s".to_vec()));
+        let o1 = a.anonymize_config("router bgp 701\n");
+        let o2 = a.anonymize_config(" neighbor 9.9.9.9 remote-as 701\n");
+        let asn1 = o1.text.split_whitespace().last().unwrap().to_string();
+        let asn2 = o2.text.split_whitespace().last().unwrap().to_string();
+        assert_eq!(asn1, asn2);
+        assert_ne!(asn1, "701");
+    }
+
+    #[test]
+    fn private_asns_unchanged() {
+        let out = run("router bgp 65001\n");
+        assert!(out.text.contains("65001"));
+    }
+
+    #[test]
+    fn comments_stripped_and_counted() {
+        let out = run("! Foo Corp core router\nhostname r1\n");
+        assert!(out.text.starts_with("!\n"));
+        assert!(!out.text.to_lowercase().contains("foo"));
+        assert_eq!(out.stats.comment_lines_stripped, 1);
+        assert_eq!(out.stats.words_removed_as_comments, 4);
+    }
+
+    #[test]
+    fn banner_blocks_emptied() {
+        let out = run("banner motd ^C\nWelcome to FooNet!\ncall 555-1234\n^C\nhostname r1\n");
+        assert!(!out.text.contains("FooNet"));
+        assert!(!out.text.contains("555"));
+        assert!(out.text.contains("banner motd ^C"));
+        assert_eq!(out.stats.banner_lines_dropped, 2);
+    }
+
+    #[test]
+    fn descriptions_dropped() {
+        let out = run("interface e0\n description Foo Corp LAX office\n ip address 1.1.1.1 255.0.0.0\n");
+        assert!(!out.text.to_lowercase().contains("foo"));
+        assert!(!out.text.contains("description"));
+        assert_eq!(out.stats.freetext_lines_dropped, 1);
+    }
+
+    #[test]
+    fn snmp_and_passwords_hashed() {
+        let out = run("snmp-server community s3cr3tstring RO\nenable secret 5 $1$abcd$efgh\nusername admin password 7 094F471A1A0A\n");
+        assert!(!out.text.contains("s3cr3tstring"));
+        assert!(!out.text.contains("$1$abcd$efgh"));
+        assert!(!out.text.contains("094F471A1A0A"));
+        assert!(!out.text.contains("admin"));
+        assert!(out.stats.secrets_hashed >= 3);
+    }
+
+    #[test]
+    fn dialer_string_redigited() {
+        let out = run("dialer string 14155551234\n");
+        let mapped = out.text.split_whitespace().last().unwrap();
+        assert_ne!(mapped, "14155551234");
+        assert_eq!(mapped.len(), 11);
+        assert!(mapped.bytes().all(|b| b.is_ascii_digit()));
+        assert_eq!(out.stats.phone_numbers_mapped, 1);
+    }
+
+    #[test]
+    fn hostname_hashes_whole_not_per_segment() {
+        let out = run("hostname cr1.lax.foo.com\n");
+        let arg = out.text.split_whitespace().last().unwrap();
+        assert!(!arg.contains('.'), "domain structure survived: {arg}");
+        assert!(arg.starts_with('h'));
+    }
+
+    #[test]
+    fn interface_types_survive_segmentation() {
+        let out = run("interface Serial1/0.5 point-to-point\n");
+        assert!(out.text.contains("Serial1/0.5"));
+    }
+
+    #[test]
+    fn aspath_regexp_rewritten_language_preserved() {
+        let mut a = Anonymizer::new(AnonymizerConfig::new(b"s".to_vec()));
+        let out = a.anonymize_config("ip as-path access-list 50 permit (_1239_|_70[2-5]_)\n");
+        let line = out.text.lines().next().unwrap();
+        let pattern = line
+            .splitn(6, ' ')
+            .nth(5)
+            .unwrap()
+            .trim();
+        let re = confanon_regexlang::Regex::compile(pattern).unwrap();
+        let m = a.asn_map();
+        for asn in [1239u16, 702, 703, 704, 705] {
+            assert!(
+                re.is_match(&m.map(asn).to_string()),
+                "image of {asn} rejected by {pattern}"
+            );
+        }
+        assert!(!re.is_match(&m.map(700).to_string()));
+        assert_eq!(out.stats.regexps_rewritten, 1);
+    }
+
+    #[test]
+    fn set_community_mapped() {
+        let mut a = Anonymizer::new(AnonymizerConfig::new(b"s".to_vec()));
+        let out = a.anonymize_config(" set community 701:120\n");
+        assert!(!out.text.contains("701:120"));
+        let tok = out.text.split_whitespace().last().unwrap();
+        let (asn, val) = tok.split_once(':').unwrap();
+        assert_eq!(asn, a.asn_map().map(701).to_string());
+        assert!(val.parse::<u16>().is_ok());
+    }
+
+    #[test]
+    fn disabled_rule_leaks_and_is_recorded_elsewhere() {
+        let cfg = AnonymizerConfig::new(b"s".to_vec()).without_rule(RuleId::R07NeighborRemoteAs);
+        let mut a = Anonymizer::new(cfg);
+        let out = a.anonymize_config(" neighbor 9.9.9.9 remote-as 701\n");
+        assert!(out.text.contains("701"), "ablated rule must leak");
+    }
+
+    #[test]
+    fn leak_record_populates() {
+        let mut a = Anonymizer::new(AnonymizerConfig::new(b"s".to_vec()));
+        a.anonymize_config(
+            "router bgp 1111\n neighbor 12.126.236.17 remote-as 701\nhostname cr1.foo.com\n",
+        );
+        let rec = a.leak_record();
+        assert!(rec.asns.contains("1111"));
+        assert!(rec.asns.contains("701"));
+        assert!(rec.ips.contains("12.126.236.17"));
+        assert!(rec.words.contains("foo"));
+    }
+
+    #[test]
+    fn idempotent_keywords_line_unchanged() {
+        // A line consisting purely of pass-list keywords and plain
+        // numbers must come through byte-identical.
+        let line = " ip route 0.0.0.0 0.0.0.0 permanent\n";
+        let out = run(line);
+        assert_eq!(out.text, line);
+    }
+
+    #[test]
+    fn stats_totals_accumulate_across_configs() {
+        let mut a = Anonymizer::new(AnonymizerConfig::new(b"s".to_vec()));
+        a.anonymize_config("hostname r1\n");
+        a.anonymize_config("hostname r2\n");
+        assert_eq!(a.total_stats().lines_total, 2);
+    }
+}
+
+/// The owner-side record of the realized mapping, for audit by "a
+/// colleague with access to the unanonymized configuration files" (§5).
+/// Contains the original→image pairs for everything located; it is as
+/// sensitive as the originals and must never leave the owner's side.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct MappingAudit {
+    /// Public ASN mappings.
+    pub asns: std::collections::BTreeMap<String, String>,
+    /// Address mappings (ordinary addresses located in the configs).
+    pub addresses: std::collections::BTreeMap<String, String>,
+    /// Identity-word hash mappings.
+    pub words: std::collections::BTreeMap<String, String>,
+}
+
+impl Anonymizer {
+    /// Exports the realized mapping for everything recorded so far.
+    /// Requires `&mut self` because re-deriving address images walks (and
+    /// may extend) the trie; the mapping itself is unchanged.
+    pub fn mapping_audit(&mut self) -> MappingAudit {
+        let asns = self
+            .record
+            .asns
+            .iter()
+            .filter_map(|a| {
+                let asn: u16 = a.parse().ok()?;
+                Some((a.clone(), self.asn_map().map(asn).to_string()))
+            })
+            .collect();
+        let ips: Vec<Ip> = self
+            .record
+            .ips
+            .iter()
+            .filter_map(|s| s.parse().ok())
+            .collect();
+        let addresses = ips
+            .into_iter()
+            .map(|ip| {
+                let image = match self.cfg.ip_scheme {
+                    IpScheme::StructurePreserving => self.ip.anonymize(ip),
+                    IpScheme::Scramble => self.scramble.anonymize(ip),
+                };
+                (ip.to_string(), image.to_string())
+            })
+            .collect();
+        let words = self
+            .record
+            .words
+            .iter()
+            .map(|w| (w.clone(), self.hasher.hash_token(w)))
+            .collect();
+        MappingAudit {
+            asns,
+            addresses,
+            words,
+        }
+    }
+}
+
+#[cfg(test)]
+mod audit_tests {
+    use super::*;
+    use crate::figure1::FIGURE1_CONFIG;
+
+    #[test]
+    fn audit_pairs_are_consistent_with_output() {
+        let mut a = Anonymizer::new(AnonymizerConfig::new(b"audit".to_vec()));
+        let out = a.anonymize_config(FIGURE1_CONFIG);
+        let audit = a.mapping_audit();
+        // Every original is recorded with an image that appears in the
+        // output (addresses and ASNs; words map to hash prefixes).
+        assert!(audit.asns.contains_key("701"));
+        assert!(audit.addresses.contains_key("12.126.236.17"));
+        for (orig, image) in audit.asns.iter().take(5) {
+            assert_ne!(orig, image);
+        }
+        let mapped_peer = &audit.addresses["12.126.236.17"];
+        assert!(out.text.contains(mapped_peer), "{mapped_peer}");
+    }
+
+    #[test]
+    fn audit_is_stable_across_calls() {
+        let mut a = Anonymizer::new(AnonymizerConfig::new(b"audit".to_vec()));
+        a.anonymize_config(FIGURE1_CONFIG);
+        let first = a.mapping_audit();
+        let second = a.mapping_audit();
+        assert_eq!(first.asns, second.asns);
+        assert_eq!(first.addresses, second.addresses);
+        assert_eq!(first.words, second.words);
+    }
+
+    #[test]
+    fn audit_covers_all_record_categories() {
+        let mut a = Anonymizer::new(AnonymizerConfig::new(b"audit".to_vec()));
+        a.anonymize_config("hostname r1.foo.com\nrouter bgp 701\n neighbor 1.2.3.4 remote-as 1239\n");
+        let audit = a.mapping_audit();
+        assert_eq!(audit.asns.len(), 2);
+        assert!(audit.addresses.contains_key("1.2.3.4"));
+        assert!(audit.words.contains_key("foo"));
+        // Word images are the rendered hash forms used in the output.
+        assert!(audit.words["foo"].starts_with('h'));
+    }
+}

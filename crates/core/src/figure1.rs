@@ -1,0 +1,59 @@
+//! The paper's Figure 1 example configuration, verbatim.
+//!
+//! "Excerpts of a router configuration file" — the running example every
+//! section of the paper refers back to. Tests and the quickstart example
+//! anonymize it end to end.
+
+/// The pre-anonymization configuration of Figure 1.
+pub const FIGURE1_CONFIG: &str = "\
+hostname cr1.lax.foo.com
+!
+banner motd ^C
+FooNet contact xxx@foo.com
+Access strictly prohibited!
+^C
+!
+interface Ethernet0
+ description Foo Corp's LAX Main St offices
+ ip address 1.1.1.1 255.255.255.0
+!
+interface Serial1/0.5 point-to-point
+ description cr1.sfo-serial3/0.5
+ ip address 1.2.0.1 255.255.255.252
+!
+router bgp 1111
+ redistribute rip
+ neighbor 12.126.236.17 remote-as 701
+ neighbor 12.126.236.17 route-map UUNET-import in
+ neighbor 12.126.236.17 route-map UUNET-export out
+!
+route-map UUNET-import deny 10
+ match as-path 50
+ match community 100
+route-map UUNET-import permit 20
+route-map UUNET-export permit 30
+ match ip address 143
+ set community 701:120
+!
+access-list 143 permit ip 1.1.1.0 0.0.0.255 any
+ip community-list 100 permit 701:7[1-5]..
+ip as-path access-list 50 permit (_1239_|_70[2-5]_)
+!
+router rip
+ network 1.0.0.0
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_has_the_papers_shape() {
+        assert!(FIGURE1_CONFIG.contains("router bgp 1111"));
+        assert!(FIGURE1_CONFIG.contains("remote-as 701"));
+        assert!(FIGURE1_CONFIG.contains("(_1239_|_70[2-5]_)"));
+        assert!(FIGURE1_CONFIG.contains("701:7[1-5].."));
+        assert!(FIGURE1_CONFIG.contains("network 1.0.0.0"));
+        assert_eq!(FIGURE1_CONFIG.lines().count(), 35);
+    }
+}

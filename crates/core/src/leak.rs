@@ -1,0 +1,306 @@
+//! Leak recording and the §6.1 residual-leak scanner.
+//!
+//! "Our best defense against textual attacks is an iterative methodology.
+//! After anonymizing configs, we highlight for a human operator lines
+//! that seem likely to leak information. … As an example of a
+//! leak-highlighting method, the anonymizer can record all AS numbers it
+//! sees before hashing them, and then grep out all lines from the
+//! anonymized configs that still include any of those numbers."
+//!
+//! The scanner matches *whole* numbers and *whole* dotted quads (the
+//! paper's plain `grep` would flag AS 1 inside unrelated integers — its
+//! own Genuity footnote — so we tokenize first). Because the ASN map is a
+//! permutation over a shared space, a legitimate image may coincide with
+//! a recorded original; callers that know the mapping can pass the image
+//! set to [`LeakScanner::scan_excluding`] to suppress those
+//! false positives, which is exactly what the human reviewer of §6.1 does
+//! with context.
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+
+/// Everything the anonymizer saw that must not appear in the output.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LeakRecord {
+    /// Public ASNs located by the 12 locator rules, as decimal strings.
+    pub asns: BTreeSet<String>,
+    /// IPv4 literals mapped (ordinary addresses only; specials are
+    /// expected to survive).
+    pub ips: BTreeSet<String>,
+    /// Identity words hashed whole (hostnames, domains, secrets).
+    pub words: BTreeSet<String>,
+}
+
+impl LeakRecord {
+    /// Merges another record into this one.
+    pub fn merge(&mut self, other: &LeakRecord) {
+        self.asns.extend(other.asns.iter().cloned());
+        self.ips.extend(other.ips.iter().cloned());
+        self.words.extend(other.words.iter().cloned());
+    }
+
+    /// Total recorded items.
+    pub fn len(&self) -> usize {
+        self.asns.len() + self.ips.len() + self.words.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// One flagged line.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+pub struct Leak {
+    /// Zero-based line number in the anonymized text.
+    pub line_no: usize,
+    /// The offending line.
+    pub line: String,
+    /// The recorded item that survived.
+    pub token: String,
+}
+
+/// The scan result.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LeakReport {
+    /// Flagged lines, in order.
+    pub leaks: Vec<Leak>,
+}
+
+impl LeakReport {
+    /// True when the output is clean.
+    pub fn is_clean(&self) -> bool {
+        self.leaks.is_empty()
+    }
+}
+
+/// Scans anonymized text against a [`LeakRecord`].
+pub struct LeakScanner<'a> {
+    record: &'a LeakRecord,
+    excluded: BTreeSet<String>,
+}
+
+impl<'a> LeakScanner<'a> {
+    /// A scanner with no exclusions (the paper's raw grep, tokenized).
+    pub fn new(record: &'a LeakRecord) -> LeakScanner<'a> {
+        LeakScanner {
+            record,
+            excluded: BTreeSet::new(),
+        }
+    }
+
+    /// Suppresses tokens known to be legitimate images of the permutation
+    /// (auditor-with-mapping mode).
+    pub fn scan_excluding(
+        record: &'a LeakRecord,
+        legitimate_images: impl IntoIterator<Item = String>,
+        text: &str,
+    ) -> LeakReport {
+        let scanner = LeakScanner {
+            record,
+            excluded: legitimate_images.into_iter().collect(),
+        };
+        scanner.scan(text)
+    }
+
+    /// Scans `text`, returning every line still containing a recorded
+    /// item as a whole number / quad / word.
+    pub fn scan(&self, text: &str) -> LeakReport {
+        let mut report = LeakReport::default();
+        for (line_no, line) in text.lines().enumerate() {
+            if let Some(token) = self.first_leak_in(line) {
+                report.leaks.push(Leak {
+                    line_no,
+                    line: line.to_string(),
+                    token,
+                });
+            }
+        }
+        report
+    }
+
+    fn first_leak_in(&self, line: &str) -> Option<String> {
+        // Address tokens first (digit runs inside a quad are not
+        // standalone numbers). `addr/len` prefix tokens match on the
+        // address part.
+        for token in line.split(|c: char| c.is_ascii_whitespace()) {
+            let bare = token.split_once('/').map_or(token, |(a, _)| a);
+            for t in [token, bare] {
+                if self.record.ips.contains(t) && !self.excluded.contains(t) {
+                    return Some(t.to_string());
+                }
+            }
+        }
+        // Whole digit runs (catches ASNs inside rewritten regexps like
+        // `4401|14041` without false-matching `701` inside `17012`),
+        // scanned per whitespace token so address-shaped tokens can be
+        // skipped wholesale: hex groups of an IPv6 token (`3a07:148:577::`)
+        // are identifiers even when they happen to be all-decimal.
+        for token in line.split(|c: char| c.is_ascii_whitespace()) {
+            let bare = token.split_once('/').map_or(token, |(a, _)| a);
+            if token.contains(':') && bare.parse::<confanon_netprim::Ip6>().is_ok() {
+                continue;
+            }
+            let bytes = token.as_bytes();
+            let mut i = 0;
+            while i < bytes.len() {
+                if !bytes[i].is_ascii_digit() {
+                    i += 1;
+                    continue;
+                }
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let before = if start > 0 { bytes[start - 1] } else { b' ' };
+                let after = if i < bytes.len() { bytes[i] } else { b' ' };
+                // Runs adjacent to `.` are octets of a dotted quad
+                // (handled above); runs adjacent to letters are fragments
+                // of an identifier (`Serial0/1`'s neighbours are fine,
+                // but the hex of a hashed token is not a number).
+                let in_quad = before == b'.' || after == b'.';
+                let in_ident = before.is_ascii_alphabetic() || after.is_ascii_alphabetic();
+                if !in_quad && !in_ident {
+                    let run = &token[start..i];
+                    if self.record.asns.contains(run) && !self.excluded.contains(run) {
+                        return Some(run.to_string());
+                    }
+                }
+            }
+        }
+        // Whole alphabetic runs vs recorded identity words.
+        let mut word = String::new();
+        for c in line.chars().chain(std::iter::once(' ')) {
+            if c.is_ascii_alphabetic() {
+                word.push(c.to_ascii_lowercase());
+            } else if !word.is_empty() {
+                if self.record.words.contains(&word) && !self.excluded.contains(&word) {
+                    return Some(word);
+                }
+                word.clear();
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(asns: &[&str], ips: &[&str], words: &[&str]) -> LeakRecord {
+        LeakRecord {
+            asns: asns.iter().map(|s| s.to_string()).collect(),
+            ips: ips.iter().map(|s| s.to_string()).collect(),
+            words: words.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    #[test]
+    fn clean_text_is_clean() {
+        let r = record(&["701"], &["1.1.1.1"], &["uunet"]);
+        let report = LeakScanner::new(&r).scan("router bgp 9000\n neighbor 9.9.9.9\n");
+        assert!(report.is_clean());
+    }
+
+    #[test]
+    fn whole_number_match_only() {
+        let r = record(&["701"], &[], &[]);
+        let s = LeakScanner::new(&r);
+        assert!(!s.scan("neighbor x remote-as 701").is_clean());
+        assert!(s.scan("neighbor x remote-as 17012").is_clean());
+        assert!(s.scan("neighbor x remote-as 7011").is_clean());
+    }
+
+    #[test]
+    fn asn_inside_regexp_alternation_found() {
+        let r = record(&["701"], &[], &[]);
+        let report = LeakScanner::new(&r).scan("ip as-path access-list 5 permit (44|701|9)");
+        assert_eq!(report.leaks.len(), 1);
+        assert_eq!(report.leaks[0].token, "701");
+    }
+
+    #[test]
+    fn octets_do_not_false_match_asns() {
+        // 1.2.3.701 contains the digit run 701 but as an octet, not an ASN.
+        let r = record(&["701"], &[], &[]);
+        assert!(LeakScanner::new(&r).scan("ip address 1.2.3.701").is_clean());
+    }
+
+    #[test]
+    fn ip_match_is_exact_token() {
+        let r = record(&[], &["1.1.1.1"], &[]);
+        let s = LeakScanner::new(&r);
+        assert!(!s.scan(" ip address 1.1.1.1 255.255.255.0").is_clean());
+        assert!(s.scan(" ip address 11.1.1.11 255.255.255.0").is_clean());
+    }
+
+    #[test]
+    fn word_match_case_insensitive() {
+        let r = record(&[], &[], &["uunet"]);
+        let s = LeakScanner::new(&r);
+        assert!(!s.scan("route-map UUNET-import deny 10").is_clean());
+        assert!(s.scan("route-map h1234-import deny 10").is_clean());
+    }
+
+    #[test]
+    fn exclusion_suppresses_legitimate_images() {
+        let r = record(&["701"], &[], &[]);
+        let clean = LeakScanner::scan_excluding(
+            &r,
+            ["701".to_string()],
+            "router bgp 701 appears as someone else's image",
+        );
+        assert!(clean.is_clean());
+    }
+
+    #[test]
+    fn report_carries_line_numbers() {
+        let r = record(&["99"], &[], &[]);
+        let report = LeakScanner::new(&r).scan("a\nb 99\nc\n");
+        assert_eq!(report.leaks[0].line_no, 1);
+    }
+
+    #[test]
+    fn record_merge_and_len() {
+        let mut a = record(&["1"], &[], &[]);
+        let b = record(&["2"], &["3.3.3.3"], &["x"]);
+        a.merge(&b);
+        assert_eq!(a.len(), 4);
+        assert!(!a.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod ipv6_scan_tests {
+    use super::*;
+
+    #[test]
+    fn decimal_hex_groups_in_v6_tokens_are_not_numbers() {
+        // `577` here is a hex group of an anonymized address, not an ASN.
+        let r = LeakRecord {
+            asns: ["577".to_string()].into_iter().collect(),
+            ..Default::default()
+        };
+        let s = LeakScanner::new(&r);
+        assert!(s.scan(" ipv6 address 3a07:148:577:b000::1/64").is_clean());
+        assert!(s.scan("ipv6 route 3a07:148:577::/48 Null0").is_clean());
+        // But the same digits as a standalone number still flag.
+        assert!(!s.scan(" neighbor 9.9.9.9 remote-as 577").is_clean());
+        // And inside a community token (not a valid v6 address) too.
+        assert!(!s.scan(" set community 577:100").is_clean());
+    }
+
+    #[test]
+    fn recorded_v6_addresses_still_flag() {
+        let r = LeakRecord {
+            ips: ["2001:db8::1".to_string()].into_iter().collect(),
+            ..Default::default()
+        };
+        let s = LeakScanner::new(&r);
+        assert!(!s.scan(" ipv6 address 2001:db8::1/64").is_clean());
+        assert!(s.scan(" ipv6 address 2001:db8::2/64").is_clean());
+    }
+}

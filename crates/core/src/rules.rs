@@ -1,0 +1,311 @@
+//! The registry of the 28 contextual rules.
+//!
+//! "In practice, we have discovered a set of 28 rules that is sufficient
+//! for anonymizing the 200-plus IOS versions we have tested them on"
+//! (§4.2). The paper gives the breakdown — 2 segmentation, 3 comment
+//! stripping, 12 ASN location, 4 miscellaneous — and this registry names
+//! our concrete realization of each. The [`crate::Anonymizer`] consults
+//! the enabled-rule set before applying each behaviour, which is what
+//! makes the §6.1 ablation/iteration experiments possible: disable a
+//! locator, watch the leak scanner light up, re-enable it, converge.
+
+use std::fmt;
+
+/// Rule categories, matching the paper's breakdown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RuleCategory {
+    /// Word segmentation before pass-list lookup (2 rules).
+    Segmentation,
+    /// Comment and banner stripping (3 rules).
+    Comments,
+    /// Locating AS numbers in their many syntactic homes (12 rules).
+    AsnLocation,
+    /// Miscellaneous identity leaks: phone numbers, hostnames, secrets,
+    /// server literals (4 rules).
+    Misc,
+    /// Address and identifier transformation (7 rules).
+    Identifiers,
+}
+
+/// Identifier of one of the 28 rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(missing_docs)] // the table below documents each variant
+pub enum RuleId {
+    R01SplitAlphaRuns,
+    R02SplitPunctuation,
+    R03BangComments,
+    R04DescriptionText,
+    R05BannerBlocks,
+    R06RouterBgpAsn,
+    R07NeighborRemoteAs,
+    R08AsPathPrepend,
+    R09AsPathAccessListRegex,
+    R10ConfederationIdentifier,
+    R11ConfederationPeers,
+    R12CommunityListPattern,
+    R13SetCommunity,
+    R14CommunityAttributeToken,
+    R15NeighborLocalAs,
+    R16BgpListenRange,
+    R17ExtCommunityContext,
+    R18DialerStrings,
+    R19HostnameDomain,
+    R20SecretsAndKeys,
+    R21ServerLiterals,
+    R22Ipv4Literal,
+    R23PrefixToken,
+    R24SubnetAddressPreserve,
+    R25SpecialAddressPassthrough,
+    R26TokenHashing,
+    R27CommunityValueHashing,
+    R28LeakHighlighting,
+}
+
+/// Static description of a rule.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleInfo {
+    /// The rule's identifier.
+    pub id: RuleId,
+    /// Category per the paper's breakdown.
+    pub category: RuleCategory,
+    /// Short name.
+    pub name: &'static str,
+    /// What the rule does and why.
+    pub description: &'static str,
+}
+
+/// All 28 rules, in order.
+pub const ALL_RULES: [RuleInfo; 28] = [
+    RuleInfo {
+        id: RuleId::R01SplitAlphaRuns,
+        category: RuleCategory::Segmentation,
+        name: "split-alpha-runs",
+        description: "Segment words into alphabetic and non-alphabetic runs so \
+                      `Ethernet0/0` checks `ethernet` against the pass-list and leaves `0/0`.",
+    },
+    RuleInfo {
+        id: RuleId::R02SplitPunctuation,
+        category: RuleCategory::Segmentation,
+        name: "split-punctuation",
+        description: "Treat punctuation runs as separators between independently \
+                      checked alphabetic segments (`cr1.lax.foo.com`).",
+    },
+    RuleInfo {
+        id: RuleId::R03BangComments,
+        category: RuleCategory::Comments,
+        name: "bang-comments",
+        description: "Strip `!` comment text; keep the bare bang as a structural separator.",
+    },
+    RuleInfo {
+        id: RuleId::R04DescriptionText,
+        category: RuleCategory::Comments,
+        name: "description-text",
+        description: "Drop `description`/`remark` free text entirely — pass-list words in \
+                      comments can still leak (`global crossing`).",
+    },
+    RuleInfo {
+        id: RuleId::R05BannerBlocks,
+        category: RuleCategory::Comments,
+        name: "banner-blocks",
+        description: "Drop multi-line banner bodies, tracking the per-banner delimiter.",
+    },
+    RuleInfo {
+        id: RuleId::R06RouterBgpAsn,
+        category: RuleCategory::AsnLocation,
+        name: "router-bgp-asn",
+        description: "`router bgp <asn>`: permute the process ASN.",
+    },
+    RuleInfo {
+        id: RuleId::R07NeighborRemoteAs,
+        category: RuleCategory::AsnLocation,
+        name: "neighbor-remote-as",
+        description: "`neighbor <ip> remote-as <asn>`: permute the peer ASN.",
+    },
+    RuleInfo {
+        id: RuleId::R08AsPathPrepend,
+        category: RuleCategory::AsnLocation,
+        name: "as-path-prepend",
+        description: "`set as-path prepend <asn>…`: permute every prepended ASN.",
+    },
+    RuleInfo {
+        id: RuleId::R09AsPathAccessListRegex,
+        category: RuleCategory::AsnLocation,
+        name: "as-path-regexp",
+        description: "`ip as-path access-list <n> permit <regexp>`: rewrite the regexp by \
+                      language enumeration over all 2^16 ASNs.",
+    },
+    RuleInfo {
+        id: RuleId::R10ConfederationIdentifier,
+        category: RuleCategory::AsnLocation,
+        name: "confed-identifier",
+        description: "`bgp confederation identifier <asn>`: permute.",
+    },
+    RuleInfo {
+        id: RuleId::R11ConfederationPeers,
+        category: RuleCategory::AsnLocation,
+        name: "confed-peers",
+        description: "`bgp confederation peers <asn>…`: permute each.",
+    },
+    RuleInfo {
+        id: RuleId::R12CommunityListPattern,
+        category: RuleCategory::AsnLocation,
+        name: "community-list-pattern",
+        description: "`ip community-list <n> permit <pattern>`: map literal communities; \
+                      rewrite community regexps (both halves).",
+    },
+    RuleInfo {
+        id: RuleId::R13SetCommunity,
+        category: RuleCategory::AsnLocation,
+        name: "set-community",
+        description: "`set community <asn:value>…`: map each community attribute.",
+    },
+    RuleInfo {
+        id: RuleId::R14CommunityAttributeToken,
+        category: RuleCategory::AsnLocation,
+        name: "community-token",
+        description: "Any bare `<asn>:<value>` token in BGP context: map both halves.",
+    },
+    RuleInfo {
+        id: RuleId::R15NeighborLocalAs,
+        category: RuleCategory::AsnLocation,
+        name: "neighbor-local-as",
+        description: "`neighbor <ip> local-as <asn>`: permute.",
+    },
+    RuleInfo {
+        id: RuleId::R16BgpListenRange,
+        category: RuleCategory::AsnLocation,
+        name: "bgp-listen-range",
+        description: "`bgp listen range <prefix> peer-group … remote-as <asn>` forms: permute.",
+    },
+    RuleInfo {
+        id: RuleId::R17ExtCommunityContext,
+        category: RuleCategory::AsnLocation,
+        name: "extcommunity-context",
+        description: "`set extcommunity rt|soo <asn:value>…`: permute the ASN half and \
+                      the value half of extended-community route targets.",
+    },
+    RuleInfo {
+        id: RuleId::R18DialerStrings,
+        category: RuleCategory::Misc,
+        name: "dialer-strings",
+        description: "`dialer string <digits>`: phone numbers map to same-length keyed digits.",
+    },
+    RuleInfo {
+        id: RuleId::R19HostnameDomain,
+        category: RuleCategory::Misc,
+        name: "hostname-domain",
+        description: "`hostname`/`ip domain-name` arguments hash as whole tokens so domain \
+                      structure does not survive segmentation.",
+    },
+    RuleInfo {
+        id: RuleId::R20SecretsAndKeys,
+        category: RuleCategory::Misc,
+        name: "secrets-and-keys",
+        description: "SNMP community strings, `username`/`password`/`secret`, tacacs/radius \
+                      keys: hash as whole tokens.",
+    },
+    RuleInfo {
+        id: RuleId::R21ServerLiterals,
+        category: RuleCategory::Misc,
+        name: "server-literals",
+        description: "`ntp server`, `logging host`, `tacacs-server host`, name-server \
+                      literals: addresses map, names hash whole.",
+    },
+    RuleInfo {
+        id: RuleId::R22Ipv4Literal,
+        category: RuleCategory::Identifiers,
+        name: "ipv4-literal",
+        description: "Every dotted-quad token maps through the prefix-preserving trie.",
+    },
+    RuleInfo {
+        id: RuleId::R23PrefixToken,
+        category: RuleCategory::Identifiers,
+        name: "prefix-token",
+        description: "`a.b.c.d/len` tokens map the network part, keep the length.",
+    },
+    RuleInfo {
+        id: RuleId::R24SubnetAddressPreserve,
+        category: RuleCategory::Identifiers,
+        name: "subnet-address-preserve",
+        description: "Host-part-all-zeros addresses map to all-zeros-suffix addresses \
+                      (readability property of §3.2).",
+    },
+    RuleInfo {
+        id: RuleId::R25SpecialAddressPassthrough,
+        category: RuleCategory::Identifiers,
+        name: "special-passthrough",
+        description: "Netmasks, wildcards, multicast, loopback, link-local pass through \
+                      unchanged; colliding images are recursively remapped.",
+    },
+    RuleInfo {
+        id: RuleId::R26TokenHashing,
+        category: RuleCategory::Identifiers,
+        name: "token-hashing",
+        description: "Alphabetic segments missing from the pass-list are replaced by salted \
+                      SHA-1 digests, preserving referential integrity.",
+    },
+    RuleInfo {
+        id: RuleId::R27CommunityValueHashing,
+        category: RuleCategory::Identifiers,
+        name: "community-value-permutation",
+        description: "The integer half of community attributes is permuted — \"we have \
+                      chosen to favor anonymity over information\".",
+    },
+    RuleInfo {
+        id: RuleId::R28LeakHighlighting,
+        category: RuleCategory::Identifiers,
+        name: "leak-highlighting",
+        description: "Record every public ASN and address seen pre-anonymization and grep \
+                      the output for survivors (the §6.1 defence).",
+    },
+];
+
+impl RuleId {
+    /// Static info for this rule.
+    pub fn info(self) -> &'static RuleInfo {
+        ALL_RULES
+            .iter()
+            .find(|r| r.id == self)
+            .expect("every RuleId is in ALL_RULES")
+    }
+}
+
+impl fmt::Display for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.info().name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exactly_28_rules() {
+        assert_eq!(ALL_RULES.len(), 28);
+    }
+
+    #[test]
+    fn category_breakdown_matches_paper() {
+        let count = |c: RuleCategory| ALL_RULES.iter().filter(|r| r.category == c).count();
+        assert_eq!(count(RuleCategory::Segmentation), 2, "2 segmentation rules");
+        assert_eq!(count(RuleCategory::Comments), 3, "3 comment rules");
+        assert_eq!(count(RuleCategory::AsnLocation), 12, "12 ASN locators");
+        assert_eq!(count(RuleCategory::Misc), 4, "4 misc rules");
+        assert_eq!(count(RuleCategory::Identifiers), 7);
+    }
+
+    #[test]
+    fn ids_unique_and_resolvable() {
+        let mut seen = std::collections::HashSet::new();
+        for r in &ALL_RULES {
+            assert!(seen.insert(r.id), "duplicate {:?}", r.id);
+            assert_eq!(r.id.info().id, r.id);
+        }
+    }
+
+    #[test]
+    fn display_uses_names() {
+        assert_eq!(RuleId::R09AsPathAccessListRegex.to_string(), "as-path-regexp");
+    }
+}

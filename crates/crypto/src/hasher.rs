@@ -1,0 +1,135 @@
+//! The salted token hasher: the anonymizer's string-mapping workhorse.
+//!
+//! Paper §4.1: "All non-numeric tokens found in the configurations are
+//! checked against this pass-list, and any tokens not found are hashed
+//! using SHA1 digests: this anonymizes the names of class-maps, route-maps,
+//! and any other strings that could hold privileged information." §6.1 adds
+//! that the hash is "salted with a secret chosen by the network owner."
+//!
+//! Two identifier occurrences must hash identically (*referential
+//! integrity*), and the output must itself be a legal IOS identifier —
+//! IOS names may not start with a digit in some positions and must avoid
+//! whitespace — so we render digests as `h` + hex prefix.
+
+use crate::hmac::HmacSha1;
+use crate::sha1::Sha1;
+
+/// Number of hex characters of the digest kept in rendered tokens.
+/// 16 hex chars = 64 bits, far beyond birthday collisions for the ~10^5
+/// distinct identifiers in even the largest network's configs.
+const RENDER_HEX: usize = 16;
+
+/// Salted, deterministic token-to-identifier mapping.
+///
+/// ```
+/// use confanon_crypto::TokenHasher;
+/// let h = TokenHasher::new(b"foo-corp-secret");
+/// let a = h.hash_token("UUNET-import");
+/// let b = h.hash_token("UUNET-import");
+/// assert_eq!(a, b);                      // referential integrity
+/// assert!(a.starts_with('h'));
+/// assert_ne!(a, h.hash_token("UUNET-export"));
+/// ```
+#[derive(Clone)]
+pub struct TokenHasher {
+    mac: HmacSha1,
+}
+
+impl TokenHasher {
+    /// Creates a hasher keyed with the network owner's secret salt.
+    pub fn new(owner_secret: &[u8]) -> TokenHasher {
+        TokenHasher {
+            mac: HmacSha1::new(owner_secret),
+        }
+    }
+
+    /// Full 160-bit digest of a token.
+    pub fn digest(&self, token: &str) -> [u8; 20] {
+        self.mac.mac(token.as_bytes())
+    }
+
+    /// Renders the anonymized form of `token`: `h<16 hex chars>`.
+    ///
+    /// The rendering is case-normalized on input (IOS identifiers are
+    /// case-insensitive in most positions, and the paper's goal is that
+    /// *the same* logical identifier maps consistently), but the original
+    /// case pattern does not survive — that is information we deliberately
+    /// discard in favour of anonymity.
+    pub fn hash_token(&self, token: &str) -> String {
+        let canonical = token.to_ascii_lowercase();
+        let digest = self.digest(&canonical);
+        let hex = Sha1::to_hex(&digest);
+        let mut out = String::with_capacity(1 + RENDER_HEX);
+        out.push('h');
+        out.push_str(&hex[..RENDER_HEX]);
+        out
+    }
+
+    /// Hashes a number into a decimal value within `0..modulus`.
+    ///
+    /// Used for the integer halves of BGP community attributes (§4.5): "the
+    /// integer part of community attributes must also be anonymized." The
+    /// output stays a plain decimal so the config remains syntactically
+    /// valid where IOS demands a number.
+    pub fn hash_number(&self, n: u64, modulus: u64) -> u64 {
+        assert!(modulus > 0);
+        let digest = self.mac.mac(&n.to_be_bytes());
+        let v = u64::from_be_bytes(digest[..8].try_into().expect("8 bytes"));
+        v % modulus
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn referential_integrity() {
+        let h = TokenHasher::new(b"secret");
+        assert_eq!(h.hash_token("UUNET-import"), h.hash_token("UUNET-import"));
+    }
+
+    #[test]
+    fn case_insensitive_canonicalization() {
+        let h = TokenHasher::new(b"secret");
+        assert_eq!(h.hash_token("FooCorp"), h.hash_token("foocorp"));
+    }
+
+    #[test]
+    fn salt_changes_everything() {
+        let h1 = TokenHasher::new(b"owner-a");
+        let h2 = TokenHasher::new(b"owner-b");
+        assert_ne!(h1.hash_token("core-policy"), h2.hash_token("core-policy"));
+    }
+
+    #[test]
+    fn rendered_form_is_identifier_safe() {
+        let h = TokenHasher::new(b"s");
+        let out = h.hash_token("weird token !@#");
+        assert_eq!(out.len(), 1 + RENDER_HEX);
+        assert!(out.starts_with('h'));
+        assert!(out[1..].chars().all(|c| c.is_ascii_hexdigit()));
+    }
+
+    #[test]
+    fn distinct_tokens_distinct_hashes() {
+        let h = TokenHasher::new(b"s");
+        let names = ["a", "b", "ab", "ba", "customer-1", "customer-2"];
+        let hashed: Vec<String> = names.iter().map(|n| h.hash_token(n)).collect();
+        for i in 0..hashed.len() {
+            for j in i + 1..hashed.len() {
+                assert_ne!(hashed[i], hashed[j], "{} vs {}", names[i], names[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn hash_number_in_range_and_deterministic() {
+        let h = TokenHasher::new(b"s");
+        for n in [0u64, 1, 701, 65535, u64::MAX] {
+            let v = h.hash_number(n, 65536);
+            assert!(v < 65536);
+            assert_eq!(v, h.hash_number(n, 65536));
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! HMAC-SHA1 (RFC 2104), the keyed function underneath salting and PRFs.
+//!
+//! The paper salts digests "with a secret chosen by the network owner";
+//! we realize the salt as an HMAC key, which is the standard construction
+//! for turning a hash into a keyed function and strictly stronger than
+//! prefixing the salt.
+
+use crate::sha1::Sha1;
+
+const BLOCK: usize = 64;
+
+/// One-shot HMAC-SHA1.
+#[derive(Clone)]
+pub struct HmacSha1 {
+    /// Key padded/hashed to block size.
+    key_block: [u8; BLOCK],
+}
+
+impl HmacSha1 {
+    /// Creates an HMAC instance for `key` (any length).
+    pub fn new(key: &[u8]) -> HmacSha1 {
+        let mut key_block = [0u8; BLOCK];
+        if key.len() > BLOCK {
+            key_block[..20].copy_from_slice(&Sha1::digest(key));
+        } else {
+            key_block[..key.len()].copy_from_slice(key);
+        }
+        HmacSha1 { key_block }
+    }
+
+    /// Computes `HMAC(key, msg)`.
+    pub fn mac(&self, msg: &[u8]) -> [u8; 20] {
+        let mut ipad = [0x36u8; BLOCK];
+        let mut opad = [0x5Cu8; BLOCK];
+        for i in 0..BLOCK {
+            ipad[i] ^= self.key_block[i];
+            opad[i] ^= self.key_block[i];
+        }
+        let mut inner = Sha1::new();
+        inner.update(&ipad);
+        inner.update(msg);
+        let inner_digest = inner.finalize();
+
+        let mut outer = Sha1::new();
+        outer.update(&opad);
+        outer.update(&inner_digest);
+        outer.finalize()
+    }
+
+    /// Convenience: `HMAC(key, msg)` without keeping the instance.
+    pub fn mac_once(key: &[u8], msg: &[u8]) -> [u8; 20] {
+        HmacSha1::new(key).mac(msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(d: &[u8; 20]) -> String {
+        Sha1::to_hex(d)
+    }
+
+    #[test]
+    fn rfc2202_case1() {
+        let key = [0x0bu8; 20];
+        let d = HmacSha1::mac_once(&key, b"Hi There");
+        assert_eq!(hex(&d), "b617318655057264e28bc0b6fb378c8ef146be00");
+    }
+
+    #[test]
+    fn rfc2202_case2() {
+        let d = HmacSha1::mac_once(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(hex(&d), "effcdf6ae5eb2fa2d27416d5f184df9c259a7c79");
+    }
+
+    #[test]
+    fn rfc2202_case3() {
+        let key = [0xaau8; 20];
+        let msg = [0xddu8; 50];
+        let d = HmacSha1::mac_once(&key, &msg);
+        assert_eq!(hex(&d), "125d7342b9ac11cd91a39af48aa17b4f63f175d3");
+    }
+
+    #[test]
+    fn rfc2202_case6_long_key() {
+        // Key longer than block size exercises the hash-the-key path.
+        let key = [0xaau8; 80];
+        let d = HmacSha1::mac_once(&key, b"Test Using Larger Than Block-Size Key - Hash Key First");
+        assert_eq!(hex(&d), "aa4ae5e15272d00e95705637ce8a3b55ed402112");
+    }
+
+    #[test]
+    fn different_keys_different_macs() {
+        let m1 = HmacSha1::mac_once(b"owner-secret-1", b"route-map-name");
+        let m2 = HmacSha1::mac_once(b"owner-secret-2", b"route-map-name");
+        assert_ne!(m1, m2);
+    }
+
+    #[test]
+    fn instance_reuse_is_consistent() {
+        let h = HmacSha1::new(b"salt");
+        assert_eq!(h.mac(b"x"), h.mac(b"x"));
+        assert_ne!(h.mac(b"x"), h.mac(b"y"));
+    }
+}

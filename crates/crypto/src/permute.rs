@@ -1,0 +1,213 @@
+//! A keyed bijection on `u16`: the "random permutation" for AS numbers.
+//!
+//! Paper §4.4: "There are no semantics and no relationships embedded in
+//! public ASNs, so a random permutation can be used to anonymize them."
+//! A Feistel network over the 16-bit ASN space gives us a permutation that
+//! is (a) a true bijection by construction, (b) deterministic from the
+//! owner secret so that re-anonymizing the same network maps consistently,
+//! and (c) requires no stored table.
+//!
+//! The caller (`confanon-asnanon`) is responsible for restricting the
+//! permutation to the *public* range and cycling until the image is public;
+//! this module only provides the raw bijection on all of `u16`.
+
+use crate::prf::Prf;
+
+/// Number of Feistel rounds. Four rounds of a PRF round function already
+/// give a strong pseudo-random permutation (Luby–Rackoff); we use six for
+/// margin since evaluation cost is irrelevant here.
+const ROUNDS: usize = 6;
+
+/// A keyed permutation of the 16-bit integers.
+///
+/// ```
+/// use confanon_crypto::FeistelPermutation;
+/// let p = FeistelPermutation::new(b"owner-secret", "asn");
+/// let y = p.apply(701);
+/// assert_eq!(p.invert(y), 701);
+/// ```
+#[derive(Clone)]
+pub struct FeistelPermutation {
+    prf: Prf,
+    domain: String,
+}
+
+impl FeistelPermutation {
+    /// Creates a permutation keyed by `key`, domain-separated by `domain`.
+    pub fn new(key: &[u8], domain: &str) -> FeistelPermutation {
+        FeistelPermutation {
+            prf: Prf::new(key),
+            domain: domain.to_string(),
+        }
+    }
+
+    fn round(&self, round: usize, half: u8) -> u8 {
+        let input = [round as u8, half];
+        self.prf.bytes(&self.domain, &input)[0]
+    }
+
+    /// Applies the permutation.
+    pub fn apply(&self, x: u16) -> u16 {
+        let mut l = (x >> 8) as u8;
+        let mut r = (x & 0xFF) as u8;
+        for i in 0..ROUNDS {
+            let (nl, nr) = (r, l ^ self.round(i, r));
+            l = nl;
+            r = nr;
+        }
+        ((l as u16) << 8) | r as u16
+    }
+
+    /// Inverts the permutation.
+    pub fn invert(&self, y: u16) -> u16 {
+        let mut l = (y >> 8) as u8;
+        let mut r = (y & 0xFF) as u8;
+        for i in (0..ROUNDS).rev() {
+            let (nl, nr) = (r ^ self.round(i, l), l);
+            l = nl;
+            r = nr;
+        }
+        ((l as u16) << 8) | r as u16
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn is_a_bijection_on_all_u16() {
+        let p = FeistelPermutation::new(b"k", "asn");
+        let mut seen = vec![false; 1 << 16];
+        for x in 0..=u16::MAX {
+            let y = p.apply(x);
+            assert!(!seen[y as usize], "collision at {x} -> {y}");
+            seen[y as usize] = true;
+        }
+    }
+
+    #[test]
+    fn invert_round_trips() {
+        let p = FeistelPermutation::new(b"k", "asn");
+        for x in (0..=u16::MAX).step_by(97) {
+            assert_eq!(p.invert(p.apply(x)), x);
+            assert_eq!(p.apply(p.invert(x)), x);
+        }
+    }
+
+    #[test]
+    fn keyed_and_domain_separated() {
+        let p1 = FeistelPermutation::new(b"k1", "asn");
+        let p2 = FeistelPermutation::new(b"k2", "asn");
+        let p3 = FeistelPermutation::new(b"k1", "community");
+        let differs12 = (0..100u16).any(|x| p1.apply(x) != p2.apply(x));
+        let differs13 = (0..100u16).any(|x| p1.apply(x) != p3.apply(x));
+        assert!(differs12 && differs13);
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        let a = FeistelPermutation::new(b"secret", "asn");
+        let b = FeistelPermutation::new(b"secret", "asn");
+        for x in [0u16, 1, 701, 1239, 65535] {
+            assert_eq!(a.apply(x), b.apply(x));
+        }
+    }
+
+    #[test]
+    fn not_identity() {
+        // With overwhelming probability a keyed permutation moves most
+        // points; require at least 90 of the first 100 to move.
+        let p = FeistelPermutation::new(b"secret", "asn");
+        let moved = (0..100u16).filter(|&x| p.apply(x) != x).count();
+        assert!(moved >= 90, "moved = {moved}");
+    }
+}
+
+/// A keyed permutation of the 32-bit integers — the 4-byte ASN space of
+/// RFC 4893, which postdates the paper (BGPv4 had "only 2^16 ASNs" in
+/// 2004) but which any contemporary release must cover.
+///
+/// Same balanced Feistel construction as [`FeistelPermutation`], with
+/// 16-bit halves and a PRF round function.
+#[derive(Clone)]
+pub struct FeistelPermutation32 {
+    prf: Prf,
+    domain: String,
+}
+
+impl FeistelPermutation32 {
+    /// Creates a permutation keyed by `key`, domain-separated by `domain`.
+    pub fn new(key: &[u8], domain: &str) -> FeistelPermutation32 {
+        FeistelPermutation32 {
+            prf: Prf::new(key),
+            domain: domain.to_string(),
+        }
+    }
+
+    fn round(&self, round: usize, half: u16) -> u16 {
+        let mut input = [0u8; 3];
+        input[0] = round as u8;
+        input[1..3].copy_from_slice(&half.to_be_bytes());
+        let out = self.prf.bytes(&self.domain, &input);
+        u16::from_be_bytes([out[0], out[1]])
+    }
+
+    /// Applies the permutation.
+    pub fn apply(&self, x: u32) -> u32 {
+        let mut l = (x >> 16) as u16;
+        let mut r = (x & 0xFFFF) as u16;
+        for i in 0..ROUNDS {
+            let (nl, nr) = (r, l ^ self.round(i, r));
+            l = nl;
+            r = nr;
+        }
+        (u32::from(l) << 16) | u32::from(r)
+    }
+
+    /// Inverts the permutation.
+    pub fn invert(&self, y: u32) -> u32 {
+        let mut l = (y >> 16) as u16;
+        let mut r = (y & 0xFFFF) as u16;
+        for i in (0..ROUNDS).rev() {
+            let (nl, nr) = (r ^ self.round(i, l), l);
+            l = nl;
+            r = nr;
+        }
+        (u32::from(l) << 16) | u32::from(r)
+    }
+}
+
+#[cfg(test)]
+mod tests32 {
+    use super::*;
+
+    #[test]
+    fn invert_round_trips_32() {
+        let p = FeistelPermutation32::new(b"k", "asn32");
+        for x in [0u32, 1, 23456, 65536, 4_200_000_000, u32::MAX] {
+            assert_eq!(p.invert(p.apply(x)), x);
+        }
+        // A pseudo-random sweep.
+        for i in 0..1000u32 {
+            let x = i.wrapping_mul(2_654_435_761);
+            assert_eq!(p.invert(p.apply(x)), x);
+        }
+    }
+
+    #[test]
+    fn injective_on_a_sample_32() {
+        let p = FeistelPermutation32::new(b"k", "asn32");
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..100_000u32 {
+            assert!(seen.insert(p.apply(i)));
+        }
+    }
+
+    #[test]
+    fn keyed_32() {
+        let a = FeistelPermutation32::new(b"k1", "asn32");
+        let b = FeistelPermutation32::new(b"k2", "asn32");
+        assert!((0..64u32).any(|x| a.apply(x) != b.apply(x)));
+    }
+}

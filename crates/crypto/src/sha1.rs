@@ -1,0 +1,208 @@
+//! SHA-1 (RFC 3174 / FIPS 180-1) implemented from scratch.
+//!
+//! The paper anonymizes strings "using SHA1 digests \[2\]" where \[2\] is
+//! RFC 3174, so we implement exactly that algorithm. SHA-1 is no longer
+//! collision resistant, but for this application the threat model is
+//! *preimage* resistance of salted digests of short identifiers, for which
+//! it remains adequate — and fidelity to the paper matters more here.
+
+/// Streaming SHA-1 hasher.
+///
+/// ```
+/// use confanon_crypto::Sha1;
+/// let digest = Sha1::digest(b"abc");
+/// assert_eq!(Sha1::to_hex(&digest), "a9993e364706816aba3e25717850c26c9cd0d89d");
+/// ```
+#[derive(Clone)]
+pub struct Sha1 {
+    state: [u32; 5],
+    /// Total message length in bytes (fits u64 for our workloads).
+    len: u64,
+    buf: [u8; 64],
+    buf_len: usize,
+}
+
+impl Default for Sha1 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha1 {
+    /// Creates a hasher in the standard initial state.
+    pub fn new() -> Sha1 {
+        Sha1 {
+            state: [0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0],
+            len: 0,
+            buf: [0; 64],
+            buf_len: 0,
+        }
+    }
+
+    /// One-shot convenience: digest of `data`.
+    pub fn digest(data: &[u8]) -> [u8; 20] {
+        let mut h = Sha1::new();
+        h.update(data);
+        h.finalize()
+    }
+
+    /// Feeds `data` into the hash.
+    pub fn update(&mut self, mut data: &[u8]) {
+        self.len += data.len() as u64;
+        if self.buf_len > 0 {
+            let need = 64 - self.buf_len;
+            let take = need.min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len == 64 {
+                let block = self.buf;
+                self.compress(&block);
+                self.buf_len = 0;
+            }
+        }
+        while data.len() >= 64 {
+            let (block, rest) = data.split_at(64);
+            self.compress(block.try_into().expect("64-byte block"));
+            data = rest;
+        }
+        if !data.is_empty() {
+            self.buf[..data.len()].copy_from_slice(data);
+            self.buf_len = data.len();
+        }
+    }
+
+    /// Applies padding and returns the 160-bit digest.
+    pub fn finalize(mut self) -> [u8; 20] {
+        let bit_len = self.len * 8;
+        // Padding: 0x80, zeros, then the 64-bit big-endian bit length.
+        self.update(&[0x80]);
+        while self.buf_len != 56 {
+            self.update(&[0]);
+        }
+        // Bypass `update` for the length field so `self.len` bookkeeping
+        // does not matter any more.
+        self.buf[56..64].copy_from_slice(&bit_len.to_be_bytes());
+        let block = self.buf;
+        self.compress(&block);
+
+        let mut out = [0u8; 20];
+        for (i, word) in self.state.iter().enumerate() {
+            out[4 * i..4 * i + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        out
+    }
+
+    /// Lowercase hex of a digest.
+    pub fn to_hex(digest: &[u8; 20]) -> String {
+        let mut s = String::with_capacity(40);
+        for b in digest {
+            use std::fmt::Write;
+            write!(s, "{b:02x}").expect("write to String");
+        }
+        s
+    }
+
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 80];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes(chunk.try_into().expect("4 bytes"));
+        }
+        for t in 16..80 {
+            w[t] = (w[t - 3] ^ w[t - 8] ^ w[t - 14] ^ w[t - 16]).rotate_left(1);
+        }
+
+        let [mut a, mut b, mut c, mut d, mut e] = self.state;
+        for (t, &wt) in w.iter().enumerate() {
+            let (f, k) = match t {
+                0..=19 => ((b & c) | (!b & d), 0x5A827999),
+                20..=39 => (b ^ c ^ d, 0x6ED9EBA1),
+                40..=59 => ((b & c) | (b & d) | (c & d), 0x8F1BBCDC),
+                _ => (b ^ c ^ d, 0xCA62C1D6),
+            };
+            let temp = a
+                .rotate_left(5)
+                .wrapping_add(f)
+                .wrapping_add(e)
+                .wrapping_add(wt)
+                .wrapping_add(k);
+            e = d;
+            d = c;
+            c = b.rotate_left(30);
+            b = a;
+            a = temp;
+        }
+
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+        self.state[4] = self.state[4].wrapping_add(e);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(data: &[u8]) -> String {
+        Sha1::to_hex(&Sha1::digest(data))
+    }
+
+    #[test]
+    fn rfc3174_test_vectors() {
+        // TEST1 and TEST2a from RFC 3174 §7.3, plus the empty string and
+        // the standard one-million-a vector from FIPS 180-1.
+        assert_eq!(hex(b"abc"), "a9993e364706816aba3e25717850c26c9cd0d89d");
+        assert_eq!(
+            hex(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
+        );
+        assert_eq!(hex(b""), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+    }
+
+    #[test]
+    fn million_a() {
+        let mut h = Sha1::new();
+        let chunk = [b'a'; 1000];
+        for _ in 0..1000 {
+            h.update(&chunk);
+        }
+        assert_eq!(
+            Sha1::to_hex(&h.finalize()),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f"
+        );
+    }
+
+    #[test]
+    fn streaming_matches_oneshot() {
+        let data: Vec<u8> = (0..10_000u32).map(|i| (i % 251) as u8).collect();
+        let oneshot = Sha1::digest(&data);
+        // Feed in awkward chunk sizes to exercise buffering.
+        for chunk in [1usize, 3, 63, 64, 65, 127, 1000] {
+            let mut h = Sha1::new();
+            for c in data.chunks(chunk) {
+                h.update(c);
+            }
+            assert_eq!(h.finalize(), oneshot, "chunk size {chunk}");
+        }
+    }
+
+    #[test]
+    fn padding_boundary_lengths() {
+        // Lengths around the 55/56/64 padding boundaries must all work.
+        for n in 50..70usize {
+            let data = vec![0xABu8; n];
+            let d1 = Sha1::digest(&data);
+            let mut h = Sha1::new();
+            h.update(&data[..n / 2]);
+            h.update(&data[n / 2..]);
+            assert_eq!(h.finalize(), d1, "length {n}");
+        }
+    }
+
+    #[test]
+    fn distinct_inputs_distinct_digests() {
+        assert_ne!(Sha1::digest(b"UUNET-import"), Sha1::digest(b"UUNET-export"));
+    }
+}

@@ -1,0 +1,439 @@
+//! Extraction of the routing design from a set of configurations.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+
+use confanon_iosparse::{parse_command, Command, Config, Direction};
+use confanon_netprim::{AddrClass, Ip, Prefix, WildcardMask};
+
+use crate::model::{
+    ClauseSignature, IgpKind, MapDirection, MapSignature, MatchKind, NeighborPolicy,
+    RouterDesign, RoutingDesign, SetKind,
+};
+
+/// Per-config intermediate facts.
+#[derive(Default)]
+struct Facts {
+    /// Addressed interfaces: (address, prefix length).
+    interfaces: Vec<(Ip, u8)>,
+    /// IGPs with their `network` statements.
+    igps: Vec<(IgpKind, Vec<IgpNet>)>,
+    /// BGP process AS (if any).
+    bgp_asn: Option<u32>,
+    /// `neighbor <ip> remote-as <asn>`.
+    neighbor_as: BTreeMap<Ip, u32>,
+    /// `neighbor <ip> route-map <name> <dir>` in line order.
+    neighbor_maps: Vec<(Ip, String, MapDirection)>,
+    /// Route-map clauses by name, in line order.
+    maps: BTreeMap<String, MapSignature>,
+    /// Defined filter lists.
+    acls: HashSet<u32>,
+    aspath_lists: HashSet<u32>,
+    community_lists: HashSet<u32>,
+    /// Match references awaiting resolution (lists may be defined later
+    /// in the file): (map name, kind, list number).
+    pending: Vec<(String, MatchKind, u32)>,
+}
+
+/// An IGP `network` statement's coverage predicate.
+enum IgpNet {
+    /// Classful (RIP/EIGRP): IOS normalizes the statement's address to
+    /// its classful network, so an address is covered when the *classful
+    /// networks* coincide. (Comparing against the raw statement address
+    /// would spuriously fail on anonymized configs, where a
+    /// prefix-preserving map keeps the class bits but not the zero host
+    /// part of a shared path — exactly the normalization IOS applies.)
+    Classful(Ip),
+    /// OSPF: address matches under the wildcard.
+    Wildcard(Ip, WildcardMask),
+}
+
+impl IgpNet {
+    fn covers(&self, ip: Ip) -> bool {
+        match self {
+            IgpNet::Classful(net) => classful(ip) == classful(*net),
+            IgpNet::Wildcard(addr, w) => w.matches(*addr, ip),
+        }
+    }
+}
+
+/// The classful network containing `ip`.
+fn classful(ip: Ip) -> Ip {
+    let len = match ip.class() {
+        AddrClass::A => 8,
+        AddrClass::B => 16,
+        _ => 24,
+    };
+    Prefix::new(ip, len).network()
+}
+
+fn gather(config: &Config) -> Facts {
+    let mut f = Facts::default();
+    let mut current_igp: Option<usize> = None;
+    let mut in_bgp = false;
+    let mut current_map: Option<String> = None;
+
+    for line in config.lines() {
+        let cmd = parse_command(line);
+        let top_level = !line.starts_with(' ') && !line.starts_with('\t');
+        if top_level {
+            // Leaving any section unless this re-enters one below.
+            current_igp = None;
+            in_bgp = false;
+            current_map = None;
+        }
+        match cmd {
+            Command::IpAddress { addr, mask } => f.interfaces.push((addr, mask.len())),
+            Command::RouterRip => {
+                f.igps.push((IgpKind::Rip, Vec::new()));
+                current_igp = Some(f.igps.len() - 1);
+            }
+            Command::RouterEigrp(_) => {
+                f.igps.push((IgpKind::Eigrp, Vec::new()));
+                current_igp = Some(f.igps.len() - 1);
+            }
+            Command::RouterOspf(_) => {
+                f.igps.push((IgpKind::Ospf, Vec::new()));
+                current_igp = Some(f.igps.len() - 1);
+            }
+            Command::RouterBgp(asn) => {
+                f.bgp_asn = Some(asn);
+                in_bgp = true;
+            }
+            Command::NetworkClassful(ip) => {
+                if let Some(i) = current_igp {
+                    f.igps[i].1.push(IgpNet::Classful(ip));
+                }
+            }
+            Command::NetworkOspf { addr, wildcard, .. } => {
+                if let Some(i) = current_igp {
+                    f.igps[i].1.push(IgpNet::Wildcard(addr, wildcard));
+                }
+            }
+            Command::NeighborRemoteAs { peer, asn }
+                if in_bgp => {
+                    f.neighbor_as.insert(peer, asn);
+                }
+            Command::NeighborRouteMap { peer, map, dir }
+                if in_bgp => {
+                    let d = match dir {
+                        Direction::In => MapDirection::In,
+                        Direction::Out => MapDirection::Out,
+                    };
+                    f.neighbor_maps.push((peer, map, d));
+                }
+            Command::RouteMap { name, action, .. } => {
+                let sig = f.maps.entry(name.clone()).or_default();
+                sig.clauses.push(ClauseSignature {
+                    permit: action == confanon_iosparse::commands::Action::Permit,
+                    matches: Vec::new(),
+                    sets: Vec::new(),
+                });
+                current_map = Some(name);
+            }
+            Command::MatchIpAddress(refs) => {
+                push_match(&mut f, &current_map, MatchKind::IpAddress, refs);
+            }
+            Command::MatchAsPath(refs) => {
+                push_match(&mut f, &current_map, MatchKind::AsPath, refs);
+            }
+            Command::MatchCommunity(refs) => {
+                push_match(&mut f, &current_map, MatchKind::Community, refs);
+            }
+            Command::SetCommunity(_) => push_set(&mut f, &current_map, SetKind::Community),
+            Command::SetLocalPreference(_) => {
+                push_set(&mut f, &current_map, SetKind::LocalPreference)
+            }
+            Command::AccessList { num, .. } => {
+                f.acls.insert(num);
+            }
+            Command::AsPathAccessList { num, .. } => {
+                f.aspath_lists.insert(num);
+            }
+            Command::CommunityList { num, .. } => {
+                f.community_lists.insert(num);
+            }
+            _ => {}
+        }
+    }
+    f
+}
+
+fn push_match(f: &mut Facts, current_map: &Option<String>, kind: MatchKind, refs: Vec<u32>) {
+    let Some(name) = current_map else { return };
+    // Resolution is deferred (the list may be defined later in the file):
+    // push a placeholder flag now, remember the raw reference, and fix up
+    // in `resolve_matches`.
+    let placed = {
+        let Some(clause) = f.maps.get_mut(name).and_then(|s| s.clauses.last_mut()) else {
+            return;
+        };
+        for _ in &refs {
+            clause.matches.push((kind, false));
+        }
+        true
+    };
+    if placed {
+        for r in refs {
+            f.pending.push((name.clone(), kind, r));
+        }
+    }
+}
+
+fn push_set(f: &mut Facts, current_map: &Option<String>, kind: SetKind) {
+    if let Some(name) = current_map {
+        if let Some(sig) = f.maps.get_mut(name) {
+            if let Some(clause) = sig.clauses.last_mut() {
+                clause.sets.push(kind);
+            }
+        }
+    }
+}
+
+/// Second pass: mark each match statement with whether its referenced
+/// list exists in the same config.
+fn resolve_matches(f: &mut Facts) {
+    let pending = std::mem::take(&mut f.pending);
+    // Rebuild match flags per map/kind in order.
+    let mut cursor: HashMap<(String, MatchKind), usize> = HashMap::new();
+    for (name, kind, list) in pending {
+        let exists = match kind {
+            MatchKind::IpAddress => f.acls.contains(&list),
+            MatchKind::AsPath => f.aspath_lists.contains(&list),
+            MatchKind::Community => f.community_lists.contains(&list),
+        };
+        let k = (name.clone(), kind);
+        let skip = *cursor.get(&k).unwrap_or(&0);
+        cursor.insert(k, skip + 1);
+        if let Some(sig) = f.maps.get_mut(&name) {
+            // Find the (skip+1)-th match of this kind across clauses.
+            let mut seen = 0;
+            'outer: for clause in &mut sig.clauses {
+                for m in &mut clause.matches {
+                    if m.0 == kind {
+                        if seen == skip {
+                            m.1 = exists;
+                            break 'outer;
+                        }
+                        seen += 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Extracts the name-abstracted routing design of a network from the
+/// configs of all its routers (in stable file order).
+pub fn extract_design(configs: &[Config]) -> RoutingDesign {
+    let mut all_facts: Vec<Facts> = configs
+        .iter()
+        .map(|c| {
+            let mut f = gather(c);
+            resolve_matches(&mut f);
+            f
+        })
+        .collect();
+
+    // Address ownership index: which router owns each address.
+    let mut owner: HashMap<Ip, usize> = HashMap::new();
+    for (i, f) in all_facts.iter().enumerate() {
+        for &(ip, _) in &f.interfaces {
+            owner.insert(ip, i);
+        }
+    }
+
+    // Physical adjacency: two routers with addresses in one /30 or /31.
+    let mut adjacencies: BTreeSet<(usize, usize)> = BTreeSet::new();
+    let mut by_subnet: HashMap<Prefix, Vec<usize>> = HashMap::new();
+    for (i, f) in all_facts.iter().enumerate() {
+        for &(ip, len) in &f.interfaces {
+            if len >= 30 {
+                by_subnet.entry(Prefix::new(ip, len)).or_default().push(i);
+            }
+        }
+    }
+    for members in by_subnet.values() {
+        for a in 0..members.len() {
+            for b in a + 1..members.len() {
+                if members[a] != members[b] {
+                    let (x, y) = (members[a].min(members[b]), members[a].max(members[b]));
+                    adjacencies.insert((x, y));
+                }
+            }
+        }
+    }
+
+    // BGP sessions.
+    let mut internal_bgp_sessions = BTreeSet::new();
+    let mut external_bgp_sessions = 0usize;
+    let mut routers = Vec::with_capacity(all_facts.len());
+
+    for (i, f) in all_facts.iter().enumerate() {
+        let mut neighbors = Vec::new();
+        for (&peer, &asn) in &f.neighbor_as {
+            let internal = owner.get(&peer).copied();
+            if let Some(j) = internal {
+                let (x, y) = (i.min(j), i.max(j));
+                internal_bgp_sessions.insert((x, y));
+            } else {
+                external_bgp_sessions += 1;
+            }
+            let mut maps: Vec<(MapDirection, Option<MapSignature>)> = f
+                .neighbor_maps
+                .iter()
+                .filter(|(p, _, _)| *p == peer)
+                .map(|(_, name, d)| (*d, f.maps.get(name).cloned()))
+                .collect();
+            maps.sort();
+            neighbors.push(NeighborPolicy {
+                ibgp: f.bgp_asn == Some(asn),
+                internal_endpoint: internal.is_some(),
+                maps,
+            });
+        }
+        neighbors.sort();
+
+        let igps: BTreeSet<IgpKind> = f.igps.iter().map(|(k, _)| *k).collect();
+        let covered = f
+            .interfaces
+            .iter()
+            .filter(|&&(ip, _)| {
+                f.igps
+                    .iter()
+                    .any(|(_, nets)| nets.iter().any(|n| n.covers(ip)))
+            })
+            .count();
+
+        routers.push(RouterDesign {
+            interface_count: f.interfaces.len(),
+            igps,
+            igp_covered_interfaces: covered,
+            bgp_speaker: f.bgp_asn.is_some(),
+            neighbors,
+        });
+    }
+    // `all_facts` consumed implicitly above; keep borrowck happy.
+    all_facts.clear();
+
+    RoutingDesign {
+        routers,
+        adjacencies,
+        internal_bgp_sessions,
+        external_bgp_sessions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(text: &str) -> Config {
+        Config::parse(text)
+    }
+
+    const R1: &str = "\
+hostname r1
+interface Serial0/0
+ ip address 10.0.0.1 255.255.255.252
+interface Loopback0
+ ip address 10.9.0.1 255.255.255.255
+router rip
+ network 10.0.0.0
+router bgp 65000
+ neighbor 10.0.0.2 remote-as 65000
+ neighbor 172.30.1.1 remote-as 701
+ neighbor 172.30.1.1 route-map PEER-in in
+route-map PEER-in deny 10
+ match as-path 50
+route-map PEER-in permit 20
+ set community 65000:100
+ip as-path access-list 50 permit _701_
+";
+
+    const R2: &str = "\
+hostname r2
+interface Serial0/0
+ ip address 10.0.0.2 255.255.255.252
+interface Loopback0
+ ip address 10.9.0.2 255.255.255.255
+router rip
+ network 10.0.0.0
+router bgp 65000
+ neighbor 10.0.0.1 remote-as 65000
+";
+
+    #[test]
+    fn extracts_topology_and_sessions() {
+        let d = extract_design(&[cfg(R1), cfg(R2)]);
+        assert_eq!(d.routers.len(), 2);
+        assert_eq!(d.adjacencies, BTreeSet::from([(0, 1)]));
+        assert_eq!(d.internal_bgp_sessions, BTreeSet::from([(0, 1)]));
+        assert_eq!(d.external_bgp_sessions, 1);
+        assert_eq!(d.bgp_speaker_count(), 2);
+        assert_eq!(d.interface_count(), 4);
+    }
+
+    #[test]
+    fn igp_coverage_uses_classful_containment() {
+        let d = extract_design(&[cfg(R1)]);
+        // Both 10.0.0.1 and 10.9.0.1 are inside classful 10.0.0.0/8.
+        assert_eq!(d.routers[0].igp_covered_interfaces, 2);
+        assert!(d.routers[0].igps.contains(&IgpKind::Rip));
+    }
+
+    #[test]
+    fn ibgp_flag_from_as_equality() {
+        let d = extract_design(&[cfg(R1), cfg(R2)]);
+        let r1 = &d.routers[0];
+        let ibgp: Vec<bool> = r1.neighbors.iter().map(|n| n.ibgp).collect();
+        assert!(ibgp.contains(&true) && ibgp.contains(&false));
+    }
+
+    #[test]
+    fn route_map_signature_resolved() {
+        let d = extract_design(&[cfg(R1)]);
+        let ext = d.routers[0]
+            .neighbors
+            .iter()
+            .find(|n| !n.ibgp)
+            .unwrap();
+        let (_, sig) = &ext.maps[0];
+        let sig = sig.as_ref().expect("map defined");
+        assert_eq!(sig.clauses.len(), 2);
+        assert!(!sig.clauses[0].permit);
+        assert_eq!(sig.clauses[0].matches, vec![(MatchKind::AsPath, true)]);
+        assert_eq!(sig.clauses[1].sets, vec![SetKind::Community]);
+    }
+
+    #[test]
+    fn dangling_map_reference_detected() {
+        let text = "\
+router bgp 65000
+ neighbor 1.2.3.4 remote-as 701
+ neighbor 1.2.3.4 route-map NOPE in
+";
+        let d = extract_design(&[cfg(text)]);
+        let n = &d.routers[0].neighbors[0];
+        assert_eq!(n.maps[0].1, None);
+    }
+
+    #[test]
+    fn ospf_wildcard_coverage() {
+        let text = "\
+interface e0
+ ip address 10.1.2.3 255.255.255.0
+interface e1
+ ip address 10.99.2.3 255.255.255.0
+router ospf 1
+ network 10.1.0.0 0.0.255.255 area 0
+";
+        let d = extract_design(&[cfg(text)]);
+        assert_eq!(d.routers[0].igp_covered_interfaces, 1);
+    }
+
+    #[test]
+    fn empty_network() {
+        let d = extract_design(&[]);
+        assert_eq!(d, RoutingDesign::default());
+    }
+}

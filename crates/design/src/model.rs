@@ -1,0 +1,167 @@
+//! The name-abstracted routing-design model.
+//!
+//! Everything here is `PartialEq + Ord`-friendly so pre/post designs
+//! compare with `==` and diffs are printable. Identifiers (route-map
+//! names, ASNs, addresses) never appear directly — only the relations
+//! they induce.
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+
+/// Which IGP a router runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum IgpKind {
+    /// OSPF.
+    Ospf,
+    /// RIP.
+    Rip,
+    /// EIGRP.
+    Eigrp,
+}
+
+/// One BGP neighbor's policy attachment, name-abstracted.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NeighborPolicy {
+    /// True for iBGP (remote AS equals the local process AS — a relation
+    /// preserved by any consistent permutation).
+    pub ibgp: bool,
+    /// Whether the neighbor address resolves to another router of this
+    /// network (by interface or loopback), i.e. an internal session.
+    pub internal_endpoint: bool,
+    /// For each attached route-map, in direction order (`in` then `out`):
+    /// the clause signature of the referenced map, or `None` when the
+    /// referenced map is not defined in the config (a dangling reference
+    /// — itself a preserved property).
+    pub maps: Vec<(MapDirection, Option<MapSignature>)>,
+}
+
+/// Direction of a neighbor route-map.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum MapDirection {
+    /// Inbound policy.
+    In,
+    /// Outbound policy.
+    Out,
+}
+
+/// The structure of a route-map: its clauses in sequence order.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Default, Serialize, Deserialize)]
+pub struct MapSignature {
+    /// Per clause: (permit?, match kinds with resolved-reference flags,
+    /// set kinds).
+    pub clauses: Vec<ClauseSignature>,
+}
+
+/// One route-map clause, name-abstracted.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Default, Serialize, Deserialize)]
+pub struct ClauseSignature {
+    /// `permit` (true) or `deny`.
+    pub permit: bool,
+    /// Match statements: kind plus whether every referenced list is
+    /// defined in the same config.
+    pub matches: Vec<(MatchKind, bool)>,
+    /// Set statements (kinds only; values are anonymized).
+    pub sets: Vec<SetKind>,
+}
+
+/// Kinds of `match` statements the extractor models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum MatchKind {
+    /// `match ip address <acl>`.
+    IpAddress,
+    /// `match as-path <n>`.
+    AsPath,
+    /// `match community <n>`.
+    Community,
+}
+
+/// Kinds of `set` statements the extractor models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum SetKind {
+    /// `set community …`.
+    Community,
+    /// `set local-preference …`.
+    LocalPreference,
+}
+
+/// One router's extracted design.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct RouterDesign {
+    /// Number of addressed interfaces.
+    pub interface_count: usize,
+    /// IGP processes running here.
+    pub igps: BTreeSet<IgpKind>,
+    /// Number of addressed interfaces covered by an IGP `network`
+    /// statement — the *subnet contains* relation (classful for
+    /// RIP/EIGRP, wildcard for OSPF), which breaks if anonymization is
+    /// not class- and prefix-preserving.
+    pub igp_covered_interfaces: usize,
+    /// True when a `router bgp` process exists.
+    pub bgp_speaker: bool,
+    /// Neighbor policies, sorted (order-insensitive comparison).
+    pub neighbors: Vec<NeighborPolicy>,
+}
+
+/// The whole network's extracted design.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct RoutingDesign {
+    /// Per-router designs, in file order (stable across anonymization).
+    pub routers: Vec<RouterDesign>,
+    /// Physical adjacencies: router-index pairs sharing a link subnet.
+    pub adjacencies: BTreeSet<(usize, usize)>,
+    /// Internal BGP sessions: (speaker index, endpoint router index).
+    pub internal_bgp_sessions: BTreeSet<(usize, usize)>,
+    /// Count of BGP sessions to addresses outside the network (eBGP
+    /// peerings — the §6.3 fingerprint input).
+    pub external_bgp_sessions: usize,
+}
+
+impl RoutingDesign {
+    /// Number of BGP speakers (validation suite 1 also reports this).
+    pub fn bgp_speaker_count(&self) -> usize {
+        self.routers.iter().filter(|r| r.bgp_speaker).count()
+    }
+
+    /// Total addressed interfaces.
+    pub fn interface_count(&self) -> usize {
+        self.routers.iter().map(|r| r.interface_count).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn designs_compare_structurally() {
+        let a = RoutingDesign::default();
+        let b = RoutingDesign::default();
+        assert_eq!(a, b);
+        let c = RoutingDesign {
+            external_bgp_sessions: 1,
+            ..Default::default()
+        };
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn aggregates() {
+        let d = RoutingDesign {
+            routers: vec![
+                RouterDesign {
+                    interface_count: 3,
+                    bgp_speaker: true,
+                    ..Default::default()
+                },
+                RouterDesign {
+                    interface_count: 2,
+                    ..Default::default()
+                },
+            ],
+            ..Default::default()
+        };
+        assert_eq!(d.bgp_speaker_count(), 1);
+        assert_eq!(d.interface_count(), 5);
+    }
+}

@@ -1,0 +1,212 @@
+//! Cross-network design summaries: the research the anonymizer enables.
+//!
+//! The paper's motivation (§1) is that config access would let researchers
+//! study routing designs at scale — the authors' own companion study
+//! ("Routing design in operational networks: A look from the inside",
+//! SIGCOMM 2004) is reference \[1\]. This module computes the kind of
+//! per-network summary such a study tabulates, from *anonymized* configs:
+//! every metric is a function of the name-abstracted
+//! [`RoutingDesign`], so the numbers are identical pre- and
+//! post-anonymization — which is precisely the paper's value proposition.
+
+use serde::{Deserialize, Serialize};
+
+use crate::model::{IgpKind, RoutingDesign};
+
+/// A per-network design summary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DesignSummary {
+    /// Routers.
+    pub routers: usize,
+    /// Addressed interfaces.
+    pub interfaces: usize,
+    /// Physical adjacencies (distinct shared link subnets).
+    pub adjacencies: usize,
+    /// Degree statistics over the physical topology: (min, mean, max).
+    pub degree: (usize, f64, usize),
+    /// IGPs in use anywhere in the network.
+    pub igps: Vec<IgpKind>,
+    /// Fraction of addressed interfaces covered by an IGP `network`
+    /// statement (address-space discipline).
+    pub igp_coverage: f64,
+    /// BGP speakers.
+    pub bgp_speakers: usize,
+    /// iBGP mesh completeness: internal sessions / (speakers choose 2).
+    /// 1.0 is a full mesh; missing sessions are a design smell the
+    /// companion study hunts for.
+    pub ibgp_mesh_completeness: f64,
+    /// External (eBGP) sessions.
+    pub ebgp_sessions: usize,
+    /// Total route-map clauses attached to BGP neighbors.
+    pub policy_clauses: usize,
+    /// Neighbor route-map attachments whose map is not defined in the
+    /// same config (dangling references — configuration bugs the paper
+    /// notes configs "expose").
+    pub dangling_policy_refs: usize,
+}
+
+impl DesignSummary {
+    /// Summarizes one extracted design.
+    pub fn from_design(d: &RoutingDesign) -> DesignSummary {
+        let n = d.routers.len();
+        let mut degree = vec![0usize; n];
+        for &(a, b) in &d.adjacencies {
+            degree[a] += 1;
+            degree[b] += 1;
+        }
+        let (dmin, dmax) = degree
+            .iter()
+            .fold((usize::MAX, 0), |(lo, hi), &x| (lo.min(x), hi.max(x)));
+        let dmean = if n == 0 {
+            0.0
+        } else {
+            degree.iter().sum::<usize>() as f64 / n as f64
+        };
+
+        let mut igps: Vec<IgpKind> = d
+            .routers
+            .iter()
+            .flat_map(|r| r.igps.iter().copied())
+            .collect();
+        igps.sort();
+        igps.dedup();
+
+        let covered: usize = d.routers.iter().map(|r| r.igp_covered_interfaces).sum();
+        let interfaces = d.interface_count();
+
+        let speakers = d.bgp_speaker_count();
+        let possible = speakers * speakers.saturating_sub(1) / 2;
+        let mesh = if possible == 0 {
+            1.0
+        } else {
+            d.internal_bgp_sessions.len() as f64 / possible as f64
+        };
+
+        let mut policy_clauses = 0usize;
+        let mut dangling = 0usize;
+        for r in &d.routers {
+            for nb in &r.neighbors {
+                for (_, sig) in &nb.maps {
+                    match sig {
+                        Some(s) => policy_clauses += s.clauses.len(),
+                        None => dangling += 1,
+                    }
+                }
+            }
+        }
+
+        DesignSummary {
+            routers: n,
+            interfaces,
+            adjacencies: d.adjacencies.len(),
+            degree: (if n == 0 { 0 } else { dmin }, dmean, dmax),
+            igps,
+            igp_coverage: if interfaces == 0 {
+                0.0
+            } else {
+                covered as f64 / interfaces as f64
+            },
+            bgp_speakers: speakers,
+            ibgp_mesh_completeness: mesh.min(1.0),
+            ebgp_sessions: d.external_bgp_sessions,
+            policy_clauses,
+            dangling_policy_refs: dangling,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extract::extract_design;
+    use confanon_iosparse::Config;
+
+    const R1: &str = "\
+interface Serial0/0
+ ip address 10.0.0.1 255.255.255.252
+interface Loopback0
+ ip address 10.9.0.1 255.255.255.255
+router rip
+ network 10.0.0.0
+router bgp 65000
+ neighbor 10.0.0.2 remote-as 65000
+ neighbor 172.30.1.1 remote-as 701
+ neighbor 172.30.1.1 route-map PEER-in in
+route-map PEER-in deny 10
+route-map PEER-in permit 20
+";
+
+    const R2: &str = "\
+interface Serial0/0
+ ip address 10.0.0.2 255.255.255.252
+router rip
+ network 10.0.0.0
+router bgp 65000
+ neighbor 10.0.0.1 remote-as 65000
+ neighbor 1.2.3.4 remote-as 1299
+ neighbor 1.2.3.4 route-map GHOST out
+";
+
+    fn summary() -> DesignSummary {
+        let design = extract_design(&[Config::parse(R1), Config::parse(R2)]);
+        DesignSummary::from_design(&design)
+    }
+
+    #[test]
+    fn counts() {
+        let s = summary();
+        assert_eq!(s.routers, 2);
+        assert_eq!(s.interfaces, 3);
+        assert_eq!(s.adjacencies, 1);
+        assert_eq!(s.bgp_speakers, 2);
+        assert_eq!(s.ebgp_sessions, 2);
+        assert_eq!(s.igps, vec![IgpKind::Rip]);
+    }
+
+    #[test]
+    fn mesh_completeness() {
+        let s = summary();
+        // 2 speakers, 1 internal session, full mesh of 2 = 1 session.
+        assert!((s.ibgp_mesh_completeness - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn policy_and_dangling() {
+        let s = summary();
+        assert_eq!(s.policy_clauses, 2); // PEER-in has two clauses
+        assert_eq!(s.dangling_policy_refs, 1); // GHOST is undefined
+    }
+
+    #[test]
+    fn degree_stats() {
+        let s = summary();
+        assert_eq!(s.degree.0, 1);
+        assert_eq!(s.degree.2, 1);
+        assert!((s.degree.1 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_design() {
+        let s = DesignSummary::from_design(&RoutingDesign::default());
+        assert_eq!(s.routers, 0);
+        assert_eq!(s.igp_coverage, 0.0);
+        assert_eq!(s.ibgp_mesh_completeness, 1.0);
+    }
+
+    #[test]
+    fn summary_is_anonymization_invariant_by_construction() {
+        // Renaming-only changes to the configs leave the summary intact.
+        let renamed1 = R1
+            .replace("PEER-in", "hdeadbeef-in")
+            .replace("10.0.0.", "87.1.1.")
+            .replace("10.9.0.1", "87.2.0.9")
+            .replace("701", "31337");
+        let renamed2 = R2
+            .replace("GHOST", "hfeedface")
+            .replace("10.0.0.", "87.1.1.");
+        let a = summary();
+        let design = extract_design(&[Config::parse(&renamed1), Config::parse(&renamed2)]);
+        let b = DesignSummary::from_design(&design);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,476 @@
+//! Typed recognizers for the commands the validation suites consume.
+//!
+//! The anonymizer does *not* use these — its robustness comes from
+//! operating "across commands mostly without grammatical or semantic
+//! discrimination" (paper §3.1). But the paper's validation methodology
+//! (§5) compares pre/post properties such as the number of BGP speakers,
+//! the number of interfaces, and the extracted routing design, and those
+//! comparisons need structured views of a handful of commands. Unknown or
+//! malformed lines parse to [`Command::Other`], never an error.
+
+use confanon_netprim::{Ip, Ip6, Netmask, WildcardMask};
+
+use crate::token::tokenize;
+
+/// Route-map / filter actions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// `permit`
+    Permit,
+    /// `deny`
+    Deny,
+}
+
+/// Direction of a BGP neighbor policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// `in`
+    In,
+    /// `out`
+    Out,
+}
+
+/// A structurally recognized configuration command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// `hostname <name>`
+    Hostname(String),
+    /// `interface <name>`
+    Interface(String),
+    /// `ip address <addr> <mask>` (inside an interface)
+    IpAddress { addr: Ip, mask: Netmask },
+    /// `ipv6 address <addr>/<len>` (inside an interface; extension)
+    Ipv6Address {
+        /// The interface address.
+        addr: Ip6,
+        /// Prefix length.
+        len: u8,
+    },
+    /// `shutdown`
+    Shutdown,
+    /// `router bgp <asn>`
+    RouterBgp(u32),
+    /// `router ospf <pid>`
+    RouterOspf(u32),
+    /// `router rip`
+    RouterRip,
+    /// `router eigrp <asn>`
+    RouterEigrp(u32),
+    /// `neighbor <ip> remote-as <asn>`
+    NeighborRemoteAs { peer: Ip, asn: u32 },
+    /// `neighbor <ip> route-map <name> in|out`
+    NeighborRouteMap {
+        /// Peer address.
+        peer: Ip,
+        /// Route-map name.
+        map: String,
+        /// Policy direction.
+        dir: Direction,
+    },
+    /// `network <addr>` (classful, RIP/EIGRP style)
+    NetworkClassful(Ip),
+    /// `network <addr> <wildcard> area <area>` (OSPF style)
+    NetworkOspf {
+        /// Network address.
+        addr: Ip,
+        /// Wildcard mask.
+        wildcard: WildcardMask,
+        /// OSPF area.
+        area: u32,
+    },
+    /// `network <addr> mask <mask>` (BGP style)
+    NetworkBgp {
+        /// Network address.
+        addr: Ip,
+        /// Mask.
+        mask: Netmask,
+    },
+    /// `redistribute <protocol>`
+    Redistribute(String),
+    /// `route-map <name> permit|deny <seq>`
+    RouteMap {
+        /// Route-map name.
+        name: String,
+        /// Permit or deny.
+        action: Action,
+        /// Sequence number.
+        seq: u32,
+    },
+    /// `match ip address <acl>…`
+    MatchIpAddress(Vec<u32>),
+    /// `match as-path <list>…`
+    MatchAsPath(Vec<u32>),
+    /// `match community <list>…`
+    MatchCommunity(Vec<u32>),
+    /// `set community <asn>:<value>…`
+    SetCommunity(Vec<String>),
+    /// `set local-preference <value>`
+    SetLocalPreference(u32),
+    /// `access-list <num> permit|deny ip <addr> <wildcard>` (and simpler
+    /// single-address forms)
+    AccessList {
+        /// List number.
+        num: u32,
+        /// Permit or deny.
+        action: Action,
+        /// Matched address, if present.
+        addr: Option<Ip>,
+        /// Wildcard, if present.
+        wildcard: Option<WildcardMask>,
+    },
+    /// `ip as-path access-list <num> permit|deny <regexp>`
+    AsPathAccessList {
+        /// List number.
+        num: u32,
+        /// Permit or deny.
+        action: Action,
+        /// The regular expression text.
+        regex: String,
+    },
+    /// `ip community-list <num> permit|deny <pattern>`
+    CommunityList {
+        /// List number.
+        num: u32,
+        /// Permit or deny.
+        action: Action,
+        /// Community pattern (literal or regexp).
+        pattern: String,
+    },
+    /// `ip prefix-list <name> seq <n> permit|deny <prefix>`
+    PrefixList {
+        /// List name.
+        name: String,
+        /// Permit or deny.
+        action: Action,
+        /// The prefix text (left raw; netprim parses it downstream).
+        prefix: String,
+    },
+    /// `snmp-server community <string> …`
+    SnmpCommunity(String),
+    /// Anything else.
+    Other,
+}
+
+/// Parses one line into a [`Command`]. Total: unknown lines yield
+/// [`Command::Other`].
+pub fn parse_command(line: &str) -> Command {
+    let toks = tokenize(line);
+    let texts: Vec<&str> = toks.iter().map(|t| t.text).collect();
+    parse_tokens(&texts)
+}
+
+fn action(tok: &str) -> Option<Action> {
+    match tok {
+        "permit" => Some(Action::Permit),
+        "deny" => Some(Action::Deny),
+        _ => None,
+    }
+}
+
+fn parse_tokens(t: &[&str]) -> Command {
+    match t {
+        ["hostname", name, ..] => Command::Hostname((*name).to_string()),
+        ["interface", rest @ ..] if !rest.is_empty() => Command::Interface(rest.join(" ")),
+        ["ip", "address", a, m, ..] => match (a.parse(), m.parse()) {
+            (Ok(addr), Ok(mask)) => Command::IpAddress { addr, mask },
+            _ => Command::Other,
+        },
+        ["ipv6", "address", a, ..] => match a.rsplit_once('/') {
+            Some((addr, len)) => match (addr.parse(), len.parse::<u8>()) {
+                (Ok(addr), Ok(len)) if len <= 128 => Command::Ipv6Address { addr, len },
+                _ => Command::Other,
+            },
+            None => Command::Other,
+        },
+        ["shutdown"] => Command::Shutdown,
+        ["router", "bgp", asn, ..] => num(asn).map_or(Command::Other, Command::RouterBgp),
+        ["router", "ospf", pid, ..] => num(pid).map_or(Command::Other, Command::RouterOspf),
+        ["router", "rip", ..] => Command::RouterRip,
+        ["router", "eigrp", asn, ..] => num(asn).map_or(Command::Other, Command::RouterEigrp),
+        ["neighbor", peer, "remote-as", asn, ..] => match (peer.parse(), num(asn)) {
+            (Ok(peer), Some(asn)) => Command::NeighborRemoteAs { peer, asn },
+            _ => Command::Other,
+        },
+        ["neighbor", peer, "route-map", map, dir, ..] => {
+            let d = match *dir {
+                "in" => Some(Direction::In),
+                "out" => Some(Direction::Out),
+                _ => None,
+            };
+            match (peer.parse(), d) {
+                (Ok(peer), Some(dir)) => Command::NeighborRouteMap {
+                    peer,
+                    map: (*map).to_string(),
+                    dir,
+                },
+                _ => Command::Other,
+            }
+        }
+        ["network", a, w, "area", area, ..] => match (a.parse(), w.parse(), num(area)) {
+            (Ok(addr), Ok(wildcard), Some(area)) => Command::NetworkOspf {
+                addr,
+                wildcard,
+                area,
+            },
+            _ => Command::Other,
+        },
+        ["network", a, "mask", m, ..] => match (a.parse(), m.parse()) {
+            (Ok(addr), Ok(mask)) => Command::NetworkBgp { addr, mask },
+            _ => Command::Other,
+        },
+        ["network", a] => a.parse().map_or(Command::Other, Command::NetworkClassful),
+        ["redistribute", proto, ..] => Command::Redistribute((*proto).to_string()),
+        ["route-map", name, act, seq, ..] => match (action(act), num(seq)) {
+            (Some(action), Some(seq)) => Command::RouteMap {
+                name: (*name).to_string(),
+                action,
+                seq,
+            },
+            _ => Command::Other,
+        },
+        ["match", "ip", "address", rest @ ..] => {
+            Command::MatchIpAddress(rest.iter().filter_map(|s| num(s)).collect())
+        }
+        ["match", "as-path", rest @ ..] => {
+            Command::MatchAsPath(rest.iter().filter_map(|s| num(s)).collect())
+        }
+        ["match", "community", rest @ ..] => {
+            Command::MatchCommunity(rest.iter().filter_map(|s| num(s)).collect())
+        }
+        ["set", "community", rest @ ..] if !rest.is_empty() => {
+            Command::SetCommunity(rest.iter().map(|s| (*s).to_string()).collect())
+        }
+        ["set", "local-preference", v, ..] => {
+            num(v).map_or(Command::Other, Command::SetLocalPreference)
+        }
+        ["access-list", n, act, rest @ ..] => match (num(n), action(act)) {
+            (Some(num), Some(action)) => {
+                // Accept `… ip <addr> <wildcard> …`, `… <addr> <wildcard>`,
+                // and `… host <addr>` / `… <addr>` forms.
+                let rest: Vec<&str> = rest
+                    .iter()
+                    .copied()
+                    .filter(|s| !matches!(*s, "ip" | "tcp" | "udp" | "host" | "any"))
+                    .collect();
+                let addr = rest.first().and_then(|s| s.parse().ok());
+                let wildcard = rest.get(1).and_then(|s| s.parse().ok());
+                Command::AccessList {
+                    num,
+                    action,
+                    addr,
+                    wildcard,
+                }
+            }
+            _ => Command::Other,
+        },
+        ["ip", "as-path", "access-list", n, act, rest @ ..] if !rest.is_empty() => {
+            match (num(n), action(act)) {
+                (Some(num), Some(action)) => Command::AsPathAccessList {
+                    num,
+                    action,
+                    regex: rest.join(" "),
+                },
+                _ => Command::Other,
+            }
+        }
+        ["ip", "community-list", n, act, rest @ ..] if !rest.is_empty() => {
+            match (num(n), action(act)) {
+                (Some(num), Some(action)) => Command::CommunityList {
+                    num,
+                    action,
+                    pattern: rest.join(" "),
+                },
+                _ => Command::Other,
+            }
+        }
+        ["ip", "prefix-list", name, "seq", _, act, pfx, ..] => match action(act) {
+            Some(action) => Command::PrefixList {
+                name: (*name).to_string(),
+                action,
+                prefix: (*pfx).to_string(),
+            },
+            None => Command::Other,
+        },
+        ["snmp-server", "community", s, ..] => Command::SnmpCommunity((*s).to_string()),
+        _ => Command::Other,
+    }
+}
+
+fn num(s: &str) -> Option<u32> {
+    if s.is_empty() || !s.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    s.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_lines_parse() {
+        assert_eq!(
+            parse_command("hostname cr1.lax.foo.com"),
+            Command::Hostname("cr1.lax.foo.com".into())
+        );
+        assert_eq!(
+            parse_command("interface Serial1/0.5 point-to-point"),
+            Command::Interface("Serial1/0.5 point-to-point".into())
+        );
+        assert_eq!(
+            parse_command(" ip address 1.1.1.1 255.255.255.0"),
+            Command::IpAddress {
+                addr: "1.1.1.1".parse().unwrap(),
+                mask: "255.255.255.0".parse().unwrap()
+            }
+        );
+        assert_eq!(parse_command("router bgp 1111"), Command::RouterBgp(1111));
+        assert_eq!(
+            parse_command(" neighbor 12.126.236.17 remote-as 701"),
+            Command::NeighborRemoteAs {
+                peer: "12.126.236.17".parse().unwrap(),
+                asn: 701
+            }
+        );
+        assert_eq!(
+            parse_command(" neighbor 12.126.236.17 route-map UUNET-import in"),
+            Command::NeighborRouteMap {
+                peer: "12.126.236.17".parse().unwrap(),
+                map: "UUNET-import".into(),
+                dir: Direction::In
+            }
+        );
+        assert_eq!(
+            parse_command("route-map UUNET-import deny 10"),
+            Command::RouteMap {
+                name: "UUNET-import".into(),
+                action: Action::Deny,
+                seq: 10
+            }
+        );
+        assert_eq!(parse_command(" match as-path 50"), Command::MatchAsPath(vec![50]));
+        assert_eq!(
+            parse_command(" match community 100"),
+            Command::MatchCommunity(vec![100])
+        );
+        assert_eq!(
+            parse_command(" set community 701:120"),
+            Command::SetCommunity(vec!["701:120".into()])
+        );
+        assert_eq!(
+            parse_command("access-list 143 permit ip 1.1.1.0 0.0.0.255"),
+            Command::AccessList {
+                num: 143,
+                action: Action::Permit,
+                addr: Some("1.1.1.0".parse().unwrap()),
+                wildcard: Some("0.0.0.255".parse().unwrap()),
+            }
+        );
+        assert_eq!(
+            parse_command("ip community-list 100 permit 701:7[1-5].."),
+            Command::CommunityList {
+                num: 100,
+                action: Action::Permit,
+                pattern: "701:7[1-5]..".into()
+            }
+        );
+        assert_eq!(
+            parse_command("ip as-path access-list 50 permit (_1239_|_70[2-5]_)"),
+            Command::AsPathAccessList {
+                num: 50,
+                action: Action::Permit,
+                regex: "(_1239_|_70[2-5]_)".into()
+            }
+        );
+        assert_eq!(parse_command("router rip"), Command::RouterRip);
+        assert_eq!(
+            parse_command(" network 1.0.0.0"),
+            Command::NetworkClassful("1.0.0.0".parse().unwrap())
+        );
+    }
+
+    #[test]
+    fn ipv6_address_form() {
+        assert_eq!(
+            parse_command(" ipv6 address 2001:db8:1::1/64"),
+            Command::Ipv6Address {
+                addr: "2001:db8:1::1".parse().unwrap(),
+                len: 64
+            }
+        );
+        assert_eq!(parse_command(" ipv6 address autoconfig"), Command::Other);
+        assert_eq!(parse_command(" ipv6 address 2001:db8::1/200"), Command::Other);
+    }
+
+    #[test]
+    fn ospf_and_bgp_network_forms() {
+        assert_eq!(
+            parse_command(" network 10.1.0.0 0.0.255.255 area 0"),
+            Command::NetworkOspf {
+                addr: "10.1.0.0".parse().unwrap(),
+                wildcard: "0.0.255.255".parse().unwrap(),
+                area: 0
+            }
+        );
+        assert_eq!(
+            parse_command(" network 10.1.0.0 mask 255.255.0.0"),
+            Command::NetworkBgp {
+                addr: "10.1.0.0".parse().unwrap(),
+                mask: "255.255.0.0".parse().unwrap()
+            }
+        );
+    }
+
+    #[test]
+    fn malformed_lines_are_other_not_errors() {
+        for l in [
+            "ip address banana split",
+            "router bgp notanumber",
+            "neighbor x.y.z.w remote-as 1",
+            "route-map X permit notseq",
+            "",
+            "some future command we have never seen",
+        ] {
+            assert_eq!(parse_command(l), Command::Other, "{l:?}");
+        }
+    }
+
+    #[test]
+    fn snmp_and_prefix_list() {
+        assert_eq!(
+            parse_command("snmp-server community s3cr3t RO"),
+            Command::SnmpCommunity("s3cr3t".into())
+        );
+        assert_eq!(
+            parse_command("ip prefix-list CUST seq 5 permit 10.0.0.0/8"),
+            Command::PrefixList {
+                name: "CUST".into(),
+                action: Action::Permit,
+                prefix: "10.0.0.0/8".into()
+            }
+        );
+    }
+
+    #[test]
+    fn access_list_host_form() {
+        assert_eq!(
+            parse_command("access-list 10 permit host 1.2.3.4"),
+            Command::AccessList {
+                num: 10,
+                action: Action::Permit,
+                addr: Some("1.2.3.4".parse().unwrap()),
+                wildcard: None,
+            }
+        );
+    }
+
+    #[test]
+    fn eigrp_and_ospf_headers() {
+        assert_eq!(parse_command("router eigrp 100"), Command::RouterEigrp(100));
+        assert_eq!(parse_command("router ospf 1"), Command::RouterOspf(1));
+        assert_eq!(
+            parse_command(" redistribute rip"),
+            Command::Redistribute("rip".into())
+        );
+    }
+}

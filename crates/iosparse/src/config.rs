@@ -1,0 +1,199 @@
+//! The configuration file model: raw lines plus a section view.
+//!
+//! IOS configs are flat text with one-space indentation marking mode
+//! context (`router bgp 1111` followed by ` neighbor … remote-as 701`).
+//! The anonymizer never needs the hierarchy — that robustness is the
+//! paper's point — but the validation and design-extraction crates do, so
+//! [`Config::sections`] groups each top-level command with its indented
+//! children.
+
+use crate::line::{classify_lines, LineKind};
+
+/// A router configuration: raw lines plus cached per-line classification.
+#[derive(Debug, Clone)]
+pub struct Config {
+    lines: Vec<String>,
+    kinds: Vec<LineKind>,
+}
+
+impl Config {
+    /// Parses a config from text. Never fails: unknown constructs are
+    /// simply lines (tolerance across 200+ IOS versions is a requirement,
+    /// §3.1).
+    pub fn parse(text: &str) -> Config {
+        let lines: Vec<String> = text.lines().map(str::to_string).collect();
+        let kinds = classify_lines(&lines);
+        Config { lines, kinds }
+    }
+
+    /// Builds a config from pre-split lines.
+    pub fn from_lines(lines: Vec<String>) -> Config {
+        let kinds = classify_lines(&lines);
+        Config { lines, kinds }
+    }
+
+    /// The raw lines.
+    pub fn lines(&self) -> &[String] {
+        &self.lines
+    }
+
+    /// The classification of each line (parallel to [`Config::lines`]).
+    pub fn kinds(&self) -> &[LineKind] {
+        &self.kinds
+    }
+
+    /// Renders back to text (joined with `\n`, trailing newline included).
+    pub fn to_text(&self) -> String {
+        let mut s = self.lines.join("\n");
+        s.push('\n');
+        s
+    }
+
+    /// Number of lines.
+    pub fn len(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// True for an empty config.
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+
+    /// Groups the config into top-level sections: each unindented command
+    /// line starts a section containing every following indented line.
+    /// Comments, blanks, and banner bodies break sections but belong to
+    /// none.
+    pub fn sections(&self) -> Vec<Section<'_>> {
+        let mut out: Vec<Section<'_>> = Vec::new();
+        let mut current: Option<Section<'_>> = None;
+        for (i, line) in self.lines.iter().enumerate() {
+            match self.kinds[i] {
+                LineKind::Command => {
+                    let indented = line.starts_with(' ') || line.starts_with('\t');
+                    if indented {
+                        if let Some(sec) = &mut current {
+                            sec.children.push(line.as_str());
+                            continue;
+                        }
+                        // Indented line with no open section: treat as its
+                        // own headless section so nothing is lost.
+                    }
+                    if let Some(sec) = current.take() {
+                        out.push(sec);
+                    }
+                    current = Some(Section {
+                        header: line.as_str(),
+                        start_line: i,
+                        children: Vec::new(),
+                    });
+                }
+                LineKind::FreeText => {
+                    // Free text (descriptions) is always a child when a
+                    // section is open.
+                    if let Some(sec) = &mut current {
+                        sec.children.push(line.as_str());
+                    }
+                }
+                _ => {
+                    if let Some(sec) = current.take() {
+                        out.push(sec);
+                    }
+                }
+            }
+        }
+        if let Some(sec) = current.take() {
+            out.push(sec);
+        }
+        out
+    }
+}
+
+/// A top-level command with its indented child lines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Section<'a> {
+    /// The unindented section-opening line.
+    pub header: &'a str,
+    /// Index of the header within [`Config::lines`].
+    pub start_line: usize,
+    /// The indented lines belonging to the section, in order.
+    pub children: Vec<&'a str>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+hostname cr1.lax.foo.com
+!
+interface Ethernet0
+ description Foo Corp's LAX Main St offices
+ ip address 1.1.1.1 255.255.255.0
+!
+router bgp 1111
+ redistribute rip
+ neighbor 12.126.236.17 remote-as 701
+!
+router rip
+ network 1.0.0.0
+";
+
+    #[test]
+    fn parse_round_trips_text() {
+        let cfg = Config::parse(SAMPLE);
+        assert_eq!(cfg.to_text(), SAMPLE);
+        assert_eq!(cfg.len(), 12);
+    }
+
+    #[test]
+    fn sections_group_children() {
+        let cfg = Config::parse(SAMPLE);
+        let secs = cfg.sections();
+        let headers: Vec<&str> = secs.iter().map(|s| s.header).collect();
+        assert_eq!(
+            headers,
+            [
+                "hostname cr1.lax.foo.com",
+                "interface Ethernet0",
+                "router bgp 1111",
+                "router rip"
+            ]
+        );
+        assert_eq!(secs[1].children.len(), 2);
+        assert_eq!(secs[2].children.len(), 2);
+        assert_eq!(secs[3].children, [" network 1.0.0.0"]);
+    }
+
+    #[test]
+    fn comments_split_sections() {
+        let cfg = Config::parse("interface e0\n ip address 1.1.1.1 255.0.0.0\n!\n shutdown\n");
+        let secs = cfg.sections();
+        // The indented `shutdown` after the `!` must not attach to the
+        // interface.
+        assert_eq!(secs[0].children.len(), 1);
+    }
+
+    #[test]
+    fn banner_bodies_are_not_sections() {
+        let cfg = Config::parse("banner motd ^C\ninterface fake\n^C\nhostname r1\n");
+        let secs = cfg.sections();
+        let headers: Vec<&str> = secs.iter().map(|s| s.header).collect();
+        // Banner lines (header and body) never form or join sections.
+        assert_eq!(headers, ["hostname r1"]);
+    }
+
+    #[test]
+    fn empty_config() {
+        let cfg = Config::parse("");
+        assert!(cfg.is_empty());
+        assert!(cfg.sections().is_empty());
+    }
+
+    #[test]
+    fn headless_indented_line_survives() {
+        let cfg = Config::parse("!\n shutdown\n");
+        let secs = cfg.sections();
+        assert_eq!(secs.len(), 1);
+        assert_eq!(secs[0].header.trim(), "shutdown");
+    }
+}

@@ -1,0 +1,227 @@
+//! Line classification, including the stateful banner scanner.
+//!
+//! The anonymizer's comment-stripping rules (paper §4.2, three of the 28)
+//! need to know, for every line, whether it is a `!` comment, free text
+//! attached to a `description`/`remark`/`motd` command, part of a
+//! multi-line `banner` block, or an ordinary command. Banner blocks are
+//! the only construct requiring state across lines: `banner motd ^C`
+//! opens a block terminated by the delimiter character chosen on the
+//! opening line (which varies by operator and IOS version).
+
+use crate::token::tokenize;
+
+/// What a configuration line is, for anonymization purposes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LineKind {
+    /// A `!` comment line (possibly with text after the bang).
+    Comment,
+    /// A command that carries free text to end-of-line (e.g.
+    /// `description Foo Corp's LAX office`, `remark …`).
+    FreeText,
+    /// The `banner <type> <delim>` opening line.
+    BannerHeader,
+    /// A line inside a banner block (arbitrary text).
+    BannerBody,
+    /// The line closing a banner block (contains the delimiter).
+    BannerEnd,
+    /// An ordinary configuration command.
+    Command,
+    /// An empty / whitespace-only line.
+    Blank,
+}
+
+/// Commands whose remainder is free text to end of line.
+const FREE_TEXT_HEADS: [&str; 2] = ["description", "remark"];
+
+/// Classifies every line of a configuration, tracking banner state.
+///
+/// ```
+/// use confanon_iosparse::{classify_lines, LineKind};
+/// let cfg = ["banner motd ^C", "FooNet contact x@foo.com", "^C", "hostname r1"];
+/// let lines: Vec<String> = cfg.iter().map(|s| s.to_string()).collect();
+/// let kinds = classify_lines(&lines);
+/// assert_eq!(kinds, [LineKind::BannerHeader, LineKind::BannerBody,
+///                    LineKind::BannerEnd, LineKind::Command]);
+/// ```
+pub fn classify_lines(lines: &[String]) -> Vec<LineKind> {
+    let mut out = Vec::with_capacity(lines.len());
+    // Some(delim) while inside a banner block.
+    let mut banner_delim: Option<String> = None;
+
+    for line in lines {
+        if let Some(delim) = &banner_delim {
+            if line.contains(delim.as_str()) {
+                out.push(LineKind::BannerEnd);
+                banner_delim = None;
+            } else {
+                out.push(LineKind::BannerBody);
+            }
+            continue;
+        }
+
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            out.push(LineKind::Blank);
+            continue;
+        }
+        if trimmed.starts_with('!') {
+            out.push(LineKind::Comment);
+            continue;
+        }
+
+        let toks = tokenize(line);
+        let head = toks[0].text.to_ascii_lowercase();
+        if FREE_TEXT_HEADS.contains(&head.as_str()) {
+            out.push(LineKind::FreeText);
+            continue;
+        }
+        if head == "banner" {
+            // `banner <type> <delim>[text]` — the delimiter is the first
+            // character of the token after the banner type (commonly `^C`,
+            // written as caret-C, or any punctuation character).
+            match banner_delimiter(&toks.iter().map(|t| t.text).collect::<Vec<_>>()) {
+                Some(delim) => {
+                    // A one-line banner (`banner motd #no access#`) closes
+                    // itself when the delimiter appears again after the
+                    // opening one.
+                    let after = delim_open_rest(line, &delim);
+                    if after.map(|rest| rest.contains(delim.as_str())) == Some(true) {
+                        out.push(LineKind::BannerHeader); // self-contained
+                    } else {
+                        out.push(LineKind::BannerHeader);
+                        banner_delim = Some(delim);
+                    }
+                }
+                None => out.push(LineKind::Command),
+            }
+            continue;
+        }
+        out.push(LineKind::Command);
+    }
+    out
+}
+
+/// Extracts the banner delimiter from the tokens of a `banner …` line.
+///
+/// IOS accepts `banner motd ^C`, `banner login #`, `banner exec ^`, and
+/// (for real control characters) `banner motd <ETX>`. We take the third
+/// token and treat `^X` two-character carets as a unit; otherwise the
+/// first character is the delimiter.
+pub fn banner_delimiter(tokens: &[&str]) -> Option<String> {
+    let t = tokens.get(2)?;
+    if t.len() >= 2 && t.starts_with('^') {
+        Some(t[..2].to_string())
+    } else {
+        t.chars().next().map(|c| c.to_string())
+    }
+}
+
+/// The text after the opening delimiter on the banner header line.
+fn delim_open_rest<'a>(line: &'a str, delim: &str) -> Option<&'a str> {
+    let pos = line.find(delim)?;
+    Some(&line[pos + delim.len()..])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn classify(src: &[&str]) -> Vec<LineKind> {
+        let lines: Vec<String> = src.iter().map(|s| s.to_string()).collect();
+        classify_lines(&lines)
+    }
+
+    #[test]
+    fn figure1_banner_block() {
+        // Lines 3-6 of the paper's Figure 1.
+        let kinds = classify(&[
+            "banner motd ^C",
+            "FooNet contact xxx@foo.com",
+            "Access strictly prohibited!",
+            "^C",
+        ]);
+        assert_eq!(
+            kinds,
+            [
+                LineKind::BannerHeader,
+                LineKind::BannerBody,
+                LineKind::BannerBody,
+                LineKind::BannerEnd
+            ]
+        );
+    }
+
+    #[test]
+    fn comment_lines() {
+        let kinds = classify(&["!", "! owned by Foo Corp", "hostname r1"]);
+        assert_eq!(
+            kinds,
+            [LineKind::Comment, LineKind::Comment, LineKind::Command]
+        );
+    }
+
+    #[test]
+    fn descriptions_are_free_text() {
+        let kinds = classify(&[
+            " description Foo Corp's LAX Main St offices",
+            " ip address 1.1.1.1 255.255.255.0",
+        ]);
+        assert_eq!(kinds, [LineKind::FreeText, LineKind::Command]);
+    }
+
+    #[test]
+    fn remark_is_free_text() {
+        let kinds = classify(&["access-list 10 remark do not touch", " remark block Foo"]);
+        // `access-list 10 remark …` head token is `access-list`, so it is
+        // a command (the anonymizer's token rules still scrub it); a bare
+        // `remark …` continuation is free text.
+        assert_eq!(kinds, [LineKind::Command, LineKind::FreeText]);
+    }
+
+    #[test]
+    fn banner_with_hash_delimiter() {
+        let kinds = classify(&["banner login #", "keep out", "#", "hostname r1"]);
+        assert_eq!(
+            kinds,
+            [
+                LineKind::BannerHeader,
+                LineKind::BannerBody,
+                LineKind::BannerEnd,
+                LineKind::Command
+            ]
+        );
+    }
+
+    #[test]
+    fn one_line_banner_self_closes() {
+        let kinds = classify(&["banner motd #unauthorized use prohibited#", "hostname r1"]);
+        assert_eq!(kinds, [LineKind::BannerHeader, LineKind::Command]);
+    }
+
+    #[test]
+    fn banner_body_containing_bang_is_not_a_comment() {
+        let kinds = classify(&["banner motd ^C", "! still banner text", "^C"]);
+        assert_eq!(kinds[1], LineKind::BannerBody);
+    }
+
+    #[test]
+    fn blank_lines() {
+        let kinds = classify(&["", "   ", "hostname r1"]);
+        assert_eq!(kinds, [LineKind::Blank, LineKind::Blank, LineKind::Command]);
+    }
+
+    #[test]
+    fn unterminated_banner_consumes_rest() {
+        // Defensive: a corrupt config whose banner never closes must not
+        // panic; everything after the header is body.
+        let kinds = classify(&["banner motd ^C", "line a", "line b"]);
+        assert_eq!(
+            kinds,
+            [
+                LineKind::BannerHeader,
+                LineKind::BannerBody,
+                LineKind::BannerBody
+            ]
+        );
+    }
+}

@@ -1,0 +1,193 @@
+//! Whitespace-preserving tokenization and word segmentation.
+//!
+//! The anonymizer rewrites configs token by token and must reproduce the
+//! file byte-for-byte where nothing changed (operators diff pre/post
+//! configs to audit the tool), so tokens carry their positions and the
+//! inter-token whitespace is reconstructable.
+
+/// A whitespace-delimited token within one line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token<'a> {
+    /// The token text (no whitespace).
+    pub text: &'a str,
+    /// Byte offset of the token within the line.
+    pub start: usize,
+}
+
+impl<'a> Token<'a> {
+    /// Byte offset one past the end of the token.
+    pub fn end(&self) -> usize {
+        self.start + self.text.len()
+    }
+}
+
+/// Splits `line` into whitespace-delimited tokens with positions.
+///
+/// ```
+/// use confanon_iosparse::tokenize;
+/// let toks = tokenize(" ip address 1.1.1.1 255.255.255.0");
+/// let texts: Vec<&str> = toks.iter().map(|t| t.text).collect();
+/// assert_eq!(texts, ["ip", "address", "1.1.1.1", "255.255.255.0"]);
+/// assert_eq!(toks[0].start, 1);
+/// ```
+pub fn tokenize(line: &str) -> Vec<Token<'_>> {
+    let mut out = Vec::new();
+    let bytes = line.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i].is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        while i < bytes.len() && !bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        out.push(Token {
+            text: &line[start..i],
+            start,
+        });
+    }
+    out
+}
+
+/// Rebuilds a line from (possibly rewritten) token texts, preserving the
+/// original inter-token whitespace layout.
+///
+/// `originals` and `rewritten` must be parallel; where a rewritten token
+/// has a different length the following whitespace is kept as a single
+/// separator run copied from the original (so columns shift but
+/// separators never vanish).
+pub fn rebuild(line: &str, originals: &[Token<'_>], rewritten: &[String]) -> String {
+    assert_eq!(originals.len(), rewritten.len());
+    let mut out = String::with_capacity(line.len());
+    let mut cursor = 0;
+    for (tok, new) in originals.iter().zip(rewritten) {
+        out.push_str(&line[cursor..tok.start]); // the whitespace run
+        out.push_str(new);
+        cursor = tok.end();
+    }
+    out.push_str(&line[cursor..]); // trailing whitespace, if any
+    out
+}
+
+/// A segment of a word: a maximal run of alphabetic characters, or a
+/// maximal run of everything else.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Segment<'a> {
+    /// Letters only — the part checked against the pass-list.
+    Alpha(&'a str),
+    /// Digits/punctuation — never anonymized on its own (paper §4.2:
+    /// `0/0` of `Ethernet0/0` "doesn't need anonymization").
+    Other(&'a str),
+}
+
+impl<'a> Segment<'a> {
+    /// The underlying text.
+    pub fn text(&self) -> &'a str {
+        match self {
+            Segment::Alpha(s) | Segment::Other(s) => s,
+        }
+    }
+}
+
+/// The paper's two segmentation rules: split a word into alphabetic and
+/// non-alphabetic runs, so `ethernet0/0` → `ethernet` + `0/0` and
+/// `cr1.lax.foo.com` → `cr` + `1.` + `lax` + `.` + `foo` + `.` + `com`.
+///
+/// ```
+/// use confanon_iosparse::{segment, Segment};
+/// let segs = segment("Serial1/0.5");
+/// assert_eq!(segs, vec![Segment::Alpha("Serial"), Segment::Other("1/0.5")]);
+/// ```
+pub fn segment(word: &str) -> Vec<Segment<'_>> {
+    let mut out = Vec::new();
+    let bytes = word.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let start = i;
+        let alpha = bytes[i].is_ascii_alphabetic();
+        while i < bytes.len() && bytes[i].is_ascii_alphabetic() == alpha {
+            i += 1;
+        }
+        let s = &word[start..i];
+        out.push(if alpha {
+            Segment::Alpha(s)
+        } else {
+            Segment::Other(s)
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenize_empty_and_blank() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("   \t ").is_empty());
+    }
+
+    #[test]
+    fn tokenize_positions() {
+        let toks = tokenize("a  bb\tccc");
+        assert_eq!(toks.len(), 3);
+        assert_eq!((toks[0].text, toks[0].start), ("a", 0));
+        assert_eq!((toks[1].text, toks[1].start), ("bb", 3));
+        assert_eq!((toks[2].text, toks[2].start), ("ccc", 6));
+    }
+
+    #[test]
+    fn rebuild_identity() {
+        let line = " neighbor 12.126.236.17 remote-as 701 ";
+        let toks = tokenize(line);
+        let same: Vec<String> = toks.iter().map(|t| t.text.to_string()).collect();
+        assert_eq!(rebuild(line, &toks, &same), line);
+    }
+
+    #[test]
+    fn rebuild_with_rewrites_preserves_separators() {
+        let line = "  route-map UUNET-import deny 10";
+        let toks = tokenize(line);
+        let mut texts: Vec<String> = toks.iter().map(|t| t.text.to_string()).collect();
+        texts[1] = "h0123456789abcdef".to_string();
+        let rebuilt = rebuild(line, &toks, &texts);
+        assert_eq!(rebuilt, "  route-map h0123456789abcdef deny 10");
+    }
+
+    #[test]
+    fn segment_interface_names() {
+        assert_eq!(
+            segment("Ethernet0"),
+            vec![Segment::Alpha("Ethernet"), Segment::Other("0")]
+        );
+        assert_eq!(
+            segment("Serial1/0.5"),
+            vec![Segment::Alpha("Serial"), Segment::Other("1/0.5")]
+        );
+    }
+
+    #[test]
+    fn segment_hostnames() {
+        let segs = segment("cr1.lax.foo.com");
+        let texts: Vec<&str> = segs.iter().map(|s| s.text()).collect();
+        assert_eq!(texts, ["cr", "1.", "lax", ".", "foo", ".", "com"]);
+    }
+
+    #[test]
+    fn segment_pure_runs() {
+        assert_eq!(segment("hostname"), vec![Segment::Alpha("hostname")]);
+        assert_eq!(segment("10.1.2.3"), vec![Segment::Other("10.1.2.3")]);
+        assert!(segment("").is_empty());
+    }
+
+    #[test]
+    fn segments_reassemble_to_word() {
+        for w in ["Ethernet0/0", "cr1.lax.foo.com", "AS701", "x", "701:1234"] {
+            let joined: String = segment(w).iter().map(|s| s.text()).collect();
+            assert_eq!(joined, w);
+        }
+    }
+}

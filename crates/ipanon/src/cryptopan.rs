@@ -1,0 +1,109 @@
+//! The stateless cryptographic scheme (Xu et al.), our comparison baseline.
+//!
+//! Each output bit is `input_bit ⊕ F(key, input_prefix)` where `F` is a
+//! keyed PRF of the bits above the current position. Consistency across
+//! machines requires sharing only the key — the property the paper credits
+//! to Xu's scheme ("very little state must be shared …, making it amenable
+//! to parallelization") — but there is no table to *shape*, so the
+//! class-preservation, special-passthrough, and subnet-address rules of
+//! §4.3 cannot be expressed. Experiment E13 benchmarks this trade-off.
+
+use confanon_crypto::Prf;
+use confanon_netprim::Ip;
+
+/// Stateless prefix-preserving anonymizer.
+pub struct CryptoPan {
+    prf: Prf,
+}
+
+impl CryptoPan {
+    /// Creates an instance keyed by the owner secret.
+    pub fn new(owner_secret: &[u8]) -> CryptoPan {
+        CryptoPan {
+            prf: Prf::new(owner_secret),
+        }
+    }
+
+    /// Maps one address. Pure function of `(key, ip)` — no interior state.
+    pub fn anonymize(&self, ip: Ip) -> Ip {
+        let mut out = 0u32;
+        let mut prefix = 0u32;
+        for depth in 0u8..32 {
+            let in_bit = ip.bit(depth);
+            // PRF input: the bits above `depth`, left-aligned, plus the
+            // depth itself (distinguishes equal left-aligned prefixes of
+            // different lengths).
+            let mut msg = [0u8; 5];
+            msg[..4].copy_from_slice(&prefix.to_be_bytes());
+            msg[4] = depth;
+            let flip = self.prf.bit("cryptopan", &msg);
+            out = (out << 1) | u32::from(in_bit ^ flip);
+            prefix |= u32::from(in_bit) << (31 - depth);
+        }
+        Ip(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_stateless() {
+        let cp = CryptoPan::new(b"k");
+        let ip: Ip = "12.126.236.17".parse().unwrap();
+        assert_eq!(cp.anonymize(ip), cp.anonymize(ip));
+        // A second instance (fresh "machine") agrees: only the key is
+        // shared state.
+        let cp2 = CryptoPan::new(b"k");
+        assert_eq!(cp.anonymize(ip), cp2.anonymize(ip));
+    }
+
+    #[test]
+    fn keyed() {
+        let ip: Ip = "12.126.236.17".parse().unwrap();
+        assert_ne!(
+            CryptoPan::new(b"k1").anonymize(ip),
+            CryptoPan::new(b"k2").anonymize(ip)
+        );
+    }
+
+    #[test]
+    fn prefix_preserving_concrete() {
+        let cp = CryptoPan::new(b"k");
+        let a: Ip = "10.1.2.3".parse().unwrap();
+        let b: Ip = "10.1.2.200".parse().unwrap();
+        let c: Ip = "10.1.99.1".parse().unwrap();
+        assert_eq!(
+            a.common_prefix_len(b),
+            cp.anonymize(a).common_prefix_len(cp.anonymize(b))
+        );
+        assert_eq!(
+            a.common_prefix_len(c),
+            cp.anonymize(a).common_prefix_len(cp.anonymize(c))
+        );
+    }
+
+    #[test]
+    fn bijective_on_a_sample() {
+        // Injectivity spot check over 10k inputs.
+        let cp = CryptoPan::new(b"k");
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000u32 {
+            let out = cp.anonymize(Ip(i.wrapping_mul(2_654_435_761)));
+            assert!(seen.insert(out.0));
+        }
+    }
+
+    #[test]
+    fn does_not_preserve_class_in_general() {
+        // The documented limitation (why the paper uses the trie scheme):
+        // the flip of bit 0 is one per-key coin, so across a handful of
+        // keys some key must move 10.0.0.0 out of class A.
+        let ip = Ip(0x0A00_0000);
+        let changed = (0u8..16).any(|k| {
+            CryptoPan::new(&[k]).anonymize(ip).class() != ip.class()
+        });
+        assert!(changed, "implausible: class preserved under all 16 keys");
+    }
+}

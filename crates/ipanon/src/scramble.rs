@@ -1,0 +1,83 @@
+//! Negative control: a per-address random scramble.
+//!
+//! Every anonymity property of §4.3 and *none* of the structure: each
+//! distinct address maps to an independent pseudo-random address
+//! (injectively, via cycle-walked 32-bit Feistel), so prefixes,
+//! classes, and subnet relationships are destroyed. This is the
+//! strawman the paper's whole design argues against — experiment E15
+//! runs the validation suites over it and watches them fail, which is
+//! the quantified justification for prefix preservation.
+
+use confanon_crypto::FeistelPermutation32;
+use confanon_netprim::{special_kind, Ip};
+
+/// A structure-destroying (but injective and keyed) address mapping.
+///
+/// Specials still pass through — otherwise netmask tokens would break
+/// the config *syntax*, and the point of the control is to break the
+/// *semantics* only.
+pub struct RandomScramble {
+    perm: FeistelPermutation32,
+}
+
+impl RandomScramble {
+    /// Creates a scrambler keyed by the owner secret.
+    pub fn new(owner_secret: &[u8]) -> RandomScramble {
+        RandomScramble {
+            perm: FeistelPermutation32::new(owner_secret, "scramble"),
+        }
+    }
+
+    /// Maps one address with no structural guarantees.
+    pub fn anonymize(&self, ip: Ip) -> Ip {
+        if special_kind(ip).is_some() {
+            return ip;
+        }
+        let mut y = Ip(self.perm.apply(ip.0));
+        // Keep the image ordinary so it cannot masquerade as a netmask.
+        while special_kind(y).is_some() {
+            y = Ip(self.perm.apply(y.0));
+        }
+        y
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn injective_and_keyed() {
+        let s = RandomScramble::new(b"k");
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000u32 {
+            let ip = Ip(i.wrapping_mul(2_654_435_761));
+            if special_kind(ip).is_none() {
+                assert!(seen.insert(s.anonymize(ip)));
+            }
+        }
+        let t = RandomScramble::new(b"other");
+        let ip = Ip(0x0A00_0001);
+        assert_ne!(s.anonymize(ip), t.anonymize(ip));
+    }
+
+    #[test]
+    fn destroys_prefix_relationships() {
+        // The defining anti-property: sibling addresses land far apart.
+        let s = RandomScramble::new(b"k");
+        let a: Ip = "10.1.2.3".parse().unwrap();
+        let b: Ip = "10.1.2.4".parse().unwrap();
+        let shared = s.anonymize(a).common_prefix_len(s.anonymize(b));
+        // 30 shared input bits; a structure-preserving map would keep all
+        // 30. Pseudo-random images share ~1 bit in expectation; allow a
+        // generous margin.
+        assert!(shared < 16, "scramble preserved {shared} bits");
+    }
+
+    #[test]
+    fn specials_still_pass() {
+        let s = RandomScramble::new(b"k");
+        let m: Ip = "255.255.255.0".parse().unwrap();
+        assert_eq!(s.anonymize(m), m);
+    }
+}

@@ -1,0 +1,408 @@
+//! IPv6 addresses and prefixes — the obvious post-paper extension.
+//!
+//! The paper (2004) treats IPv4 only, but IOS shipped IPv6 support well
+//! before it, and any contemporary anonymizer must cover `ipv6 address
+//! 2001:db8::1/64`. The same design carries over unchanged: a
+//! prefix-preserving map over 128 bits with special-region passthrough.
+//!
+//! Parsing accepts the RFC 4291 text forms (full, `::`-compressed, and
+//! the embedded-IPv4 tail); display produces the canonical RFC 5952 form
+//! (lowercase, longest zero run compressed, leftmost on ties, no
+//! single-group `::`).
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::error::ParseError;
+
+/// An IPv6 address (host integer order, MSB first).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Ip6(pub u128);
+
+impl Ip6 {
+    /// `::`.
+    pub const UNSPECIFIED: Ip6 = Ip6(0);
+    /// `::1`.
+    pub const LOOPBACK: Ip6 = Ip6(1);
+
+    /// Builds from eight 16-bit groups, most significant first.
+    pub const fn from_segments(s: [u16; 8]) -> Ip6 {
+        let mut v: u128 = 0;
+        let mut i = 0;
+        while i < 8 {
+            v = (v << 16) | s[i] as u128;
+            i += 1;
+        }
+        Ip6(v)
+    }
+
+    /// The eight 16-bit groups, most significant first.
+    pub const fn segments(self) -> [u16; 8] {
+        let v = self.0;
+        [
+            (v >> 112) as u16,
+            (v >> 96) as u16,
+            (v >> 80) as u16,
+            (v >> 64) as u16,
+            (v >> 48) as u16,
+            (v >> 32) as u16,
+            (v >> 16) as u16,
+            v as u16,
+        ]
+    }
+
+    /// Bit at position `i`, MSB-first (0..128).
+    ///
+    /// # Panics
+    /// Panics if `i >= 128`.
+    pub const fn bit(self, i: u8) -> bool {
+        assert!(i < 128);
+        (self.0 >> (127 - i)) & 1 == 1
+    }
+
+    /// Copy with bit `i` set to `v` (MSB-first indexing).
+    pub const fn with_bit(self, i: u8, v: bool) -> Ip6 {
+        assert!(i < 128);
+        let mask = 1u128 << (127 - i);
+        if v {
+            Ip6(self.0 | mask)
+        } else {
+            Ip6(self.0 & !mask)
+        }
+    }
+
+    /// Length of the longest common prefix with `other`, in bits (0..=128).
+    pub const fn common_prefix_len(self, other: Ip6) -> u8 {
+        (self.0 ^ other.0).leading_zeros() as u8
+    }
+}
+
+impl fmt::Display for Ip6 {
+    /// Canonical RFC 5952 text form.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let segs = self.segments();
+        // Longest run of zero groups, length >= 2, leftmost on ties.
+        let (mut best_start, mut best_len) = (0usize, 0usize);
+        let mut i = 0;
+        while i < 8 {
+            if segs[i] == 0 {
+                let start = i;
+                while i < 8 && segs[i] == 0 {
+                    i += 1;
+                }
+                let len = i - start;
+                if len > best_len {
+                    best_start = start;
+                    best_len = len;
+                }
+            } else {
+                i += 1;
+            }
+        }
+        if best_len < 2 {
+            // No compression.
+            for (j, s) in segs.iter().enumerate() {
+                if j > 0 {
+                    write!(f, ":")?;
+                }
+                write!(f, "{s:x}")?;
+            }
+            return Ok(());
+        }
+        for (j, s) in segs.iter().enumerate().take(best_start) {
+            if j > 0 {
+                write!(f, ":")?;
+            }
+            write!(f, "{s:x}")?;
+        }
+        write!(f, "::")?;
+        for (j, s) in segs.iter().enumerate().skip(best_start + best_len) {
+            if j > best_start + best_len {
+                write!(f, ":")?;
+            }
+            write!(f, "{s:x}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for Ip6 {
+    type Err = ParseError;
+
+    fn from_str(s: &str) -> Result<Ip6, ParseError> {
+        if s.is_empty() || s.len() > 45 {
+            return Err(ParseError::BadOctet(s.to_string()));
+        }
+        // Split at most one `::`.
+        let parts: Vec<&str> = s.splitn(2, "::").collect();
+        let (head, tail) = match parts.as_slice() {
+            [h] => (*h, None),
+            [h, t] => (*h, Some(*t)),
+            _ => unreachable!("splitn(2)"),
+        };
+        if tail.is_none() && s.contains("::") {
+            return Err(ParseError::BadOctet(s.to_string()));
+        }
+
+        let head_groups = parse_groups(head)?;
+        let tail_groups = match tail {
+            Some(t) => parse_groups(t)?,
+            None => Vec::new(),
+        };
+
+        let total = head_groups.len() + tail_groups.len();
+        let v = match tail {
+            None => {
+                if total != 8 {
+                    return Err(ParseError::WrongComponentCount(total));
+                }
+                let mut segs = [0u16; 8];
+                segs.copy_from_slice(&head_groups);
+                return Ok(Ip6::from_segments(segs));
+            }
+            Some(_) => {
+                if total > 7 {
+                    // `::` must stand for at least one zero group — except
+                    // the degenerate full-zero forms already covered.
+                    return Err(ParseError::WrongComponentCount(total));
+                }
+                let mut segs = [0u16; 8];
+                segs[..head_groups.len()].copy_from_slice(&head_groups);
+                segs[8 - tail_groups.len()..].copy_from_slice(&tail_groups);
+                segs
+            }
+        };
+        Ok(Ip6::from_segments(v))
+    }
+}
+
+/// Parses colon-separated hex groups, allowing an embedded IPv4 tail.
+fn parse_groups(s: &str) -> Result<Vec<u16>, ParseError> {
+    if s.is_empty() {
+        return Ok(Vec::new());
+    }
+    let mut out = Vec::new();
+    let pieces: Vec<&str> = s.split(':').collect();
+    for (i, p) in pieces.iter().enumerate() {
+        if p.contains('.') {
+            // Embedded IPv4 — only legal as the last piece.
+            if i != pieces.len() - 1 {
+                return Err(ParseError::BadOctet((*p).to_string()));
+            }
+            let v4: crate::addr::Ip = p.parse()?;
+            out.push((v4.0 >> 16) as u16);
+            out.push(v4.0 as u16);
+            continue;
+        }
+        if p.is_empty() || p.len() > 4 || !p.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return Err(ParseError::BadOctet((*p).to_string()));
+        }
+        out.push(u16::from_str_radix(p, 16).expect("hex digits"));
+    }
+    Ok(out)
+}
+
+/// An IPv6 CIDR prefix (normalized: host bits zeroed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Prefix6 {
+    addr: Ip6,
+    len: u8,
+}
+
+impl Prefix6 {
+    /// Builds a prefix, zeroing host bits.
+    ///
+    /// # Panics
+    /// Panics if `len > 128`.
+    pub const fn new(addr: Ip6, len: u8) -> Prefix6 {
+        assert!(len <= 128);
+        let mask: u128 = if len == 0 { 0 } else { u128::MAX << (128 - len) };
+        Prefix6 {
+            addr: Ip6(addr.0 & mask),
+            len,
+        }
+    }
+
+    /// The network address.
+    pub const fn network(self) -> Ip6 {
+        self.addr
+    }
+
+    /// The prefix length.
+    #[allow(clippy::len_without_is_empty)] // a prefix is never "empty"
+    pub const fn len(self) -> u8 {
+        self.len
+    }
+
+    /// Containment test.
+    pub const fn contains(self, ip: Ip6) -> bool {
+        let mask: u128 = if self.len == 0 {
+            0
+        } else {
+            u128::MAX << (128 - self.len)
+        };
+        ip.0 & mask == self.addr.0
+    }
+}
+
+impl fmt::Display for Prefix6 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.addr, self.len)
+    }
+}
+
+impl FromStr for Prefix6 {
+    type Err = ParseError;
+
+    fn from_str(s: &str) -> Result<Prefix6, ParseError> {
+        let (a, l) = s
+            .split_once('/')
+            .ok_or_else(|| ParseError::BadPrefixLen(s.to_string()))?;
+        let addr: Ip6 = a.parse()?;
+        let len: u8 = l
+            .parse()
+            .map_err(|_| ParseError::BadPrefixLen(l.to_string()))?;
+        if len > 128 {
+            return Err(ParseError::BadPrefixLen(l.to_string()));
+        }
+        Ok(Prefix6::new(addr, len))
+    }
+}
+
+/// Why an IPv6 address passes through anonymization unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Special6Kind {
+    /// `::`.
+    Unspecified,
+    /// `::1`.
+    Loopback,
+    /// `fe80::/10`.
+    LinkLocal,
+    /// `ff00::/8` (all multicast, including the protocol groups).
+    Multicast,
+    /// `::ffff:0:0/96` — IPv4-mapped; the v4 tail is handled by the v4 map.
+    V4Mapped,
+}
+
+/// Classifies special IPv6 addresses (`None` = ordinary, anonymizable).
+///
+/// Note `2001:db8::/32` (documentation space) is *not* special: real
+/// configs should never carry it, and if they do it is as identifying as
+/// any other prefix.
+pub fn special6_kind(ip: Ip6) -> Option<Special6Kind> {
+    if ip == Ip6::UNSPECIFIED {
+        return Some(Special6Kind::Unspecified);
+    }
+    if ip == Ip6::LOOPBACK {
+        return Some(Special6Kind::Loopback);
+    }
+    if Prefix6::new(Ip6(0xfe80u128 << 112), 10).contains(ip) {
+        return Some(Special6Kind::LinkLocal);
+    }
+    if Prefix6::new(Ip6(0xffu128 << 120), 8).contains(ip) {
+        return Some(Special6Kind::Multicast);
+    }
+    if Prefix6::new(Ip6(0xffffu128 << 32), 96).contains(ip) {
+        return Some(Special6Kind::V4Mapped);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rt(s: &str) -> String {
+        s.parse::<Ip6>().unwrap().to_string()
+    }
+
+    #[test]
+    fn parse_and_canonicalize() {
+        assert_eq!(rt("2001:db8::1"), "2001:db8::1");
+        assert_eq!(rt("2001:0db8:0000:0000:0000:0000:0000:0001"), "2001:db8::1");
+        assert_eq!(rt("::"), "::");
+        assert_eq!(rt("::1"), "::1");
+        assert_eq!(rt("2001:DB8::A"), "2001:db8::a");
+        assert_eq!(rt("1:0:0:2:0:0:0:3"), "1:0:0:2::3"); // longest run wins
+        assert_eq!(rt("1:0:0:2:0:0:3:4"), "1::2:0:0:3:4"); // leftmost on tie
+    }
+
+    #[test]
+    fn no_single_group_compression() {
+        // RFC 5952 §4.2.2: one zero group is not compressed.
+        assert_eq!(rt("2001:db8:0:1:1:1:1:1"), "2001:db8:0:1:1:1:1:1");
+    }
+
+    #[test]
+    fn embedded_ipv4() {
+        let ip: Ip6 = "::ffff:192.0.2.1".parse().unwrap();
+        assert_eq!(ip.segments()[6], 0xc000);
+        assert_eq!(ip.segments()[7], 0x0201);
+        assert_eq!(special6_kind(ip), Some(Special6Kind::V4Mapped));
+    }
+
+    #[test]
+    fn zone_ids_are_rejected() {
+        // `%zone` suffixes never appear in configs; reject rather than
+        // silently strip.
+        assert!("fe80::1%eth0".parse::<Ip6>().is_err());
+    }
+
+    #[test]
+    fn parse_rejections() {
+        for s in [
+            "",
+            ":::",
+            "1:2:3:4:5:6:7",        // too few, no ::
+            "1:2:3:4:5:6:7:8:9",    // too many
+            "1::2::3",              // two ::
+            "12345::",              // group too long
+            "g::1",                 // non-hex
+            "1:2:3:4:5:6:7:8::",    // :: of zero groups after full count
+            "::1.2.3.4.5",
+        ] {
+            assert!(s.parse::<Ip6>().is_err(), "{s:?} should fail");
+        }
+    }
+
+    #[test]
+    fn bits_and_lcp() {
+        let a: Ip6 = "2001:db8::1".parse().unwrap();
+        let b: Ip6 = "2001:db8::2".parse().unwrap();
+        assert_eq!(a.common_prefix_len(b), 126);
+        assert!(a.bit(127));
+        assert!(!a.bit(0));
+        assert_eq!(a.with_bit(127, false), "2001:db8::".parse().unwrap());
+    }
+
+    #[test]
+    fn prefix6_contains() {
+        let p: Prefix6 = "2001:db8:aa00::/40".parse().unwrap();
+        assert!(p.contains("2001:db8:aaff::1".parse().unwrap()));
+        assert!(!p.contains("2001:db8:ab00::1".parse().unwrap()));
+        assert_eq!(p.to_string(), "2001:db8:aa00::/40");
+    }
+
+    #[test]
+    fn specials() {
+        assert_eq!(special6_kind("::".parse().unwrap()), Some(Special6Kind::Unspecified));
+        assert_eq!(special6_kind("::1".parse().unwrap()), Some(Special6Kind::Loopback));
+        assert_eq!(
+            special6_kind("fe80::dead:beef".parse().unwrap()),
+            Some(Special6Kind::LinkLocal)
+        );
+        assert_eq!(
+            special6_kind("ff02::5".parse().unwrap()),
+            Some(Special6Kind::Multicast)
+        );
+        assert_eq!(special6_kind("2001:db8::1".parse().unwrap()), None);
+        assert_eq!(special6_kind("2400:cb00::1".parse().unwrap()), None);
+    }
+
+    #[test]
+    fn ordering_matches_numeric() {
+        let a: Ip6 = "::1".parse().unwrap();
+        let b: Ip6 = "::2".parse().unwrap();
+        assert!(a < b);
+    }
+}

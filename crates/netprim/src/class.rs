@@ -1,0 +1,125 @@
+//! Classful addressing (RFC 791 classes A–E).
+//!
+//! The paper requires the IP anonymization to be *class preserving*: older
+//! commands (`router rip`, `router eigrp <as>` with `network` statements)
+//! implicitly interpret addresses classfully, so an address in class A must
+//! map to another class A address or those commands change meaning.
+
+use crate::addr::Ip;
+
+/// The classful address class of an IPv4 address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AddrClass {
+    /// `0.0.0.0/1` — leading bits `0…`; 8-bit network part.
+    A,
+    /// `128.0.0.0/2` — leading bits `10…`; 16-bit network part.
+    B,
+    /// `192.0.0.0/3` — leading bits `110…`; 24-bit network part.
+    C,
+    /// `224.0.0.0/4` — leading bits `1110…`; multicast.
+    D,
+    /// `240.0.0.0/4` — leading bits `1111…`; reserved.
+    E,
+}
+
+impl AddrClass {
+    /// Determines the class of `ip` from its leading bits.
+    pub const fn of(ip: Ip) -> AddrClass {
+        let v = ip.0;
+        if v >> 31 == 0 {
+            AddrClass::A
+        } else if v >> 30 == 0b10 {
+            AddrClass::B
+        } else if v >> 29 == 0b110 {
+            AddrClass::C
+        } else if v >> 28 == 0b1110 {
+            AddrClass::D
+        } else {
+            AddrClass::E
+        }
+    }
+
+    /// Number of leading bits that *define* the class (the bits an
+    /// anonymizer must copy unchanged to stay class preserving).
+    ///
+    /// Class A is defined by 1 bit (`0`), B by 2 (`10`), C by 3 (`110`),
+    /// D and E by 4.
+    pub const fn defining_bits(self) -> u8 {
+        match self {
+            AddrClass::A => 1,
+            AddrClass::B => 2,
+            AddrClass::C => 3,
+            AddrClass::D | AddrClass::E => 4,
+        }
+    }
+
+    /// Length of the classful *network* part in bits, or `None` for the
+    /// classes that do not partition into networks (D, E).
+    pub const fn network_bits(self) -> Option<u8> {
+        match self {
+            AddrClass::A => Some(8),
+            AddrClass::B => Some(16),
+            AddrClass::C => Some(24),
+            AddrClass::D | AddrClass::E => None,
+        }
+    }
+}
+
+impl std::fmt::Display for AddrClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let c = match self {
+            AddrClass::A => 'A',
+            AddrClass::B => 'B',
+            AddrClass::C => 'C',
+            AddrClass::D => 'D',
+            AddrClass::E => 'E',
+        };
+        write!(f, "{c}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn class_of(s: &str) -> AddrClass {
+        s.parse::<Ip>().unwrap().class()
+    }
+
+    #[test]
+    fn boundaries() {
+        assert_eq!(class_of("0.0.0.0"), AddrClass::A);
+        assert_eq!(class_of("127.255.255.255"), AddrClass::A);
+        assert_eq!(class_of("128.0.0.0"), AddrClass::B);
+        assert_eq!(class_of("191.255.255.255"), AddrClass::B);
+        assert_eq!(class_of("192.0.0.0"), AddrClass::C);
+        assert_eq!(class_of("223.255.255.255"), AddrClass::C);
+        assert_eq!(class_of("224.0.0.0"), AddrClass::D);
+        assert_eq!(class_of("239.255.255.255"), AddrClass::D);
+        assert_eq!(class_of("240.0.0.0"), AddrClass::E);
+        assert_eq!(class_of("255.255.255.255"), AddrClass::E);
+    }
+
+    #[test]
+    fn network_bits_match_tradition() {
+        assert_eq!(AddrClass::A.network_bits(), Some(8));
+        assert_eq!(AddrClass::B.network_bits(), Some(16));
+        assert_eq!(AddrClass::C.network_bits(), Some(24));
+        assert_eq!(AddrClass::D.network_bits(), None);
+        assert_eq!(AddrClass::E.network_bits(), None);
+    }
+
+    #[test]
+    fn defining_bits_identify_class() {
+        // Copying `defining_bits` leading bits from any address pins its
+        // class: flipping any later bit must not change the class.
+        for s in ["10.0.0.0", "150.1.1.1", "200.2.2.2", "230.3.3.3", "250.4.4.4"] {
+            let ip: Ip = s.parse().unwrap();
+            let k = ip.class().defining_bits();
+            for b in k..32 {
+                let flipped = ip.with_bit(b, !ip.bit(b));
+                assert_eq!(flipped.class(), ip.class(), "{s} bit {b}");
+            }
+        }
+    }
+}

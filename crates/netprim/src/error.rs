@@ -1,0 +1,39 @@
+//! Parse errors for the textual address forms found in configuration files.
+
+use std::fmt;
+
+/// Error returned when a dotted-quad, netmask, or prefix fails to parse.
+///
+/// The anonymizer treats parse failure as "this token is not an address" and
+/// falls through to the generic string rules, so the variants carry enough
+/// information for diagnostics but no heap allocation beyond the offending
+/// input length.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// The string did not have exactly four dot-separated components.
+    WrongComponentCount(usize),
+    /// A component was empty or contained a non-digit character.
+    BadOctet(String),
+    /// A numeric component exceeded 255.
+    OctetOutOfRange(u32),
+    /// A prefix length was missing or not in `0..=32`.
+    BadPrefixLen(String),
+    /// The dotted quad was not a contiguous-ones netmask.
+    NotAMask(String),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::WrongComponentCount(n) => {
+                write!(f, "expected 4 dotted components, found {n}")
+            }
+            ParseError::BadOctet(s) => write!(f, "invalid octet {s:?}"),
+            ParseError::OctetOutOfRange(v) => write!(f, "octet {v} out of range 0..=255"),
+            ParseError::BadPrefixLen(s) => write!(f, "invalid prefix length {s:?}"),
+            ParseError::NotAMask(s) => write!(f, "{s:?} is not a contiguous netmask"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}

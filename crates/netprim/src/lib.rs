@@ -1,0 +1,37 @@
+//! # confanon-netprim — IPv4 primitives for configuration anonymization
+//!
+//! Self-contained IPv4 address arithmetic used throughout the anonymizer:
+//! addresses, netmasks and wildcard (inverse) masks, classful addressing
+//! rules (the paper's anonymizer must be *class preserving* because older
+//! commands such as `router rip` / `router eigrp` interpret addresses
+//! classfully), prefixes with *subnet contains* semantics, and the taxonomy
+//! of *special* addresses that must pass through anonymization unchanged
+//! (netmask-valued dotted quads, multicast, loopback, broadcast, …).
+//!
+//! Everything here is implemented from scratch on top of a `u32` newtype so
+//! the rest of the workspace never depends on `std::net` parsing behaviour.
+//!
+//! ```
+//! use confanon_netprim::{Ip, Prefix, AddrClass};
+//!
+//! let ip: Ip = "10.1.2.3".parse().unwrap();
+//! let pfx: Prefix = "10.1.2.0/24".parse().unwrap();
+//! assert!(pfx.contains(ip));
+//! assert_eq!(ip.class(), AddrClass::A);
+//! ```
+
+mod addr;
+mod addr6;
+mod class;
+mod error;
+mod mask;
+mod prefix;
+mod special;
+
+pub use addr::Ip;
+pub use addr6::{special6_kind, Ip6, Prefix6, Special6Kind};
+pub use class::AddrClass;
+pub use error::ParseError;
+pub use mask::{Netmask, WildcardMask};
+pub use prefix::Prefix;
+pub use special::{special_kind, SpecialKind};

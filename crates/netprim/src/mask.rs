@@ -1,0 +1,222 @@
+//! Netmasks and wildcard (inverse) masks.
+//!
+//! Configuration files contain both forms: `ip address 10.1.1.1
+//! 255.255.255.0` uses a netmask, while `access-list 143 permit ip 1.1.1.0
+//! 0.0.0.255 any` uses a wildcard mask. Both are *special* values the
+//! anonymizer must pass through unchanged (paper §3.2), so recognizing them
+//! reliably matters for correctness, not just convenience.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::addr::Ip;
+use crate::error::ParseError;
+
+/// A contiguous-ones netmask such as `255.255.255.0`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Netmask {
+    len: u8,
+}
+
+impl Netmask {
+    /// Builds a netmask from a prefix length.
+    ///
+    /// # Panics
+    /// Panics if `len > 32`.
+    pub const fn from_len(len: u8) -> Netmask {
+        assert!(len <= 32);
+        Netmask { len }
+    }
+
+    /// The prefix length (count of leading one bits).
+    pub const fn len(self) -> u8 {
+        self.len
+    }
+
+    /// True for the zero-length mask `0.0.0.0`.
+    pub const fn is_empty(self) -> bool {
+        self.len == 0
+    }
+
+    /// The mask as a 32-bit value with `len` leading ones.
+    pub const fn to_u32(self) -> u32 {
+        if self.len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - self.len)
+        }
+    }
+
+    /// The mask as an address value (useful for printing / passthrough).
+    pub const fn to_ip(self) -> Ip {
+        Ip(self.to_u32())
+    }
+
+    /// Interprets an arbitrary 32-bit value as a netmask if its ones are
+    /// contiguous from the MSB.
+    pub const fn from_u32(v: u32) -> Option<Netmask> {
+        // A contiguous mask satisfies: !v + 1 is a power of two (or v == 0).
+        let inv = !v;
+        if inv & inv.wrapping_add(1) == 0 {
+            Some(Netmask {
+                len: v.count_ones() as u8,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Applies the mask: keeps the network part of `ip`.
+    pub const fn apply(self, ip: Ip) -> Ip {
+        Ip(ip.0 & self.to_u32())
+    }
+}
+
+impl fmt::Display for Netmask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_ip())
+    }
+}
+
+impl FromStr for Netmask {
+    type Err = ParseError;
+
+    fn from_str(s: &str) -> Result<Netmask, ParseError> {
+        let ip: Ip = s.parse()?;
+        Netmask::from_u32(ip.0).ok_or_else(|| ParseError::NotAMask(s.to_string()))
+    }
+}
+
+/// A wildcard (inverse) mask such as `0.0.0.255`, as used by access lists
+/// and OSPF `network` statements.
+///
+/// Cisco semantics: a `1` bit means "don't care". Although arbitrary bit
+/// patterns are legal, real configurations almost exclusively use
+/// contiguous-ones-from-the-LSB wildcards; [`WildcardMask::prefix_len`]
+/// reports the equivalent prefix length for those.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WildcardMask(pub u32);
+
+impl WildcardMask {
+    /// The wildcard equivalent to a prefix of length `len`
+    /// (`len = 24` → `0.0.0.255`).
+    ///
+    /// # Panics
+    /// Panics if `len > 32`.
+    pub const fn from_prefix_len(len: u8) -> WildcardMask {
+        assert!(len <= 32);
+        WildcardMask(!Netmask::from_len(len).to_u32())
+    }
+
+    /// If this wildcard is contiguous (ones from the LSB), the equivalent
+    /// prefix length.
+    pub const fn prefix_len(self) -> Option<u8> {
+        // Contiguous-from-LSB ones: v + 1 is a power of two (or v == 0).
+        let v = self.0;
+        if v & v.wrapping_add(1) == 0 {
+            Some(32 - v.count_ones() as u8)
+        } else {
+            None
+        }
+    }
+
+    /// True if `a` and `b` match under this wildcard (all "care" bits equal).
+    pub const fn matches(self, a: Ip, b: Ip) -> bool {
+        (a.0 ^ b.0) & !self.0 == 0
+    }
+}
+
+impl fmt::Display for WildcardMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", Ip(self.0))
+    }
+}
+
+impl FromStr for WildcardMask {
+    type Err = ParseError;
+
+    fn from_str(s: &str) -> Result<WildcardMask, ParseError> {
+        let ip: Ip = s.parse()?;
+        Ok(WildcardMask(ip.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn netmask_round_trip_all_lengths() {
+        for len in 0..=32u8 {
+            let m = Netmask::from_len(len);
+            assert_eq!(m.len(), len);
+            let reparsed: Netmask = m.to_string().parse().unwrap();
+            assert_eq!(reparsed, m);
+            assert_eq!(Netmask::from_u32(m.to_u32()), Some(m));
+        }
+    }
+
+    #[test]
+    fn netmask_rejects_noncontiguous() {
+        for s in ["255.0.255.0", "0.255.0.0", "255.255.0.255", "128.0.0.1"] {
+            assert!(s.parse::<Netmask>().is_err(), "{s} is not a mask");
+        }
+    }
+
+    #[test]
+    fn netmask_common_values() {
+        assert_eq!("255.255.255.0".parse::<Netmask>().unwrap().len(), 24);
+        assert_eq!("255.255.255.252".parse::<Netmask>().unwrap().len(), 30);
+        assert_eq!("0.0.0.0".parse::<Netmask>().unwrap().len(), 0);
+        assert_eq!("255.255.255.255".parse::<Netmask>().unwrap().len(), 32);
+    }
+
+    #[test]
+    fn netmask_apply() {
+        let m: Netmask = "255.255.255.0".parse().unwrap();
+        let ip: Ip = "10.1.2.3".parse().unwrap();
+        assert_eq!(m.apply(ip).to_string(), "10.1.2.0");
+    }
+
+    #[test]
+    fn wildcard_prefix_len() {
+        assert_eq!(
+            "0.0.0.255".parse::<WildcardMask>().unwrap().prefix_len(),
+            Some(24)
+        );
+        assert_eq!(
+            "0.0.0.3".parse::<WildcardMask>().unwrap().prefix_len(),
+            Some(30)
+        );
+        assert_eq!(
+            "255.255.255.255"
+                .parse::<WildcardMask>()
+                .unwrap()
+                .prefix_len(),
+            Some(0)
+        );
+        assert_eq!(
+            "0.0.255.0".parse::<WildcardMask>().unwrap().prefix_len(),
+            None
+        );
+    }
+
+    #[test]
+    fn wildcard_matches() {
+        let w: WildcardMask = "0.0.0.255".parse().unwrap();
+        let a: Ip = "10.1.2.3".parse().unwrap();
+        let b: Ip = "10.1.2.200".parse().unwrap();
+        let c: Ip = "10.1.3.3".parse().unwrap();
+        assert!(w.matches(a, b));
+        assert!(!w.matches(a, c));
+    }
+
+    #[test]
+    fn wildcard_from_prefix_len_is_inverse_of_netmask() {
+        for len in 0..=32u8 {
+            let w = WildcardMask::from_prefix_len(len);
+            assert_eq!(w.0, !Netmask::from_len(len).to_u32());
+            assert_eq!(w.prefix_len(), Some(len));
+        }
+    }
+}

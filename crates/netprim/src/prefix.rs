@@ -1,0 +1,237 @@
+//! Prefixes (`10.1.2.0/24`) and the *subnet contains* relationship.
+//!
+//! Configuration files associate elements through containment: the paper's
+//! example runs RIP over interface `Ethernet0` purely because `network
+//! 1.0.0.0` contains `1.1.1.1`. The anonymizer must preserve that relation,
+//! and the validation suite compares the *structure of the address space*
+//! (number of subnets of each size) pre/post anonymization, so prefix
+//! arithmetic is load-bearing for both correctness and evaluation.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::addr::Ip;
+use crate::error::ParseError;
+use crate::mask::Netmask;
+
+/// A CIDR prefix: a network address and a length. The stored address is
+/// always normalized (host bits zeroed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Prefix {
+    addr: Ip,
+    len: u8,
+}
+
+impl Prefix {
+    /// Builds a prefix, zeroing any host bits of `addr`.
+    ///
+    /// # Panics
+    /// Panics if `len > 32`.
+    pub const fn new(addr: Ip, len: u8) -> Prefix {
+        assert!(len <= 32);
+        Prefix {
+            addr: Netmask::from_len(len).apply(addr),
+            len,
+        }
+    }
+
+    /// The (normalized) network address.
+    pub const fn network(self) -> Ip {
+        self.addr
+    }
+
+    /// The prefix length.
+    #[allow(clippy::len_without_is_empty)] // a prefix is never "empty"
+    pub const fn len(self) -> u8 {
+        self.len
+    }
+
+    /// True only for `0.0.0.0/0`.
+    pub const fn is_default(self) -> bool {
+        self.len == 0
+    }
+
+    /// The netmask corresponding to this prefix length.
+    pub const fn netmask(self) -> Netmask {
+        Netmask::from_len(self.len)
+    }
+
+    /// The last address in the prefix (the directed broadcast address for
+    /// lengths < 31).
+    pub const fn last(self) -> Ip {
+        Ip(self.addr.0 | !self.netmask().to_u32())
+    }
+
+    /// Number of addresses covered, saturating at `u32::MAX` for `/0`.
+    pub const fn size(self) -> u32 {
+        if self.len == 0 {
+            u32::MAX
+        } else {
+            1u32 << (32 - self.len)
+        }
+    }
+
+    /// Subnet-contains test for a single address.
+    pub const fn contains(self, ip: Ip) -> bool {
+        self.netmask().apply(ip).0 == self.addr.0
+    }
+
+    /// True if `other` is a (non-strict) subnet of `self`.
+    pub const fn contains_prefix(self, other: Prefix) -> bool {
+        other.len >= self.len && self.contains(other.addr)
+    }
+
+    /// The immediate parent prefix (one bit shorter), or `None` for `/0`.
+    pub const fn parent(self) -> Option<Prefix> {
+        match self.len {
+            0 => None,
+            l => Some(Prefix::new(self.addr, l - 1)),
+        }
+    }
+
+    /// The `i`-th host address within the prefix.
+    ///
+    /// # Panics
+    /// Panics if `i` is outside the prefix.
+    pub fn host(self, i: u32) -> Ip {
+        assert!(self.len == 0 || u64::from(i) < (1u64 << (32 - self.len)));
+        Ip(self.addr.0 + i)
+    }
+
+    /// Splits this prefix into its two children, or `None` for `/32`.
+    pub const fn children(self) -> Option<(Prefix, Prefix)> {
+        if self.len == 32 {
+            return None;
+        }
+        let left = Prefix {
+            addr: self.addr,
+            len: self.len + 1,
+        };
+        let right = Prefix {
+            addr: Ip(self.addr.0 | (1u32 << (31 - self.len))),
+            len: self.len + 1,
+        };
+        Some((left, right))
+    }
+
+    /// Iterates over the subnets of `self` having length `sub_len`.
+    ///
+    /// # Panics
+    /// Panics if `sub_len < self.len()` or `sub_len > 32`.
+    pub fn subnets(self, sub_len: u8) -> impl Iterator<Item = Prefix> {
+        assert!(sub_len >= self.len && sub_len <= 32);
+        let count: u64 = 1u64 << (sub_len - self.len);
+        let step: u64 = 1u64 << (32 - sub_len);
+        let base = u64::from(self.addr.0);
+        (0..count).map(move |i| Prefix::new(Ip((base + i * step) as u32), sub_len))
+    }
+}
+
+impl fmt::Display for Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.addr, self.len)
+    }
+}
+
+impl FromStr for Prefix {
+    type Err = ParseError;
+
+    /// Parses either `a.b.c.d/len` or the config-file pair-free shorthand
+    /// `a.b.c.d` (taken as `/32`).
+    fn from_str(s: &str) -> Result<Prefix, ParseError> {
+        match s.split_once('/') {
+            None => Ok(Prefix::new(s.parse()?, 32)),
+            Some((a, l)) => {
+                let addr: Ip = a.parse()?;
+                let len: u8 = l
+                    .parse()
+                    .map_err(|_| ParseError::BadPrefixLen(l.to_string()))?;
+                if len > 32 {
+                    return Err(ParseError::BadPrefixLen(l.to_string()));
+                }
+                Ok(Prefix::new(addr, len))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalizes_host_bits() {
+        let p: Prefix = "10.1.2.3/24".parse().unwrap();
+        assert_eq!(p.to_string(), "10.1.2.0/24");
+    }
+
+    #[test]
+    fn contains_and_edges() {
+        let p: Prefix = "10.1.2.0/24".parse().unwrap();
+        assert!(p.contains("10.1.2.0".parse().unwrap()));
+        assert!(p.contains("10.1.2.255".parse().unwrap()));
+        assert!(!p.contains("10.1.3.0".parse().unwrap()));
+        assert_eq!(p.last().to_string(), "10.1.2.255");
+        assert_eq!(p.size(), 256);
+    }
+
+    #[test]
+    fn contains_prefix_ordering() {
+        let big: Prefix = "10.0.0.0/8".parse().unwrap();
+        let small: Prefix = "10.200.0.0/16".parse().unwrap();
+        assert!(big.contains_prefix(small));
+        assert!(!small.contains_prefix(big));
+        assert!(big.contains_prefix(big));
+    }
+
+    #[test]
+    fn default_route() {
+        let d: Prefix = "0.0.0.0/0".parse().unwrap();
+        assert!(d.is_default());
+        assert!(d.contains("203.0.113.7".parse().unwrap()));
+        assert_eq!(d.size(), u32::MAX);
+    }
+
+    #[test]
+    fn children_partition_parent() {
+        let p: Prefix = "192.0.2.0/24".parse().unwrap();
+        let (l, r) = p.children().unwrap();
+        assert_eq!(l.to_string(), "192.0.2.0/25");
+        assert_eq!(r.to_string(), "192.0.2.128/25");
+        assert_eq!(l.parent(), Some(p));
+        assert_eq!(r.parent(), Some(p));
+        assert!("1.2.3.4/32".parse::<Prefix>().unwrap().children().is_none());
+    }
+
+    #[test]
+    fn subnets_enumeration() {
+        let p: Prefix = "10.0.0.0/30".parse().unwrap();
+        let subs: Vec<String> = p.subnets(32).map(|s| s.to_string()).collect();
+        assert_eq!(
+            subs,
+            ["10.0.0.0/32", "10.0.0.1/32", "10.0.0.2/32", "10.0.0.3/32"]
+        );
+        assert_eq!(p.subnets(30).count(), 1);
+    }
+
+    #[test]
+    fn host_indexing() {
+        let p: Prefix = "10.0.0.0/30".parse().unwrap();
+        assert_eq!(p.host(1).to_string(), "10.0.0.1");
+        assert_eq!(p.host(2).to_string(), "10.0.0.2");
+    }
+
+    #[test]
+    fn parse_rejects_bad_lengths() {
+        assert!("10.0.0.0/33".parse::<Prefix>().is_err());
+        assert!("10.0.0.0/x".parse::<Prefix>().is_err());
+        assert!("10.0.0/24".parse::<Prefix>().is_err());
+    }
+
+    #[test]
+    fn bare_address_is_host_prefix() {
+        let p: Prefix = "10.1.1.1".parse().unwrap();
+        assert_eq!(p.len(), 32);
+        assert_eq!(p.network().to_string(), "10.1.1.1");
+    }
+}

@@ -1,0 +1,138 @@
+//! The taxonomy of *special* addresses that anonymization must leave alone.
+//!
+//! Paper §3.2 / §4.3: "Some addresses used in configuration files have
+//! special meanings and must not be modified at all, e.g., netmasks …
+//! [and] all special IP addresses (e.g., netmasks, multicast) are passed
+//! through unchanged." We implement the full set the extended `-a50`
+//! algorithm exempts. The anonymizer recursively remaps any *ordinary*
+//! address whose image collides with this set, so membership must be a
+//! cheap, total predicate.
+
+use crate::addr::Ip;
+use crate::mask::Netmask;
+use crate::prefix::Prefix;
+
+/// Why an address is special (and therefore passed through unchanged).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpecialKind {
+    /// The dotted quad is a contiguous-ones netmask value such as
+    /// `255.255.255.0`. This also covers `0.0.0.0` and
+    /// `255.255.255.255` (the all-zeros / all-ones masks), which double
+    /// as the unspecified and limited-broadcast addresses.
+    MaskValued,
+    /// Class D multicast, `224.0.0.0/4` (OSPF's `224.0.0.5`, RIP's
+    /// `224.0.0.9`, and friends must survive verbatim).
+    Multicast,
+    /// Class E reserved space, `240.0.0.0/4`, excluding
+    /// `255.255.255.255` which reports as [`SpecialKind::MaskValued`].
+    Reserved,
+    /// Loopback, `127.0.0.0/8`.
+    Loopback,
+    /// Link-local, `169.254.0.0/16`.
+    LinkLocal,
+    /// The wildcard-valued quads used by access lists, recognized when the
+    /// ones are contiguous from the LSB (e.g. `0.0.0.255`, `0.0.3.255`).
+    WildcardValued,
+}
+
+/// Classifies `ip`, returning `None` for ordinary (anonymizable) addresses.
+///
+/// Note that RFC 1918 private space (`10/8`, `172.16/12`, `192.168/16`) is
+/// deliberately *not* special: the paper anonymizes private addresses like
+/// any other because their internal structure still describes the owner's
+/// network (only AS numbers get the public/private exemption).
+pub fn special_kind(ip: Ip) -> Option<SpecialKind> {
+    const LOOPBACK: Prefix = Prefix::new(Ip::from_octets(127, 0, 0, 0), 8);
+    const LINK_LOCAL: Prefix = Prefix::new(Ip::from_octets(169, 254, 0, 0), 16);
+    const MULTICAST: Prefix = Prefix::new(Ip::from_octets(224, 0, 0, 0), 4);
+    const RESERVED: Prefix = Prefix::new(Ip::from_octets(240, 0, 0, 0), 4);
+
+    if Netmask::from_u32(ip.0).is_some() {
+        return Some(SpecialKind::MaskValued);
+    }
+    if MULTICAST.contains(ip) {
+        return Some(SpecialKind::Multicast);
+    }
+    if RESERVED.contains(ip) {
+        return Some(SpecialKind::Reserved);
+    }
+    if LOOPBACK.contains(ip) {
+        return Some(SpecialKind::Loopback);
+    }
+    if LINK_LOCAL.contains(ip) {
+        return Some(SpecialKind::LinkLocal);
+    }
+    // Wildcard-valued: ones contiguous from the LSB. 0.0.0.0 and
+    // 255.255.255.255 already matched as masks; values like 0.0.0.3
+    // appear constantly in ACLs and must pass through.
+    if ip.0 & ip.0.wrapping_add(1) == 0 {
+        return Some(SpecialKind::WildcardValued);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kind(s: &str) -> Option<SpecialKind> {
+        special_kind(s.parse().unwrap())
+    }
+
+    #[test]
+    fn masks_are_special() {
+        assert_eq!(kind("255.255.255.0"), Some(SpecialKind::MaskValued));
+        assert_eq!(kind("255.255.255.252"), Some(SpecialKind::MaskValued));
+        assert_eq!(kind("0.0.0.0"), Some(SpecialKind::MaskValued));
+        assert_eq!(kind("255.255.255.255"), Some(SpecialKind::MaskValued));
+        assert_eq!(kind("128.0.0.0"), Some(SpecialKind::MaskValued));
+    }
+
+    #[test]
+    fn wildcards_are_special() {
+        assert_eq!(kind("0.0.0.255"), Some(SpecialKind::WildcardValued));
+        assert_eq!(kind("0.0.0.3"), Some(SpecialKind::WildcardValued));
+        assert_eq!(kind("0.255.255.255"), Some(SpecialKind::WildcardValued));
+    }
+
+    #[test]
+    fn protocol_multicast_is_special() {
+        assert_eq!(kind("224.0.0.5"), Some(SpecialKind::Multicast));
+        assert_eq!(kind("224.0.0.9"), Some(SpecialKind::Multicast));
+        assert_eq!(kind("239.1.2.3"), Some(SpecialKind::Multicast));
+    }
+
+    #[test]
+    fn loopback_and_linklocal() {
+        assert_eq!(kind("127.0.0.1"), Some(SpecialKind::Loopback));
+        assert_eq!(kind("169.254.10.20"), Some(SpecialKind::LinkLocal));
+    }
+
+    #[test]
+    fn class_e_is_reserved() {
+        assert_eq!(kind("240.0.0.1"), Some(SpecialKind::Reserved));
+        assert_eq!(kind("254.1.2.3"), Some(SpecialKind::Reserved));
+    }
+
+    #[test]
+    fn ordinary_addresses_are_not_special() {
+        for s in [
+            "10.1.2.3",
+            "192.168.1.1",
+            "172.16.5.5",
+            "8.8.8.8",
+            "203.0.113.99",
+            "1.1.1.1",
+        ] {
+            assert_eq!(kind(s), None, "{s} should be ordinary");
+        }
+    }
+
+    #[test]
+    fn special_set_is_stable_under_reporting() {
+        // Every special address classifies identically on repeated calls
+        // (pure function) — guards against accidental interior state.
+        let ip: Ip = "224.0.0.5".parse().unwrap();
+        assert_eq!(special_kind(ip), special_kind(ip));
+    }
+}

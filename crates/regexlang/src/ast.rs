@@ -1,0 +1,328 @@
+//! The regexp abstract syntax tree.
+//!
+//! The ASN rewriter (`confanon-asnanon`) performs surgery on this tree —
+//! replacing numeric atoms with alternations of permuted ASNs — and then
+//! prints it back to pattern text, so the AST must be constructible,
+//! walkable, and faithfully printable.
+
+use std::fmt;
+
+use crate::class::CharClass;
+use crate::{SENT_END, SENT_START};
+
+/// A regular-expression syntax tree node.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub enum Ast {
+    /// Matches the empty string.
+    Epsilon,
+    /// Matches one symbol from the class. Anchors are represented as
+    /// single-sentinel classes; `.` and `_` as their documented classes.
+    Class(CharClass),
+    /// Concatenation, in order. Invariant: never nested directly inside
+    /// another `Concat` when built through [`Ast::concat`].
+    Concat(Vec<Ast>),
+    /// Alternation. Invariant mirror of `Concat`.
+    Alt(Vec<Ast>),
+    /// Kleene star.
+    Star(Box<Ast>),
+    /// One or more.
+    Plus(Box<Ast>),
+    /// Zero or one.
+    Opt(Box<Ast>),
+}
+
+impl Ast {
+    /// A literal symbol.
+    pub fn literal_byte(b: u8) -> Ast {
+        Ast::Class(CharClass::single(b))
+    }
+
+    /// The concatenation of `parts`, flattening nested concatenations and
+    /// dropping epsilons.
+    pub fn concat(parts: Vec<Ast>) -> Ast {
+        let mut flat = Vec::with_capacity(parts.len());
+        for p in parts {
+            match p {
+                Ast::Epsilon => {}
+                Ast::Concat(inner) => flat.extend(inner),
+                other => flat.push(other),
+            }
+        }
+        match flat.len() {
+            0 => Ast::Epsilon,
+            1 => flat.pop().expect("len checked"),
+            _ => Ast::Concat(flat),
+        }
+    }
+
+    /// The alternation of `parts`, flattening nested alternations.
+    pub fn alt(parts: Vec<Ast>) -> Ast {
+        let mut flat = Vec::with_capacity(parts.len());
+        for p in parts {
+            match p {
+                Ast::Alt(inner) => flat.extend(inner),
+                other => flat.push(other),
+            }
+        }
+        match flat.len() {
+            0 => Ast::Epsilon,
+            1 => flat.pop().expect("len checked"),
+            _ => Ast::Alt(flat),
+        }
+    }
+
+    /// A literal string of symbols (each byte one literal).
+    pub fn literal_str(s: &str) -> Ast {
+        Ast::concat(s.bytes().map(Ast::literal_byte).collect())
+    }
+
+    /// True if this subtree's language consists only of digit strings:
+    /// every class is a subset of `[0-9]` (so no `_`, `.`, anchors, or
+    /// letters anywhere below). This is the test the ASN rewriter uses to
+    /// find "numeric atoms" eligible for language enumeration.
+    pub fn is_numeric(&self) -> bool {
+        match self {
+            Ast::Epsilon => true,
+            Ast::Class(c) => !c.is_empty() && c.is_digit_subset(),
+            Ast::Concat(v) | Ast::Alt(v) => v.iter().all(Ast::is_numeric),
+            Ast::Star(a) | Ast::Plus(a) | Ast::Opt(a) => a.is_numeric(),
+        }
+    }
+
+    /// True if the subtree can match the empty string.
+    pub fn is_nullable(&self) -> bool {
+        match self {
+            Ast::Epsilon => true,
+            Ast::Class(_) => false,
+            Ast::Concat(v) => v.iter().all(Ast::is_nullable),
+            Ast::Alt(v) => v.iter().any(Ast::is_nullable),
+            Ast::Star(_) | Ast::Opt(_) => true,
+            Ast::Plus(a) => a.is_nullable(),
+        }
+    }
+
+    /// Prints the node back to pattern text.
+    ///
+    /// Group parentheses are re-inserted where precedence demands them, so
+    /// `parse(x.to_pattern())` always yields a tree with the same language
+    /// (tested by the round-trip property tests).
+    pub fn to_pattern(&self) -> String {
+        let mut s = String::new();
+        self.write_pattern(&mut s, Prec::Alt);
+        s
+    }
+
+    fn write_pattern(&self, out: &mut String, ctx: Prec) {
+        match self {
+            Ast::Epsilon => {
+                // An explicit empty group keeps the text parseable.
+                out.push_str("()");
+            }
+            Ast::Class(c) => write_class(c, out),
+            Ast::Concat(v) => {
+                let needs_group = ctx > Prec::Concat;
+                if needs_group {
+                    out.push('(');
+                }
+                for p in v {
+                    p.write_pattern(out, Prec::Concat);
+                }
+                if needs_group {
+                    out.push(')');
+                }
+            }
+            Ast::Alt(v) => {
+                let needs_group = ctx > Prec::Alt;
+                if needs_group {
+                    out.push('(');
+                }
+                for (i, p) in v.iter().enumerate() {
+                    if i > 0 {
+                        out.push('|');
+                    }
+                    p.write_pattern(out, Prec::Concat);
+                }
+                if needs_group {
+                    out.push(')');
+                }
+            }
+            Ast::Star(a) => {
+                a.write_pattern(out, Prec::Repeat);
+                out.push('*');
+            }
+            Ast::Plus(a) => {
+                a.write_pattern(out, Prec::Repeat);
+                out.push('+');
+            }
+            Ast::Opt(a) => {
+                a.write_pattern(out, Prec::Repeat);
+                out.push('?');
+            }
+        }
+    }
+}
+
+/// Precedence levels for printing: alternation < concatenation < repeat
+/// operand.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Prec {
+    Alt,
+    Concat,
+    Repeat,
+}
+
+/// Prints a class using the most idiomatic available notation.
+fn write_class(c: &CharClass, out: &mut String) {
+    // Recognize the canonical classes first.
+    if *c == CharClass::dot() {
+        out.push('.');
+        return;
+    }
+    if *c == CharClass::underscore() {
+        out.push('_');
+        return;
+    }
+    if *c == CharClass::single(SENT_START) {
+        out.push('^');
+        return;
+    }
+    if *c == CharClass::single(SENT_END) {
+        out.push('$');
+        return;
+    }
+    let members: Vec<u8> = c.iter().collect();
+    if members.len() == 1 {
+        push_literal(members[0], out);
+        return;
+    }
+    // General class: emit ranges.
+    out.push('[');
+    let mut i = 0;
+    while i < members.len() {
+        let start = members[i];
+        let mut end = start;
+        while i + 1 < members.len() && members[i + 1] == end + 1 {
+            i += 1;
+            end = members[i];
+        }
+        if end > start + 1 {
+            push_class_member(start, out);
+            out.push('-');
+            push_class_member(end, out);
+        } else {
+            push_class_member(start, out);
+            if end != start {
+                push_class_member(end, out);
+            }
+        }
+        i += 1;
+    }
+    out.push(']');
+}
+
+/// Escapes a literal symbol for a top-level position.
+fn push_literal(b: u8, out: &mut String) {
+    if b"|*+?()[].^$_\\".contains(&b) {
+        out.push('\\');
+    }
+    out.push(b as char);
+}
+
+/// Escapes a symbol for use inside `[...]`.
+fn push_class_member(b: u8, out: &mut String) {
+    if b"]-\\^".contains(&b) {
+        out.push('\\');
+    }
+    out.push(b as char);
+}
+
+/// `Debug` prints the pattern form — far more readable in test failures
+/// than a raw tree dump.
+impl fmt::Debug for Ast {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Ast({})", self.to_pattern())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concat_flattens_and_drops_epsilon() {
+        let a = Ast::concat(vec![
+            Ast::Epsilon,
+            Ast::concat(vec![Ast::literal_byte(b'a'), Ast::literal_byte(b'b')]),
+            Ast::literal_byte(b'c'),
+        ]);
+        assert_eq!(a.to_pattern(), "abc");
+    }
+
+    #[test]
+    fn alt_flattens() {
+        let a = Ast::alt(vec![
+            Ast::alt(vec![Ast::literal_byte(b'a'), Ast::literal_byte(b'b')]),
+            Ast::literal_byte(b'c'),
+        ]);
+        assert_eq!(a.to_pattern(), "a|b|c");
+    }
+
+    #[test]
+    fn numeric_detection() {
+        assert!(Ast::literal_str("701").is_numeric());
+        assert!(Ast::concat(vec![
+            Ast::literal_str("70"),
+            Ast::Class(CharClass::range(b'1', b'3')),
+        ])
+        .is_numeric());
+        assert!(!Ast::literal_str("70a").is_numeric());
+        assert!(!Ast::Class(CharClass::underscore()).is_numeric());
+        assert!(!Ast::Class(CharClass::dot()).is_numeric());
+    }
+
+    #[test]
+    fn nullability() {
+        assert!(Ast::Epsilon.is_nullable());
+        assert!(Ast::Star(Box::new(Ast::literal_byte(b'a'))).is_nullable());
+        assert!(Ast::Opt(Box::new(Ast::literal_byte(b'a'))).is_nullable());
+        assert!(!Ast::Plus(Box::new(Ast::literal_byte(b'a'))).is_nullable());
+        assert!(!Ast::literal_str("x").is_nullable());
+    }
+
+    #[test]
+    fn pattern_printing_groups_correctly() {
+        // (a|b)c needs the group; abc* must keep the star on c only.
+        let ab_c = Ast::concat(vec![
+            Ast::alt(vec![Ast::literal_byte(b'a'), Ast::literal_byte(b'b')]),
+            Ast::literal_byte(b'c'),
+        ]);
+        assert_eq!(ab_c.to_pattern(), "(a|b)c");
+        let abc_star = Ast::concat(vec![
+            Ast::literal_str("ab"),
+            Ast::Star(Box::new(Ast::literal_byte(b'c'))),
+        ]);
+        assert_eq!(abc_star.to_pattern(), "abc*");
+    }
+
+    #[test]
+    fn star_of_group_prints_group() {
+        let a = Ast::Star(Box::new(Ast::literal_str("ab")));
+        assert_eq!(a.to_pattern(), "(ab)*");
+    }
+
+    #[test]
+    fn class_printing_uses_ranges() {
+        let a = Ast::Class(CharClass::range(b'2', b'5'));
+        assert_eq!(a.to_pattern(), "[2-5]");
+        let mut two = CharClass::single(b'1');
+        two.insert(b'9');
+        assert_eq!(Ast::Class(two).to_pattern(), "[19]");
+    }
+
+    #[test]
+    fn metacharacters_are_escaped() {
+        assert_eq!(Ast::literal_byte(b'.').to_pattern(), "\\.");
+        assert_eq!(Ast::literal_byte(b'|').to_pattern(), "\\|");
+        assert_eq!(Ast::literal_byte(b'a').to_pattern(), "a");
+    }
+}

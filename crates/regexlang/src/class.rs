@@ -1,0 +1,192 @@
+//! Character classes as 128-bit ASCII sets.
+//!
+//! All symbols in the IOS policy-regexp dialect are ASCII; the two sentinel
+//! code points (`0x02`, `0x03`) live inside the same 0..128 space, so a
+//! single bitset covers literals, `[a-z]` classes, `.`, `_`, and anchors.
+
+use std::fmt;
+
+use crate::{SENT_END, SENT_START};
+
+/// A set of ASCII symbols (0..128), stored as two 64-bit words.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CharClass {
+    bits: [u64; 2],
+}
+
+impl CharClass {
+    /// The empty set.
+    pub const fn empty() -> CharClass {
+        CharClass { bits: [0, 0] }
+    }
+
+    /// A single symbol.
+    pub fn single(b: u8) -> CharClass {
+        let mut c = CharClass::empty();
+        c.insert(b);
+        c
+    }
+
+    /// An inclusive range of symbols.
+    pub fn range(lo: u8, hi: u8) -> CharClass {
+        let mut c = CharClass::empty();
+        for b in lo..=hi {
+            c.insert(b);
+        }
+        c
+    }
+
+    /// The `.` class: every printable symbol and tab, excluding the virtual
+    /// start/end sentinels (a dot never crosses a text boundary).
+    pub fn dot() -> CharClass {
+        let mut c = CharClass::range(0x20, 0x7E);
+        c.insert(b'\t');
+        c
+    }
+
+    /// The as-path `_` class: start, end, and the delimiter characters IOS
+    /// documents (space, comma, braces, parentheses).
+    pub fn underscore() -> CharClass {
+        let mut c = CharClass::empty();
+        for b in [SENT_START, SENT_END, b' ', b',', b'{', b'}', b'(', b')'] {
+            c.insert(b);
+        }
+        c
+    }
+
+    /// The decimal digits.
+    pub fn digits() -> CharClass {
+        CharClass::range(b'0', b'9')
+    }
+
+    /// Inserts a symbol.
+    ///
+    /// # Panics
+    /// Panics on non-ASCII input.
+    pub fn insert(&mut self, b: u8) {
+        assert!(b < 128, "CharClass holds ASCII only");
+        self.bits[(b / 64) as usize] |= 1u64 << (b % 64);
+    }
+
+    /// Membership test (non-ASCII symbols are never members).
+    pub const fn contains(&self, b: u8) -> bool {
+        if b >= 128 {
+            return false;
+        }
+        self.bits[(b / 64) as usize] >> (b % 64) & 1 == 1
+    }
+
+    /// Complement *within the dot universe* (printables + tab, no
+    /// sentinels): the meaning of `[^…]` in this dialect.
+    pub fn negated(&self) -> CharClass {
+        let dot = CharClass::dot();
+        CharClass {
+            bits: [dot.bits[0] & !self.bits[0], dot.bits[1] & !self.bits[1]],
+        }
+    }
+
+    /// Set union.
+    pub fn union(&self, other: &CharClass) -> CharClass {
+        CharClass {
+            bits: [self.bits[0] | other.bits[0], self.bits[1] | other.bits[1]],
+        }
+    }
+
+    /// True if no symbols are present.
+    pub const fn is_empty(&self) -> bool {
+        self.bits[0] == 0 && self.bits[1] == 0
+    }
+
+    /// Number of member symbols.
+    pub const fn len(&self) -> u32 {
+        self.bits[0].count_ones() + self.bits[1].count_ones()
+    }
+
+    /// True if every member is a decimal digit.
+    pub fn is_digit_subset(&self) -> bool {
+        let d = CharClass::digits();
+        self.bits[0] & !d.bits[0] == 0 && self.bits[1] & !d.bits[1] == 0
+    }
+
+    /// Iterates over member symbols in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = u8> + '_ {
+        (0u8..128).filter(move |&b| self.contains(b))
+    }
+}
+
+impl fmt::Debug for CharClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CharClass{{")?;
+        for b in self.iter() {
+            match b {
+                SENT_START => write!(f, "⊢")?,
+                SENT_END => write!(f, "⊣")?,
+                b if b.is_ascii_graphic() || b == b' ' => write!(f, "{}", b as char)?,
+                b => write!(f, "\\x{b:02x}")?,
+            }
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_and_range() {
+        let c = CharClass::single(b'a');
+        assert!(c.contains(b'a'));
+        assert!(!c.contains(b'b'));
+        let r = CharClass::range(b'2', b'5');
+        assert!(r.contains(b'2') && r.contains(b'5'));
+        assert!(!r.contains(b'1') && !r.contains(b'6'));
+        assert_eq!(r.len(), 4);
+    }
+
+    #[test]
+    fn dot_excludes_sentinels() {
+        let d = CharClass::dot();
+        assert!(d.contains(b'a') && d.contains(b' ') && d.contains(b'\t'));
+        assert!(!d.contains(SENT_START) && !d.contains(SENT_END));
+        assert!(!d.contains(b'\n'));
+    }
+
+    #[test]
+    fn underscore_members() {
+        let u = CharClass::underscore();
+        for b in [SENT_START, SENT_END, b' ', b',', b'{', b'}', b'(', b')'] {
+            assert!(u.contains(b));
+        }
+        assert!(!u.contains(b'a') && !u.contains(b'0'));
+    }
+
+    #[test]
+    fn negation_stays_in_dot_universe() {
+        let n = CharClass::digits().negated();
+        assert!(n.contains(b'a'));
+        assert!(!n.contains(b'5'));
+        assert!(!n.contains(SENT_START), "negation must not admit sentinels");
+    }
+
+    #[test]
+    fn digit_subset_detection() {
+        assert!(CharClass::digits().is_digit_subset());
+        assert!(CharClass::range(b'2', b'5').is_digit_subset());
+        assert!(!CharClass::single(b'a').is_digit_subset());
+        assert!(!CharClass::underscore().is_digit_subset());
+        assert!(CharClass::empty().is_digit_subset());
+    }
+
+    #[test]
+    fn union_and_iter() {
+        let u = CharClass::single(b'a').union(&CharClass::single(b'c'));
+        let members: Vec<u8> = u.iter().collect();
+        assert_eq!(members, vec![b'a', b'c']);
+    }
+
+    #[test]
+    fn non_ascii_never_contained() {
+        assert!(!CharClass::dot().contains(200));
+    }
+}

@@ -1,0 +1,522 @@
+//! Subset construction and DFA minimization.
+//!
+//! The ASN rewriter enumerates a regexp's language over all 2^16 AS
+//! numbers (paper §4.4). Running the NFA 65536 times works but is slow;
+//! determinizing once and walking digit strings through the DFA makes the
+//! enumeration essentially free. Minimization (Hopcroft's algorithm) is
+//! the first half of the paper's proposed extension for emitting compact
+//! rewritten regexps; the second half (FA → regexp) lives in [`crate::synth`].
+
+use std::collections::HashMap;
+
+use crate::ast::Ast;
+use crate::class::CharClass;
+use crate::nfa::Nfa;
+
+/// A deterministic finite automaton over a compressed alphabet.
+///
+/// Symbols (ASCII bytes) are first mapped to *symbol classes*: groups of
+/// bytes that every NFA edge treats identically. The transition table is
+/// dense over classes, keeping subset construction and minimization fast
+/// without a 128-wide row per state.
+#[derive(Debug, Clone)]
+pub struct Dfa {
+    /// `trans[state][class]` = next state, or `DEAD`.
+    trans: Vec<Vec<u32>>,
+    /// Accepting flags per state.
+    accepting: Vec<bool>,
+    /// Start state.
+    start: u32,
+    /// Byte → symbol-class index; bytes outside every edge map to the
+    /// sink class (which always leads to `DEAD`).
+    symbol_class: [u8; 128],
+    /// Number of symbol classes (including the sink class).
+    n_classes: usize,
+}
+
+/// Sentinel "no transition" state id.
+const DEAD: u32 = u32::MAX;
+
+impl Dfa {
+    /// Determinizes `nfa` by subset construction.
+    pub fn from_nfa(nfa: &Nfa) -> Dfa {
+        let (symbol_class, n_classes) = compress_alphabet(nfa);
+
+        let n = nfa.states.len();
+        let closure = |set: &mut Vec<bool>| {
+            let mut work: Vec<usize> = (0..n).filter(|&s| set[s]).collect();
+            while let Some(s) = work.pop() {
+                for &t in &nfa.states[s].eps {
+                    if !set[t] {
+                        set[t] = true;
+                        work.push(t);
+                    }
+                }
+            }
+        };
+
+        // Map from NFA state-set (as sorted indices) to DFA state id.
+        let mut ids: HashMap<Vec<usize>, u32> = HashMap::new();
+        let mut trans: Vec<Vec<u32>> = Vec::new();
+        let mut accepting: Vec<bool> = Vec::new();
+        let mut queue: Vec<Vec<bool>> = Vec::new();
+
+        let mut start_set = vec![false; n];
+        start_set[nfa.start] = true;
+        closure(&mut start_set);
+        let key0: Vec<usize> = (0..n).filter(|&s| start_set[s]).collect();
+        ids.insert(key0, 0);
+        trans.push(vec![DEAD; n_classes]);
+        accepting.push(start_set[nfa.accept]);
+        queue.push(start_set);
+
+        // Pick one representative byte per symbol class for stepping.
+        let mut rep = vec![None; n_classes];
+        for b in 0u8..128 {
+            let c = symbol_class[b as usize] as usize;
+            if rep[c].is_none() {
+                rep[c] = Some(b);
+            }
+        }
+
+        let mut qi = 0;
+        while qi < queue.len() {
+            let cur = queue[qi].clone();
+            let cur_id = qi as u32;
+            qi += 1;
+            for (class, &r) in rep.iter().enumerate() {
+                let Some(byte) = r else { continue };
+                let mut next = vec![false; n];
+                let mut any = false;
+                #[allow(clippy::needless_range_loop)] // dense-mask scan
+                for s in 0..n {
+                    if !cur[s] {
+                        continue;
+                    }
+                    for t in &nfa.states[s].edges {
+                        if t.on.contains(byte) {
+                            next[t.to] = true;
+                            any = true;
+                        }
+                    }
+                }
+                if !any {
+                    continue; // stays DEAD
+                }
+                closure(&mut next);
+                let key: Vec<usize> = (0..n).filter(|&s| next[s]).collect();
+                let id = *ids.entry(key).or_insert_with(|| {
+                    trans.push(vec![DEAD; n_classes]);
+                    accepting.push(next[nfa.accept]);
+                    queue.push(next);
+                    (trans.len() - 1) as u32
+                });
+                trans[cur_id as usize][class] = id;
+            }
+        }
+
+        Dfa {
+            trans,
+            accepting,
+            start: 0,
+            symbol_class,
+            n_classes,
+        }
+    }
+
+    /// Number of states.
+    pub fn len(&self) -> usize {
+        self.trans.len()
+    }
+
+    /// True if the DFA has no states (cannot occur via `from_nfa`).
+    pub fn is_empty(&self) -> bool {
+        self.trans.is_empty()
+    }
+
+    /// Runs the DFA on raw bytes; anchored (whole-input) acceptance.
+    pub fn accepts(&self, input: &[u8]) -> bool {
+        let mut s = self.start;
+        for &b in input {
+            if b >= 128 {
+                return false;
+            }
+            let c = self.symbol_class[b as usize] as usize;
+            s = self.trans[s as usize][c];
+            if s == DEAD {
+                return false;
+            }
+        }
+        self.accepting[s as usize]
+    }
+
+    /// True if the accepted language is empty.
+    pub fn language_is_empty(&self) -> bool {
+        // BFS from start over non-dead edges looking for an accept state.
+        let mut seen = vec![false; self.len()];
+        let mut work = vec![self.start];
+        seen[self.start as usize] = true;
+        while let Some(s) = work.pop() {
+            if self.accepting[s as usize] {
+                return false;
+            }
+            for &t in &self.trans[s as usize] {
+                if t != DEAD && !seen[t as usize] {
+                    seen[t as usize] = true;
+                    work.push(t);
+                }
+            }
+        }
+        true
+    }
+
+    /// Minimizes the DFA with Hopcroft's partition-refinement algorithm,
+    /// returning an equivalent DFA with the minimum number of states.
+    pub fn minimize(&self) -> Dfa {
+        // Work over a *complete* automaton: add an explicit dead state so
+        // every (state, class) pair has a successor.
+        let n = self.len() + 1; // last index = dead
+        let dead = n - 1;
+        let step = |s: usize, c: usize| -> usize {
+            if s == dead {
+                dead
+            } else {
+                let t = self.trans[s][c];
+                if t == DEAD {
+                    dead
+                } else {
+                    t as usize
+                }
+            }
+        };
+
+        // Initial partition: accepting vs non-accepting (dead is
+        // non-accepting).
+        let mut block_of: Vec<usize> = (0..n)
+            .map(|s| usize::from(s < self.len() && self.accepting[s]))
+            .collect();
+        let mut blocks: Vec<Vec<usize>> = vec![Vec::new(), Vec::new()];
+        for (s, &b) in block_of.iter().enumerate() {
+            blocks[b].push(s);
+        }
+        blocks.retain(|b| !b.is_empty());
+        // Rebuild block_of after the retain.
+        for (bi, b) in blocks.iter().enumerate() {
+            for &s in b {
+                block_of[s] = bi;
+            }
+        }
+
+        // Precompute reverse transitions per class.
+        let mut rev: Vec<Vec<Vec<usize>>> = vec![vec![Vec::new(); n]; self.n_classes];
+        for s in 0..n {
+            for (c, r) in rev.iter_mut().enumerate() {
+                r[step(s, c)].push(s);
+            }
+        }
+
+        // Hopcroft worklist of (block index, class).
+        let mut work: Vec<(usize, usize)> = (0..blocks.len())
+            .flat_map(|b| (0..self.n_classes).map(move |c| (b, c)))
+            .collect();
+
+        while let Some((bi, c)) = work.pop() {
+            // X = states with a c-transition into block bi.
+            let mut in_x = vec![false; n];
+            let mut nonempty = false;
+            // Snapshot: blocks[bi] may be stale if bi was split after this
+            // work item was queued; using the current membership is still
+            // correct for Hopcroft (splitters are monotone).
+            for &t in &blocks[bi] {
+                for &s in &rev[c][t] {
+                    in_x[s] = true;
+                    nonempty = true;
+                }
+            }
+            if !nonempty {
+                continue;
+            }
+            // Split every block Y into Y∩X and Y\X.
+            let n_blocks = blocks.len();
+            for y in 0..n_blocks {
+                let (inside, outside): (Vec<usize>, Vec<usize>) =
+                    blocks[y].iter().partition(|&&s| in_x[s]);
+                if inside.is_empty() || outside.is_empty() {
+                    continue;
+                }
+                // Keep the larger part in place, create a new block for
+                // the smaller (Hopcroft's "process the smaller half").
+                let (keep, split) = if inside.len() <= outside.len() {
+                    (outside, inside)
+                } else {
+                    (inside, outside)
+                };
+                let new_bi = blocks.len();
+                for &s in &split {
+                    block_of[s] = new_bi;
+                }
+                blocks[y] = keep;
+                blocks.push(split);
+                for cc in 0..self.n_classes {
+                    work.push((new_bi, cc));
+                }
+            }
+        }
+
+        // Assemble the quotient automaton, dropping the dead block and any
+        // block unreachable from the start.
+        let dead_block = block_of[dead];
+        let mut new_id: Vec<Option<u32>> = vec![None; blocks.len()];
+        let mut order: Vec<usize> = Vec::new();
+        let start_block = block_of[self.start as usize];
+        // BFS over blocks for reachability.
+        if start_block != dead_block {
+            new_id[start_block] = Some(0);
+            order.push(start_block);
+            let mut qi = 0;
+            while qi < order.len() {
+                let b = order[qi];
+                qi += 1;
+                let repr = blocks[b][0];
+                for c in 0..self.n_classes {
+                    let tb = block_of[step(repr, c)];
+                    if tb != dead_block && new_id[tb].is_none() {
+                        new_id[tb] = Some(order.len() as u32);
+                        order.push(tb);
+                    }
+                }
+            }
+        } else {
+            // Start state is equivalent to dead: empty language. Emit a
+            // one-state non-accepting DFA.
+            return Dfa {
+                trans: vec![vec![DEAD; self.n_classes]],
+                accepting: vec![false],
+                start: 0,
+                symbol_class: self.symbol_class,
+                n_classes: self.n_classes,
+            };
+        }
+
+        let mut trans = vec![vec![DEAD; self.n_classes]; order.len()];
+        let mut accepting = vec![false; order.len()];
+        for (i, &b) in order.iter().enumerate() {
+            let repr = blocks[b][0];
+            accepting[i] = repr != dead && repr < self.len() && self.accepting[repr];
+            for c in 0..self.n_classes {
+                let tb = block_of[step(repr, c)];
+                if tb != dead_block {
+                    trans[i][c] = new_id[tb].expect("reachable block has id");
+                }
+            }
+        }
+
+        Dfa {
+            trans,
+            accepting,
+            start: 0,
+            symbol_class: self.symbol_class,
+            n_classes: self.n_classes,
+        }
+    }
+
+    /// Iterator access for the synthesizer: `(from, symbols, to)` for every
+    /// live transition, with `symbols` the full byte class of the edge.
+    pub fn edges(&self) -> Vec<(u32, CharClass, u32)> {
+        // Group per (from, to) and union the byte classes.
+        let mut acc: HashMap<(u32, u32), CharClass> = HashMap::new();
+        for (s, row) in self.trans.iter().enumerate() {
+            for (class, &t) in row.iter().enumerate() {
+                if t == DEAD {
+                    continue;
+                }
+                let mut bytes = CharClass::empty();
+                for b in 0u8..128 {
+                    if self.symbol_class[b as usize] as usize == class {
+                        bytes.insert(b);
+                    }
+                }
+                let e = acc.entry((s as u32, t)).or_insert_with(CharClass::empty);
+                *e = e.union(&bytes);
+            }
+        }
+        let mut v: Vec<(u32, CharClass, u32)> =
+            acc.into_iter().map(|((f, t), c)| (f, c, t)).collect();
+        v.sort_by_key(|&(f, _, t)| (f, t));
+        v
+    }
+
+    /// The start state id.
+    pub fn start_state(&self) -> u32 {
+        self.start
+    }
+
+    /// One transition: the successor of `state` on byte `b`, or `None`
+    /// when the automaton dies. Drives the bounded digit-tree walks of
+    /// `lang::accepted_numbers_bounded`.
+    pub fn step(&self, state: u32, b: u8) -> Option<u32> {
+        if b >= 128 {
+            return None;
+        }
+        let c = self.symbol_class[b as usize] as usize;
+        match self.trans[state as usize][c] {
+            DEAD => None,
+            t => Some(t),
+        }
+    }
+
+    /// Whether `s` is accepting.
+    pub fn is_accepting(&self, s: u32) -> bool {
+        self.accepting[s as usize]
+    }
+}
+
+/// Builds a regex from an [`Ast`] and runs it through determinization.
+pub fn dfa_for(ast: &Ast) -> Dfa {
+    Dfa::from_nfa(&Nfa::from_ast(ast))
+}
+
+/// Partitions the 128 ASCII symbols into classes treated identically by
+/// every edge of `nfa`. Returns the byte → class map and the class count.
+fn compress_alphabet(nfa: &Nfa) -> ([u8; 128], usize) {
+    // Signature of a byte = which edges contain it. Hash the signature
+    // incrementally to avoid materializing bitsets per byte.
+    let mut sig: Vec<Vec<bool>> = vec![Vec::new(); 128];
+    for state in &nfa.states {
+        for t in &state.edges {
+            for (b, s) in sig.iter_mut().enumerate() {
+                s.push(t.on.contains(b as u8));
+            }
+        }
+    }
+    let mut map: HashMap<&[bool], u8> = HashMap::new();
+    let mut symbol_class = [0u8; 128];
+    let mut next = 0u8;
+    for b in 0..128 {
+        let class = *map.entry(sig[b].as_slice()).or_insert_with(|| {
+            let c = next;
+            next += 1;
+            c
+        });
+        symbol_class[b] = class;
+    }
+    (symbol_class, next as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn dfa(pat: &str) -> Dfa {
+        dfa_for(&parse(pat).unwrap())
+    }
+
+    #[test]
+    fn accepts_matches_nfa() {
+        let d = dfa("70[1-3]");
+        assert!(d.accepts(b"701"));
+        assert!(d.accepts(b"703"));
+        assert!(!d.accepts(b"700"));
+        assert!(!d.accepts(b"7012"));
+        assert!(!d.accepts(b""));
+    }
+
+    #[test]
+    fn dfa_agrees_with_nfa_on_corpus() {
+        for pat in ["(1|2)*3", "70[1-5]+", "1(0|1)*0", "(12|21)*"] {
+            let ast = parse(pat).unwrap();
+            let nfa = Nfa::from_ast(&ast);
+            let d = Dfa::from_nfa(&nfa);
+            // All binary-ish strings up to length 6 over {0,1,2,3,7}.
+            let syms = [b'0', b'1', b'2', b'3', b'7'];
+            let mut inputs: Vec<Vec<u8>> = vec![Vec::new()];
+            for _ in 0..6 {
+                let mut next = Vec::new();
+                for i in &inputs {
+                    for &s in &syms {
+                        let mut j = i.clone();
+                        j.push(s);
+                        next.push(j);
+                    }
+                }
+                inputs.extend(next.clone());
+                inputs = inputs.into_iter().collect();
+            }
+            for i in inputs.iter().take(5000) {
+                assert_eq!(nfa.full_match(i), d.accepts(i), "{pat} on {i:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn minimize_preserves_language() {
+        for pat in ["70[1-3]", "(_1239_|_70[2-5]_)", "1(0)*", "(a|b)*abb"] {
+            let d = dfa(pat);
+            let m = d.minimize();
+            assert!(m.len() <= d.len());
+            // Compare on a sample of strings.
+            let alphabet: Vec<u8> = b"ab01237_ ".to_vec();
+            let mut inputs: Vec<Vec<u8>> = vec![Vec::new()];
+            for _ in 0..4 {
+                let mut nxt = Vec::new();
+                for i in &inputs {
+                    for &s in &alphabet {
+                        let mut j = i.clone();
+                        j.push(s);
+                        nxt.push(j);
+                    }
+                }
+                inputs.extend(nxt);
+            }
+            for i in &inputs {
+                assert_eq!(d.accepts(i), m.accepts(i), "{pat} on {i:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn minimize_merges_redundant_states() {
+        // (1|2|3) has equivalent accept paths; minimal DFA has 2 states.
+        let m = dfa("1|2|3").minimize();
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn empty_language_detection() {
+        // Not expressible directly in the dialect, so fabricate: a class
+        // pattern then check a contradiction via intersection-free trick:
+        // use an NFA whose accept is unreachable.
+        let d = dfa("a");
+        assert!(!d.language_is_empty());
+        // `minimize` of the empty language yields a 1-state reject-all.
+        let nfa = Nfa::from_ast(&parse("a").unwrap());
+        let mut broken = nfa.clone();
+        broken.states[0].edges.clear();
+        broken.states[0].eps.clear();
+        let d = Dfa::from_nfa(&broken);
+        assert!(d.language_is_empty());
+        assert_eq!(d.minimize().len(), 1);
+    }
+
+    #[test]
+    fn edges_cover_transitions() {
+        let d = dfa("ab").minimize();
+        let edges = d.edges();
+        assert_eq!(edges.len(), 2);
+        assert!(edges.iter().any(|(_, c, _)| c.contains(b'a')));
+        assert!(edges.iter().any(|(_, c, _)| c.contains(b'b')));
+    }
+
+    #[test]
+    fn digit_walk_over_asn_universe_is_exact() {
+        // The enumeration the rewriter performs: which of 0..=65535 does
+        // `70[1-3]` accept?
+        let d = dfa("70[1-3]");
+        let accepted: Vec<u16> = (0u32..=65535)
+            .filter(|n| d.accepts(n.to_string().as_bytes()))
+            .map(|n| n as u16)
+            .collect();
+        assert_eq!(accepted, vec![701, 702, 703]);
+    }
+}

@@ -1,0 +1,219 @@
+//! # confanon-regexlang — a regular-expression engine for router policy regexps
+//!
+//! Cisco IOS routing policies reference AS numbers and BGP communities
+//! through POSIX-flavoured regular expressions (`ip as-path access-list 50
+//! permit (_1239_|_70[2-5]_)`). Anonymizing those requires reasoning about
+//! the *language* a regexp accepts (paper §4.4): the anonymizer enumerates
+//! the accepted ASNs over the full 2^16 universe, maps them through the
+//! permutation, and rewrites the regexp to accept exactly the image set.
+//!
+//! This crate implements the required machinery from scratch:
+//!
+//! * [`ast`] — the regexp abstract syntax tree, rebuildable (the ASN
+//!   rewriter performs tree surgery) and printable back to pattern text;
+//! * [`parser`] — parser for the IOS dialect: literals, `.`, character
+//!   classes `[0-9]`/`[^ab]`, grouping, alternation, `*` `+` `?`, anchors
+//!   `^` `$`, and the as-path delimiter `_`;
+//! * [`nfa`] — Thompson construction plus a single-pass simulator giving
+//!   both anchored (full-match) and unanchored (search) semantics;
+//! * [`dfa`] — subset construction, Hopcroft minimization, and language
+//!   emptiness/finiteness analysis;
+//! * [`synth`] — DFA → regexp by state elimination, the paper's
+//!   "polynomial-time algorithms for constructing the minimum FA … and
+//!   then convert this FA back into a regexp" extension;
+//! * [`lang`] — language enumeration over the ASN universe.
+//!
+//! Anchors and `_` are modelled with sentinel symbols: input text is
+//! conceptually wrapped as `␂ text ␃`, `^`/`$` become literals for the
+//! sentinels, `_` is the class {␂, ␃, space, comma, braces, parens}, and
+//! `.` and negated classes exclude the sentinels. This turns zero-width
+//! assertions into ordinary symbols, so one NFA/DFA pipeline handles
+//! everything.
+//!
+//! ```
+//! use confanon_regexlang::Regex;
+//! let re = Regex::compile("_70[1-3]_").unwrap();
+//! assert!(re.is_match("100 701 40"));
+//! assert!(re.is_match("701"));          // `_` matches start/end too
+//! assert!(!re.is_match("1701 40"));
+//! ```
+
+pub mod ast;
+pub mod class;
+pub mod dfa;
+pub mod lang;
+pub mod nfa;
+pub mod parser;
+pub mod synth;
+
+pub use ast::Ast;
+pub use class::CharClass;
+pub use parser::{parse, ParseErr};
+
+/// Start-of-text sentinel symbol (STX). Inputs never contain it; the
+/// matcher prepends it before running the automaton.
+pub const SENT_START: u8 = 0x02;
+/// End-of-text sentinel symbol (ETX).
+pub const SENT_END: u8 = 0x03;
+
+/// A compiled regular expression with IOS search semantics.
+///
+/// `is_match` is unanchored (the pattern may match any substring, as in
+/// `show ip bgp regexp`); `is_full_match` requires the pattern to cover
+/// the whole input. Anchors inside the pattern constrain either mode.
+#[derive(Debug, Clone)]
+pub struct Regex {
+    pattern: String,
+    ast: Ast,
+    search_nfa: nfa::Nfa,
+    full_nfa: nfa::Nfa,
+}
+
+impl Regex {
+    /// Parses and compiles `pattern`.
+    pub fn compile(pattern: &str) -> Result<Regex, ParseErr> {
+        let ast = parse(pattern)?;
+        let search_nfa = nfa::Nfa::from_ast(&ast);
+        // Full-match automaton: the pattern must cover the whole wrapped
+        // text `␂ text ␃`. The wrapper sentinels are *optional* here
+        // because an explicit `^`/`$` (or a boundary-consuming `_`) inside
+        // the pattern consumes the sentinel itself; when the pattern has
+        // no anchor the Opt eats it. Either way the pattern body is forced
+        // to span exactly the inner text.
+        let full = Ast::concat(vec![
+            Ast::Opt(Box::new(Ast::literal_byte(SENT_START))),
+            ast.clone(),
+            Ast::Opt(Box::new(Ast::literal_byte(SENT_END))),
+        ]);
+        let full_nfa = nfa::Nfa::from_ast(&full);
+        Ok(Regex {
+            pattern: pattern.to_string(),
+            ast,
+            search_nfa,
+            full_nfa,
+        })
+    }
+
+    /// The original pattern text.
+    pub fn pattern(&self) -> &str {
+        &self.pattern
+    }
+
+    /// The parsed syntax tree.
+    pub fn ast(&self) -> &Ast {
+        &self.ast
+    }
+
+    /// Unanchored match: does any substring of `text` (including the
+    /// virtual start/end positions used by `^`, `$`, and `_`) match?
+    pub fn is_match(&self, text: &str) -> bool {
+        self.search_nfa.search(&wrap(text))
+    }
+
+    /// Anchored match: does the *entire* `text` match the pattern?
+    pub fn is_full_match(&self, text: &str) -> bool {
+        self.full_nfa.full_match(&wrap(text))
+    }
+}
+
+/// Wraps raw text in the sentinel symbols. Bytes equal to the sentinels
+/// are remapped to `0x1A` (SUB) so hostile input cannot forge a virtual
+/// boundary.
+pub(crate) fn wrap(text: &str) -> Vec<u8> {
+    let mut v = Vec::with_capacity(text.len() + 2);
+    v.push(SENT_START);
+    for &b in text.as_bytes() {
+        v.push(if b == SENT_START || b == SENT_END { 0x1A } else { b });
+    }
+    v.push(SENT_END);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn as_path_delimiter_semantics() {
+        let re = Regex::compile("_701_").unwrap();
+        assert!(re.is_match("701"));
+        assert!(re.is_match("100 701"));
+        assert!(re.is_match("701 100"));
+        assert!(re.is_match("1 701 2"));
+        assert!(!re.is_match("7011"));
+        assert!(!re.is_match("1701"));
+        assert!(!re.is_match("170111"));
+    }
+
+    #[test]
+    fn figure1_as_path_regexp() {
+        // Line 32 of the paper's Figure 1.
+        let re = Regex::compile("(_1239_|_70[2-5]_)").unwrap();
+        assert!(re.is_match("7018 1239 701"));
+        assert!(re.is_match("703"));
+        assert!(re.is_match("100 705"));
+        assert!(!re.is_match("700"));
+        assert!(!re.is_match("706"));
+        assert!(!re.is_match("12391"));
+    }
+
+    #[test]
+    fn figure1_community_regexp() {
+        // Line 31: `701:7[1-5]..` — communities from UUNET in 7100..7599.
+        let re = Regex::compile("701:7[1-5]..").unwrap();
+        assert!(re.is_match("701:7100"));
+        assert!(re.is_match("701:7599"));
+        assert!(!re.is_match("701:7600")); // 6 not in [1-5]
+        assert!(!re.is_match("702:7100"));
+    }
+
+    #[test]
+    fn anchors() {
+        let re = Regex::compile("^701_").unwrap();
+        assert!(re.is_match("701 1239"));
+        assert!(!re.is_match("1239 701"));
+        let re2 = Regex::compile("_701$").unwrap();
+        assert!(re2.is_match("1239 701"));
+        assert!(!re2.is_match("701 1239"));
+        let empty = Regex::compile("^$").unwrap();
+        assert!(empty.is_match(""));
+        assert!(!empty.is_match("1"));
+    }
+
+    #[test]
+    fn full_match_vs_search() {
+        let re = Regex::compile("70[1-3]").unwrap();
+        assert!(re.is_full_match("701"));
+        assert!(!re.is_full_match("7012"));
+        assert!(re.is_match("7012")); // substring 701 matches
+    }
+
+    #[test]
+    fn star_plus_opt() {
+        let re = Regex::compile("^1(0)*$").unwrap();
+        assert!(re.is_full_match("1"));
+        assert!(re.is_full_match("1000"));
+        assert!(!re.is_full_match("1001"));
+        let re = Regex::compile("^10+$").unwrap();
+        assert!(!re.is_full_match("1"));
+        assert!(re.is_full_match("100"));
+        let re = Regex::compile("^10?$").unwrap();
+        assert!(re.is_full_match("1"));
+        assert!(re.is_full_match("10"));
+        assert!(!re.is_full_match("100"));
+    }
+
+    #[test]
+    fn dot_does_not_cross_boundaries() {
+        // `.` must not match the virtual start/end sentinels.
+        let re = Regex::compile("^.701").unwrap();
+        assert!(re.is_match("x701"));
+        assert!(!re.is_match("701"));
+    }
+
+    #[test]
+    fn sentinel_forgery_is_neutralized() {
+        let re = Regex::compile("^x$").unwrap();
+        assert!(!re.is_match("\u{2}x")); // raw STX in input cannot anchor
+    }
+}

@@ -1,0 +1,308 @@
+//! Thompson NFA construction and simulation.
+//!
+//! The matcher is a classic epsilon-closure simulator: linear in
+//! `input.len() * states`, no backtracking, immune to pathological
+//! patterns — important because the anonymizer runs attacker-adjacent
+//! input (arbitrary config text) through these automata millions of times.
+
+use crate::ast::Ast;
+use crate::class::CharClass;
+
+/// State identifier.
+pub type StateId = usize;
+
+/// A transition on a symbol class.
+#[derive(Debug, Clone)]
+pub struct Transition {
+    /// Symbols this edge consumes.
+    pub on: CharClass,
+    /// Destination state.
+    pub to: StateId,
+}
+
+/// One NFA state: any number of symbol edges plus epsilon edges.
+#[derive(Debug, Clone, Default)]
+pub struct State {
+    /// Symbol-consuming edges.
+    pub edges: Vec<Transition>,
+    /// Epsilon edges.
+    pub eps: Vec<StateId>,
+}
+
+/// A Thompson NFA with a single start and single accept state.
+#[derive(Debug, Clone)]
+pub struct Nfa {
+    /// All states; indices are [`StateId`]s.
+    pub states: Vec<State>,
+    /// The start state.
+    pub start: StateId,
+    /// The unique accepting state.
+    pub accept: StateId,
+}
+
+impl Nfa {
+    /// Builds the Thompson NFA for `ast`.
+    pub fn from_ast(ast: &Ast) -> Nfa {
+        let mut b = Builder { states: Vec::new() };
+        let (start, accept) = b.build(ast);
+        Nfa {
+            states: b.states,
+            start,
+            accept,
+        }
+    }
+
+    /// Number of states (for benchmarks and tests).
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// True if the automaton has no states (never happens for built NFAs,
+    /// provided for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// Epsilon closure of `set`, in place. `set` is a dense boolean mask.
+    fn closure(&self, set: &mut [bool], work: &mut Vec<StateId>) {
+        work.clear();
+        work.extend((0..set.len()).filter(|&s| set[s]));
+        while let Some(s) = work.pop() {
+            for &t in &self.states[s].eps {
+                if !set[t] {
+                    set[t] = true;
+                    work.push(t);
+                }
+            }
+        }
+    }
+
+    /// Anchored simulation: does the entire `input` drive start → accept?
+    pub fn full_match(&self, input: &[u8]) -> bool {
+        let n = self.states.len();
+        let mut cur = vec![false; n];
+        let mut work = Vec::with_capacity(n);
+        cur[self.start] = true;
+        self.closure(&mut cur, &mut work);
+        let mut next = vec![false; n];
+        for &b in input {
+            next.iter_mut().for_each(|v| *v = false);
+            let mut any = false;
+            #[allow(clippy::needless_range_loop)] // dense-mask scan
+            for s in 0..n {
+                if !cur[s] {
+                    continue;
+                }
+                for t in &self.states[s].edges {
+                    if t.on.contains(b) {
+                        next[t.to] = true;
+                        any = true;
+                    }
+                }
+            }
+            if !any {
+                return false;
+            }
+            self.closure(&mut next, &mut work);
+            std::mem::swap(&mut cur, &mut next);
+        }
+        cur[self.accept]
+    }
+
+    /// Unanchored simulation: does any substring of `input` drive
+    /// start → accept? Implemented with the multi-start trick (re-inject
+    /// the start closure before every symbol), which keeps the scan
+    /// single-pass.
+    pub fn search(&self, input: &[u8]) -> bool {
+        let n = self.states.len();
+        let mut cur = vec![false; n];
+        let mut work = Vec::with_capacity(n);
+        cur[self.start] = true;
+        self.closure(&mut cur, &mut work);
+        if cur[self.accept] {
+            return true; // empty match
+        }
+        let mut next = vec![false; n];
+        for &b in input {
+            next.iter_mut().for_each(|v| *v = false);
+            #[allow(clippy::needless_range_loop)] // dense-mask scan
+            for s in 0..n {
+                if !cur[s] {
+                    continue;
+                }
+                for t in &self.states[s].edges {
+                    if t.on.contains(b) {
+                        next[t.to] = true;
+                    }
+                }
+            }
+            // New match may start at the next position.
+            next[self.start] = true;
+            self.closure(&mut next, &mut work);
+            if next[self.accept] {
+                return true;
+            }
+            std::mem::swap(&mut cur, &mut next);
+        }
+        false
+    }
+}
+
+struct Builder {
+    states: Vec<State>,
+}
+
+impl Builder {
+    fn new_state(&mut self) -> StateId {
+        self.states.push(State::default());
+        self.states.len() - 1
+    }
+
+    fn eps(&mut self, from: StateId, to: StateId) {
+        self.states[from].eps.push(to);
+    }
+
+    /// Returns `(start, accept)` for the fragment.
+    fn build(&mut self, ast: &Ast) -> (StateId, StateId) {
+        match ast {
+            Ast::Epsilon => {
+                let s = self.new_state();
+                let a = self.new_state();
+                self.eps(s, a);
+                (s, a)
+            }
+            Ast::Class(c) => {
+                let s = self.new_state();
+                let a = self.new_state();
+                self.states[s].edges.push(Transition { on: *c, to: a });
+                (s, a)
+            }
+            Ast::Concat(parts) => {
+                let frags: Vec<(StateId, StateId)> =
+                    parts.iter().map(|p| self.build(p)).collect();
+                let (start, mut acc) = frags[0];
+                for &(s, a) in &frags[1..] {
+                    self.eps(acc, s);
+                    acc = a;
+                }
+                (start, acc)
+            }
+            Ast::Alt(parts) => {
+                let s = self.new_state();
+                let a = self.new_state();
+                for p in parts {
+                    let (ps, pa) = self.build(p);
+                    self.eps(s, ps);
+                    self.eps(pa, a);
+                }
+                (s, a)
+            }
+            Ast::Star(inner) => {
+                let s = self.new_state();
+                let a = self.new_state();
+                let (is, ia) = self.build(inner);
+                self.eps(s, is);
+                self.eps(s, a);
+                self.eps(ia, is);
+                self.eps(ia, a);
+                (s, a)
+            }
+            Ast::Plus(inner) => {
+                let (is, ia) = self.build(inner);
+                let a = self.new_state();
+                self.eps(ia, is);
+                self.eps(ia, a);
+                (is, a)
+            }
+            Ast::Opt(inner) => {
+                let s = self.new_state();
+                let a = self.new_state();
+                let (is, ia) = self.build(inner);
+                self.eps(s, is);
+                self.eps(s, a);
+                self.eps(ia, a);
+                (s, a)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn full(pat: &str, s: &str) -> bool {
+        Nfa::from_ast(&parse(pat).unwrap()).full_match(s.as_bytes())
+    }
+
+    fn find(pat: &str, s: &str) -> bool {
+        Nfa::from_ast(&parse(pat).unwrap()).search(s.as_bytes())
+    }
+
+    #[test]
+    fn literal_full_match() {
+        assert!(full("701", "701"));
+        assert!(!full("701", "702"));
+        assert!(!full("701", "7012"));
+        assert!(!full("701", "70"));
+    }
+
+    #[test]
+    fn alternation() {
+        assert!(full("701|1239", "701"));
+        assert!(full("701|1239", "1239"));
+        assert!(!full("701|1239", "7011239"));
+    }
+
+    #[test]
+    fn star_and_plus() {
+        assert!(full("1(23)*", "1"));
+        assert!(full("1(23)*", "12323"));
+        assert!(!full("1(23)*", "123232"));
+        assert!(full("9+", "999"));
+        assert!(!full("9+", ""));
+    }
+
+    #[test]
+    fn epsilon_pattern_matches_empty_only() {
+        let nfa = Nfa::from_ast(&Ast::Epsilon);
+        assert!(nfa.full_match(b""));
+        assert!(!nfa.full_match(b"a"));
+    }
+
+    #[test]
+    fn search_finds_inner_substring() {
+        assert!(find("701", "x701y"));
+        assert!(find("701", "701"));
+        assert!(!find("701", "70 1"));
+    }
+
+    #[test]
+    fn search_with_empty_pattern_always_matches() {
+        assert!(find("()", "anything"));
+        assert!(find("a*", "bbb"));
+    }
+
+    #[test]
+    fn class_edges() {
+        assert!(full("[0-9]+", "0123456789"));
+        assert!(!full("[0-9]+", "12a34"));
+    }
+
+    #[test]
+    fn pathological_pattern_terminates_fast() {
+        // (a?)^20 a^20 against a^20 — exponential for backtrackers,
+        // linear here.
+        let pat = format!("{}{}", "a?".repeat(20), "a".repeat(20));
+        let input = "a".repeat(20);
+        assert!(full(&pat, &input));
+    }
+
+    #[test]
+    fn state_counts_are_linear() {
+        let small = Nfa::from_ast(&parse("abc").unwrap()).len();
+        let big = Nfa::from_ast(&parse(&"abc".repeat(50)).unwrap()).len();
+        assert!(big <= small * 50 + 2);
+    }
+}

@@ -1,0 +1,464 @@
+//! Recursive-descent parser for the IOS policy-regexp dialect.
+//!
+//! Grammar (standard precedence):
+//!
+//! ```text
+//! alt    := concat ('|' concat)*
+//! concat := repeat*
+//! repeat := atom ('*' | '+' | '?' | '{' m (',' n?)? '}')*
+//! atom   := literal | '.' | '_' | '^' | '$' | class | '(' alt ')'
+//! class  := '[' '^'? member+ ']'
+//! member := char | char '-' char
+//! ```
+//!
+//! `\x` escapes the metacharacter `x` anywhere. `^` and `$` parse as
+//! single-sentinel classes (see crate docs); `_` parses as the as-path
+//! delimiter class.
+//!
+//! Bounded repetition `{m}`, `{m,}`, `{m,n}` is an engine extension
+//! (desugared to concatenation/option/star at parse time, bounds capped
+//! at 255 to keep the desugaring linear); a `{` not opening a valid bound
+//! is a literal brace, matching IOS behaviour.
+
+use std::fmt;
+
+use crate::ast::Ast;
+use crate::class::CharClass;
+use crate::{SENT_END, SENT_START};
+
+/// A parse error with byte position and message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseErr {
+    /// Byte offset into the pattern where the error was detected.
+    pub pos: usize,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl fmt::Display for ParseErr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "regexp parse error at byte {}: {}", self.pos, self.msg)
+    }
+}
+
+impl std::error::Error for ParseErr {}
+
+/// Parses `pattern` into an [`Ast`].
+pub fn parse(pattern: &str) -> Result<Ast, ParseErr> {
+    let mut p = Parser {
+        bytes: pattern.as_bytes(),
+        pos: 0,
+    };
+    let ast = p.alt()?;
+    if p.pos != p.bytes.len() {
+        return Err(p.err("unexpected trailing input (unbalanced ')'?)"));
+    }
+    Ok(ast)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> ParseErr {
+        ParseErr {
+            pos: self.pos,
+            msg: msg.to_string(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek();
+        if b.is_some() {
+            self.pos += 1;
+        }
+        b
+    }
+
+    fn alt(&mut self) -> Result<Ast, ParseErr> {
+        let mut parts = vec![self.concat()?];
+        while self.peek() == Some(b'|') {
+            self.bump();
+            parts.push(self.concat()?);
+        }
+        Ok(Ast::alt(parts))
+    }
+
+    fn concat(&mut self) -> Result<Ast, ParseErr> {
+        let mut parts = Vec::new();
+        while let Some(b) = self.peek() {
+            if b == b'|' || b == b')' {
+                break;
+            }
+            parts.push(self.repeat()?);
+        }
+        Ok(Ast::concat(parts))
+    }
+
+    fn repeat(&mut self) -> Result<Ast, ParseErr> {
+        let mut a = self.atom()?;
+        loop {
+            match self.peek() {
+                Some(b'*') => {
+                    self.bump();
+                    a = Ast::Star(Box::new(a));
+                }
+                Some(b'+') => {
+                    self.bump();
+                    a = Ast::Plus(Box::new(a));
+                }
+                Some(b'?') => {
+                    self.bump();
+                    a = Ast::Opt(Box::new(a));
+                }
+                Some(b'{') => {
+                    match self.try_bounds() {
+                        Some((m, n)) => a = desugar_repeat(a, m, n),
+                        None => return Ok(a), // literal `{` starts a new atom
+                    }
+                }
+                _ => return Ok(a),
+            }
+        }
+    }
+
+    /// Attempts to read `{m}`, `{m,}`, or `{m,n}` at the cursor. On
+    /// success consumes it and returns `(m, upper)` with `upper = None`
+    /// for an unbounded `{m,}`. On failure leaves the cursor untouched
+    /// (the `{` is then a literal).
+    fn try_bounds(&mut self) -> Option<(u16, Option<u16>)> {
+        let save = self.pos;
+        let out = self.try_bounds_inner();
+        if out.is_none() {
+            self.pos = save; // the `{` is a literal; nothing was consumed
+        }
+        out
+    }
+
+    fn try_bounds_inner(&mut self) -> Option<(u16, Option<u16>)> {
+        debug_assert_eq!(self.peek(), Some(b'{'));
+        self.bump();
+        let m = self.bounded_number()?;
+        match self.peek() {
+            Some(b'}') => {
+                self.bump();
+                Some((m, Some(m)))
+            }
+            Some(b',') => {
+                self.bump();
+                match self.peek() {
+                    Some(b'}') => {
+                        self.bump();
+                        Some((m, None))
+                    }
+                    _ => {
+                        let n = self.bounded_number()?;
+                        if self.peek() == Some(b'}') && n >= m {
+                            self.bump();
+                            Some((m, Some(n)))
+                        } else {
+                            None
+                        }
+                    }
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// A decimal number capped at 255 (keeps the desugaring linear).
+    fn bounded_number(&mut self) -> Option<u16> {
+        let mut v: u16 = 0;
+        let mut any = false;
+        while let Some(b) = self.peek() {
+            if !b.is_ascii_digit() {
+                break;
+            }
+            any = true;
+            v = v.checked_mul(10)?.checked_add(u16::from(b - b'0'))?;
+            if v > 255 {
+                return None;
+            }
+            self.bump();
+        }
+        any.then_some(v)
+    }
+
+    fn atom(&mut self) -> Result<Ast, ParseErr> {
+        let b = self.bump().ok_or_else(|| self.err("expected an atom"))?;
+        match b {
+            b'(' => {
+                let inner = self.alt()?;
+                if self.bump() != Some(b')') {
+                    return Err(self.err("expected ')'"));
+                }
+                Ok(inner)
+            }
+            b'[' => self.class(),
+            b'.' => Ok(Ast::Class(CharClass::dot())),
+            b'_' => Ok(Ast::Class(CharClass::underscore())),
+            b'^' => Ok(Ast::Class(CharClass::single(SENT_START))),
+            b'$' => Ok(Ast::Class(CharClass::single(SENT_END))),
+            b'\\' => {
+                let esc = self
+                    .bump()
+                    .ok_or_else(|| self.err("dangling escape at end of pattern"))?;
+                if esc >= 128 {
+                    return Err(self.err("non-ASCII escape"));
+                }
+                Ok(Ast::literal_byte(esc))
+            }
+            b'*' | b'+' | b'?' => Err(self.err("repetition operator with nothing to repeat")),
+            b if b < 128 => Ok(Ast::literal_byte(b)),
+            _ => Err(self.err("non-ASCII byte in pattern")),
+        }
+    }
+
+    fn class(&mut self) -> Result<Ast, ParseErr> {
+        let negate = if self.peek() == Some(b'^') {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        let mut set = CharClass::empty();
+        let mut first = true;
+        loop {
+            let b = self
+                .bump()
+                .ok_or_else(|| self.err("unterminated character class"))?;
+            match b {
+                b']' if !first => break,
+                b'\\' => {
+                    let esc = self
+                        .bump()
+                        .ok_or_else(|| self.err("dangling escape in class"))?;
+                    self.class_member(esc, &mut set)?;
+                }
+                // A literal `]` is allowed as the first member, per POSIX.
+                _ => self.class_member(b, &mut set)?,
+            }
+            first = false;
+        }
+        if set.is_empty() {
+            return Err(self.err("empty character class"));
+        }
+        Ok(Ast::Class(if negate { set.negated() } else { set }))
+    }
+
+    /// Adds `lo` (or the range `lo-hi` if a dash follows) to `set`.
+    fn class_member(&mut self, lo: u8, set: &mut CharClass) -> Result<(), ParseErr> {
+        if lo >= 128 {
+            return Err(self.err("non-ASCII byte in class"));
+        }
+        // Range only if '-' is followed by something other than ']'.
+        if self.peek() == Some(b'-') && self.bytes.get(self.pos + 1).is_some_and(|&n| n != b']') {
+            self.bump(); // the '-'
+            let mut hi = self.bump().expect("peeked above");
+            if hi == b'\\' {
+                hi = self
+                    .bump()
+                    .ok_or_else(|| self.err("dangling escape in class range"))?;
+            }
+            if hi >= 128 {
+                return Err(self.err("non-ASCII byte in class"));
+            }
+            if hi < lo {
+                return Err(self.err("inverted range in character class"));
+            }
+            for b in lo..=hi {
+                set.insert(b);
+            }
+        } else {
+            set.insert(lo);
+        }
+        Ok(())
+    }
+}
+
+/// Desugars `a{m,n}` / `a{m,}` into the core operators.
+fn desugar_repeat(a: Ast, m: u16, upper: Option<u16>) -> Ast {
+    let mut parts: Vec<Ast> = (0..m).map(|_| a.clone()).collect();
+    match upper {
+        None => parts.push(Ast::Star(Box::new(a))),
+        Some(n) => {
+            for _ in m..n {
+                parts.push(Ast::Opt(Box::new(a.clone())));
+            }
+        }
+    }
+    Ast::concat(parts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pat(p: &str) -> String {
+        parse(p).unwrap().to_pattern()
+    }
+
+    #[test]
+    fn literals_concat() {
+        assert_eq!(pat("701"), "701");
+        assert_eq!(pat("abc"), "abc");
+    }
+
+    #[test]
+    fn alternation_precedence() {
+        // `ab|cd` is (ab)|(cd), not a(b|c)d.
+        let a = parse("ab|cd").unwrap();
+        match &a {
+            Ast::Alt(v) => assert_eq!(v.len(), 2),
+            other => panic!("expected Alt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn repeat_binds_tightest() {
+        let a = parse("ab*").unwrap();
+        assert_eq!(a.to_pattern(), "ab*");
+        let a = parse("(ab)*").unwrap();
+        assert_eq!(a.to_pattern(), "(ab)*");
+    }
+
+    #[test]
+    fn classes() {
+        assert_eq!(pat("[0-9]"), "[0-9]");
+        assert_eq!(pat("7[1-5]."), "7[1-5].");
+        assert_eq!(pat("[abc]"), "[a-c]"); // printed as a range
+    }
+
+    #[test]
+    fn negated_class() {
+        let a = parse("[^0-9]").unwrap();
+        match a {
+            Ast::Class(c) => {
+                assert!(c.contains(b'a'));
+                assert!(!c.contains(b'5'));
+            }
+            other => panic!("expected class, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn special_atoms() {
+        for p in [".", "_", "^", "$"] {
+            assert_eq!(pat(p), p);
+        }
+    }
+
+    #[test]
+    fn escapes() {
+        assert_eq!(pat(r"\."), r"\.");
+        assert_eq!(pat(r"\\"), r"\\");
+        assert_eq!(pat(r"a\|b"), r"a\|b");
+    }
+
+    #[test]
+    fn class_leading_bracket_and_dash() {
+        // `[]a]` = class of ']' and 'a'; `[a-]` = 'a' and '-'.
+        let a = parse("[]a]").unwrap();
+        match a {
+            Ast::Class(c) => assert!(c.contains(b']') && c.contains(b'a')),
+            other => panic!("{other:?}"),
+        }
+        let a = parse("[a-]").unwrap();
+        match a {
+            Ast::Class(c) => assert!(c.contains(b'a') && c.contains(b'-')),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors() {
+        for p in ["(", "(a", "a)", "[", "[a", "*a", "+", "a\\", "[z-a]", "[]"] {
+            assert!(parse(p).is_err(), "{p:?} should fail");
+        }
+    }
+
+    #[test]
+    fn error_positions_are_sensible() {
+        let e = parse("ab(cd").unwrap_err();
+        assert_eq!(e.pos, 5);
+    }
+
+    #[test]
+    fn round_trip_reparses_to_same_pattern() {
+        for p in [
+            "701",
+            "(_1239_|_70[2-5]_)",
+            "701:7[1-5]..",
+            "^65000_",
+            "(1|2|3)+",
+            "a?b*c+",
+            "[^ ]*",
+        ] {
+            let once = pat(p);
+            let twice = parse(&once).unwrap().to_pattern();
+            assert_eq!(once, twice, "pattern {p}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod bounds_tests {
+    use super::*;
+    use crate::nfa::Nfa;
+
+    fn full(pat: &str, s: &str) -> bool {
+        Nfa::from_ast(&parse(pat).unwrap()).full_match(crate::wrap(s).as_slice().get(1..).map(|x| &x[..x.len()-1]).unwrap())
+    }
+
+    #[test]
+    fn exact_count() {
+        assert!(full("[0-9]{3}", "701"));
+        assert!(!full("[0-9]{3}", "70"));
+        assert!(!full("[0-9]{3}", "7011"));
+    }
+
+    #[test]
+    fn range_count() {
+        for (s, want) in [("7", false), ("70", true), ("701", true), ("7011", true), ("70111", false)] {
+            assert_eq!(full("7[0-9]{1,3}", s), want, "{s}");
+        }
+    }
+
+    #[test]
+    fn open_upper_bound() {
+        assert!(!full("1[0-9]{2,}", "10"));
+        assert!(full("1[0-9]{2,}", "100"));
+        assert!(full("1[0-9]{2,}", "100000"));
+    }
+
+    #[test]
+    fn zero_lower_bound() {
+        assert!(full("a{0,2}", ""));
+        assert!(full("a{0,2}", "aa"));
+        assert!(!full("a{0,2}", "aaa"));
+    }
+
+    #[test]
+    fn invalid_bounds_are_literal_braces() {
+        // `{` not opening a valid bound is a literal, as in IOS.
+        assert!(full("a\\{x", "a{x"));
+        assert!(full("a{,3}", "a{,3}"));
+        assert!(full("a{3,1}", "a{3,1}")); // inverted: literal
+        assert!(full("a{999}", "a{999}")); // over the cap: literal
+    }
+
+    #[test]
+    fn bounds_compose_with_enumeration() {
+        use crate::lang::accepted_asns;
+        let asns = accepted_asns(&parse("70[1-3]{1}").unwrap());
+        assert_eq!(asns, vec![701, 702, 703]);
+        let asns = accepted_asns(&parse("7[0-9]{2,3}").unwrap());
+        assert_eq!(asns.len(), 100 + 1000);
+    }
+}

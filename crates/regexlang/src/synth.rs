@@ -1,0 +1,186 @@
+//! DFA → regular expression by state elimination.
+//!
+//! Paper §4.4: "We could use known polynomial-time algorithms for
+//! constructing the minimum finite automata (FA) that accepts the new
+//! language and then convert this FA back into a regexp, but we have not
+//! had need for this functionality." We *did* build it: combined with
+//! [`crate::dfa::Dfa::minimize`], this turns the potentially enormous
+//! alternation of anonymized ASNs back into a compact pattern.
+//!
+//! The algorithm is the textbook GNFA construction: add a fresh start and
+//! accept state, then eliminate original states one at a time, rewriting
+//! `i → k → j` paths as `R(i,j) | R(i,k) R(k,k)* R(k,j)`. Elimination
+//! order follows the fewest-paths-first heuristic to keep the result small.
+
+use std::collections::HashMap;
+
+use crate::ast::Ast;
+use crate::dfa::Dfa;
+
+/// Converts `dfa` to an equivalent regular expression, or `None` if the
+/// DFA accepts the empty language.
+pub fn synthesize(dfa: &Dfa) -> Option<Ast> {
+    if dfa.language_is_empty() {
+        return None;
+    }
+
+    // GNFA state numbering: 0 = fresh start, 1 = fresh accept,
+    // k + 2 = original DFA state k.
+    let n = dfa.len() + 2;
+    let mut edge: HashMap<(usize, usize), Ast> = HashMap::new();
+
+    let add = |edge: &mut HashMap<(usize, usize), Ast>, i: usize, j: usize, a: Ast| {
+        match edge.remove(&(i, j)) {
+            None => {
+                edge.insert((i, j), a);
+            }
+            Some(prev) => {
+                edge.insert((i, j), Ast::alt(vec![prev, a]));
+            }
+        }
+    };
+
+    add(&mut edge, 0, dfa.start_state() as usize + 2, Ast::Epsilon);
+    for s in 0..dfa.len() as u32 {
+        if dfa.is_accepting(s) {
+            add(&mut edge, s as usize + 2, 1, Ast::Epsilon);
+        }
+    }
+    for (f, class, t) in dfa.edges() {
+        add(&mut edge, f as usize + 2, t as usize + 2, Ast::Class(class));
+    }
+
+    let mut alive: Vec<usize> = (2..n).collect();
+    while !alive.is_empty() {
+        // Heuristic: eliminate the state with the fewest in*out pairs.
+        let k = *alive
+            .iter()
+            .min_by_key(|&&k| {
+                let ins = edge.keys().filter(|&&(i, j)| j == k && i != k).count();
+                let outs = edge.keys().filter(|&&(i, j)| i == k && j != k).count();
+                ins * outs
+            })
+            .expect("alive non-empty");
+        alive.retain(|&s| s != k);
+
+        let self_loop = edge.remove(&(k, k));
+        let ins: Vec<(usize, Ast)> = edge
+            .iter()
+            .filter(|&(&(i, j), _)| j == k && i != k)
+            .map(|(&(i, _), a)| (i, a.clone()))
+            .collect();
+        let outs: Vec<(usize, Ast)> = edge
+            .iter()
+            .filter(|&(&(i, j), _)| i == k && j != k)
+            .map(|(&(_, j), a)| (j, a.clone()))
+            .collect();
+        edge.retain(|&(i, j), _| i != k && j != k);
+
+        let loop_part = self_loop.map(star);
+        for (i, ain) in &ins {
+            for (j, aout) in &outs {
+                let mut parts = vec![ain.clone()];
+                if let Some(l) = &loop_part {
+                    parts.push(l.clone());
+                }
+                parts.push(aout.clone());
+                add(&mut edge, *i, *j, Ast::concat(parts));
+            }
+        }
+    }
+
+    edge.remove(&(0, 1))
+}
+
+/// `Star` with the obvious simplifications (`ε* = ε`, `(x*)* = x*`,
+/// `(x?)* = x*`).
+fn star(a: Ast) -> Ast {
+    match a {
+        Ast::Epsilon => Ast::Epsilon,
+        Ast::Star(inner) | Ast::Opt(inner) | Ast::Plus(inner) => Ast::Star(inner),
+        other => Ast::Star(Box::new(other)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dfa::dfa_for;
+    use crate::nfa::Nfa;
+    use crate::parser::parse;
+
+    /// Round-trips `pat` through DFA → minimize → synthesize and checks
+    /// language equality on `samples`.
+    fn round_trip(pat: &str, samples: &[&str]) {
+        let ast = parse(pat).unwrap();
+        let d = dfa_for(&ast).minimize();
+        let back = synthesize(&d).expect("nonempty language");
+        let orig = Nfa::from_ast(&ast);
+        let resyn = Nfa::from_ast(&back);
+        for s in samples {
+            assert_eq!(
+                orig.full_match(s.as_bytes()),
+                resyn.full_match(s.as_bytes()),
+                "pattern {pat} resynthesized as {} disagrees on {s:?}",
+                back.to_pattern()
+            );
+        }
+    }
+
+    #[test]
+    fn simple_literals() {
+        round_trip("701", &["701", "702", "70", "7011", ""]);
+    }
+
+    #[test]
+    fn alternation_of_numbers() {
+        round_trip(
+            "701|702|703",
+            &["700", "701", "702", "703", "704", "70", ""],
+        );
+    }
+
+    #[test]
+    fn classes_and_repeats() {
+        round_trip(
+            "70[1-3]+",
+            &["701", "701702", "701701703", "700", "", "701704"],
+        );
+        round_trip("1(0)*", &["1", "10", "100", "01", ""]);
+    }
+
+    #[test]
+    fn nontrivial_loops() {
+        round_trip(
+            "(12|21)*",
+            &["", "12", "21", "1221", "2112", "122", "11", "1212"],
+        );
+    }
+
+    #[test]
+    fn empty_language_yields_none() {
+        let nfa = Nfa::from_ast(&parse("a").unwrap());
+        let mut broken = nfa.clone();
+        broken.states[0].edges.clear();
+        broken.states[0].eps.clear();
+        let d = crate::dfa::Dfa::from_nfa(&broken);
+        assert!(synthesize(&d).is_none());
+    }
+
+    #[test]
+    fn synthesized_pattern_is_parseable() {
+        let d = dfa_for(&parse("(_1239_|_70[2-5]_)").unwrap()).minimize();
+        let back = synthesize(&d).unwrap();
+        let text = back.to_pattern();
+        parse(&text).unwrap_or_else(|e| panic!("unparseable synthesis {text:?}: {e}"));
+    }
+
+    #[test]
+    fn star_simplifications() {
+        assert_eq!(star(Ast::Epsilon), Ast::Epsilon);
+        let a = Ast::literal_byte(b'a');
+        assert_eq!(star(Ast::Star(Box::new(a.clone()))), Ast::Star(Box::new(a.clone())));
+        assert_eq!(star(Ast::Opt(Box::new(a.clone()))), Ast::Star(Box::new(a.clone())));
+        assert_eq!(star(Ast::Plus(Box::new(a.clone()))), Ast::Star(Box::new(a)));
+    }
+}

@@ -1,0 +1,107 @@
+//! Cross-representation equivalence: for random patterns, the NFA
+//! simulator, the subset-construction DFA, the minimized DFA, and the
+//! re-synthesized regexp must all accept exactly the same strings.
+//!
+//! This is the property that makes the §4.4 rewriting trustworthy: every
+//! transformation in the pipeline is language-preserving.
+
+use proptest::prelude::*;
+
+use confanon_regexlang::ast::Ast;
+use confanon_regexlang::class::CharClass;
+use confanon_regexlang::dfa::Dfa;
+use confanon_regexlang::nfa::Nfa;
+use confanon_regexlang::synth::synthesize;
+
+/// Strategy for random ASTs over a small digit/letter alphabet.
+fn ast_strategy() -> impl Strategy<Value = Ast> {
+    let leaf = prop_oneof![
+        (b'0'..=b'3').prop_map(Ast::literal_byte),
+        (b'a'..=b'b').prop_map(Ast::literal_byte),
+        Just(Ast::Class(CharClass::range(b'0', b'2'))),
+        Just(Ast::Epsilon),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 1..4).prop_map(Ast::concat),
+            prop::collection::vec(inner.clone(), 1..4).prop_map(Ast::alt),
+            inner.clone().prop_map(|a| Ast::Star(Box::new(a))),
+            inner.clone().prop_map(|a| Ast::Plus(Box::new(a))),
+            inner.prop_map(|a| Ast::Opt(Box::new(a))),
+        ]
+    })
+}
+
+/// All strings over the alphabet up to length 4 (1 + 6 + 36 + 216 + 1296).
+fn inputs() -> Vec<Vec<u8>> {
+    let alphabet = [b'0', b'1', b'2', b'3', b'a', b'b'];
+    let mut all: Vec<Vec<u8>> = vec![Vec::new()];
+    let mut frontier = vec![Vec::new()];
+    for _ in 0..4 {
+        let mut next = Vec::new();
+        for s in &frontier {
+            for &c in &alphabet {
+                let mut t = s.clone();
+                t.push(c);
+                next.push(t);
+            }
+        }
+        all.extend(next.iter().cloned());
+        frontier = next;
+    }
+    all
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn nfa_dfa_minimized_and_synthesized_agree(ast in ast_strategy()) {
+        let nfa = Nfa::from_ast(&ast);
+        let dfa = Dfa::from_nfa(&nfa);
+        let min = dfa.minimize();
+        let resynth = synthesize(&min).map(|back| Nfa::from_ast(&back));
+
+        for input in inputs() {
+            let want = nfa.full_match(&input);
+            prop_assert_eq!(dfa.accepts(&input), want, "dfa on {:?} ({:?})", input, ast);
+            prop_assert_eq!(min.accepts(&input), want, "min on {:?} ({:?})", input, ast);
+            if let Some(r) = &resynth {
+                prop_assert_eq!(
+                    r.full_match(&input),
+                    want,
+                    "resynth on {:?} ({:?})",
+                    input,
+                    ast
+                );
+            } else {
+                prop_assert!(!want, "empty synthesis but NFA accepts {:?}", input);
+            }
+        }
+    }
+
+    #[test]
+    fn minimized_never_larger(ast in ast_strategy()) {
+        let dfa = Dfa::from_nfa(&Nfa::from_ast(&ast));
+        prop_assert!(dfa.minimize().len() <= dfa.len());
+    }
+
+    #[test]
+    fn pattern_round_trip_preserves_language(ast in ast_strategy()) {
+        // AST → pattern text → parse → same language.
+        let text = ast.to_pattern();
+        let reparsed = confanon_regexlang::parse(&text)
+            .unwrap_or_else(|e| panic!("unparseable print {text:?}: {e}"));
+        let a = Nfa::from_ast(&ast);
+        let b = Nfa::from_ast(&reparsed);
+        for input in inputs() {
+            prop_assert_eq!(
+                a.full_match(&input),
+                b.full_match(&input),
+                "{:?} vs reparse of {:?}",
+                input,
+                text
+            );
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! The §6.2 / §6.3 fingerprinting analyses.
+//!
+//! §6.2: "because the IP address anonymization is structure preserving,
+//! the number of subnets of different sizes is the same in pre- and
+//! post-anonymization configs. This means an attacker could construct a
+//! fingerprint of a network via counting up how many subnets of different
+//! sizes (/30s, /29s, /28s, etc.) appear in the anonymized configs. …
+//! The remaining question that we will experimentally evaluate in future
+//! work is whether address space usage fingerprints are sufficiently
+//! unique to enable the identification of networks."
+//!
+//! §6.3 raises the same question for peering structure: "anonymized
+//! configs accurately represent the number of routers at which the
+//! anonymized network peers with other networks, and the number of
+//! peering sessions that terminate on each of those routers."
+//!
+//! This module runs both experiments over a population of networks:
+//! compute each network's fingerprint, then measure how identifying the
+//! fingerprints are (exact-collision classes and Shannon entropy).
+
+use std::collections::BTreeMap;
+
+use confanon_design::extract_design;
+use confanon_iosparse::Config;
+use serde::{Deserialize, Serialize};
+
+use crate::suite1::network_properties;
+
+/// The §6.2 fingerprint: distinct-subnet counts per prefix length.
+pub type SubnetFingerprint = BTreeMap<u8, usize>;
+
+/// Computes the subnet-size fingerprint of a network.
+pub fn subnet_fingerprint(configs: &[Config]) -> SubnetFingerprint {
+    network_properties(configs).subnet_histogram
+}
+
+/// The §6.3 fingerprint: peering attachment structure.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PeeringFingerprint {
+    /// Number of routers terminating at least one external BGP session.
+    pub peering_routers: usize,
+    /// Sorted multiset of external-session counts per peering router.
+    pub sessions_per_router: Vec<usize>,
+}
+
+/// Computes the peering fingerprint of a network.
+pub fn peering_fingerprint(configs: &[Config]) -> PeeringFingerprint {
+    let design = extract_design(configs);
+    let mut per_router: Vec<usize> = design
+        .routers
+        .iter()
+        .map(|r| r.neighbors.iter().filter(|n| !n.internal_endpoint).count())
+        .filter(|&c| c > 0)
+        .collect();
+    per_router.sort_unstable();
+    PeeringFingerprint {
+        peering_routers: per_router.len(),
+        sessions_per_router: per_router,
+    }
+}
+
+/// Aggregate uniqueness statistics for a population of fingerprints.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FingerprintStudy {
+    /// Population size.
+    pub networks: usize,
+    /// Number of distinct fingerprints.
+    pub distinct: usize,
+    /// Networks whose fingerprint is unique in the population (the ones
+    /// the attack could identify with certainty).
+    pub uniquely_identified: usize,
+    /// Size of the largest anonymity set (collision class).
+    pub largest_class: usize,
+    /// Shannon entropy of the fingerprint distribution, in bits. The
+    /// maximum (`log2(networks)`) means every fingerprint is unique.
+    pub entropy_bits: f64,
+    /// `log2(networks)`, for comparison.
+    pub max_entropy_bits: f64,
+}
+
+impl FingerprintStudy {
+    /// Builds the study from a list of fingerprint keys (any `Ord` value
+    /// rendered to a comparable string).
+    pub fn from_keys(keys: &[String]) -> FingerprintStudy {
+        let n = keys.len();
+        let mut classes: BTreeMap<&str, usize> = BTreeMap::new();
+        for k in keys {
+            *classes.entry(k.as_str()).or_insert(0) += 1;
+        }
+        let distinct = classes.len();
+        let uniquely_identified = classes.values().filter(|&&c| c == 1).count();
+        let largest_class = classes.values().copied().max().unwrap_or(0);
+        let entropy_bits = if n == 0 {
+            0.0
+        } else {
+            classes
+                .values()
+                .map(|&c| {
+                    let p = c as f64 / n as f64;
+                    -p * p.log2()
+                })
+                .sum()
+        };
+        FingerprintStudy {
+            networks: n,
+            distinct,
+            uniquely_identified,
+            largest_class,
+            entropy_bits,
+            max_entropy_bits: if n == 0 { 0.0 } else { (n as f64).log2() },
+        }
+    }
+}
+
+/// Renders a subnet fingerprint to a stable string key.
+pub fn subnet_key(fp: &SubnetFingerprint) -> String {
+    fp.iter()
+        .map(|(len, count)| format!("/{len}:{count}"))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// Renders a peering fingerprint to a stable string key.
+pub fn peering_key(fp: &PeeringFingerprint) -> String {
+    format!(
+        "r{}:{:?}",
+        fp.peering_routers,
+        fp.sessions_per_router
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subnet_fingerprint_counts_sizes() {
+        let cfg = Config::parse(
+            "interface a\n ip address 10.0.0.1 255.255.255.252\ninterface b\n ip address 10.0.1.1 255.255.255.0\n",
+        );
+        let fp = subnet_fingerprint(&[cfg]);
+        assert_eq!(fp[&30], 1);
+        assert_eq!(fp[&24], 1);
+    }
+
+    #[test]
+    fn peering_fingerprint_shape() {
+        let cfg = Config::parse(
+            "router bgp 65000\n neighbor 9.9.9.9 remote-as 701\n neighbor 8.8.8.8 remote-as 1239\n",
+        );
+        let fp = peering_fingerprint(&[cfg]);
+        assert_eq!(fp.peering_routers, 1);
+        assert_eq!(fp.sessions_per_router, vec![2]);
+    }
+
+    #[test]
+    fn study_all_unique() {
+        let keys: Vec<String> = (0..8).map(|i| format!("k{i}")).collect();
+        let s = FingerprintStudy::from_keys(&keys);
+        assert_eq!(s.distinct, 8);
+        assert_eq!(s.uniquely_identified, 8);
+        assert_eq!(s.largest_class, 1);
+        assert!((s.entropy_bits - 3.0).abs() < 1e-9);
+        assert!((s.max_entropy_bits - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn study_all_identical() {
+        let keys = vec!["same".to_string(); 8];
+        let s = FingerprintStudy::from_keys(&keys);
+        assert_eq!(s.distinct, 1);
+        assert_eq!(s.uniquely_identified, 0);
+        assert_eq!(s.largest_class, 8);
+        assert_eq!(s.entropy_bits, 0.0);
+    }
+
+    #[test]
+    fn study_mixed() {
+        let keys = vec![
+            "a".to_string(),
+            "a".to_string(),
+            "b".to_string(),
+            "c".to_string(),
+        ];
+        let s = FingerprintStudy::from_keys(&keys);
+        assert_eq!(s.distinct, 3);
+        assert_eq!(s.uniquely_identified, 2);
+        assert_eq!(s.largest_class, 2);
+        assert!(s.entropy_bits > 1.0 && s.entropy_bits < 2.0);
+    }
+
+    #[test]
+    fn empty_population() {
+        let s = FingerprintStudy::from_keys(&[]);
+        assert_eq!(s.networks, 0);
+        assert_eq!(s.entropy_bits, 0.0);
+    }
+
+    #[test]
+    fn keys_are_stable() {
+        let mut fp = SubnetFingerprint::new();
+        fp.insert(30, 5);
+        fp.insert(24, 2);
+        assert_eq!(subnet_key(&fp), "/24:2,/30:5");
+        let p = PeeringFingerprint {
+            peering_routers: 2,
+            sessions_per_router: vec![1, 3],
+        };
+        assert_eq!(peering_key(&p), "r2:[1, 3]");
+    }
+}

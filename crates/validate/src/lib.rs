@@ -1,0 +1,30 @@
+//! # confanon-validate — the paper's validation and attack-analysis suites
+//!
+//! §5: "we use end-to-end tests that compare attributes of the configs
+//! pre- and post-anonymization."
+//!
+//! * [`suite1`] — independent characteristics: number of BGP speakers,
+//!   number of interfaces, and the structure of the address space (the
+//!   number of subnets of each size), computed identically on the
+//!   original and anonymized configs and diffed;
+//! * [`suite2`] — routing-design equality: run
+//!   `confanon_design::extract_design` on both sides and compare the
+//!   name-abstracted designs bit for bit;
+//! * [`fingerprint`] — the §6.2/§6.3 security analyses the paper poses as
+//!   future work, made concrete: how unique are subnet-size-histogram and
+//!   peering-structure fingerprints across a population of networks?
+//! * [`probe`] — the §6.2 *measurement* side of the attack, simulated:
+//!   can an attacker pinging consecutive addresses actually recover the
+//!   histogram the fingerprint needs?
+
+pub mod fingerprint;
+pub mod probe;
+pub mod suite1;
+pub mod suite2;
+
+pub use fingerprint::{
+    peering_fingerprint, subnet_fingerprint, FingerprintStudy, PeeringFingerprint,
+};
+pub use probe::{run_probe_study, ProbeModel, ProbeStudy};
+pub use suite1::{compare_properties, network_properties, NetworkProperties, Suite1Report};
+pub use suite2::{compare_designs, Suite2Report};

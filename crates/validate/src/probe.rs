@@ -1,0 +1,284 @@
+//! The §6.2 external-measurement attack, simulated end to end.
+//!
+//! The paper: "To determine the identity of the physical network that the
+//! configs belong to, he could then send probe packets into candidate
+//! physical networks attempting to measure how many subnets of different
+//! sizes each candidate contains … Conceivably this could be done by
+//! pinging every consecutive address in the address blocks announced by
+//! the candidate network in BGP, and using heuristics such as *most
+//! subnets have hosts clustered at the lower end of the subnet's address
+//! range* to guess where subnet boundaries must lie."
+//!
+//! The paper leaves the feasibility question to "future work". This
+//! module runs the attack: simulate host occupancy and ICMP responses for
+//! each candidate network, let the attacker estimate a subnet-size
+//! histogram from the responses alone, and check whether matching
+//! estimated histograms against the (perfectly preserved) anonymized
+//! histograms identifies the target.
+
+use std::collections::BTreeMap;
+
+use confanon_netprim::Prefix;
+use serde::{Deserialize, Serialize};
+
+use crate::fingerprint::SubnetFingerprint;
+
+/// Attack parameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ProbeModel {
+    /// Probability a live host answers a probe (firewalls, rate limits).
+    pub response_rate: f64,
+    /// Fraction of each subnet's low addresses occupied by hosts
+    /// (the "clustered at the lower end" premise).
+    pub occupancy: f64,
+    /// Gap (in consecutive unanswered addresses) that makes the attacker
+    /// declare a subnet boundary.
+    pub boundary_gap: u32,
+}
+
+impl Default for ProbeModel {
+    fn default() -> ProbeModel {
+        ProbeModel {
+            response_rate: 0.9,
+            occupancy: 0.4,
+            boundary_gap: 3,
+        }
+    }
+}
+
+/// Deterministic keyed coin for the simulation (no RNG dependency: the
+/// study must be reproducible from its inputs alone).
+fn coin(seed: u64, x: u64, p: f64) -> bool {
+    // SplitMix64 scramble.
+    let mut z = seed ^ x.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z as f64 / u64::MAX as f64) < p
+}
+
+/// Simulates which addresses of `subnets` answer probes: hosts occupy the
+/// low end of each subnet, and each answers with `response_rate`.
+/// Returns the sorted list of responding addresses (as u32).
+pub fn simulate_responses(subnets: &[Prefix], model: &ProbeModel, seed: u64) -> Vec<u32> {
+    let mut out = Vec::new();
+    for s in subnets {
+        if s.len() >= 31 {
+            // /31 and /32: the address itself is the host.
+            if coin(seed, u64::from(s.network().0), model.response_rate) {
+                out.push(s.network().0);
+            }
+            continue;
+        }
+        let usable = s.size().saturating_sub(2); // network + broadcast
+        let hosts = ((usable as f64 * model.occupancy).ceil() as u32).clamp(1, usable);
+        for i in 1..=hosts {
+            let addr = s.network().0 + i;
+            if coin(seed, u64::from(addr), model.response_rate) {
+                out.push(addr);
+            }
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// The attacker's estimator: walk the sorted responses, split clusters at
+/// gaps of `boundary_gap` or more, and round each cluster's host count up
+/// through the "hosts cluster at the low end" premise to a subnet size.
+pub fn estimate_histogram(responses: &[u32], model: &ProbeModel) -> SubnetFingerprint {
+    let mut hist: SubnetFingerprint = BTreeMap::new();
+    if responses.is_empty() {
+        return hist;
+    }
+    let mut cluster_start = 0usize;
+    for i in 1..=responses.len() {
+        let boundary = i == responses.len()
+            || responses[i] - responses[i - 1] > model.boundary_gap;
+        if !boundary {
+            continue;
+        }
+        let cluster = &responses[cluster_start..i];
+        cluster_start = i;
+        // Hosts occupy ~`occupancy` of the low end, starting at .1, so
+        // estimated subnet size ≈ span / occupancy, rounded up to the
+        // enclosing power of two.
+        let observed = (cluster[cluster.len() - 1] - cluster[0] + 1).max(1);
+        let est_size = (observed as f64 / model.occupancy).max(4.0);
+        let bits = (est_size.log2().ceil() as u8).clamp(2, 32);
+        let len = 32 - bits;
+        *hist.entry(len).or_insert(0) += 1;
+    }
+    hist
+}
+
+/// L1 distance between two histograms (the attacker's matching metric).
+pub fn histogram_distance(a: &SubnetFingerprint, b: &SubnetFingerprint) -> u64 {
+    let mut d = 0u64;
+    for len in 0..=32u8 {
+        let x = *a.get(&len).unwrap_or(&0) as i64;
+        let y = *b.get(&len).unwrap_or(&0) as i64;
+        d += x.abs_diff(y);
+    }
+    d
+}
+
+/// Outcome of the full attack over a population.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProbeStudy {
+    /// Population size.
+    pub networks: usize,
+    /// Networks the attacker identified (its estimated histogram was
+    /// strictly closest to the target's true histogram).
+    pub identified: usize,
+    /// Networks where the true target tied with others.
+    pub ambiguous: usize,
+    /// Mean L1 distance between estimated and true histograms (estimator
+    /// quality, independent of matching).
+    pub mean_estimation_error: f64,
+}
+
+/// Runs the attack: for each network (its true subnet list), simulate
+/// probing, estimate a histogram, and match against every candidate's
+/// *true* histogram (which anonymization preserves exactly, §6.2).
+pub fn run_probe_study(
+    candidates: &[(Vec<Prefix>, SubnetFingerprint)],
+    model: &ProbeModel,
+    seed: u64,
+) -> ProbeStudy {
+    let mut identified = 0;
+    let mut ambiguous = 0;
+    let mut err_sum = 0u64;
+    for (target_idx, (subnets, true_hist)) in candidates.iter().enumerate() {
+        let responses = simulate_responses(subnets, model, seed ^ target_idx as u64);
+        let est = estimate_histogram(&responses, model);
+        err_sum += histogram_distance(&est, true_hist);
+        let mut best = u64::MAX;
+        let mut best_ids: Vec<usize> = Vec::new();
+        for (j, (_, cand_hist)) in candidates.iter().enumerate() {
+            let d = histogram_distance(&est, cand_hist);
+            if d < best {
+                best = d;
+                best_ids = vec![j];
+            } else if d == best {
+                best_ids.push(j);
+            }
+        }
+        if best_ids == [target_idx] {
+            identified += 1;
+        } else if best_ids.contains(&target_idx) {
+            ambiguous += 1;
+        }
+    }
+    ProbeStudy {
+        networks: candidates.len(),
+        identified,
+        ambiguous,
+        mean_estimation_error: err_sum as f64 / candidates.len().max(1) as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pfx(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn responses_cluster_at_low_end() {
+        let model = ProbeModel {
+            response_rate: 1.0,
+            occupancy: 0.25,
+            boundary_gap: 8,
+        };
+        let r = simulate_responses(&[pfx("10.0.0.0/24")], &model, 1);
+        // 25% of 254 usable → ~64 hosts at .1...
+        assert!(!r.is_empty());
+        assert_eq!(r[0], pfx("10.0.0.0/24").network().0 + 1);
+        assert!(r.len() >= 60 && r.len() <= 66, "{}", r.len());
+    }
+
+    #[test]
+    fn estimator_recovers_sizes_under_ideal_conditions() {
+        let model = ProbeModel {
+            response_rate: 1.0,
+            occupancy: 0.5,
+            boundary_gap: 8,
+        };
+        let subnets = vec![pfx("10.0.0.0/24"), pfx("10.0.4.0/28"), pfx("10.0.8.0/26")];
+        let r = simulate_responses(&subnets, &model, 2);
+        let est = estimate_histogram(&r, &model);
+        // Three clusters must be found, with sizes in the right ballpark
+        // (within one bit of /24, /28, /26).
+        let total: usize = est.values().sum();
+        assert_eq!(total, 3, "{est:?}");
+        for (len, _) in est.iter() {
+            assert!(
+                [23u8, 24, 25, 26, 27, 28].contains(len),
+                "estimated /{len}: {est:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn firewalled_network_defeats_estimation() {
+        // §6.3: compartmentalized networks drop probes entirely.
+        let model = ProbeModel {
+            response_rate: 0.0,
+            ..Default::default()
+        };
+        let r = simulate_responses(&[pfx("10.0.0.0/24")], &model, 3);
+        assert!(r.is_empty());
+        assert!(estimate_histogram(&r, &model).is_empty());
+    }
+
+    #[test]
+    fn distance_is_a_metric_on_samples() {
+        let a: SubnetFingerprint = [(24u8, 3usize), (30, 5)].into_iter().collect();
+        let b: SubnetFingerprint = [(24u8, 1usize), (28, 2)].into_iter().collect();
+        assert_eq!(histogram_distance(&a, &a), 0);
+        assert_eq!(histogram_distance(&a, &b), histogram_distance(&b, &a));
+        assert_eq!(histogram_distance(&a, &b), 2 + 2 + 5);
+    }
+
+    #[test]
+    fn distinctive_populations_are_identified() {
+        // Three networks with very different subnet mixes: the attack
+        // should identify most of them.
+        let mk = |subs: &[&str]| -> (Vec<Prefix>, SubnetFingerprint) {
+            let subnets: Vec<Prefix> = subs.iter().map(|s| pfx(s)).collect();
+            let mut hist = SubnetFingerprint::new();
+            for s in &subnets {
+                *hist.entry(s.len()).or_insert(0) += 1;
+            }
+            (subnets, hist)
+        };
+        let candidates = vec![
+            mk(&["10.0.0.0/24", "10.0.1.0/24", "10.0.2.0/24"]),
+            mk(&["10.1.0.0/28", "10.1.0.16/28", "10.1.0.64/28", "10.1.0.128/28"]),
+            mk(&["10.2.0.0/22"]),
+        ];
+        let study = run_probe_study(&candidates, &ProbeModel::default(), 7);
+        assert_eq!(study.networks, 3);
+        assert!(
+            study.identified >= 2,
+            "attack should identify most distinctive networks: {study:?}"
+        );
+    }
+
+    #[test]
+    fn identical_populations_are_ambiguous() {
+        let mk = || -> (Vec<Prefix>, SubnetFingerprint) {
+            let subnets = vec![pfx("10.0.0.0/24")];
+            let hist: SubnetFingerprint = [(24u8, 1usize)].into_iter().collect();
+            (subnets, hist)
+        };
+        let candidates = vec![mk(), mk(), mk()];
+        let study = run_probe_study(&candidates, &ProbeModel::default(), 7);
+        assert_eq!(study.identified, 0, "{study:?}");
+        assert_eq!(study.ambiguous, 3);
+    }
+}

@@ -1,0 +1,244 @@
+//! Validation suite 1: independent characteristics.
+//!
+//! §5: "The first suite of tests verifies that independent
+//! characteristics of the configurations are being preserved by comparing
+//! properties such as: (a) the number of BGP speakers; (b) the number of
+//! interfaces; and (c) the structure of the address space (i.e., number
+//! of subnets of each size)."
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use confanon_iosparse::{parse_command, Command, Config};
+use confanon_netprim::{Prefix, Prefix6};
+use serde::{Deserialize, Serialize};
+
+/// The independent characteristics of one network's configs.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetworkProperties {
+    /// Routers in the network.
+    pub routers: usize,
+    /// Total config lines.
+    pub lines: usize,
+    /// Routers with a `router bgp` process.
+    pub bgp_speakers: usize,
+    /// Total addressed interfaces.
+    pub interfaces: usize,
+    /// Number of *distinct* subnets of each prefix length, derived from
+    /// interface addresses and masks (the address-space structure of
+    /// §5 / the fingerprint input of §6.2).
+    pub subnet_histogram: BTreeMap<u8, usize>,
+    /// Total BGP neighbor statements.
+    pub bgp_neighbors: usize,
+    /// Total route-map clauses.
+    pub route_map_clauses: usize,
+    /// Distinct route-map names (a hash collision in the anonymizer
+    /// would merge two maps and shrink this — referential integrity's
+    /// converse).
+    pub distinct_route_maps: usize,
+    /// Total access-list entries.
+    pub acl_entries: usize,
+    /// Total IPv6-addressed interfaces (extension).
+    pub ipv6_interfaces: usize,
+    /// Distinct IPv6 subnets per prefix length (extension).
+    pub ipv6_subnet_histogram: BTreeMap<u8, usize>,
+}
+
+/// Computes the properties of a network from its routers' configs.
+pub fn network_properties(configs: &[Config]) -> NetworkProperties {
+    let mut p = NetworkProperties {
+        routers: configs.len(),
+        ..Default::default()
+    };
+    let mut subnets: BTreeSet<Prefix> = BTreeSet::new();
+    let mut subnets6: BTreeSet<Prefix6> = BTreeSet::new();
+    let mut map_names: BTreeSet<String> = BTreeSet::new();
+    for cfg in configs {
+        p.lines += cfg.len();
+        let mut is_speaker = false;
+        for line in cfg.lines() {
+            match parse_command(line) {
+                Command::IpAddress { addr, mask } => {
+                    p.interfaces += 1;
+                    subnets.insert(Prefix::new(addr, mask.len()));
+                }
+                Command::Ipv6Address { addr, len } => {
+                    p.ipv6_interfaces += 1;
+                    subnets6.insert(Prefix6::new(addr, len));
+                }
+                Command::RouterBgp(_) => is_speaker = true,
+                Command::NeighborRemoteAs { .. } => p.bgp_neighbors += 1,
+                Command::RouteMap { name, .. } => {
+                    p.route_map_clauses += 1;
+                    map_names.insert(name);
+                }
+                Command::AccessList { .. } => p.acl_entries += 1,
+                _ => {}
+            }
+        }
+        p.bgp_speakers += usize::from(is_speaker);
+    }
+    for s in subnets {
+        *p.subnet_histogram.entry(s.len()).or_insert(0) += 1;
+    }
+    for s in subnets6 {
+        *p.ipv6_subnet_histogram.entry(s.len()).or_insert(0) += 1;
+    }
+    p.distinct_route_maps = map_names.len();
+    p
+}
+
+/// The diff between pre- and post-anonymization properties.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Suite1Report {
+    /// Field names that differ.
+    pub differing_fields: Vec<String>,
+    /// The two property sets.
+    pub pre: NetworkProperties,
+    /// Post-anonymization side.
+    pub post: NetworkProperties,
+}
+
+impl Suite1Report {
+    /// True when every compared property is identical.
+    pub fn passed(&self) -> bool {
+        self.differing_fields.is_empty()
+    }
+}
+
+/// Compares two property sets field by field.
+///
+/// `lines` is *expected* to differ when comment stripping is on (the
+/// paper removes ~1.5% of words), so it is reported but not compared.
+pub fn compare_properties(pre: &NetworkProperties, post: &NetworkProperties) -> Suite1Report {
+    let mut differing = Vec::new();
+    if pre.routers != post.routers {
+        differing.push("routers".to_string());
+    }
+    if pre.bgp_speakers != post.bgp_speakers {
+        differing.push("bgp_speakers".to_string());
+    }
+    if pre.interfaces != post.interfaces {
+        differing.push("interfaces".to_string());
+    }
+    if pre.subnet_histogram != post.subnet_histogram {
+        differing.push("subnet_histogram".to_string());
+    }
+    if pre.bgp_neighbors != post.bgp_neighbors {
+        differing.push("bgp_neighbors".to_string());
+    }
+    if pre.route_map_clauses != post.route_map_clauses {
+        differing.push("route_map_clauses".to_string());
+    }
+    if pre.distinct_route_maps != post.distinct_route_maps {
+        differing.push("distinct_route_maps".to_string());
+    }
+    if pre.acl_entries != post.acl_entries {
+        differing.push("acl_entries".to_string());
+    }
+    if pre.ipv6_interfaces != post.ipv6_interfaces {
+        differing.push("ipv6_interfaces".to_string());
+    }
+    if pre.ipv6_subnet_histogram != post.ipv6_subnet_histogram {
+        differing.push("ipv6_subnet_histogram".to_string());
+    }
+    Suite1Report {
+        differing_fields: differing,
+        pre: pre.clone(),
+        post: post.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+interface Serial0
+ ip address 10.0.0.1 255.255.255.252
+interface Ethernet0
+ ip address 10.1.0.1 255.255.255.0
+router bgp 65000
+ neighbor 10.0.0.2 remote-as 65000
+route-map X permit 10
+access-list 5 permit 10.0.0.0 0.0.0.255
+";
+
+    #[test]
+    fn properties_counted() {
+        let p = network_properties(&[Config::parse(SAMPLE)]);
+        assert_eq!(p.routers, 1);
+        assert_eq!(p.bgp_speakers, 1);
+        assert_eq!(p.interfaces, 2);
+        assert_eq!(p.bgp_neighbors, 1);
+        assert_eq!(p.route_map_clauses, 1);
+        assert_eq!(p.distinct_route_maps, 1);
+        assert_eq!(p.acl_entries, 1);
+        assert_eq!(p.subnet_histogram[&30], 1);
+        assert_eq!(p.subnet_histogram[&24], 1);
+    }
+
+    #[test]
+    fn identical_configs_pass() {
+        let p = network_properties(&[Config::parse(SAMPLE)]);
+        let r = compare_properties(&p, &p.clone());
+        assert!(r.passed());
+    }
+
+    #[test]
+    fn histogram_difference_detected() {
+        let p1 = network_properties(&[Config::parse(SAMPLE)]);
+        // Replace the /30 with a /29: same interface count, different
+        // address-space structure.
+        let broken = SAMPLE.replace("255.255.255.252", "255.255.255.248");
+        let p2 = network_properties(&[Config::parse(&broken)]);
+        let r = compare_properties(&p1, &p2);
+        assert!(!r.passed());
+        assert_eq!(r.differing_fields, vec!["subnet_histogram"]);
+    }
+
+    #[test]
+    fn shared_subnet_counted_once() {
+        // Two routers on one /30 contribute a single subnet.
+        let a = "interface s0\n ip address 10.0.0.1 255.255.255.252\n";
+        let b = "interface s0\n ip address 10.0.0.2 255.255.255.252\n";
+        let p = network_properties(&[Config::parse(a), Config::parse(b)]);
+        assert_eq!(p.subnet_histogram[&30], 1);
+        assert_eq!(p.interfaces, 2);
+    }
+
+    #[test]
+    fn speaker_count_detects_loss() {
+        let p1 = network_properties(&[Config::parse(SAMPLE)]);
+        let no_bgp = SAMPLE.replace("router bgp 65000", "router rip");
+        let p2 = network_properties(&[Config::parse(&no_bgp)]);
+        let r = compare_properties(&p1, &p2);
+        assert!(r.differing_fields.contains(&"bgp_speakers".to_string()));
+    }
+}
+
+#[cfg(test)]
+mod name_merge_tests {
+    use super::*;
+
+    #[test]
+    fn merged_map_names_detected() {
+        // Two distinct maps pre; a (hypothetical) colliding anonymizer
+        // merges them post — the clause count survives but the distinct
+        // count drops.
+        let pre = "\
+route-map A permit 10
+route-map B permit 10
+";
+        let post = "\
+route-map hX permit 10
+route-map hX permit 10
+";
+        let r = compare_properties(
+            &network_properties(&[Config::parse(pre)]),
+            &network_properties(&[Config::parse(post)]),
+        );
+        assert!(r
+            .differing_fields
+            .contains(&"distinct_route_maps".to_string()));
+    }
+}

@@ -1,0 +1,106 @@
+//! Validation suite 2: routing-design equality.
+//!
+//! §5: "The second suite of tests consists of running our tools to
+//! reverse engineer the routing design of a network and comparing the
+//! extracted designs." The design is name-abstracted
+//! ([`confanon_design::RoutingDesign`]), so a correct anonymization gives
+//! exact equality; any inequality pinpoints the router whose structure
+//! changed.
+
+use confanon_design::{extract_design, RoutingDesign};
+use confanon_iosparse::Config;
+use serde::{Deserialize, Serialize};
+
+/// The outcome of a suite-2 comparison.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Suite2Report {
+    /// Whether the designs are identical.
+    pub equal: bool,
+    /// Routers whose extracted designs differ (indices).
+    pub differing_routers: Vec<usize>,
+    /// Whether the physical adjacency sets differ.
+    pub adjacency_differs: bool,
+    /// Whether the BGP session structure differs.
+    pub sessions_differ: bool,
+}
+
+impl Suite2Report {
+    /// True when the designs match exactly.
+    pub fn passed(&self) -> bool {
+        self.equal
+    }
+}
+
+/// Extracts and compares the designs of the pre- and post-anonymization
+/// configs of one network.
+pub fn compare_designs(pre: &[Config], post: &[Config]) -> Suite2Report {
+    let a = extract_design(pre);
+    let b = extract_design(post);
+    report(&a, &b)
+}
+
+fn report(a: &RoutingDesign, b: &RoutingDesign) -> Suite2Report {
+    let differing_routers: Vec<usize> = (0..a.routers.len().max(b.routers.len()))
+        .filter(|&i| a.routers.get(i) != b.routers.get(i))
+        .collect();
+    Suite2Report {
+        equal: a == b,
+        differing_routers,
+        adjacency_differs: a.adjacencies != b.adjacencies,
+        sessions_differ: a.internal_bgp_sessions != b.internal_bgp_sessions
+            || a.external_bgp_sessions != b.external_bgp_sessions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const NET: &str = "\
+interface Serial0
+ ip address 10.0.0.1 255.255.255.252
+router bgp 65000
+ neighbor 10.0.0.2 remote-as 701
+";
+
+    #[test]
+    fn identical_sides_pass() {
+        let pre = vec![Config::parse(NET)];
+        let post = vec![Config::parse(NET)];
+        let r = compare_designs(&pre, &post);
+        assert!(r.passed());
+        assert!(r.differing_routers.is_empty());
+    }
+
+    #[test]
+    fn renamed_but_structure_preserving_sides_pass() {
+        // A faithful anonymization changes names and numbers but not
+        // structure: different address, same /30; different peer ASN,
+        // still external.
+        let post_text = NET
+            .replace("10.0.0.1", "87.12.44.9")
+            .replace("10.0.0.2", "87.12.44.10")
+            .replace("701", "31337");
+        let r = compare_designs(&[Config::parse(NET)], &[Config::parse(&post_text)]);
+        assert!(r.passed(), "{r:?}");
+    }
+
+    #[test]
+    fn broken_prefix_preservation_fails() {
+        // If the anonymizer split the /30 (mask changed), suite 2 sees a
+        // different design... via suite1's histogram; here we break the
+        // iBGP relation instead: remote-as no longer equals the process
+        // AS, flipping the ibgp flag.
+        let post_text = NET.replace("remote-as 701", "remote-as 65000");
+        let r = compare_designs(&[Config::parse(NET)], &[Config::parse(&post_text)]);
+        assert!(!r.passed());
+        assert_eq!(r.differing_routers, vec![0]);
+    }
+
+    #[test]
+    fn lost_router_detected() {
+        let r = compare_designs(&[Config::parse(NET)], &[]);
+        assert!(!r.passed());
+        assert_eq!(r.differing_routers, vec![0]);
+    }
+}

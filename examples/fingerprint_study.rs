@@ -1,0 +1,126 @@
+//! The §6.2/§6.3 fingerprinting attack studies (E10/E11).
+//!
+//! §6.2 leaves open "whether address space usage fingerprints are
+//! sufficiently unique to enable the identification of networks"; §6.3
+//! asks the same for peering structure, conjecturing that "peering
+//! structure can be used to fingerprint backbone networks, but not edge
+//! networks". This example runs both experiments over a synthetic
+//! population: compute each network's post-anonymization fingerprint and
+//! measure uniqueness (collision classes and Shannon entropy).
+//!
+//! ```sh
+//! cargo run --release --example fingerprint_study [networks] [routers]
+//! ```
+
+use std::collections::BTreeSet;
+
+use confanon::confgen::{generate_dataset, DatasetSpec, NetworkProfile};
+use confanon::iosparse::{parse_command, Command, Config};
+use confanon::netprim::Prefix;
+use confanon::validate::fingerprint::{peering_key, subnet_key};
+use confanon::validate::{
+    peering_fingerprint, run_probe_study, subnet_fingerprint, FingerprintStudy, ProbeModel,
+};
+use confanon::workflow::anonymize_network;
+
+fn print_study(label: &str, s: &FingerprintStudy) {
+    println!("--- {label} ---");
+    println!("  networks:             {}", s.networks);
+    println!("  distinct fingerprints: {}", s.distinct);
+    println!(
+        "  uniquely identified:  {} ({:.0}%)",
+        s.uniquely_identified,
+        100.0 * s.uniquely_identified as f64 / s.networks.max(1) as f64
+    );
+    println!("  largest anonymity set: {}", s.largest_class);
+    println!(
+        "  entropy:              {:.2} of {:.2} bits",
+        s.entropy_bits, s.max_entropy_bits
+    );
+}
+
+fn main() {
+    let networks: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(31);
+    let routers: usize = std::env::args().nth(2).and_then(|a| a.parse().ok()).unwrap_or(10);
+    let ds = generate_dataset(&DatasetSpec {
+        seed: 62,
+        networks,
+        mean_routers: routers,
+        backbone_fraction: 0.35,
+    });
+
+    let mut subnet_keys = Vec::new();
+    let mut peering_keys_backbone = Vec::new();
+    let mut peering_keys_edge = Vec::new();
+    let mut probe_candidates = Vec::new();
+    for (i, net) in ds.networks.iter().enumerate() {
+        // The attacker probes the *real* network; its subnet structure is
+        // what anonymization preserves, so collect it from the originals.
+        let mut subnets: BTreeSet<Prefix> = BTreeSet::new();
+        for r in &net.routers {
+            for line in r.config.lines() {
+                if let Command::IpAddress { addr, mask } = parse_command(line) {
+                    subnets.insert(Prefix::new(addr, mask.len()));
+                }
+            }
+        }
+        let pre: Vec<Config> = net.routers.iter().map(|r| Config::parse(&r.config)).collect();
+        probe_candidates.push((
+            subnets.into_iter().collect::<Vec<_>>(),
+            subnet_fingerprint(&pre),
+        ));
+        // Fingerprints are computed from the *anonymized* configs — the
+        // attacker's view.
+        let run = anonymize_network(net, format!("fp-{i}").as_bytes());
+        let post: Vec<Config> = run.anonymized.iter().map(|t| Config::parse(t)).collect();
+        subnet_keys.push(subnet_key(&subnet_fingerprint(&post)));
+        let pk = peering_key(&peering_fingerprint(&post));
+        match net.profile {
+            NetworkProfile::Backbone => peering_keys_backbone.push(pk),
+            NetworkProfile::Enterprise => peering_keys_edge.push(pk),
+        }
+    }
+
+    println!("=== E10: subnet-size-histogram fingerprints (§6.2) ===");
+    print_study("all networks", &FingerprintStudy::from_keys(&subnet_keys));
+
+    println!("\n=== E11: peering-structure fingerprints (§6.3) ===");
+    print_study(
+        "backbone networks",
+        &FingerprintStudy::from_keys(&peering_keys_backbone),
+    );
+    print_study(
+        "edge/enterprise networks",
+        &FingerprintStudy::from_keys(&peering_keys_edge),
+    );
+    println!(
+        "\npaper's conjecture: backbones fingerprintable by peering, edges much less so\n\
+         (compare the two uniquely-identified percentages above)"
+    );
+
+    // E10b: the measurement side of §6.2 — can probing actually recover
+    // the histogram? Run the attack at two response rates: open networks
+    // and heavily filtered ones.
+    println!("\n=== E10b: probe-based histogram recovery (§6.2 attack) ===");
+    for (label, model) in [
+        ("open networks (90% response)", ProbeModel::default()),
+        (
+            "filtered networks (20% response)",
+            ProbeModel {
+                response_rate: 0.2,
+                ..Default::default()
+            },
+        ),
+    ] {
+        let study = run_probe_study(&probe_candidates, &model, 0xA77AC);
+        println!(
+            "--- {label} ---\n  identified: {}/{}  ambiguous: {}  mean histogram error (L1): {:.1}",
+            study.identified, study.networks, study.ambiguous, study.mean_estimation_error
+        );
+    }
+    println!(
+        "\n§6.2's defence holds where measurement is hard: the identification rate\n\
+         collapses as firewalls drop probes, even though the fingerprint itself\n\
+         is perfectly preserved."
+    );
+}

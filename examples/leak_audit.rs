@@ -1,0 +1,87 @@
+//! The §6.1 iterative methodology (E3/E7).
+//!
+//! Plays out the paper's experience report: start the anonymizer with
+//! several ASN-locator rules "not yet discovered" (ablated), anonymize
+//! the corpus, highlight residual leaks, add a rule, repeat. "Our
+//! experience is that the iteration closes quickly, requiring fewer than
+//! 5 iterations over 3 months."
+//!
+//! ```sh
+//! cargo run --release --example leak_audit [networks] [routers]
+//! ```
+
+use confanon::confgen::{generate_dataset, DatasetSpec};
+use confanon::core::iterate::iterate_to_closure;
+use confanon::core::RuleId;
+use confanon::workflow::{anonymize_network, ground_truth_record};
+
+fn main() {
+    let networks: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(8);
+    let routers: usize = std::env::args().nth(2).and_then(|a| a.parse().ok()).unwrap_or(8);
+    let ds = generate_dataset(&DatasetSpec {
+        seed: 61,
+        networks,
+        mean_routers: routers,
+        backbone_fraction: 0.5,
+    });
+
+    // The "not yet discovered" rules at project start: three ASN
+    // locators — the class the paper calls out as the most fragile part
+    // of the method ("ASNs are syntactically indistinguishable from
+    // simple integers").
+    let ablated = [
+        RuleId::R06RouterBgpAsn,
+        RuleId::R07NeighborRemoteAs,
+        RuleId::R09AsPathAccessListRegex,
+    ];
+
+    println!("=== E3/E7: iterative closure over {networks} networks ===\n");
+    let mut worst = 0usize;
+    let mut all_converged = true;
+    for (i, net) in ds.networks.iter().enumerate() {
+        let secret = format!("audit-{i}");
+        // Ground truth plays the operator's knowledge; the exclusion set
+        // comes from a full-rule reference run (the colleague with the
+        // unanonymized configs).
+        let reference = anonymize_network(net, secret.as_bytes());
+        let record = ground_truth_record(net);
+        let configs: Vec<String> = net.routers.iter().map(|r| r.config.clone()).collect();
+        let trace = iterate_to_closure(
+            &configs,
+            secret.as_bytes(),
+            &ablated,
+            &record,
+            &reference.anonymizer.emitted_exclusions(),
+            10,
+        );
+        worst = worst.max(trace.iterations());
+        all_converged &= trace.converged;
+        print!(
+            "{:<16} rounds={} converged={} leaks-per-round=[",
+            net.name,
+            trace.iterations(),
+            trace.converged
+        );
+        for (j, r) in trace.rounds.iter().enumerate() {
+            if j > 0 {
+                print!(", ");
+            }
+            print!("{}", r.leaks_found);
+        }
+        println!("]");
+        for r in &trace.rounds {
+            if let Some(rule) = &r.rule_added {
+                println!("    round {}: operator adds rule `{rule}`", r.round);
+            }
+        }
+    }
+
+    println!("\n{:<36} {:>8} {:>10}", "metric", "paper", "measured");
+    println!("{:<36} {:>8} {:>10}", "iterations to closure", "<5", worst);
+    println!(
+        "{:<36} {:>8} {:>10}",
+        "all networks converged",
+        "yes",
+        if all_converged { "yes" } else { "NO" }
+    );
+}

@@ -1,0 +1,74 @@
+//! The research payoff: a cross-network routing-design atlas computed
+//! entirely from **anonymized** configurations.
+//!
+//! The paper's §1 motivation is that config access would enable studies
+//! like the authors' companion paper ("Routing design in operational
+//! networks", SIGCOMM 2004 — reference [1]). This example plays the
+//! *researcher* role in the single-blind workflow: it never sees the
+//! originals, only each owner's anonymized upload, and still tabulates
+//! the design landscape — protocol mix, topology shape, iBGP mesh
+//! discipline, policy complexity, and configuration bugs (dangling
+//! route-map references).
+//!
+//! As a self-check, the atlas is recomputed from the originals and
+//! compared row by row: identical, because every metric is a function of
+//! preserved structure.
+//!
+//! ```sh
+//! cargo run --release --example network_atlas [networks] [routers]
+//! ```
+
+use confanon::confgen::{generate_dataset, DatasetSpec};
+use confanon::design::{extract_design, DesignSummary};
+use confanon::iosparse::Config;
+use confanon::workflow::anonymize_network;
+
+fn main() {
+    let networks: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(12);
+    let routers: usize = std::env::args().nth(2).and_then(|a| a.parse().ok()).unwrap_or(12);
+    let ds = generate_dataset(&DatasetSpec {
+        seed: 1981,
+        networks,
+        mean_routers: routers,
+        backbone_fraction: 0.4,
+    });
+
+    println!(
+        "{:<14} {:>4} {:>4} {:>5} {:>12} {:>6} {:>5} {:>6} {:>7} {:>8} {:>9}",
+        "network", "rtrs", "adj", "deg", "igp", "cover", "bgp", "mesh", "ebgp", "clauses", "dangling"
+    );
+
+    let mut identical = true;
+    for (i, net) in ds.networks.iter().enumerate() {
+        // Researcher side: anonymized only.
+        let run = anonymize_network(net, format!("atlas-{i}").as_bytes());
+        let post: Vec<Config> = run.anonymized.iter().map(|t| Config::parse(t)).collect();
+        let s = DesignSummary::from_design(&extract_design(&post));
+
+        // Owner side (self-check): originals.
+        let pre: Vec<Config> = net.routers.iter().map(|r| Config::parse(&r.config)).collect();
+        let s_pre = DesignSummary::from_design(&extract_design(&pre));
+        identical &= s == s_pre;
+
+        let igps: Vec<String> = s.igps.iter().map(|k| format!("{k:?}")).collect();
+        println!(
+            "{:<14} {:>4} {:>4} {:>5.1} {:>12} {:>5.0}% {:>5} {:>5.0}% {:>7} {:>8} {:>9}",
+            net.name,
+            s.routers,
+            s.adjacencies,
+            s.degree.1,
+            igps.join("+"),
+            100.0 * s.igp_coverage,
+            s.bgp_speakers,
+            100.0 * s.ibgp_mesh_completeness,
+            s.ebgp_sessions,
+            s.policy_clauses,
+            s.dangling_policy_refs,
+        );
+    }
+
+    println!(
+        "\natlas from anonymized configs == atlas from originals: {}",
+        if identical { "IDENTICAL (the paper's value proposition)" } else { "DIVERGED (bug!)" }
+    );
+}

@@ -1,0 +1,340 @@
+//! `confanon` — the command-line anonymizer.
+//!
+//! The workflow the paper's §7 clearinghouse envisions: a network owner
+//! downloads the tool, anonymizes their configs locally under a secret
+//! only they hold, audits the output, and uploads the result.
+//!
+//! ```text
+//! confanon anonymize --secret <secret> [--compact] [--audit FILE] [--out-dir DIR] FILE...
+//! confanon generate  [--networks N] [--routers M] [--seed S] --out-dir DIR
+//! confanon validate  --pre-dir DIR --post-dir DIR
+//! confanon scan      --record FILE.json FILE...
+//! confanon rules
+//! ```
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use confanon::confgen::{generate_dataset, DatasetSpec};
+use confanon::core::{AnonymizedConfig, Anonymizer, AnonymizerConfig, ALL_RULES};
+use confanon::iosparse::Config;
+use confanon::validate::{compare_designs, compare_properties, network_properties};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("anonymize") => cmd_anonymize(&args[1..]),
+        Some("generate") => cmd_generate(&args[1..]),
+        Some("validate") => cmd_validate(&args[1..]),
+        Some("scan") => cmd_scan(&args[1..]),
+        Some("rules") => cmd_rules(),
+        _ => {
+            eprintln!(
+                "usage: confanon <anonymize|generate|validate|rules> [options]\n\
+                 \n\
+                 anonymize --secret <secret> [--compact] [--audit FILE] [--out-dir DIR] FILE...\n\
+                 \u{20}   Anonymize config files under one owner secret. With --out-dir,\n\
+                 \u{20}   writes <name>.anon alongside a leak-audit summary; otherwise\n\
+                 \u{20}   prints to stdout.\n\
+                 generate [--networks N] [--routers M] [--seed S] --out-dir DIR\n\
+                 \u{20}   Emit a synthetic corpus (one directory per network).\n\
+                 validate --pre-dir DIR --post-dir DIR\n\
+                 \u{20}   Run both validation suites over matching file names.\n\
+                 scan --record FILE.json FILE...\n\
+                 \u{20}   Flag lines in anonymized files that still contain items from a\n\
+                 \u{20}   leak record (JSON with asns/ips/words arrays).\n\
+                 rules\n\
+                 \u{20}   Print the 28 contextual rules."
+            );
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Minimal option parser: `--key value` flags, bare words are positionals.
+fn parse_opts(args: &[String]) -> (BTreeMap<String, String>, Vec<String>) {
+    let mut opts = BTreeMap::new();
+    let mut pos = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(key) = args[i].strip_prefix("--") {
+            // Boolean flags take no value when followed by another flag
+            // or nothing.
+            let takes_value = i + 1 < args.len() && !args[i + 1].starts_with("--");
+            if takes_value && key != "compact" {
+                opts.insert(key.to_string(), args[i + 1].clone());
+                i += 2;
+            } else {
+                opts.insert(key.to_string(), "true".to_string());
+                i += 1;
+            }
+        } else {
+            pos.push(args[i].clone());
+            i += 1;
+        }
+    }
+    (opts, pos)
+}
+
+fn cmd_anonymize(args: &[String]) -> ExitCode {
+    let (opts, files) = parse_opts(args);
+    let Some(secret) = opts.get("secret") else {
+        eprintln!("anonymize: --secret is required (the owner's salt; keep it private)");
+        return ExitCode::from(2);
+    };
+    if files.is_empty() {
+        eprintln!("anonymize: no input files");
+        return ExitCode::from(2);
+    }
+    let mut cfg = AnonymizerConfig::new(secret.clone().into_bytes());
+    cfg.compact_regexps = opts.contains_key("compact");
+    let mut anon = Anonymizer::new(cfg);
+    let out_dir = opts.get("out-dir").map(PathBuf::from);
+    if let Some(d) = &out_dir {
+        if let Err(e) = std::fs::create_dir_all(d) {
+            eprintln!("anonymize: cannot create {}: {e}", d.display());
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let mut outputs: Vec<(PathBuf, AnonymizedConfig)> = Vec::new();
+    for f in &files {
+        let path = Path::new(f);
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("anonymize: {f}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        outputs.push((path.to_path_buf(), anon.anonymize_config(&text)));
+    }
+
+    // Owner-side mapping audit (§5's colleague workflow). As sensitive
+    // as the originals: written only where explicitly requested.
+    if let Some(audit_path) = opts.get("audit") {
+        let audit = anon.mapping_audit();
+        match serde_json::to_string_pretty(&audit) {
+            Ok(json) => {
+                if let Err(e) = std::fs::write(audit_path, json) {
+                    eprintln!("anonymize: write {audit_path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("mapping audit written to {audit_path} (KEEP PRIVATE)");
+            }
+            Err(e) => {
+                eprintln!("anonymize: audit serialization: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    // §6.1 self-audit: scan our own output for recorded survivors.
+    let joined: String = outputs
+        .iter()
+        .map(|(_, o)| o.text.as_str())
+        .collect::<Vec<_>>()
+        .join("\n");
+    let report = confanon::core::leak::LeakScanner::scan_excluding(
+        anon.leak_record(),
+        anon.emitted_exclusions(),
+        &joined,
+    );
+
+    match out_dir {
+        Some(dir) => {
+            for (path, o) in &outputs {
+                let name = path
+                    .file_name()
+                    .map(|n| n.to_string_lossy().to_string())
+                    .unwrap_or_else(|| "config".to_string());
+                let target = dir.join(format!("{name}.anon"));
+                if let Err(e) = std::fs::write(&target, &o.text) {
+                    eprintln!("anonymize: write {}: {e}", target.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+            eprintln!(
+                "anonymized {} file(s); {} line(s) flagged by self-audit{}",
+                outputs.len(),
+                report.leaks.len(),
+                if report.is_clean() { "" } else { " — REVIEW REQUIRED" }
+            );
+        }
+        None => {
+            for (_, o) in &outputs {
+                print!("{}", o.text);
+            }
+            if !report.is_clean() {
+                eprintln!("warning: {} line(s) flagged by self-audit", report.leaks.len());
+            }
+        }
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        for l in report.leaks.iter().take(10) {
+            eprintln!("  flagged [{}]: {}", l.token, l.line);
+        }
+        ExitCode::FAILURE
+    }
+}
+
+fn cmd_generate(args: &[String]) -> ExitCode {
+    let (opts, _) = parse_opts(args);
+    let Some(out_dir) = opts.get("out-dir").map(PathBuf::from) else {
+        eprintln!("generate: --out-dir is required");
+        return ExitCode::from(2);
+    };
+    let spec = DatasetSpec {
+        seed: opts.get("seed").and_then(|s| s.parse().ok()).unwrap_or(2004),
+        networks: opts.get("networks").and_then(|s| s.parse().ok()).unwrap_or(4),
+        mean_routers: opts.get("routers").and_then(|s| s.parse().ok()).unwrap_or(8),
+        backbone_fraction: 0.35,
+    };
+    let ds = generate_dataset(&spec);
+    for net in &ds.networks {
+        let dir = out_dir.join(&net.name);
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            eprintln!("generate: {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+        for r in &net.routers {
+            let file = dir.join(format!("{}.cfg", r.hostname));
+            if let Err(e) = std::fs::write(&file, &r.config) {
+                eprintln!("generate: {}: {e}", file.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    eprintln!(
+        "generated {} network(s), {} router(s), {} line(s) into {}",
+        ds.networks.len(),
+        ds.total_routers(),
+        ds.total_lines(),
+        out_dir.display()
+    );
+    ExitCode::SUCCESS
+}
+
+fn cmd_validate(args: &[String]) -> ExitCode {
+    let (opts, _) = parse_opts(args);
+    let (Some(pre), Some(post)) = (opts.get("pre-dir"), opts.get("post-dir")) else {
+        eprintln!("validate: --pre-dir and --post-dir are required");
+        return ExitCode::from(2);
+    };
+    let load = |dir: &str| -> Result<Vec<(String, Config)>, String> {
+        let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
+            .map_err(|e| format!("{dir}: {e}"))?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.is_file())
+            .collect();
+        files.sort();
+        files
+            .into_iter()
+            .map(|p| {
+                let name = p.file_name().map(|n| n.to_string_lossy().to_string());
+                let name = name.unwrap_or_default().replace(".anon", "");
+                std::fs::read_to_string(&p)
+                    .map(|t| (name, Config::parse(&t)))
+                    .map_err(|e| format!("{}: {e}", p.display()))
+            })
+            .collect()
+    };
+    let (pre_cfgs, post_cfgs) = match (load(pre), load(post)) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("validate: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let pre_names: Vec<&String> = pre_cfgs.iter().map(|(n, _)| n).collect();
+    let post_names: Vec<&String> = post_cfgs.iter().map(|(n, _)| n).collect();
+    if pre_names != post_names {
+        eprintln!("validate: file sets differ: {pre_names:?} vs {post_names:?}");
+        return ExitCode::FAILURE;
+    }
+    let pre_c: Vec<Config> = pre_cfgs.into_iter().map(|(_, c)| c).collect();
+    let post_c: Vec<Config> = post_cfgs.into_iter().map(|(_, c)| c).collect();
+
+    let s1 = compare_properties(&network_properties(&pre_c), &network_properties(&post_c));
+    let s2 = compare_designs(&pre_c, &post_c);
+    println!(
+        "suite1: {}{}",
+        if s1.passed() { "PASS" } else { "FAIL" },
+        if s1.passed() {
+            String::new()
+        } else {
+            format!(" (differs: {:?})", s1.differing_fields)
+        }
+    );
+    println!(
+        "suite2: {}{}",
+        if s2.passed() { "PASS" } else { "FAIL" },
+        if s2.passed() {
+            String::new()
+        } else {
+            format!(" (routers: {:?})", s2.differing_routers)
+        }
+    );
+    if s1.passed() && s2.passed() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn cmd_scan(args: &[String]) -> ExitCode {
+    let (opts, files) = parse_opts(args);
+    let Some(record_path) = opts.get("record") else {
+        eprintln!("scan: --record FILE.json is required");
+        return ExitCode::from(2);
+    };
+    let record: confanon::core::leak::LeakRecord = match std::fs::read_to_string(record_path)
+        .map_err(|e| e.to_string())
+        .and_then(|t| serde_json::from_str(&t).map_err(|e| e.to_string()))
+    {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("scan: {record_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let scanner = confanon::core::leak::LeakScanner::new(&record);
+    let mut total = 0usize;
+    for f in &files {
+        let text = match std::fs::read_to_string(f) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("scan: {f}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let report = scanner.scan(&text);
+        for l in &report.leaks {
+            println!("{f}:{}: [{}] {}", l.line_no + 1, l.token, l.line);
+        }
+        total += report.leaks.len();
+    }
+    eprintln!("{total} line(s) flagged across {} file(s)", files.len());
+    if total == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn cmd_rules() -> ExitCode {
+    println!("{:<5} {:<24} {:<14} description", "id", "name", "category");
+    for (i, r) in ALL_RULES.iter().enumerate() {
+        println!(
+            "R{:02}   {:<24} {:<14} {}",
+            i + 1,
+            r.name,
+            format!("{:?}", r.category),
+            r.description.split_whitespace().collect::<Vec<_>>().join(" ")
+        );
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,46 @@
+//! # confanon — Structure Preserving Anonymization of Router Configuration Data
+//!
+//! A full reproduction of Maltz et al., IMC 2004: an automated anonymizer
+//! for router configuration files that severs every link to the owning
+//! network's identity while preserving the structure — subnet
+//! containment, referential integrity, classful addressing, and the
+//! languages of policy regexps — that makes configs valuable to
+//! researchers.
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! * [`core`] — the anonymization pipeline (pass-list, 28 rules, salted
+//!   SHA-1 hashing, leak recording, the §6.1 iteration harness);
+//! * [`ipanon`] — prefix-preserving IP anonymization (extended `-a50`
+//!   trie plus the Crypto-PAn-style baseline);
+//! * [`asnanon`] — ASN/community permutations and regexp rewriting;
+//! * [`regexlang`] — the regexp engine (NFA/DFA/minimization/synthesis);
+//! * [`iosparse`] — tolerant tokenizer and config model;
+//! * [`netprim`] — IPv4 primitives;
+//! * [`crypto`] — SHA-1, HMAC, PRF, Feistel permutation;
+//! * [`confgen`] — the synthetic dataset generator (dataset substitution);
+//! * [`design`] — routing-design extraction;
+//! * [`validate`] — the two validation suites and fingerprint studies.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use confanon::core::{Anonymizer, AnonymizerConfig};
+//!
+//! let mut anon = Anonymizer::new(AnonymizerConfig::new(b"owner-secret".to_vec()));
+//! let out = anon.anonymize_config(confanon::core::figure1::FIGURE1_CONFIG);
+//! assert!(!out.text.contains("12.126.236.17"));
+//! ```
+
+pub mod workflow;
+
+pub use confanon_asnanon as asnanon;
+pub use confanon_confgen as confgen;
+pub use confanon_core as core;
+pub use confanon_crypto as crypto;
+pub use confanon_design as design;
+pub use confanon_iosparse as iosparse;
+pub use confanon_ipanon as ipanon;
+pub use confanon_netprim as netprim;
+pub use confanon_regexlang as regexlang;
+pub use confanon_validate as validate;

@@ -1,0 +1,114 @@
+//! High-level workflows: anonymize a whole network and audit the result.
+//!
+//! These are the flows a network owner runs (paper §7's clearinghouse
+//! vision): anonymize every router of a network with one keyed
+//! [`Anonymizer`], scan the output against ground truth, and run both
+//! validation suites pre vs post.
+
+use confanon_confgen::Network;
+use confanon_core::leak::{LeakRecord, LeakReport, LeakScanner};
+use confanon_core::{Anonymizer, AnonymizerConfig};
+use confanon_design::RoutingDesign;
+use confanon_iosparse::Config;
+use confanon_validate::{compare_designs, compare_properties, Suite1Report, Suite2Report};
+
+/// Everything produced by anonymizing one network.
+pub struct NetworkRun {
+    /// Anonymized config text per router (same order as the input).
+    pub anonymized: Vec<String>,
+    /// The anonymizer, retained for audits (maps, records, exclusions).
+    pub anonymizer: Anonymizer,
+}
+
+/// Anonymizes every router of `net` under one owner secret.
+pub fn anonymize_network(net: &Network, owner_secret: &[u8]) -> NetworkRun {
+    let mut anonymizer = Anonymizer::new(AnonymizerConfig::new(owner_secret.to_vec()));
+    let anonymized = net
+        .routers
+        .iter()
+        .map(|r| anonymizer.anonymize_config(&r.config).text)
+        .collect();
+    NetworkRun {
+        anonymized,
+        anonymizer,
+    }
+}
+
+/// Builds a [`LeakRecord`] from the generator's ground truth — the
+/// operator's independent knowledge of what must not survive.
+pub fn ground_truth_record(net: &Network) -> LeakRecord {
+    let (asns, ips, words) = net.ground_truth.record_tuple();
+    LeakRecord { asns, ips, words }
+}
+
+/// Scans a network's anonymized output against ground truth, excluding
+/// the values the anonymizer legitimately emitted.
+pub fn audit_network(net: &Network, run: &NetworkRun) -> LeakReport {
+    let record = ground_truth_record(net);
+    let text = run.anonymized.join("\n");
+    LeakScanner::scan_excluding(&record, run.anonymizer.emitted_exclusions(), &text)
+}
+
+/// Runs validation suite 1 (independent characteristics) pre vs post.
+pub fn run_suite1(net: &Network, run: &NetworkRun) -> Suite1Report {
+    let pre: Vec<Config> = net.routers.iter().map(|r| Config::parse(&r.config)).collect();
+    let post: Vec<Config> = run.anonymized.iter().map(|t| Config::parse(t)).collect();
+    compare_properties(
+        &confanon_validate::network_properties(&pre),
+        &confanon_validate::network_properties(&post),
+    )
+}
+
+/// Runs validation suite 2 (routing-design equality) pre vs post.
+pub fn run_suite2(net: &Network, run: &NetworkRun) -> Suite2Report {
+    let pre: Vec<Config> = net.routers.iter().map(|r| Config::parse(&r.config)).collect();
+    let post: Vec<Config> = run.anonymized.iter().map(|t| Config::parse(t)).collect();
+    compare_designs(&pre, &post)
+}
+
+/// Extracts the post-anonymization routing design (for fingerprinting).
+pub fn post_design(run: &NetworkRun) -> RoutingDesign {
+    let post: Vec<Config> = run.anonymized.iter().map(|t| Config::parse(t)).collect();
+    confanon_design::extract_design(&post)
+}
+
+/// Anonymizes every network of a dataset in parallel (one thread per
+/// network, capped at the logical core count).
+///
+/// Parallelism is *across* networks: each network must be mapped by one
+/// consistent keyed state (§3.2), so the trie is never shared — the
+/// paper's observation that Xu's stateless scheme parallelizes trivially
+/// while the table scheme does not applies *within* a network, and the
+/// natural unit of work at clearinghouse scale is the network anyway.
+/// Returns per-network results in input order.
+pub fn anonymize_dataset_parallel(
+    networks: &[Network],
+    secret_for: impl Fn(usize) -> Vec<u8> + Sync,
+) -> Vec<NetworkRun> {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let mut results: Vec<Option<NetworkRun>> = Vec::new();
+    results.resize_with(networks.len(), || None);
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let results_mutex = std::sync::Mutex::new(&mut results);
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(networks.len()) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= networks.len() {
+                    break;
+                }
+                let run = anonymize_network(&networks[i], &secret_for(i));
+                let mut guard = results_mutex.lock().expect("no poisoned worker");
+                guard[i] = Some(run);
+            });
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|r| r.expect("every index filled"))
+        .collect()
+}

@@ -1,0 +1,177 @@
+//! CLI integration: generate → anonymize → validate, through the binary.
+
+use std::path::Path;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_confanon"))
+}
+
+fn tmpdir(name: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("confanon-cli-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).expect("mktemp");
+    d
+}
+
+#[test]
+fn generate_anonymize_validate_round_trip() {
+    let root = tmpdir("roundtrip");
+    let gen_dir = root.join("gen");
+    let status = bin()
+        .args(["generate", "--networks", "1", "--routers", "4", "--seed", "11"])
+        .arg("--out-dir")
+        .arg(&gen_dir)
+        .status()
+        .expect("run generate");
+    assert!(status.success());
+
+    // The single network directory.
+    let net_dir = std::fs::read_dir(&gen_dir)
+        .expect("gen dir")
+        .next()
+        .expect("one network")
+        .expect("entry")
+        .path();
+    let cfgs: Vec<std::path::PathBuf> = std::fs::read_dir(&net_dir)
+        .expect("net dir")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    assert!(cfgs.len() >= 3);
+
+    // Anonymize into post/.
+    let post = root.join("post");
+    let mut cmd = bin();
+    cmd.args(["anonymize", "--secret", "cli-test-secret"])
+        .arg("--out-dir")
+        .arg(&post);
+    for c in &cfgs {
+        cmd.arg(c);
+    }
+    assert!(cmd.status().expect("run anonymize").success());
+
+    // Strip the .anon suffix so the validate file sets line up.
+    let pre = root.join("pre");
+    std::fs::create_dir_all(&pre).expect("mk pre");
+    for c in &cfgs {
+        std::fs::copy(c, pre.join(c.file_name().expect("name"))).expect("copy");
+    }
+    for e in std::fs::read_dir(&post).expect("post dir") {
+        let p = e.expect("entry").path();
+        let name = p.file_name().expect("name").to_string_lossy().to_string();
+        if let Some(stripped) = name.strip_suffix(".anon") {
+            std::fs::rename(&p, p.with_file_name(stripped)).expect("rename");
+        }
+    }
+
+    let out = bin()
+        .arg("validate")
+        .arg("--pre-dir")
+        .arg(&pre)
+        .arg("--post-dir")
+        .arg(&post)
+        .output()
+        .expect("run validate");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.contains("suite1: PASS"), "{stdout}");
+    assert!(stdout.contains("suite2: PASS"), "{stdout}");
+
+    // The anonymized output must not contain the generated hostnames.
+    let any_pre = std::fs::read_to_string(&cfgs[0]).expect("read pre");
+    let hostname_line = any_pre
+        .lines()
+        .find(|l| l.starts_with("hostname"))
+        .expect("hostname line");
+    let hostname = hostname_line.split_whitespace().nth(1).expect("arg");
+    for e in std::fs::read_dir(&post).expect("post dir") {
+        let text = std::fs::read_to_string(e.expect("e").path()).expect("read post");
+        assert!(!text.contains(hostname), "{hostname} survived");
+    }
+
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn rules_lists_all_28() {
+    let out = bin().arg("rules").output().expect("run rules");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(
+        stdout.lines().filter(|l| l.starts_with('R')).count(),
+        28,
+        "{stdout}"
+    );
+    assert!(stdout.contains("as-path-regexp"));
+}
+
+#[test]
+fn anonymize_requires_secret() {
+    let out = bin()
+        .args(["anonymize", "somefile.cfg"])
+        .output()
+        .expect("run");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--secret"));
+}
+
+#[test]
+fn usage_on_no_args() {
+    let out = bin().output().expect("run");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+}
+
+#[test]
+fn anonymize_to_stdout() {
+    let root = tmpdir("stdout");
+    let cfg = root.join("r1.cfg");
+    std::fs::write(&cfg, "hostname secret-router.corp.com\nrouter bgp 701\n").expect("write");
+    let out = bin()
+        .args(["anonymize", "--secret", "s"])
+        .arg(&cfg)
+        .output()
+        .expect("run");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("hostname h"));
+    assert!(!stdout.contains("corp"));
+    assert!(!stdout.contains("701"));
+    assert!(Path::new(&cfg).exists(), "input untouched");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn scan_flags_recorded_items() {
+    let root = tmpdir("scan");
+    let record = root.join("record.json");
+    std::fs::write(
+        &record,
+        r#"{"asns": ["701"], "ips": ["1.1.1.1"], "words": ["uunet"]}"#,
+    )
+    .expect("write record");
+    let dirty = root.join("dirty.cfg");
+    std::fs::write(&dirty, "router bgp 701\nroute-map UUNET-in\n").expect("write cfg");
+    let clean = root.join("clean.cfg");
+    std::fs::write(&clean, "router bgp 9000\n").expect("write cfg");
+
+    let out = bin()
+        .args(["scan", "--record"])
+        .arg(&record)
+        .arg(&dirty)
+        .output()
+        .expect("run scan");
+    assert!(!out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("[701]"), "{stdout}");
+    assert!(stdout.contains("[uunet]"), "{stdout}");
+
+    let out = bin()
+        .args(["scan", "--record"])
+        .arg(&record)
+        .arg(&clean)
+        .output()
+        .expect("run scan");
+    assert!(out.status.success());
+    let _ = std::fs::remove_dir_all(&root);
+}

@@ -1,0 +1,40 @@
+//! Golden regression: anonymizing Figure 1 under a fixed secret must
+//! produce byte-identical output across releases.
+//!
+//! This guards the determinism contract (§3.2/§6.1): a network owner who
+//! re-runs the anonymizer with the same secret must get the same mapping,
+//! or previously published anonymized configs stop lining up with newly
+//! anonymized ones from the same network. Any change to the hash
+//! construction, permutation, trie flip derivation, or rule behaviour
+//! shows up here as a diff to explain deliberately.
+
+use confanon::core::figure1::FIGURE1_CONFIG;
+use confanon::core::{Anonymizer, AnonymizerConfig};
+
+const GOLDEN: &str = include_str!("golden/figure1.anon");
+
+#[test]
+fn figure1_anonymization_is_byte_stable() {
+    let mut a = Anonymizer::new(AnonymizerConfig::new(b"golden-secret".to_vec()));
+    let out = a.anonymize_config(FIGURE1_CONFIG);
+    assert_eq!(
+        out.text, GOLDEN,
+        "anonymization output changed — if intentional, regenerate \
+         tests/golden/figure1.anon and document the mapping break"
+    );
+}
+
+#[test]
+fn golden_output_is_itself_clean() {
+    // The committed golden file must contain none of Figure 1's identity.
+    for leak in ["foo", "lax", "uunet", "1.1.1.1", "12.126.236.17"] {
+        assert!(
+            !GOLDEN.to_ascii_lowercase().contains(leak),
+            "golden file contains {leak:?}"
+        );
+    }
+    // Structural landmarks must be present.
+    for kept in ["router bgp", "router rip", "255.255.255.252", "banner motd ^C"] {
+        assert!(GOLDEN.contains(kept), "golden file lost {kept:?}");
+    }
+}

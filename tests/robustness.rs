@@ -1,0 +1,83 @@
+//! Robustness: the anonymizer processes arbitrary text without panicking
+//! and without leaking it.
+//!
+//! §1: "the anonymization process must be fully automated to avoid human
+//! errors and gain the acceptance of network operators" — a tool that
+//! crashes on the 200th IOS version's weird syntax fails that bar. The
+//! pipeline's contract is total: any input produces output, and unknown
+//! words still hash.
+
+use proptest::prelude::*;
+
+use confanon::core::{Anonymizer, AnonymizerConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Arbitrary printable soup: no panics, and the output has the same
+    /// number of lines or fewer (dropped free text), never more.
+    #[test]
+    fn arbitrary_text_never_panics(text in "[ -~\n]{0,400}") {
+        let mut anon = Anonymizer::new(AnonymizerConfig::new(b"fuzz".to_vec()));
+        let out = anon.anonymize_config(&text);
+        prop_assert!(out.text.lines().count() <= text.lines().count() + 1);
+    }
+
+    /// Hostile banner/regexp fragments: still no panics.
+    #[test]
+    fn hostile_structures_never_panic(
+        delim in "[#~@^]{1,2}",
+        junk in "[ -~]{0,60}",
+        pattern in "[(|)\\[\\]0-9a-z^$_*+?{},-]{0,30}",
+    ) {
+        let text = format!(
+            "banner motd {delim}\n{junk}\n{delim}\nip as-path access-list 5 permit {pattern}\n"
+        );
+        let mut anon = Anonymizer::new(AnonymizerConfig::new(b"fuzz".to_vec()));
+        let _ = anon.anonymize_config(&text);
+    }
+
+    /// Unknown alphabetic words never survive (unless pass-listed).
+    #[test]
+    fn unknown_words_never_survive(word in "[a-z]{12,20}") {
+        // 12+ letter random words are never on the pass-list.
+        let text = format!("some {word} here\n");
+        let mut anon = Anonymizer::new(AnonymizerConfig::new(b"fuzz".to_vec()));
+        let out = anon.anonymize_config(&text);
+        prop_assert!(!out.text.contains(&word), "{}", out.text);
+    }
+
+    /// Pathological token shapes: long dotted strings, nested punctuation.
+    #[test]
+    fn degenerate_tokens_handled(n in 1usize..50) {
+        let token = ".".repeat(n) + &"1.".repeat(n) + "x";
+        let text = format!("cmd {token}\n");
+        let mut anon = Anonymizer::new(AnonymizerConfig::new(b"fuzz".to_vec()));
+        let _ = anon.anonymize_config(&text);
+    }
+}
+
+#[test]
+fn empty_and_whitespace_configs() {
+    let mut anon = Anonymizer::new(AnonymizerConfig::new(b"fuzz".to_vec()));
+    assert_eq!(anon.anonymize_config("").text, "");
+    let out = anon.anonymize_config("\n\n   \n");
+    assert_eq!(out.text, "\n\n\n");
+}
+
+#[test]
+fn enormous_single_line() {
+    let line = format!("description {}\n", "x ".repeat(50_000));
+    let mut anon = Anonymizer::new(AnonymizerConfig::new(b"fuzz".to_vec()));
+    let out = anon.anonymize_config(&line);
+    assert!(out.text.is_empty() || out.text == "\n");
+}
+
+#[test]
+fn crlf_input_does_not_confuse_classification() {
+    let text = "hostname r1\r\n! comment\r\ninterface e0\r\n";
+    let mut anon = Anonymizer::new(AnonymizerConfig::new(b"fuzz".to_vec()));
+    let out = anon.anonymize_config(text);
+    assert!(out.text.contains("hostname"));
+    assert!(out.text.contains("interface"));
+}
