@@ -27,6 +27,7 @@ pub fn is_public(asn: u16) -> bool {
 /// assert_ne!(m.map(701), 701);              // public: moved (w.h.p.)
 /// assert!(m.map(701) < 64512 && m.map(701) != 0);
 /// ```
+#[derive(Clone)]
 pub struct AsnMap {
     perm: FeistelPermutation,
 }
@@ -76,6 +77,7 @@ impl AsnMap {
 /// independent keyed permutation so that distinct communities stay
 /// distinct and equal communities stay equal — referential integrity for
 /// the `match community` / `set community` relationship.
+#[derive(Clone)]
 pub struct CommunityMap {
     asn: AsnMap,
     value: FeistelPermutation,
@@ -215,6 +217,7 @@ mod tests {
 /// 32-bit fields with the global administrator being an ASN. Another
 /// post-paper construct (2017) a contemporary anonymizer must cover —
 /// without it the ASN half of `64496:1:2`-style attributes leaks.
+#[derive(Clone)]
 pub struct LargeCommunityMap {
     asn32: crate::map32::AsnMap32,
     value: confanon_crypto::FeistelPermutation32,

@@ -42,6 +42,7 @@ pub fn is_public32(asn: u32) -> bool {
 }
 
 /// Keyed permutation over the public 32-bit ASN space.
+#[derive(Clone)]
 pub struct AsnMap32 {
     map16: AsnMap,
     perm: FeistelPermutation32,

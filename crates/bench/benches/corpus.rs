@@ -4,18 +4,18 @@
 //! paper-scale corpus (7655 routers, 4.3M lines) is regenerable on a
 //! laptop; fingerprint studies run once per population.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
-use confanon_bench::bench_dataset;
+use confanon_bench::{bench_dataset, finish_suite};
 use confanon_confgen::{generate_dataset, DatasetSpec};
 use confanon_iosparse::Config;
+use confanon_testkit::bench::Runner;
 use confanon_validate::fingerprint::{peering_key, subnet_key};
 use confanon_validate::{peering_fingerprint, subnet_fingerprint, FingerprintStudy};
 
-fn generation(c: &mut Criterion) {
-    let mut g = c.benchmark_group("confgen");
-    g.sample_size(10);
+fn main() {
+    let mut r = Runner::new("corpus");
+
     let spec = DatasetSpec {
         seed: 7,
         networks: 4,
@@ -24,41 +24,30 @@ fn generation(c: &mut Criterion) {
     };
     // Report throughput in config lines produced.
     let lines = generate_dataset(&spec).total_lines() as u64;
-    g.throughput(Throughput::Elements(lines));
-    g.bench_function("generate_4nets", |b| {
-        b.iter(|| black_box(generate_dataset(&spec).total_lines()));
+    r.bench_elements("generate_4nets", lines, "lines", || {
+        black_box(generate_dataset(&spec).total_lines())
     });
-    g.finish();
-}
 
-fn fingerprints(c: &mut Criterion) {
     let ds = bench_dataset();
     let per_network: Vec<Vec<Config>> = ds
         .networks
         .iter()
-        .map(|n| n.routers.iter().map(|r| Config::parse(&r.config)).collect())
+        .map(|n| n.routers.iter().map(|c| Config::parse(&c.config)).collect())
         .collect();
-    let mut g = c.benchmark_group("fingerprint");
-    g.bench_function("subnet_study", |b| {
-        b.iter(|| {
-            let keys: Vec<String> = per_network
-                .iter()
-                .map(|cfgs| subnet_key(&subnet_fingerprint(cfgs)))
-                .collect();
-            black_box(FingerprintStudy::from_keys(&keys))
-        });
+    r.bench("subnet_study", || {
+        let keys: Vec<String> = per_network
+            .iter()
+            .map(|cfgs| subnet_key(&subnet_fingerprint(cfgs)))
+            .collect();
+        black_box(FingerprintStudy::from_keys(&keys))
     });
-    g.bench_function("peering_study", |b| {
-        b.iter(|| {
-            let keys: Vec<String> = per_network
-                .iter()
-                .map(|cfgs| peering_key(&peering_fingerprint(cfgs)))
-                .collect();
-            black_box(FingerprintStudy::from_keys(&keys))
-        });
+    r.bench("peering_study", || {
+        let keys: Vec<String> = per_network
+            .iter()
+            .map(|cfgs| peering_key(&peering_fingerprint(cfgs)))
+            .collect();
+        black_box(FingerprintStudy::from_keys(&keys))
     });
-    g.finish();
-}
 
-criterion_group!(benches, generation, fingerprints);
-criterion_main!(benches);
+    finish_suite(&r, "corpus");
+}

@@ -3,57 +3,40 @@
 //! Every non-pass-list token costs one salted SHA-1 (§4.1); every located
 //! ASN costs a Feistel walk. These numbers bound the whole pipeline.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
 use confanon_asnanon::AsnMap;
+use confanon_bench::finish_suite;
 use confanon_crypto::{FeistelPermutation, HmacSha1, Sha1, TokenHasher};
+use confanon_testkit::bench::Runner;
 
-fn sha1(c: &mut Criterion) {
-    let mut g = c.benchmark_group("crypto_sha1");
-    for &n in &[64usize, 1024, 65536] {
+fn main() {
+    let mut r = Runner::new("crypto");
+
+    for n in [64usize, 1024, 65536] {
         let data = vec![0xABu8; n];
-        g.throughput(Throughput::Bytes(n as u64));
-        g.bench_function(format!("digest_{n}B"), |b| {
-            b.iter(|| black_box(Sha1::digest(&data)));
+        r.bench_elements(&format!("sha1_digest_{n}B"), n as u64, "bytes", || {
+            black_box(Sha1::digest(&data))
         });
     }
-    g.finish();
-}
 
-fn hmac_and_tokens(c: &mut Criterion) {
-    let mut g = c.benchmark_group("crypto_tokens");
     let mac = HmacSha1::new(b"owner-secret");
-    g.bench_function("hmac_short", |b| {
-        b.iter(|| black_box(mac.mac(b"UUNET-import")));
-    });
+    r.bench("hmac_short", || black_box(mac.mac(b"UUNET-import")));
     let hasher = TokenHasher::new(b"owner-secret");
-    g.bench_function("hash_token", |b| {
-        b.iter(|| black_box(hasher.hash_token("UUNET-import")));
-    });
-    g.finish();
-}
+    r.bench("hash_token", || black_box(hasher.hash_token("UUNET-import")));
 
-fn permutations(c: &mut Criterion) {
-    let mut g = c.benchmark_group("crypto_permutation");
     let p = FeistelPermutation::new(b"owner-secret", "asn");
-    g.bench_function("feistel_apply", |b| {
-        let mut x = 0u16;
-        b.iter(|| {
-            x = x.wrapping_add(1);
-            black_box(p.apply(x))
-        });
+    let mut x = 0u16;
+    r.bench("feistel_apply", || {
+        x = x.wrapping_add(1);
+        black_box(p.apply(x))
     });
     let m = AsnMap::new(b"owner-secret");
-    g.bench_function("asn_map_public", |b| {
-        let mut x = 1u16;
-        b.iter(|| {
-            x = (x % 64000).wrapping_add(1);
-            black_box(m.map(x))
-        });
+    let mut y = 1u16;
+    r.bench("asn_map_public", || {
+        y = (y % 64000).wrapping_add(1);
+        black_box(m.map(y))
     });
-    g.finish();
-}
 
-criterion_group!(benches, sha1, hmac_and_tokens, permutations);
-criterion_main!(benches);
+    finish_suite(&r, "crypto");
+}

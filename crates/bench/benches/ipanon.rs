@@ -7,11 +7,12 @@
 //! trade-off is measurable: per-address cost (cold and warm trie vs
 //! stateless PRF chain) and the memory the table accumulates.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
+use confanon_bench::finish_suite;
 use confanon_ipanon::{CryptoPan, Ip6Anonymizer, IpAnonymizer};
 use confanon_netprim::{Ip, Ip6};
+use confanon_testkit::bench::Runner;
 
 /// A deterministic pseudo-random address stream (ordinary addresses).
 fn addresses(n: usize) -> Vec<Ip> {
@@ -20,110 +21,66 @@ fn addresses(n: usize) -> Vec<Ip> {
         .collect()
 }
 
-fn trie_cold(c: &mut Criterion) {
+fn main() {
+    let mut r = Runner::new("ipanon");
+
     let addrs = addresses(1024);
-    let mut g = c.benchmark_group("ipanon");
-    g.throughput(Throughput::Elements(addrs.len() as u64));
-    g.bench_function("trie_cold_1k", |b| {
-        b.iter_batched(
-            || IpAnonymizer::new(b"bench"),
-            |mut anon| {
-                for &ip in &addrs {
-                    black_box(anon.anonymize(ip));
-                }
-            },
-            criterion::BatchSize::SmallInput,
-        );
+    r.bench_elements("trie_cold_1k", addrs.len() as u64, "addrs", || {
+        let mut anon = IpAnonymizer::new(b"bench");
+        for &ip in &addrs {
+            black_box(anon.anonymize(ip));
+        }
     });
-    g.finish();
-}
 
-fn trie_warm(c: &mut Criterion) {
-    let addrs = addresses(1024);
-    let mut anon = IpAnonymizer::new(b"bench");
-    for &ip in &addrs {
-        anon.anonymize(ip);
-    }
-    let mut g = c.benchmark_group("ipanon");
-    g.throughput(Throughput::Elements(addrs.len() as u64));
-    g.bench_function("trie_warm_1k", |b| {
-        b.iter(|| {
-            for &ip in &addrs {
-                black_box(anon.anonymize(ip));
-            }
-        });
-    });
-    g.finish();
-}
-
-fn cryptopan(c: &mut Criterion) {
-    let addrs = addresses(1024);
-    let cp = CryptoPan::new(b"bench");
-    let mut g = c.benchmark_group("ipanon");
-    g.throughput(Throughput::Elements(addrs.len() as u64));
-    g.bench_function("cryptopan_1k", |b| {
-        b.iter(|| {
-            for &ip in &addrs {
-                black_box(cp.anonymize(ip));
-            }
-        });
-    });
-    g.finish();
-}
-
-fn trie_state_growth(c: &mut Criterion) {
-    // The shared-state cost the paper attributes to table schemes: nodes
-    // allocated per fresh address at several table sizes.
-    let mut g = c.benchmark_group("ipanon_state");
-    for &n in &[256usize, 4096] {
-        let addrs = addresses(n);
-        g.bench_function(format!("insert_{n}"), |b| {
-            b.iter_batched(
-                || IpAnonymizer::new(b"bench"),
-                |mut anon| {
-                    for &ip in &addrs {
-                        anon.anonymize(ip);
-                    }
-                    black_box(anon.node_count())
-                },
-                criterion::BatchSize::SmallInput,
-            );
-        });
-    }
-    g.finish();
-}
-
-fn trie6(c: &mut Criterion) {
-    // The IPv6 extension: 4× the depth, same construction.
-    let addrs: Vec<Ip6> = (0..256u128)
-        .map(|i| Ip6((0x2400u128 << 112) | (i * 0x9E37_79B9_7F4A_7C15)))
-        .collect();
-    let mut g = c.benchmark_group("ipanon6");
-    g.throughput(Throughput::Elements(addrs.len() as u64));
-    g.bench_function("trie6_cold_256", |b| {
-        b.iter_batched(
-            || Ip6Anonymizer::new(b"bench"),
-            |mut anon| {
-                for &ip in &addrs {
-                    black_box(anon.anonymize(ip));
-                }
-            },
-            criterion::BatchSize::SmallInput,
-        );
-    });
-    let mut warm = Ip6Anonymizer::new(b"bench");
+    let mut warm = IpAnonymizer::new(b"bench");
     for &ip in &addrs {
         warm.anonymize(ip);
     }
-    g.bench_function("trie6_warm_256", |b| {
-        b.iter(|| {
-            for &ip in &addrs {
-                black_box(warm.anonymize(ip));
-            }
-        });
+    r.bench_elements("trie_warm_1k", addrs.len() as u64, "addrs", || {
+        for &ip in &addrs {
+            black_box(warm.anonymize(ip));
+        }
     });
-    g.finish();
-}
 
-criterion_group!(benches, trie_cold, trie_warm, cryptopan, trie_state_growth, trie6);
-criterion_main!(benches);
+    let cp = CryptoPan::new(b"bench");
+    r.bench_elements("cryptopan_1k", addrs.len() as u64, "addrs", || {
+        for &ip in &addrs {
+            black_box(cp.anonymize(ip));
+        }
+    });
+
+    // The shared-state cost the paper attributes to table schemes: nodes
+    // allocated per fresh address at several table sizes.
+    for n in [256usize, 4096] {
+        let addrs = addresses(n);
+        r.bench_elements(&format!("insert_{n}"), n as u64, "addrs", || {
+            let mut anon = IpAnonymizer::new(b"bench");
+            for &ip in &addrs {
+                anon.anonymize(ip);
+            }
+            black_box(anon.node_count())
+        });
+    }
+
+    // The IPv6 extension: 4× the depth, same construction.
+    let addrs6: Vec<Ip6> = (0..256u128)
+        .map(|i| Ip6((0x2400u128 << 112) | (i * 0x9E37_79B9_7F4A_7C15)))
+        .collect();
+    r.bench_elements("trie6_cold_256", addrs6.len() as u64, "addrs", || {
+        let mut anon = Ip6Anonymizer::new(b"bench");
+        for &ip in &addrs6 {
+            black_box(anon.anonymize(ip));
+        }
+    });
+    let mut warm6 = Ip6Anonymizer::new(b"bench");
+    for &ip in &addrs6 {
+        warm6.anonymize(ip);
+    }
+    r.bench_elements("trie6_warm_256", addrs6.len() as u64, "addrs", || {
+        for &ip in &addrs6 {
+            black_box(warm6.anonymize(ip));
+        }
+    });
+
+    finish_suite(&r, "ipanon");
+}

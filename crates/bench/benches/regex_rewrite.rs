@@ -5,12 +5,15 @@
 //! wildcards, alternation), the cost of the optional minimal-DFA
 //! compaction, and raw engine operations (compile, match, determinize).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-use confanon_asnanon::{rewrite_aspath_regex, rewrite_community_regex, AsnMap, CommunityMap, RewriteOptions};
+use confanon_asnanon::{
+    rewrite_aspath_regex, rewrite_community_regex, AsnMap, CommunityMap, RewriteOptions,
+};
+use confanon_bench::finish_suite;
 use confanon_regexlang::dfa::dfa_for;
 use confanon_regexlang::{parse, Regex};
+use confanon_testkit::bench::Runner;
 
 const PATTERNS: &[(&str, &str)] = &[
     ("figure1_alt", "(_1239_|_70[2-5]_)"),
@@ -20,64 +23,47 @@ const PATTERNS: &[(&str, &str)] = &[
     ("private_range", "_6451[2-9]_"),
 ];
 
-fn rewrite(c: &mut Criterion) {
+fn main() {
+    let mut r = Runner::new("regex_rewrite");
+
     let map = AsnMap::new(b"bench");
-    let mut g = c.benchmark_group("regex_rewrite");
     for &(label, pat) in PATTERNS {
-        g.bench_with_input(BenchmarkId::from_parameter(label), pat, |b, pat| {
-            b.iter(|| {
-                black_box(
-                    rewrite_aspath_regex(pat, &map, RewriteOptions::default())
-                        .expect("valid pattern"),
-                )
-            });
+        r.bench(&format!("rewrite/{label}"), || {
+            black_box(
+                rewrite_aspath_regex(pat, &map, RewriteOptions::default())
+                    .expect("valid pattern"),
+            )
         });
     }
-    g.finish();
-}
 
-fn rewrite_compact(c: &mut Criterion) {
     // The paper's proposed extension: minimal FA → regexp. More work per
     // rewrite, radically shorter output for big languages.
-    let map = AsnMap::new(b"bench");
     let cm = CommunityMap::new(b"bench");
-    let mut g = c.benchmark_group("regex_rewrite_compact");
-    g.sample_size(20);
-    g.bench_function("aspath_range", |b| {
-        b.iter(|| {
-            black_box(
-                rewrite_aspath_regex("_70[1-5]_", &map, RewriteOptions { compact: true })
-                    .expect("valid"),
-            )
-        });
+    r.bench("compact/aspath_range", || {
+        black_box(
+            rewrite_aspath_regex("_70[1-5]_", &map, RewriteOptions { compact: true })
+                .expect("valid"),
+        )
     });
-    g.bench_function("community_range", |b| {
+    r.bench("compact/community_range", || {
         // 500-value language: the worst case Figure 1 produces.
-        b.iter(|| {
-            black_box(
-                rewrite_community_regex("701:7[1-5]..", &cm, RewriteOptions::default())
-                    .expect("valid"),
-            )
-        });
+        black_box(
+            rewrite_community_regex("701:7[1-5]..", &cm, RewriteOptions::default())
+                .expect("valid"),
+        )
     });
-    g.finish();
-}
 
-fn engine_primitives(c: &mut Criterion) {
-    let mut g = c.benchmark_group("regex_engine");
-    g.bench_function("compile_figure1", |b| {
-        b.iter(|| black_box(Regex::compile("(_1239_|_70[2-5]_)").expect("valid")));
+    r.bench("engine/compile_figure1", || {
+        black_box(Regex::compile("(_1239_|_70[2-5]_)").expect("valid"))
     });
     let re = Regex::compile("(_1239_|_70[2-5]_)").expect("valid");
-    g.bench_function("search_aspath", |b| {
-        b.iter(|| black_box(re.is_match("7018 3356 1239 701 65001")));
+    r.bench("engine/search_aspath", || {
+        black_box(re.is_match("7018 3356 1239 701 65001"))
     });
-    g.bench_function("determinize_minimize", |b| {
-        let ast = parse("(_1239_|_70[2-5]_)").expect("valid");
-        b.iter(|| black_box(dfa_for(&ast).minimize().len()));
+    let ast = parse("(_1239_|_70[2-5]_)").expect("valid");
+    r.bench("engine/determinize_minimize", || {
+        black_box(dfa_for(&ast).minimize().len())
     });
-    g.finish();
-}
 
-criterion_group!(benches, rewrite, rewrite_compact, engine_primitives);
-criterion_main!(benches);
+    finish_suite(&r, "regex_rewrite");
+}

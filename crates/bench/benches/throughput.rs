@@ -2,78 +2,59 @@
 //!
 //! The paper's deployment anonymized "4.3 million lines of configuration
 //! from 7655 routers" and insists the process "must be fully automated".
-//! This bench measures pipeline throughput (lines and bytes per second)
-//! on median (~p50) and large (~p90) router configs, per stage:
-//! full pipeline, comment stripping only, and token hashing only — so the
-//! cost profile of the 28 rules is visible.
+//! This bench measures pipeline throughput (lines per second) on median
+//! (~p50) and large (~p90) router configs, per stage: full pipeline,
+//! warm-state pipeline, and rule-family ablations — so the cost profile
+//! of the 28 rules is visible.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
-use confanon_bench::{large_router_config, median_router_config};
+use confanon_bench::{finish_suite, large_router_config, median_router_config};
 use confanon_core::{Anonymizer, AnonymizerConfig, RuleId};
+use confanon_testkit::bench::Runner;
 
-fn full_pipeline(c: &mut Criterion) {
-    let mut g = c.benchmark_group("anonymize_full");
+fn main() {
+    let mut r = Runner::new("anonymize_throughput");
+
     for (label, cfg) in [
-        ("median_router", median_router_config()),
-        ("large_router", large_router_config()),
+        ("full/median_router", median_router_config()),
+        ("full/large_router", large_router_config()),
     ] {
-        g.throughput(Throughput::Elements(cfg.lines().count() as u64));
-        g.bench_with_input(BenchmarkId::from_parameter(label), &cfg, |b, cfg| {
-            b.iter_batched(
-                || Anonymizer::new(AnonymizerConfig::new(b"bench-secret".to_vec())),
-                |mut anon| black_box(anon.anonymize_config(cfg)),
-                criterion::BatchSize::SmallInput,
-            );
+        let lines = cfg.lines().count() as u64;
+        r.bench_elements(label, lines, "lines", || {
+            let mut anon = Anonymizer::new(AnonymizerConfig::new(b"bench-secret".to_vec()));
+            black_box(anon.anonymize_config(&cfg))
         });
     }
-    g.finish();
-}
 
-fn warm_state_pipeline(c: &mut Criterion) {
     // Re-anonymizing with a warm trie/permutation (the steady state when
     // processing thousands of routers of one network).
     let cfg = median_router_config();
-    let mut g = c.benchmark_group("anonymize_warm");
-    g.throughput(Throughput::Elements(cfg.lines().count() as u64));
-    let mut anon = Anonymizer::new(AnonymizerConfig::new(b"bench-secret".to_vec()));
-    anon.anonymize_config(&cfg); // warm the maps
-    g.bench_function("median_router", |b| {
-        b.iter(|| black_box(anon.anonymize_config(&cfg)));
+    let lines = cfg.lines().count() as u64;
+    let mut warm = Anonymizer::new(AnonymizerConfig::new(b"bench-secret".to_vec()));
+    warm.anonymize_config(&cfg);
+    r.bench_elements("warm/median_router", lines, "lines", || {
+        black_box(warm.anonymize_config(&cfg))
     });
-    g.finish();
-}
 
-fn ablated_stages(c: &mut Criterion) {
     // Cost attribution: pipeline with the expensive rule families turned
     // off, to expose what regexp rewriting and IP mapping cost.
-    let cfg = median_router_config();
-    let mut g = c.benchmark_group("anonymize_ablated");
-    g.throughput(Throughput::Elements(cfg.lines().count() as u64));
     let variants: [(&str, Vec<RuleId>); 3] = [
-        ("no_regexp_rules", vec![
+        ("ablated/no_regexp_rules", vec![
             RuleId::R09AsPathAccessListRegex,
             RuleId::R12CommunityListPattern,
         ]),
-        ("no_ip_rules", vec![RuleId::R22Ipv4Literal, RuleId::R23PrefixToken]),
-        ("no_token_hashing", vec![RuleId::R26TokenHashing]),
+        ("ablated/no_ip_rules", vec![RuleId::R22Ipv4Literal, RuleId::R23PrefixToken]),
+        ("ablated/no_token_hashing", vec![RuleId::R26TokenHashing]),
     ];
     for (label, rules) in variants {
-        g.bench_function(label, |b| {
-            b.iter_batched(
-                || {
-                    let mut c = AnonymizerConfig::new(b"bench-secret".to_vec());
-                    c.disabled_rules = rules.iter().copied().collect();
-                    Anonymizer::new(c)
-                },
-                |mut anon| black_box(anon.anonymize_config(&cfg)),
-                criterion::BatchSize::SmallInput,
-            );
+        r.bench_elements(label, lines, "lines", || {
+            let mut c = AnonymizerConfig::new(b"bench-secret".to_vec());
+            c.disabled_rules = rules.iter().copied().collect();
+            let mut anon = Anonymizer::new(c);
+            black_box(anon.anonymize_config(&cfg))
         });
     }
-    g.finish();
-}
 
-criterion_group!(benches, full_pipeline, warm_state_pipeline, ablated_stages);
-criterion_main!(benches);
+    finish_suite(&r, "throughput");
+}

@@ -5,15 +5,17 @@
 //! turnaround. Measures property extraction (suite 1), design extraction
 //! (suite 2), and the full pre/post comparison.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
-use confanon_bench::bench_dataset;
+use confanon_bench::{bench_dataset, finish_suite};
 use confanon_design::extract_design;
 use confanon_iosparse::Config;
+use confanon_testkit::bench::Runner;
 use confanon_validate::{compare_designs, compare_properties, network_properties};
 
-fn suites(c: &mut Criterion) {
+fn main() {
+    let mut r = Runner::new("validation");
+
     let ds = bench_dataset();
     let net = ds
         .networks
@@ -23,38 +25,28 @@ fn suites(c: &mut Criterion) {
     let configs: Vec<Config> = net
         .routers
         .iter()
-        .map(|r| Config::parse(&r.config))
+        .map(|c| Config::parse(&c.config))
         .collect();
     let lines: u64 = configs.iter().map(|c| c.len() as u64).sum();
 
-    let mut g = c.benchmark_group("validation");
-    g.throughput(Throughput::Elements(lines));
-    g.bench_function("suite1_properties", |b| {
-        b.iter(|| black_box(network_properties(&configs)));
+    r.bench_elements("suite1_properties", lines, "lines", || {
+        black_box(network_properties(&configs))
     });
-    g.bench_function("suite2_design_extract", |b| {
-        b.iter(|| black_box(extract_design(&configs)));
+    r.bench_elements("suite2_design_extract", lines, "lines", || {
+        black_box(extract_design(&configs))
     });
-    g.bench_function("suite1_compare_pre_post", |b| {
-        let p = network_properties(&configs);
-        b.iter(|| black_box(compare_properties(&p, &p)));
+    let p = network_properties(&configs);
+    r.bench_elements("suite1_compare_pre_post", lines, "lines", || {
+        black_box(compare_properties(&p, &p))
     });
-    g.bench_function("suite2_compare_pre_post", |b| {
-        b.iter(|| black_box(compare_designs(&configs, &configs)));
+    r.bench_elements("suite2_compare_pre_post", lines, "lines", || {
+        black_box(compare_designs(&configs, &configs))
     });
-    g.finish();
-}
 
-fn config_parsing(c: &mut Criterion) {
-    let ds = bench_dataset();
     let text = &ds.networks[0].routers[0].config;
-    let mut g = c.benchmark_group("iosparse");
-    g.throughput(Throughput::Bytes(text.len() as u64));
-    g.bench_function("parse_config", |b| {
-        b.iter(|| black_box(Config::parse(text)));
+    r.bench_elements("parse_config", text.len() as u64, "bytes", || {
+        black_box(Config::parse(text))
     });
-    g.finish();
-}
 
-criterion_group!(benches, suites, config_parsing);
-criterion_main!(benches);
+    finish_suite(&r, "validation");
+}

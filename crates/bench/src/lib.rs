@@ -1,10 +1,15 @@
-//! Shared workload builders for the Criterion benches.
+//! Shared workload builders for the wall-clock benches.
 //!
 //! Every bench regenerates a quantitative claim from the paper's
 //! evaluation (see DESIGN.md's experiment index); the workloads here are
-//! the corpora those benches run over, built once per process.
+//! the corpora those benches run over, built once per process. The
+//! benches themselves run on `confanon_testkit::bench::Runner` — plain
+//! `fn main()` binaries with `harness = false`, no external harness.
+//! Set `TESTKIT_BENCH_JSON_DIR=<dir>` to also write each suite's report
+//! as JSON.
 
 use confanon_confgen::{generate_dataset, Dataset, DatasetSpec};
+use confanon_testkit::bench::Runner;
 
 /// A small but representative dataset: 8 networks, ~10 routers each.
 pub fn bench_dataset() -> Dataset {
@@ -37,6 +42,19 @@ pub fn large_router_config() -> String {
         .max_by_key(|c| c.lines().count())
         .expect("nonempty dataset")
         .to_string()
+}
+
+/// Standard epilogue for every bench binary: print the summary and, when
+/// `TESTKIT_BENCH_JSON_DIR` is set, drop `<dir>/BENCH_<suite>.json`.
+pub fn finish_suite(runner: &Runner, suite: &str) {
+    runner.finish();
+    if let Ok(dir) = std::env::var("TESTKIT_BENCH_JSON_DIR") {
+        let path = std::path::Path::new(&dir).join(format!("BENCH_{suite}.json"));
+        match runner.write_json(&path) {
+            Ok(()) => println!("wrote {}", path.display()),
+            Err(e) => eprintln!("bench: cannot write {}: {e}", path.display()),
+        }
+    }
 }
 
 #[cfg(test)]

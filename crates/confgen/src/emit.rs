@@ -7,7 +7,7 @@
 //! toward the router's sampled target length.
 
 use confanon_netprim::{Ip, Ip6, Prefix, WildcardMask};
-use rand::Rng;
+use confanon_testkit::rng::Rng;
 
 use crate::names::{self, phone, pick};
 use crate::topo::{Igp, NetworkPlan, NetworkProfile, RouterRole};
@@ -544,8 +544,7 @@ mod tests {
     use super::*;
     use crate::features::NetworkFeatures;
     use crate::topo::{plan_network, NetworkProfile};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use confanon_testkit::rng::{SeedableRng, StdRng};
 
     fn emit_one(features: NetworkFeatures) -> (String, GroundTruth) {
         let mut rng = StdRng::seed_from_u64(31);

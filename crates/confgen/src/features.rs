@@ -5,12 +5,10 @@
 //! regexps in 5 of 31, with range expressions in 2 of those. §6.3:
 //! internal compartmentalization in 10 of 31.
 
-use rand::seq::SliceRandom;
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use confanon_testkit::rng::{Rng, SliceRandom};
 
 /// Which policy-language features a network's configs exercise.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct NetworkFeatures {
     /// Range/wildcard regexps over *public* ASNs (paper: 2/31).
     pub public_asn_ranges: bool,
@@ -28,7 +26,7 @@ pub struct NetworkFeatures {
 }
 
 /// Counts over a dataset (for the census experiment E4/E14).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FeatureCensus {
     /// Networks in the dataset.
     pub networks: usize,
@@ -110,8 +108,7 @@ pub fn assign_features<R: Rng>(rng: &mut R, n: usize) -> Vec<NetworkFeatures> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use confanon_testkit::rng::{SeedableRng, StdRng};
 
     #[test]
     fn exact_at_31_networks() {

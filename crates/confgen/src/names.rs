@@ -7,7 +7,7 @@
 //! names, so anonymized output can be audited for the same classes of
 //! leak the paper worried about.
 
-use rand::Rng;
+use confanon_testkit::rng::Rng;
 
 /// Fictional owner corporations (the "Foo Corp" role).
 pub const CORPS: &[&str] = &[
@@ -84,8 +84,7 @@ pub fn phone<R: Rng>(rng: &mut R) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use confanon_testkit::rng::{SeedableRng, StdRng};
 
     #[test]
     fn pools_are_nonempty_and_lowercase() {

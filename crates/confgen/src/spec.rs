@@ -1,15 +1,13 @@
 //! Dataset specifications and top-level generation.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use confanon_testkit::rng::{Rng, SeedableRng, StdRng};
 
 use crate::emit::emit_router;
 use crate::features::{assign_features, FeatureCensus};
 use crate::topo::{plan_network, Network, NetworkProfile, Router};
 
 /// Parameters of a dataset.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DatasetSpec {
     /// RNG seed: the dataset is a pure function of the spec.
     pub seed: u64,
@@ -44,7 +42,7 @@ pub fn small_dataset_spec(seed: u64) -> DatasetSpec {
 }
 
 /// A generated dataset.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Dataset {
     /// The spec that produced it.
     pub spec: DatasetSpec,

@@ -6,8 +6,7 @@
 //! a dataset is a pure function of `(spec, seed)`.
 
 use confanon_netprim::{Ip, Netmask, Prefix};
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use confanon_testkit::rng::Rng;
 
 use crate::addr::Allocator;
 use crate::features::NetworkFeatures;
@@ -16,7 +15,7 @@ use crate::truth::GroundTruth;
 use crate::versions::{sample_version, VersionQuirks};
 
 /// Backbone (carrier) or enterprise network.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum NetworkProfile {
     /// Carrier: public address space, many BGP speakers, transit policy.
     Backbone,
@@ -25,7 +24,7 @@ pub enum NetworkProfile {
 }
 
 /// Router roles in the planned topology.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RouterRole {
     /// Core: densely connected, always a BGP speaker in backbones.
     Core,
@@ -36,7 +35,7 @@ pub enum RouterRole {
 }
 
 /// The IGP a network runs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Igp {
     /// OSPF with areas.
     Ospf,
@@ -128,7 +127,7 @@ pub struct NetworkPlan {
 }
 
 /// A generated router: plan metadata plus the emitted text.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Router {
     /// Hostname.
     pub hostname: String,
@@ -141,7 +140,7 @@ pub struct Router {
 }
 
 /// A generated network.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Network {
     /// Network name (owner corp).
     pub name: String,
@@ -499,8 +498,7 @@ fn lan_if_name(q: &VersionQuirks, counter: &mut usize) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use confanon_testkit::rng::{SeedableRng, StdRng};
 
     fn plan(n: usize, profile: NetworkProfile) -> NetworkPlan {
         let mut rng = StdRng::seed_from_u64(21);

@@ -6,10 +6,8 @@
 
 use std::collections::BTreeSet;
 
-use serde::{Deserialize, Serialize};
-
 /// Identity-bearing content planted in one network's configs.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct GroundTruth {
     /// The owner's corporate name and derived words.
     pub owner_words: BTreeSet<String>,

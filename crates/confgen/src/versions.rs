@@ -7,7 +7,7 @@
 //! syntax quirks deterministically from the string, so two routers on the
 //! same version always agree.
 
-use rand::Rng;
+use confanon_testkit::rng::Rng;
 
 /// Syntax differences the emitter honours.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -84,8 +84,7 @@ pub fn grid_size() -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use confanon_testkit::rng::{SeedableRng, StdRng};
     use std::collections::HashSet;
 
     #[test]

@@ -36,6 +36,7 @@ pub enum IpScheme {
 }
 
 /// Configuration for an [`Anonymizer`].
+#[derive(Clone)]
 pub struct AnonymizerConfig {
     /// The secret chosen by the network owner (salts every hash and keys
     /// every permutation; §6.1).
@@ -85,6 +86,12 @@ pub struct AnonymizedConfig {
 /// consistent manner" (§3.2), which extends across files: the same
 /// route-map name, address, or ASN in two routers of one network must map
 /// identically, so one `Anonymizer` instance processes the whole network.
+///
+/// `Anonymizer` is `Clone` so that, once its mapping state has been
+/// warmed by a discovery pass ([`Anonymizer::discover_config`]), worker
+/// threads can each take a copy and re-emit files in parallel with pure
+/// lookups — see [`crate::batch::BatchPipeline`].
+#[derive(Clone)]
 pub struct Anonymizer {
     cfg: AnonymizerConfig,
     hasher: TokenHasher,
@@ -101,6 +108,10 @@ pub struct Anonymizer {
     /// with one.
     emitted: std::collections::BTreeSet<String>,
     total_stats: AnonymizationStats,
+    /// `true` in the normal (emit) mode; `false` during a discovery pass,
+    /// where output assembly and the stateless token hashes are skipped
+    /// but every rule, mapping-state mutation, and counter still runs.
+    emit: bool,
 }
 
 impl Anonymizer {
@@ -126,6 +137,7 @@ impl Anonymizer {
             record: LeakRecord::default(),
             emitted: std::collections::BTreeSet::new(),
             total_stats: AnonymizationStats::default(),
+            emit: true,
         }
     }
 
@@ -162,12 +174,43 @@ impl Anonymizer {
         !self.cfg.disabled_rules.contains(&rule)
     }
 
+    /// One token hash, skipped (empty string) during discovery: the hash
+    /// is a pure function of the owner secret and the token, so eliding
+    /// it cannot change any mapping state a later emit pass depends on.
+    fn hash_emit(&self, tok: &str) -> String {
+        if self.emit {
+            self.hasher.hash_token(tok)
+        } else {
+            String::new()
+        }
+    }
+
+    /// Runs the full rule pipeline over one configuration *without*
+    /// producing output text.
+    ///
+    /// This is the sequential identifier-discovery pass of
+    /// [`crate::batch::BatchPipeline`]: it performs exactly the mapping
+    /// mutations an [`Anonymizer::anonymize_config`] call would — trie
+    /// inserts (in the same order), leak-record and emitted-image set
+    /// inserts, statistics — while skipping the two costs that dominate
+    /// emission and touch no shared state: per-segment salted hashing
+    /// (§4.1: one SHA-1 per non-pass-list token) and output-string
+    /// assembly. After discovering every file of a corpus, a clone of
+    /// this anonymizer re-emits any of those files with pure lookups,
+    /// byte-identical to a sequential run.
+    pub fn discover_config(&mut self, text: &str) -> AnonymizationStats {
+        self.emit = false;
+        let result = self.anonymize_config(text);
+        self.emit = true;
+        result.stats
+    }
+
     /// Anonymizes one configuration file.
     pub fn anonymize_config(&mut self, text: &str) -> AnonymizedConfig {
         let lines: Vec<String> = text.lines().map(str::to_string).collect();
         let kinds = classify_lines(&lines);
         let mut stats = AnonymizationStats::default();
-        let mut out = String::with_capacity(text.len());
+        let mut out = String::with_capacity(if self.emit { text.len() } else { 0 });
         // Delimiter of the banner block currently open, for BannerEnd.
         let mut current_banner_delim: Option<String> = None;
 
@@ -256,6 +299,11 @@ impl Anonymizer {
         }
 
         self.total_stats.merge(&stats);
+        if !self.emit {
+            // Discovery: the assembled fragments are meaningless; return
+            // an empty text so no caller can mistake them for output.
+            out.clear();
+        }
         AnonymizedConfig { text: out, stats }
     }
 
@@ -277,6 +325,9 @@ impl Anonymizer {
             out[i] = Some(self.anonymize_token(tok, stats));
         }
 
+        if !self.emit {
+            return String::new();
+        }
         let rewritten: Vec<String> = out.into_iter().map(|o| o.expect("filled")).collect();
         rebuild(line, &toks, &rewritten)
     }
@@ -396,7 +447,7 @@ impl Anonymizer {
                     if arg.parse::<Ip>().is_err() {
                         stats.fire(RuleId::R21ServerLiterals);
                         self.record_word(arg);
-                        out[2] = Some(self.hasher.hash_token(arg));
+                        out[2] = Some(self.hash_emit(arg));
                     }
                 }
             ["ip", "name-server", ..] => { /* per-token IP rule covers it */ }
@@ -517,7 +568,7 @@ impl Anonymizer {
                 // Conservative fallback: an unparseable pattern is hashed
                 // whole. Structure dies, anonymity survives.
                 stats.regexps_fallback_hashed += 1;
-                out[from] = Some(self.hasher.hash_token(&pattern));
+                out[from] = Some(self.hash_emit(&pattern));
                 for slot in out.iter_mut().take(texts.len()).skip(from + 1) {
                     *slot = Some(String::new());
                 }
@@ -565,7 +616,7 @@ impl Anonymizer {
         }
         stats.fire(rule);
         self.record_word(texts[i]);
-        out[i] = Some(self.hasher.hash_token(texts[i]));
+        out[i] = Some(self.hash_emit(texts[i]));
     }
 
     /// Hashes the secret token at `i` (R20).
@@ -582,7 +633,7 @@ impl Anonymizer {
         stats.fire(RuleId::R20SecretsAndKeys);
         stats.secrets_hashed += 1;
         self.record_word(texts[i]);
-        out[i] = Some(self.hasher.hash_token(texts[i]));
+        out[i] = Some(self.hash_emit(texts[i]));
     }
 
     /// Hashes every token following a `password`/`secret`/`key` keyword,
@@ -608,7 +659,7 @@ impl Anonymizer {
                     stats.fire(RuleId::R20SecretsAndKeys);
                     stats.secrets_hashed += 1;
                     self.record_word(texts[j]);
-                    out[j] = Some(self.hasher.hash_token(texts[j]));
+                    out[j] = Some(self.hash_emit(texts[j]));
                 }
             }
         }
@@ -735,7 +786,7 @@ impl Anonymizer {
                         stats.fire(RuleId::R26TokenHashing);
                         stats.segments_hashed += 1;
                         self.record_word(a);
-                        outb.push_str(&self.hasher.hash_token(a));
+                        outb.push_str(&self.hash_emit(a));
                     }
                 }
             }
@@ -1080,7 +1131,7 @@ mod tests {
 /// colleague with access to the unanonymized configuration files" (§5).
 /// Contains the original→image pairs for everything located; it is as
 /// sensitive as the originals and must never leave the owner's side.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MappingAudit {
     /// Public ASN mappings.
     pub asns: std::collections::BTreeMap<String, String>,
@@ -1088,6 +1139,24 @@ pub struct MappingAudit {
     pub addresses: std::collections::BTreeMap<String, String>,
     /// Identity-word hash mappings.
     pub words: std::collections::BTreeMap<String, String>,
+}
+
+impl MappingAudit {
+    /// The audit as JSON: three original→image maps, keys sorted.
+    pub fn to_json(&self) -> confanon_testkit::json::Json {
+        use confanon_testkit::json::Json;
+        let map = |m: &std::collections::BTreeMap<String, String>| {
+            let mut obj = Json::obj();
+            for (k, v) in m {
+                obj.set(k, v.as_str());
+            }
+            obj
+        };
+        Json::obj()
+            .with("asns", map(&self.asns))
+            .with("addresses", map(&self.addresses))
+            .with("words", map(&self.words))
+    }
 }
 
 impl Anonymizer {

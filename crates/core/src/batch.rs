@@ -1,0 +1,324 @@
+//! Parallel anonymization of a multi-router corpus under one keyed state.
+//!
+//! §3.2 requires every identifier of a network to map consistently
+//! *across* its files, which is why one [`Anonymizer`] processes the
+//! whole network and why the paper notes the table-based IP scheme does
+//! not parallelize trivially (unlike Xu's stateless scheme). The pipeline
+//! here recovers the parallelism anyway, with the output guaranteed
+//! byte-identical to a sequential run at any worker count:
+//!
+//! 1. **Discovery (sequential).** Every file is run through
+//!    [`Anonymizer::discover_config`] in corpus order. This performs the
+//!    exact sequence of order-dependent mapping mutations a sequential
+//!    emit run would — trie node creation, scramble walks — plus the
+//!    order-independent ones (leak record, emitted images, statistics),
+//!    while skipping the per-token salted hashing and string assembly
+//!    that dominate emission cost.
+//! 2. **Rewrite (parallel).** Each worker thread takes a clone of the
+//!    warmed anonymizer and re-emits files. Every mapping the emit pass
+//!    needs already exists, so workers only perform pure lookups and
+//!    stateless keyed hashes; no cross-thread state is shared and no
+//!    insertion order can differ.
+//!
+//! Byte-identity follows from the mappings being *sticky*: once an
+//! address (or any identifier) has an image, re-anonymizing it returns
+//! the same image without mutating state, and the discovery pass creates
+//! all images in exactly the order the sequential run would have.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::anonymizer::{Anonymizer, AnonymizerConfig};
+use crate::stats::AnonymizationStats;
+
+/// One input file of a batch: a display name and its configuration text.
+#[derive(Debug, Clone)]
+pub struct BatchInput {
+    /// Name used for reporting (typically the relative file path).
+    pub name: String,
+    /// The raw configuration text.
+    pub text: String,
+}
+
+/// One anonymized file of a batch, in input order.
+#[derive(Debug, Clone)]
+pub struct BatchOutput {
+    /// The input's display name.
+    pub name: String,
+    /// Anonymized configuration text.
+    pub text: String,
+    /// Per-file rule counters.
+    pub stats: AnonymizationStats,
+}
+
+/// The whole-corpus result.
+pub struct BatchReport {
+    /// Per-file outputs, in input order.
+    pub outputs: Vec<BatchOutput>,
+    /// Aggregate counters across the corpus.
+    pub totals: AnonymizationStats,
+    /// Worker threads used for the rewrite pass.
+    pub jobs: usize,
+}
+
+/// A corpus anonymizer: one keyed state, many files, optional
+/// parallelism with sequential-identical output.
+pub struct BatchPipeline {
+    anonymizer: Anonymizer,
+    jobs: usize,
+}
+
+impl BatchPipeline {
+    /// Creates a pipeline over one owner secret. `jobs` is the worker
+    /// count for the rewrite pass; `0` means the logical core count.
+    pub fn new(cfg: AnonymizerConfig, jobs: usize) -> BatchPipeline {
+        let jobs = if jobs == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            jobs
+        };
+        BatchPipeline {
+            anonymizer: Anonymizer::new(cfg),
+            jobs,
+        }
+    }
+
+    /// The warmed anonymizer (for audits: leak record, emitted
+    /// exclusions, mapping audit). Meaningful after [`Self::run`].
+    pub fn anonymizer(&self) -> &Anonymizer {
+        &self.anonymizer
+    }
+
+    /// Consumes the pipeline, returning the warmed anonymizer.
+    pub fn into_anonymizer(self) -> Anonymizer {
+        self.anonymizer
+    }
+
+    /// Anonymizes the corpus. Output order matches input order and the
+    /// bytes are identical for every `jobs` value.
+    pub fn run(&mut self, inputs: &[BatchInput]) -> BatchReport {
+        if self.jobs <= 1 || inputs.len() <= 1 {
+            return self.run_sequential(inputs);
+        }
+        self.run_parallel(inputs)
+    }
+
+    /// The reference path: one cold emit pass, file by file.
+    fn run_sequential(&mut self, inputs: &[BatchInput]) -> BatchReport {
+        let outputs = inputs
+            .iter()
+            .map(|f| {
+                let out = self.anonymizer.anonymize_config(&f.text);
+                BatchOutput {
+                    name: f.name.clone(),
+                    text: out.text,
+                    stats: out.stats,
+                }
+            })
+            .collect();
+        self.report(outputs, 1)
+    }
+
+    /// Discovery (sequential) then rewrite (parallel worker pool over a
+    /// shared work index).
+    fn run_parallel(&mut self, inputs: &[BatchInput]) -> BatchReport {
+        for f in inputs {
+            self.anonymizer.discover_config(&f.text);
+        }
+
+        let mut slots: Vec<Option<BatchOutput>> = Vec::new();
+        slots.resize_with(inputs.len(), || None);
+        let next = AtomicUsize::new(0);
+        let slots_mutex = Mutex::new(&mut slots);
+        let warmed = &self.anonymizer;
+
+        std::thread::scope(|scope| {
+            for _ in 0..self.jobs.min(inputs.len()) {
+                scope.spawn(|| {
+                    // Each worker re-emits from its own copy of the warmed
+                    // state; only lookups happen, so copies never diverge
+                    // in any way that affects output.
+                    let mut anon = warmed.clone();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= inputs.len() {
+                            break;
+                        }
+                        let out = anon.anonymize_config(&inputs[i].text);
+                        let output = BatchOutput {
+                            name: inputs[i].name.clone(),
+                            text: out.text,
+                            stats: out.stats,
+                        };
+                        let mut guard = slots_mutex.lock().expect("no poisoned worker");
+                        guard[i] = Some(output);
+                    }
+                });
+            }
+        });
+
+        let outputs = slots
+            .into_iter()
+            .map(|s| s.expect("every index filled"))
+            .collect();
+        self.report(outputs, self.jobs)
+    }
+
+    fn report(&self, outputs: Vec<BatchOutput>, jobs: usize) -> BatchReport {
+        let mut totals = AnonymizationStats::default();
+        for o in &outputs {
+            totals.merge(&o.stats);
+        }
+        BatchReport {
+            outputs,
+            totals,
+            jobs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> Vec<BatchInput> {
+        let mk = |i: u32| {
+            format!(
+                "hostname r{i}.backbone.example.net\n\
+                 ! link to chicago pop {i}\n\
+                 interface Serial0/{i}\n ip address 10.{i}.0.1 255.255.255.0\n\
+                 router bgp 70{i}\n neighbor 12.126.236.{i} remote-as 1239\n\
+                 ip route 192.168.{i}.0 255.255.255.0 Null0\n"
+            )
+        };
+        (1..=6)
+            .map(|i| BatchInput {
+                name: format!("r{i}.cfg"),
+                text: mk(i),
+            })
+            .collect()
+    }
+
+    fn secret() -> AnonymizerConfig {
+        AnonymizerConfig::new(b"batch-test-secret".to_vec())
+    }
+
+    #[test]
+    fn parallel_output_matches_sequential_bytes() {
+        let inputs = corpus();
+        let seq = BatchPipeline::new(secret(), 1).run(&inputs);
+        for jobs in [2, 4, 8] {
+            let par = BatchPipeline::new(secret(), jobs).run(&inputs);
+            assert_eq!(par.outputs.len(), seq.outputs.len());
+            for (a, b) in seq.outputs.iter().zip(&par.outputs) {
+                assert_eq!(a.name, b.name);
+                assert_eq!(a.text, b.text, "jobs={jobs} diverged on {}", a.name);
+                assert_eq!(a.stats, b.stats, "jobs={jobs} stats diverged");
+            }
+            assert_eq!(seq.totals, par.totals);
+        }
+    }
+
+    #[test]
+    fn discovery_then_emit_matches_plain_anonymizer() {
+        // The batch pipeline must agree with the plain sequential API a
+        // caller would have used before it existed.
+        let inputs = corpus();
+        let mut plain = Anonymizer::new(secret());
+        let expect: Vec<String> = inputs
+            .iter()
+            .map(|f| plain.anonymize_config(&f.text).text)
+            .collect();
+        let got = BatchPipeline::new(secret(), 4).run(&inputs);
+        for (e, g) in expect.iter().zip(&got.outputs) {
+            assert_eq!(e, &g.text);
+        }
+    }
+
+    #[test]
+    fn discover_config_warms_identical_state() {
+        // Discovery followed by emit gives the same bytes as cold emit,
+        // and the same leak record / emitted exclusions.
+        let inputs = corpus();
+        let mut cold = Anonymizer::new(secret());
+        let cold_texts: Vec<String> = inputs
+            .iter()
+            .map(|f| cold.anonymize_config(&f.text).text)
+            .collect();
+
+        let mut warm = Anonymizer::new(secret());
+        for f in &inputs {
+            warm.discover_config(&f.text);
+        }
+        let warm_texts: Vec<String> = inputs
+            .iter()
+            .map(|f| warm.anonymize_config(&f.text).text)
+            .collect();
+
+        assert_eq!(cold_texts, warm_texts);
+        assert_eq!(cold.leak_record().asns, warm.leak_record().asns);
+        assert_eq!(cold.leak_record().ips, warm.leak_record().ips);
+        assert_eq!(cold.leak_record().words, warm.leak_record().words);
+    }
+
+    #[test]
+    fn discovery_stats_match_emit_stats() {
+        let inputs = corpus();
+        let mut emit = Anonymizer::new(secret());
+        let mut discover = Anonymizer::new(secret());
+        for f in &inputs {
+            let e = emit.anonymize_config(&f.text).stats;
+            let d = discover.discover_config(&f.text);
+            assert_eq!(e, d);
+        }
+    }
+
+    #[test]
+    fn totals_match_anonymizer_totals_in_parallel_mode() {
+        let inputs = corpus();
+        let mut p = BatchPipeline::new(secret(), 3);
+        let report = p.run(&inputs);
+        // The pipeline's retained (discovery-warmed) anonymizer saw the
+        // whole corpus once, so its totals agree with the report.
+        assert_eq!(report.totals, *p.anonymizer().total_stats());
+    }
+
+    #[test]
+    fn jobs_zero_uses_available_parallelism() {
+        let p = BatchPipeline::new(secret(), 0);
+        assert!(p.jobs >= 1);
+    }
+
+    #[test]
+    fn cross_file_referential_integrity_survives_parallelism() {
+        // The same route-map name in two different files must map to the
+        // same token — the §3.2 consistency requirement the shared warmed
+        // state exists to honor.
+        let inputs = vec![
+            BatchInput {
+                name: "a.cfg".into(),
+                text: " neighbor 9.9.9.9 route-map CHI-IMPORT in\n".into(),
+            },
+            BatchInput {
+                name: "b.cfg".into(),
+                text: "route-map CHI-IMPORT permit 10\n".into(),
+            },
+        ];
+        let report = BatchPipeline::new(secret(), 2).run(&inputs);
+        let use_tok = report.outputs[0]
+            .text
+            .split_whitespace()
+            .nth(3)
+            .expect("use site")
+            .to_string();
+        let def_tok = report.outputs[1]
+            .text
+            .split_whitespace()
+            .nth(1)
+            .expect("def site")
+            .to_string();
+        assert_eq!(use_tok, def_tok);
+    }
+}

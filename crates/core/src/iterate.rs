@@ -14,15 +14,13 @@
 
 use std::collections::HashSet;
 
-use serde::{Deserialize, Serialize};
-
 use crate::anonymizer::{Anonymizer, AnonymizerConfig};
 use crate::leak::{LeakRecord, LeakScanner};
 use crate::passlist::PassList;
 use crate::rules::RuleId;
 
 /// One round of the iteration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct IterationRound {
     /// Round number (1-based).
     pub round: usize,
@@ -36,7 +34,7 @@ pub struct IterationRound {
 }
 
 /// The full trace of the closure loop.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct IterationTrace {
     /// Every round, in order.
     pub rounds: Vec<IterationRound>,

@@ -18,10 +18,10 @@
 
 use std::collections::BTreeSet;
 
-use serde::{Deserialize, Serialize};
+use confanon_testkit::json::Json;
 
 /// Everything the anonymizer saw that must not appear in the output.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct LeakRecord {
     /// Public ASNs located by the 12 locator rules, as decimal strings.
     pub asns: BTreeSet<String>,
@@ -49,10 +49,47 @@ impl LeakRecord {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// The record as JSON: `{"asns": [...], "ips": [...], "words": [...]}`.
+    pub fn to_json(&self) -> Json {
+        let set = |s: &BTreeSet<String>| {
+            Json::Arr(s.iter().map(|v| Json::Str(v.clone())).collect())
+        };
+        Json::obj()
+            .with("asns", set(&self.asns))
+            .with("ips", set(&self.ips))
+            .with("words", set(&self.words))
+    }
+
+    /// Parses the JSON shape produced by [`LeakRecord::to_json`]. Missing
+    /// keys are treated as empty sets; non-string members are an error.
+    pub fn from_json_str(text: &str) -> Result<LeakRecord, String> {
+        let doc = Json::parse(text).map_err(|e| e.to_string())?;
+        let set = |key: &str| -> Result<BTreeSet<String>, String> {
+            match doc.get(key) {
+                None => Ok(BTreeSet::new()),
+                Some(v) => v
+                    .as_array()
+                    .ok_or_else(|| format!("{key:?} must be an array"))?
+                    .iter()
+                    .map(|item| {
+                        item.as_str()
+                            .map(str::to_string)
+                            .ok_or_else(|| format!("{key:?} must hold strings"))
+                    })
+                    .collect(),
+            }
+        };
+        Ok(LeakRecord {
+            asns: set("asns")?,
+            ips: set("ips")?,
+            words: set("words")?,
+        })
+    }
 }
 
 /// One flagged line.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Leak {
     /// Zero-based line number in the anonymized text.
     pub line_no: usize,
@@ -63,7 +100,7 @@ pub struct Leak {
 }
 
 /// The scan result.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct LeakReport {
     /// Flagged lines, in order.
     pub leaks: Vec<Leak>,

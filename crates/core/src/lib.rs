@@ -38,6 +38,7 @@
 //! ```
 
 pub mod anonymizer;
+pub mod batch;
 pub mod figure1;
 pub mod iterate;
 pub mod leak;
@@ -48,6 +49,7 @@ pub mod rules;
 pub mod stats;
 
 pub use anonymizer::{AnonymizedConfig, Anonymizer, AnonymizerConfig, IpScheme};
+pub use batch::{BatchInput, BatchOutput, BatchPipeline, BatchReport};
 pub use iterate::{iterate_to_closure, IterationTrace};
 pub use leak::{LeakReport, LeakScanner};
 pub use passlist::PassList;

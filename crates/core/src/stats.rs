@@ -3,15 +3,15 @@
 //! The paper reports aggregate numbers — fraction of words removed as
 //! comments (1.5% average, 6% at the 90th percentile), rule sufficiency,
 //! dataset scale — and the validation methodology is built on comparing
-//! machine-readable pre/post reports. Everything here serializes with
-//! `serde` so experiment harnesses can diff runs.
+//! machine-readable pre/post reports. Everything here serializes to JSON
+//! through the in-tree writer so experiment harnesses can diff runs.
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
+use confanon_testkit::json::Json;
 
 /// Counters accumulated while anonymizing one or more configurations.
-#[derive(Debug, Clone, Default, Serialize, Deserialize, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct AnonymizationStats {
     /// Total input lines processed.
     pub lines_total: u64,
@@ -90,6 +90,34 @@ impl AnonymizationStats {
         for (k, v) in &other.rule_fires {
             *self.rule_fires.entry(k.clone()).or_insert(0) += v;
         }
+    }
+
+    /// The stats block as a JSON document (counters plus per-rule fires).
+    pub fn to_json(&self) -> Json {
+        let mut fires = Json::obj();
+        for (rule, count) in &self.rule_fires {
+            fires.set(rule, *count);
+        }
+        Json::obj()
+            .with("lines_total", self.lines_total)
+            .with("comment_lines_stripped", self.comment_lines_stripped)
+            .with("freetext_lines_dropped", self.freetext_lines_dropped)
+            .with("banner_lines_dropped", self.banner_lines_dropped)
+            .with("words_total", self.words_total)
+            .with("words_removed_as_comments", self.words_removed_as_comments)
+            .with("segments_passed", self.segments_passed)
+            .with("segments_hashed", self.segments_hashed)
+            .with("ips_mapped", self.ips_mapped)
+            .with("ips_special_passthrough", self.ips_special_passthrough)
+            .with("ips6_mapped", self.ips6_mapped)
+            .with("asns_mapped", self.asns_mapped)
+            .with("communities_mapped", self.communities_mapped)
+            .with("regexps_rewritten", self.regexps_rewritten)
+            .with("regexps_fallback_hashed", self.regexps_fallback_hashed)
+            .with("phone_numbers_mapped", self.phone_numbers_mapped)
+            .with("secrets_hashed", self.secrets_hashed)
+            .with("comment_word_fraction", self.comment_word_fraction())
+            .with("rule_fires", fires)
     }
 }
 

@@ -7,10 +7,8 @@
 
 use std::collections::BTreeSet;
 
-use serde::{Deserialize, Serialize};
-
 /// Which IGP a router runs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum IgpKind {
     /// OSPF.
     Ospf,
@@ -21,7 +19,7 @@ pub enum IgpKind {
 }
 
 /// One BGP neighbor's policy attachment, name-abstracted.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 pub struct NeighborPolicy {
     /// True for iBGP (remote AS equals the local process AS — a relation
     /// preserved by any consistent permutation).
@@ -37,7 +35,7 @@ pub struct NeighborPolicy {
 }
 
 /// Direction of a neighbor route-map.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum MapDirection {
     /// Inbound policy.
     In,
@@ -46,7 +44,7 @@ pub enum MapDirection {
 }
 
 /// The structure of a route-map: its clauses in sequence order.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Default)]
 pub struct MapSignature {
     /// Per clause: (permit?, match kinds with resolved-reference flags,
     /// set kinds).
@@ -54,7 +52,7 @@ pub struct MapSignature {
 }
 
 /// One route-map clause, name-abstracted.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Default)]
 pub struct ClauseSignature {
     /// `permit` (true) or `deny`.
     pub permit: bool,
@@ -66,7 +64,7 @@ pub struct ClauseSignature {
 }
 
 /// Kinds of `match` statements the extractor models.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum MatchKind {
     /// `match ip address <acl>`.
     IpAddress,
@@ -77,7 +75,7 @@ pub enum MatchKind {
 }
 
 /// Kinds of `set` statements the extractor models.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum SetKind {
     /// `set community …`.
     Community,
@@ -86,7 +84,7 @@ pub enum SetKind {
 }
 
 /// One router's extracted design.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct RouterDesign {
     /// Number of addressed interfaces.
     pub interface_count: usize,
@@ -104,7 +102,7 @@ pub struct RouterDesign {
 }
 
 /// The whole network's extracted design.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct RoutingDesign {
     /// Per-router designs, in file order (stable across anonymization).
     pub routers: Vec<RouterDesign>,

@@ -9,12 +9,10 @@
 //! [`RoutingDesign`], so the numbers are identical pre- and
 //! post-anonymization — which is precisely the paper's value proposition.
 
-use serde::{Deserialize, Serialize};
-
 use crate::model::{IgpKind, RoutingDesign};
 
 /// A per-network design summary.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DesignSummary {
     /// Routers.
     pub routers: usize,

@@ -1,70 +1,66 @@
 //! Property tests for tokenization: the byte-faithfulness contract that
 //! lets operators diff pre/post configs meaningfully.
 
-use proptest::prelude::*;
-
 use confanon_iosparse::{rebuild, segment, tokenize, Config, Segment};
+use confanon_testkit::props::pattern;
 
-proptest! {
+confanon_testkit::props! {
+    cases = 256;
+
     /// Rebuilding a line from its own tokens is the identity.
-    #[test]
-    fn rebuild_identity(line in "[ -~]{0,120}") {
+    fn rebuild_identity(line in pattern("[ -~]{0,120}")) {
         let toks = tokenize(&line);
         let same: Vec<String> = toks.iter().map(|t| t.text.to_string()).collect();
-        prop_assert_eq!(rebuild(&line, &toks, &same), line);
+        assert_eq!(rebuild(&line, &toks, &same), line);
     }
 
     /// Tokens cover exactly the non-whitespace bytes, in order.
-    #[test]
-    fn tokens_cover_non_whitespace(line in "[ -~\t]{0,120}") {
+    fn tokens_cover_non_whitespace(line in pattern("[ -~\t]{0,120}")) {
         let toks = tokenize(&line);
         let mut covered = vec![false; line.len()];
         for t in &toks {
-            prop_assert!(!t.text.contains(' ') && !t.text.contains('\t'));
+            assert!(!t.text.contains(' ') && !t.text.contains('\t'));
             for c in covered.iter_mut().take(t.end()).skip(t.start) {
                 *c = true;
             }
         }
         for (i, b) in line.bytes().enumerate() {
-            prop_assert_eq!(covered[i], !b.is_ascii_whitespace(), "byte {}", i);
+            assert_eq!(covered[i], !b.is_ascii_whitespace(), "byte {i}");
         }
     }
 
     /// Segments of a word concatenate back to the word, alternate between
     /// alpha and non-alpha, and are never empty.
-    #[test]
-    fn segmentation_laws(word in "[!-~]{1,40}") {
+    fn segmentation_laws(word in pattern("[!-~]{1,40}")) {
         let segs = segment(&word);
         let joined: String = segs.iter().map(|s| s.text()).collect();
-        prop_assert_eq!(joined, word.clone());
+        assert_eq!(joined, word.clone());
         for pair in segs.windows(2) {
             let alpha = |s: &Segment<'_>| matches!(s, Segment::Alpha(_));
-            prop_assert_ne!(alpha(&pair[0]), alpha(&pair[1]), "segments must alternate");
+            assert_ne!(alpha(&pair[0]), alpha(&pair[1]), "segments must alternate");
         }
         for s in &segs {
-            prop_assert!(!s.text().is_empty());
+            assert!(!s.text().is_empty());
         }
     }
 
     /// Config parse/print round trip (modulo a trailing newline).
-    #[test]
-    fn config_round_trip(text in "([ -~]{0,60}\n){0,10}") {
+    fn config_round_trip(text in pattern("([ -~]{0,60}\n){0,10}")) {
         let cfg = Config::parse(&text);
         let mut expect = text.clone();
         if !expect.is_empty() && !expect.ends_with('\n') {
             expect.push('\n');
         }
         if expect.is_empty() {
-            prop_assert!(cfg.is_empty());
+            assert!(cfg.is_empty());
         } else {
-            prop_assert_eq!(cfg.to_text(), expect);
+            assert_eq!(cfg.to_text(), expect);
         }
     }
 
     /// Classification is total and aligned.
-    #[test]
-    fn classification_total(text in "([ -~]{0,60}\n){0,10}") {
+    fn classification_total(text in pattern("([ -~]{0,60}\n){0,10}")) {
         let cfg = Config::parse(&text);
-        prop_assert_eq!(cfg.kinds().len(), cfg.lines().len());
+        assert_eq!(cfg.kinds().len(), cfg.lines().len());
     }
 }

@@ -51,66 +51,64 @@ pub use trie6::Ip6Anonymizer;
 mod property_tests {
     use super::*;
     use confanon_netprim::{special_kind, Ip};
-    use proptest::prelude::*;
+    use confanon_testkit::props::{any, assume, vec_of};
 
-    proptest! {
+    confanon_testkit::props! {
+        cases = 256;
+
         /// The headline guarantee: for ordinary addresses whose images do
         /// not collide with specials (the overwhelmingly common case),
         /// the longest common prefix of the images equals the longest
         /// common prefix of the inputs.
-        #[test]
         fn trie_prefix_preserving(a in any::<u32>(), b in any::<u32>(), seed in any::<u64>()) {
             let (a, b) = (Ip(a), Ip(b));
-            prop_assume!(special_kind(a).is_none() && special_kind(b).is_none());
+            assume(special_kind(a).is_none() && special_kind(b).is_none());
             let mut anon = IpAnonymizer::new(&seed.to_be_bytes());
             let fa = anon.map_raw(a);
             let fb = anon.map_raw(b);
-            prop_assert_eq!(a.common_prefix_len(b), fa.common_prefix_len(fb));
+            assert_eq!(a.common_prefix_len(b), fa.common_prefix_len(fb));
         }
 
         /// Class preservation on the raw map.
-        #[test]
         fn trie_class_preserving(a in any::<u32>(), seed in any::<u64>()) {
             let a = Ip(a);
-            prop_assume!(special_kind(a).is_none());
+            assume(special_kind(a).is_none());
             let mut anon = IpAnonymizer::new(&seed.to_be_bytes());
-            prop_assert_eq!(anon.anonymize(a).class(), a.class());
+            assert_eq!(anon.anonymize(a).class(), a.class());
         }
 
         /// End-to-end map (with remapping) never outputs a special
         /// address for an ordinary input, and is injective over a batch.
-        #[test]
-        fn trie_total_map_avoids_specials(addrs in prop::collection::vec(any::<u32>(), 1..200), seed in any::<u64>()) {
+        fn trie_total_map_avoids_specials(addrs in vec_of(any::<u32>(), 1usize..200), seed in any::<u64>()) {
             let mut anon = IpAnonymizer::new(&seed.to_be_bytes());
             let mut seen = std::collections::HashMap::new();
             for &raw in &addrs {
                 let ip = Ip(raw);
                 let out = anon.anonymize(ip);
                 if special_kind(ip).is_some() {
-                    prop_assert_eq!(out, ip);
+                    assert_eq!(out, ip);
                 } else {
-                    prop_assert!(special_kind(out).is_none(), "{} -> {} is special", ip, out);
+                    assert!(special_kind(out).is_none(), "{ip} -> {out} is special");
                 }
                 if let Some(prev) = seen.insert(ip, out) {
-                    prop_assert_eq!(prev, out, "inconsistent mapping for {}", ip);
+                    assert_eq!(prev, out, "inconsistent mapping for {ip}");
                 }
             }
             // Injectivity: distinct inputs, distinct outputs.
             let mut by_out = std::collections::HashMap::new();
             for (i, o) in &seen {
                 if let Some(other) = by_out.insert(*o, *i) {
-                    prop_assert_eq!(other, *i, "two inputs map to {}", o);
+                    assert_eq!(other, *i, "two inputs map to {o}");
                 }
             }
         }
 
         /// Crypto-PAn baseline: prefix preserving and stateless
         /// (order-independent).
-        #[test]
         fn cryptopan_prefix_preserving(a in any::<u32>(), b in any::<u32>(), seed in any::<u64>()) {
             let (a, b) = (Ip(a), Ip(b));
             let cp = CryptoPan::new(&seed.to_be_bytes());
-            prop_assert_eq!(
+            assert_eq!(
                 a.common_prefix_len(b),
                 cp.anonymize(a).common_prefix_len(cp.anonymize(b))
             );
@@ -119,7 +117,6 @@ mod property_tests {
         /// The two schemes agree on the *shape* requirement (prefix
         /// preservation) while producing different mappings — they are
         /// genuinely distinct implementations.
-        #[test]
         fn schemes_are_distinct(seed in any::<u64>()) {
             let mut trie = IpAnonymizer::new(&seed.to_be_bytes());
             let cp = CryptoPan::new(&seed.to_be_bytes());
@@ -127,7 +124,7 @@ mod property_tests {
             let differs = sample
                 .iter()
                 .any(|&ip| trie.anonymize(ip) != cp.anonymize(ip));
-            prop_assert!(differs);
+            assert!(differs);
         }
     }
 }
@@ -136,37 +133,35 @@ mod property_tests {
 mod property_tests6 {
     use super::*;
     use confanon_netprim::{special6_kind, Ip6};
-    use proptest::prelude::*;
+    use confanon_testkit::props::{any, assume};
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(64))]
+    confanon_testkit::props! {
+        cases = 256;
 
         /// 128-bit prefix preservation for ordinary global-unicast pairs.
-        #[test]
         fn trie6_prefix_preserving(a in any::<u128>(), b in any::<u128>(), seed in any::<u64>()) {
             // Constrain to global unicast (2000::/3) — the space configs
             // actually use; region pinning makes other spaces special-ish.
             let a = Ip6((a & !(0b111u128 << 125)) | (0b001u128 << 125));
             let b = Ip6((b & !(0b111u128 << 125)) | (0b001u128 << 125));
-            prop_assume!(special6_kind(a).is_none() && special6_kind(b).is_none());
+            assume(special6_kind(a).is_none() && special6_kind(b).is_none());
             let mut anon = Ip6Anonymizer::new(&seed.to_be_bytes());
             let fa = anon.map_raw(a);
             let fb = anon.map_raw(b);
-            prop_assert_eq!(a.common_prefix_len(b), fa.common_prefix_len(fb));
+            assert_eq!(a.common_prefix_len(b), fa.common_prefix_len(fb));
         }
 
         /// The total v6 map never outputs a special for ordinary input
         /// and stays consistent.
-        #[test]
         fn trie6_total_map(a in any::<u128>(), seed in any::<u64>()) {
             let a = Ip6(a);
             let mut anon = Ip6Anonymizer::new(&seed.to_be_bytes());
             let out = anon.anonymize(a);
             if special6_kind(a).is_some() {
-                prop_assert_eq!(out, a);
+                assert_eq!(out, a);
             } else {
-                prop_assert!(special6_kind(out).is_none());
-                prop_assert_eq!(anon.anonymize(a), out);
+                assert!(special6_kind(out).is_none());
+                assert_eq!(anon.anonymize(a), out);
             }
         }
     }

@@ -16,6 +16,7 @@ use confanon_netprim::{special_kind, Ip};
 /// Specials still pass through — otherwise netmask tokens would break
 /// the config *syntax*, and the point of the control is to break the
 /// *semantics* only.
+#[derive(Clone)]
 pub struct RandomScramble {
     perm: FeistelPermutation32,
 }

@@ -40,6 +40,7 @@ struct Node {
 }
 
 /// The extended `-a50` anonymizer (see module docs).
+#[derive(Clone)]
 pub struct IpAnonymizer {
     prf: Prf,
     nodes: Vec<Node>,

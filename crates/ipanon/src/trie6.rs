@@ -21,6 +21,7 @@ struct Node {
 }
 
 /// The IPv6 trie anonymizer.
+#[derive(Clone)]
 pub struct Ip6Anonymizer {
     prf: Prf,
     nodes: Vec<Node>,

@@ -1,89 +1,83 @@
 //! Property tests for the IPv4 primitives: the algebraic laws every
 //! higher layer silently depends on.
 
-use proptest::prelude::*;
-
 use confanon_netprim::{Ip, Netmask, Prefix, WildcardMask};
+use confanon_testkit::props::any;
 
-proptest! {
+confanon_testkit::props! {
+    cases = 256;
+
     /// Display/parse round trip for every address.
-    #[test]
     fn ip_round_trip(raw in any::<u32>()) {
         let ip = Ip(raw);
         let back: Ip = ip.to_string().parse().expect("display parses");
-        prop_assert_eq!(back, ip);
+        assert_eq!(back, ip);
     }
 
     /// Bit accessors are consistent with the integer value.
-    #[test]
     fn bit_accessors(raw in any::<u32>(), i in 0u8..32) {
         let ip = Ip(raw);
-        prop_assert_eq!(ip.bit(i), (raw >> (31 - i)) & 1 == 1);
-        prop_assert_eq!(ip.with_bit(i, ip.bit(i)), ip);
-        prop_assert_ne!(ip.with_bit(i, !ip.bit(i)), ip);
+        assert_eq!(ip.bit(i), (raw >> (31 - i)) & 1 == 1);
+        assert_eq!(ip.with_bit(i, ip.bit(i)), ip);
+        assert_ne!(ip.with_bit(i, !ip.bit(i)), ip);
     }
 
     /// `common_prefix_len` is symmetric, bounded, and consistent with
     /// prefix containment.
-    #[test]
     fn lcp_laws(a in any::<u32>(), b in any::<u32>(), len in 0u8..=32) {
         let (a, b) = (Ip(a), Ip(b));
         let l = a.common_prefix_len(b);
-        prop_assert_eq!(l, b.common_prefix_len(a));
-        prop_assert!(l <= 32);
+        assert_eq!(l, b.common_prefix_len(a));
+        assert!(l <= 32);
         let p = Prefix::new(a, len);
         if l >= len {
-            prop_assert!(p.contains(b), "lcp {l} >= {len} but {p} !contains {b}");
+            assert!(p.contains(b), "lcp {l} >= {len} but {p} !contains {b}");
         }
         if p.contains(b) {
-            prop_assert!(l >= len);
+            assert!(l >= len);
         }
     }
 
     /// A prefix contains exactly its `size()` addresses (checked via the
     /// boundary addresses for tractability).
-    #[test]
     fn prefix_boundaries(raw in any::<u32>(), len in 1u8..=32) {
         let p = Prefix::new(Ip(raw), len);
-        prop_assert!(p.contains(p.network()));
-        prop_assert!(p.contains(p.last()));
+        assert!(p.contains(p.network()));
+        assert!(p.contains(p.last()));
         if p.last().0 < u32::MAX {
-            prop_assert!(!p.contains(Ip(p.last().0 + 1)));
+            assert!(!p.contains(Ip(p.last().0 + 1)));
         }
         if p.network().0 > 0 {
-            prop_assert!(!p.contains(Ip(p.network().0 - 1)));
+            assert!(!p.contains(Ip(p.network().0 - 1)));
         }
     }
 
     /// Children partition their parent exactly.
-    #[test]
     fn children_partition(raw in any::<u32>(), len in 0u8..32) {
         let p = Prefix::new(Ip(raw), len);
         let (l, r) = p.children().expect("len < 32");
-        prop_assert!(p.contains_prefix(l) && p.contains_prefix(r));
-        prop_assert!(!l.contains_prefix(r) && !r.contains_prefix(l));
+        assert!(p.contains_prefix(l) && p.contains_prefix(r));
+        assert!(!l.contains_prefix(r) && !r.contains_prefix(l));
         // `size()` saturates at u32::MAX for /0, so compare against the
         // true address count.
         let true_size = 1u64 << (32 - len);
-        prop_assert_eq!(u64::from(l.size()) + u64::from(r.size()), true_size);
+        assert_eq!(u64::from(l.size()) + u64::from(r.size()), true_size);
     }
 
     /// Netmask and wildcard are exact complements at every length.
-    #[test]
     fn mask_wildcard_duality(len in 0u8..=32) {
         let m = Netmask::from_len(len);
         let w = WildcardMask::from_prefix_len(len);
-        prop_assert_eq!(m.to_u32(), !w.0);
-        prop_assert_eq!(w.prefix_len(), Some(len));
+        assert_eq!(m.to_u32(), !w.0);
+        assert_eq!(w.prefix_len(), Some(len));
         let reparsed: Netmask = m.to_string().parse().expect("mask reparses");
-        prop_assert_eq!(reparsed, m);
+        assert_eq!(reparsed, m);
     }
 
     /// Wildcard match agrees with prefix containment for aligned bases.
-    #[test]
     fn wildcard_matches_containment(raw in any::<u32>(), other in any::<u32>(), len in 0u8..=32) {
         let p = Prefix::new(Ip(raw), len);
         let w = WildcardMask::from_prefix_len(len);
-        prop_assert_eq!(w.matches(p.network(), Ip(other)), p.contains(Ip(other)));
+        assert_eq!(w.matches(p.network(), Ip(other)), p.contains(Ip(other)));
     }
 }

@@ -5,31 +5,41 @@
 //! This is the property that makes the §4.4 rewriting trustworthy: every
 //! transformation in the pipeline is language-preserving.
 
-use proptest::prelude::*;
-
 use confanon_regexlang::ast::Ast;
 use confanon_regexlang::class::CharClass;
 use confanon_regexlang::dfa::Dfa;
 use confanon_regexlang::nfa::Nfa;
 use confanon_regexlang::synth::synthesize;
+use confanon_testkit::props::{from_fn, Source, Strategy};
+use confanon_testkit::rng::Rng;
+
+/// One random AST node; `depth` bounds recursion so generated machines
+/// stay small enough to check against every input exhaustively.
+fn gen_ast(src: &mut Source, depth: u32) -> Ast {
+    let choices = if depth == 0 { 4 } else { 9 };
+    match src.gen_range(0..choices) {
+        0u32 => Ast::literal_byte(src.gen_range(b'0'..=b'3')),
+        1 => Ast::literal_byte(src.gen_range(b'a'..=b'b')),
+        2 => Ast::Class(CharClass::range(b'0', b'2')),
+        3 => Ast::Epsilon,
+        4 | 5 => {
+            let n = src.gen_range(1usize..4);
+            let kids: Vec<Ast> = (0..n).map(|_| gen_ast(src, depth - 1)).collect();
+            if src.gen_bool(0.5) {
+                Ast::concat(kids)
+            } else {
+                Ast::alt(kids)
+            }
+        }
+        6 => Ast::Star(Box::new(gen_ast(src, depth - 1))),
+        7 => Ast::Plus(Box::new(gen_ast(src, depth - 1))),
+        _ => Ast::Opt(Box::new(gen_ast(src, depth - 1))),
+    }
+}
 
 /// Strategy for random ASTs over a small digit/letter alphabet.
 fn ast_strategy() -> impl Strategy<Value = Ast> {
-    let leaf = prop_oneof![
-        (b'0'..=b'3').prop_map(Ast::literal_byte),
-        (b'a'..=b'b').prop_map(Ast::literal_byte),
-        Just(Ast::Class(CharClass::range(b'0', b'2'))),
-        Just(Ast::Epsilon),
-    ];
-    leaf.prop_recursive(3, 24, 4, |inner| {
-        prop_oneof![
-            prop::collection::vec(inner.clone(), 1..4).prop_map(Ast::concat),
-            prop::collection::vec(inner.clone(), 1..4).prop_map(Ast::alt),
-            inner.clone().prop_map(|a| Ast::Star(Box::new(a))),
-            inner.clone().prop_map(|a| Ast::Plus(Box::new(a))),
-            inner.prop_map(|a| Ast::Opt(Box::new(a))),
-        ]
-    })
+    from_fn(|src| gen_ast(src, 3))
 }
 
 /// All strings over the alphabet up to length 4 (1 + 6 + 36 + 216 + 1296).
@@ -52,10 +62,9 @@ fn inputs() -> Vec<Vec<u8>> {
     all
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+confanon_testkit::props! {
+    cases = 256;
 
-    #[test]
     fn nfa_dfa_minimized_and_synthesized_agree(ast in ast_strategy()) {
         let nfa = Nfa::from_ast(&ast);
         let dfa = Dfa::from_nfa(&nfa);
@@ -64,29 +73,21 @@ proptest! {
 
         for input in inputs() {
             let want = nfa.full_match(&input);
-            prop_assert_eq!(dfa.accepts(&input), want, "dfa on {:?} ({:?})", input, ast);
-            prop_assert_eq!(min.accepts(&input), want, "min on {:?} ({:?})", input, ast);
+            assert_eq!(dfa.accepts(&input), want, "dfa on {input:?} ({ast:?})");
+            assert_eq!(min.accepts(&input), want, "min on {input:?} ({ast:?})");
             if let Some(r) = &resynth {
-                prop_assert_eq!(
-                    r.full_match(&input),
-                    want,
-                    "resynth on {:?} ({:?})",
-                    input,
-                    ast
-                );
+                assert_eq!(r.full_match(&input), want, "resynth on {input:?} ({ast:?})");
             } else {
-                prop_assert!(!want, "empty synthesis but NFA accepts {:?}", input);
+                assert!(!want, "empty synthesis but NFA accepts {input:?}");
             }
         }
     }
 
-    #[test]
     fn minimized_never_larger(ast in ast_strategy()) {
         let dfa = Dfa::from_nfa(&Nfa::from_ast(&ast));
-        prop_assert!(dfa.minimize().len() <= dfa.len());
+        assert!(dfa.minimize().len() <= dfa.len());
     }
 
-    #[test]
     fn pattern_round_trip_preserves_language(ast in ast_strategy()) {
         // AST → pattern text → parse → same language.
         let text = ast.to_pattern();
@@ -95,12 +96,10 @@ proptest! {
         let a = Nfa::from_ast(&ast);
         let b = Nfa::from_ast(&reparsed);
         for input in inputs() {
-            prop_assert_eq!(
+            assert_eq!(
                 a.full_match(&input),
                 b.full_match(&input),
-                "{:?} vs reparse of {:?}",
-                input,
-                text
+                "{input:?} vs reparse of {text:?}"
             );
         }
     }

@@ -1,0 +1,284 @@
+//! A wall-clock bench runner replacing `criterion`.
+//!
+//! Methodology: one warmup call, geometric calibration until a batch
+//! takes a measurable slice of the time budget, then repeated fixed-size
+//! batches until the budget is spent; the reported figure is the median
+//! batch (robust to scheduler noise, which matters on the shared
+//! single-core runners this repo targets). Results print as a table and
+//! export through the [`crate::json`] writer — `BENCH_pipeline.json`
+//! and friends are plain JSON documents any tooling can ingest.
+//!
+//! Env knobs: `TESTKIT_BENCH_MS` (per-bench time budget, default 300)
+//! lets CI trade fidelity for speed.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+use crate::json::Json;
+
+/// One measured benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    pub name: String,
+    /// Iterations per measured batch.
+    pub batch_iters: u64,
+    /// Number of batches measured.
+    pub batches: usize,
+    /// Median nanoseconds per iteration.
+    pub median_ns: f64,
+    /// Fastest batch, ns per iteration.
+    pub min_ns: f64,
+    /// Slowest batch, ns per iteration.
+    pub max_ns: f64,
+    /// Optional throughput: (elements per iteration, unit label).
+    pub elements: Option<(u64, &'static str)>,
+}
+
+impl BenchResult {
+    /// Elements per second, when a throughput was declared.
+    pub fn throughput(&self) -> Option<f64> {
+        self.elements
+            .map(|(n, _)| n as f64 * 1e9 / self.median_ns)
+    }
+
+    pub fn to_json(&self) -> Json {
+        let mut j = Json::obj()
+            .with("name", self.name.as_str())
+            .with("median_ns_per_iter", self.median_ns)
+            .with("min_ns_per_iter", self.min_ns)
+            .with("max_ns_per_iter", self.max_ns)
+            .with("batch_iters", self.batch_iters)
+            .with("batches", self.batches);
+        if let Some((n, unit)) = self.elements {
+            j.set("elements_per_iter", n);
+            j.set("throughput_unit", unit);
+            if let Some(tp) = self.throughput() {
+                j.set("throughput_per_sec", tp);
+            }
+        }
+        j
+    }
+}
+
+/// Collects benchmarks and renders the report.
+pub struct Runner {
+    suite: String,
+    budget: Duration,
+    results: Vec<BenchResult>,
+}
+
+impl Runner {
+    pub fn new(suite: &str) -> Self {
+        let ms = std::env::var("TESTKIT_BENCH_MS")
+            .ok()
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .unwrap_or(300);
+        Self {
+            suite: suite.to_string(),
+            budget: Duration::from_millis(ms.max(1)),
+            results: Vec::new(),
+        }
+    }
+
+    /// Overrides the per-bench time budget (tests use a tiny one).
+    pub fn with_budget(mut self, budget: Duration) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Measures `f`, reporting ns/iter.
+    pub fn bench<T>(&mut self, name: &str, f: impl FnMut() -> T) -> &BenchResult {
+        self.run(name, None, f)
+    }
+
+    /// Measures `f`, additionally reporting `elements`/`unit` per second
+    /// (criterion's `Throughput::Elements`).
+    pub fn bench_elements<T>(
+        &mut self,
+        name: &str,
+        elements: u64,
+        unit: &'static str,
+        f: impl FnMut() -> T,
+    ) -> &BenchResult {
+        self.run(name, Some((elements, unit)), f)
+    }
+
+    fn run<T>(
+        &mut self,
+        name: &str,
+        elements: Option<(u64, &'static str)>,
+        mut f: impl FnMut() -> T,
+    ) -> &BenchResult {
+        // Warmup (also forces lazy initialization inside `f`).
+        black_box(f());
+
+        // Calibrate: grow the batch until it costs >= budget/20, so a
+        // run fits ~20 batches in the budget.
+        let slice = self.budget / 20;
+        let mut batch_iters = 1u64;
+        loop {
+            let t = Instant::now();
+            for _ in 0..batch_iters {
+                black_box(f());
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= slice || batch_iters >= 1 << 30 {
+                break;
+            }
+            // Jump toward the target, at least doubling.
+            let scale = slice.as_nanos().max(1) / elapsed.as_nanos().max(1);
+            batch_iters = (batch_iters * (scale as u64).clamp(2, 16)).max(batch_iters + 1);
+        }
+
+        // Measure batches until the budget is spent (min 5 batches).
+        let mut per_iter_ns = Vec::new();
+        let started = Instant::now();
+        while per_iter_ns.len() < 5 || started.elapsed() < self.budget {
+            let t = Instant::now();
+            for _ in 0..batch_iters {
+                black_box(f());
+            }
+            per_iter_ns.push(t.elapsed().as_nanos() as f64 / batch_iters as f64);
+            if per_iter_ns.len() >= 1000 {
+                break;
+            }
+        }
+        per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+        let median_ns = per_iter_ns[per_iter_ns.len() / 2];
+
+        self.results.push(BenchResult {
+            name: name.to_string(),
+            batch_iters,
+            batches: per_iter_ns.len(),
+            median_ns,
+            min_ns: *per_iter_ns.first().unwrap(),
+            max_ns: *per_iter_ns.last().unwrap(),
+            elements,
+        });
+        let r = self.results.last().unwrap();
+        println!("{}", format_row(r));
+        r
+    }
+
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// The whole suite as a JSON document.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .with("suite", self.suite.as_str())
+            .with(
+                "budget_ms",
+                self.budget.as_millis() as u64,
+            )
+            .with(
+                "benches",
+                Json::Arr(self.results.iter().map(BenchResult::to_json).collect()),
+            )
+    }
+
+    /// Writes the JSON report to `path` (pretty-printed).
+    pub fn write_json(&self, path: &std::path::Path) -> std::io::Result<()> {
+        let mut text = self.to_json().to_string_pretty();
+        text.push('\n');
+        std::fs::write(path, text)
+    }
+
+    /// Prints a closing summary line.
+    pub fn finish(&self) {
+        println!(
+            "bench suite {}: {} benchmarks, budget {}ms each",
+            self.suite,
+            self.results.len(),
+            self.budget.as_millis()
+        );
+    }
+}
+
+fn format_row(r: &BenchResult) -> String {
+    let time = human_time(r.median_ns);
+    match (r.elements, r.throughput()) {
+        (Some((_, unit)), Some(tp)) => format!(
+            "{:<40} {:>12}/iter   {:>14}/s  [{} batches x {} iters]",
+            r.name,
+            time,
+            format!("{} {}", human_count(tp), unit),
+            r.batches,
+            r.batch_iters
+        ),
+        _ => format!(
+            "{:<40} {:>12}/iter   [{} batches x {} iters]",
+            r.name, time, r.batches, r.batch_iters
+        ),
+    }
+}
+
+fn human_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} us", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn human_count(v: f64) -> String {
+    if v >= 1_000_000.0 {
+        format!("{:.2}M", v / 1_000_000.0)
+    } else if v >= 1_000.0 {
+        format!("{:.1}k", v / 1_000.0)
+    } else {
+        format!("{v:.0}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_runner() -> Runner {
+        Runner::new("selftest").with_budget(Duration::from_millis(5))
+    }
+
+    #[test]
+    fn measures_something_positive() {
+        let mut r = tiny_runner();
+        let mut acc = 0u64;
+        let res = r.bench("wrapping_sum", || {
+            acc = acc.wrapping_add(black_box(12345));
+            acc
+        });
+        assert!(res.median_ns > 0.0);
+        assert!(res.min_ns <= res.median_ns && res.median_ns <= res.max_ns);
+        assert!(res.batches >= 5);
+    }
+
+    #[test]
+    fn throughput_reported() {
+        let mut r = tiny_runner();
+        let res = r.bench_elements("count_lines", 100, "lines", || {
+            black_box("x\n".repeat(100).lines().count())
+        });
+        let tp = res.throughput().unwrap();
+        assert!(tp > 0.0);
+        let j = res.to_json();
+        assert_eq!(j.get("elements_per_iter").unwrap().as_u64(), Some(100));
+        assert_eq!(j.get("throughput_unit").unwrap().as_str(), Some("lines"));
+    }
+
+    #[test]
+    fn suite_json_shape() {
+        let mut r = tiny_runner();
+        r.bench("a", || black_box(1 + 1));
+        r.bench("b", || black_box(2 + 2));
+        let j = r.to_json();
+        assert_eq!(j.get("suite").unwrap().as_str(), Some("selftest"));
+        assert_eq!(j.get("benches").unwrap().as_array().unwrap().len(), 2);
+        let text = j.to_string_pretty();
+        assert_eq!(crate::json::Json::parse(&text).unwrap(), j);
+    }
+}

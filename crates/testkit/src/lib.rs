@@ -1,0 +1,27 @@
+//! Std-only testing and benchmarking toolkit for the confanon workspace.
+//!
+//! The build environment is hermetic: no registry, no external crates.
+//! This crate supplies, from scratch, the four capabilities the workspace
+//! previously imported:
+//!
+//! * [`rng`] — a deterministic xorshift64\* PRNG behind `rand`-shaped
+//!   traits (`Rng`, `SeedableRng`, `SliceRandom`), so the corpus
+//!   generator and benches keep their generic `<R: Rng>` signatures.
+//! * [`props`] — a property-test harness (`props!` macro) with random
+//!   case generation, integrated shrinking over the recorded choice
+//!   stream, and a `TESTKIT_SEED` / `TESTKIT_CASES` env override.
+//! * [`json`] — a tiny JSON value type with a writer *and* parser,
+//!   replacing `serde_json` for stats/report emission and the
+//!   `confanon scan --record` input path.
+//! * [`bench`] — a wall-clock bench runner replacing `criterion`,
+//!   with warmup, calibration, median-of-batches timing, and JSON
+//!   report emission.
+//!
+//! Everything here is deterministic by default: property tests derive
+//! their seed from the test name so CI runs are reproducible, and the
+//! PRNG is a fixed algorithm with no platform entropy.
+
+pub mod bench;
+pub mod json;
+pub mod props;
+pub mod rng;

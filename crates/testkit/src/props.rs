@@ -1,0 +1,1019 @@
+//! A property-test harness with integrated shrinking.
+//!
+//! Design: every strategy draws from a [`Source`] — a recorded stream of
+//! `u64` choices. In random mode the stream comes from the workspace
+//! PRNG; in replay mode it comes from a saved vector (padded with zeros
+//! when exhausted). Shrinking never needs per-type shrinkers: the harness
+//! mutates the *choice stream* (truncate, zero, halve, delete) and
+//! re-runs the generator, so any strategy — including `prop_map` chains
+//! and hand-written recursive generators — shrinks for free, and smaller
+//! stream values map to smaller generated values by construction.
+//!
+//! Tests are written with the [`props!`] macro:
+//!
+//! ```ignore
+//! confanon_testkit::props! {
+//!     cases = 256;
+//!     fn round_trip(x in 0u32..1000, s in pattern("[a-z]{1,8}")) {
+//!         assert_eq!(decode(&encode(x, &s)), (x, s.clone()));
+//!     }
+//! }
+//! ```
+//!
+//! Reproducibility: the per-test seed is derived from the test's module
+//! path and name, so runs are stable across invocations and machines.
+//! `TESTKIT_SEED=<n>` overrides the seed for every test in the process;
+//! `TESTKIT_CASES=<n>` overrides the case count (e.g. for a quick edit
+//! loop or an overnight soak).
+
+use std::cell::Cell;
+use std::fmt::Write as _;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Mutex, Once, OnceLock};
+
+use crate::rng::{Rng, SeedableRng, StdRng};
+
+// ---------------------------------------------------------------------------
+// Choice source
+// ---------------------------------------------------------------------------
+
+enum Mode {
+    Random(StdRng),
+    Replay { stream: Vec<u64>, pos: usize },
+}
+
+/// The stream of raw choices a generator draws from.
+pub struct Source {
+    mode: Mode,
+    recorded: Vec<u64>,
+}
+
+impl Source {
+    /// A fresh random source for one test case.
+    pub fn random(seed: u64) -> Self {
+        Self {
+            mode: Mode::Random(StdRng::seed_from_u64(seed)),
+            recorded: Vec::new(),
+        }
+    }
+
+    /// A replay source over a saved choice stream. Draws past the end of
+    /// the stream yield `0` — by construction the "smallest" choice.
+    pub fn replay(stream: Vec<u64>) -> Self {
+        Self {
+            mode: Mode::Replay { stream, pos: 0 },
+            recorded: Vec::new(),
+        }
+    }
+
+    /// Draws the next raw choice, recording it.
+    pub fn draw(&mut self) -> u64 {
+        let v = match &mut self.mode {
+            Mode::Random(rng) => rng.next_u64(),
+            Mode::Replay { stream, pos } => {
+                let v = stream.get(*pos).copied().unwrap_or(0);
+                *pos += 1;
+                v
+            }
+        };
+        self.recorded.push(v);
+        v
+    }
+
+    /// The choices drawn so far.
+    pub fn recorded(&self) -> &[u64] {
+        &self.recorded
+    }
+}
+
+/// Strategies sample through the `Rng` trait, so every `SampleRange`
+/// impl (ints, inclusive ranges, `f64`) works on a `Source` directly —
+/// and every draw lands in the recorded stream for shrinking.
+impl Rng for Source {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.draw()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy trait and combinators
+// ---------------------------------------------------------------------------
+
+/// A generator of test values driven by a [`Source`].
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, src: &mut Source) -> Self::Value;
+
+    /// Transforms generated values (shrinking passes through for free).
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Erases the strategy type, for heterogeneous `one_of` lists.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+    fn generate(&self, src: &mut Source) -> S::Value {
+        (**self).generate(src)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, src: &mut Source) -> S::Value {
+        (**self).generate(src)
+    }
+}
+
+/// `x in 0u8..32` — plain ranges are strategies.
+impl<T> Strategy for std::ops::Range<T>
+where
+    std::ops::Range<T>: crate::rng::SampleRange<T> + Clone,
+{
+    type Value = T;
+    fn generate(&self, src: &mut Source) -> T {
+        src.gen_range(self.clone())
+    }
+}
+
+/// `x in 1..=25u8` — inclusive ranges too.
+impl<T> Strategy for std::ops::RangeInclusive<T>
+where
+    std::ops::RangeInclusive<T>: crate::rng::SampleRange<T> + Clone,
+{
+    type Value = T;
+    fn generate(&self, src: &mut Source) -> T {
+        src.gen_range(self.clone())
+    }
+}
+
+/// Any value of a primitive type (`any::<u32>()`).
+pub struct Any<T>(std::marker::PhantomData<fn() -> T>);
+
+pub fn any<T: crate::rng::Standard>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: crate::rng::Standard> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, src: &mut Source) -> T {
+        src.gen()
+    }
+}
+
+/// Always the same value.
+pub struct Just<T: Clone>(pub T);
+
+pub fn just<T: Clone>(v: T) -> Just<T> {
+    Just(v)
+}
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _src: &mut Source) -> T {
+        self.0.clone()
+    }
+}
+
+/// `prop_map` output.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, src: &mut Source) -> U {
+        (self.f)(self.inner.generate(src))
+    }
+}
+
+/// A strategy from a closure — the escape hatch for recursive or
+/// stateful generators (e.g. regexp ASTs).
+pub struct FromFn<F>(F);
+
+pub fn from_fn<T, F: Fn(&mut Source) -> T>(f: F) -> FromFn<F> {
+    FromFn(f)
+}
+
+impl<T, F: Fn(&mut Source) -> T> Strategy for FromFn<F> {
+    type Value = T;
+    fn generate(&self, src: &mut Source) -> T {
+        (self.0)(src)
+    }
+}
+
+/// Uniform choice between boxed alternatives (`prop_oneof`).
+pub struct OneOf<T>(Vec<BoxedStrategy<T>>);
+
+pub fn one_of<T>(options: Vec<BoxedStrategy<T>>) -> OneOf<T> {
+    assert!(!options.is_empty(), "one_of: no alternatives");
+    OneOf(options)
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+    fn generate(&self, src: &mut Source) -> T {
+        let ix = src.gen_range(0..self.0.len());
+        self.0[ix].generate(src)
+    }
+}
+
+/// A vector whose length is drawn from `len` and whose elements come
+/// from `elem` (`prop::collection::vec`).
+pub struct VecOf<S, L> {
+    elem: S,
+    len: L,
+}
+
+pub fn vec_of<S: Strategy, L>(elem: S, len: L) -> VecOf<S, L> {
+    VecOf { elem, len }
+}
+
+impl<S: Strategy, L: crate::rng::SampleRange<usize> + Clone> Strategy for VecOf<S, L> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, src: &mut Source) -> Vec<S::Value> {
+        let n = src.gen_range(self.len.clone());
+        (0..n).map(|_| self.elem.generate(src)).collect()
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($s:ident / $v:ident / $ix:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, src: &mut Source) -> Self::Value {
+                ($(self.$ix.generate(src),)+)
+            }
+        }
+    };
+}
+tuple_strategy!(A / a / 0);
+tuple_strategy!(A / a / 0, B / b / 1);
+tuple_strategy!(A / a / 0, B / b / 1, C / c / 2);
+tuple_strategy!(A / a / 0, B / b / 1, C / c / 2, D / d / 3);
+tuple_strategy!(A / a / 0, B / b / 1, C / c / 2, D / d / 3, E / e / 4);
+tuple_strategy!(A / a / 0, B / b / 1, C / c / 2, D / d / 3, E / e / 4, F / f / 5);
+
+// ---------------------------------------------------------------------------
+// Pattern strategy (regex-subset string generator)
+// ---------------------------------------------------------------------------
+
+/// Cap applied to unbounded quantifiers (`*`, `+`, `{m,}`).
+const UNBOUNDED_REPEAT_CAP: u32 = 8;
+
+enum PatNode {
+    /// A set of candidate characters (literal or character class).
+    Chars(Vec<char>),
+    /// Alternation of sequences (a group body, or the whole pattern).
+    Alt(Vec<Vec<Quantified>>),
+}
+
+struct Quantified {
+    node: PatNode,
+    min: u32,
+    max: u32,
+}
+
+/// Generates strings matching a regex subset: literals, escapes,
+/// character classes with ranges (`[A-Za-z0-9_]`, `[ -~]`), groups,
+/// alternation, and the quantifiers `?`, `*`, `+`, `{m}`, `{m,n}`,
+/// `{m,}` (unbounded forms capped at 8 repeats).
+pub struct Pattern {
+    root: Vec<Vec<Quantified>>,
+    source: String,
+}
+
+pub fn pattern(pat: &str) -> Pattern {
+    Pattern::new(pat)
+}
+
+impl Pattern {
+    /// Parses `pat`; panics on unsupported syntax (a test-authoring
+    /// error, not a runtime condition).
+    pub fn new(pat: &str) -> Self {
+        let chars: Vec<char> = pat.chars().collect();
+        let mut pos = 0usize;
+        let root = parse_alt(&chars, &mut pos, None);
+        assert!(
+            pos == chars.len(),
+            "pattern {pat:?}: trailing input at byte offset {pos}"
+        );
+        Self {
+            root,
+            source: pat.to_string(),
+        }
+    }
+
+    /// The pattern text this strategy was built from.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+}
+
+impl Strategy for Pattern {
+    type Value = String;
+    fn generate(&self, src: &mut Source) -> String {
+        let mut out = String::new();
+        gen_alt(&self.root, src, &mut out);
+        out
+    }
+}
+
+fn gen_alt(branches: &[Vec<Quantified>], src: &mut Source, out: &mut String) {
+    let branch = if branches.len() == 1 {
+        &branches[0]
+    } else {
+        &branches[src.gen_range(0..branches.len())]
+    };
+    for q in branch {
+        let n = src.gen_range(q.min..=q.max);
+        for _ in 0..n {
+            match &q.node {
+                PatNode::Chars(set) => {
+                    let c = set[src.gen_range(0..set.len())];
+                    out.push(c);
+                }
+                PatNode::Alt(inner) => gen_alt(inner, src, out),
+            }
+        }
+    }
+}
+
+fn parse_alt(chars: &[char], pos: &mut usize, end: Option<char>) -> Vec<Vec<Quantified>> {
+    let mut branches: Vec<Vec<Quantified>> = vec![Vec::new()];
+    loop {
+        match chars.get(*pos) {
+            None => {
+                assert!(end.is_none(), "pattern: unterminated group");
+                return branches;
+            }
+            Some(&c) if Some(c) == end => {
+                *pos += 1;
+                return branches;
+            }
+            Some('|') => {
+                *pos += 1;
+                branches.push(Vec::new());
+            }
+            Some(_) => {
+                let node = parse_atom(chars, pos);
+                let (min, max) = parse_quant(chars, pos);
+                branches.last_mut().unwrap().push(Quantified { node, min, max });
+            }
+        }
+    }
+}
+
+fn parse_atom(chars: &[char], pos: &mut usize) -> PatNode {
+    match chars[*pos] {
+        '(' => {
+            *pos += 1;
+            PatNode::Alt(parse_alt(chars, pos, Some(')')))
+        }
+        '[' => {
+            *pos += 1;
+            PatNode::Chars(parse_class(chars, pos))
+        }
+        '\\' => {
+            *pos += 1;
+            let c = escape_char(chars, pos);
+            PatNode::Chars(vec![c])
+        }
+        '.' => {
+            *pos += 1;
+            // Any printable ASCII plus space — a bounded stand-in for
+            // regex `.` that keeps generated text readable.
+            PatNode::Chars((' '..='~').collect())
+        }
+        c => {
+            assert!(
+                !matches!(c, '*' | '+' | '?' | '{' | ')' | ']'),
+                "pattern: unexpected {c:?} at offset {pos}",
+                pos = *pos
+            );
+            *pos += 1;
+            PatNode::Chars(vec![c])
+        }
+    }
+}
+
+fn escape_char(chars: &[char], pos: &mut usize) -> char {
+    let c = *chars
+        .get(*pos)
+        .unwrap_or_else(|| panic!("pattern: dangling backslash"));
+    *pos += 1;
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        '0' => '\0',
+        other => other,
+    }
+}
+
+fn parse_class(chars: &[char], pos: &mut usize) -> Vec<char> {
+    assert!(
+        chars.get(*pos) != Some(&'^'),
+        "pattern: negated classes unsupported"
+    );
+    let mut set = Vec::new();
+    loop {
+        let lo = match chars.get(*pos) {
+            None => panic!("pattern: unterminated character class"),
+            Some(']') => {
+                *pos += 1;
+                assert!(!set.is_empty(), "pattern: empty character class");
+                return set;
+            }
+            Some('\\') => {
+                *pos += 1;
+                escape_char(chars, pos)
+            }
+            Some(&c) => {
+                *pos += 1;
+                c
+            }
+        };
+        // A `-` forms a range only when sandwiched between two class
+        // members; `[a-]` and `[-z]` keep it literal.
+        if chars.get(*pos) == Some(&'-') && chars.get(*pos + 1).is_some_and(|&c| c != ']') {
+            *pos += 1;
+            let hi = if chars[*pos] == '\\' {
+                *pos += 1;
+                escape_char(chars, pos)
+            } else {
+                let c = chars[*pos];
+                *pos += 1;
+                c
+            };
+            assert!(lo <= hi, "pattern: inverted range {lo:?}-{hi:?}");
+            set.extend(lo..=hi);
+        } else {
+            set.push(lo);
+        }
+    }
+}
+
+fn parse_quant(chars: &[char], pos: &mut usize) -> (u32, u32) {
+    match chars.get(*pos) {
+        Some('?') => {
+            *pos += 1;
+            (0, 1)
+        }
+        Some('*') => {
+            *pos += 1;
+            (0, UNBOUNDED_REPEAT_CAP)
+        }
+        Some('+') => {
+            *pos += 1;
+            (1, UNBOUNDED_REPEAT_CAP)
+        }
+        Some('{') => {
+            *pos += 1;
+            let min = parse_int(chars, pos);
+            match chars.get(*pos) {
+                Some('}') => {
+                    *pos += 1;
+                    (min, min)
+                }
+                Some(',') => {
+                    *pos += 1;
+                    if chars.get(*pos) == Some(&'}') {
+                        *pos += 1;
+                        (min, min + UNBOUNDED_REPEAT_CAP)
+                    } else {
+                        let max = parse_int(chars, pos);
+                        assert_eq!(chars.get(*pos), Some(&'}'), "pattern: bad quantifier");
+                        *pos += 1;
+                        assert!(min <= max, "pattern: quantifier {{{min},{max}}}");
+                        (min, max)
+                    }
+                }
+                _ => panic!("pattern: bad quantifier"),
+            }
+        }
+        _ => (1, 1),
+    }
+}
+
+fn parse_int(chars: &[char], pos: &mut usize) -> u32 {
+    let start = *pos;
+    while chars.get(*pos).is_some_and(|c| c.is_ascii_digit()) {
+        *pos += 1;
+    }
+    assert!(*pos > start, "pattern: expected integer in quantifier");
+    chars[start..*pos].iter().collect::<String>().parse().unwrap()
+}
+
+// ---------------------------------------------------------------------------
+// Assumptions (discards)
+// ---------------------------------------------------------------------------
+
+/// Marker payload distinguishing a discarded case from a failure.
+struct AssumeFailed;
+
+/// Discards the current case when `cond` is false (like `prop_assume!`).
+/// The harness retries with fresh input instead of counting a failure.
+pub fn assume(cond: bool) {
+    if !cond {
+        panic::panic_any(AssumeFailed);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Runner
+// ---------------------------------------------------------------------------
+
+enum Outcome {
+    Pass,
+    Discard,
+    Fail(String),
+}
+
+thread_local! {
+    static QUIET_PANICS: Cell<bool> = const { Cell::new(false) };
+}
+
+/// The previously installed panic hook, forwarded to for real failures.
+type PanicHook = Box<dyn Fn(&panic::PanicHookInfo<'_>) + Send + Sync>;
+
+static HOOK: Once = Once::new();
+static PREV_HOOK: OnceLock<Mutex<Option<PanicHook>>> = OnceLock::new();
+
+/// Installs (once) a panic hook that stays silent while the harness is
+/// probing a case, so shrinking hundreds of candidates does not spray
+/// "thread panicked" noise; the final, real failure still reports.
+fn install_quiet_hook() {
+    HOOK.call_once(|| {
+        let prev = panic::take_hook();
+        PREV_HOOK.set(Mutex::new(Some(prev))).ok();
+        panic::set_hook(Box::new(|info| {
+            if QUIET_PANICS.with(Cell::get) {
+                return;
+            }
+            if let Some(prev) = PREV_HOOK.get().and_then(|m| m.lock().ok()) {
+                if let Some(hook) = prev.as_ref() {
+                    hook(info);
+                }
+            }
+        }));
+    });
+}
+
+fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+fn run_one<F>(f: &F, src: &mut Source, repr: &mut Vec<String>) -> Outcome
+where
+    F: Fn(&mut Source, &mut Vec<String>),
+{
+    install_quiet_hook();
+    QUIET_PANICS.with(|q| q.set(true));
+    let result = panic::catch_unwind(AssertUnwindSafe(|| f(src, repr)));
+    QUIET_PANICS.with(|q| q.set(false));
+    match result {
+        Ok(()) => Outcome::Pass,
+        Err(payload) => {
+            if payload.downcast_ref::<AssumeFailed>().is_some() {
+                Outcome::Discard
+            } else {
+                Outcome::Fail(payload_message(payload.as_ref()))
+            }
+        }
+    }
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1_0000_0000_01B3);
+    }
+    h
+}
+
+fn env_u64(name: &str) -> Option<u64> {
+    let raw = std::env::var(name).ok()?;
+    let raw = raw.trim();
+    let parsed = if let Some(hex) = raw.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16)
+    } else {
+        raw.parse()
+    };
+    match parsed {
+        Ok(v) => Some(v),
+        Err(_) => panic!("{name} must be an integer, got {raw:?}"),
+    }
+}
+
+/// Budget of extra executions the shrinker may spend per failure.
+const SHRINK_BUDGET: usize = 2_000;
+
+fn shrink<F>(f: &F, stream: Vec<u64>, msg: String) -> (Vec<u64>, String)
+where
+    F: Fn(&mut Source, &mut Vec<String>),
+{
+    let mut best = stream;
+    let mut best_msg = msg;
+    let mut spent = 0usize;
+
+    let try_candidate = |cand: Vec<u64>, best: &mut Vec<u64>, best_msg: &mut String| -> bool {
+        let mut src = Source::replay(cand);
+        let mut repr = Vec::new();
+        if let Outcome::Fail(m) = run_one(f, &mut src, &mut repr) {
+            // Keep the choices actually consumed — often shorter.
+            let mut used = src.recorded().to_vec();
+            while used.last() == Some(&0) {
+                used.pop();
+            }
+            *best = used;
+            *best_msg = m;
+            true
+        } else {
+            false
+        }
+    };
+
+    let mut progress = true;
+    while progress && spent < SHRINK_BUDGET {
+        progress = false;
+
+        // Pass 1: drop a suffix (halving first, then single steps).
+        let mut cut = best.len() / 2;
+        while cut > 0 && spent < SHRINK_BUDGET {
+            if best.len() > cut {
+                let cand = best[..best.len() - cut].to_vec();
+                spent += 1;
+                if try_candidate(cand, &mut best, &mut best_msg) {
+                    progress = true;
+                    continue;
+                }
+            }
+            cut /= 2;
+        }
+
+        // Pass 2: delete single elements (simplifies lengths drawn
+        // before the deleted choice's consumer).
+        let mut i = 0;
+        while i < best.len() && spent < SHRINK_BUDGET {
+            let mut cand = best.clone();
+            cand.remove(i);
+            spent += 1;
+            if try_candidate(cand, &mut best, &mut best_msg) {
+                progress = true;
+            } else {
+                i += 1;
+            }
+        }
+
+        // Pass 3: minimize individual values (zero, then binary search
+        // down via halving).
+        let mut i = 0;
+        while i < best.len() && spent < SHRINK_BUDGET {
+            if best[i] != 0 {
+                let mut cand = best.clone();
+                cand[i] = 0;
+                spent += 1;
+                if try_candidate(cand, &mut best, &mut best_msg) {
+                    progress = true;
+                    // Deliberately do not advance: the stream may have
+                    // changed shape entirely.
+                    continue;
+                }
+                let mut lo = 0u64;
+                let mut hi = best[i];
+                while hi - lo > 1 && spent < SHRINK_BUDGET {
+                    let mid = lo + (hi - lo) / 2;
+                    let mut cand = best.clone();
+                    cand[i] = mid;
+                    spent += 1;
+                    if try_candidate(cand, &mut best, &mut best_msg) {
+                        progress = true;
+                        hi = best.get(i).copied().unwrap_or(mid);
+                        if hi <= mid {
+                            break;
+                        }
+                    } else {
+                        lo = mid;
+                    }
+                }
+            }
+            i += 1;
+        }
+    }
+
+    (best, best_msg)
+}
+
+/// Runs `cases` random cases of the property `f`; on failure, shrinks
+/// the choice stream and panics with the minimized arguments.
+///
+/// `f` receives the choice source and a vector it fills with `Debug`
+/// renderings of the generated arguments (the `props!` macro wires
+/// this up).
+pub fn run_prop<F>(name: &str, cases: u32, f: F)
+where
+    F: Fn(&mut Source, &mut Vec<String>),
+{
+    let cases = env_u64("TESTKIT_CASES").map_or(cases, |v| v.max(1) as u32);
+    let seed = env_u64("TESTKIT_SEED").unwrap_or_else(|| fnv1a(name));
+    let mut master = StdRng::seed_from_u64(seed);
+
+    let mut passed = 0u32;
+    let mut discarded = 0u32;
+    let max_discards = cases.saturating_mul(10).max(100);
+
+    while passed < cases {
+        let case_seed = master.next_u64();
+        let mut src = Source::random(case_seed);
+        let mut repr = Vec::new();
+        match run_one(&f, &mut src, &mut repr) {
+            Outcome::Pass => passed += 1,
+            Outcome::Discard => {
+                discarded += 1;
+                assert!(
+                    discarded <= max_discards,
+                    "[{name}] too many discards ({discarded}) after {passed} cases; \
+                     weaken the assume() or tighten the strategy"
+                );
+            }
+            Outcome::Fail(msg) => {
+                let (stream, final_msg) = shrink(&f, src.recorded().to_vec(), msg);
+                // Re-run the minimized case to capture its arguments.
+                let mut final_repr = Vec::new();
+                let mut replay = Source::replay(stream);
+                let _ = run_one(&f, &mut replay, &mut final_repr);
+                let mut args = String::new();
+                for r in &final_repr {
+                    let _ = write!(args, "\n    {r}");
+                }
+                panic!(
+                    "[{name}] property failed (case {case}, seed {seed:#x})\n  \
+                     minimized arguments:{args}\n  cause: {final_msg}\n  \
+                     reproduce with TESTKIT_SEED={seed}",
+                    case = passed + 1,
+                );
+            }
+        }
+    }
+}
+
+/// Declares property tests. Each `fn` becomes a `#[test]` running
+/// `cases` random cases with shrinking on failure.
+///
+/// ```ignore
+/// props! {
+///     cases = 256;
+///     /// Doc comments and cfg attributes pass through.
+///     fn commutes(a in any::<u32>(), b in any::<u32>()) {
+///         assert_eq!(add(a, b), add(b, a));
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! props {
+    (
+        cases = $cases:expr;
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )+
+    ) => {
+        $(
+            $(#[$meta])*
+            #[test]
+            fn $name() {
+                $crate::props::run_prop(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    $cases,
+                    |__src: &mut $crate::props::Source, __repr: &mut Vec<String>| {
+                        $(
+                            let $arg = $crate::props::Strategy::generate(&($strat), __src);
+                            __repr.push(format!(concat!(stringify!($arg), " = {:?}"), $arg));
+                        )+
+                        $body
+                    },
+                );
+            }
+        )+
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_strategy_respects_bounds() {
+        let mut src = Source::random(1);
+        for _ in 0..1000 {
+            let v = (3u8..17).generate(&mut src);
+            assert!((3..17).contains(&v));
+        }
+    }
+
+    #[test]
+    fn pattern_identifier_shape() {
+        let pat = pattern("[A-Za-z][A-Za-z0-9]{0,14}");
+        let mut src = Source::random(2);
+        for _ in 0..500 {
+            let s = pat.generate(&mut src);
+            assert!(!s.is_empty() && s.len() <= 15, "{s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_alphabetic(), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_alphanumeric()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn pattern_grouped_lines() {
+        let pat = pattern("([ -~]{0,60}\n){0,10}");
+        let mut src = Source::random(3);
+        for _ in 0..200 {
+            let s = pat.generate(&mut src);
+            if !s.is_empty() {
+                assert!(s.ends_with('\n'), "{s:?}");
+            }
+            for line in s.lines() {
+                assert!(line.len() <= 60);
+                assert!(line.chars().all(|c| (' '..='~').contains(&c)));
+            }
+        }
+    }
+
+    #[test]
+    fn pattern_class_with_metachars() {
+        // The robustness suite's class: metacharacters stay literal
+        // inside classes, trailing `-` is literal.
+        let pat = pattern(r"[(|)\[\]0-9a-z^$_*+?{},-]{0,30}");
+        let allowed: Vec<char> = "(|)[]^$_*+?{},-"
+            .chars()
+            .chain('0'..='9')
+            .chain('a'..='z')
+            .collect();
+        let mut src = Source::random(4);
+        let mut union = std::collections::BTreeSet::new();
+        for _ in 0..500 {
+            let s = pat.generate(&mut src);
+            assert!(s.len() <= 30);
+            for c in s.chars() {
+                assert!(allowed.contains(&c), "{c:?}");
+                union.insert(c);
+            }
+        }
+        // Sanity: metacharacters actually get generated.
+        assert!(union.contains(&'['));
+        assert!(union.contains(&'-'));
+    }
+
+    #[test]
+    fn pattern_alternation_and_quantifiers() {
+        let pat = pattern("(ab|cd)+x?");
+        let mut src = Source::random(5);
+        for _ in 0..200 {
+            let s = pat.generate(&mut src);
+            let trimmed = s.strip_suffix('x').unwrap_or(&s);
+            assert!(!trimmed.is_empty(), "{s:?}");
+            let mut rest = trimmed;
+            while !rest.is_empty() {
+                assert!(
+                    rest.starts_with("ab") || rest.starts_with("cd"),
+                    "{s:?}"
+                );
+                rest = &rest[2..];
+            }
+        }
+    }
+
+    #[test]
+    fn replay_reproduces_generation() {
+        let pat = pattern("[a-z]{0,20}");
+        let mut src = Source::random(6);
+        let v1 = pat.generate(&mut src);
+        let stream = src.recorded().to_vec();
+        let mut replay = Source::replay(stream);
+        let v2 = pat.generate(&mut replay);
+        assert_eq!(v1, v2);
+    }
+
+    #[test]
+    fn exhausted_replay_pads_with_zero() {
+        let mut src = Source::replay(vec![5]);
+        assert_eq!(src.draw(), 5);
+        assert_eq!(src.draw(), 0);
+        assert_eq!(src.draw(), 0);
+    }
+
+    #[test]
+    fn shrinking_minimizes_threshold_failure() {
+        // Property "v < 100" fails for v >= 100; the shrunk stream must
+        // generate a value close to the boundary.
+        let observed = std::sync::Mutex::new(None::<u64>);
+        let f = |src: &mut Source, _repr: &mut Vec<String>| {
+            let v = src.gen_range(0u64..1_000_000);
+            if v >= 100 {
+                *observed.lock().unwrap() = Some(v);
+                panic!("too big: {v}");
+            }
+        };
+        // Find a failing stream first.
+        let mut failing = None;
+        let mut master = StdRng::seed_from_u64(99);
+        for _ in 0..100 {
+            let mut src = Source::random(master.next_u64());
+            if matches!(run_one(&f, &mut src, &mut Vec::new()), Outcome::Fail(_)) {
+                failing = Some(src.recorded().to_vec());
+                break;
+            }
+        }
+        let (stream, _msg) = shrink(&f, failing.expect("should fail fast"), String::new());
+        let mut replay = Source::replay(stream);
+        let _ = run_one(&f, &mut replay, &mut Vec::new());
+        let v = observed.lock().unwrap().expect("shrunk case still fails");
+        assert!(v >= 100, "shrunk case must still fail: {v}");
+        assert!(v <= 200, "shrink should approach the boundary, got {v}");
+    }
+
+    #[test]
+    fn tuple_and_map_compose() {
+        let strat = (0u8..10, pattern("[a-c]{1,3}")).prop_map(|(n, s)| format!("{n}:{s}"));
+        let mut src = Source::random(8);
+        for _ in 0..100 {
+            let v = strat.generate(&mut src);
+            let (n, s) = v.split_once(':').unwrap();
+            assert!(n.parse::<u8>().unwrap() < 10);
+            assert!((1..=3).contains(&s.len()));
+        }
+    }
+
+    #[test]
+    fn one_of_hits_all_branches() {
+        let strat = one_of(vec![
+            just("a").boxed(),
+            just("b").boxed(),
+            just("c").boxed(),
+        ]);
+        let mut src = Source::random(9);
+        let seen: std::collections::BTreeSet<&str> =
+            (0..100).map(|_| strat.generate(&mut src)).collect();
+        assert_eq!(seen.len(), 3);
+    }
+
+    #[test]
+    fn vec_of_lengths_in_range() {
+        let strat = vec_of(any::<u32>(), 1..200usize);
+        let mut src = Source::random(10);
+        for _ in 0..200 {
+            let v = strat.generate(&mut src);
+            assert!((1..200).contains(&v.len()));
+        }
+    }
+
+    props! {
+        cases = 64;
+        fn harness_self_test(a in any::<u32>(), b in any::<u32>()) {
+            assert_eq!(u64::from(a) + u64::from(b), u64::from(b) + u64::from(a));
+        }
+        fn assume_discards_work(v in 0u32..100) {
+            assume(v % 2 == 0);
+            assert_eq!(v % 2, 0);
+        }
+    }
+
+    #[test]
+    fn failing_prop_reports_minimized_args() {
+        let err = std::panic::catch_unwind(|| {
+            run_prop("testkit::self::threshold", 200, |src, repr| {
+                let v = (0u64..1_000_000).generate(src);
+                repr.push(format!("v = {v:?}"));
+                assert!(v < 100, "v too large");
+            });
+        })
+        .expect_err("property must fail");
+        let msg = payload_message(err.as_ref());
+        assert!(msg.contains("minimized arguments"), "{msg}");
+        assert!(msg.contains("TESTKIT_SEED="), "{msg}");
+    }
+}

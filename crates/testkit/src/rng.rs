@@ -1,0 +1,329 @@
+//! Deterministic xorshift64\* PRNG behind `rand`-shaped traits.
+//!
+//! The generator is Vigna's xorshift64\* (a 64-bit xorshift state with a
+//! multiplicative output scrambler), seeded through a splitmix64 stage so
+//! that small consecutive seeds produce well-separated streams. It is not
+//! cryptographic — the anonymizer's actual secrecy rests on the HMAC-SHA1
+//! PRF in `confanon-crypto` — but it is a solid statistical source for
+//! corpus generation, property tests, and benches, and it is fully
+//! deterministic across platforms.
+//!
+//! The trait surface mirrors the subset of `rand` 0.8 the workspace used:
+//! `Rng::{gen, gen_bool, gen_range}`, `SeedableRng::seed_from_u64`, and
+//! `SliceRandom::{shuffle, choose}`. `StdRng` is a type alias for
+//! [`XorShift64Star`], so call sites keep reading naturally.
+
+use std::ops::{Range, RangeInclusive};
+
+/// splitmix64: used to diffuse user seeds into the xorshift state.
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The workspace PRNG: xorshift64\* with a splitmix64-seeded state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XorShift64Star {
+    state: u64,
+}
+
+/// Drop-in name for the generator the corpus generator seeds everywhere.
+pub type StdRng = XorShift64Star;
+
+impl XorShift64Star {
+    /// Raw constructor; a zero state is mapped to a fixed nonzero value
+    /// (xorshift has an all-zero fixed point).
+    pub fn from_state(state: u64) -> Self {
+        Self {
+            state: if state == 0 { 0x9E37_79B9_7F4A_7C15 } else { state },
+        }
+    }
+}
+
+/// Seeding, mirroring `rand::SeedableRng::seed_from_u64`.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for XorShift64Star {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut s = seed;
+        Self::from_state(splitmix64(&mut s))
+    }
+}
+
+/// The uniform "any value" distribution, backing [`Rng::gen`].
+pub trait Standard: Sized {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! standard_uint {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            #[inline]
+            fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+standard_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for u128 {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+    }
+}
+
+impl Standard for bool {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A range that knows how to draw a uniform sample from itself.
+pub trait SampleRange<T> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as u128).wrapping_sub(self.start as u128);
+                let draw = u128::from(rng.next_u64()) % span;
+                self.start.wrapping_add(draw as $t)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[inline]
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty inclusive range");
+                let span = (hi as u128).wrapping_sub(lo as u128).wrapping_add(1);
+                if span == 0 {
+                    // Full-width u128 range: any draw is in range.
+                    return rng.next_u64() as $t;
+                }
+                let draw = u128::from(rng.next_u64()) % span;
+                lo.wrapping_add(draw as $t)
+            }
+        }
+    )*};
+}
+sample_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for Range<f64> {
+    #[inline]
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "gen_range: empty f64 range");
+        let unit = f64::sample(rng);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+/// The subset of `rand::Rng` the workspace uses.
+pub trait Rng {
+    /// The one required method: the next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform value of `T` (integers full-width, `f64` in `[0,1)`).
+    #[inline]
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// `true` with probability `p`.
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        debug_assert!((0.0..=1.0).contains(&p), "gen_bool: p out of [0,1]");
+        f64::sample(self) < p
+    }
+
+    /// A uniform sample from `range` (half-open or inclusive).
+    #[inline]
+    fn gen_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+}
+
+impl Rng for XorShift64Star {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Slice helpers mirroring `rand::seq::SliceRandom`.
+pub trait SliceRandom {
+    type Item;
+
+    /// Fisher–Yates shuffle, in place.
+    fn shuffle<R: Rng>(&mut self, rng: &mut R);
+
+    /// A uniformly chosen element, or `None` if empty.
+    fn choose<R: Rng>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: Rng>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: Rng>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.gen_range(0..self.len())])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn seeds_decorrelate() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn zero_seed_is_not_stuck() {
+        let mut r = StdRng::seed_from_u64(0);
+        let first = r.next_u64();
+        let second = r.next_u64();
+        assert_ne!(first, 0);
+        assert_ne!(first, second);
+    }
+
+    #[test]
+    fn gen_range_bounds_hold() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = r.gen_range(3u8..17);
+            assert!((3..17).contains(&v));
+            let w = r.gen_range(1..=25u8);
+            assert!((1..=25).contains(&w));
+            let x = r.gen_range(0.3..2.2);
+            assert!((0.3..2.2).contains(&x));
+            let y: i32 = r.gen_range(0..3);
+            assert!((0..3).contains(&y));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_every_value() {
+        let mut r = StdRng::seed_from_u64(9);
+        let mut seen = [false; 8];
+        for _ in 0..1_000 {
+            seen[r.gen_range(0..8usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut r = StdRng::seed_from_u64(11);
+        let hits = (0..100_000).filter(|_| r.gen_bool(0.25)).count();
+        let frac = hits as f64 / 100_000.0;
+        assert!((frac - 0.25).abs() < 0.01, "{frac}");
+    }
+
+    #[test]
+    fn unit_f64_in_range() {
+        let mut r = StdRng::seed_from_u64(13);
+        for _ in 0..10_000 {
+            let v: f64 = r.gen();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = StdRng::seed_from_u64(17);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut r);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        // And the shuffle actually moved something.
+        assert_ne!(v, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn choose_uniform_enough() {
+        let mut r = StdRng::seed_from_u64(19);
+        let pool = [0usize, 1, 2, 3];
+        let mut counts = [0usize; 4];
+        for _ in 0..4_000 {
+            counts[*pool.choose(&mut r).unwrap()] += 1;
+        }
+        for c in counts {
+            assert!(c > 700, "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn u128_standard_uses_both_halves() {
+        let mut r = StdRng::seed_from_u64(23);
+        let v: u128 = r.gen();
+        assert_ne!(v >> 64, 0);
+        assert_ne!(v & u128::from(u64::MAX), 0);
+    }
+}

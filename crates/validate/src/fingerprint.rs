@@ -22,8 +22,6 @@ use std::collections::BTreeMap;
 
 use confanon_design::extract_design;
 use confanon_iosparse::Config;
-use serde::{Deserialize, Serialize};
-
 use crate::suite1::network_properties;
 
 /// The §6.2 fingerprint: distinct-subnet counts per prefix length.
@@ -35,7 +33,7 @@ pub fn subnet_fingerprint(configs: &[Config]) -> SubnetFingerprint {
 }
 
 /// The §6.3 fingerprint: peering attachment structure.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct PeeringFingerprint {
     /// Number of routers terminating at least one external BGP session.
     pub peering_routers: usize,
@@ -60,7 +58,7 @@ pub fn peering_fingerprint(configs: &[Config]) -> PeeringFingerprint {
 }
 
 /// Aggregate uniqueness statistics for a population of fingerprints.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct FingerprintStudy {
     /// Population size.
     pub networks: usize,

@@ -19,12 +19,10 @@
 use std::collections::BTreeMap;
 
 use confanon_netprim::Prefix;
-use serde::{Deserialize, Serialize};
-
 use crate::fingerprint::SubnetFingerprint;
 
 /// Attack parameters.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct ProbeModel {
     /// Probability a live host answers a probe (firewalls, rate limits).
     pub response_rate: f64,
@@ -125,7 +123,7 @@ pub fn histogram_distance(a: &SubnetFingerprint, b: &SubnetFingerprint) -> u64 {
 }
 
 /// Outcome of the full attack over a population.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ProbeStudy {
     /// Population size.
     pub networks: usize,

@@ -10,10 +10,8 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use confanon_iosparse::{parse_command, Command, Config};
 use confanon_netprim::{Prefix, Prefix6};
-use serde::{Deserialize, Serialize};
-
 /// The independent characteristics of one network's configs.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct NetworkProperties {
     /// Routers in the network.
     pub routers: usize,
@@ -88,7 +86,7 @@ pub fn network_properties(configs: &[Config]) -> NetworkProperties {
 }
 
 /// The diff between pre- and post-anonymization properties.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Suite1Report {
     /// Field names that differ.
     pub differing_fields: Vec<String>,

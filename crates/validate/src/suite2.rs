@@ -9,10 +9,8 @@
 
 use confanon_design::{extract_design, RoutingDesign};
 use confanon_iosparse::Config;
-use serde::{Deserialize, Serialize};
-
 /// The outcome of a suite-2 comparison.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Suite2Report {
     /// Whether the designs are identical.
     pub equal: bool,

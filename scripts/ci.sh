@@ -1,0 +1,30 @@
+#!/bin/sh
+# Hermetic CI: build, test, lint, and smoke-bench with no network and an
+# empty registry. Everything here must pass from a cold checkout.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> build (release, offline)"
+cargo build --workspace --release --offline
+
+echo "==> test (offline)"
+cargo test -q --workspace --offline
+
+echo "==> clippy (offline, deny warnings)"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> smoke bench: batch pipeline throughput"
+# The ISSUE's smoke bench target is a corpus directory; `examples/` holds
+# Rust examples, so generate a small synthetic corpus and batch it.
+corpus_dir="$(mktemp -d)"
+trap 'rm -rf "$corpus_dir"' EXIT
+./target/release/confanon generate --networks 2 --routers 4 --seed 2004 \
+    --out-dir "$corpus_dir"
+./target/release/confanon batch "$corpus_dir" --jobs 4 \
+    --bench-json BENCH_pipeline.json
+
+echo "==> BENCH_pipeline.json"
+cat BENCH_pipeline.json
+echo
+echo "CI OK"

@@ -25,18 +25,23 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("anonymize") => cmd_anonymize(&args[1..]),
+        Some("batch") => cmd_batch(&args[1..]),
         Some("generate") => cmd_generate(&args[1..]),
         Some("validate") => cmd_validate(&args[1..]),
         Some("scan") => cmd_scan(&args[1..]),
         Some("rules") => cmd_rules(),
         _ => {
             eprintln!(
-                "usage: confanon <anonymize|generate|validate|rules> [options]\n\
+                "usage: confanon <anonymize|batch|generate|validate|rules> [options]\n\
                  \n\
                  anonymize --secret <secret> [--compact] [--audit FILE] [--out-dir DIR] FILE...\n\
                  \u{20}   Anonymize config files under one owner secret. With --out-dir,\n\
                  \u{20}   writes <name>.anon alongside a leak-audit summary; otherwise\n\
                  \u{20}   prints to stdout.\n\
+                 batch [--jobs N] [--secret <secret>] [--out-dir DIR] [--bench-json FILE] DIR\n\
+                 \u{20}   Anonymize every .cfg under DIR (recursively, one keyed state)\n\
+                 \u{20}   using N rewrite workers (0 = core count). Output is byte-identical\n\
+                 \u{20}   at any worker count. Reports corpus throughput in tokens/sec.\n\
                  generate [--networks N] [--routers M] [--seed S] --out-dir DIR\n\
                  \u{20}   Emit a synthetic corpus (one directory per network).\n\
                  validate --pre-dir DIR --post-dir DIR\n\
@@ -114,20 +119,12 @@ fn cmd_anonymize(args: &[String]) -> ExitCode {
     // Owner-side mapping audit (§5's colleague workflow). As sensitive
     // as the originals: written only where explicitly requested.
     if let Some(audit_path) = opts.get("audit") {
-        let audit = anon.mapping_audit();
-        match serde_json::to_string_pretty(&audit) {
-            Ok(json) => {
-                if let Err(e) = std::fs::write(audit_path, json) {
-                    eprintln!("anonymize: write {audit_path}: {e}");
-                    return ExitCode::FAILURE;
-                }
-                eprintln!("mapping audit written to {audit_path} (KEEP PRIVATE)");
-            }
-            Err(e) => {
-                eprintln!("anonymize: audit serialization: {e}");
-                return ExitCode::FAILURE;
-            }
+        let json = anon.mapping_audit().to_json().to_string_pretty();
+        if let Err(e) = std::fs::write(audit_path, json) {
+            eprintln!("anonymize: write {audit_path}: {e}");
+            return ExitCode::FAILURE;
         }
+        eprintln!("mapping audit written to {audit_path} (KEEP PRIVATE)");
     }
 
     // §6.1 self-audit: scan our own output for recorded survivors.
@@ -171,6 +168,132 @@ fn cmd_anonymize(args: &[String]) -> ExitCode {
             }
         }
     }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        for l in report.leaks.iter().take(10) {
+            eprintln!("  flagged [{}]: {}", l.token, l.line);
+        }
+        ExitCode::FAILURE
+    }
+}
+
+/// Collects every `.cfg` file under `dir`, recursively, in sorted order
+/// (determinism: the corpus order defines the shared mapping state).
+fn collect_cfg_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("{}: {e}", dir.display()))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_cfg_files(&path, out)?;
+        } else if path.extension().is_some_and(|x| x == "cfg") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn cmd_batch(args: &[String]) -> ExitCode {
+    let (opts, pos) = parse_opts(args);
+    let Some(dir) = pos.first().map(PathBuf::from) else {
+        eprintln!("batch: a corpus directory is required");
+        return ExitCode::from(2);
+    };
+    let jobs: usize = match opts.get("jobs").map(|j| j.parse()) {
+        None => 0,
+        Some(Ok(n)) => n,
+        Some(Err(_)) => {
+            eprintln!("batch: --jobs must be a non-negative integer");
+            return ExitCode::from(2);
+        }
+    };
+    let secret = match opts.get("secret") {
+        Some(s) => s.clone(),
+        None => {
+            eprintln!(
+                "batch: no --secret given; using a well-known default — \
+                 output is NOT anonymous, use only for benchmarking"
+            );
+            "smoke-bench-secret".to_string()
+        }
+    };
+
+    let mut paths = Vec::new();
+    if let Err(e) = collect_cfg_files(&dir, &mut paths) {
+        eprintln!("batch: {e}");
+        return ExitCode::FAILURE;
+    }
+    if paths.is_empty() {
+        eprintln!("batch: no .cfg files under {}", dir.display());
+        return ExitCode::FAILURE;
+    }
+    let mut files: Vec<(String, String)> = Vec::with_capacity(paths.len());
+    for p in &paths {
+        let rel = p.strip_prefix(&dir).unwrap_or(p).to_string_lossy().to_string();
+        match std::fs::read_to_string(p) {
+            Ok(t) => files.push((rel, t)),
+            Err(e) => {
+                eprintln!("batch: {}: {e}", p.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let start = std::time::Instant::now();
+    let run = confanon::workflow::anonymize_corpus(&files, secret.as_bytes(), jobs);
+    let elapsed = start.elapsed();
+    let report = confanon::workflow::audit_corpus(&run);
+
+    if let Some(out_dir) = opts.get("out-dir").map(PathBuf::from) {
+        for o in &run.report.outputs {
+            let target = out_dir.join(format!("{}.anon", o.name));
+            if let Some(parent) = target.parent() {
+                if let Err(e) = std::fs::create_dir_all(parent) {
+                    eprintln!("batch: cannot create {}: {e}", parent.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+            if let Err(e) = std::fs::write(&target, &o.text) {
+                eprintln!("batch: write {}: {e}", target.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let words = run.report.totals.words_total;
+    let secs = elapsed.as_secs_f64().max(1e-9);
+    let tokens_per_sec = words as f64 / secs;
+    eprintln!(
+        "anonymized {} file(s) ({} line(s), {} token(s)) with {} job(s) in {:.3}s — {:.0} tokens/sec; \
+         {} line(s) flagged by self-audit",
+        run.report.outputs.len(),
+        run.report.totals.lines_total,
+        words,
+        run.report.jobs,
+        secs,
+        tokens_per_sec,
+        report.leaks.len(),
+    );
+
+    if let Some(json_path) = opts.get("bench-json") {
+        let json = confanon_testkit::json::Json::obj()
+            .with("suite", "pipeline")
+            .with("files", run.report.outputs.len() as u64)
+            .with("lines", run.report.totals.lines_total)
+            .with("words", words)
+            .with("jobs", run.report.jobs as u64)
+            .with("elapsed_ns", elapsed.as_nanos() as f64)
+            .with("tokens_per_sec", tokens_per_sec);
+        if let Err(e) = std::fs::write(json_path, json.to_string_pretty()) {
+            eprintln!("batch: write {json_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("throughput written to {json_path}");
+    }
+
     if report.is_clean() {
         ExitCode::SUCCESS
     } else {
@@ -293,7 +416,7 @@ fn cmd_scan(args: &[String]) -> ExitCode {
     };
     let record: confanon::core::leak::LeakRecord = match std::fs::read_to_string(record_path)
         .map_err(|e| e.to_string())
-        .and_then(|t| serde_json::from_str(&t).map_err(|e| e.to_string()))
+        .and_then(|t| confanon::core::leak::LeakRecord::from_json_str(&t))
     {
         Ok(r) => r,
         Err(e) => {

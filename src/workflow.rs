@@ -7,7 +7,7 @@
 
 use confanon_confgen::Network;
 use confanon_core::leak::{LeakRecord, LeakReport, LeakScanner};
-use confanon_core::{Anonymizer, AnonymizerConfig};
+use confanon_core::{Anonymizer, AnonymizerConfig, BatchInput, BatchPipeline, BatchReport};
 use confanon_design::RoutingDesign;
 use confanon_iosparse::Config;
 use confanon_validate::{compare_designs, compare_properties, Suite1Report, Suite2Report};
@@ -70,6 +70,50 @@ pub fn run_suite2(net: &Network, run: &NetworkRun) -> Suite2Report {
 pub fn post_design(run: &NetworkRun) -> RoutingDesign {
     let post: Vec<Config> = run.anonymized.iter().map(|t| Config::parse(t)).collect();
     confanon_design::extract_design(&post)
+}
+
+/// Everything produced by anonymizing one corpus of config files.
+pub struct CorpusRun {
+    /// Per-file outputs (input order) plus aggregate counters.
+    pub report: BatchReport,
+    /// The warmed anonymizer, retained for audits.
+    pub anonymizer: Anonymizer,
+}
+
+/// Anonymizes a corpus of `(name, text)` config files under one owner
+/// secret with `jobs` rewrite workers (`0` = logical core count).
+///
+/// All files share one keyed mapping state (§3.2 consistency across the
+/// corpus) yet the emit work parallelizes: a sequential discovery pass
+/// warms every mapping, then workers re-emit files concurrently from
+/// clones of the warmed state. The output is byte-identical to a
+/// sequential run for every `jobs` value — see
+/// [`confanon_core::batch::BatchPipeline`].
+pub fn anonymize_corpus(files: &[(String, String)], owner_secret: &[u8], jobs: usize) -> CorpusRun {
+    let inputs: Vec<BatchInput> = files
+        .iter()
+        .map(|(name, text)| BatchInput {
+            name: name.clone(),
+            text: text.clone(),
+        })
+        .collect();
+    let mut pipeline = BatchPipeline::new(AnonymizerConfig::new(owner_secret.to_vec()), jobs);
+    let report = pipeline.run(&inputs);
+    CorpusRun {
+        report,
+        anonymizer: pipeline.into_anonymizer(),
+    }
+}
+
+/// Scans a corpus run's output against the anonymizer's own leak record
+/// (the §6.1 self-audit), excluding legitimately emitted images.
+pub fn audit_corpus(run: &CorpusRun) -> LeakReport {
+    let text: Vec<&str> = run.report.outputs.iter().map(|o| o.text.as_str()).collect();
+    LeakScanner::scan_excluding(
+        run.anonymizer.leak_record(),
+        run.anonymizer.emitted_exclusions(),
+        &text.join("\n"),
+    )
 }
 
 /// Anonymizes every network of a dataset in parallel (one thread per

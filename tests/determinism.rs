@@ -1,0 +1,108 @@
+//! Determinism contracts: "all identifiers must be anonymized in a
+//! consistent manner" (§3.2) across re-runs, and the batch pipeline's
+//! guarantee that worker count never changes a byte of output.
+
+use confanon::confgen::{generate_dataset, DatasetSpec};
+use confanon::core::{Anonymizer, AnonymizerConfig, BatchInput, BatchPipeline};
+use confanon::workflow::anonymize_corpus;
+
+fn corpus() -> Vec<(String, String)> {
+    let ds = generate_dataset(&DatasetSpec {
+        seed: 0xDEAD_BEEF,
+        networks: 1,
+        mean_routers: 6,
+        backbone_fraction: 0.5,
+    });
+    ds.networks[0]
+        .routers
+        .iter()
+        .map(|r| (format!("{}.cfg", r.hostname), r.config.clone()))
+        .collect()
+}
+
+/// Re-running the anonymizer on the same network under the same secret
+/// must reproduce the output byte for byte.
+#[test]
+fn same_network_same_secret_is_byte_identical() {
+    let files = corpus();
+    let run = |secret: &[u8]| {
+        let mut a = Anonymizer::new(AnonymizerConfig::new(secret.to_vec()));
+        files
+            .iter()
+            .map(|(_, t)| a.anonymize_config(t).text)
+            .collect::<Vec<String>>()
+    };
+    let first = run(b"owner-secret");
+    let second = run(b"owner-secret");
+    assert_eq!(first, second);
+    // And the keying matters: a different secret changes the output.
+    assert_ne!(first, run(b"other-secret"));
+}
+
+/// The batch pipeline's headline guarantee, end to end: any worker count
+/// produces the same bytes as a sequential run.
+#[test]
+fn batch_output_independent_of_job_count() {
+    let files = corpus();
+    let inputs: Vec<BatchInput> = files
+        .iter()
+        .map(|(name, text)| BatchInput {
+            name: name.clone(),
+            text: text.clone(),
+        })
+        .collect();
+    let cfg = || AnonymizerConfig::new(b"owner-secret".to_vec());
+    let sequential = BatchPipeline::new(cfg(), 1).run(&inputs);
+    for jobs in [2, 8] {
+        let parallel = BatchPipeline::new(cfg(), jobs).run(&inputs);
+        for (s, p) in sequential.outputs.iter().zip(&parallel.outputs) {
+            assert_eq!(s.name, p.name);
+            assert_eq!(s.text, p.text, "jobs={jobs} diverged on {}", s.name);
+        }
+        assert_eq!(sequential.totals, parallel.totals);
+    }
+}
+
+/// The workflow wrapper agrees with the plain per-file API — the batch
+/// pipeline is a faster spelling of the same function, not a new one.
+#[test]
+fn corpus_workflow_matches_plain_sequential_api() {
+    let files = corpus();
+    let mut plain = Anonymizer::new(AnonymizerConfig::new(b"owner-secret".to_vec()));
+    let expect: Vec<String> = files
+        .iter()
+        .map(|(_, t)| plain.anonymize_config(t).text)
+        .collect();
+    let run = anonymize_corpus(&files, b"owner-secret", 4);
+    let got: Vec<&String> = run.report.outputs.iter().map(|o| &o.text).collect();
+    assert_eq!(expect.iter().collect::<Vec<_>>(), got);
+    // The warmed anonymizer carries the same audit state.
+    assert_eq!(
+        plain.leak_record().asns,
+        run.anonymizer.leak_record().asns
+    );
+    assert_eq!(plain.emitted_exclusions(), run.anonymizer.emitted_exclusions());
+}
+
+/// A discovery pass warms state without changing what a later emit
+/// produces (cold emit == discover-then-emit), per file.
+#[test]
+fn warm_emit_equals_cold_emit() {
+    let files = corpus();
+    let mut cold = Anonymizer::new(AnonymizerConfig::new(b"owner-secret".to_vec()));
+    let cold_out: Vec<String> = files
+        .iter()
+        .map(|(_, t)| cold.anonymize_config(t).text)
+        .collect();
+
+    let mut warm = Anonymizer::new(AnonymizerConfig::new(b"owner-secret".to_vec()));
+    for (_, t) in &files {
+        warm.discover_config(t);
+    }
+    let warm_out: Vec<String> = files
+        .iter()
+        .map(|(_, t)| warm.anonymize_config(t).text)
+        .collect();
+
+    assert_eq!(cold_out, warm_out);
+}

@@ -24,6 +24,42 @@ fn figure1_anonymization_is_byte_stable() {
     );
 }
 
+/// Negative control: the mapping must be *keyed*. Under a different
+/// owner secret, every anonymized identifier — ASN, address, and hashed
+/// word alike — must map to a different image, or the secret isn't doing
+/// its job (§6.1: the salt is what makes dictionary reversal infeasible).
+#[test]
+fn different_secret_changes_every_anonymized_identifier() {
+    let audit_under = |secret: &[u8]| {
+        let mut a = Anonymizer::new(AnonymizerConfig::new(secret.to_vec()));
+        a.anonymize_config(FIGURE1_CONFIG);
+        a.mapping_audit()
+    };
+    let golden = audit_under(b"golden-secret");
+    let other = audit_under(b"a-completely-different-secret");
+
+    let total = golden.asns.len() + golden.addresses.len() + golden.words.len();
+    assert!(total > 0, "figure 1 must exercise the mapping");
+
+    for (kind, a, b) in [
+        ("asn", &golden.asns, &other.asns),
+        ("address", &golden.addresses, &other.addresses),
+        ("word", &golden.words, &other.words),
+    ] {
+        assert_eq!(
+            a.keys().collect::<Vec<_>>(),
+            b.keys().collect::<Vec<_>>(),
+            "located {kind}s must not depend on the secret"
+        );
+        for (orig, image) in a {
+            assert_ne!(
+                image, &b[orig],
+                "{kind} {orig:?} maps identically under two different secrets"
+            );
+        }
+    }
+}
+
 #[test]
 fn golden_output_is_itself_clean() {
     // The committed golden file must contain none of Figure 1's identity.

@@ -1,52 +1,46 @@
 //! Property tests over the whole pipeline: random configurations in,
 //! paper invariants out.
 
-use proptest::prelude::*;
-
 use confanon::core::{Anonymizer, AnonymizerConfig};
 use confanon::iosparse::Config;
 use confanon::netprim::{special_kind, Ip};
 use confanon::validate::network_properties;
+use confanon_testkit::props::{any, assume, pattern, Strategy};
 
 /// Strategy: a random but well-formed mini-config.
 fn mini_config() -> impl Strategy<Value = String> {
     let ip = any::<u32>().prop_map(Ip);
     let masklen = 8u8..=30;
-    let iface = (ip, masklen).prop_map(|(ip, len)| {
+    let iface = (any::<u32>().prop_map(Ip), masklen).prop_map(|(ip, len)| {
         format!(
             "interface Serial0/0\n ip address {ip} {}\n",
             confanon::netprim::Netmask::from_len(len)
         )
     });
-    let bgp = (1u16..64000, any::<u32>().prop_map(Ip), 1u16..64000).prop_map(
-        |(asn, peer, pasn)| {
-            format!("router bgp {asn}\n neighbor {peer} remote-as {pasn}\n")
-        },
-    );
-    let name = "[a-z]{3,10}".prop_map(|n| format!("hostname r1.{n}.com\n"));
-    let comment = "[a-z ]{0,30}".prop_map(|c| format!("! {c}\n"));
-    (name, iface, bgp, comment)
-        .prop_map(|(a, b, c, d)| format!("{a}{d}{b}{c}"))
+    let bgp = (1u16..64000, ip, 1u16..64000).prop_map(|(asn, peer, pasn)| {
+        format!("router bgp {asn}\n neighbor {peer} remote-as {pasn}\n")
+    });
+    let name = pattern("[a-z]{3,10}").prop_map(|n| format!("hostname r1.{n}.com\n"));
+    let comment = pattern("[a-z ]{0,30}").prop_map(|c| format!("! {c}\n"));
+    (name, iface, bgp, comment).prop_map(|(a, b, c, d)| format!("{a}{d}{b}{c}"))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+confanon_testkit::props! {
+    cases = 256;
 
     /// Suite-1 invariants hold on arbitrary generated configs.
-    #[test]
     fn suite1_invariants_on_random_configs(text in mini_config(), seed in any::<u64>()) {
         let mut anon = Anonymizer::new(AnonymizerConfig::new(seed.to_be_bytes().to_vec()));
         let out = anon.anonymize_config(&text);
         let pre = network_properties(&[Config::parse(&text)]);
         let post = network_properties(&[Config::parse(&out.text)]);
-        prop_assert_eq!(pre.bgp_speakers, post.bgp_speakers);
-        prop_assert_eq!(pre.interfaces, post.interfaces);
-        prop_assert_eq!(&pre.subnet_histogram, &post.subnet_histogram);
-        prop_assert_eq!(pre.bgp_neighbors, post.bgp_neighbors);
+        assert_eq!(pre.bgp_speakers, post.bgp_speakers);
+        assert_eq!(pre.interfaces, post.interfaces);
+        assert_eq!(&pre.subnet_histogram, &post.subnet_histogram);
+        assert_eq!(pre.bgp_neighbors, post.bgp_neighbors);
     }
 
     /// Ordinary addresses never survive; special addresses always do.
-    #[test]
     fn address_disposition(raw in any::<u32>(), seed in any::<u64>()) {
         let ip = Ip(raw);
         let text = format!(" ip route {ip} 255.255.255.255 Null0\n");
@@ -57,30 +51,28 @@ proptest! {
             .split_whitespace()
             .any(|t| t == ip.to_string());
         if special_kind(ip).is_some() {
-            prop_assert!(survived, "special {ip} was altered: {}", out.text);
+            assert!(survived, "special {ip} was altered: {}", out.text);
         } else {
-            prop_assert!(!survived, "ordinary {ip} survived: {}", out.text);
+            assert!(!survived, "ordinary {ip} survived: {}", out.text);
         }
     }
 
     /// Same secret → identical output; different secrets → different
     /// output (for configs with something to anonymize).
-    #[test]
     fn keyed_determinism(text in mini_config(), s1 in any::<u64>(), s2 in any::<u64>()) {
-        prop_assume!(s1 != s2);
+        assume(s1 != s2);
         let run = |s: u64| {
             let mut a = Anonymizer::new(AnonymizerConfig::new(s.to_be_bytes().to_vec()));
             a.anonymize_config(&text).text
         };
-        prop_assert_eq!(run(s1), run(s1));
+        assert_eq!(run(s1), run(s1));
         // Different secrets must differ somewhere (the hostname hash at
         // minimum).
-        prop_assert_ne!(run(s1), run(s2));
+        assert_ne!(run(s1), run(s2));
     }
 
     /// Double anonymization is structure-stable: anonymizing the output
     /// again (fresh secret) preserves suite-1 properties.
-    #[test]
     fn double_anonymization_is_structure_stable(text in mini_config(), seed in any::<u64>()) {
         let mut a1 = Anonymizer::new(AnonymizerConfig::new(seed.to_be_bytes().to_vec()));
         let once = a1.anonymize_config(&text).text;
@@ -88,25 +80,23 @@ proptest! {
         let twice = a2.anonymize_config(&once).text;
         let p1 = network_properties(&[Config::parse(&once)]);
         let p2 = network_properties(&[Config::parse(&twice)]);
-        prop_assert_eq!(&p1.subnet_histogram, &p2.subnet_histogram);
-        prop_assert_eq!(p1.bgp_speakers, p2.bgp_speakers);
-        prop_assert_eq!(p1.interfaces, p2.interfaces);
+        assert_eq!(&p1.subnet_histogram, &p2.subnet_histogram);
+        assert_eq!(p1.bgp_speakers, p2.bgp_speakers);
+        assert_eq!(p1.interfaces, p2.interfaces);
     }
 
     /// Comment text never survives, whatever it says.
-    #[test]
-    fn comments_always_stripped(words in "[a-z]{2,8}( [a-z]{2,8}){0,4}", seed in any::<u64>()) {
+    fn comments_always_stripped(words in pattern("[a-z]{2,8}( [a-z]{2,8}){0,4}"), seed in any::<u64>()) {
         let text = format!("! secret note about {words}\nhostname r1\n");
         let mut anon = Anonymizer::new(AnonymizerConfig::new(seed.to_be_bytes().to_vec()));
         let out = anon.anonymize_config(&text);
         let first = out.text.lines().next().unwrap_or("");
-        prop_assert_eq!(first, "!");
+        assert_eq!(first, "!");
     }
 
     /// Referential integrity: an identifier used twice hashes to the same
     /// value both times, whatever the identifier.
-    #[test]
-    fn referential_integrity_random_names(name in "[A-Za-z][A-Za-z0-9]{0,14}", seed in any::<u64>()) {
+    fn referential_integrity_random_names(name in pattern("[A-Za-z][A-Za-z0-9]{0,14}"), seed in any::<u64>()) {
         let text = format!(
             " neighbor 9.9.9.9 route-map {name} in\nroute-map {name} permit 10\n"
         );
@@ -115,6 +105,6 @@ proptest! {
         let lines: Vec<&str> = out.text.lines().collect();
         let use_tok = lines[0].split_whitespace().nth(3).unwrap();
         let def_tok = lines[1].split_whitespace().nth(1).unwrap();
-        prop_assert_eq!(use_tok, def_tok, "{}", out.text);
+        assert_eq!(use_tok, def_tok, "{}", out.text);
     }
 }
