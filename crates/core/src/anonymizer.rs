@@ -16,6 +16,7 @@ use confanon_iosparse::{classify_lines, rebuild, segment, tokenize, LineKind, Se
 use confanon_ipanon::{Ip6Anonymizer, IpAnonymizer, RandomScramble};
 use confanon_netprim::{special6_kind, special_kind, Ip, Ip6};
 
+use crate::error::BatchPhase;
 use crate::leak::LeakRecord;
 use crate::passlist::PassList;
 use crate::rules::RuleId;
@@ -51,6 +52,13 @@ pub struct AnonymizerConfig {
     pub pass_list: PassList,
     /// IP mapping scheme (default: the paper's structure-preserving trie).
     pub ip_scheme: IpScheme,
+    /// Chaos-engineering knob: when set, the anonymizer panics upon
+    /// seeing a line containing the marker string during the given batch
+    /// phase ([`BatchPhase::Discover`] = the discovery pass,
+    /// [`BatchPhase::Rewrite`] = the emit pass). This exists so the
+    /// batch pipeline's panic containment can be exercised
+    /// deterministically in tests; production callers leave it `None`.
+    pub fault_marker: Option<(String, crate::error::BatchPhase)>,
 }
 
 impl AnonymizerConfig {
@@ -62,6 +70,7 @@ impl AnonymizerConfig {
             disabled_rules: HashSet::new(),
             pass_list: PassList::builtin(),
             ip_scheme: IpScheme::default(),
+            fault_marker: None,
         }
     }
 
@@ -200,9 +209,17 @@ impl Anonymizer {
     /// byte-identical to a sequential run.
     pub fn discover_config(&mut self, text: &str) -> AnonymizationStats {
         self.emit = false;
-        let result = self.anonymize_config(text);
+        // Restore emit-mode even if the rule pipeline panics: the batch
+        // layer contains per-file panics, and a poisoned `emit` flag
+        // would silently turn every later emission into empty output.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.anonymize_config(text)
+        }));
         self.emit = true;
-        result.stats
+        match result {
+            Ok(out) => out.stats,
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
     }
 
     /// Anonymizes one configuration file.
@@ -215,6 +232,17 @@ impl Anonymizer {
         let mut current_banner_delim: Option<String> = None;
 
         for (line, kind) in lines.iter().zip(&kinds) {
+            if let Some((marker, phase)) = &self.cfg.fault_marker {
+                let armed = match phase {
+                    BatchPhase::Discover => !self.emit,
+                    BatchPhase::Rewrite => self.emit,
+                    BatchPhase::Scan => false,
+                };
+                assert!(
+                    !(armed && line.contains(marker.as_str())),
+                    "injected fault: marker {marker:?} hit"
+                );
+            }
             stats.lines_total += 1;
             let words = tokenize(line).len() as u64;
             stats.words_total += words;
@@ -249,7 +277,12 @@ impl Anonymizer {
                 LineKind::BannerHeader => {
                     let toks = tokenize(line);
                     let texts: Vec<&str> = toks.iter().map(|t| t.text).collect();
-                    current_banner_delim = confanon_iosparse::banner_delimiter(&texts);
+                    // Track the delimiter only when the classifier actually
+                    // opened a block: a self-closing one-line banner must
+                    // not leave stale state behind, or an intact file would
+                    // be miscounted as ending inside a banner.
+                    current_banner_delim = confanon_iosparse::banner_delimiter(&texts)
+                        .filter(|d| !confanon_iosparse::banner_self_closes(line, d));
                     if self.enabled(RuleId::R05BannerBlocks) {
                         stats.fire(RuleId::R05BannerBlocks);
                         // Keep `banner <type> <delim…>` but truncate any
@@ -275,13 +308,15 @@ impl Anonymizer {
                     }
                 }
                 LineKind::BannerEnd => {
+                    // The block closed: clear the open-delimiter state in
+                    // both branches so EOF accounting stays accurate.
+                    let delim = current_banner_delim.take().unwrap_or_default();
                     if self.enabled(RuleId::R05BannerBlocks) {
                         // Emit only the delimiter: the closing line may
                         // carry banner text before/after it (IOS discards
                         // text after the delimiter, but text *before* it
                         // is content — e.g. a body line that happens to
                         // contain the delimiter character).
-                        let delim = current_banner_delim.take().unwrap_or_default();
                         let kept_words = u64::from(!delim.is_empty());
                         stats.words_removed_as_comments += words.saturating_sub(kept_words);
                         out.push_str(&delim);
@@ -296,6 +331,15 @@ impl Anonymizer {
                     out.push('\n');
                 }
             }
+        }
+
+        if current_banner_delim.take().is_some() {
+            // The banner never closed before EOF (truncated or corrupt
+            // file). The classifier already treated the whole tail as
+            // banner text — counted in `banner_lines_dropped` above when
+            // R05 is on — so nothing leaks; record that the file ended
+            // inside a banner for the operator's report.
+            stats.unterminated_banners += 1;
         }
 
         self.total_stats.merge(&stats);
@@ -328,7 +372,10 @@ impl Anonymizer {
         if !self.emit {
             return String::new();
         }
-        let rewritten: Vec<String> = out.into_iter().map(|o| o.expect("filled")).collect();
+        // The per-token pass above fills every remaining slot, so `None`
+        // is unreachable; an empty replacement (token dropped) is the
+        // benign fallback if that invariant ever breaks.
+        let rewritten: Vec<String> = out.into_iter().map(Option::unwrap_or_default).collect();
         rebuild(line, &toks, &rewritten)
     }
 
@@ -593,7 +640,13 @@ impl Anonymizer {
             .all(|t| self.community.map_token(t).is_some());
         if all_literals {
             for i in from..texts.len() {
-                let mapped = self.try_community(texts[i], stats).expect("checked literal");
+                // `all_literals` proved each token maps; if the map ever
+                // disagrees, hashing the token whole is still safe
+                // (fail-closed: never emit the original).
+                let mapped = match self.try_community(texts[i], stats) {
+                    Some(m) => m,
+                    None => self.hash_emit(texts[i]),
+                };
                 stats.fire(RuleId::R12CommunityListPattern);
                 out[i] = Some(mapped);
             }

@@ -1,4 +1,5 @@
-//! Parallel anonymization of a multi-router corpus under one keyed state.
+//! Parallel anonymization of a multi-router corpus under one keyed state,
+//! with per-file fault isolation.
 //!
 //! §3.2 requires every identifier of a network to map consistently
 //! *across* its files, which is why one [`Anonymizer`] processes the
@@ -14,21 +15,40 @@
 //!    order-independent ones (leak record, emitted images, statistics),
 //!    while skipping the per-token salted hashing and string assembly
 //!    that dominate emission cost.
-//! 2. **Rewrite (parallel).** Each worker thread takes a clone of the
+//! 2. **Rewrite (clone workers).** Each worker takes a clone of the
 //!    warmed anonymizer and re-emits files. Every mapping the emit pass
 //!    needs already exists, so workers only perform pure lookups and
 //!    stateless keyed hashes; no cross-thread state is shared and no
-//!    insertion order can differ.
+//!    insertion order can differ. A single-job run uses the same two
+//!    passes (with one inline worker), so byte output *and* failure
+//!    reports are identical at every `--jobs` value.
 //!
 //! Byte-identity follows from the mappings being *sticky*: once an
 //! address (or any identifier) has an image, re-anonymizing it returns
 //! the same image without mutating state, and the discovery pass creates
 //! all images in exactly the order the sequential run would have.
+//!
+//! ## Fault isolation
+//!
+//! A corpus of a thousand files must not lose nine hundred ninety-nine of
+//! them to one hostile input. Each per-file pass runs inside
+//! [`catch_unwind`]: a panic is converted into a [`BatchFailure`] record
+//! (file name, phase, panic message) and the file's output is withheld —
+//! fail closed — while every other file emits the bytes it would have
+//! emitted anyway. That stronger claim holds because discovery is
+//! sequential (a mid-file panic leaves the same partial mapping state in
+//! every mode) and the rewrite pass is a pure function of the warmed
+//! state; a worker whose clone panicked discards it and re-clones before
+//! taking more work. Mutex poisoning from a contained panic is likewise
+//! recovered: slot writes are index-disjoint, so a poisoned lock holds no
+//! broken invariant.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use crate::anonymizer::{Anonymizer, AnonymizerConfig};
+use crate::error::{BatchFailure, BatchPhase};
 use crate::stats::AnonymizationStats;
 
 /// One input file of a batch: a display name and its configuration text.
@@ -53,16 +73,32 @@ pub struct BatchOutput {
 
 /// The whole-corpus result.
 pub struct BatchReport {
-    /// Per-file outputs, in input order.
+    /// Per-file outputs for every file that survived both passes, in
+    /// input order.
     pub outputs: Vec<BatchOutput>,
-    /// Aggregate counters across the corpus.
+    /// Files whose processing panicked (contained), in input order.
+    /// Their outputs are withheld.
+    pub failures: Vec<BatchFailure>,
+    /// Aggregate counters across the emitted outputs.
     pub totals: AnonymizationStats,
     /// Worker threads used for the rewrite pass.
     pub jobs: usize,
 }
 
+/// Renders a contained panic payload for the failure report.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
 /// A corpus anonymizer: one keyed state, many files, optional
-/// parallelism with sequential-identical output.
+/// parallelism with sequential-identical output and per-file panic
+/// containment.
 pub struct BatchPipeline {
     anonymizer: Anonymizer,
     jobs: usize,
@@ -97,85 +133,142 @@ impl BatchPipeline {
     }
 
     /// Anonymizes the corpus. Output order matches input order and the
-    /// bytes are identical for every `jobs` value.
+    /// bytes are identical for every `jobs` value; files that panic are
+    /// reported in [`BatchReport::failures`] instead of aborting the run.
     pub fn run(&mut self, inputs: &[BatchInput]) -> BatchReport {
-        if self.jobs <= 1 || inputs.len() <= 1 {
-            return self.run_sequential(inputs);
-        }
-        self.run_parallel(inputs)
-    }
-
-    /// The reference path: one cold emit pass, file by file.
-    fn run_sequential(&mut self, inputs: &[BatchInput]) -> BatchReport {
-        let outputs = inputs
-            .iter()
-            .map(|f| {
-                let out = self.anonymizer.anonymize_config(&f.text);
-                BatchOutput {
+        // Pass 1 — sequential discovery with per-file containment. The
+        // pass is sequential in every mode, so the partial mapping state
+        // a mid-file panic leaves behind is identical at any job count
+        // and downstream emission stays deterministic.
+        let mut failed: Vec<Option<BatchFailure>> = vec![None; inputs.len()];
+        for (i, f) in inputs.iter().enumerate() {
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                self.anonymizer.discover_config(&f.text);
+            }));
+            if let Err(payload) = result {
+                failed[i] = Some(BatchFailure {
                     name: f.name.clone(),
-                    text: out.text,
-                    stats: out.stats,
-                }
-            })
-            .collect();
-        self.report(outputs, 1)
-    }
-
-    /// Discovery (sequential) then rewrite (parallel worker pool over a
-    /// shared work index).
-    fn run_parallel(&mut self, inputs: &[BatchInput]) -> BatchReport {
-        for f in inputs {
-            self.anonymizer.discover_config(&f.text);
-        }
-
-        let mut slots: Vec<Option<BatchOutput>> = Vec::new();
-        slots.resize_with(inputs.len(), || None);
-        let next = AtomicUsize::new(0);
-        let slots_mutex = Mutex::new(&mut slots);
-        let warmed = &self.anonymizer;
-
-        std::thread::scope(|scope| {
-            for _ in 0..self.jobs.min(inputs.len()) {
-                scope.spawn(|| {
-                    // Each worker re-emits from its own copy of the warmed
-                    // state; only lookups happen, so copies never diverge
-                    // in any way that affects output.
-                    let mut anon = warmed.clone();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= inputs.len() {
-                            break;
-                        }
-                        let out = anon.anonymize_config(&inputs[i].text);
-                        let output = BatchOutput {
-                            name: inputs[i].name.clone(),
-                            text: out.text,
-                            stats: out.stats,
-                        };
-                        let mut guard = slots_mutex.lock().expect("no poisoned worker");
-                        guard[i] = Some(output);
-                    }
+                    phase: BatchPhase::Discover,
+                    cause: panic_message(payload.as_ref()),
                 });
             }
-        });
+        }
 
-        let outputs = slots
-            .into_iter()
-            .map(|s| s.expect("every index filled"))
-            .collect();
-        self.report(outputs, self.jobs)
-    }
+        // Pass 2 — rewrite the survivors from clones of the warmed state.
+        let pending: Vec<usize> = (0..inputs.len()).filter(|&i| failed[i].is_none()).collect();
+        let mut slots: Vec<Option<BatchOutput>> = Vec::new();
+        slots.resize_with(inputs.len(), || None);
 
-    fn report(&self, outputs: Vec<BatchOutput>, jobs: usize) -> BatchReport {
+        let jobs = if self.jobs <= 1 || pending.len() <= 1 {
+            self.rewrite_inline(inputs, &pending, &mut slots, &mut failed);
+            1
+        } else {
+            self.rewrite_parallel(inputs, &pending, &mut slots, &mut failed);
+            self.jobs
+        };
+
+        let outputs: Vec<BatchOutput> = slots.into_iter().flatten().collect();
+        let failures: Vec<BatchFailure> = failed.into_iter().flatten().collect();
         let mut totals = AnonymizationStats::default();
         for o in &outputs {
             totals.merge(&o.stats);
         }
         BatchReport {
             outputs,
+            failures,
             totals,
             jobs,
         }
+    }
+
+    /// Single-worker rewrite. Uses a clone (not the retained anonymizer)
+    /// so the retained state keeps exactly one pass of total statistics,
+    /// matching the parallel mode.
+    fn rewrite_inline(
+        &self,
+        inputs: &[BatchInput],
+        pending: &[usize],
+        slots: &mut [Option<BatchOutput>],
+        failed: &mut [Option<BatchFailure>],
+    ) {
+        let mut anon = self.anonymizer.clone();
+        for &i in pending {
+            let result = catch_unwind(AssertUnwindSafe(|| anon.anonymize_config(&inputs[i].text)));
+            match result {
+                Ok(out) => {
+                    slots[i] = Some(BatchOutput {
+                        name: inputs[i].name.clone(),
+                        text: out.text,
+                        stats: out.stats,
+                    });
+                }
+                Err(payload) => {
+                    failed[i] = Some(BatchFailure {
+                        name: inputs[i].name.clone(),
+                        phase: BatchPhase::Rewrite,
+                        cause: panic_message(payload.as_ref()),
+                    });
+                    // The clone may hold partial state from the aborted
+                    // emit; start fresh from the warmed original.
+                    anon = self.anonymizer.clone();
+                }
+            }
+        }
+    }
+
+    /// Worker-pool rewrite over a shared work index.
+    fn rewrite_parallel(
+        &self,
+        inputs: &[BatchInput],
+        pending: &[usize],
+        slots: &mut [Option<BatchOutput>],
+        failed: &mut [Option<BatchFailure>],
+    ) {
+        let next = AtomicUsize::new(0);
+        let cells = Mutex::new((slots, failed));
+        let warmed = &self.anonymizer;
+
+        std::thread::scope(|scope| {
+            for _ in 0..self.jobs.min(pending.len()) {
+                scope.spawn(|| {
+                    // Each worker re-emits from its own copy of the warmed
+                    // state; only lookups happen, so copies never diverge
+                    // in any way that affects output.
+                    let mut anon = warmed.clone();
+                    loop {
+                        let k = next.fetch_add(1, Ordering::Relaxed);
+                        if k >= pending.len() {
+                            break;
+                        }
+                        let i = pending[k];
+                        let result =
+                            catch_unwind(AssertUnwindSafe(|| anon.anonymize_config(&inputs[i].text)));
+                        // A panicking sibling poisons the mutex; writes
+                        // are index-disjoint, so the guarded data holds
+                        // no broken invariant and the lock is recovered.
+                        let mut guard = cells.lock().unwrap_or_else(|e| e.into_inner());
+                        match result {
+                            Ok(out) => {
+                                guard.0[i] = Some(BatchOutput {
+                                    name: inputs[i].name.clone(),
+                                    text: out.text,
+                                    stats: out.stats,
+                                });
+                            }
+                            Err(payload) => {
+                                guard.1[i] = Some(BatchFailure {
+                                    name: inputs[i].name.clone(),
+                                    phase: BatchPhase::Rewrite,
+                                    cause: panic_message(payload.as_ref()),
+                                });
+                                drop(guard);
+                                anon = warmed.clone();
+                            }
+                        }
+                    }
+                });
+            }
+        });
     }
 }
 
@@ -203,6 +296,14 @@ mod tests {
 
     fn secret() -> AnonymizerConfig {
         AnonymizerConfig::new(b"batch-test-secret".to_vec())
+    }
+
+    /// A config that injects a panic on any line containing `marker`
+    /// during the given phase.
+    fn faulty(marker: &str, phase: BatchPhase) -> AnonymizerConfig {
+        let mut cfg = secret();
+        cfg.fault_marker = Some((marker.to_string(), phase));
+        cfg
     }
 
     #[test]
@@ -320,5 +421,92 @@ mod tests {
             .expect("def site")
             .to_string();
         assert_eq!(use_tok, def_tok);
+    }
+
+    #[test]
+    fn discovery_panic_is_contained_and_reported() {
+        let mut inputs = corpus();
+        inputs[2].text.push_str("POISON PILL here\n");
+        let mut p = BatchPipeline::new(faulty("POISON", BatchPhase::Discover), 1);
+        let report = p.run(&inputs);
+        assert_eq!(report.outputs.len(), inputs.len() - 1);
+        assert_eq!(report.failures.len(), 1);
+        let f = &report.failures[0];
+        assert_eq!(f.name, "r3.cfg");
+        assert_eq!(f.phase, BatchPhase::Discover);
+        assert!(f.cause.contains("injected fault"), "cause: {}", f.cause);
+        // The failed file's output was withheld, not emitted empty.
+        assert!(report.outputs.iter().all(|o| o.name != "r3.cfg"));
+    }
+
+    #[test]
+    fn rewrite_panic_is_contained_at_any_job_count() {
+        let mut inputs = corpus();
+        inputs[4].text.push_str("POISON PILL here\n");
+        for jobs in [1, 2, 8] {
+            let mut p = BatchPipeline::new(faulty("POISON", BatchPhase::Rewrite), jobs);
+            let report = p.run(&inputs);
+            assert_eq!(report.failures.len(), 1, "jobs={jobs}");
+            assert_eq!(report.failures[0].name, "r5.cfg");
+            assert_eq!(report.failures[0].phase, BatchPhase::Rewrite);
+            assert_eq!(report.outputs.len(), inputs.len() - 1);
+        }
+    }
+
+    #[test]
+    fn contained_panic_leaves_other_outputs_byte_identical() {
+        // The defining fail-closed property: a hostile file changes
+        // nothing about any other file's bytes.
+        let clean = corpus();
+        let baseline = BatchPipeline::new(secret(), 2).run(&clean);
+
+        let mut hostile = clean.clone();
+        hostile.push(BatchInput {
+            name: "evil.cfg".into(),
+            text: "hostname evil\nPOISON PILL\n".into(),
+        });
+        for jobs in [1, 2, 8] {
+            let mut p = BatchPipeline::new(faulty("POISON", BatchPhase::Discover), jobs);
+            let report = p.run(&hostile);
+            assert_eq!(report.failures.len(), 1, "jobs={jobs}");
+            assert_eq!(report.outputs.len(), clean.len());
+            for (a, b) in baseline.outputs.iter().zip(&report.outputs) {
+                assert_eq!(a.name, b.name);
+                assert_eq!(a.text, b.text, "jobs={jobs} diverged on {}", a.name);
+            }
+        }
+    }
+
+    #[test]
+    fn failure_report_is_deterministic_across_job_counts() {
+        let mut inputs = corpus();
+        inputs[0].text.push_str("POISON first\n");
+        inputs[3].text.push_str("POISON second\n");
+        inputs[5].text.push_str("POISON third\n");
+        let reference: Vec<(String, BatchPhase, String)> =
+            BatchPipeline::new(faulty("POISON", BatchPhase::Rewrite), 1)
+                .run(&inputs)
+                .failures
+                .iter()
+                .map(|f| (f.name.clone(), f.phase, f.cause.clone()))
+                .collect();
+        assert_eq!(reference.len(), 3);
+        for jobs in [2, 4, 8] {
+            let got: Vec<(String, BatchPhase, String)> =
+                BatchPipeline::new(faulty("POISON", BatchPhase::Rewrite), jobs)
+                    .run(&inputs)
+                    .failures
+                    .iter()
+                    .map(|f| (f.name.clone(), f.phase, f.cause.clone()))
+                    .collect();
+            assert_eq!(got, reference, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn empty_corpus_is_a_clean_report() {
+        let report = BatchPipeline::new(secret(), 4).run(&[]);
+        assert!(report.outputs.is_empty());
+        assert!(report.failures.is_empty());
     }
 }

@@ -1,0 +1,149 @@
+//! Structured errors for the fail-closed pipeline.
+//!
+//! The paper's §6.1 defense is an *iterative human loop*; a production
+//! sharing tool additionally needs machine-checkable failure taxonomy so
+//! that automation can distinguish "the disk is broken" from "a worker
+//! panicked on one hostile file" from "the leak gate refused to release
+//! output". [`AnonError`] is that taxonomy, and [`BatchFailure`] is the
+//! per-file record the batch pipeline emits instead of crashing.
+
+use std::fmt;
+
+/// The phase of the batch pipeline in which a per-file failure occurred.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum BatchPhase {
+    /// Sequential identifier-discovery pass.
+    Discover,
+    /// Emit pass (sequential or parallel rewrite workers).
+    Rewrite,
+    /// Post-emission §6.1 leak scan.
+    Scan,
+}
+
+impl BatchPhase {
+    /// Stable lowercase name, used in JSON reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            BatchPhase::Discover => "discover",
+            BatchPhase::Rewrite => "rewrite",
+            BatchPhase::Scan => "scan",
+        }
+    }
+
+    /// Parses the name produced by [`BatchPhase::name`].
+    pub fn parse(name: &str) -> Option<BatchPhase> {
+        match name {
+            "discover" => Some(BatchPhase::Discover),
+            "rewrite" => Some(BatchPhase::Rewrite),
+            "scan" => Some(BatchPhase::Scan),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for BatchPhase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One file the batch pipeline could not process. The file's output is
+/// withheld (fail closed); every other file of the corpus still emits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchFailure {
+    /// The input's display name.
+    pub name: String,
+    /// Where the failure happened.
+    pub phase: BatchPhase,
+    /// Human-readable cause (typically a contained panic message).
+    pub cause: String,
+}
+
+impl fmt::Display for BatchFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}]: {}", self.name, self.phase, self.cause)
+    }
+}
+
+/// Structured pipeline error. Each variant maps to one distinct CLI exit
+/// code (see the `confanon` binary): automation can branch on the class
+/// without parsing messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnonError {
+    /// Reading an input or writing an output failed.
+    Io {
+        /// The path involved.
+        path: String,
+        /// The OS error message.
+        message: String,
+    },
+    /// One or more files died inside panic containment; their outputs
+    /// were withheld and the rest of the corpus completed.
+    PanicContained {
+        /// Per-file failure records, in input order.
+        failures: Vec<BatchFailure>,
+    },
+    /// The §6.1 gate found residual recorded identifiers in some
+    /// outputs; those files were quarantined, not emitted.
+    LeakGated {
+        /// Number of files quarantined.
+        files: usize,
+        /// Total flagged lines across them.
+        leaks: usize,
+    },
+    /// A machine-readable input (leak record, report) failed to parse.
+    InvalidInput {
+        /// What was wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for AnonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnonError::Io { path, message } => write!(f, "I/O error on {path}: {message}"),
+            AnonError::PanicContained { failures } => write!(
+                f,
+                "{} file(s) failed inside panic containment (outputs withheld)",
+                failures.len()
+            ),
+            AnonError::LeakGated { files, leaks } => write!(
+                f,
+                "leak gate: {leaks} residual hit(s) across {files} file(s) quarantined"
+            ),
+            AnonError::InvalidInput { message } => write!(f, "invalid input: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for AnonError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_names_round_trip() {
+        for p in [BatchPhase::Discover, BatchPhase::Rewrite, BatchPhase::Scan] {
+            assert_eq!(BatchPhase::parse(p.name()), Some(p));
+        }
+        assert_eq!(BatchPhase::parse("explode"), None);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let f = BatchFailure {
+            name: "r1.cfg".into(),
+            phase: BatchPhase::Rewrite,
+            cause: "index out of bounds".into(),
+        };
+        assert_eq!(f.to_string(), "r1.cfg [rewrite]: index out of bounds");
+        let e = AnonError::LeakGated { files: 2, leaks: 7 };
+        assert!(e.to_string().contains("quarantined"));
+        let io = AnonError::Io {
+            path: "x".into(),
+            message: "denied".into(),
+        };
+        assert!(io.to_string().contains("denied"));
+    }
+}

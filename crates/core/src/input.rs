@@ -1,0 +1,159 @@
+//! Hostile-input sanitization: everything that happens to raw bytes
+//! before the rule pipeline sees them.
+//!
+//! Real corpora contain damaged files — truncated transfers, EBCDIC or
+//! latin-1 mojibake, editor droppings, multi-megabyte pasted lines. The
+//! paper's contract (§1: "fully automated to avoid human errors") means
+//! none of those may abort a run; fail-closed means none of them may
+//! *silently* alter a clean file either. Sanitization is therefore the
+//! identity function on well-formed UTF-8 configuration text and a
+//! counted, deterministic repair everywhere else:
+//!
+//! * invalid UTF-8 sequences become U+FFFD via lossy decoding;
+//! * C0 control characters (other than `\t`, `\n`, `\r`) and DEL become
+//!   spaces, so a spliced NUL cannot fuse two tokens into a new
+//!   identifier nor hide one from the leak scanner;
+//! * lines longer than [`MAX_LINE_LEN`] bytes are truncated at a char
+//!   boundary (a megabyte "line" is an attack or corruption, never IOS).
+
+/// Upper bound on one input line, in bytes. Real IOS lines are < 1 KiB;
+/// the cap only exists so pathological input cannot balloon memory or
+/// hashing work.
+pub const MAX_LINE_LEN: usize = 64 * 1024;
+
+/// What sanitization had to repair. All-zero for clean input.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InputSanitation {
+    /// Invalid UTF-8 byte sequences replaced with U+FFFD.
+    pub invalid_utf8_replaced: u64,
+    /// Control characters replaced with spaces.
+    pub controls_replaced: u64,
+    /// Lines truncated to [`MAX_LINE_LEN`].
+    pub lines_truncated: u64,
+}
+
+impl InputSanitation {
+    /// True when the input needed no repair (output == input).
+    pub fn is_clean(&self) -> bool {
+        *self == InputSanitation::default()
+    }
+}
+
+/// Decodes and repairs raw config bytes. Returns the text the rule
+/// pipeline should see plus a tally of repairs; clean UTF-8 config text
+/// round-trips byte-identically.
+pub fn sanitize_bytes(bytes: &[u8]) -> (String, InputSanitation) {
+    let mut tally = InputSanitation::default();
+
+    let text = match std::str::from_utf8(bytes) {
+        Ok(s) => std::borrow::Cow::Borrowed(s),
+        Err(_) => {
+            let lossy = String::from_utf8_lossy(bytes);
+            tally.invalid_utf8_replaced = lossy.chars().filter(|&c| c == '\u{FFFD}').count() as u64;
+            lossy
+        }
+    };
+
+    let mut out = String::with_capacity(text.len());
+    let mut line_len = 0usize; // bytes of the current line already kept
+    let mut truncating = false;
+    for c in text.chars() {
+        if c == '\n' {
+            if truncating {
+                tally.lines_truncated += 1;
+                truncating = false;
+            }
+            line_len = 0;
+            out.push('\n');
+            continue;
+        }
+        if truncating {
+            continue;
+        }
+        let repaired = if c.is_control() && !matches!(c, '\t' | '\r') {
+            tally.controls_replaced += 1;
+            ' '
+        } else {
+            c
+        };
+        if line_len + repaired.len_utf8() > MAX_LINE_LEN {
+            truncating = true;
+            continue;
+        }
+        line_len += repaired.len_utf8();
+        out.push(repaired);
+    }
+    if truncating {
+        tally.lines_truncated += 1;
+    }
+    (out, tally)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_text_is_identity() {
+        let text = "hostname r1\n! comment\n interface Serial0/0\r\n ip address 1.2.3.4 255.0.0.0\n";
+        let (out, tally) = sanitize_bytes(text.as_bytes());
+        assert_eq!(out, text);
+        assert!(tally.is_clean());
+    }
+
+    #[test]
+    fn invalid_utf8_is_lossy_decoded_and_counted() {
+        let bytes = b"router bgp 7\xFF\xFE01\n";
+        let (out, tally) = sanitize_bytes(bytes);
+        assert!(out.contains('\u{FFFD}'));
+        assert_eq!(tally.invalid_utf8_replaced, 2);
+        assert!(out.ends_with('\n'));
+    }
+
+    #[test]
+    fn control_chars_become_spaces() {
+        let bytes = b"router\x00bgp\x0b701\n\tkeep tab\n";
+        let (out, tally) = sanitize_bytes(bytes);
+        assert_eq!(out, "router bgp 701\n\tkeep tab\n");
+        assert_eq!(tally.controls_replaced, 2);
+    }
+
+    #[test]
+    fn megabyte_line_is_capped() {
+        let mut bytes = vec![b'x'; 1 << 20];
+        bytes.push(b'\n');
+        bytes.extend_from_slice(b"hostname r1\n");
+        let (out, tally) = sanitize_bytes(&bytes);
+        let first = out.lines().next().unwrap();
+        assert_eq!(first.len(), MAX_LINE_LEN);
+        assert_eq!(tally.lines_truncated, 1);
+        assert!(out.ends_with("hostname r1\n"));
+    }
+
+    #[test]
+    fn unterminated_capped_line_still_counts() {
+        let bytes = vec![b'y'; MAX_LINE_LEN + 5];
+        let (out, tally) = sanitize_bytes(&bytes);
+        assert_eq!(out.len(), MAX_LINE_LEN);
+        assert_eq!(tally.lines_truncated, 1);
+    }
+
+    #[test]
+    fn truncation_respects_char_boundaries() {
+        // A multi-byte char straddling the cap must not split.
+        let mut s = "a".repeat(MAX_LINE_LEN - 1);
+        s.push('é'); // 2 bytes: would end at MAX_LINE_LEN + 1
+        s.push('\n');
+        let (out, tally) = sanitize_bytes(s.as_bytes());
+        assert_eq!(out.lines().next().unwrap().len(), MAX_LINE_LEN - 1);
+        assert_eq!(tally.lines_truncated, 1);
+        assert!(std::str::from_utf8(out.as_bytes()).is_ok());
+    }
+
+    #[test]
+    fn crlf_survives() {
+        let (out, tally) = sanitize_bytes(b"a\r\nb\r\n");
+        assert_eq!(out, "a\r\nb\r\n");
+        assert!(tally.is_clean());
+    }
+}

@@ -37,9 +37,15 @@
 //! assert!(out.text.contains("router bgp"));
 //! ```
 
+// Fail-closed: library code must never abort on input-derived data. Test
+// modules keep the ergonomic forms.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod anonymizer;
 pub mod batch;
+pub mod error;
 pub mod figure1;
+pub mod input;
 pub mod iterate;
 pub mod leak;
 #[cfg(test)]
@@ -50,6 +56,8 @@ pub mod stats;
 
 pub use anonymizer::{AnonymizedConfig, Anonymizer, AnonymizerConfig, IpScheme};
 pub use batch::{BatchInput, BatchOutput, BatchPipeline, BatchReport};
+pub use error::{AnonError, BatchFailure, BatchPhase};
+pub use input::{sanitize_bytes, InputSanitation, MAX_LINE_LEN};
 pub use iterate::{iterate_to_closure, IterationTrace};
 pub use leak::{LeakReport, LeakScanner};
 pub use passlist::PassList;

@@ -262,11 +262,11 @@ pub const ALL_RULES: [RuleInfo; 28] = [
 
 impl RuleId {
     /// Static info for this rule.
+    ///
+    /// `ALL_RULES` is declared in variant order, so the discriminant is
+    /// the index; `rules_table_is_index_aligned` below pins that.
     pub fn info(self) -> &'static RuleInfo {
-        ALL_RULES
-            .iter()
-            .find(|r| r.id == self)
-            .expect("every RuleId is in ALL_RULES")
+        &ALL_RULES[self as usize]
     }
 }
 
@@ -283,6 +283,15 @@ mod tests {
     #[test]
     fn exactly_28_rules() {
         assert_eq!(ALL_RULES.len(), 28);
+    }
+
+    #[test]
+    fn rules_table_is_index_aligned() {
+        // `RuleId::info` indexes ALL_RULES by discriminant; a reordered
+        // table entry would silently mislabel every rule.
+        for (i, rule) in ALL_RULES.iter().enumerate() {
+            assert_eq!(rule.id as usize, i, "ALL_RULES[{i}] out of order");
+        }
     }
 
     #[test]

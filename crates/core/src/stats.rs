@@ -21,6 +21,9 @@ pub struct AnonymizationStats {
     pub freetext_lines_dropped: u64,
     /// Banner body lines dropped.
     pub banner_lines_dropped: u64,
+    /// Banner blocks still open at end of file (corrupt input: the
+    /// delimiter never reappeared; the tail was treated as banner text).
+    pub unterminated_banners: u64,
     /// Words counted across all input lines.
     pub words_total: u64,
     /// Words removed by the comment rules (the paper's 1.5%/6% metric
@@ -74,6 +77,7 @@ impl AnonymizationStats {
         self.comment_lines_stripped += other.comment_lines_stripped;
         self.freetext_lines_dropped += other.freetext_lines_dropped;
         self.banner_lines_dropped += other.banner_lines_dropped;
+        self.unterminated_banners += other.unterminated_banners;
         self.words_total += other.words_total;
         self.words_removed_as_comments += other.words_removed_as_comments;
         self.segments_passed += other.segments_passed;
@@ -103,6 +107,7 @@ impl AnonymizationStats {
             .with("comment_lines_stripped", self.comment_lines_stripped)
             .with("freetext_lines_dropped", self.freetext_lines_dropped)
             .with("banner_lines_dropped", self.banner_lines_dropped)
+            .with("unterminated_banners", self.unterminated_banners)
             .with("words_total", self.words_total)
             .with("words_removed_as_comments", self.words_removed_as_comments)
             .with("segments_passed", self.segments_passed)

@@ -28,5 +28,5 @@ pub mod token;
 
 pub use commands::{parse_command, Action, Command, Direction};
 pub use config::{Config, Section};
-pub use line::{banner_delimiter, classify_lines, LineKind};
+pub use line::{banner_delimiter, banner_self_closes, classify_lines, LineKind};
 pub use token::{rebuild, segment, tokenize, Segment, Token};

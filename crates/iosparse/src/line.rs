@@ -84,11 +84,8 @@ pub fn classify_lines(lines: &[String]) -> Vec<LineKind> {
                     // A one-line banner (`banner motd #no access#`) closes
                     // itself when the delimiter appears again after the
                     // opening one.
-                    let after = delim_open_rest(line, &delim);
-                    if after.map(|rest| rest.contains(delim.as_str())) == Some(true) {
-                        out.push(LineKind::BannerHeader); // self-contained
-                    } else {
-                        out.push(LineKind::BannerHeader);
+                    out.push(LineKind::BannerHeader);
+                    if !banner_self_closes(line, &delim) {
                         banner_delim = Some(delim);
                     }
                 }
@@ -114,6 +111,15 @@ pub fn banner_delimiter(tokens: &[&str]) -> Option<String> {
     } else {
         t.chars().next().map(|c| c.to_string())
     }
+}
+
+/// Whether a banner header line is a self-contained one-line banner:
+/// the delimiter reappears after the opening one (`banner motd #text#`),
+/// so no multi-line block is opened. Consumers replicating the banner
+/// state machine (the anonymizer tracks the open delimiter to emit the
+/// closing line) must agree with [`classify_lines`] on this.
+pub fn banner_self_closes(line: &str, delim: &str) -> bool {
+    delim_open_rest(line, delim).is_some_and(|rest| rest.contains(delim))
 }
 
 /// The text after the opening delimiter on the banner header line.

@@ -1,0 +1,262 @@
+//! Seeded corpus mutator for hostile-input testing.
+//!
+//! Real sharing corpora contain files the anonymizer's authors never
+//! imagined: truncated transfers, latin-1 mojibake, editor droppings,
+//! pasted binaries. The fail-closed contract is that *no* input may
+//! panic the pipeline, leak a recorded identifier, or perturb the
+//! output of any other file — and the only way to hold that contract is
+//! to manufacture hostile inputs on demand. [`ChaosMutator`] applies a
+//! seeded, reproducible sequence of corruptions to well-formed
+//! configuration bytes; the same seed over the same inputs yields the
+//! same corpus on every platform, so a failing case replays exactly.
+
+use crate::rng::{Rng, SeedableRng, StdRng};
+
+/// One mutated file: the corrupted bytes plus the names of the
+/// mutations applied, for failure diagnostics.
+#[derive(Debug, Clone)]
+pub struct Mutated {
+    /// The corrupted configuration bytes (possibly invalid UTF-8).
+    pub bytes: Vec<u8>,
+    /// Names of the mutations applied, in application order.
+    pub applied: Vec<&'static str>,
+}
+
+/// A deterministic, seeded source of input corruption.
+#[derive(Debug, Clone)]
+pub struct ChaosMutator {
+    rng: StdRng,
+}
+
+/// A mutation: corrupts the buffer in place, drawing all randomness
+/// from the mutator's PRNG stream.
+type Mutation = fn(&mut Vec<u8>, &mut StdRng);
+
+/// The mutation vocabulary as `(name, function)` pairs.
+const MUTATIONS: [(&str, Mutation); 7] = [
+    ("truncate", truncate),
+    ("splice-non-utf8", splice_non_utf8),
+    ("crlf-inject", crlf_inject),
+    ("control-inject", control_inject),
+    ("unterminated-banner", unterminated_banner),
+    ("megabyte-line", megabyte_line),
+    ("deep-nesting", deep_nesting),
+];
+
+impl ChaosMutator {
+    /// A mutator whose whole corruption stream is a pure function of
+    /// `seed`.
+    pub fn new(seed: u64) -> ChaosMutator {
+        ChaosMutator {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Applies 1–3 randomly chosen mutations to a copy of `input`.
+    pub fn mutate(&mut self, input: &[u8]) -> Mutated {
+        let mut bytes = input.to_vec();
+        let mut applied = Vec::new();
+        let count = self.rng.gen_range(1..=3usize);
+        for _ in 0..count {
+            let (name, f) = MUTATIONS[self.rng.gen_range(0..MUTATIONS.len())];
+            f(&mut bytes, &mut self.rng);
+            applied.push(name);
+        }
+        Mutated { bytes, applied }
+    }
+
+    /// Applies one specific mutation by name (for targeted tests).
+    /// Returns `None` for unknown names.
+    pub fn mutate_one(&mut self, input: &[u8], name: &str) -> Option<Mutated> {
+        let (name, f) = MUTATIONS.iter().find(|(n, _)| *n == name)?;
+        let mut bytes = input.to_vec();
+        f(&mut bytes, &mut self.rng);
+        Some(Mutated {
+            bytes,
+            applied: vec![name],
+        })
+    }
+
+    /// The names of every mutation in the vocabulary.
+    pub fn mutation_names() -> Vec<&'static str> {
+        MUTATIONS.iter().map(|(n, _)| *n).collect()
+    }
+}
+
+/// Cuts the file at an arbitrary byte — possibly mid-line, mid-token, or
+/// mid-UTF-8-sequence.
+fn truncate(bytes: &mut Vec<u8>, rng: &mut StdRng) {
+    if bytes.is_empty() {
+        return;
+    }
+    let at = rng.gen_range(0..bytes.len());
+    bytes.truncate(at);
+}
+
+/// Inserts a short run of invalid UTF-8 at a random position.
+fn splice_non_utf8(bytes: &mut Vec<u8>, rng: &mut StdRng) {
+    const JUNK: [&[u8]; 4] = [
+        b"\xFF\xFE",             // BOM-ish garbage
+        b"\xC0\xAF",             // overlong encoding
+        b"\xED\xA0\x80",         // lone surrogate
+        b"\xF5\x90\x80\x80\x80", // out-of-range scalar + stray continuation
+    ];
+    let junk = JUNK[rng.gen_range(0..JUNK.len())];
+    let at = if bytes.is_empty() {
+        0
+    } else {
+        rng.gen_range(0..=bytes.len())
+    };
+    bytes.splice(at..at, junk.iter().copied());
+}
+
+/// Rewrites a random fraction of `\n` line endings as `\r\n`.
+fn crlf_inject(bytes: &mut Vec<u8>, rng: &mut StdRng) {
+    let mut out = Vec::with_capacity(bytes.len() + 16);
+    for &b in bytes.iter() {
+        if b == b'\n' && rng.gen_bool(0.5) {
+            out.push(b'\r');
+        }
+        out.push(b);
+    }
+    *bytes = out;
+}
+
+/// Sprinkles C0 control characters (NUL, BEL, VT, ESC) into the file.
+fn control_inject(bytes: &mut Vec<u8>, rng: &mut StdRng) {
+    const CTRL: [u8; 4] = [0x00, 0x07, 0x0B, 0x1B];
+    for _ in 0..rng.gen_range(1..=8usize) {
+        let c = CTRL[rng.gen_range(0..CTRL.len())];
+        let at = if bytes.is_empty() {
+            0
+        } else {
+            rng.gen_range(0..=bytes.len())
+        };
+        bytes.insert(at, c);
+    }
+}
+
+/// Appends a banner block whose delimiter never reappears, so the file
+/// ends inside the banner.
+fn unterminated_banner(bytes: &mut Vec<u8>, rng: &mut StdRng) {
+    let delims = ["^C", "#", "@"];
+    let delim = delims[rng.gen_range(0..delims.len())];
+    if !bytes.is_empty() && !bytes.ends_with(b"\n") {
+        bytes.push(b'\n');
+    }
+    bytes.extend_from_slice(format!("banner motd {delim}\n").as_bytes());
+    for i in 0..rng.gen_range(1..=5usize) {
+        bytes.extend_from_slice(format!("orphaned banner text line {i}\n").as_bytes());
+    }
+}
+
+/// Inserts a single line far beyond the sanitizer's 64 KiB cap.
+fn megabyte_line(bytes: &mut Vec<u8>, rng: &mut StdRng) {
+    let len = rng.gen_range(70_000..=300_000usize);
+    let fill = [b'A', b'9', b'.'][rng.gen_range(0..3usize)];
+    if !bytes.is_empty() && !bytes.ends_with(b"\n") {
+        bytes.push(b'\n');
+    }
+    bytes.extend(std::iter::repeat_n(fill, len));
+    bytes.push(b'\n');
+}
+
+/// Appends a deeply nested section: hundreds of lines of monotonically
+/// growing indentation (stresses any recursive section view).
+fn deep_nesting(bytes: &mut Vec<u8>, rng: &mut StdRng) {
+    let depth = rng.gen_range(200..=400usize);
+    if !bytes.is_empty() && !bytes.ends_with(b"\n") {
+        bytes.push(b'\n');
+    }
+    bytes.extend_from_slice(b"policy-map DEEP\n");
+    for d in 1..depth {
+        let line = format!("{}class level{d}\n", " ".repeat(d));
+        bytes.extend_from_slice(line.as_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASE: &[u8] = b"hostname r1\ninterface Serial0/0\n ip address 10.1.0.1 255.255.255.0\nrouter bgp 701\n neighbor 12.126.236.17 remote-as 1239\n";
+
+    #[test]
+    fn same_seed_same_corpus() {
+        let mut a = ChaosMutator::new(99);
+        let mut b = ChaosMutator::new(99);
+        for _ in 0..50 {
+            let ma = a.mutate(BASE);
+            let mb = b.mutate(BASE);
+            assert_eq!(ma.bytes, mb.bytes);
+            assert_eq!(ma.applied, mb.applied);
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let ma = ChaosMutator::new(1).mutate(BASE);
+        let mb = ChaosMutator::new(2).mutate(BASE);
+        assert!(ma.bytes != mb.bytes || ma.applied != mb.applied);
+    }
+
+    #[test]
+    fn every_mutation_is_reachable_and_applies() {
+        let mut m = ChaosMutator::new(7);
+        for name in ChaosMutator::mutation_names() {
+            let out = m.mutate_one(BASE, name).expect("known mutation");
+            assert_eq!(out.applied, vec![name]);
+            if name != "truncate" {
+                assert!(
+                    out.bytes.len() >= BASE.len(),
+                    "{name} should not shrink the file"
+                );
+            }
+        }
+        assert!(m.mutate_one(BASE, "no-such-mutation").is_none());
+    }
+
+    #[test]
+    fn splice_makes_invalid_utf8() {
+        let mut m = ChaosMutator::new(3);
+        let out = m.mutate_one(BASE, "splice-non-utf8").unwrap();
+        assert!(std::str::from_utf8(&out.bytes).is_err());
+    }
+
+    #[test]
+    fn megabyte_line_exceeds_cap() {
+        let mut m = ChaosMutator::new(5);
+        let out = m.mutate_one(BASE, "megabyte-line").unwrap();
+        let longest = out
+            .bytes
+            .split(|&b| b == b'\n')
+            .map(<[u8]>::len)
+            .max()
+            .unwrap();
+        assert!(longest > 64 * 1024);
+    }
+
+    #[test]
+    fn unterminated_banner_never_closes() {
+        let mut m = ChaosMutator::new(11);
+        let out = m.mutate_one(BASE, "unterminated-banner").unwrap();
+        let text = String::from_utf8(out.bytes).unwrap();
+        let banner_line = text.lines().position(|l| l.starts_with("banner motd"));
+        let at = banner_line.expect("banner appended");
+        let delim = text.lines().nth(at).unwrap().split_whitespace().nth(2).unwrap().to_string();
+        for l in text.lines().skip(at + 1) {
+            assert!(!l.contains(&delim), "delimiter must not reappear: {l}");
+        }
+    }
+
+    #[test]
+    fn empty_input_survives_all_mutations() {
+        let mut m = ChaosMutator::new(13);
+        for name in ChaosMutator::mutation_names() {
+            let _ = m.mutate_one(b"", name).unwrap();
+        }
+        for _ in 0..20 {
+            let _ = m.mutate(b"");
+        }
+    }
+}

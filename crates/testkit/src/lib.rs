@@ -16,12 +16,16 @@
 //! * [`bench`] — a wall-clock bench runner replacing `criterion`,
 //!   with warmup, calibration, median-of-batches timing, and JSON
 //!   report emission.
+//! * [`chaos`] — a seeded corpus mutator (truncation, invalid UTF-8
+//!   splices, control characters, unterminated banners, oversized
+//!   lines, deep nesting) for hostile-input hardening tests.
 //!
 //! Everything here is deterministic by default: property tests derive
 //! their seed from the test name so CI runs are reproducible, and the
 //! PRNG is a fixed algorithm with no platform entropy.
 
 pub mod bench;
+pub mod chaos;
 pub mod json;
 pub mod props;
 pub mod rng;

@@ -27,4 +27,63 @@ trap 'rm -rf "$corpus_dir"' EXIT
 echo "==> BENCH_pipeline.json"
 cat BENCH_pipeline.json
 echo
+
+echo "==> chaos smoke: fail-closed exit-code taxonomy"
+# Fixed seeds end to end (TESTKIT_SEED for any in-process property
+# replay, --seed for the mutator) so the hostile corpus — and therefore
+# the outcome asserted below — is reproducible run to run.
+export TESTKIT_SEED=2004
+chaos_dir="$(mktemp -d)"
+trap 'rm -rf "$corpus_dir" "$chaos_dir"' EXIT
+
+# 1. A clean synthetic corpus releases everything: exit 0.
+set +e
+./target/release/confanon batch "$corpus_dir" --jobs 4 \
+    --out-dir "$chaos_dir/clean-out" --quarantine-dir "$chaos_dir/clean-q"
+code=$?
+set -e
+[ "$code" -eq 0 ] || { echo "clean corpus: expected exit 0, got $code"; exit 1; }
+
+# 2. A planted leak (the §6.1 ablation: disable the remote-as locator
+#    rule so a recorded ASN survives emission) trips the gate: exit 4,
+#    withheld bytes and a machine-readable report in the quarantine dir.
+mkdir -p "$chaos_dir/leak-in"
+printf 'router bgp 701\n neighbor 10.0.0.2 remote-as 701\n' \
+    > "$chaos_dir/leak-in/a.cfg"
+printf 'router bgp 65001\n neighbor 10.0.0.1 remote-as 701\n' \
+    > "$chaos_dir/leak-in/b.cfg"
+set +e
+./target/release/confanon batch "$chaos_dir/leak-in" --jobs 2 \
+    --disable-rule neighbor-remote-as \
+    --out-dir "$chaos_dir/leak-out" --quarantine-dir "$chaos_dir/leak-q"
+code=$?
+set -e
+[ "$code" -eq 4 ] || { echo "planted leak: expected exit 4, got $code"; exit 1; }
+[ -f "$chaos_dir/leak-q/leak_report.json" ] || {
+    echo "planted leak: missing leak_report.json"; exit 1;
+}
+
+# 3. 64 chaos-mutated hostile configs never crash the pipeline or escape
+#    the taxonomy (exit 0/3/4), and the run is deterministic: jobs=1 and
+#    jobs=4 agree on the exit code and on every released byte.
+./target/release/confanon chaos --seed 2004 --count 64 \
+    --out-dir "$chaos_dir/hostile"
+set +e
+./target/release/confanon batch "$chaos_dir/hostile" --jobs 4 \
+    --out-dir "$chaos_dir/hostile-out4" --quarantine-dir "$chaos_dir/hostile-q4"
+code4=$?
+./target/release/confanon batch "$chaos_dir/hostile" --jobs 1 \
+    --out-dir "$chaos_dir/hostile-out1" --quarantine-dir "$chaos_dir/hostile-q1"
+code1=$?
+set -e
+case "$code4" in
+    0|3|4) ;;
+    *) echo "hostile corpus: exit $code4 outside the 0/3/4 taxonomy"; exit 1 ;;
+esac
+[ "$code4" -eq "$code1" ] || {
+    echo "hostile corpus: jobs=4 exit $code4 != jobs=1 exit $code1"; exit 1;
+}
+diff -r "$chaos_dir/hostile-out4" "$chaos_dir/hostile-out1"
+diff -r "$chaos_dir/hostile-q4" "$chaos_dir/hostile-q1"
+
 echo "CI OK"

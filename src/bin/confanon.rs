@@ -6,42 +6,74 @@
 //!
 //! ```text
 //! confanon anonymize --secret <secret> [--compact] [--audit FILE] [--out-dir DIR] FILE...
+//! confanon batch     [--jobs N] [--secret S] [--out-dir DIR] [--quarantine-dir DIR]
+//!                    [--disable-rule NAMES] [--bench-json FILE] DIR
+//! confanon chaos     [--seed S] [--count N] --out-dir DIR
 //! confanon generate  [--networks N] [--routers M] [--seed S] --out-dir DIR
 //! confanon validate  --pre-dir DIR --post-dir DIR
 //! confanon scan      --record FILE.json FILE...
 //! confanon rules
 //! ```
+//!
+//! ## Exit codes
+//!
+//! `batch` distinguishes its failure classes so automation can branch
+//! without parsing stderr: `0` success (all outputs released), `1` I/O
+//! failure, `2` usage error, `3` panic-contained file(s) (outputs
+//! withheld, rest released), `4` leak-gated file(s) quarantined (takes
+//! precedence over `3`).
 
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use confanon::confgen::{generate_dataset, DatasetSpec};
-use confanon::core::{AnonymizedConfig, Anonymizer, AnonymizerConfig, ALL_RULES};
+use confanon::core::{sanitize_bytes, AnonymizedConfig, Anonymizer, AnonymizerConfig, ALL_RULES};
 use confanon::iosparse::Config;
 use confanon::validate::{compare_designs, compare_properties, network_properties};
+
+/// Everything released, nothing withheld.
+const EXIT_OK: u8 = 0;
+/// Reading an input or writing an output failed.
+const EXIT_IO: u8 = 1;
+/// Bad command line.
+const EXIT_USAGE: u8 = 2;
+/// One or more files panicked inside containment; their outputs were
+/// withheld while the rest of the corpus was released.
+const EXIT_PANIC_CONTAINED: u8 = 3;
+/// The §6.1 gate quarantined one or more outputs with residual
+/// identifiers. Takes precedence over [`EXIT_PANIC_CONTAINED`].
+const EXIT_LEAK_GATED: u8 = 4;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("anonymize") => cmd_anonymize(&args[1..]),
         Some("batch") => cmd_batch(&args[1..]),
+        Some("chaos") => cmd_chaos(&args[1..]),
         Some("generate") => cmd_generate(&args[1..]),
         Some("validate") => cmd_validate(&args[1..]),
         Some("scan") => cmd_scan(&args[1..]),
         Some("rules") => cmd_rules(),
         _ => {
             eprintln!(
-                "usage: confanon <anonymize|batch|generate|validate|rules> [options]\n\
+                "usage: confanon <anonymize|batch|chaos|generate|validate|rules> [options]\n\
                  \n\
                  anonymize --secret <secret> [--compact] [--audit FILE] [--out-dir DIR] FILE...\n\
                  \u{20}   Anonymize config files under one owner secret. With --out-dir,\n\
                  \u{20}   writes <name>.anon alongside a leak-audit summary; otherwise\n\
                  \u{20}   prints to stdout.\n\
-                 batch [--jobs N] [--secret <secret>] [--out-dir DIR] [--bench-json FILE] DIR\n\
+                 batch [--jobs N] [--secret <secret>] [--out-dir DIR] [--quarantine-dir DIR]\n\
+                 \u{20}     [--disable-rule NAME[,NAME...]] [--bench-json FILE] DIR\n\
                  \u{20}   Anonymize every .cfg under DIR (recursively, one keyed state)\n\
                  \u{20}   using N rewrite workers (0 = core count). Output is byte-identical\n\
-                 \u{20}   at any worker count. Reports corpus throughput in tokens/sec.\n\
+                 \u{20}   at any worker count. Every output is leak-scanned before release;\n\
+                 \u{20}   outputs with residual identifiers go to the quarantine directory\n\
+                 \u{20}   (never --out-dir) with a machine-readable leak_report.json.\n\
+                 \u{20}   Exit codes: 0 ok, 1 I/O, 2 usage, 3 panic-contained, 4 leak-gated.\n\
+                 chaos [--seed S] [--count N] --out-dir DIR\n\
+                 \u{20}   Emit N chaos-mutated (hostile) config files for pipeline smoke\n\
+                 \u{20}   tests; deterministic per seed.\n\
                  generate [--networks N] [--routers M] [--seed S] --out-dir DIR\n\
                  \u{20}   Emit a synthetic corpus (one directory per network).\n\
                  validate --pre-dir DIR --post-dir DIR\n\
@@ -52,9 +84,28 @@ fn main() -> ExitCode {
                  rules\n\
                  \u{20}   Print the 28 contextual rules."
             );
-            ExitCode::from(2)
+            ExitCode::from(EXIT_USAGE)
         }
     }
+}
+
+/// Reads a config file tolerantly: any byte sequence is accepted, with
+/// hostile content repaired (lossy UTF-8, control chars, oversized
+/// lines) and the repairs reported on stderr.
+fn read_config_lossy(path: &Path) -> Result<String, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let (text, tally) = sanitize_bytes(&bytes);
+    if !tally.is_clean() {
+        eprintln!(
+            "note: {}: repaired hostile input ({} invalid UTF-8 sequence(s), \
+             {} control char(s), {} oversized line(s) truncated)",
+            path.display(),
+            tally.invalid_utf8_replaced,
+            tally.controls_replaced,
+            tally.lines_truncated
+        );
+    }
+    Ok(text)
 }
 
 /// Minimal option parser: `--key value` flags, bare words are positionals.
@@ -106,11 +157,11 @@ fn cmd_anonymize(args: &[String]) -> ExitCode {
     let mut outputs: Vec<(PathBuf, AnonymizedConfig)> = Vec::new();
     for f in &files {
         let path = Path::new(f);
-        let text = match std::fs::read_to_string(path) {
+        let text = match read_config_lossy(path) {
             Ok(t) => t,
             Err(e) => {
-                eprintln!("anonymize: {f}: {e}");
-                return ExitCode::FAILURE;
+                eprintln!("anonymize: {e}");
+                return ExitCode::from(EXIT_IO);
             }
         };
         outputs.push((path.to_path_buf(), anon.anonymize_config(&text)));
@@ -200,14 +251,14 @@ fn cmd_batch(args: &[String]) -> ExitCode {
     let (opts, pos) = parse_opts(args);
     let Some(dir) = pos.first().map(PathBuf::from) else {
         eprintln!("batch: a corpus directory is required");
-        return ExitCode::from(2);
+        return ExitCode::from(EXIT_USAGE);
     };
     let jobs: usize = match opts.get("jobs").map(|j| j.parse()) {
         None => 0,
         Some(Ok(n)) => n,
         Some(Err(_)) => {
             eprintln!("batch: --jobs must be a non-negative integer");
-            return ExitCode::from(2);
+            return ExitCode::from(EXIT_USAGE);
         }
     };
     let secret = match opts.get("secret") {
@@ -220,88 +271,220 @@ fn cmd_batch(args: &[String]) -> ExitCode {
             "smoke-bench-secret".to_string()
         }
     };
+    let mut cfg = AnonymizerConfig::new(secret.into_bytes());
+    if let Some(spec) = opts.get("disable-rule") {
+        for name in spec.split(',').map(str::trim).filter(|n| !n.is_empty()) {
+            match ALL_RULES.iter().find(|r| r.name == name) {
+                Some(r) => cfg = cfg.without_rule(r.id),
+                None => {
+                    eprintln!("batch: unknown rule {name:?} (see `confanon rules`)");
+                    return ExitCode::from(EXIT_USAGE);
+                }
+            }
+        }
+    }
+
+    let out_dir = opts.get("out-dir").map(PathBuf::from);
+    // Quarantined bytes must never land in the output directory: a
+    // release step that globs --out-dir would ship them.
+    let quarantine_dir = opts.get("quarantine-dir").map(PathBuf::from).unwrap_or_else(|| {
+        match &out_dir {
+            Some(d) => {
+                let mut s = d.as_os_str().to_os_string();
+                s.push("-quarantine");
+                PathBuf::from(s)
+            }
+            None => PathBuf::from("quarantine"),
+        }
+    });
+    if out_dir.as_deref() == Some(quarantine_dir.as_path()) {
+        eprintln!("batch: --quarantine-dir must differ from --out-dir");
+        return ExitCode::from(EXIT_USAGE);
+    }
+    // Create the release directory up front: it must exist (possibly
+    // empty) even when the gate withholds every file, and an unwritable
+    // target should fail before any anonymization work is done.
+    if let Some(d) = &out_dir {
+        if let Err(e) = std::fs::create_dir_all(d) {
+            eprintln!("batch: cannot create {}: {e}", d.display());
+            return ExitCode::from(EXIT_IO);
+        }
+    }
 
     let mut paths = Vec::new();
     if let Err(e) = collect_cfg_files(&dir, &mut paths) {
         eprintln!("batch: {e}");
-        return ExitCode::FAILURE;
+        return ExitCode::from(EXIT_IO);
     }
     if paths.is_empty() {
         eprintln!("batch: no .cfg files under {}", dir.display());
-        return ExitCode::FAILURE;
+        return ExitCode::from(EXIT_IO);
     }
     let mut files: Vec<(String, String)> = Vec::with_capacity(paths.len());
     for p in &paths {
         let rel = p.strip_prefix(&dir).unwrap_or(p).to_string_lossy().to_string();
-        match std::fs::read_to_string(p) {
+        match read_config_lossy(p) {
             Ok(t) => files.push((rel, t)),
             Err(e) => {
-                eprintln!("batch: {}: {e}", p.display());
-                return ExitCode::FAILURE;
+                eprintln!("batch: {e}");
+                return ExitCode::from(EXIT_IO);
             }
         }
     }
 
     let start = std::time::Instant::now();
-    let run = confanon::workflow::anonymize_corpus(&files, secret.as_bytes(), jobs);
+    let run = confanon::workflow::anonymize_corpus_gated(&files, cfg, jobs);
     let elapsed = start.elapsed();
-    let report = confanon::workflow::audit_corpus(&run);
 
-    if let Some(out_dir) = opts.get("out-dir").map(PathBuf::from) {
-        for o in &run.report.outputs {
+    if let Some(out_dir) = &out_dir {
+        for o in &run.clean {
             let target = out_dir.join(format!("{}.anon", o.name));
             if let Some(parent) = target.parent() {
                 if let Err(e) = std::fs::create_dir_all(parent) {
                     eprintln!("batch: cannot create {}: {e}", parent.display());
-                    return ExitCode::FAILURE;
+                    return ExitCode::from(EXIT_IO);
                 }
             }
             if let Err(e) = std::fs::write(&target, &o.text) {
                 eprintln!("batch: write {}: {e}", target.display());
-                return ExitCode::FAILURE;
+                return ExitCode::from(EXIT_IO);
             }
         }
     }
 
-    let words = run.report.totals.words_total;
+    // The gate report (and any withheld bytes) go to the quarantine
+    // directory whenever there is something to report or the caller
+    // asked for the directory explicitly.
+    let gate_tripped = !run.quarantined.is_empty() || !run.failures.is_empty();
+    if gate_tripped || opts.contains_key("quarantine-dir") {
+        if let Err(e) = std::fs::create_dir_all(&quarantine_dir) {
+            eprintln!("batch: cannot create {}: {e}", quarantine_dir.display());
+            return ExitCode::from(EXIT_IO);
+        }
+        for q in &run.quarantined {
+            let target = quarantine_dir.join(format!("{}.anon", q.output.name));
+            if let Some(parent) = target.parent() {
+                if let Err(e) = std::fs::create_dir_all(parent) {
+                    eprintln!("batch: cannot create {}: {e}", parent.display());
+                    return ExitCode::from(EXIT_IO);
+                }
+            }
+            if let Err(e) = std::fs::write(&target, &q.output.text) {
+                eprintln!("batch: write {}: {e}", target.display());
+                return ExitCode::from(EXIT_IO);
+            }
+        }
+        let report_path = quarantine_dir.join("leak_report.json");
+        let json = run.leak_report_json().to_string_pretty();
+        if let Err(e) = std::fs::write(&report_path, json) {
+            eprintln!("batch: write {}: {e}", report_path.display());
+            return ExitCode::from(EXIT_IO);
+        }
+        eprintln!("leak report written to {}", report_path.display());
+    }
+
+    let words = run.totals.words_total;
     let secs = elapsed.as_secs_f64().max(1e-9);
     let tokens_per_sec = words as f64 / secs;
     eprintln!(
-        "anonymized {} file(s) ({} line(s), {} token(s)) with {} job(s) in {:.3}s — {:.0} tokens/sec; \
-         {} line(s) flagged by self-audit",
-        run.report.outputs.len(),
-        run.report.totals.lines_total,
+        "released {} file(s), quarantined {} ({} residual hit(s)), \
+         {} panic-contained ({} line(s), {} token(s), {} job(s), {:.3}s — {:.0} tokens/sec)",
+        run.clean.len(),
+        run.quarantined.len(),
+        run.leak_count(),
+        run.failures.len(),
+        run.totals.lines_total,
         words,
-        run.report.jobs,
+        run.jobs,
         secs,
         tokens_per_sec,
-        report.leaks.len(),
     );
+    for f in run.failures.iter().take(10) {
+        eprintln!("  contained: {f}");
+    }
+    let mut detail_lines = 0usize;
+    for q in &run.quarantined {
+        if detail_lines >= 20 {
+            eprintln!("  (further quarantine detail in leak_report.json)");
+            break;
+        }
+        for l in q.report.leaks.iter().take(5) {
+            eprintln!("  quarantined {} [{}]: {}", q.output.name, l.token, l.line);
+            detail_lines += 1;
+        }
+    }
 
     if let Some(json_path) = opts.get("bench-json") {
         let json = confanon_testkit::json::Json::obj()
             .with("suite", "pipeline")
-            .with("files", run.report.outputs.len() as u64)
-            .with("lines", run.report.totals.lines_total)
+            .with("files", (run.clean.len() + run.quarantined.len()) as u64)
+            .with("lines", run.totals.lines_total)
             .with("words", words)
-            .with("jobs", run.report.jobs as u64)
+            .with("jobs", run.jobs as u64)
             .with("elapsed_ns", elapsed.as_nanos() as f64)
             .with("tokens_per_sec", tokens_per_sec);
         if let Err(e) = std::fs::write(json_path, json.to_string_pretty()) {
             eprintln!("batch: write {json_path}: {e}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(EXIT_IO);
         }
         eprintln!("throughput written to {json_path}");
     }
 
-    if report.is_clean() {
-        ExitCode::SUCCESS
+    if !run.quarantined.is_empty() {
+        ExitCode::from(EXIT_LEAK_GATED)
+    } else if !run.failures.is_empty() {
+        ExitCode::from(EXIT_PANIC_CONTAINED)
     } else {
-        for l in report.leaks.iter().take(10) {
-            eprintln!("  flagged [{}]: {}", l.token, l.line);
-        }
-        ExitCode::FAILURE
+        ExitCode::from(EXIT_OK)
     }
+}
+
+fn cmd_chaos(args: &[String]) -> ExitCode {
+    let (opts, _) = parse_opts(args);
+    let Some(out_dir) = opts.get("out-dir").map(PathBuf::from) else {
+        eprintln!("chaos: --out-dir is required");
+        return ExitCode::from(EXIT_USAGE);
+    };
+    let seed: u64 = opts.get("seed").and_then(|s| s.parse().ok()).unwrap_or(2004);
+    let count: usize = opts.get("count").and_then(|s| s.parse().ok()).unwrap_or(64);
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        eprintln!("chaos: cannot create {}: {e}", out_dir.display());
+        return ExitCode::from(EXIT_IO);
+    }
+
+    let mut mutator = confanon_testkit::chaos::ChaosMutator::new(seed);
+    let mut written = 0usize;
+    let mut round = 0u64;
+    while written < count {
+        // Each round draws a fresh synthetic dataset; rounds advance the
+        // generator seed deterministically so any count is reachable.
+        let spec = DatasetSpec {
+            seed: seed.wrapping_add(round),
+            networks: 2,
+            mean_routers: 8,
+            backbone_fraction: 0.35,
+        };
+        round += 1;
+        for net in &generate_dataset(&spec).networks {
+            for r in &net.routers {
+                if written == count {
+                    break;
+                }
+                let mutated = mutator.mutate(r.config.as_bytes());
+                let target = out_dir.join(format!("chaos-{written:03}.cfg"));
+                if let Err(e) = std::fs::write(&target, &mutated.bytes) {
+                    eprintln!("chaos: write {}: {e}", target.display());
+                    return ExitCode::from(EXIT_IO);
+                }
+                written += 1;
+            }
+        }
+    }
+    eprintln!(
+        "wrote {written} chaos-mutated config(s) (seed {seed}) into {}",
+        out_dir.display()
+    );
+    ExitCode::from(EXIT_OK)
 }
 
 fn cmd_generate(args: &[String]) -> ExitCode {

@@ -7,9 +7,13 @@
 
 use confanon_confgen::Network;
 use confanon_core::leak::{LeakRecord, LeakReport, LeakScanner};
-use confanon_core::{Anonymizer, AnonymizerConfig, BatchInput, BatchPipeline, BatchReport};
+use confanon_core::{
+    AnonymizationStats, Anonymizer, AnonymizerConfig, BatchFailure, BatchInput, BatchOutput,
+    BatchPipeline, BatchReport,
+};
 use confanon_design::RoutingDesign;
 use confanon_iosparse::Config;
+use confanon_testkit::json::Json;
 use confanon_validate::{compare_designs, compare_properties, Suite1Report, Suite2Report};
 
 /// Everything produced by anonymizing one network.
@@ -116,6 +120,136 @@ pub fn audit_corpus(run: &CorpusRun) -> LeakReport {
     )
 }
 
+/// One output the §6.1 gate refused to release: residual recorded
+/// identifiers survived anonymization, so the bytes must not reach the
+/// output directory.
+pub struct QuarantinedFile {
+    /// The withheld output (name, text, stats).
+    pub output: BatchOutput,
+    /// The residual hits that triggered the gate.
+    pub report: LeakReport,
+}
+
+/// Result of a fail-closed corpus run: every emitted output has passed
+/// the leak gate; everything else is accounted for as a quarantine or a
+/// contained per-file failure.
+pub struct GatedCorpusRun {
+    /// Outputs that passed the gate, in input order.
+    pub clean: Vec<BatchOutput>,
+    /// Outputs withheld by the gate, in input order.
+    pub quarantined: Vec<QuarantinedFile>,
+    /// Files whose processing panicked (contained), in input order.
+    pub failures: Vec<BatchFailure>,
+    /// Aggregate counters across all emitted-or-quarantined outputs.
+    pub totals: AnonymizationStats,
+    /// Worker threads used for the rewrite pass.
+    pub jobs: usize,
+    /// The warmed anonymizer, retained for audits.
+    pub anonymizer: Anonymizer,
+}
+
+impl GatedCorpusRun {
+    /// Total flagged lines across all quarantined files.
+    pub fn leak_count(&self) -> usize {
+        self.quarantined.iter().map(|q| q.report.leaks.len()).sum()
+    }
+
+    /// The machine-readable `leak_report.json` document: one object per
+    /// quarantined file with its flagged lines, plus the contained
+    /// per-file failures and summary counts. Round-trips through
+    /// [`Json::parse`].
+    pub fn leak_report_json(&self) -> Json {
+        let quarantined: Vec<Json> = self
+            .quarantined
+            .iter()
+            .map(|q| {
+                let leaks: Vec<Json> = q
+                    .report
+                    .leaks
+                    .iter()
+                    .map(|l| {
+                        Json::obj()
+                            .with("line_no", l.line_no as u64)
+                            .with("token", l.token.as_str())
+                            .with("line", l.line.as_str())
+                    })
+                    .collect();
+                Json::obj()
+                    .with("name", q.output.name.as_str())
+                    .with("leaks", Json::Arr(leaks))
+            })
+            .collect();
+        let failures: Vec<Json> = self
+            .failures
+            .iter()
+            .map(|f| {
+                Json::obj()
+                    .with("name", f.name.as_str())
+                    .with("phase", f.phase.name())
+                    .with("cause", f.cause.as_str())
+            })
+            .collect();
+        Json::obj()
+            .with("schema", "confanon-leak-report-v1")
+            .with("clean_files", self.clean.len() as u64)
+            .with("quarantined_files", self.quarantined.len() as u64)
+            .with("panic_contained_files", self.failures.len() as u64)
+            .with("total_leaks", self.leak_count() as u64)
+            .with("quarantined", Json::Arr(quarantined))
+            .with("failures", Json::Arr(failures))
+    }
+}
+
+/// Anonymizes a corpus fail-closed: after the batch pipeline emits, every
+/// output is individually scanned against the anonymizer's own leak
+/// record (§6.1 made mandatory instead of advisory). Outputs with
+/// residual hits are quarantined — returned separately, never mixed with
+/// the releasable set. Takes a full [`AnonymizerConfig`] so ablation
+/// experiments (`disabled_rules`) flow through the same gate the
+/// production path uses.
+pub fn anonymize_corpus_gated(
+    files: &[(String, String)],
+    cfg: AnonymizerConfig,
+    jobs: usize,
+) -> GatedCorpusRun {
+    let inputs: Vec<BatchInput> = files
+        .iter()
+        .map(|(name, text)| BatchInput {
+            name: name.clone(),
+            text: text.clone(),
+        })
+        .collect();
+    let mut pipeline = BatchPipeline::new(cfg, jobs);
+    let report = pipeline.run(&inputs);
+    let anonymizer = pipeline.into_anonymizer();
+
+    let mut clean = Vec::new();
+    let mut quarantined = Vec::new();
+    for output in report.outputs {
+        let scan = LeakScanner::scan_excluding(
+            anonymizer.leak_record(),
+            anonymizer.emitted_exclusions(),
+            &output.text,
+        );
+        if scan.is_clean() {
+            clean.push(output);
+        } else {
+            quarantined.push(QuarantinedFile {
+                output,
+                report: scan,
+            });
+        }
+    }
+    GatedCorpusRun {
+        clean,
+        quarantined,
+        failures: report.failures,
+        totals: report.totals,
+        jobs: report.jobs,
+        anonymizer,
+    }
+}
+
 /// Anonymizes every network of a dataset in parallel (one thread per
 /// network, capped at the logical core count).
 ///
@@ -145,14 +279,13 @@ pub fn anonymize_dataset_parallel(
                     break;
                 }
                 let run = anonymize_network(&networks[i], &secret_for(i));
-                let mut guard = results_mutex.lock().expect("no poisoned worker");
+                // Slot writes are index-disjoint, so a sibling's panic
+                // leaves no broken invariant behind the lock: recover it.
+                let mut guard = results_mutex.lock().unwrap_or_else(|e| e.into_inner());
                 guard[i] = Some(run);
             });
         }
     });
 
-    results
-        .into_iter()
-        .map(|r| r.expect("every index filled"))
-        .collect()
+    results.into_iter().flatten().collect()
 }

@@ -1,0 +1,154 @@
+//! Chaos property suite: the fail-closed contract under hostile input.
+//!
+//! Three properties, each over seeded random corruption of realistic
+//! configs ([`confanon_testkit::chaos`]):
+//!
+//! 1. **No panic escapes.** The gated pipeline completes on any mutated
+//!    corpus, and — stronger — no real (non-injected) panic even needs
+//!    containment: the hardened anonymizer handles hostile text itself.
+//! 2. **No recorded identifier is released.** Every output the gate
+//!    releases scans clean against the anonymizer's own leak record.
+//! 3. **Determinism.** The same seed yields byte-identical released
+//!    bytes, quarantine sets, and reports — at any worker count.
+
+use confanon::core::{sanitize_bytes, AnonymizerConfig, LeakScanner};
+use confanon::workflow::{anonymize_corpus_gated, GatedCorpusRun};
+use confanon_testkit::chaos::ChaosMutator;
+
+/// Realistic base configs, kept small so each property case runs a
+/// whole corpus.
+fn base_corpus() -> Vec<(String, String)> {
+    let ds = confanon::confgen::generate_dataset(&confanon::confgen::DatasetSpec {
+        seed: 0x0C40_5BA5,
+        networks: 1,
+        mean_routers: 5,
+        backbone_fraction: 0.5,
+    });
+    ds.networks[0]
+        .routers
+        .iter()
+        .map(|r| (format!("{}.cfg", r.hostname), r.config.clone()))
+        .collect()
+}
+
+/// Mutates the base corpus under `seed` and repairs the bytes the way
+/// the CLI's read path does.
+fn chaos_corpus(seed: u64) -> Vec<(String, String)> {
+    let mut mutator = ChaosMutator::new(seed);
+    base_corpus()
+        .into_iter()
+        .map(|(name, text)| {
+            let mutated = mutator.mutate(text.as_bytes());
+            let (repaired, _) = sanitize_bytes(&mutated.bytes);
+            (name, repaired)
+        })
+        .collect()
+}
+
+fn run(files: &[(String, String)], jobs: usize) -> GatedCorpusRun {
+    anonymize_corpus_gated(files, AnonymizerConfig::new(b"chaos-secret".to_vec()), jobs)
+}
+
+confanon_testkit::props! {
+    cases = 8;
+
+    /// Properties 1 and 2: the pipeline digests any mutated corpus with
+    /// no contained (let alone escaped) panics, and nothing it releases
+    /// contains a recorded identifier.
+    fn no_panic_and_no_recorded_identifier_released(seed in 0u64..1_000_000) {
+        let files = chaos_corpus(seed);
+        let out = run(&files, 4);
+        assert!(
+            out.failures.is_empty(),
+            "hostile input must not panic the hardened pipeline: {:?}",
+            out.failures
+        );
+        for o in &out.clean {
+            let scan = LeakScanner::scan_excluding(
+                out.anonymizer.leak_record(),
+                out.anonymizer.emitted_exclusions(),
+                &o.text,
+            );
+            assert!(
+                scan.is_clean(),
+                "released output {} carries recorded identifiers: {:?}",
+                o.name,
+                scan.leaks
+            );
+        }
+    }
+
+    /// Property 3: same seed, same bytes — released, quarantined, and
+    /// reported alike — regardless of worker count.
+    fn deterministic_under_any_seed(seed in 0u64..1_000_000) {
+        let files = chaos_corpus(seed);
+        let a = run(&files, 1);
+        let b = run(&files, 8);
+        let view = |r: &GatedCorpusRun| {
+            (
+                r.clean.iter().map(|o| (o.name.clone(), o.text.clone())).collect::<Vec<_>>(),
+                r.quarantined
+                    .iter()
+                    .map(|q| (q.output.name.clone(), q.output.text.clone()))
+                    .collect::<Vec<_>>(),
+                r.leak_report_json().to_string_pretty(),
+            )
+        };
+        assert_eq!(view(&a), view(&b));
+        // And an independent rerun of the same seed reproduces it all.
+        let c = run(&chaos_corpus(seed), 8);
+        assert_eq!(view(&a), view(&c));
+    }
+}
+
+/// The report schema round-trips through the in-tree JSON parser with
+/// the documented summary fields intact.
+#[test]
+fn leak_report_round_trips_the_json_parser() {
+    let files = chaos_corpus(7);
+    let out = run(&files, 2);
+    let text = out.leak_report_json().to_string_pretty();
+    let parsed = confanon_testkit::json::Json::parse(&text).expect("valid JSON");
+    assert_eq!(
+        parsed.get("schema").and_then(|v| v.as_str()),
+        Some("confanon-leak-report-v1")
+    );
+    for field in [
+        "clean_files",
+        "quarantined_files",
+        "panic_contained_files",
+        "total_leaks",
+    ] {
+        assert!(
+            parsed.get(field).and_then(|v| v.as_u64()).is_some(),
+            "missing {field}"
+        );
+    }
+    assert!(parsed.get("quarantined").and_then(|v| v.as_array()).is_some());
+    assert!(parsed.get("failures").and_then(|v| v.as_array()).is_some());
+}
+
+/// Raw (unsanitized) hostile bytes pushed straight into the pipeline —
+/// bypassing the CLI's repair pass — still cannot panic it. This pins
+/// the anonymizer's own tolerance, independent of `sanitize_bytes`.
+#[test]
+fn unsanitized_mutations_never_panic_the_anonymizer() {
+    let base = base_corpus();
+    let mut mutator = ChaosMutator::new(0xBAD_F00D);
+    for round in 0..8 {
+        let files: Vec<(String, String)> = base
+            .iter()
+            .map(|(name, text)| {
+                let mutated = mutator.mutate(text.as_bytes());
+                // Lossy conversion only — no control-char or line-length
+                // repair at all.
+                (
+                    format!("{round}-{name}"),
+                    String::from_utf8_lossy(&mutated.bytes).into_owned(),
+                )
+            })
+            .collect();
+        let out = run(&files, 3);
+        assert!(out.failures.is_empty(), "round {round}: {:?}", out.failures);
+    }
+}

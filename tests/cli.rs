@@ -142,6 +142,188 @@ fn anonymize_to_stdout() {
 }
 
 #[test]
+fn batch_clean_corpus_exits_zero_and_releases_everything() {
+    let root = tmpdir("batch-clean");
+    let gen_dir = root.join("gen");
+    assert!(bin()
+        .args(["generate", "--networks", "1", "--routers", "4", "--seed", "21"])
+        .arg("--out-dir")
+        .arg(&gen_dir)
+        .status()
+        .expect("generate")
+        .success());
+
+    let out_dir = root.join("out");
+    let out = bin()
+        .args(["batch", "--secret", "s", "--jobs", "2"])
+        .arg("--out-dir")
+        .arg(&out_dir)
+        .arg(&gen_dir)
+        .output()
+        .expect("batch");
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    // Outputs mirror the corpus layout (one subdirectory per network).
+    fn count_anon(dir: &Path) -> usize {
+        std::fs::read_dir(dir)
+            .into_iter()
+            .flatten()
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .map(|p| {
+                if p.is_dir() {
+                    count_anon(&p)
+                } else {
+                    usize::from(p.extension().is_some_and(|x| x == "anon"))
+                }
+            })
+            .sum()
+    }
+    assert!(count_anon(&out_dir) >= 3, "all files released");
+    // No quarantine directory appears on a clean run.
+    assert!(!root.join("out-quarantine").exists());
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn batch_planted_leak_exits_4_and_quarantines() {
+    let root = tmpdir("batch-leak");
+    let corpus = root.join("corpus");
+    std::fs::create_dir_all(&corpus).expect("mk corpus");
+    std::fs::write(
+        corpus.join("a.cfg"),
+        "router bgp 701\n neighbor 10.0.0.2 remote-as 701\n",
+    )
+    .expect("write");
+    std::fs::write(
+        corpus.join("b.cfg"),
+        "router bgp 65001\n neighbor 10.0.0.1 remote-as 701\n",
+    )
+    .expect("write");
+
+    let out_dir = root.join("out");
+    let quarantine = root.join("quar");
+    let out = bin()
+        .args(["batch", "--secret", "s", "--disable-rule", "neighbor-remote-as"])
+        .arg("--out-dir")
+        .arg(&out_dir)
+        .arg("--quarantine-dir")
+        .arg(&quarantine)
+        .arg(&corpus)
+        .output()
+        .expect("batch");
+    assert_eq!(out.status.code(), Some(4), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // The leak report is machine-readable and names the quarantine.
+    let report = std::fs::read_to_string(quarantine.join("leak_report.json")).expect("report");
+    assert!(report.contains("confanon-leak-report-v1"));
+    assert!(report.contains("\"quarantined\""));
+
+    // Quarantined bytes are in the quarantine dir, not the output dir.
+    let quarantined: Vec<String> = std::fs::read_dir(&quarantine)
+        .expect("quar dir")
+        .filter_map(|e| e.ok().map(|e| e.file_name().to_string_lossy().to_string()))
+        .filter(|n| n.ends_with(".anon"))
+        .collect();
+    assert!(!quarantined.is_empty());
+    for name in &quarantined {
+        assert!(!out_dir.join(name).exists(), "{name} must not be released");
+        let text = std::fs::read_to_string(quarantine.join(name)).expect("read");
+        assert!(text.contains("701"), "quarantine holds the leak");
+    }
+    // Whatever was released is clean.
+    if let Ok(entries) = std::fs::read_dir(&out_dir) {
+        for e in entries {
+            let text = std::fs::read_to_string(e.expect("e").path()).expect("read");
+            assert!(!text.contains("701"));
+        }
+    }
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn batch_unknown_rule_is_a_usage_error() {
+    let root = tmpdir("batch-badrule");
+    let out = bin()
+        .args(["batch", "--secret", "s", "--disable-rule", "no-such-rule"])
+        .arg(&root)
+        .output()
+        .expect("batch");
+    assert_eq!(out.status.code(), Some(2));
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn batch_missing_dir_is_an_io_error() {
+    let out = bin()
+        .args(["batch", "--secret", "s", "/nonexistent/confanon-test-dir"])
+        .output()
+        .expect("batch");
+    assert_eq!(out.status.code(), Some(1));
+}
+
+#[test]
+fn chaos_corpus_is_deterministic_and_survives_batch() {
+    let root = tmpdir("chaos-cli");
+    let a = root.join("a");
+    let b = root.join("b");
+    for dir in [&a, &b] {
+        assert!(bin()
+            .args(["chaos", "--seed", "7", "--count", "6"])
+            .arg("--out-dir")
+            .arg(dir)
+            .status()
+            .expect("chaos")
+            .success());
+    }
+    // Same seed, same bytes.
+    for i in 0..6 {
+        let name = format!("chaos-{i:03}.cfg");
+        let fa = std::fs::read(a.join(&name)).expect("a");
+        let fb = std::fs::read(b.join(&name)).expect("b");
+        assert_eq!(fa, fb, "{name} differs between identical seeds");
+    }
+
+    // The hostile corpus goes through batch without tripping panic
+    // containment: exit 0 or 4 (a mutation may re-expose a recorded
+    // identifier), never 3, never a crash.
+    let out = bin()
+        .args(["batch", "--secret", "s", "--jobs", "4"])
+        .arg("--out-dir")
+        .arg(root.join("out"))
+        .arg(&a)
+        .output()
+        .expect("batch");
+    let code = out.status.code().expect("no signal/crash");
+    assert!(
+        code == 0 || code == 4,
+        "unexpected exit {code}: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn batch_reads_non_utf8_input_lossily() {
+    let root = tmpdir("batch-lossy");
+    let corpus = root.join("corpus");
+    std::fs::create_dir_all(&corpus).expect("mk");
+    std::fs::write(
+        corpus.join("r1.cfg"),
+        b"hostname r1\xFF\xFE.corp.example\nrouter bgp 65001\n",
+    )
+    .expect("write");
+    let out = bin()
+        .args(["batch", "--secret", "s"])
+        .arg("--out-dir")
+        .arg(root.join("out"))
+        .arg(&corpus)
+        .output()
+        .expect("batch");
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("repaired hostile input"));
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
 fn scan_flags_recorded_items() {
     let root = tmpdir("scan");
     let record = root.join("record.json");

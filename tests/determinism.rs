@@ -1,10 +1,14 @@
 //! Determinism contracts: "all identifiers must be anonymized in a
 //! consistent manner" (§3.2) across re-runs, and the batch pipeline's
-//! guarantee that worker count never changes a byte of output.
+//! guarantee that worker count never changes a byte of output — even
+//! when files fail mid-pipeline or the leak gate quarantines outputs.
 
 use confanon::confgen::{generate_dataset, DatasetSpec};
-use confanon::core::{Anonymizer, AnonymizerConfig, BatchInput, BatchPipeline};
-use confanon::workflow::anonymize_corpus;
+use confanon::core::{
+    sanitize_bytes, Anonymizer, AnonymizerConfig, BatchInput, BatchPhase, BatchPipeline, RuleId,
+};
+use confanon::workflow::{anonymize_corpus, anonymize_corpus_gated};
+use confanon_testkit::chaos::ChaosMutator;
 
 fn corpus() -> Vec<(String, String)> {
     let ds = generate_dataset(&DatasetSpec {
@@ -105,4 +109,113 @@ fn warm_emit_equals_cold_emit() {
         .collect();
 
     assert_eq!(cold_out, warm_out);
+}
+
+/// A chaos-mutated corpus, sanitized the way the CLI sanitizes file
+/// reads (the pipeline API takes `String`, so the byte-level repair
+/// happens at the boundary).
+fn chaos_corpus(seed: u64) -> Vec<(String, String)> {
+    let mut mutator = ChaosMutator::new(seed);
+    corpus()
+        .into_iter()
+        .map(|(name, text)| {
+            let mutated = mutator.mutate(text.as_bytes());
+            let (repaired, _) = sanitize_bytes(&mutated.bytes);
+            (name, repaired)
+        })
+        .collect()
+}
+
+/// The full fail-closed result — released bytes, quarantine set, *and*
+/// the failure report — must be byte-identical at any job count, even
+/// over a hostile corpus with panicking files in the middle of it.
+#[test]
+fn chaos_corpus_identical_across_job_counts_including_failure_report() {
+    let mut files = chaos_corpus(0xC4A0_5EED);
+    // Plant deterministic panics in two files so the failure report has
+    // entries whose ordering could diverge under racing workers.
+    files[1].1.push_str("\nCHAOS-FAULT marker\n");
+    files[4].1.push_str("\nCHAOS-FAULT marker\n");
+    let cfg = || {
+        let mut c = AnonymizerConfig::new(b"owner-secret".to_vec());
+        c.fault_marker = Some(("CHAOS-FAULT".to_string(), BatchPhase::Rewrite));
+        c
+    };
+
+    let reference = anonymize_corpus_gated(&files, cfg(), 1);
+    assert_eq!(reference.failures.len(), 2, "planted faults must fire");
+    for jobs in [2, 8] {
+        let run = anonymize_corpus_gated(&files, cfg(), jobs);
+        let names = |r: &confanon::workflow::GatedCorpusRun| {
+            (
+                r.clean.iter().map(|o| (o.name.clone(), o.text.clone())).collect::<Vec<_>>(),
+                r.quarantined
+                    .iter()
+                    .map(|q| (q.output.name.clone(), q.output.text.clone()))
+                    .collect::<Vec<_>>(),
+                r.failures
+                    .iter()
+                    .map(|f| (f.name.clone(), f.phase, f.cause.clone()))
+                    .collect::<Vec<_>>(),
+            )
+        };
+        assert_eq!(names(&reference), names(&run), "jobs={jobs}");
+        // Including the machine-readable report, byte for byte.
+        assert_eq!(
+            reference.leak_report_json().to_string_pretty(),
+            run.leak_report_json().to_string_pretty(),
+            "jobs={jobs}"
+        );
+    }
+}
+
+/// Golden fail-closed test: a leak planted by disabling a locator rule
+/// (the §6.1 ablation experiment) is caught by the gate and quarantined —
+/// the releasable set never contains the leaking bytes.
+#[test]
+fn planted_leak_is_quarantined_not_emitted() {
+    // File A maps ASN 701 via `router bgp` (R06 records + maps it).
+    // File B mentions 701 only as `remote-as`; with R07 ablated the
+    // literal survives emission and the gate must catch it.
+    let files = vec![
+        (
+            "a.cfg".to_string(),
+            "router bgp 701\n neighbor 10.0.0.2 remote-as 701\n".to_string(),
+        ),
+        (
+            "b.cfg".to_string(),
+            "router bgp 65001\n neighbor 10.0.0.1 remote-as 701\n".to_string(),
+        ),
+    ];
+    let cfg = AnonymizerConfig::new(b"owner-secret".to_vec()).without_rule(RuleId::R07NeighborRemoteAs);
+    let run = anonymize_corpus_gated(&files, cfg, 2);
+
+    assert!(
+        !run.quarantined.is_empty(),
+        "ablated locator must trip the gate"
+    );
+    for q in &run.quarantined {
+        assert!(q.output.text.contains("701"), "quarantine holds the leak");
+        assert!(!q.report.is_clean());
+    }
+    for o in &run.clean {
+        assert!(!o.text.contains("701"), "released bytes must be clean");
+    }
+    // The machine-readable report names the quarantined file and
+    // round-trips through the JSON parser.
+    let json = run.leak_report_json().to_string_pretty();
+    let parsed = confanon_testkit::json::Json::parse(&json).expect("report parses");
+    assert_eq!(
+        parsed.get("quarantined_files").and_then(|v| v.as_u64()),
+        Some(run.quarantined.len() as u64)
+    );
+
+    // With all 28 rules on, the same corpus passes the gate cleanly.
+    let clean_run = anonymize_corpus_gated(
+        &files,
+        AnonymizerConfig::new(b"owner-secret".to_vec()),
+        2,
+    );
+    assert!(clean_run.quarantined.is_empty());
+    assert_eq!(clean_run.clean.len(), files.len());
 }
