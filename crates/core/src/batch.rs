@@ -43,12 +43,14 @@
 //! recovered: slot writes are index-disjoint, so a poisoned lock holds no
 //! broken invariant.
 
+use std::collections::BTreeSet;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use crate::anonymizer::{Anonymizer, AnonymizerConfig};
 use crate::error::{BatchFailure, BatchPhase};
+use crate::fsx::DurabilityStats;
 use crate::stats::AnonymizationStats;
 
 /// One input file of a batch: a display name and its configuration text.
@@ -74,15 +76,22 @@ pub struct BatchOutput {
 /// The whole-corpus result.
 pub struct BatchReport {
     /// Per-file outputs for every file that survived both passes, in
-    /// input order.
+    /// input order. Skipped files (resume) emit no output.
     pub outputs: Vec<BatchOutput>,
     /// Files whose processing panicked (contained), in input order.
     /// Their outputs are withheld.
     pub failures: Vec<BatchFailure>,
+    /// Files whose rewrite was skipped (`--resume` verified their
+    /// released bytes already match), in input order.
+    pub skipped: Vec<String>,
     /// Aggregate counters across the emitted outputs.
     pub totals: AnonymizationStats,
     /// Worker threads used for the rewrite pass.
     pub jobs: usize,
+    /// Durability counters for the run's published artifacts. The
+    /// pipeline itself performs no I/O; the publisher that emits the
+    /// report's outputs merges its counters in.
+    pub durability: DurabilityStats,
 }
 
 /// Renders a contained panic payload for the failure report.
@@ -136,6 +145,17 @@ impl BatchPipeline {
     /// bytes are identical for every `jobs` value; files that panic are
     /// reported in [`BatchReport::failures`] instead of aborting the run.
     pub fn run(&mut self, inputs: &[BatchInput]) -> BatchReport {
+        self.run_skipping(inputs, &BTreeSet::new())
+    }
+
+    /// [`Self::run`] with a resume skip set. Discovery still covers the
+    /// *whole* corpus in input order — the shared mapping state is
+    /// order-dependent, so a resumed run must perform the identical
+    /// sequence of mutations an uninterrupted run would — but files in
+    /// `skip` (their released bytes already verified on disk) are not
+    /// re-emitted. Byte-identity of the re-emitted files follows: the
+    /// warmed state is the same, and rewrite is a pure function of it.
+    pub fn run_skipping(&mut self, inputs: &[BatchInput], skip: &BTreeSet<String>) -> BatchReport {
         // Pass 1 — sequential discovery with per-file containment. The
         // pass is sequential in every mode, so the partial mapping state
         // a mid-file panic leaves behind is identical at any job count
@@ -154,8 +174,17 @@ impl BatchPipeline {
             }
         }
 
-        // Pass 2 — rewrite the survivors from clones of the warmed state.
-        let pending: Vec<usize> = (0..inputs.len()).filter(|&i| failed[i].is_none()).collect();
+        // Pass 2 — rewrite the survivors from clones of the warmed
+        // state, except files the resume verification already vouched
+        // for.
+        let pending: Vec<usize> = (0..inputs.len())
+            .filter(|&i| failed[i].is_none() && !skip.contains(&inputs[i].name))
+            .collect();
+        let skipped: Vec<String> = inputs
+            .iter()
+            .filter(|f| skip.contains(&f.name))
+            .map(|f| f.name.clone())
+            .collect();
         let mut slots: Vec<Option<BatchOutput>> = Vec::new();
         slots.resize_with(inputs.len(), || None);
 
@@ -176,8 +205,10 @@ impl BatchPipeline {
         BatchReport {
             outputs,
             failures,
+            skipped,
             totals,
             jobs,
+            durability: DurabilityStats::default(),
         }
     }
 
@@ -500,6 +531,29 @@ mod tests {
                     .map(|f| (f.name.clone(), f.phase, f.cause.clone()))
                     .collect();
             assert_eq!(got, reference, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn run_skipping_preserves_other_files_bytes() {
+        // The resume property at the pipeline level: skipping verified
+        // files changes nothing about the bytes of the files that are
+        // re-emitted, because discovery still walks the whole corpus.
+        let inputs = corpus();
+        let full = BatchPipeline::new(secret(), 2).run(&inputs);
+        let skip = BTreeSet::from(["r2.cfg".to_string(), "r5.cfg".to_string()]);
+        for jobs in [1, 4] {
+            let partial = BatchPipeline::new(secret(), jobs).run_skipping(&inputs, &skip);
+            assert_eq!(partial.skipped, vec!["r2.cfg".to_string(), "r5.cfg".to_string()]);
+            assert_eq!(partial.outputs.len(), inputs.len() - 2);
+            for o in &partial.outputs {
+                let reference = full
+                    .outputs
+                    .iter()
+                    .find(|f| f.name == o.name)
+                    .expect("present in full run");
+                assert_eq!(o.text, reference.text, "jobs={jobs}: {} diverged", o.name);
+            }
         }
     }
 

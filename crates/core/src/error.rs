@@ -96,6 +96,16 @@ pub enum AnonError {
         /// What was wrong.
         message: String,
     },
+    /// A durable write failed *after* the run journal was safely on
+    /// disk: nothing released is torn, the manifest accounts for every
+    /// published byte, and the run can continue with `--resume` instead
+    /// of restarting.
+    ResumableInterrupted {
+        /// The path whose write failed.
+        path: String,
+        /// The underlying OS error message.
+        message: String,
+    },
 }
 
 impl fmt::Display for AnonError {
@@ -112,6 +122,11 @@ impl fmt::Display for AnonError {
                 "leak gate: {leaks} residual hit(s) across {files} file(s) quarantined"
             ),
             AnonError::InvalidInput { message } => write!(f, "invalid input: {message}"),
+            AnonError::ResumableInterrupted { path, message } => write!(
+                f,
+                "run interrupted (manifest intact): I/O error on {path}: {message}; \
+                 re-run with --resume to continue"
+            ),
         }
     }
 }
@@ -145,5 +160,11 @@ mod tests {
             message: "denied".into(),
         };
         assert!(io.to_string().contains("denied"));
+        let r = AnonError::ResumableInterrupted {
+            path: "out/a.anon".into(),
+            message: "no space left on device".into(),
+        };
+        assert!(r.to_string().contains("--resume"));
+        assert!(r.to_string().contains("manifest intact"));
     }
 }

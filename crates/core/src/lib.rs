@@ -45,21 +45,27 @@ pub mod anonymizer;
 pub mod batch;
 pub mod error;
 pub mod figure1;
+pub mod fsx;
 pub mod input;
 pub mod iterate;
 pub mod leak;
 #[cfg(test)]
 mod locator_tests;
+pub mod manifest;
 pub mod passlist;
+pub mod publish;
 pub mod rules;
 pub mod stats;
 
 pub use anonymizer::{AnonymizedConfig, Anonymizer, AnonymizerConfig, IpScheme};
 pub use batch::{BatchInput, BatchOutput, BatchPipeline, BatchReport};
 pub use error::{AnonError, BatchFailure, BatchPhase};
+pub use fsx::{write_atomic, DurabilityStats, Fs, StdFs};
 pub use input::{sanitize_bytes, InputSanitation, MAX_LINE_LEN};
 pub use iterate::{iterate_to_closure, IterationTrace};
 pub use leak::{LeakReport, LeakScanner};
+pub use manifest::{FileEntry, FileStatus, RunManifest, RUN_MANIFEST_NAME, RUN_MANIFEST_SCHEMA};
 pub use passlist::PassList;
+pub use publish::Publisher;
 pub use rules::{RuleCategory, RuleId, ALL_RULES};
 pub use stats::AnonymizationStats;

@@ -1,0 +1,445 @@
+//! The journaled publisher: every byte a corpus run emits goes through
+//! here.
+//!
+//! [`Publisher`] enforces the write-ahead discipline around
+//! [`crate::manifest::RunManifest`]:
+//!
+//! 1. **journal first** — a file's new state (and the digest of the
+//!    bytes about to appear) is written durably into
+//!    `run_manifest.json` *before* the bytes themselves;
+//! 2. **publish second** — the bytes land via
+//!    [`crate::fsx::write_atomic`], so they appear in one atomic step.
+//!
+//! A crash between the two steps leaves a manifest that *over*-claims
+//! (an entry says `released` but the file is absent or stale); never an
+//! output directory that over-claims. [`Publisher::resume`] exploits
+//! exactly that asymmetry: it trusts nothing, re-verifies every
+//! `released` entry against its digest, demotes anything unverifiable
+//! back to `pending`, sweeps staging files, and hands back the set of
+//! files whose outputs are already correct so the pipeline can skip
+//! re-emitting them.
+//!
+//! All durable writes go through the injectable [`Fs`] trait, so the
+//! fault-injection suites drive this layer through torn writes and
+//! rename failures too.
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+use crate::error::AnonError;
+use crate::fsx::{self, write_atomic, DurabilityStats, Fs};
+use crate::manifest::{FileStatus, RunManifest, RUN_MANIFEST_NAME};
+
+/// The journaled publisher for one corpus run.
+pub struct Publisher<'a> {
+    fs: &'a dyn Fs,
+    out_dir: PathBuf,
+    manifest: RunManifest,
+    /// True once a complete manifest has been durably written: from then
+    /// on any publish failure leaves a resumable run on disk.
+    manifest_durable: bool,
+    stats: DurabilityStats,
+}
+
+/// The released target path for a corpus file (mirrors the historical
+/// `<name>.anon` layout of `confanon batch`).
+fn released_path(dir: &Path, name: &str) -> PathBuf {
+    dir.join(format!("{name}.anon"))
+}
+
+/// Best-effort removal of `write_atomic` staging files under `dir`,
+/// recursively. Uses the real filesystem directly: both [`Fs`] impls
+/// are backed by it, and a sweep that cannot list a directory has
+/// nothing it could correctly delete there anyway.
+fn sweep_tmp_files(dir: &Path) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            sweep_tmp_files(&path);
+        } else if fsx::is_tmp_path(&path) {
+            let _ = std::fs::remove_file(&path);
+        }
+    }
+}
+
+impl<'a> Publisher<'a> {
+    /// Starts a fresh run: writes an all-`pending` manifest durably into
+    /// `out_dir` before any output exists, so even a crash during
+    /// anonymization leaves a resumable journal behind.
+    pub fn begin(
+        fs: &'a dyn Fs,
+        out_dir: &Path,
+        secret: &[u8],
+        names: &[String],
+    ) -> Result<Publisher<'a>, AnonError> {
+        let mut p = Publisher {
+            fs,
+            out_dir: out_dir.to_path_buf(),
+            manifest: RunManifest::new(secret, names),
+            manifest_durable: false,
+            stats: DurabilityStats::default(),
+        };
+        p.journal()?;
+        Ok(p)
+    }
+
+    /// Resumes an interrupted run: loads and validates the journal, then
+    /// re-verifies its claims against the output directory.
+    ///
+    /// Validation failures are [`AnonError::InvalidInput`] — a missing
+    /// manifest, a different owner secret, or a corpus whose file list
+    /// no longer matches must stop the run, not silently start over.
+    ///
+    /// Returns the publisher plus the names whose released outputs
+    /// verified byte-for-byte (the pipeline may skip re-emitting them).
+    /// Everything else — pending, failed, quarantined, or released-but-
+    /// unverifiable — is demoted to `pending` and will be re-processed;
+    /// stale released files are removed so the output directory never
+    /// holds bytes the journal does not vouch for.
+    pub fn resume(
+        fs: &'a dyn Fs,
+        out_dir: &Path,
+        secret: &[u8],
+        names: &[String],
+    ) -> Result<(Publisher<'a>, BTreeSet<String>), AnonError> {
+        let manifest_path = out_dir.join(RUN_MANIFEST_NAME);
+        let bytes = fs.read(&manifest_path).map_err(|e| AnonError::InvalidInput {
+            message: format!(
+                "nothing to resume: cannot read {}: {e}",
+                manifest_path.display()
+            ),
+        })?;
+        let text = String::from_utf8_lossy(&bytes);
+        let mut manifest = RunManifest::from_json_str(&text)?;
+        if manifest.secret_fingerprint != RunManifest::fingerprint(secret) {
+            return Err(AnonError::InvalidInput {
+                message: format!(
+                    "{}: owner secret does not match the interrupted run \
+                     (fingerprint mismatch)",
+                    manifest_path.display()
+                ),
+            });
+        }
+        let manifest_names: Vec<&str> = manifest.files.iter().map(|f| f.name.as_str()).collect();
+        let corpus_names: Vec<&str> = names.iter().map(String::as_str).collect();
+        if manifest_names != corpus_names {
+            return Err(AnonError::InvalidInput {
+                message: format!(
+                    "{}: corpus file list changed since the interrupted run \
+                     ({} file(s) then, {} now); resume requires the identical corpus",
+                    manifest_path.display(),
+                    manifest_names.len(),
+                    corpus_names.len()
+                ),
+            });
+        }
+
+        // A crash can strand staging files anywhere we write.
+        sweep_tmp_files(out_dir);
+
+        // Re-verify every released claim; trust digests, not statuses.
+        let mut verified = BTreeSet::new();
+        for entry in &mut manifest.files {
+            let keep = entry.status == FileStatus::Released
+                && entry.digest.as_deref().is_some_and(|digest| {
+                    fs.read(&released_path(out_dir, &entry.name))
+                        .is_ok_and(|bytes| RunManifest::digest_hex(&bytes) == digest)
+                });
+            if keep {
+                verified.insert(entry.name.clone());
+            } else {
+                if entry.status == FileStatus::Released {
+                    // Journaled as released but missing or stale on disk:
+                    // remove any stale bytes before re-processing.
+                    let _ = fs.remove_file(&released_path(out_dir, &entry.name));
+                }
+                entry.status = FileStatus::Pending;
+                entry.digest = None;
+            }
+        }
+
+        let mut p = Publisher {
+            fs,
+            out_dir: out_dir.to_path_buf(),
+            manifest,
+            manifest_durable: false,
+            stats: DurabilityStats::default(),
+        };
+        p.journal()?;
+        Ok((p, verified))
+    }
+
+    /// Durably rewrites the journal with the current in-memory state.
+    fn journal(&mut self) -> Result<(), AnonError> {
+        let path = self.out_dir.join(RUN_MANIFEST_NAME);
+        write_atomic(self.fs, &path, &self.manifest.to_bytes(), &mut self.stats)?;
+        self.manifest_durable = true;
+        Ok(())
+    }
+
+    /// Marks `name` with `status`/`digest` or reports the corpus/journal
+    /// mismatch as an error.
+    fn set_entry(
+        &mut self,
+        name: &str,
+        status: FileStatus,
+        digest: Option<String>,
+    ) -> Result<(), AnonError> {
+        if self.manifest.set(name, status, digest) {
+            Ok(())
+        } else {
+            Err(AnonError::InvalidInput {
+                message: format!("{RUN_MANIFEST_NAME}: no entry for corpus file {name:?}"),
+            })
+        }
+    }
+
+    /// Releases one file: journals the `released` state (with the digest
+    /// of `bytes`) durably, *then* publishes the bytes atomically. At no
+    /// observable point does the output directory contain a file whose
+    /// digest is absent from the journal.
+    pub fn release(&mut self, name: &str, bytes: &[u8]) -> Result<(), AnonError> {
+        self.set_entry(
+            name,
+            FileStatus::Released,
+            Some(RunManifest::digest_hex(bytes)),
+        )?;
+        self.journal()?;
+        write_atomic(
+            self.fs,
+            &released_path(&self.out_dir, name),
+            bytes,
+            &mut self.stats,
+        )
+    }
+
+    /// Quarantines one file: journals the `quarantined` state, then
+    /// writes the bytes into `quarantine_dir` (never the output
+    /// directory).
+    pub fn quarantine(
+        &mut self,
+        quarantine_dir: &Path,
+        name: &str,
+        bytes: &[u8],
+    ) -> Result<(), AnonError> {
+        self.set_entry(
+            name,
+            FileStatus::Quarantined,
+            Some(RunManifest::digest_hex(bytes)),
+        )?;
+        self.journal()?;
+        write_atomic(
+            self.fs,
+            &released_path(quarantine_dir, name),
+            bytes,
+            &mut self.stats,
+        )
+    }
+
+    /// Journals panic-contained files as `failed` (no bytes exist for
+    /// them) in one durable write.
+    pub fn mark_failed(&mut self, names: &[String]) -> Result<(), AnonError> {
+        if names.is_empty() {
+            return Ok(());
+        }
+        for n in names {
+            self.set_entry(n, FileStatus::Failed, None)?;
+        }
+        self.journal()
+    }
+
+    /// Writes an unjournaled artifact (a leak report, a bench file)
+    /// atomically and durably through the same counters.
+    pub fn write_report(&mut self, path: &Path, bytes: &[u8]) -> Result<(), AnonError> {
+        write_atomic(self.fs, path, bytes, &mut self.stats)
+    }
+
+    /// True once a complete manifest is durably on disk — the condition
+    /// under which a later publish failure is *resumable* rather than
+    /// plainly fatal.
+    pub fn manifest_durable(&self) -> bool {
+        self.manifest_durable
+    }
+
+    /// The current journal state (for summaries and assertions).
+    pub fn manifest(&self) -> &RunManifest {
+        &self.manifest
+    }
+
+    /// Finishes the run, yielding the final journal and the durability
+    /// counters accumulated across every write.
+    pub fn finish(self) -> (RunManifest, DurabilityStats) {
+        (self.manifest, self.stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fsx::StdFs;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "confanon-publish-{tag}-{}-{}",
+            std::process::id(),
+            DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).expect("mk tmpdir");
+        d
+    }
+
+    fn names(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn manifest_on_disk(dir: &Path) -> RunManifest {
+        let text =
+            std::fs::read_to_string(dir.join(RUN_MANIFEST_NAME)).expect("manifest readable");
+        RunManifest::from_json_str(&text).expect("manifest parses")
+    }
+
+    #[test]
+    fn begin_release_finish_round_trip() {
+        let dir = tmpdir("roundtrip");
+        let ns = names(&["a.cfg", "net/b.cfg"]);
+        let mut p = Publisher::begin(&StdFs, &dir, b"s3cret", &ns).expect("begin");
+        assert!(p.manifest_durable());
+        assert_eq!(manifest_on_disk(&dir).pending_count(), 2);
+
+        p.release("a.cfg", b"anon a\n").expect("release a");
+        p.release("net/b.cfg", b"anon b\n").expect("release b");
+        let (manifest, stats) = p.finish();
+
+        assert_eq!(manifest.pending_count(), 0);
+        assert_eq!(manifest_on_disk(&dir), manifest);
+        assert_eq!(
+            std::fs::read(dir.join("a.cfg.anon")).expect("read"),
+            b"anon a\n"
+        );
+        assert_eq!(
+            std::fs::read(dir.join("net/b.cfg.anon")).expect("read"),
+            b"anon b\n"
+        );
+        // begin + 2×(journal + publish) = 5 atomic writes.
+        assert_eq!(stats.atomic_writes, 5);
+        let entry = manifest.entry("a.cfg").expect("entry");
+        assert_eq!(entry.status, FileStatus::Released);
+        assert_eq!(entry.digest.as_deref(), Some(RunManifest::digest_hex(b"anon a\n").as_str()));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn release_journals_before_publishing() {
+        // After a release, the on-disk manifest must vouch for the
+        // on-disk bytes; the converse (bytes without journal) is the
+        // state release() can never create.
+        let dir = tmpdir("wal");
+        let ns = names(&["a.cfg"]);
+        let mut p = Publisher::begin(&StdFs, &dir, b"s", &ns).expect("begin");
+        p.release("a.cfg", b"payload").expect("release");
+        let m = manifest_on_disk(&dir);
+        let on_disk = std::fs::read(dir.join("a.cfg.anon")).expect("read");
+        assert_eq!(
+            m.entry("a.cfg").and_then(|e| e.digest.clone()),
+            Some(RunManifest::digest_hex(&on_disk))
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_skips_verified_and_demotes_the_rest() {
+        let dir = tmpdir("resume");
+        let ns = names(&["a.cfg", "b.cfg", "c.cfg", "d.cfg"]);
+        let mut p = Publisher::begin(&StdFs, &dir, b"s", &ns).expect("begin");
+        p.release("a.cfg", b"good").expect("release a");
+        p.release("b.cfg", b"stale").expect("release b");
+        p.mark_failed(&names(&["c.cfg"])).expect("fail c");
+        drop(p);
+        // Corrupt b's output (a torn/stale file) and strand a staging file.
+        std::fs::write(dir.join("b.cfg.anon"), b"sta").expect("corrupt");
+        std::fs::write(dir.join(".x.anon.1.2.fsx-tmp"), b"junk").expect("tmp");
+
+        let (p, verified) = Publisher::resume(&StdFs, &dir, b"s", &ns).expect("resume");
+        assert_eq!(verified, BTreeSet::from(["a.cfg".to_string()]));
+        // b demoted and its stale bytes removed; c and d pending again.
+        assert!(!dir.join("b.cfg.anon").exists());
+        assert!(!dir.join(".x.anon.1.2.fsx-tmp").exists());
+        let m = p.manifest();
+        assert_eq!(m.entry("a.cfg").map(|e| e.status), Some(FileStatus::Released));
+        for n in ["b.cfg", "c.cfg", "d.cfg"] {
+            assert_eq!(m.entry(n).map(|e| e.status), Some(FileStatus::Pending), "{n}");
+        }
+        assert_eq!(manifest_on_disk(&dir), *m, "demotions are re-journaled");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_rejects_missing_manifest_wrong_secret_and_changed_corpus() {
+        let dir = tmpdir("reject");
+        let ns = names(&["a.cfg"]);
+        assert!(
+            matches!(
+                Publisher::resume(&StdFs, &dir, b"s", &ns),
+                Err(AnonError::InvalidInput { .. })
+            ),
+            "no manifest"
+        );
+        drop(Publisher::begin(&StdFs, &dir, b"s", &ns).expect("begin"));
+        assert!(
+            matches!(
+                Publisher::resume(&StdFs, &dir, b"other", &ns),
+                Err(AnonError::InvalidInput { .. })
+            ),
+            "wrong secret"
+        );
+        assert!(
+            matches!(
+                Publisher::resume(&StdFs, &dir, b"s", &names(&["a.cfg", "new.cfg"])),
+                Err(AnonError::InvalidInput { .. })
+            ),
+            "changed corpus"
+        );
+        let (_, verified) = Publisher::resume(&StdFs, &dir, b"s", &ns).expect("valid resume");
+        assert!(verified.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn quarantine_writes_outside_out_dir_and_journals() {
+        let dir = tmpdir("quarantine-out");
+        let qdir = tmpdir("quarantine-q");
+        let ns = names(&["a.cfg"]);
+        let mut p = Publisher::begin(&StdFs, &dir, b"s", &ns).expect("begin");
+        p.quarantine(&qdir, "a.cfg", b"leaky").expect("quarantine");
+        assert!(!dir.join("a.cfg.anon").exists(), "never lands in out-dir");
+        assert_eq!(std::fs::read(qdir.join("a.cfg.anon")).expect("read"), b"leaky");
+        assert_eq!(
+            manifest_on_disk(&dir).entry("a.cfg").map(|e| e.status),
+            Some(FileStatus::Quarantined)
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&qdir);
+    }
+
+    #[test]
+    fn completed_resume_is_idempotent() {
+        let dir = tmpdir("idempotent");
+        let ns = names(&["a.cfg", "b.cfg"]);
+        let mut p = Publisher::begin(&StdFs, &dir, b"s", &ns).expect("begin");
+        p.release("a.cfg", b"one").expect("a");
+        p.release("b.cfg", b"two").expect("b");
+        let (done, _) = p.finish();
+        let (p2, verified) = Publisher::resume(&StdFs, &dir, b"s", &ns).expect("resume");
+        assert_eq!(verified.len(), 2, "everything verifies, nothing to redo");
+        assert_eq!(*p2.manifest(), done);
+        assert_eq!(manifest_on_disk(&dir), done);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,292 @@
+//! A seeded fault-injecting filesystem for crash-consistency tests.
+//!
+//! [`FaultFs`] performs real I/O (against a temp directory the test
+//! owns) but, driven by an xorshift64\* stream, injects the failure
+//! modes a durable-write layer must survive:
+//!
+//! * **torn writes** — a prefix of the bytes reaches the disk, then the
+//!   write reports an error (what a crash or ENOSPC mid-`write` leaves
+//!   behind);
+//! * **transient errors** — EINTR-class conditions that clear on retry;
+//! * **permanent errors** — EIO-class conditions that must fail the
+//!   operation;
+//! * **rename failures** — the publish step itself dying.
+//!
+//! The injector is deterministic per seed (replayable via the usual
+//! `TESTKIT_SEED` property-harness override) and supports a *fault
+//! budget*: after `n` injected faults every operation succeeds, which
+//! lets a property assert that bounded retry absorbs bounded
+//! transients. The struct deliberately mirrors the `Fs` trait of
+//! `confanon-core::fsx` method for method; the core crate provides the
+//! trait impl (the dependency points core → testkit, not the reverse).
+
+use std::io;
+use std::path::Path;
+use std::sync::Mutex;
+
+use crate::rng::{Rng, SeedableRng, XorShift64Star};
+
+/// Probabilities are expressed per mille (out of 1000) so the injector
+/// needs no floating point.
+#[derive(Debug, Clone, Copy)]
+struct Rates {
+    /// Chance a `write_sync` tears and errors.
+    write: u32,
+    /// Chance a `rename` fails.
+    rename: u32,
+    /// Chance a `sync_dir` fails.
+    sync: u32,
+    /// Of injected faults, the share that is transient (EINTR-class).
+    transient: u32,
+}
+
+#[derive(Debug)]
+struct Inner {
+    rng: XorShift64Star,
+    /// Remaining faults allowed; `None` = unlimited.
+    budget: Option<u64>,
+    injected: u64,
+}
+
+/// The fault-injecting filesystem. All decisions come from one seeded
+/// stream, so a given seed produces one reproducible fault schedule.
+#[derive(Debug)]
+pub struct FaultFs {
+    rates: Rates,
+    inner: Mutex<Inner>,
+}
+
+/// What a faultable operation should do, decided before any I/O.
+enum Verdict {
+    Proceed,
+    Fail(io::Error),
+}
+
+impl FaultFs {
+    /// A mixed-mode injector: torn writes, rename and sync failures,
+    /// with a blend of transient and permanent error kinds.
+    pub fn new(seed: u64) -> FaultFs {
+        FaultFs {
+            rates: Rates {
+                write: 250,
+                rename: 200,
+                sync: 150,
+                transient: 400,
+            },
+            inner: Mutex::new(Inner {
+                rng: XorShift64Star::seed_from_u64(seed ^ 0xFA01_75F5),
+                budget: None,
+                injected: 0,
+            }),
+        }
+    }
+
+    /// An injector whose every fault is transient (EINTR-class), for
+    /// properties about retry absorption.
+    pub fn transient_only(seed: u64) -> FaultFs {
+        let mut fs = FaultFs::new(seed);
+        fs.rates.write = 500;
+        fs.rates.rename = 350;
+        fs.rates.sync = 350;
+        fs.rates.transient = 1000;
+        fs
+    }
+
+    /// Caps the total number of injected faults; after the budget is
+    /// spent every operation succeeds.
+    pub fn with_fault_budget(self, budget: u64) -> FaultFs {
+        {
+            let mut g = self.lock();
+            g.budget = Some(budget);
+        }
+        self
+    }
+
+    /// How many faults have been injected so far.
+    pub fn faults_injected(&self) -> u64 {
+        self.lock().injected
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        // A panicking sibling test thread cannot corrupt the injector
+        // state (it is just a PRNG and counters): recover the lock.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Rolls the dice for one operation: proceed, or fail with a
+    /// transient/permanent error (consuming budget).
+    fn decide(&self, per_mille: u32, what: &str) -> Verdict {
+        let mut g = self.lock();
+        if let Some(b) = g.budget {
+            if g.injected >= b {
+                return Verdict::Proceed;
+            }
+        }
+        if g.rng.gen_range(0u32..1000) >= per_mille {
+            return Verdict::Proceed;
+        }
+        g.injected += 1;
+        let transient = g.rng.gen_range(0u32..1000) < self.rates.transient;
+        Verdict::Fail(if transient {
+            io::Error::new(
+                io::ErrorKind::Interrupted,
+                format!("injected transient fault: {what}"),
+            )
+        } else {
+            io::Error::other(format!("injected permanent fault: {what}"))
+        })
+    }
+
+    /// Length of the torn prefix that reaches disk before a failed
+    /// write reports its error.
+    fn torn_len(&self, total: usize) -> usize {
+        self.lock().rng.gen_range(0..=total)
+    }
+
+    // ---- the Fs surface (trait impl lives in confanon-core) ------------
+
+    /// Directory creation is fault-free: the interesting failure edges
+    /// are in the data path.
+    pub fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(dir)
+    }
+
+    /// Writes with a possible injected tear: on a fault, a random
+    /// prefix of `bytes` lands at `path` and the call errors.
+    pub fn write_sync(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        match self.decide(self.rates.write, "write_sync") {
+            Verdict::Proceed => {
+                use io::Write;
+                let mut f = std::fs::File::create(path)?;
+                f.write_all(bytes)?;
+                f.sync_all()
+            }
+            Verdict::Fail(e) => {
+                let torn = &bytes[..self.torn_len(bytes.len())];
+                let _ = std::fs::write(path, torn);
+                Err(e)
+            }
+        }
+    }
+
+    /// Renames with a possible injected failure (the temp file stays
+    /// where it was, as a real failed `rename(2)` leaves it).
+    pub fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        match self.decide(self.rates.rename, "rename") {
+            Verdict::Proceed => std::fs::rename(from, to),
+            Verdict::Fail(e) => Err(e),
+        }
+    }
+
+    /// Directory syncs with a possible injected failure.
+    pub fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        match self.decide(self.rates.sync, "sync_dir") {
+            Verdict::Proceed => {
+                #[cfg(unix)]
+                {
+                    std::fs::File::open(dir)?.sync_all()
+                }
+                #[cfg(not(unix))]
+                {
+                    let _ = dir;
+                    Ok(())
+                }
+            }
+            Verdict::Fail(e) => Err(e),
+        }
+    }
+
+    /// Removal is fault-free so cleanup/rollback paths stay exercised
+    /// (a failed rollback would mask the property under test).
+    pub fn remove_file(&self, path: &Path) -> io::Result<()> {
+        std::fs::remove_file(path)
+    }
+
+    /// Reads are fault-free (resume verification reads its own prior
+    /// output; corruption there is modelled by torn writes instead).
+    pub fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        std::fs::read(path)
+    }
+
+    /// Existence checks are fault-free.
+    pub fn exists(&self, path: &Path) -> bool {
+        path.exists()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("confanon-faultfs-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).expect("mk tmpdir");
+        d
+    }
+
+    #[test]
+    fn same_seed_same_fault_schedule() {
+        let dir = tmpdir("determinism");
+        let schedule = |seed: u64| -> Vec<bool> {
+            let fs = FaultFs::new(seed);
+            (0..50)
+                .map(|i| fs.write_sync(&dir.join(format!("f{i}")), b"x").is_err())
+                .collect()
+        };
+        assert_eq!(schedule(42), schedule(42));
+        assert_ne!(schedule(42), schedule(43), "different seeds should differ");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn budget_caps_injection() {
+        let dir = tmpdir("budget");
+        let fs = FaultFs::transient_only(7).with_fault_budget(3);
+        let mut failures = 0;
+        for i in 0..200 {
+            if fs.write_sync(&dir.join(format!("f{i}")), b"x").is_err() {
+                failures += 1;
+            }
+        }
+        assert_eq!(failures, 3, "budget must cap injected faults");
+        assert_eq!(fs.faults_injected(), 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn transient_only_errors_are_interrupted() {
+        let dir = tmpdir("kinds");
+        let fs = FaultFs::transient_only(11);
+        let mut saw_fault = false;
+        for i in 0..100 {
+            if let Err(e) = fs.write_sync(&dir.join(format!("f{i}")), b"x") {
+                saw_fault = true;
+                assert_eq!(e.kind(), io::ErrorKind::Interrupted);
+            }
+        }
+        assert!(saw_fault, "transient_only at 50% should fault in 100 ops");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_write_leaves_a_strict_state() {
+        // On an injected write fault the file holds a prefix (possibly
+        // empty, possibly full) of the payload — never other bytes.
+        let dir = tmpdir("torn");
+        let fs = FaultFs::new(1234);
+        let payload = b"0123456789abcdef";
+        for i in 0..100 {
+            let p = dir.join(format!("f{i}"));
+            if fs.write_sync(&p, payload).is_err() {
+                let on_disk = std::fs::read(&p).unwrap_or_default();
+                assert!(
+                    payload.starts_with(&on_disk),
+                    "torn bytes must be a prefix: {on_disk:?}"
+                );
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

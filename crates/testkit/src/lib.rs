@@ -19,6 +19,9 @@
 //! * [`chaos`] — a seeded corpus mutator (truncation, invalid UTF-8
 //!   splices, control characters, unterminated banners, oversized
 //!   lines, deep nesting) for hostile-input hardening tests.
+//! * [`faultfs`] — a seeded fault-injecting filesystem (torn writes,
+//!   transient/permanent errors, rename failures) for the durable-write
+//!   crash-consistency properties.
 //!
 //! Everything here is deterministic by default: property tests derive
 //! their seed from the test name so CI runs are reproducible, and the
@@ -26,6 +29,7 @@
 
 pub mod bench;
 pub mod chaos;
+pub mod faultfs;
 pub mod json;
 pub mod props;
 pub mod rng;

@@ -22,10 +22,15 @@ trap 'rm -rf "$corpus_dir"' EXIT
 ./target/release/confanon generate --networks 2 --routers 4 --seed 2004 \
     --out-dir "$corpus_dir"
 ./target/release/confanon batch "$corpus_dir" --jobs 4 \
-    --bench-json BENCH_pipeline.json
+    --bench-json BENCH_pipeline.json \
+    --bench-durability BENCH_durability.json
 
 echo "==> BENCH_pipeline.json"
 cat BENCH_pipeline.json
+echo
+
+echo "==> BENCH_durability.json"
+cat BENCH_durability.json
 echo
 
 echo "==> chaos smoke: fail-closed exit-code taxonomy"
@@ -85,5 +90,38 @@ esac
 }
 diff -r "$chaos_dir/hostile-out4" "$chaos_dir/hostile-out1"
 diff -r "$chaos_dir/hostile-q4" "$chaos_dir/hostile-q1"
+
+echo "==> crash/resume smoke: durable journal + --resume"
+# Kill the run after its 3rd durable write (SIGABRT, a real crash, not
+# an unwind), check the journal survived intact, resume at a different
+# worker count, and demand byte-identity with clean one-shot runs at
+# --jobs 1 and --jobs 4. The manifest records neither timestamps nor
+# the job count, so even run_manifest.json must diff clean.
+crash_dir="$(mktemp -d)"
+trap 'rm -rf "$corpus_dir" "$chaos_dir" "$crash_dir"' EXIT
+
+./target/release/confanon batch "$corpus_dir" --jobs 1 \
+    --out-dir "$crash_dir/golden1"
+./target/release/confanon batch "$corpus_dir" --jobs 4 \
+    --out-dir "$crash_dir/golden4"
+diff -r "$crash_dir/golden1" "$crash_dir/golden4"
+
+set +e
+CONFANON_CRASH_AFTER=3 ./target/release/confanon batch "$corpus_dir" \
+    --jobs 1 --out-dir "$crash_dir/out"
+code=$?
+set -e
+[ "$code" -ne 0 ] || { echo "crash run: expected a non-zero exit"; exit 1; }
+grep -q '"confanon-run-manifest-v1"' "$crash_dir/out/run_manifest.json" || {
+    echo "crash run: journal missing or torn after the crash"; exit 1;
+}
+ls "$crash_dir/out" | grep -q '\.fsx-tmp' && {
+    echo "crash run: stray temp file escaped into --out-dir"; exit 1;
+}
+
+./target/release/confanon batch "$corpus_dir" --jobs 4 --resume \
+    --out-dir "$crash_dir/out"
+diff -r "$crash_dir/out" "$crash_dir/golden1"
+diff -r "$crash_dir/out" "$crash_dir/golden4"
 
 echo "CI OK"

@@ -7,7 +7,8 @@
 //! ```text
 //! confanon anonymize --secret <secret> [--compact] [--audit FILE] [--out-dir DIR] FILE...
 //! confanon batch     [--jobs N] [--secret S] [--out-dir DIR] [--quarantine-dir DIR]
-//!                    [--disable-rule NAMES] [--bench-json FILE] DIR
+//!                    [--disable-rule NAMES] [--bench-json FILE]
+//!                    [--bench-durability FILE] [--resume] DIR
 //! confanon chaos     [--seed S] [--count N] --out-dir DIR
 //! confanon generate  [--networks N] [--routers M] [--seed S] --out-dir DIR
 //! confanon validate  --pre-dir DIR --post-dir DIR
@@ -21,14 +22,32 @@
 //! without parsing stderr: `0` success (all outputs released), `1` I/O
 //! failure, `2` usage error, `3` panic-contained file(s) (outputs
 //! withheld, rest released), `4` leak-gated file(s) quarantined (takes
-//! precedence over `3`).
+//! precedence over `3`), `5` run interrupted with the journal intact —
+//! re-run with `--resume` to continue instead of starting over.
+//!
+//! ## Durability
+//!
+//! With `--out-dir`, every byte `batch` publishes goes through an
+//! atomic durable write (staged temp file → fsync → rename → directory
+//! fsync) and a write-ahead journal `run_manifest.json` in the output
+//! directory: a file's digest is journaled *before* its bytes appear,
+//! so a crash at any point leaves no torn or unaccounted-for output.
+//! `CONFANON_CRASH_AFTER=N` aborts the process after the N-th durable
+//! write (deterministic at any `--jobs`), which is how the crash/resume
+//! property suite enumerates every crash point.
 
-use std::collections::BTreeMap;
+// Fail-closed at the CLI boundary too: no abort on input-derived data.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+use std::collections::{BTreeMap, BTreeSet};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use confanon::confgen::{generate_dataset, DatasetSpec};
-use confanon::core::{sanitize_bytes, AnonymizedConfig, Anonymizer, AnonymizerConfig, ALL_RULES};
+use confanon::core::{
+    sanitize_bytes, write_atomic, AnonError, AnonymizedConfig, Anonymizer, AnonymizerConfig,
+    DurabilityStats, Publisher, StdFs, ALL_RULES, RUN_MANIFEST_NAME,
+};
 use confanon::iosparse::Config;
 use confanon::validate::{compare_designs, compare_properties, network_properties};
 
@@ -44,6 +63,20 @@ const EXIT_PANIC_CONTAINED: u8 = 3;
 /// The §6.1 gate quarantined one or more outputs with residual
 /// identifiers. Takes precedence over [`EXIT_PANIC_CONTAINED`].
 const EXIT_LEAK_GATED: u8 = 4;
+/// A durable write failed after the run journal was safely on disk:
+/// nothing published is torn and `--resume` can continue the run.
+const EXIT_RESUMABLE: u8 = 5;
+
+/// Maps a pipeline error to the exit-code taxonomy above.
+fn exit_for(e: &AnonError) -> u8 {
+    match e {
+        AnonError::Io { .. } => EXIT_IO,
+        AnonError::InvalidInput { .. } => EXIT_USAGE,
+        AnonError::PanicContained { .. } => EXIT_PANIC_CONTAINED,
+        AnonError::LeakGated { .. } => EXIT_LEAK_GATED,
+        AnonError::ResumableInterrupted { .. } => EXIT_RESUMABLE,
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -64,13 +97,18 @@ fn main() -> ExitCode {
                  \u{20}   writes <name>.anon alongside a leak-audit summary; otherwise\n\
                  \u{20}   prints to stdout.\n\
                  batch [--jobs N] [--secret <secret>] [--out-dir DIR] [--quarantine-dir DIR]\n\
-                 \u{20}     [--disable-rule NAME[,NAME...]] [--bench-json FILE] DIR\n\
+                 \u{20}     [--disable-rule NAME[,NAME...]] [--bench-json FILE]\n\
+                 \u{20}     [--bench-durability FILE] [--resume] DIR\n\
                  \u{20}   Anonymize every .cfg under DIR (recursively, one keyed state)\n\
                  \u{20}   using N rewrite workers (0 = core count). Output is byte-identical\n\
                  \u{20}   at any worker count. Every output is leak-scanned before release;\n\
                  \u{20}   outputs with residual identifiers go to the quarantine directory\n\
                  \u{20}   (never --out-dir) with a machine-readable leak_report.json.\n\
-                 \u{20}   Exit codes: 0 ok, 1 I/O, 2 usage, 3 panic-contained, 4 leak-gated.\n\
+                 \u{20}   With --out-dir, writes are atomic+durable and journaled in\n\
+                 \u{20}   run_manifest.json; --resume verifies prior outputs against the\n\
+                 \u{20}   journal digests and re-processes only what is missing or torn.\n\
+                 \u{20}   Exit codes: 0 ok, 1 I/O, 2 usage, 3 panic-contained, 4 leak-gated,\n\
+                 \u{20}   5 interrupted-but-resumable (journal intact; re-run with --resume).\n\
                  chaos [--seed S] [--count N] --out-dir DIR\n\
                  \u{20}   Emit N chaos-mutated (hostile) config files for pipeline smoke\n\
                  \u{20}   tests; deterministic per seed.\n\
@@ -118,7 +156,8 @@ fn parse_opts(args: &[String]) -> (BTreeMap<String, String>, Vec<String>) {
             // Boolean flags take no value when followed by another flag
             // or nothing.
             let takes_value = i + 1 < args.len() && !args[i + 1].starts_with("--");
-            if takes_value && key != "compact" {
+            let boolean = matches!(key, "compact" | "resume");
+            if takes_value && !boolean {
                 opts.insert(key.to_string(), args[i + 1].clone());
                 i += 2;
             } else {
@@ -168,12 +207,15 @@ fn cmd_anonymize(args: &[String]) -> ExitCode {
     }
 
     // Owner-side mapping audit (§5's colleague workflow). As sensitive
-    // as the originals: written only where explicitly requested.
+    // as the originals: written only where explicitly requested, and
+    // atomically — a torn audit could silently lose mappings.
+    let mut durability = DurabilityStats::default();
     if let Some(audit_path) = opts.get("audit") {
         let json = anon.mapping_audit().to_json().to_string_pretty();
-        if let Err(e) = std::fs::write(audit_path, json) {
-            eprintln!("anonymize: write {audit_path}: {e}");
-            return ExitCode::FAILURE;
+        if let Err(e) = write_atomic(&StdFs, Path::new(audit_path), json.as_bytes(), &mut durability)
+        {
+            eprintln!("anonymize: {e}");
+            return ExitCode::from(exit_for(&e));
         }
         eprintln!("mapping audit written to {audit_path} (KEEP PRIVATE)");
     }
@@ -198,9 +240,9 @@ fn cmd_anonymize(args: &[String]) -> ExitCode {
                     .map(|n| n.to_string_lossy().to_string())
                     .unwrap_or_else(|| "config".to_string());
                 let target = dir.join(format!("{name}.anon"));
-                if let Err(e) = std::fs::write(&target, &o.text) {
-                    eprintln!("anonymize: write {}: {e}", target.display());
-                    return ExitCode::FAILURE;
+                if let Err(e) = write_atomic(&StdFs, &target, o.text.as_bytes(), &mut durability) {
+                    eprintln!("anonymize: {e}");
+                    return ExitCode::from(exit_for(&e));
                 }
             }
             eprintln!(
@@ -271,7 +313,10 @@ fn cmd_batch(args: &[String]) -> ExitCode {
             "smoke-bench-secret".to_string()
         }
     };
-    let mut cfg = AnonymizerConfig::new(secret.into_bytes());
+    // Retained separately: the run journal binds itself to the owner
+    // secret via a domain-separated fingerprint.
+    let secret_bytes = secret.into_bytes();
+    let mut cfg = AnonymizerConfig::new(secret_bytes.clone());
     if let Some(spec) = opts.get("disable-rule") {
         for name in spec.split(',').map(str::trim).filter(|n| !n.is_empty()) {
             match ALL_RULES.iter().find(|r| r.name == name) {
@@ -299,6 +344,11 @@ fn cmd_batch(args: &[String]) -> ExitCode {
     });
     if out_dir.as_deref() == Some(quarantine_dir.as_path()) {
         eprintln!("batch: --quarantine-dir must differ from --out-dir");
+        return ExitCode::from(EXIT_USAGE);
+    }
+    let resume = opts.contains_key("resume");
+    if resume && out_dir.is_none() {
+        eprintln!("batch: --resume requires --out-dir (the run journal lives there)");
         return ExitCode::from(EXIT_USAGE);
     }
     // Create the release directory up front: it must exist (possibly
@@ -332,64 +382,105 @@ fn cmd_batch(args: &[String]) -> ExitCode {
         }
     }
 
-    let start = std::time::Instant::now();
-    let run = confanon::workflow::anonymize_corpus_gated(&files, cfg, jobs);
-    let elapsed = start.elapsed();
-
-    if let Some(out_dir) = &out_dir {
-        for o in &run.clean {
-            let target = out_dir.join(format!("{}.anon", o.name));
-            if let Some(parent) = target.parent() {
-                if let Err(e) = std::fs::create_dir_all(parent) {
-                    eprintln!("batch: cannot create {}: {e}", parent.display());
-                    return ExitCode::from(EXIT_IO);
+    // With an output directory, the run is journaled: a complete
+    // all-pending manifest is durably on disk before any anonymization
+    // work, and --resume re-verifies a prior journal's claims to build
+    // the skip set.
+    let names: Vec<String> = files.iter().map(|(n, _)| n.clone()).collect();
+    let fs = StdFs;
+    let mut skip = BTreeSet::new();
+    let mut publisher = match &out_dir {
+        Some(dir) => {
+            let result = if resume {
+                Publisher::resume(&fs, dir, &secret_bytes, &names).map(|(p, verified)| {
+                    skip = verified;
+                    p
+                })
+            } else {
+                Publisher::begin(&fs, dir, &secret_bytes, &names)
+            };
+            match result {
+                Ok(p) => Some(p),
+                Err(e) => {
+                    eprintln!("batch: {e}");
+                    return ExitCode::from(exit_for(&e));
                 }
             }
-            if let Err(e) = std::fs::write(&target, &o.text) {
-                eprintln!("batch: write {}: {e}", target.display());
-                return ExitCode::from(EXIT_IO);
-            }
         }
-    }
+        None => None,
+    };
+
+    let start = std::time::Instant::now();
+    let run = confanon::workflow::anonymize_corpus_gated_skipping(&files, cfg, jobs, &skip);
+    let elapsed = start.elapsed();
 
     // The gate report (and any withheld bytes) go to the quarantine
     // directory whenever there is something to report or the caller
     // asked for the directory explicitly.
     let gate_tripped = !run.quarantined.is_empty() || !run.failures.is_empty();
-    if gate_tripped || opts.contains_key("quarantine-dir") {
-        if let Err(e) = std::fs::create_dir_all(&quarantine_dir) {
-            eprintln!("batch: cannot create {}: {e}", quarantine_dir.display());
-            return ExitCode::from(EXIT_IO);
+    let qdir_opt = (gate_tripped || opts.contains_key("quarantine-dir"))
+        .then_some(quarantine_dir.as_path());
+    let mut durability = DurabilityStats::default();
+    match &mut publisher {
+        Some(p) => {
+            // Journal-first publishing: failures, then released outputs
+            // in corpus order, then quarantined bytes and the report.
+            if let Err(e) = confanon::workflow::publish_gated_run(p, &run, qdir_opt) {
+                // The begin/resume journal write succeeded, so a later
+                // I/O failure leaves a resumable run on disk.
+                let e = match e {
+                    AnonError::Io { path, message } if p.manifest_durable() => {
+                        AnonError::ResumableInterrupted { path, message }
+                    }
+                    other => other,
+                };
+                eprintln!("batch: {e}");
+                return ExitCode::from(exit_for(&e));
+            }
         }
-        for q in &run.quarantined {
-            let target = quarantine_dir.join(format!("{}.anon", q.output.name));
-            if let Some(parent) = target.parent() {
-                if let Err(e) = std::fs::create_dir_all(parent) {
-                    eprintln!("batch: cannot create {}: {e}", parent.display());
-                    return ExitCode::from(EXIT_IO);
+        None => {
+            // No journal without --out-dir, but quarantine artifacts
+            // still go through the atomic path: a torn leak report is
+            // as misleading as a torn output.
+            if let Some(qdir) = qdir_opt {
+                for q in &run.quarantined {
+                    let target = qdir.join(format!("{}.anon", q.output.name));
+                    if let Err(e) =
+                        write_atomic(&StdFs, &target, q.output.text.as_bytes(), &mut durability)
+                    {
+                        eprintln!("batch: {e}");
+                        return ExitCode::from(exit_for(&e));
+                    }
+                }
+                let report_path = qdir.join("leak_report.json");
+                let json = run.leak_report_json().to_string_pretty();
+                if let Err(e) = write_atomic(&StdFs, &report_path, json.as_bytes(), &mut durability)
+                {
+                    eprintln!("batch: {e}");
+                    return ExitCode::from(exit_for(&e));
                 }
             }
-            if let Err(e) = std::fs::write(&target, &q.output.text) {
-                eprintln!("batch: write {}: {e}", target.display());
-                return ExitCode::from(EXIT_IO);
-            }
         }
-        let report_path = quarantine_dir.join("leak_report.json");
-        let json = run.leak_report_json().to_string_pretty();
-        if let Err(e) = std::fs::write(&report_path, json) {
-            eprintln!("batch: write {}: {e}", report_path.display());
-            return ExitCode::from(EXIT_IO);
-        }
-        eprintln!("leak report written to {}", report_path.display());
+    }
+    if qdir_opt.is_some() {
+        eprintln!(
+            "leak report written to {}",
+            quarantine_dir.join("leak_report.json").display()
+        );
+    }
+    if let Some(p) = publisher {
+        let (_manifest, stats) = p.finish();
+        durability.merge(&stats);
     }
 
     let words = run.totals.words_total;
     let secs = elapsed.as_secs_f64().max(1e-9);
     let tokens_per_sec = words as f64 / secs;
     eprintln!(
-        "released {} file(s), quarantined {} ({} residual hit(s)), \
+        "released {} file(s), {} skipped (resume-verified), quarantined {} ({} residual hit(s)), \
          {} panic-contained ({} line(s), {} token(s), {} job(s), {:.3}s — {:.0} tokens/sec)",
         run.clean.len(),
+        run.skipped.len(),
         run.quarantined.len(),
         run.leak_count(),
         run.failures.len(),
@@ -398,6 +489,10 @@ fn cmd_batch(args: &[String]) -> ExitCode {
         run.jobs,
         secs,
         tokens_per_sec,
+    );
+    eprintln!(
+        "durability: {} atomic write(s), {} fsync(s), {} transient retry(ies)",
+        durability.atomic_writes, durability.fsyncs, durability.transient_retries
     );
     for f in run.failures.iter().take(10) {
         eprintln!("  contained: {f}");
@@ -422,12 +517,41 @@ fn cmd_batch(args: &[String]) -> ExitCode {
             .with("words", words)
             .with("jobs", run.jobs as u64)
             .with("elapsed_ns", elapsed.as_nanos() as f64)
-            .with("tokens_per_sec", tokens_per_sec);
-        if let Err(e) = std::fs::write(json_path, json.to_string_pretty()) {
-            eprintln!("batch: write {json_path}: {e}");
-            return ExitCode::from(EXIT_IO);
+            .with("tokens_per_sec", tokens_per_sec)
+            .with("durability", durability.to_json());
+        let mut report_stats = DurabilityStats::default();
+        if let Err(e) = write_atomic(
+            &StdFs,
+            Path::new(json_path),
+            json.to_string_pretty().as_bytes(),
+            &mut report_stats,
+        ) {
+            eprintln!("batch: {e}");
+            return ExitCode::from(exit_for(&e));
         }
         eprintln!("throughput written to {json_path}");
+    }
+
+    if let Some(json_path) = opts.get("bench-durability") {
+        match durability_bench_json(&run, tokens_per_sec, &durability) {
+            Ok(json) => {
+                let mut report_stats = DurabilityStats::default();
+                if let Err(e) = write_atomic(
+                    &StdFs,
+                    Path::new(json_path),
+                    json.to_string_pretty().as_bytes(),
+                    &mut report_stats,
+                ) {
+                    eprintln!("batch: {e}");
+                    return ExitCode::from(exit_for(&e));
+                }
+                eprintln!("durability bench written to {json_path}");
+            }
+            Err(e) => {
+                eprintln!("batch: durability bench: {e}");
+                return ExitCode::from(EXIT_IO);
+            }
+        }
     }
 
     if !run.quarantined.is_empty() {
@@ -437,6 +561,64 @@ fn cmd_batch(args: &[String]) -> ExitCode {
     } else {
         ExitCode::from(EXIT_OK)
     }
+}
+
+/// Times re-publishing the run's released outputs through the atomic
+/// durable path versus plain buffered writes (both into throwaway
+/// scratch directories), quantifying what the journal and fsyncs cost
+/// relative to `BENCH_pipeline.json`'s anonymization throughput.
+fn durability_bench_json(
+    run: &confanon::workflow::GatedCorpusRun,
+    pipeline_tokens_per_sec: f64,
+    run_durability: &DurabilityStats,
+) -> Result<confanon_testkit::json::Json, String> {
+    let scratch = std::env::temp_dir().join(format!(
+        "confanon-bench-durability-{}",
+        std::process::id()
+    ));
+    let durable_dir = scratch.join("durable");
+    let plain_dir = scratch.join("plain");
+    let _ = std::fs::remove_dir_all(&scratch);
+    std::fs::create_dir_all(&plain_dir).map_err(|e| format!("{}: {e}", plain_dir.display()))?;
+
+    // Flatten names: the scratch layout does not need the corpus tree.
+    let flat = |name: &str| format!("{}.anon", name.replace(['/', '\\'], "_"));
+    let mut bytes_total = 0u64;
+    let mut bench_stats = DurabilityStats::default();
+    let t0 = std::time::Instant::now();
+    for o in &run.clean {
+        write_atomic(
+            &StdFs,
+            &durable_dir.join(flat(&o.name)),
+            o.text.as_bytes(),
+            &mut bench_stats,
+        )
+        .map_err(|e| e.to_string())?;
+        bytes_total += o.text.len() as u64;
+    }
+    let durable_secs = t0.elapsed().as_secs_f64().max(1e-9);
+    let t1 = std::time::Instant::now();
+    for o in &run.clean {
+        let target = plain_dir.join(flat(&o.name));
+        std::fs::write(&target, o.text.as_bytes())
+            .map_err(|e| format!("{}: {e}", target.display()))?;
+    }
+    let plain_secs = t1.elapsed().as_secs_f64().max(1e-9);
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    let files = run.clean.len() as u64;
+    Ok(confanon_testkit::json::Json::obj()
+        .with("suite", "durability")
+        .with("files", files)
+        .with("bytes", bytes_total)
+        .with("durable_elapsed_ns", durable_secs * 1e9)
+        .with("plain_elapsed_ns", plain_secs * 1e9)
+        .with("durable_files_per_sec", files as f64 / durable_secs)
+        .with("plain_files_per_sec", files as f64 / plain_secs)
+        .with("overhead_ratio", durable_secs / plain_secs)
+        .with("bench_durability", bench_stats.to_json())
+        .with("run_durability", run_durability.to_json())
+        .with("pipeline_tokens_per_sec", pipeline_tokens_per_sec))
 }
 
 fn cmd_chaos(args: &[String]) -> ExitCode {
@@ -453,6 +635,7 @@ fn cmd_chaos(args: &[String]) -> ExitCode {
     }
 
     let mut mutator = confanon_testkit::chaos::ChaosMutator::new(seed);
+    let mut durability = DurabilityStats::default();
     let mut written = 0usize;
     let mut round = 0u64;
     while written < count {
@@ -472,9 +655,9 @@ fn cmd_chaos(args: &[String]) -> ExitCode {
                 }
                 let mutated = mutator.mutate(r.config.as_bytes());
                 let target = out_dir.join(format!("chaos-{written:03}.cfg"));
-                if let Err(e) = std::fs::write(&target, &mutated.bytes) {
-                    eprintln!("chaos: write {}: {e}", target.display());
-                    return ExitCode::from(EXIT_IO);
+                if let Err(e) = write_atomic(&StdFs, &target, &mutated.bytes, &mut durability) {
+                    eprintln!("chaos: {e}");
+                    return ExitCode::from(exit_for(&e));
                 }
                 written += 1;
             }
@@ -535,6 +718,9 @@ fn cmd_validate(args: &[String]) -> ExitCode {
             .map_err(|e| format!("{dir}: {e}"))?
             .filter_map(|e| e.ok().map(|e| e.path()))
             .filter(|p| p.is_file())
+            // The batch run journal lives beside the released files; it
+            // is bookkeeping, not a config to validate.
+            .filter(|p| p.file_name().is_none_or(|n| n != RUN_MANIFEST_NAME))
             .collect();
         files.sort();
         files

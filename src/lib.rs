@@ -32,6 +32,9 @@
 //! assert!(!out.text.contains("12.126.236.17"));
 //! ```
 
+// Fail-closed: library code must never abort on input-derived data.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod workflow;
 
 pub use confanon_asnanon as asnanon;

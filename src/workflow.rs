@@ -5,11 +5,14 @@
 //! [`Anonymizer`], scan the output against ground truth, and run both
 //! validation suites pre vs post.
 
+use std::collections::BTreeSet;
+use std::path::Path;
+
 use confanon_confgen::Network;
 use confanon_core::leak::{LeakRecord, LeakReport, LeakScanner};
 use confanon_core::{
-    AnonymizationStats, Anonymizer, AnonymizerConfig, BatchFailure, BatchInput, BatchOutput,
-    BatchPipeline, BatchReport,
+    AnonError, AnonymizationStats, Anonymizer, AnonymizerConfig, BatchFailure, BatchInput,
+    BatchOutput, BatchPipeline, BatchReport, Publisher,
 };
 use confanon_design::RoutingDesign;
 use confanon_iosparse::Config;
@@ -140,6 +143,9 @@ pub struct GatedCorpusRun {
     pub quarantined: Vec<QuarantinedFile>,
     /// Files whose processing panicked (contained), in input order.
     pub failures: Vec<BatchFailure>,
+    /// Files whose rewrite was skipped because `--resume` verified
+    /// their released bytes on disk, in input order.
+    pub skipped: Vec<String>,
     /// Aggregate counters across all emitted-or-quarantined outputs.
     pub totals: AnonymizationStats,
     /// Worker threads used for the rewrite pass.
@@ -212,6 +218,20 @@ pub fn anonymize_corpus_gated(
     cfg: AnonymizerConfig,
     jobs: usize,
 ) -> GatedCorpusRun {
+    anonymize_corpus_gated_skipping(files, cfg, jobs, &BTreeSet::new())
+}
+
+/// [`anonymize_corpus_gated`] with a resume skip set: files named in
+/// `skip` still participate in the discovery pass (the shared mapping
+/// state is corpus-order dependent) but are neither re-emitted nor
+/// re-scanned — their released bytes were already digest-verified on
+/// disk by [`Publisher::resume`].
+pub fn anonymize_corpus_gated_skipping(
+    files: &[(String, String)],
+    cfg: AnonymizerConfig,
+    jobs: usize,
+    skip: &BTreeSet<String>,
+) -> GatedCorpusRun {
     let inputs: Vec<BatchInput> = files
         .iter()
         .map(|(name, text)| BatchInput {
@@ -220,7 +240,7 @@ pub fn anonymize_corpus_gated(
         })
         .collect();
     let mut pipeline = BatchPipeline::new(cfg, jobs);
-    let report = pipeline.run(&inputs);
+    let report = pipeline.run_skipping(&inputs, skip);
     let anonymizer = pipeline.into_anonymizer();
 
     let mut clean = Vec::new();
@@ -244,10 +264,57 @@ pub fn anonymize_corpus_gated(
         clean,
         quarantined,
         failures: report.failures,
+        skipped: report.skipped,
         totals: report.totals,
         jobs: report.jobs,
         anonymizer,
     }
+}
+
+/// What a journaled publish step released, in summary form.
+pub struct PublishSummary {
+    /// Files released this run (skipped files are not re-released).
+    pub released: usize,
+    /// Files whose bytes were diverted to quarantine.
+    pub quarantined: usize,
+    /// Panic-contained files journaled as `failed`.
+    pub failed: usize,
+}
+
+/// Publishes a gated run through the write-ahead journal.
+///
+/// Every state change is journaled in `run_manifest.json` *before* the
+/// corresponding bytes appear, in a deterministic order (failures
+/// first, then released outputs in corpus order, then quarantined
+/// outputs and the leak report) — which is what makes the
+/// `CONFANON_CRASH_AFTER` crash points reproducible at any `--jobs`
+/// value. Quarantined bytes and `leak_report.json` go to
+/// `quarantine_dir` when given; pass `None` only when the gate is known
+/// clean and no quarantine artifacts were requested.
+pub fn publish_gated_run(
+    publisher: &mut Publisher<'_>,
+    run: &GatedCorpusRun,
+    quarantine_dir: Option<&Path>,
+) -> Result<PublishSummary, AnonError> {
+    let failed: Vec<String> = run.failures.iter().map(|f| f.name.clone()).collect();
+    publisher.mark_failed(&failed)?;
+    for o in &run.clean {
+        publisher.release(&o.name, o.text.as_bytes())?;
+    }
+    if let Some(qdir) = quarantine_dir {
+        for q in &run.quarantined {
+            publisher.quarantine(qdir, &q.output.name, q.output.text.as_bytes())?;
+        }
+        publisher.write_report(
+            &qdir.join("leak_report.json"),
+            run.leak_report_json().to_string_pretty().as_bytes(),
+        )?;
+    }
+    Ok(PublishSummary {
+        released: run.clean.len(),
+        quarantined: run.quarantined.len(),
+        failed: failed.len(),
+    })
 }
 
 /// Anonymizes every network of a dataset in parallel (one thread per

@@ -1,0 +1,294 @@
+//! The crash/resume property suite (the tentpole acceptance criterion).
+//!
+//! For every deterministic crash point k of a corpus run — enumerated
+//! by counting the durable writes of an uninterrupted run, then
+//! re-running with `CONFANON_CRASH_AFTER=k` — the suite asserts:
+//!
+//! 1. the crashed process died hard (SIGABRT, no unwinding);
+//! 2. at the crash point, the output directory satisfies the journal
+//!    invariant: it contains nothing but `run_manifest.json` and
+//!    `*.anon` files, and every `.anon` file's bytes match the digest
+//!    the journal recorded for it *before* the bytes appeared;
+//! 3. `--resume` completes with exit 0 and the final output directory —
+//!    released bytes *and* manifest — is byte-identical to the golden
+//!    uninterrupted run, regardless of the `--jobs` value used on
+//!    either side of the crash.
+//!
+//! Plus the protocol edges: resume refuses a missing journal, a wrong
+//! owner secret, and a changed corpus; a completed run re-resumes
+//! idempotently; and a leak-gated run crash-resumes to the same exit 4
+//! with its quarantine intact.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use confanon::core::RunManifest;
+use confanon::crypto::Sha1;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_confanon"))
+}
+
+fn tmpdir(name: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("confanon-crash-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).expect("mktemp");
+    d
+}
+
+/// Recursively collects `path → bytes` for every file under `dir`,
+/// keyed by the path relative to `dir`.
+fn snapshot(dir: &Path) -> BTreeMap<String, Vec<u8>> {
+    fn walk(root: &Path, dir: &Path, out: &mut BTreeMap<String, Vec<u8>>) {
+        for e in std::fs::read_dir(dir).expect("read_dir").flatten() {
+            let p = e.path();
+            if p.is_dir() {
+                walk(root, &p, out);
+            } else {
+                let rel = p
+                    .strip_prefix(root)
+                    .expect("under root")
+                    .to_string_lossy()
+                    .to_string();
+                out.insert(rel, std::fs::read(&p).expect("read file"));
+            }
+        }
+    }
+    let mut out = BTreeMap::new();
+    walk(dir, dir, &mut out);
+    out
+}
+
+/// Parses the completed-durable-write count from the batch stderr
+/// summary ("durability: N atomic write(s), ...").
+fn atomic_writes_from_stderr(stderr: &str) -> u64 {
+    let line = stderr
+        .lines()
+        .find(|l| l.starts_with("durability: "))
+        .expect("durability summary line");
+    line.trim_start_matches("durability: ")
+        .split_whitespace()
+        .next()
+        .expect("count token")
+        .parse()
+        .expect("numeric count")
+}
+
+/// The journal invariant at an arbitrary observable point: the output
+/// directory holds only the manifest and `.anon` files, and every
+/// `.anon` file's bytes hash to the digest the journal vouches for.
+/// (The converse — journal entries without bytes — is the legal
+/// over-claim a crash between journal and publish leaves behind.)
+fn assert_journal_invariant(out_dir: &Path, context: &str) {
+    let files = snapshot(out_dir);
+    let manifest_text = files
+        .get("run_manifest.json")
+        .map(|b| String::from_utf8_lossy(b).to_string())
+        .unwrap_or_else(|| panic!("{context}: run_manifest.json missing"));
+    let manifest = RunManifest::from_json_str(&manifest_text)
+        .unwrap_or_else(|e| panic!("{context}: manifest torn or invalid: {e}"));
+    for (rel, bytes) in &files {
+        if rel == "run_manifest.json" {
+            continue;
+        }
+        let name = rel.strip_suffix(".anon").unwrap_or_else(|| {
+            panic!("{context}: unexpected file {rel} in --out-dir")
+        });
+        let entry = manifest
+            .entry(name)
+            .unwrap_or_else(|| panic!("{context}: {rel} present but unjournaled"));
+        let digest = Sha1::to_hex(&Sha1::digest(bytes));
+        assert_eq!(
+            entry.digest.as_deref(),
+            Some(digest.as_str()),
+            "{context}: {rel} bytes do not match the journaled digest"
+        );
+    }
+}
+
+/// Runs `batch` over `corpus` into `out_dir`; returns (exit code,
+/// stderr). `crash_after` sets `CONFANON_CRASH_AFTER`; `resume` adds
+/// `--resume`.
+fn run_batch(
+    corpus: &Path,
+    out_dir: &Path,
+    jobs: u32,
+    crash_after: Option<u64>,
+    resume: bool,
+    extra: &[&str],
+) -> (Option<i32>, String) {
+    let mut cmd = bin();
+    cmd.args(["batch", "--secret", "crash-suite-secret", "--jobs", &jobs.to_string()]);
+    if resume {
+        cmd.arg("--resume");
+    }
+    cmd.args(extra);
+    cmd.arg("--out-dir").arg(out_dir).arg(corpus);
+    match crash_after {
+        Some(k) => cmd.env("CONFANON_CRASH_AFTER", k.to_string()),
+        None => cmd.env_remove("CONFANON_CRASH_AFTER"),
+    };
+    let out = cmd.output().expect("run batch");
+    (out.status.code(), String::from_utf8_lossy(&out.stderr).to_string())
+}
+
+/// A small generated corpus (one network, a handful of routers).
+fn generate_corpus(root: &Path) -> PathBuf {
+    let corpus = root.join("corpus");
+    let status = bin()
+        .args(["generate", "--networks", "1", "--routers", "5", "--seed", "1789"])
+        .arg("--out-dir")
+        .arg(&corpus)
+        .status()
+        .expect("run generate");
+    assert!(status.success());
+    corpus
+}
+
+#[test]
+fn every_crash_point_resumes_to_the_golden_run() {
+    let root = tmpdir("every-point");
+    let corpus = generate_corpus(&root);
+
+    // Golden uninterrupted run; its durable-write count enumerates the
+    // crash points.
+    let golden_dir = root.join("golden");
+    let (code, stderr) = run_batch(&corpus, &golden_dir, 1, None, false, &[]);
+    assert_eq!(code, Some(0), "golden run: {stderr}");
+    let writes = atomic_writes_from_stderr(&stderr);
+    assert!(writes >= 3, "corpus too small to exercise crash points");
+    let golden = snapshot(&golden_dir);
+
+    for k in 1..=writes {
+        // Alternate the jobs value on both sides of the crash: the
+        // publish loop is sequential, so crash point k is the same
+        // state at any worker count, and resume must be jobs-agnostic.
+        let (crash_jobs, resume_jobs) = if k % 2 == 0 { (4, 1) } else { (1, 4) };
+        let out_dir = root.join(format!("out-k{k}"));
+
+        let (code, stderr) = run_batch(&corpus, &out_dir, crash_jobs, Some(k), false, &[]);
+        assert_ne!(code, Some(0), "k={k}: crash run must not exit cleanly");
+        assert!(
+            stderr.contains("CONFANON_CRASH_AFTER"),
+            "k={k}: missing crash marker in stderr: {stderr}"
+        );
+        assert_journal_invariant(&out_dir, &format!("k={k} post-crash"));
+
+        let (code, stderr) = run_batch(&corpus, &out_dir, resume_jobs, None, true, &[]);
+        assert_eq!(code, Some(0), "k={k}: resume failed: {stderr}");
+        assert_journal_invariant(&out_dir, &format!("k={k} post-resume"));
+        assert_eq!(
+            snapshot(&out_dir),
+            golden,
+            "k={k}: resumed output differs from the golden uninterrupted run"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn resume_protocol_rejects_bad_preconditions() {
+    let root = tmpdir("protocol");
+    let corpus = generate_corpus(&root);
+    let out_dir = root.join("out");
+
+    // Nothing to resume: no journal in the output directory.
+    let (code, stderr) = run_batch(&corpus, &out_dir, 1, None, true, &[]);
+    assert_eq!(code, Some(2), "missing journal must be a usage error: {stderr}");
+    assert!(stderr.contains("nothing to resume"), "stderr: {stderr}");
+
+    // Interrupt a run, then resume with the wrong secret.
+    let (code, _) = run_batch(&corpus, &out_dir, 1, Some(2), false, &[]);
+    assert_ne!(code, Some(0));
+    let out = bin()
+        .args(["batch", "--secret", "some-other-secret", "--resume", "--jobs", "1"])
+        .arg("--out-dir")
+        .arg(&out_dir)
+        .arg(&corpus)
+        .output()
+        .expect("run batch");
+    assert_eq!(out.status.code(), Some(2), "wrong secret must be refused");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("fingerprint"),
+        "stderr should name the fingerprint mismatch"
+    );
+
+    // Resume with a changed corpus (an extra file) is refused.
+    std::fs::write(corpus.join("added-later.cfg"), "hostname late\n").expect("write");
+    let (code, stderr) = run_batch(&corpus, &out_dir, 1, None, true, &[]);
+    assert_eq!(code, Some(2), "changed corpus must be refused: {stderr}");
+    assert!(stderr.contains("corpus file list changed"), "stderr: {stderr}");
+    std::fs::remove_file(corpus.join("added-later.cfg")).expect("rm");
+
+    // --resume without --out-dir is a usage error.
+    let out = bin()
+        .args(["batch", "--secret", "s", "--resume"])
+        .arg(&corpus)
+        .output()
+        .expect("run batch");
+    assert_eq!(out.status.code(), Some(2));
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn completed_run_re_resumes_idempotently() {
+    let root = tmpdir("idempotent");
+    let corpus = generate_corpus(&root);
+    let out_dir = root.join("out");
+
+    let (code, stderr) = run_batch(&corpus, &out_dir, 2, None, false, &[]);
+    assert_eq!(code, Some(0), "{stderr}");
+    let done = snapshot(&out_dir);
+
+    let (code, stderr) = run_batch(&corpus, &out_dir, 2, None, true, &[]);
+    assert_eq!(code, Some(0), "{stderr}");
+    assert!(
+        stderr.contains("released 0 file(s)"),
+        "everything should be skip-verified: {stderr}"
+    );
+    assert_eq!(snapshot(&out_dir), done, "re-resume must not change a byte");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn leak_gated_run_crash_resumes_with_quarantine_intact() {
+    // A planted leak (the cli.rs ablation scenario): with the
+    // neighbor-remote-as rule disabled, a public ASN survives and the
+    // gate quarantines. The gate verdict must survive a crash/resume.
+    let root = tmpdir("leak-gate");
+    let corpus = root.join("corpus");
+    std::fs::create_dir_all(&corpus).expect("mk corpus");
+    std::fs::write(
+        corpus.join("a.cfg"),
+        "router bgp 701\n neighbor 10.0.0.2 remote-as 701\n",
+    )
+    .expect("write");
+    std::fs::write(
+        corpus.join("b.cfg"),
+        "router bgp 65001\n neighbor 10.0.0.1 remote-as 701\n",
+    )
+    .expect("write");
+    let extra = ["--disable-rule", "neighbor-remote-as"];
+
+    let out_dir = root.join("out");
+    let (code, stderr) = run_batch(&corpus, &out_dir, 1, Some(2), false, &extra);
+    assert_ne!(code, Some(0), "crash run must not exit cleanly: {stderr}");
+    assert_journal_invariant(&out_dir, "leak-gate post-crash");
+
+    let (code, stderr) = run_batch(&corpus, &out_dir, 1, None, true, &extra);
+    assert_eq!(code, Some(4), "resume must re-reach the leak-gated exit: {stderr}");
+    let quarantine = {
+        let mut s = out_dir.as_os_str().to_os_string();
+        s.push("-quarantine");
+        PathBuf::from(s)
+    };
+    let report = std::fs::read_to_string(quarantine.join("leak_report.json"))
+        .expect("leak report exists after resume");
+    assert!(report.contains("confanon-leak-report-v1"));
+    // Quarantined bytes are in the quarantine dir, never the out dir.
+    assert!(!snapshot(&out_dir).keys().any(|k| {
+        k != "run_manifest.json" && std::fs::read_to_string(out_dir.join(k)).is_ok_and(|t| t.contains("701"))
+    }));
+    let _ = std::fs::remove_dir_all(&root);
+}
