@@ -179,6 +179,14 @@ impl Anonymizer {
         &self.total_stats
     }
 
+    /// Node counts of the (v4, v6) prefix-preserving tries. Discovery
+    /// walks the whole corpus in a fixed order, so after a discovery
+    /// pass these are a deterministic fingerprint of the corpus's
+    /// address structure — resume and job count cannot change them.
+    pub fn trie_node_counts(&self) -> (usize, usize) {
+        (self.ip.node_count(), self.ip6.node_count())
+    }
+
     fn enabled(&self, rule: RuleId) -> bool {
         !self.cfg.disabled_rules.contains(&rule)
     }

@@ -48,6 +48,8 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+use confanon_obs::{Clock, ObsShard};
+
 use crate::anonymizer::{Anonymizer, AnonymizerConfig};
 use crate::error::{BatchFailure, BatchPhase};
 use crate::fsx::DurabilityStats;
@@ -92,6 +94,11 @@ pub struct BatchReport {
     /// pipeline itself performs no I/O; the publisher that emits the
     /// report's outputs merges its counters in.
     pub durability: DurabilityStats,
+    /// The run's observability shard: phase/per-file spans plus
+    /// discovery-pass counters and histograms (which are deterministic
+    /// across `--jobs` and across resumed-vs-one-shot runs, because the
+    /// discovery pass is sequential and always covers the whole corpus).
+    pub obs: ObsShard,
 }
 
 /// Renders a contained panic payload for the failure report.
@@ -111,6 +118,7 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 pub struct BatchPipeline {
     anonymizer: Anonymizer,
     jobs: usize,
+    clock: Clock,
 }
 
 impl BatchPipeline {
@@ -127,7 +135,16 @@ impl BatchPipeline {
         BatchPipeline {
             anonymizer: Anonymizer::new(cfg),
             jobs,
+            clock: Clock::new(),
         }
+    }
+
+    /// Puts the pipeline's observability on the caller's run timeline
+    /// (or strips it entirely with [`Clock::disabled`] — the overhead
+    /// benchmark's baseline).
+    pub fn with_clock(mut self, clock: Clock) -> BatchPipeline {
+        self.clock = clock;
+        self
     }
 
     /// The warmed anonymizer (for audits: leak record, emitted
@@ -156,23 +173,39 @@ impl BatchPipeline {
     /// re-emitted. Byte-identity of the re-emitted files follows: the
     /// warmed state is the same, and rewrite is a pure function of it.
     pub fn run_skipping(&mut self, inputs: &[BatchInput], skip: &BTreeSet<String>) -> BatchReport {
+        let mut obs = ObsShard::new(self.clock);
+
         // Pass 1 — sequential discovery with per-file containment. The
         // pass is sequential in every mode, so the partial mapping state
         // a mid-file panic leaves behind is identical at any job count
-        // and downstream emission stays deterministic.
+        // and downstream emission stays deterministic. The counters and
+        // histograms recorded here inherit that determinism (resume
+        // skip sets only affect the rewrite pass), which is what lets
+        // the metrics document put them in its deterministic section.
+        let t_discover = obs.span_start();
         let mut failed: Vec<Option<BatchFailure>> = vec![None; inputs.len()];
         for (i, f) in inputs.iter().enumerate() {
-            let result = catch_unwind(AssertUnwindSafe(|| {
-                self.anonymizer.discover_config(&f.text);
-            }));
-            if let Err(payload) = result {
-                failed[i] = Some(BatchFailure {
-                    name: f.name.clone(),
-                    phase: BatchPhase::Discover,
-                    cause: panic_message(payload.as_ref()),
-                });
+            let t_file = obs.span_start();
+            let result = catch_unwind(AssertUnwindSafe(|| self.anonymizer.discover_config(&f.text)));
+            obs.span_end(&f.name, "discover", 0, t_file);
+            obs.count("phase.discover.files", 1);
+            obs.count("phase.discover.input_bytes", f.text.len() as u64);
+            obs.record("file.input_bytes", f.text.len() as u64);
+            match result {
+                Ok(stats) => {
+                    obs.record("file.input_lines", stats.lines_total);
+                }
+                Err(payload) => {
+                    obs.count("phase.discover.panics_contained", 1);
+                    failed[i] = Some(BatchFailure {
+                        name: f.name.clone(),
+                        phase: BatchPhase::Discover,
+                        cause: panic_message(payload.as_ref()),
+                    });
+                }
             }
         }
+        obs.span_end("discover", "phase", 0, t_discover);
 
         // Pass 2 — rewrite the survivors from clones of the warmed
         // state, except files the resume verification already vouched
@@ -188,13 +221,16 @@ impl BatchPipeline {
         let mut slots: Vec<Option<BatchOutput>> = Vec::new();
         slots.resize_with(inputs.len(), || None);
 
+        let t_rewrite = obs.span_start();
         let jobs = if self.jobs <= 1 || pending.len() <= 1 {
-            self.rewrite_inline(inputs, &pending, &mut slots, &mut failed);
+            self.rewrite_inline(inputs, &pending, &mut slots, &mut failed, &mut obs);
             1
         } else {
-            self.rewrite_parallel(inputs, &pending, &mut slots, &mut failed);
+            self.rewrite_parallel(inputs, &pending, &mut slots, &mut failed, &mut obs);
             self.jobs
         };
+        obs.span_end("rewrite", "phase", 0, t_rewrite);
+        obs.count("phase.rewrite.skipped", skipped.len() as u64);
 
         let outputs: Vec<BatchOutput> = slots.into_iter().flatten().collect();
         let failures: Vec<BatchFailure> = failed.into_iter().flatten().collect();
@@ -209,6 +245,7 @@ impl BatchPipeline {
             totals,
             jobs,
             durability: DurabilityStats::default(),
+            obs,
         }
     }
 
@@ -221,12 +258,17 @@ impl BatchPipeline {
         pending: &[usize],
         slots: &mut [Option<BatchOutput>],
         failed: &mut [Option<BatchFailure>],
+        obs: &mut ObsShard,
     ) {
         let mut anon = self.anonymizer.clone();
         for &i in pending {
+            let t_file = obs.span_start();
             let result = catch_unwind(AssertUnwindSafe(|| anon.anonymize_config(&inputs[i].text)));
+            obs.span_end(&inputs[i].name, "rewrite", 1, t_file);
+            obs.count("phase.rewrite.files", 1);
             match result {
                 Ok(out) => {
+                    obs.count("phase.rewrite.output_bytes", out.text.len() as u64);
                     slots[i] = Some(BatchOutput {
                         name: inputs[i].name.clone(),
                         text: out.text,
@@ -234,6 +276,7 @@ impl BatchPipeline {
                     });
                 }
                 Err(payload) => {
+                    obs.count("phase.rewrite.panics_contained", 1);
                     failed[i] = Some(BatchFailure {
                         name: inputs[i].name.clone(),
                         phase: BatchPhase::Rewrite,
@@ -254,32 +297,49 @@ impl BatchPipeline {
         pending: &[usize],
         slots: &mut [Option<BatchOutput>],
         failed: &mut [Option<BatchFailure>],
+        obs: &mut ObsShard,
     ) {
         let next = AtomicUsize::new(0);
         let cells = Mutex::new((slots, failed));
         let warmed = &self.anonymizer;
+        let clock = obs.clock();
+        let workers = self.jobs.min(pending.len());
+        // Each worker records into a private shard; the shards merge
+        // below in worker order. Counter/histogram merges are sums, so
+        // the merged values are independent of work-stealing order —
+        // only span timestamps (timing data) vary run to run.
+        let shards = Mutex::new(vec![ObsShard::new(clock); workers]);
 
         std::thread::scope(|scope| {
-            for _ in 0..self.jobs.min(pending.len()) {
-                scope.spawn(|| {
+            for w in 0..workers {
+                let shards = &shards;
+                let next = &next;
+                let cells = &cells;
+                scope.spawn(move || {
                     // Each worker re-emits from its own copy of the warmed
                     // state; only lookups happen, so copies never diverge
                     // in any way that affects output.
                     let mut anon = warmed.clone();
+                    let mut shard = ObsShard::new(clock);
+                    let tid = w as u32 + 1;
                     loop {
                         let k = next.fetch_add(1, Ordering::Relaxed);
                         if k >= pending.len() {
                             break;
                         }
                         let i = pending[k];
+                        let t_file = shard.span_start();
                         let result =
                             catch_unwind(AssertUnwindSafe(|| anon.anonymize_config(&inputs[i].text)));
+                        shard.span_end(&inputs[i].name, "rewrite", tid, t_file);
+                        shard.count("phase.rewrite.files", 1);
                         // A panicking sibling poisons the mutex; writes
                         // are index-disjoint, so the guarded data holds
                         // no broken invariant and the lock is recovered.
                         let mut guard = cells.lock().unwrap_or_else(|e| e.into_inner());
                         match result {
                             Ok(out) => {
+                                shard.count("phase.rewrite.output_bytes", out.text.len() as u64);
                                 guard.0[i] = Some(BatchOutput {
                                     name: inputs[i].name.clone(),
                                     text: out.text,
@@ -287,6 +347,7 @@ impl BatchPipeline {
                                 });
                             }
                             Err(payload) => {
+                                shard.count("phase.rewrite.panics_contained", 1);
                                 guard.1[i] = Some(BatchFailure {
                                     name: inputs[i].name.clone(),
                                     phase: BatchPhase::Rewrite,
@@ -297,9 +358,16 @@ impl BatchPipeline {
                             }
                         }
                     }
+                    let mut guard = shards.lock().unwrap_or_else(|e| e.into_inner());
+                    guard[w] = shard;
                 });
             }
         });
+
+        let collected = shards.into_inner().unwrap_or_else(|e| e.into_inner());
+        for shard in &collected {
+            obs.merge(shard);
+        }
     }
 }
 

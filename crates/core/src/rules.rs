@@ -27,6 +27,19 @@ pub enum RuleCategory {
     Identifiers,
 }
 
+impl RuleCategory {
+    /// Stable kebab-case name, used as a metrics key.
+    pub fn name(self) -> &'static str {
+        match self {
+            RuleCategory::Segmentation => "segmentation",
+            RuleCategory::Comments => "comments",
+            RuleCategory::AsnLocation => "asn-location",
+            RuleCategory::Misc => "misc",
+            RuleCategory::Identifiers => "identifiers",
+        }
+    }
+}
+
 /// Identifier of one of the 28 rules.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 #[allow(missing_docs)] // the table below documents each variant

@@ -70,6 +70,36 @@ impl AnonymizationStats {
         }
     }
 
+    /// Per-rule fire counts over the full 28-rule registry, zero-filled:
+    /// every rule appears even when it never fired, so two runs over the
+    /// same corpus serialize the same key set and diff cleanly.
+    pub fn rule_fires_complete(&self) -> BTreeMap<&'static str, u64> {
+        let mut out = BTreeMap::new();
+        for rule in &crate::rules::ALL_RULES {
+            out.insert(
+                rule.name,
+                self.rule_fires.get(rule.name).copied().unwrap_or(0),
+            );
+        }
+        out
+    }
+
+    /// Total rule firings across all rules.
+    pub fn rules_fired_total(&self) -> u64 {
+        self.rule_fires.values().sum()
+    }
+
+    /// Rule firings rolled up by the paper's category breakdown,
+    /// zero-filled like [`AnonymizationStats::rule_fires_complete`].
+    pub fn rule_fires_by_category(&self) -> BTreeMap<&'static str, u64> {
+        let mut out = BTreeMap::new();
+        for rule in &crate::rules::ALL_RULES {
+            *out.entry(rule.category.name()).or_insert(0) +=
+                self.rule_fires.get(rule.name).copied().unwrap_or(0);
+        }
+        out
+    }
+
     /// Merges another stats block into this one (for per-network then
     /// per-dataset aggregation).
     pub fn merge(&mut self, other: &AnonymizationStats) {
@@ -146,6 +176,27 @@ mod tests {
         s.fire(RuleId::R22Ipv4Literal);
         s.fire(RuleId::R22Ipv4Literal);
         assert_eq!(s.rule_fires["ipv4-literal"], 2);
+    }
+
+    #[test]
+    fn complete_fires_cover_all_28_rules_zero_filled() {
+        let mut s = AnonymizationStats::default();
+        s.fire(RuleId::R22Ipv4Literal);
+        s.fire(RuleId::R22Ipv4Literal);
+        let complete = s.rule_fires_complete();
+        assert_eq!(complete.len(), 28);
+        assert_eq!(complete["ipv4-literal"], 2);
+        assert_eq!(complete["banner-blocks"], 0);
+        assert_eq!(s.rules_fired_total(), 2);
+        let by_cat = s.rule_fires_by_category();
+        assert_eq!(by_cat.len(), 5);
+        assert_eq!(by_cat["identifiers"], 2);
+        assert_eq!(by_cat["comments"], 0);
+        assert_eq!(
+            by_cat.values().sum::<u64>(),
+            s.rules_fired_total(),
+            "category rollup conserves the total"
+        );
     }
 
     #[test]

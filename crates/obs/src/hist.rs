@@ -1,0 +1,144 @@
+//! Deterministic power-of-two histograms.
+//!
+//! Buckets are fixed at construction-free powers of two (`le_1`, `le_2`,
+//! `le_4`, … `le_2^31`, plus an overflow bucket), so two histograms of
+//! the same values always serialize identically — no adaptive resizing,
+//! no floating-point bucket math. Merging adds bucket counts, which
+//! commutes: the merge order of worker shards cannot change the result.
+
+use confanon_testkit::json::Json;
+
+/// Number of power-of-two buckets before the overflow bucket.
+const POW2_BUCKETS: usize = 32;
+
+/// A fixed-bucket histogram of `u64` samples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    /// `buckets[i]` counts samples `v` with `v <= 2^i` (first match
+    /// wins); `buckets[POW2_BUCKETS]` counts the rest.
+    buckets: [u64; POW2_BUCKETS + 1],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            buckets: [0; POW2_BUCKETS + 1],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        let idx = (0..POW2_BUCKETS)
+            .find(|&i| value <= 1u64 << i)
+            .unwrap_or(POW2_BUCKETS);
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest sample seen (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Adds another histogram's buckets into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// The histogram as JSON: summary fields plus the non-empty buckets
+    /// (in ascending bound order, so serialization is deterministic).
+    pub fn to_json(&self) -> Json {
+        let mut buckets = Json::obj();
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if i < POW2_BUCKETS {
+                buckets.set(&format!("le_{}", 1u64 << i), n);
+            } else {
+                buckets.set("le_inf", n);
+            }
+        }
+        Json::obj()
+            .with("count", self.count)
+            .with("sum", self.sum)
+            .with("max", self.max)
+            .with("buckets", buckets)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_inclusive_powers_of_two() {
+        let mut h = Histogram::default();
+        for v in [0, 1, 2, 3, 4, 1024, u64::MAX] {
+            h.record(v);
+        }
+        let j = h.to_json();
+        let b = j.get("buckets").expect("buckets");
+        // 0 and 1 both land in le_1; 2 in le_2; 3 and 4 in le_4.
+        assert_eq!(b.get("le_1").and_then(Json::as_u64), Some(2));
+        assert_eq!(b.get("le_2").and_then(Json::as_u64), Some(1));
+        assert_eq!(b.get("le_4").and_then(Json::as_u64), Some(2));
+        assert_eq!(b.get("le_1024").and_then(Json::as_u64), Some(1));
+        assert_eq!(b.get("le_inf").and_then(Json::as_u64), Some(1));
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.max(), u64::MAX);
+    }
+
+    #[test]
+    fn merge_commutes() {
+        let mut a = Histogram::default();
+        let mut b = Histogram::default();
+        for v in [1, 5, 9000] {
+            a.record(v);
+        }
+        for v in [2, 5, 1 << 40] {
+            b.record(v);
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.to_json().to_string_pretty(), ba.to_json().to_string_pretty());
+        assert_eq!(ab.count(), 6);
+    }
+
+    #[test]
+    fn empty_histogram_serializes_empty_buckets() {
+        let h = Histogram::default();
+        assert_eq!(
+            h.to_json().to_string_compact(),
+            r#"{"count":0,"sum":0,"max":0,"buckets":{}}"#
+        );
+    }
+}

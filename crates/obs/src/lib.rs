@@ -1,0 +1,135 @@
+//! # confanon-obs — deterministic observability for the anonymization pipeline
+//!
+//! The paper's method is only trustworthy at corpus scale if operators
+//! can *see* what the anonymizer did: which of the 28 contextual rules
+//! fired, how many identifiers each phase touched, and where the
+//! wall-clock goes. This crate is the measurement substrate: a std-only
+//! span/counter/histogram recorder whose per-worker shards merge
+//! deterministically, plus exporters for the two artifacts the CLI
+//! surfaces:
+//!
+//! * **`metrics.json`** (schema [`METRICS_SCHEMA`]) — split into a
+//!   **deterministic** section (counts and histogram-bucket totals that
+//!   must be byte-identical across `--jobs` values and across
+//!   resumed-vs-uninterrupted runs; `tests/metrics_invariants.rs`
+//!   enforces this) and a **timing** section that is explicitly
+//!   *excluded* from any determinism guarantee (wall-clock durations,
+//!   worker counts, durability counters that vary under `--resume`).
+//! * **Chrome trace-event JSON** (`--trace FILE`, conventionally
+//!   `*.trace.json`) — loadable in `chrome://tracing` or Perfetto, one
+//!   complete event per span.
+//!
+//! ## Determinism model
+//!
+//! Counters and histograms record *what happened* (integers derived
+//! from the input corpus); spans record *when* (wall-clock offsets from
+//! a run [`Clock`] epoch). Merging shards only ever sums counters and
+//! histogram buckets — sums commute, so any worker interleaving yields
+//! the same merged values. Span timestamps are inherently
+//! non-deterministic and are only ever exported through the timing
+//! section and the trace file.
+//!
+//! The whole recorder can be disabled ([`Clock::disabled`]): every
+//! record call becomes a no-op, which is what the `--bench-json`
+//! instrumented-vs-stripped overhead comparison measures against.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod clock;
+pub mod hist;
+pub mod shard;
+pub mod trace;
+
+pub use clock::Clock;
+pub use hist::Histogram;
+pub use shard::{ObsShard, Span};
+pub use trace::{chrome_trace_json, validate_trace};
+
+use confanon_testkit::json::Json;
+
+/// Schema identifier of the `--metrics` document.
+pub const METRICS_SCHEMA: &str = "confanon-metrics-v1";
+
+/// Conventional file name for the metrics document when it is written
+/// next to released outputs; `confanon validate` skips it by this name.
+pub const METRICS_FILE_NAME: &str = "metrics.json";
+
+/// Conventional suffix of Chrome trace files (`--trace run.trace.json`);
+/// `confanon validate` and batch input discovery skip files by it.
+pub const TRACE_SUFFIX: &str = ".trace.json";
+
+/// True for file names that are observability artifacts rather than
+/// configuration data: the metrics document and trace files. Corpus
+/// discovery and post-run validation must never treat these as configs,
+/// exactly as they already skip the run journal.
+pub fn is_observability_artifact(file_name: &str) -> bool {
+    file_name == METRICS_FILE_NAME
+        || file_name == "trace.json"
+        || file_name.ends_with(TRACE_SUFFIX)
+}
+
+/// Assembles the two sections into the versioned metrics document.
+pub fn metrics_doc(deterministic: Json, timing: Json) -> Json {
+    Json::obj()
+        .with("schema", METRICS_SCHEMA)
+        .with("deterministic", deterministic)
+        .with("timing", timing)
+}
+
+/// Validates the shape of a parsed metrics document: schema marker plus
+/// both sections present as objects. (Anything deeper is a consumer
+/// concern; the split itself is the contract.)
+pub fn validate_metrics(doc: &Json) -> Result<(), String> {
+    match doc.get("schema").and_then(Json::as_str) {
+        Some(METRICS_SCHEMA) => {}
+        Some(other) => return Err(format!("unexpected schema {other:?}")),
+        None => return Err("missing \"schema\" member".to_string()),
+    }
+    for section in ["deterministic", "timing"] {
+        match doc.get(section) {
+            Some(Json::Obj(_)) => {}
+            Some(_) => return Err(format!("\"{section}\" is not an object")),
+            None => return Err(format!("missing \"{section}\" section")),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn artifact_names_are_recognized() {
+        assert!(is_observability_artifact("metrics.json"));
+        assert!(is_observability_artifact("trace.json"));
+        assert!(is_observability_artifact("run.trace.json"));
+        assert!(!is_observability_artifact("r1.cfg"));
+        assert!(!is_observability_artifact("metrics.json.cfg"));
+        assert!(!is_observability_artifact("leak_report.json"));
+    }
+
+    #[test]
+    fn metrics_doc_round_trips_and_validates() {
+        let doc = metrics_doc(Json::obj().with("x", 1u64), Json::obj());
+        let text = doc.to_string_pretty();
+        let parsed = Json::parse(&text).expect("parses");
+        assert!(validate_metrics(&parsed).is_ok());
+        assert_eq!(parsed, doc);
+    }
+
+    #[test]
+    fn validate_rejects_malformed_documents() {
+        assert!(validate_metrics(&Json::obj()).is_err());
+        assert!(validate_metrics(&Json::obj().with("schema", "other-v9")).is_err());
+        let missing_timing = Json::obj()
+            .with("schema", METRICS_SCHEMA)
+            .with("deterministic", Json::obj());
+        assert!(validate_metrics(&missing_timing).is_err());
+        let wrong_type = Json::obj()
+            .with("schema", METRICS_SCHEMA)
+            .with("deterministic", 3u64)
+            .with("timing", Json::obj());
+        assert!(validate_metrics(&wrong_type).is_err());
+    }
+}

@@ -33,13 +33,38 @@ echo "==> BENCH_durability.json"
 cat BENCH_durability.json
 echo
 
+echo "==> observability smoke: metrics + trace, deterministic across jobs"
+# Run the batch twice at different worker counts with --metrics/--trace,
+# shape-check both artifacts through the in-tree JSON parser (the
+# `confanon metrics` subcommand), and demand the deterministic section
+# be byte-identical across the two job counts.
+obs_dir="$(mktemp -d)"
+trap 'rm -rf "$corpus_dir" "$obs_dir"' EXIT
+./target/release/confanon batch "$corpus_dir" --jobs 1 \
+    --out-dir "$obs_dir/out1" \
+    --metrics "$obs_dir/metrics-j1.json" --trace "$obs_dir/run-j1.trace.json"
+./target/release/confanon batch "$corpus_dir" --jobs 4 \
+    --out-dir "$obs_dir/out4" \
+    --metrics "$obs_dir/metrics-j4.json" --trace "$obs_dir/run-j4.trace.json"
+./target/release/confanon metrics "$obs_dir/metrics-j1.json"
+./target/release/confanon metrics "$obs_dir/metrics-j4.json"
+./target/release/confanon metrics --trace "$obs_dir/run-j1.trace.json"
+./target/release/confanon metrics --trace "$obs_dir/run-j4.trace.json"
+./target/release/confanon metrics --deterministic "$obs_dir/metrics-j1.json" \
+    > "$obs_dir/det-j1.json"
+./target/release/confanon metrics --deterministic "$obs_dir/metrics-j4.json" \
+    > "$obs_dir/det-j4.json"
+diff "$obs_dir/det-j1.json" "$obs_dir/det-j4.json" || {
+    echo "deterministic metrics section differs between --jobs 1 and --jobs 4"; exit 1;
+}
+
 echo "==> chaos smoke: fail-closed exit-code taxonomy"
 # Fixed seeds end to end (TESTKIT_SEED for any in-process property
 # replay, --seed for the mutator) so the hostile corpus — and therefore
 # the outcome asserted below — is reproducible run to run.
 export TESTKIT_SEED=2004
 chaos_dir="$(mktemp -d)"
-trap 'rm -rf "$corpus_dir" "$chaos_dir"' EXIT
+trap 'rm -rf "$corpus_dir" "$obs_dir" "$chaos_dir"' EXIT
 
 # 1. A clean synthetic corpus releases everything: exit 0.
 set +e
@@ -98,7 +123,7 @@ echo "==> crash/resume smoke: durable journal + --resume"
 # --jobs 1 and --jobs 4. The manifest records neither timestamps nor
 # the job count, so even run_manifest.json must diff clean.
 crash_dir="$(mktemp -d)"
-trap 'rm -rf "$corpus_dir" "$chaos_dir" "$crash_dir"' EXIT
+trap 'rm -rf "$corpus_dir" "$obs_dir" "$chaos_dir" "$crash_dir"' EXIT
 
 ./target/release/confanon batch "$corpus_dir" --jobs 1 \
     --out-dir "$crash_dir/golden1"

@@ -7,14 +7,29 @@
 //! ```text
 //! confanon anonymize --secret <secret> [--compact] [--audit FILE] [--out-dir DIR] FILE...
 //! confanon batch     [--jobs N] [--secret S] [--out-dir DIR] [--quarantine-dir DIR]
-//!                    [--disable-rule NAMES] [--bench-json FILE]
-//!                    [--bench-durability FILE] [--resume] DIR
+//!                    [--disable-rule NAMES] [--metrics FILE] [--trace FILE]
+//!                    [--bench-json FILE] [--bench-durability FILE] [--resume] DIR
 //! confanon chaos     [--seed S] [--count N] --out-dir DIR
 //! confanon generate  [--networks N] [--routers M] [--seed S] --out-dir DIR
 //! confanon validate  --pre-dir DIR --post-dir DIR
 //! confanon scan      --record FILE.json FILE...
+//! confanon metrics   [--deterministic] [--trace FILE] [FILE]
 //! confanon rules
 //! ```
+//!
+//! ## Observability
+//!
+//! `batch --metrics FILE` writes a `confanon-metrics-v1` document with
+//! two sections: `deterministic` (corpus accounting, aggregate
+//! anonymization counters, per-rule fire counts, trie node counts,
+//! input-shape histograms — byte-identical for a given corpus across
+//! any `--jobs` value and across resumed vs. one-shot runs) and
+//! `timing` (span aggregates, rewrite/gate/publish counters,
+//! durability, wall-clock — excluded from that guarantee).
+//! `batch --trace FILE` writes the same run's spans as Chrome
+//! trace-event JSON (load in `chrome://tracing` or Perfetto).
+//! `confanon metrics` validates such files and extracts the
+//! deterministic section for diffing.
 //!
 //! ## Exit codes
 //!
@@ -49,7 +64,12 @@ use confanon::core::{
     DurabilityStats, Publisher, StdFs, ALL_RULES, RUN_MANIFEST_NAME,
 };
 use confanon::iosparse::Config;
+use confanon::obs::{
+    chrome_trace_json, is_observability_artifact, metrics_doc, validate_metrics, validate_trace,
+    Clock, ObsShard,
+};
 use confanon::validate::{compare_designs, compare_properties, network_properties};
+use confanon_testkit::json::Json;
 
 /// Everything released, nothing withheld.
 const EXIT_OK: u8 = 0;
@@ -87,18 +107,19 @@ fn main() -> ExitCode {
         Some("generate") => cmd_generate(&args[1..]),
         Some("validate") => cmd_validate(&args[1..]),
         Some("scan") => cmd_scan(&args[1..]),
+        Some("metrics") => cmd_metrics(&args[1..]),
         Some("rules") => cmd_rules(),
         _ => {
             eprintln!(
-                "usage: confanon <anonymize|batch|chaos|generate|validate|rules> [options]\n\
+                "usage: confanon <anonymize|batch|chaos|generate|validate|scan|metrics|rules> [options]\n\
                  \n\
                  anonymize --secret <secret> [--compact] [--audit FILE] [--out-dir DIR] FILE...\n\
                  \u{20}   Anonymize config files under one owner secret. With --out-dir,\n\
                  \u{20}   writes <name>.anon alongside a leak-audit summary; otherwise\n\
                  \u{20}   prints to stdout.\n\
                  batch [--jobs N] [--secret <secret>] [--out-dir DIR] [--quarantine-dir DIR]\n\
-                 \u{20}     [--disable-rule NAME[,NAME...]] [--bench-json FILE]\n\
-                 \u{20}     [--bench-durability FILE] [--resume] DIR\n\
+                 \u{20}     [--disable-rule NAME[,NAME...]] [--metrics FILE] [--trace FILE]\n\
+                 \u{20}     [--bench-json FILE] [--bench-durability FILE] [--resume] DIR\n\
                  \u{20}   Anonymize every .cfg under DIR (recursively, one keyed state)\n\
                  \u{20}   using N rewrite workers (0 = core count). Output is byte-identical\n\
                  \u{20}   at any worker count. Every output is leak-scanned before release;\n\
@@ -107,6 +128,8 @@ fn main() -> ExitCode {
                  \u{20}   With --out-dir, writes are atomic+durable and journaled in\n\
                  \u{20}   run_manifest.json; --resume verifies prior outputs against the\n\
                  \u{20}   journal digests and re-processes only what is missing or torn.\n\
+                 \u{20}   --metrics writes a confanon-metrics-v1 document (deterministic +\n\
+                 \u{20}   timing sections); --trace writes Chrome trace-event JSON.\n\
                  \u{20}   Exit codes: 0 ok, 1 I/O, 2 usage, 3 panic-contained, 4 leak-gated,\n\
                  \u{20}   5 interrupted-but-resumable (journal intact; re-run with --resume).\n\
                  chaos [--seed S] [--count N] --out-dir DIR\n\
@@ -119,6 +142,10 @@ fn main() -> ExitCode {
                  scan --record FILE.json FILE...\n\
                  \u{20}   Flag lines in anonymized files that still contain items from a\n\
                  \u{20}   leak record (JSON with asns/ips/words arrays).\n\
+                 metrics [--deterministic] [--trace FILE] [FILE]\n\
+                 \u{20}   Validate a metrics.json (or, with --trace, a trace file).\n\
+                 \u{20}   --deterministic prints only the deterministic section, for\n\
+                 \u{20}   diffing two runs.\n\
                  rules\n\
                  \u{20}   Print the 28 contextual rules."
             );
@@ -156,7 +183,7 @@ fn parse_opts(args: &[String]) -> (BTreeMap<String, String>, Vec<String>) {
             // Boolean flags take no value when followed by another flag
             // or nothing.
             let takes_value = i + 1 < args.len() && !args[i + 1].starts_with("--");
-            let boolean = matches!(key, "compact" | "resume");
+            let boolean = matches!(key, "compact" | "resume" | "deterministic");
             if takes_value && !boolean {
                 opts.insert(key.to_string(), args[i + 1].clone());
                 i += 2;
@@ -280,6 +307,13 @@ fn collect_cfg_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
         .collect();
     entries.sort();
     for path in entries {
+        // Observability artifacts from a previous run (metrics.json,
+        // *.trace.json) are run bookkeeping, never corpus input — skip
+        // them even if someone renames one to end in .cfg.
+        let name = path.file_name().map(|n| n.to_string_lossy().to_string());
+        if name.as_deref().is_some_and(is_observability_artifact) {
+            continue;
+        }
         if path.is_dir() {
             collect_cfg_files(&path, out)?;
         } else if path.extension().is_some_and(|x| x == "cfg") {
@@ -370,17 +404,56 @@ fn cmd_batch(args: &[String]) -> ExitCode {
         eprintln!("batch: no .cfg files under {}", dir.display());
         return ExitCode::from(EXIT_IO);
     }
-    let mut files: Vec<(String, String)> = Vec::with_capacity(paths.len());
+    // One clock spans the whole run: it is both the trace timeline and
+    // the observability switch (a disabled clock strips every recording,
+    // which the overhead benchmark below exploits).
+    let clock = Clock::new();
+    let mut bin_obs = ObsShard::new(clock);
+
+    // Read and sanitize are separate phases: read is raw byte I/O,
+    // sanitize is the hostile-input repair. Both re-run over the whole
+    // corpus on --resume, so their counters stay resume-invariant.
+    let mut raw: Vec<(String, Vec<u8>)> = Vec::with_capacity(paths.len());
+    let t_read = bin_obs.span_start();
     for p in &paths {
         let rel = p.strip_prefix(&dir).unwrap_or(p).to_string_lossy().to_string();
-        match read_config_lossy(p) {
-            Ok(t) => files.push((rel, t)),
+        let t_file = bin_obs.span_start();
+        match std::fs::read(p) {
+            Ok(bytes) => {
+                bin_obs.span_end(&rel, "read", 0, t_file);
+                bin_obs.count("phase.read.files", 1);
+                bin_obs.count("phase.read.bytes", bytes.len() as u64);
+                raw.push((rel, bytes));
+            }
             Err(e) => {
-                eprintln!("batch: {e}");
+                eprintln!("batch: {}: {e}", p.display());
                 return ExitCode::from(EXIT_IO);
             }
         }
     }
+    bin_obs.span_end("read", "phase", 0, t_read);
+
+    let mut files: Vec<(String, String)> = Vec::with_capacity(raw.len());
+    let t_sanitize = bin_obs.span_start();
+    for (rel, bytes) in raw {
+        let t_file = bin_obs.span_start();
+        let (text, tally) = sanitize_bytes(&bytes);
+        bin_obs.span_end(&rel, "sanitize", 0, t_file);
+        bin_obs.count("phase.sanitize.files", 1);
+        if !tally.is_clean() {
+            eprintln!(
+                "note: {rel}: repaired hostile input ({} invalid UTF-8 sequence(s), \
+                 {} control char(s), {} oversized line(s) truncated)",
+                tally.invalid_utf8_replaced, tally.controls_replaced, tally.lines_truncated
+            );
+            bin_obs.count("phase.sanitize.repaired_files", 1);
+        }
+        bin_obs.count("phase.sanitize.invalid_utf8_replaced", tally.invalid_utf8_replaced);
+        bin_obs.count("phase.sanitize.controls_replaced", tally.controls_replaced);
+        bin_obs.count("phase.sanitize.lines_truncated", tally.lines_truncated);
+        files.push((rel, text));
+    }
+    bin_obs.span_end("sanitize", "phase", 0, t_sanitize);
 
     // With an output directory, the run is journaled: a complete
     // all-pending manifest is durably on disk before any anonymization
@@ -411,7 +484,8 @@ fn cmd_batch(args: &[String]) -> ExitCode {
     };
 
     let start = std::time::Instant::now();
-    let run = confanon::workflow::anonymize_corpus_gated_skipping(&files, cfg, jobs, &skip);
+    let mut run =
+        confanon::workflow::anonymize_corpus_gated_clocked(&files, cfg.clone(), jobs, &skip, clock);
     let elapsed = start.elapsed();
 
     // The gate report (and any withheld bytes) go to the quarantine
@@ -421,6 +495,7 @@ fn cmd_batch(args: &[String]) -> ExitCode {
     let qdir_opt = (gate_tripped || opts.contains_key("quarantine-dir"))
         .then_some(quarantine_dir.as_path());
     let mut durability = DurabilityStats::default();
+    let t_publish = bin_obs.span_start();
     match &mut publisher {
         Some(p) => {
             // Journal-first publishing: failures, then released outputs
@@ -472,6 +547,12 @@ fn cmd_batch(args: &[String]) -> ExitCode {
         let (_manifest, stats) = p.finish();
         durability.merge(&stats);
     }
+    bin_obs.span_end("publish", "phase", 0, t_publish);
+    bin_obs.count("phase.publish.released", run.clean.len() as u64);
+    bin_obs.count("phase.publish.quarantined", run.quarantined.len() as u64);
+    // Fold the binary-side phases (read, sanitize, publish) into the
+    // run's shard so the metrics and trace cover the whole pipeline.
+    run.obs.merge(&bin_obs);
 
     let words = run.totals.words_total;
     let secs = elapsed.as_secs_f64().max(1e-9);
@@ -509,8 +590,50 @@ fn cmd_batch(args: &[String]) -> ExitCode {
         }
     }
 
+    if let Some(metrics_path) = opts.get("metrics") {
+        let timing = run
+            .metrics_timing_json()
+            .with("durability", durability.to_json())
+            .with("elapsed_ns", elapsed.as_nanos() as f64);
+        let doc = metrics_doc(run.metrics_deterministic_json(), timing);
+        let mut report_stats = DurabilityStats::default();
+        if let Err(e) = write_atomic(
+            &StdFs,
+            Path::new(metrics_path),
+            doc.to_string_pretty().as_bytes(),
+            &mut report_stats,
+        ) {
+            eprintln!("batch: {e}");
+            return ExitCode::from(exit_for(&e));
+        }
+        eprintln!("metrics written to {metrics_path}");
+    }
+
+    if let Some(trace_path) = opts.get("trace") {
+        let worker_names: Vec<String> = (1..=run.jobs).map(|w| format!("worker-{w}")).collect();
+        let mut lanes: Vec<(u32, &str)> = vec![(0, "pipeline")];
+        lanes.extend(
+            worker_names
+                .iter()
+                .enumerate()
+                .map(|(i, n)| (i as u32 + 1, n.as_str())),
+        );
+        let doc = chrome_trace_json(run.obs.spans(), &lanes);
+        let mut report_stats = DurabilityStats::default();
+        if let Err(e) = write_atomic(
+            &StdFs,
+            Path::new(trace_path),
+            doc.to_string_pretty().as_bytes(),
+            &mut report_stats,
+        ) {
+            eprintln!("batch: {e}");
+            return ExitCode::from(exit_for(&e));
+        }
+        eprintln!("trace written to {trace_path}");
+    }
+
     if let Some(json_path) = opts.get("bench-json") {
-        let json = confanon_testkit::json::Json::obj()
+        let json = Json::obj()
             .with("suite", "pipeline")
             .with("files", (run.clean.len() + run.quarantined.len()) as u64)
             .with("lines", run.totals.lines_total)
@@ -518,7 +641,8 @@ fn cmd_batch(args: &[String]) -> ExitCode {
             .with("jobs", run.jobs as u64)
             .with("elapsed_ns", elapsed.as_nanos() as f64)
             .with("tokens_per_sec", tokens_per_sec)
-            .with("durability", durability.to_json());
+            .with("durability", durability.to_json())
+            .with("observability", observability_overhead_json(&files, &cfg, jobs));
         let mut report_stats = DurabilityStats::default();
         if let Err(e) = write_atomic(
             &StdFs,
@@ -561,6 +685,40 @@ fn cmd_batch(args: &[String]) -> ExitCode {
     } else {
         ExitCode::from(EXIT_OK)
     }
+}
+
+/// Times the gated pipeline with observability on ([`Clock::new`])
+/// versus stripped ([`Clock::disabled`] — every recording a no-op),
+/// min-of-3 each to damp scheduler noise. The ratio quantifies what the
+/// always-on instrumentation costs; the metrics-invariant suite holds
+/// it under 5% on the smoke corpus.
+fn observability_overhead_json(
+    files: &[(String, String)],
+    cfg: &AnonymizerConfig,
+    jobs: usize,
+) -> Json {
+    let time_with = |clock: Clock| -> f64 {
+        let mut best = f64::INFINITY;
+        for _ in 0..3 {
+            let t = std::time::Instant::now();
+            let run = confanon::workflow::anonymize_corpus_gated_clocked(
+                files,
+                cfg.clone(),
+                jobs,
+                &BTreeSet::new(),
+                clock,
+            );
+            std::hint::black_box(run.clean.len());
+            best = best.min(t.elapsed().as_secs_f64());
+        }
+        best
+    };
+    let instrumented = time_with(Clock::new());
+    let stripped = time_with(Clock::disabled());
+    Json::obj()
+        .with("instrumented_ns", instrumented * 1e9)
+        .with("stripped_ns", stripped * 1e9)
+        .with("overhead_ratio", instrumented / stripped.max(1e-9))
 }
 
 /// Times re-publishing the run's released outputs through the atomic
@@ -718,9 +876,14 @@ fn cmd_validate(args: &[String]) -> ExitCode {
             .map_err(|e| format!("{dir}: {e}"))?
             .filter_map(|e| e.ok().map(|e| e.path()))
             .filter(|p| p.is_file())
-            // The batch run journal lives beside the released files; it
-            // is bookkeeping, not a config to validate.
+            // The batch run journal and observability artifacts live
+            // beside the released files; they are bookkeeping, not
+            // configs to validate.
             .filter(|p| p.file_name().is_none_or(|n| n != RUN_MANIFEST_NAME))
+            .filter(|p| {
+                p.file_name()
+                    .is_none_or(|n| !is_observability_artifact(&n.to_string_lossy()))
+            })
             .collect();
         files.sort();
         files
@@ -815,6 +978,81 @@ fn cmd_scan(args: &[String]) -> ExitCode {
     } else {
         ExitCode::FAILURE
     }
+}
+
+/// `confanon metrics`: validate observability artifacts from the shell.
+///
+/// * `confanon metrics FILE` — parse and shape-check a metrics.json.
+/// * `confanon metrics --deterministic FILE` — print only the
+///   deterministic section (pretty), so two runs can be `diff`ed.
+/// * `confanon metrics --trace FILE` — parse and shape-check a Chrome
+///   trace file instead.
+fn cmd_metrics(args: &[String]) -> ExitCode {
+    let (opts, files) = parse_opts(args);
+
+    if let Some(trace_path) = opts.get("trace") {
+        let text = match std::fs::read_to_string(trace_path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("metrics: {trace_path}: {e}");
+                return ExitCode::from(EXIT_IO);
+            }
+        };
+        return match Json::parse(&text).map_err(|e| e.to_string()).and_then(|doc| {
+            validate_trace(&doc)?;
+            Ok(doc)
+        }) {
+            Ok(doc) => {
+                let events = doc
+                    .get("traceEvents")
+                    .and_then(Json::as_array)
+                    .map_or(0, |a| a.len());
+                eprintln!("{trace_path}: valid trace ({events} event(s))");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("metrics: {trace_path}: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let Some(path) = files.first() else {
+        eprintln!("metrics: a metrics.json file (or --trace FILE) is required");
+        return ExitCode::from(EXIT_USAGE);
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("metrics: {path}: {e}");
+            return ExitCode::from(EXIT_IO);
+        }
+    };
+    let doc = match Json::parse(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("metrics: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = validate_metrics(&doc) {
+        eprintln!("metrics: {path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    if opts.contains_key("deterministic") {
+        match doc.get("deterministic") {
+            Some(section) => println!("{}", section.to_string_pretty()),
+            None => {
+                // validate_metrics guarantees the section exists; keep
+                // the fail-closed posture anyway.
+                eprintln!("metrics: {path}: missing deterministic section");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        eprintln!("{path}: valid {}", confanon::obs::METRICS_SCHEMA);
+    }
+    ExitCode::SUCCESS
 }
 
 fn cmd_rules() -> ExitCode {

@@ -20,7 +20,9 @@
 //! * [`crypto`] — SHA-1, HMAC, PRF, Feistel permutation;
 //! * [`confgen`] — the synthetic dataset generator (dataset substitution);
 //! * [`design`] — routing-design extraction;
-//! * [`validate`] — the two validation suites and fingerprint studies.
+//! * [`validate`] — the two validation suites and fingerprint studies;
+//! * [`obs`] — the deterministic observability layer (spans, counters,
+//!   histograms, `metrics.json`, Chrome trace export).
 //!
 //! ## Quickstart
 //!
@@ -45,5 +47,6 @@ pub use confanon_design as design;
 pub use confanon_iosparse as iosparse;
 pub use confanon_ipanon as ipanon;
 pub use confanon_netprim as netprim;
+pub use confanon_obs as obs;
 pub use confanon_regexlang as regexlang;
 pub use confanon_validate as validate;

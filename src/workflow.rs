@@ -16,6 +16,7 @@ use confanon_core::{
 };
 use confanon_design::RoutingDesign;
 use confanon_iosparse::Config;
+use confanon_obs::{Clock, ObsShard};
 use confanon_testkit::json::Json;
 use confanon_validate::{compare_designs, compare_properties, Suite1Report, Suite2Report};
 
@@ -152,6 +153,9 @@ pub struct GatedCorpusRun {
     pub jobs: usize,
     /// The warmed anonymizer, retained for audits.
     pub anonymizer: Anonymizer,
+    /// Observability data recorded across discovery, rewrite, and the
+    /// leak gate (merged worker shards).
+    pub obs: ObsShard,
 }
 
 impl GatedCorpusRun {
@@ -204,6 +208,103 @@ impl GatedCorpusRun {
             .with("quarantined", Json::Arr(quarantined))
             .with("failures", Json::Arr(failures))
     }
+
+    /// Total input files this run accounted for, in any state.
+    pub fn files_total(&self) -> usize {
+        self.clean.len() + self.skipped.len() + self.quarantined.len() + self.failures.len()
+    }
+
+    /// The deterministic metrics section: byte-identical for a given
+    /// corpus and config across any `--jobs` value AND across a resumed
+    /// vs. one-shot run.
+    ///
+    /// Everything here derives from the sequential discovery pass, which
+    /// always walks the *whole* corpus in input order (a resume skip set
+    /// only suppresses re-emission): aggregate anonymization counters,
+    /// per-rule fire counts, prefix-trie node counts, and the
+    /// discovery-side counters/histograms. Corpus accounting uses
+    /// `released_or_verified` (clean + resume-verified) rather than the
+    /// two parts separately, because the split depends on where a prior
+    /// run crashed. Rewrite/gate/publish counters, spans, and all
+    /// wall-clock data are excluded — they belong in the timing section.
+    pub fn metrics_deterministic_json(&self) -> Json {
+        let mut rules = Json::obj();
+        for (name, fires) in self.anonymizer.total_stats().rule_fires_complete() {
+            rules.set(name, fires);
+        }
+        let mut by_category = Json::obj();
+        for (cat, fires) in self.anonymizer.total_stats().rule_fires_by_category() {
+            by_category.set(cat, fires);
+        }
+        let (trie4, trie6) = self.anonymizer.trie_node_counts();
+        Json::obj()
+            .with(
+                "corpus",
+                Json::obj()
+                    .with("files_total", self.files_total() as u64)
+                    .with(
+                        "released_or_verified",
+                        (self.clean.len() + self.skipped.len()) as u64,
+                    )
+                    .with("quarantined", self.quarantined.len() as u64)
+                    .with("failed", self.failures.len() as u64)
+                    .with("leaks_gated", self.leak_count() as u64),
+            )
+            .with("anonymization", self.anonymizer.total_stats().to_json())
+            .with(
+                "rules",
+                Json::obj()
+                    .with(
+                        "fired_total",
+                        self.anonymizer.total_stats().rules_fired_total(),
+                    )
+                    .with("by_category", by_category)
+                    .with("by_rule", rules),
+            )
+            .with(
+                "ipanon",
+                Json::obj()
+                    .with("trie4_nodes", trie4 as u64)
+                    .with("trie6_nodes", trie6 as u64),
+            )
+            .with(
+                "counters",
+                counters_with_prefixes(
+                    &self.obs,
+                    &["phase.discover.", "phase.read.", "phase.sanitize."],
+                ),
+            )
+            .with("histograms", self.obs.hists_json())
+    }
+
+    /// The timing metrics section: run-shape data (worker count,
+    /// rewrite/gate counters, span aggregates) that legitimately varies
+    /// with `--jobs`, `--resume`, and the wall clock. Callers append
+    /// durability and elapsed-time fields before serializing.
+    pub fn metrics_timing_json(&self) -> Json {
+        Json::obj()
+            .with("jobs", self.jobs as u64)
+            .with(
+                "counters",
+                counters_with_prefixes(
+                    &self.obs,
+                    &["phase.rewrite.", "phase.publish.", "gate."],
+                ),
+            )
+            .with("spans", self.obs.span_summary_json())
+    }
+}
+
+/// Counters whose keys match any of `prefixes`, as a key-ordered JSON
+/// object (BTreeMap iteration order, so serialization is stable).
+fn counters_with_prefixes(obs: &ObsShard, prefixes: &[&str]) -> Json {
+    let mut out = Json::obj();
+    for (k, v) in obs.counters() {
+        if prefixes.iter().any(|p| k.starts_with(p)) {
+            out.set(k, *v);
+        }
+    }
+    out
 }
 
 /// Anonymizes a corpus fail-closed: after the batch pipeline emits, every
@@ -232,6 +333,20 @@ pub fn anonymize_corpus_gated_skipping(
     jobs: usize,
     skip: &BTreeSet<String>,
 ) -> GatedCorpusRun {
+    anonymize_corpus_gated_clocked(files, cfg, jobs, skip, Clock::new())
+}
+
+/// [`anonymize_corpus_gated_skipping`] on an explicit [`Clock`]. The
+/// clock is both the run's span timeline and the observability switch:
+/// [`Clock::disabled`] strips every recording to a no-op, which is how
+/// the overhead benchmark measures the instrumented-vs-stripped cost.
+pub fn anonymize_corpus_gated_clocked(
+    files: &[(String, String)],
+    cfg: AnonymizerConfig,
+    jobs: usize,
+    skip: &BTreeSet<String>,
+    clock: Clock,
+) -> GatedCorpusRun {
     let inputs: Vec<BatchInput> = files
         .iter()
         .map(|(name, text)| BatchInput {
@@ -239,18 +354,22 @@ pub fn anonymize_corpus_gated_skipping(
             text: text.clone(),
         })
         .collect();
-    let mut pipeline = BatchPipeline::new(cfg, jobs);
+    let mut pipeline = BatchPipeline::new(cfg, jobs).with_clock(clock);
     let report = pipeline.run_skipping(&inputs, skip);
+    let mut obs = report.obs;
     let anonymizer = pipeline.into_anonymizer();
 
     let mut clean = Vec::new();
     let mut quarantined = Vec::new();
+    let t_gate = obs.span_start();
     for output in report.outputs {
+        let t_file = obs.span_start();
         let scan = LeakScanner::scan_excluding(
             anonymizer.leak_record(),
             anonymizer.emitted_exclusions(),
             &output.text,
         );
+        obs.span_end(&output.name, "leak-scan", 0, t_file);
         if scan.is_clean() {
             clean.push(output);
         } else {
@@ -260,6 +379,9 @@ pub fn anonymize_corpus_gated_skipping(
             });
         }
     }
+    obs.span_end("leak-scan", "phase", 0, t_gate);
+    obs.count("gate.clean", clean.len() as u64);
+    obs.count("gate.quarantined", quarantined.len() as u64);
     GatedCorpusRun {
         clean,
         quarantined,
@@ -268,6 +390,7 @@ pub fn anonymize_corpus_gated_skipping(
         totals: report.totals,
         jobs: report.jobs,
         anonymizer,
+        obs,
     }
 }
 

@@ -11,9 +11,14 @@
 //! 3. **Determinism.** The same seed yields byte-identical released
 //!    bytes, quarantine sets, and reports — at any worker count.
 
-use confanon::core::{sanitize_bytes, AnonymizerConfig, LeakScanner};
+use confanon::core::{
+    sanitize_bytes, write_atomic, AnonymizerConfig, DurabilityStats, LeakScanner,
+};
+use confanon::obs::{metrics_doc, validate_metrics};
 use confanon::workflow::{anonymize_corpus_gated, GatedCorpusRun};
 use confanon_testkit::chaos::ChaosMutator;
+use confanon_testkit::faultfs::FaultFs;
+use confanon_testkit::json::Json;
 
 /// Realistic base configs, kept small so each property case runs a
 /// whole corpus.
@@ -98,6 +103,76 @@ confanon_testkit::props! {
         // And an independent rerun of the same seed reproduces it all.
         let c = run(&chaos_corpus(seed), 8);
         assert_eq!(view(&a), view(&c));
+    }
+
+    /// Observability under hostility: whatever a mutated corpus does to
+    /// the pipeline, the metrics document stays schema-valid, its corpus
+    /// accounting sums, and quarantined/failed files land under their
+    /// own keys — never silently folded into the released count.
+    fn hostile_corpus_yields_a_valid_accounted_metrics_doc(seed in 0u64..1_000_000) {
+        let files = chaos_corpus(seed);
+        let out = run(&files, 4);
+        let doc = metrics_doc(
+            out.metrics_deterministic_json(),
+            out.metrics_timing_json(),
+        );
+        // Round-trip through the parser, exactly as a reader would see it.
+        let parsed = Json::parse(&doc.to_string_pretty()).expect("metrics must parse");
+        validate_metrics(&parsed).expect("metrics must validate");
+
+        let corpus = parsed
+            .get("deterministic")
+            .and_then(|d| d.get("corpus"))
+            .expect("corpus accounting");
+        let field = |k: &str| corpus.get(k).and_then(Json::as_u64).unwrap_or_else(|| panic!("missing {k}"));
+        assert_eq!(
+            field("released_or_verified") + field("quarantined") + field("failed"),
+            field("files_total"),
+            "corpus accounting must sum: every input file ends in exactly one state"
+        );
+        assert_eq!(field("files_total"), files.len() as u64);
+        assert_eq!(field("quarantined"), out.quarantined.len() as u64);
+        assert_eq!(field("failed"), out.failures.len() as u64);
+    }
+
+    /// A fault-injecting filesystem cannot produce a torn metrics file:
+    /// `write_atomic` either lands the whole schema-valid document at
+    /// the target or leaves nothing there (modulo the staged temp file
+    /// a failed rename legally abandons).
+    fn faulted_metrics_write_is_never_torn(seed in 0u64..1_000_000) {
+        let files = chaos_corpus(seed % 16); // a few distinct corpora suffice
+        let out = run(&files, 2);
+        let doc = metrics_doc(out.metrics_deterministic_json(), out.metrics_timing_json());
+        let bytes = doc.to_string_pretty();
+
+        let dir = std::env::temp_dir().join(format!(
+            "confanon-chaos-metrics-{}-{seed}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mk scratch");
+        let target = dir.join("metrics.json");
+        let fs = FaultFs::new(seed);
+        let mut stats = DurabilityStats::default();
+        let result = write_atomic(&fs, &target, bytes.as_bytes(), &mut stats);
+
+        match std::fs::read_to_string(&target) {
+            Ok(on_disk) => {
+                // Present ⇒ complete: the full document, parseable and valid.
+                assert_eq!(on_disk, bytes, "metrics file on disk is torn");
+                let parsed = Json::parse(&on_disk).expect("on-disk metrics must parse");
+                validate_metrics(&parsed).expect("on-disk metrics must validate");
+                assert!(
+                    result.is_ok(),
+                    "write reported failure but the target landed: {result:?}"
+                );
+            }
+            Err(_) => assert!(
+                result.is_err(),
+                "write reported success but the target is absent"
+            ),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }
 

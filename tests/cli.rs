@@ -328,6 +328,81 @@ fn batch_reads_non_utf8_input_lossily() {
 }
 
 #[test]
+fn validate_ignores_observability_artifacts_in_post_dir() {
+    // Regression: metrics.json and *.trace.json written next to released
+    // outputs must not enter the validate file set (they would parse as
+    // "configs" and break the pre/post name match).
+    let root = tmpdir("validate-obs");
+    let pre = root.join("pre");
+    let post = root.join("post");
+    std::fs::create_dir_all(&pre).expect("mk pre");
+    std::fs::create_dir_all(&post).expect("mk post");
+    let cfg_text = "hostname r1\nrouter bgp 65001\n";
+    std::fs::write(pre.join("r1.cfg"), cfg_text).expect("write pre");
+    std::fs::write(post.join("r1.cfg"), cfg_text).expect("write post");
+    std::fs::write(post.join("metrics.json"), "{}").expect("write metrics");
+    std::fs::write(post.join("run.trace.json"), "{\"traceEvents\":[]}").expect("write trace");
+
+    let out = bin()
+        .arg("validate")
+        .arg("--pre-dir")
+        .arg(&pre)
+        .arg("--post-dir")
+        .arg(&post)
+        .output()
+        .expect("run validate");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "stdout: {stdout}\nstderr: {stderr}");
+    assert!(
+        !stderr.contains("file sets differ"),
+        "observability artifacts entered the file set: {stderr}"
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn batch_ignores_observability_artifacts_in_corpus_dir() {
+    // A prior run's metrics/trace files sitting inside the corpus tree
+    // are bookkeeping, not input — discovery must skip them.
+    let root = tmpdir("batch-obs");
+    let corpus = root.join("corpus");
+    std::fs::create_dir_all(&corpus).expect("mk corpus");
+    std::fs::write(corpus.join("r1.cfg"), "hostname r1\nrouter bgp 65001\n").expect("write");
+    std::fs::write(corpus.join("metrics.json"), "{}").expect("write metrics");
+    std::fs::write(corpus.join("old.trace.json"), "{\"traceEvents\":[]}").expect("write trace");
+
+    let metrics = root.join("metrics.json");
+    let out = bin()
+        .args(["batch", "--secret", "s", "--jobs", "1"])
+        .arg("--metrics")
+        .arg(&metrics)
+        .arg("--out-dir")
+        .arg(root.join("out"))
+        .arg(&corpus)
+        .output()
+        .expect("batch");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(0), "{stderr}");
+    assert!(
+        stderr.contains("released 1 file(s)"),
+        "exactly the one .cfg must be processed: {stderr}"
+    );
+
+    // And `confanon metrics` validates what batch wrote.
+    let out = bin().arg("metrics").arg(&metrics).output().expect("metrics");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("confanon-metrics-v1"));
+
+    // A torn/malformed metrics file is rejected.
+    let bad = root.join("bad.json");
+    std::fs::write(&bad, "{\"schema\": \"confanon-met").expect("write bad");
+    let out = bin().arg("metrics").arg(&bad).output().expect("metrics");
+    assert!(!out.status.success(), "malformed metrics must be rejected");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
 fn scan_flags_recorded_items() {
     let root = tmpdir("scan");
     let record = root.join("record.json");
