@@ -19,6 +19,8 @@
 //!   pattern as the alternation of the image (optionally compacted
 //!   through the minimal-DFA → regexp pipeline of `confanon-regexlang`).
 
+#![deny(rustdoc::broken_intra_doc_links)]
+
 pub mod map;
 pub mod map32;
 pub mod rewrite;

@@ -8,6 +8,8 @@
 //! Set `TESTKIT_BENCH_JSON_DIR=<dir>` to also write each suite's report
 //! as JSON.
 
+#![deny(rustdoc::broken_intra_doc_links)]
+
 use confanon_confgen::{generate_dataset, Dataset, DatasetSpec};
 use confanon_testkit::bench::Runner;
 

@@ -23,6 +23,8 @@
 //! verify the anonymizer removed all of it without trusting the
 //! anonymizer's own bookkeeping.
 
+#![deny(rustdoc::broken_intra_doc_links)]
+
 pub mod addr;
 pub mod emit;
 pub mod features;

@@ -16,10 +16,11 @@ use confanon_iosparse::{classify_lines, rebuild, segment, tokenize, LineKind, Se
 use confanon_ipanon::{Ip6Anonymizer, IpAnonymizer, RandomScramble};
 use confanon_netprim::{special6_kind, special_kind, Ip, Ip6};
 
+use crate::discover::{ObservationLog, ObservedIp};
 use crate::error::BatchPhase;
 use crate::leak::LeakRecord;
 use crate::passlist::PassList;
-use crate::rules::RuleId;
+use crate::rules::{LineClass, LineClassCache, PrefilterStats, RuleId};
 use crate::stats::AnonymizationStats;
 
 /// Which IP-address mapping the pipeline uses.
@@ -59,6 +60,12 @@ pub struct AnonymizerConfig {
     /// batch pipeline's panic containment can be exercised
     /// deterministically in tests; production callers leave it `None`.
     pub fault_marker: Option<(String, crate::error::BatchPhase)>,
+    /// Disables the contextual-rule prefilter fast path
+    /// ([`crate::rules::Prefilter`]), forcing the full context matcher on
+    /// every line. Output and rule fires are identical either way — this
+    /// exists for the differential property tests and the
+    /// `--bench-json` prefilter benchmark.
+    pub disable_prefilter: bool,
 }
 
 impl AnonymizerConfig {
@@ -71,6 +78,7 @@ impl AnonymizerConfig {
             pass_list: PassList::builtin(),
             ip_scheme: IpScheme::default(),
             fault_marker: None,
+            disable_prefilter: false,
         }
     }
 
@@ -121,6 +129,15 @@ pub struct Anonymizer {
     /// where output assembly and the stateless token hashes are skipped
     /// but every rule, mapping-state mutation, and counter still runs.
     emit: bool,
+    /// Interned prefilter verdicts per line text (a pure function of the
+    /// line, so cache state can never change behaviour).
+    line_cache: LineClassCache,
+    prefilter_stats: PrefilterStats,
+    /// `Some` only on shard-scan clones during sharded discovery: instead
+    /// of mutating the tries, [`Anonymizer::map_ip`]/[`Anonymizer::map_ip6`]
+    /// log the address's first corpus position here for the canonical
+    /// replay. See [`crate::discover`].
+    observe: Option<ObservationLog>,
 }
 
 impl Anonymizer {
@@ -147,6 +164,9 @@ impl Anonymizer {
             emitted: std::collections::BTreeSet::new(),
             total_stats: AnonymizationStats::default(),
             emit: true,
+            line_cache: LineClassCache::default(),
+            prefilter_stats: PrefilterStats::default(),
+            observe: None,
         }
     }
 
@@ -232,14 +252,14 @@ impl Anonymizer {
 
     /// Anonymizes one configuration file.
     pub fn anonymize_config(&mut self, text: &str) -> AnonymizedConfig {
-        let lines: Vec<String> = text.lines().map(str::to_string).collect();
+        let lines: Vec<&str> = text.lines().collect();
         let kinds = classify_lines(&lines);
         let mut stats = AnonymizationStats::default();
         let mut out = String::with_capacity(if self.emit { text.len() } else { 0 });
         // Delimiter of the banner block currently open, for BannerEnd.
         let mut current_banner_delim: Option<String> = None;
 
-        for (line, kind) in lines.iter().zip(&kinds) {
+        for (&line, kind) in lines.iter().zip(&kinds) {
             if let Some((marker, phase)) = &self.cfg.fault_marker {
                 let armed = match phase {
                     BatchPhase::Discover => !self.emit,
@@ -252,13 +272,16 @@ impl Anonymizer {
                 );
             }
             stats.lines_total += 1;
-            let words = tokenize(line).len() as u64;
-            stats.words_total += words;
+            // Word counting: command-shaped lines count inside
+            // `anonymize_command_line` (which tokenizes anyway); the
+            // other kinds count here.
             match kind {
                 LineKind::Blank => {
                     out.push('\n');
                 }
                 LineKind::Comment => {
+                    let words = tokenize(line).len() as u64;
+                    stats.words_total += words;
                     if self.enabled(RuleId::R03BangComments) {
                         stats.fire(RuleId::R03BangComments);
                         stats.comment_lines_stripped += 1;
@@ -273,6 +296,8 @@ impl Anonymizer {
                 }
                 LineKind::FreeText => {
                     if self.enabled(RuleId::R04DescriptionText) {
+                        let words = tokenize(line).len() as u64;
+                        stats.words_total += words;
                         stats.fire(RuleId::R04DescriptionText);
                         stats.freetext_lines_dropped += 1;
                         stats.words_removed_as_comments += words;
@@ -284,6 +309,8 @@ impl Anonymizer {
                 }
                 LineKind::BannerHeader => {
                     let toks = tokenize(line);
+                    let words = toks.len() as u64;
+                    stats.words_total += words;
                     let texts: Vec<&str> = toks.iter().map(|t| t.text).collect();
                     // Track the delimiter only when the classifier actually
                     // opened a block: a self-closing one-line banner must
@@ -307,6 +334,8 @@ impl Anonymizer {
                     }
                 }
                 LineKind::BannerBody => {
+                    let words = tokenize(line).len() as u64;
+                    stats.words_total += words;
                     if self.enabled(RuleId::R05BannerBlocks) {
                         stats.banner_lines_dropped += 1;
                         stats.words_removed_as_comments += words;
@@ -316,6 +345,8 @@ impl Anonymizer {
                     }
                 }
                 LineKind::BannerEnd => {
+                    let words = tokenize(line).len() as u64;
+                    stats.words_total += words;
                     // The block closed: clear the open-delimiter state in
                     // both branches so EOF accounting stays accurate.
                     let delim = current_banner_delim.take().unwrap_or_default();
@@ -363,11 +394,24 @@ impl Anonymizer {
     fn anonymize_command_line(&mut self, line: &str, stats: &mut AnonymizationStats) -> String {
         let toks = tokenize(line);
         let texts: Vec<&str> = toks.iter().map(|t| t.text).collect();
-        let lower: Vec<String> = texts.iter().map(|t| t.to_ascii_lowercase()).collect();
-        let lref: Vec<&str> = lower.iter().map(String::as_str).collect();
+        stats.words_total += texts.len() as u64;
         let mut out: Vec<Option<String>> = vec![None; texts.len()];
 
-        self.apply_context_rules(&lref, &texts, &mut out, stats);
+        // Prefilter fast path: most lines provably cannot fire a context
+        // rule, and for those the lowercased-token vector and the full
+        // slice-pattern matcher are skipped wholesale. The verdict is a
+        // conservative superset (see [`crate::rules::Prefilter`]), so
+        // output bytes and rule fire counts are identical either way.
+        let class = if self.cfg.disable_prefilter {
+            LineClass::ContextScan
+        } else {
+            self.line_cache.classify(line, &mut self.prefilter_stats)
+        };
+        if class == LineClass::ContextScan {
+            let lower: Vec<String> = texts.iter().map(|t| t.to_ascii_lowercase()).collect();
+            let lref: Vec<&str> = lower.iter().map(String::as_str).collect();
+            self.apply_context_rules(&lref, &texts, &mut out, stats);
+        }
 
         // Per-token pass for everything the context rules left alone.
         for (i, tok) in texts.iter().enumerate() {
@@ -732,10 +776,21 @@ impl Anonymizer {
             for seg in segment(word) {
                 if let Segment::Alpha(a) = seg {
                     if !self.cfg.pass_list.contains(a) {
-                        self.record.words.insert(a.to_ascii_lowercase());
+                        self.record_alpha(a);
                     }
                 }
             }
+        }
+    }
+
+    /// Records one already-segmented, non-pass-list alphabetic run,
+    /// skipping the lowercase allocation when the run is already
+    /// lowercase and present (the common repeat case on the hot path).
+    fn record_alpha(&mut self, a: &str) {
+        if a.bytes().any(|b| b.is_ascii_uppercase()) {
+            self.record.words.insert(a.to_ascii_lowercase());
+        } else if !self.record.words.contains(a) {
+            self.record.words.insert(a.to_string());
         }
     }
 
@@ -765,9 +820,10 @@ impl Anonymizer {
         // R22/R24/R25: IPv4 literal.
         if let Ok(ip) = tok.parse::<Ip>() {
             if self.enabled(RuleId::R22Ipv4Literal) {
-                return self.map_ip(ip, stats).to_string();
+                let mapped = self.map_ip(ip, stats);
+                return if self.emit { mapped.to_string() } else { String::new() };
             }
-            return tok.to_string();
+            return self.keep(tok);
         }
         // R23: prefix token `a.b.c.d/len`.
         if let Some((addr, len)) = tok.split_once('/') {
@@ -775,9 +831,13 @@ impl Anonymizer {
                 if len <= 32 && self.enabled(RuleId::R23PrefixToken) {
                     stats.fire(RuleId::R23PrefixToken);
                     let mapped = self.map_ip(ip, stats);
-                    return format!("{mapped}/{len}");
+                    return if self.emit {
+                        format!("{mapped}/{len}")
+                    } else {
+                        String::new()
+                    };
                 }
-                return tok.to_string();
+                return self.keep(tok);
             }
         }
         // R14: bare community attribute — classic `asn:value` or RFC 8092
@@ -809,25 +869,30 @@ impl Anonymizer {
         // colon-bearing token that parses as IPv6 is one.
         if tok.contains(':') && self.enabled(RuleId::R22Ipv4Literal) {
             if let Ok(ip6) = tok.parse::<Ip6>() {
-                return self.map_ip6(ip6, stats).to_string();
+                let mapped = self.map_ip6(ip6, stats);
+                return if self.emit { mapped.to_string() } else { String::new() };
             }
             if let Some((addr, len)) = tok.rsplit_once('/') {
                 if let (Ok(ip6), Ok(len)) = (addr.parse::<Ip6>(), len.parse::<u8>()) {
                     if len <= 128 {
                         stats.fire(RuleId::R23PrefixToken);
                         let mapped = self.map_ip6(ip6, stats);
-                        return format!("{mapped}/{len}");
+                        return if self.emit {
+                            format!("{mapped}/{len}")
+                        } else {
+                            String::new()
+                        };
                     }
                 }
             }
         }
         // Simple integers are generally not anonymized (§4.1).
         if tok.bytes().all(|b| b.is_ascii_digit()) {
-            return tok.to_string();
+            return self.keep(tok);
         }
         // R01/R02/R26: segmentation, pass-list, hash.
         if !self.enabled(RuleId::R26TokenHashing) {
-            return tok.to_string();
+            return self.keep(tok);
         }
         let segs = segment(tok);
         if segs.len() > 1 {
@@ -835,25 +900,48 @@ impl Anonymizer {
             // segments (`cr1.lax.foo.com`, `Ethernet0/0`).
             stats.fire(RuleId::R02SplitPunctuation);
         }
-        let mut outb = String::with_capacity(tok.len());
+        let mut outb = String::with_capacity(if self.emit { tok.len() } else { 0 });
         for seg in segs {
             match seg {
-                Segment::Other(o) => outb.push_str(o),
+                Segment::Other(o) => {
+                    if self.emit {
+                        outb.push_str(o);
+                    }
+                }
                 Segment::Alpha(a) => {
                     if self.cfg.pass_list.contains(a) {
                         stats.segments_passed += 1;
-                        outb.push_str(a);
+                        if self.emit {
+                            outb.push_str(a);
+                        }
                     } else {
                         stats.fire(RuleId::R26TokenHashing);
                         stats.segments_hashed += 1;
-                        self.record_word(a);
-                        outb.push_str(&self.hash_emit(a));
+                        // `a` is already one non-pass-list alpha segment,
+                        // so the re-segmentation in `record_word` is
+                        // skipped.
+                        if self.enabled(RuleId::R28LeakHighlighting) {
+                            self.record_alpha(a);
+                        }
+                        if self.emit {
+                            outb.push_str(&self.hash_emit(a));
+                        }
                     }
                 }
             }
         }
         stats.fire(RuleId::R01SplitAlphaRuns);
         outb
+    }
+
+    /// A token kept verbatim: cloned for emission, elided during
+    /// discovery (the discovery pass discards all output text).
+    fn keep(&self, tok: &str) -> String {
+        if self.emit {
+            tok.to_string()
+        } else {
+            String::new()
+        }
     }
 
     /// Maps one address with recording and stats.
@@ -872,6 +960,15 @@ impl Anonymizer {
             stats.fire(RuleId::R24SubnetAddressPreserve);
         }
         stats.ips_mapped += 1;
+        // Shard-scan observe mode: the image depends on shared trie
+        // order, so defer it — along with the leak-record and emitted-set
+        // entries, which are per-identifier, not per-occurrence — to the
+        // canonical replay. The return value only feeds output assembly,
+        // which discovery discards.
+        if let Some(log) = self.observe.as_mut() {
+            log.note_v4(ip);
+            return ip;
+        }
         if self.enabled(RuleId::R28LeakHighlighting) {
             self.record.ips.insert(ip.to_string());
         }
@@ -895,12 +992,82 @@ impl Anonymizer {
             }
         stats.fire(RuleId::R22Ipv4Literal);
         stats.ips6_mapped += 1;
+        // See `map_ip`: trie-order-dependent and per-identifier work
+        // defers to the replay.
+        if let Some(log) = self.observe.as_mut() {
+            log.note_v6(ip);
+            return ip;
+        }
         if self.enabled(RuleId::R28LeakHighlighting) {
             self.record.ips.insert(ip.to_string());
         }
         let image = self.ip6.anonymize(ip);
         self.emitted.insert(image.to_string());
         image
+    }
+
+    /// A clone prepared for one sharded-discovery worker: empty
+    /// accumulators (so absorbing it back never double-counts) and an
+    /// armed observation log (so its scans log trie insertions instead of
+    /// performing them). Shares the keyed stateless maps and the
+    /// enabled-rule set with `self`.
+    pub(crate) fn observer(&self) -> Anonymizer {
+        let mut a = self.clone();
+        a.record = LeakRecord::default();
+        a.emitted = std::collections::BTreeSet::new();
+        a.total_stats = AnonymizationStats::default();
+        a.prefilter_stats = PrefilterStats::default();
+        a.observe = Some(ObservationLog::default());
+        a
+    }
+
+    /// One file of a shard scan: positions the observation log at
+    /// `file_idx` and runs the full discovery pipeline over `text`.
+    pub(crate) fn observe_file(&mut self, file_idx: u64, text: &str) -> AnonymizationStats {
+        if let Some(log) = self.observe.as_mut() {
+            log.begin_file(file_idx);
+        }
+        self.discover_config(text)
+    }
+
+    /// Folds a finished shard worker's order-independent accumulators
+    /// into `self` (all commutative merges) and returns its observation
+    /// log for the canonical replay.
+    pub(crate) fn absorb_observer(&mut self, shard: Anonymizer) -> ObservationLog {
+        self.record.merge(&shard.record);
+        self.emitted.extend(shard.emitted);
+        self.total_stats.merge(&shard.total_stats);
+        self.prefilter_stats.absorb(&shard.prefilter_stats);
+        shard.observe.unwrap_or_default()
+    }
+
+    /// Replays one observed identifier against the real mapping state:
+    /// computes its image (mutating the trie exactly as the deferred
+    /// `map_ip`/`map_ip6` call would have), records the original in the
+    /// leak record, and records the emitted exclusion — each exactly
+    /// once per identifier, where the sequential scan pays per
+    /// occurrence. Called in canonical first-occurrence order.
+    pub(crate) fn replay_observed(&mut self, obs: ObservedIp) {
+        let (original, image) = match obs {
+            ObservedIp::V4(ip) => (
+                ip.to_string(),
+                match self.cfg.ip_scheme {
+                    IpScheme::StructurePreserving => self.ip.anonymize(ip).to_string(),
+                    IpScheme::Scramble => self.scramble.anonymize(ip).to_string(),
+                },
+            ),
+            ObservedIp::V6(ip) => (ip.to_string(), self.ip6.anonymize(ip).to_string()),
+        };
+        if self.enabled(RuleId::R28LeakHighlighting) {
+            self.record.ips.insert(original);
+        }
+        self.emitted.insert(image);
+    }
+
+    /// Prefilter fast/slow/cache counters accumulated so far (summed in
+    /// from shard workers after sharded discovery).
+    pub fn prefilter_stats(&self) -> &PrefilterStats {
+        &self.prefilter_stats
     }
 }
 

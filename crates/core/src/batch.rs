@@ -8,13 +8,20 @@
 //! here recovers the parallelism anyway, with the output guaranteed
 //! byte-identical to a sequential run at any worker count:
 //!
-//! 1. **Discovery (sequential).** Every file is run through
-//!    [`Anonymizer::discover_config`] in corpus order. This performs the
-//!    exact sequence of order-dependent mapping mutations a sequential
-//!    emit run would — trie node creation, scramble walks — plus the
-//!    order-independent ones (leak record, emitted images, statistics),
-//!    while skipping the per-token salted hashing and string assembly
-//!    that dominate emission cost.
+//! 1. **Discovery (sharded).** Workers scan disjoint contiguous file
+//!    ranges with *observer* clones of the anonymizer: every rule runs
+//!    and every order-independent accumulator (leak record, emitted
+//!    images, statistics) fills in normally, but the order-dependent
+//!    trie insertions are deferred — each worker logs the first corpus
+//!    position of every address it would have mapped
+//!    ([`crate::discover::ObservationLog`]). The shard logs merge
+//!    commutatively (min position per address) and one canonical replay,
+//!    sorted by position, then drives the real tries through exactly the
+//!    insertion sequence a sequential scan of the whole corpus would
+//!    have produced. A `jobs <= 1` pipeline (or one pinned by
+//!    [`BatchPipeline::with_sequential_discovery`]) skips the machinery
+//!    and scans sequentially via [`Anonymizer::discover_config`]; both
+//!    modes warm byte-identical state.
 //! 2. **Rewrite (clone workers).** Each worker takes a clone of the
 //!    warmed anonymizer and re-emits files. Every mapping the emit pass
 //!    needs already exists, so workers only perform pure lookups and
@@ -35,13 +42,15 @@
 //! [`catch_unwind`]: a panic is converted into a [`BatchFailure`] record
 //! (file name, phase, panic message) and the file's output is withheld —
 //! fail closed — while every other file emits the bytes it would have
-//! emitted anyway. That stronger claim holds because discovery is
-//! sequential (a mid-file panic leaves the same partial mapping state in
-//! every mode) and the rewrite pass is a pure function of the warmed
-//! state; a worker whose clone panicked discards it and re-clones before
-//! taking more work. Mutex poisoning from a contained panic is likewise
-//! recovered: slot writes are index-disjoint, so a poisoned lock holds no
-//! broken invariant.
+//! emitted anyway. That stronger claim holds because a mid-file
+//! discovery panic leaves the same partial per-file contributions in
+//! every mode (an observer shard keeps the observations logged before
+//! the panic, exactly mirroring the partial trie mutations a sequential
+//! scan would have kept) and the rewrite pass is a pure function of the
+//! warmed state; a worker whose clone panicked discards it and
+//! re-clones before taking more work. Mutex poisoning from a contained
+//! panic is likewise recovered: slot writes are index-disjoint, so a
+//! poisoned lock holds no broken invariant.
 
 use std::collections::BTreeSet;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -51,6 +60,7 @@ use std::sync::Mutex;
 use confanon_obs::{Clock, ObsShard};
 
 use crate::anonymizer::{Anonymizer, AnonymizerConfig};
+use crate::discover::ObservationLog;
 use crate::error::{BatchFailure, BatchPhase};
 use crate::fsx::DurabilityStats;
 use crate::stats::AnonymizationStats;
@@ -95,9 +105,13 @@ pub struct BatchReport {
     /// report's outputs merges its counters in.
     pub durability: DurabilityStats,
     /// The run's observability shard: phase/per-file spans plus
-    /// discovery-pass counters and histograms (which are deterministic
-    /// across `--jobs` and across resumed-vs-one-shot runs, because the
-    /// discovery pass is sequential and always covers the whole corpus).
+    /// discovery-pass counters and histograms. The `phase.discover.*`
+    /// counters are deterministic across `--jobs`, discovery modes, and
+    /// resumed-vs-one-shot runs, because discovery always covers the
+    /// whole corpus and its counter merges are commutative sums;
+    /// shard-layout-dependent values (shard count, prefilter cache hits)
+    /// report under the `discovery.*` prefix, which the metrics document
+    /// files in its timing section.
     pub obs: ObsShard,
 }
 
@@ -119,11 +133,14 @@ pub struct BatchPipeline {
     anonymizer: Anonymizer,
     jobs: usize,
     clock: Clock,
+    sequential_discovery: bool,
 }
 
 impl BatchPipeline {
     /// Creates a pipeline over one owner secret. `jobs` is the worker
-    /// count for the rewrite pass; `0` means the logical core count.
+    /// count for the discovery and rewrite passes; `0` means the logical
+    /// core count, and values above the corpus size are clamped to one
+    /// worker per file.
     pub fn new(cfg: AnonymizerConfig, jobs: usize) -> BatchPipeline {
         let jobs = if jobs == 0 {
             std::thread::available_parallelism()
@@ -136,6 +153,7 @@ impl BatchPipeline {
             anonymizer: Anonymizer::new(cfg),
             jobs,
             clock: Clock::new(),
+            sequential_discovery: false,
         }
     }
 
@@ -144,6 +162,16 @@ impl BatchPipeline {
     /// benchmark's baseline).
     pub fn with_clock(mut self, clock: Clock) -> BatchPipeline {
         self.clock = clock;
+        self
+    }
+
+    /// Pins the discovery pass to the sequential scan even when
+    /// `jobs > 1`. Output is byte-identical either way (that equivalence
+    /// is property-tested); this switch exists for the differential
+    /// tests and the `--bench-json` discovery benchmark, which measure
+    /// the two modes against each other.
+    pub fn with_sequential_discovery(mut self, sequential: bool) -> BatchPipeline {
+        self.sequential_discovery = sequential;
         self
     }
 
@@ -175,37 +203,31 @@ impl BatchPipeline {
     pub fn run_skipping(&mut self, inputs: &[BatchInput], skip: &BTreeSet<String>) -> BatchReport {
         let mut obs = ObsShard::new(self.clock);
 
-        // Pass 1 — sequential discovery with per-file containment. The
-        // pass is sequential in every mode, so the partial mapping state
-        // a mid-file panic leaves behind is identical at any job count
-        // and downstream emission stays deterministic. The counters and
-        // histograms recorded here inherit that determinism (resume
-        // skip sets only affect the rewrite pass), which is what lets
-        // the metrics document put them in its deterministic section.
+        // Pass 1 — discovery with per-file containment, sequential or
+        // sharded (the warmed state is byte-identical either way; the
+        // determinism suite pins that equivalence). The partial mapping
+        // state a mid-file panic leaves behind is identical at any job
+        // count, so downstream emission stays deterministic. The
+        // counters and histograms recorded here inherit that determinism
+        // (resume skip sets only affect the rewrite pass), which is what
+        // lets the metrics document put them in its deterministic
+        // section.
         let t_discover = obs.span_start();
         let mut failed: Vec<Option<BatchFailure>> = vec![None; inputs.len()];
-        for (i, f) in inputs.iter().enumerate() {
-            let t_file = obs.span_start();
-            let result = catch_unwind(AssertUnwindSafe(|| self.anonymizer.discover_config(&f.text)));
-            obs.span_end(&f.name, "discover", 0, t_file);
-            obs.count("phase.discover.files", 1);
-            obs.count("phase.discover.input_bytes", f.text.len() as u64);
-            obs.record("file.input_bytes", f.text.len() as u64);
-            match result {
-                Ok(stats) => {
-                    obs.record("file.input_lines", stats.lines_total);
-                }
-                Err(payload) => {
-                    obs.count("phase.discover.panics_contained", 1);
-                    failed[i] = Some(BatchFailure {
-                        name: f.name.clone(),
-                        phase: BatchPhase::Discover,
-                        cause: panic_message(payload.as_ref()),
-                    });
-                }
-            }
-        }
+        self.discover_pass(inputs, &mut failed, &mut obs);
         obs.span_end("discover", "phase", 0, t_discover);
+
+        // Prefilter path counters are pure functions of line content —
+        // deterministic across job counts and discovery modes — so they
+        // live under the deterministic `phase.discover.` prefix. Cache
+        // hit counts vary with shard layout (each shard warms its own
+        // cache), so they report under the timing-section `discovery.`
+        // prefix instead. Snapshot now: rewrite clones keep their own
+        // discarded copies.
+        let pf = *self.anonymizer.prefilter_stats();
+        obs.count("phase.discover.prefilter_fast_path_lines", pf.fast_path_lines);
+        obs.count("phase.discover.prefilter_slow_path_lines", pf.slow_path_lines);
+        obs.count("discovery.prefilter_cache_hits", pf.cache_hits);
 
         // Pass 2 — rewrite the survivors from clones of the warmed
         // state, except files the resume verification already vouched
@@ -246,6 +268,174 @@ impl BatchPipeline {
             jobs,
             durability: DurabilityStats::default(),
             obs,
+        }
+    }
+
+    /// Runs *only* the discovery pass (sequential or sharded, per the
+    /// pipeline's configuration), warming the mapping state exactly as
+    /// [`Self::run`] would before its rewrite pass, and returns the
+    /// contained per-file failures. This is the benchmark/diagnostic
+    /// entry point behind the CLI's `--bench-json` `discovery` block;
+    /// production runs use [`Self::run`].
+    pub fn discover_corpus(&mut self, inputs: &[BatchInput]) -> Vec<BatchFailure> {
+        let mut obs = ObsShard::new(self.clock);
+        let mut failed: Vec<Option<BatchFailure>> = vec![None; inputs.len()];
+        self.discover_pass(inputs, &mut failed, &mut obs);
+        failed.into_iter().flatten().collect()
+    }
+
+    /// Discovery dispatch: the sharded scan pays a worker-spawn and
+    /// merge/replay cost that only amortizes over multiple files, so
+    /// single-file (or single-job, or explicitly pinned) runs take the
+    /// sequential path.
+    fn discover_pass(
+        &mut self,
+        inputs: &[BatchInput],
+        failed: &mut [Option<BatchFailure>],
+        obs: &mut ObsShard,
+    ) {
+        if self.sequential_discovery || self.jobs <= 1 || inputs.len() <= 1 {
+            self.discover_sequential(inputs, failed, obs);
+        } else {
+            self.discover_sharded(inputs, failed, obs);
+        }
+    }
+
+    /// Sequential discovery: every file through
+    /// [`Anonymizer::discover_config`] in corpus order, mutating the
+    /// retained anonymizer directly.
+    fn discover_sequential(
+        &mut self,
+        inputs: &[BatchInput],
+        failed: &mut [Option<BatchFailure>],
+        obs: &mut ObsShard,
+    ) {
+        for (i, f) in inputs.iter().enumerate() {
+            let t_file = obs.span_start();
+            let result = catch_unwind(AssertUnwindSafe(|| self.anonymizer.discover_config(&f.text)));
+            obs.span_end(&f.name, "discover", 0, t_file);
+            obs.count("phase.discover.files", 1);
+            obs.count("phase.discover.input_bytes", f.text.len() as u64);
+            obs.record("file.input_bytes", f.text.len() as u64);
+            match result {
+                Ok(stats) => {
+                    obs.record("file.input_lines", stats.lines_total);
+                }
+                Err(payload) => {
+                    obs.count("phase.discover.panics_contained", 1);
+                    failed[i] = Some(BatchFailure {
+                        name: f.name.clone(),
+                        phase: BatchPhase::Discover,
+                        cause: panic_message(payload.as_ref()),
+                    });
+                }
+            }
+        }
+    }
+
+    /// Sharded discovery: disjoint contiguous file ranges scanned by
+    /// observer clones in parallel, commutative merges, then one
+    /// canonical replay in first-occurrence order. See the module docs
+    /// and [`crate::discover`] for why the warmed state is byte-identical
+    /// to [`Self::discover_sequential`].
+    fn discover_sharded(
+        &mut self,
+        inputs: &[BatchInput],
+        failed: &mut [Option<BatchFailure>],
+        obs: &mut ObsShard,
+    ) {
+        let workers = self.jobs.min(inputs.len());
+        let clock = obs.clock();
+        obs.count("discovery.shards", workers as u64);
+        let template = self.anonymizer.observer();
+        // Contiguous ranges keep every observation's corpus position
+        // globally ordered no matter which worker logged it.
+        let bounds: Vec<(usize, usize)> = (0..workers)
+            .map(|w| (w * inputs.len() / workers, (w + 1) * inputs.len() / workers))
+            .collect();
+
+        let mut shards: Vec<(Anonymizer, ObsShard)> = Vec::with_capacity(workers);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = bounds
+                .iter()
+                .enumerate()
+                .map(|(w, &(lo, hi))| {
+                    let template = &template;
+                    scope.spawn(move || {
+                        let mut anon = template.clone();
+                        let mut shard = ObsShard::new(clock);
+                        let tid = w as u32 + 1;
+                        let mut fails: Vec<(usize, BatchFailure)> = Vec::new();
+                        for (i, f) in inputs.iter().enumerate().take(hi).skip(lo) {
+                            let t_file = shard.span_start();
+                            let result = catch_unwind(AssertUnwindSafe(|| {
+                                anon.observe_file(i as u64, &f.text)
+                            }));
+                            shard.span_end(&f.name, "discover", tid, t_file);
+                            shard.count("phase.discover.files", 1);
+                            shard.count("phase.discover.input_bytes", f.text.len() as u64);
+                            shard.record("file.input_bytes", f.text.len() as u64);
+                            match result {
+                                Ok(stats) => {
+                                    shard.record("file.input_lines", stats.lines_total);
+                                }
+                                Err(payload) => {
+                                    // The observations logged before the
+                                    // panic stay in the shard — exactly
+                                    // the partial mutations a sequential
+                                    // scan would have kept.
+                                    shard.count("phase.discover.panics_contained", 1);
+                                    fails.push((
+                                        i,
+                                        BatchFailure {
+                                            name: f.name.clone(),
+                                            phase: BatchPhase::Discover,
+                                            cause: panic_message(payload.as_ref()),
+                                        },
+                                    ));
+                                }
+                            }
+                        }
+                        (anon, fails, shard)
+                    })
+                })
+                .collect();
+            for (w, handle) in handles.into_iter().enumerate() {
+                match handle.join() {
+                    Ok((anon, fails, shard)) => {
+                        for (i, f) in fails {
+                            failed[i] = Some(f);
+                        }
+                        shards.push((anon, shard));
+                    }
+                    Err(_) => {
+                        // Worker infrastructure died outside the per-file
+                        // containment (should be impossible). Fail
+                        // closed: report every file of the shard and
+                        // forfeit its observations.
+                        for i in bounds[w].0..bounds[w].1 {
+                            if failed[i].is_none() {
+                                failed[i] = Some(BatchFailure {
+                                    name: inputs[i].name.clone(),
+                                    phase: BatchPhase::Discover,
+                                    cause: "discovery worker crashed".to_string(),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        });
+
+        // Commutative merges in shard order, then the canonical replay
+        // that drives the tries through the sequential insertion order.
+        let mut log = ObservationLog::default();
+        for (anon, shard) in shards {
+            obs.merge(&shard);
+            log.merge(self.anonymizer.absorb_observer(anon));
+        }
+        for observed in log.into_canonical_order() {
+            self.anonymizer.replay_observed(observed);
         }
     }
 
@@ -630,5 +820,130 @@ mod tests {
         let report = BatchPipeline::new(secret(), 4).run(&[]);
         assert!(report.outputs.is_empty());
         assert!(report.failures.is_empty());
+    }
+
+    /// The warmed-state fingerprint a discovery pass leaves behind.
+    fn state_fingerprint(a: &Anonymizer) -> (Vec<String>, crate::leak::LeakRecord, (usize, usize)) {
+        (
+            a.emitted_exclusions(),
+            a.leak_record().clone(),
+            a.trie_node_counts(),
+        )
+    }
+
+    #[test]
+    fn sharded_discovery_warms_identical_state() {
+        // The tentpole equivalence at the state level: emitted set, leak
+        // record, trie node counts, and total stats all match the
+        // sequential scan, at several worker counts.
+        let inputs = corpus();
+        let mut seq = BatchPipeline::new(secret(), 4).with_sequential_discovery(true);
+        seq.discover_corpus(&inputs);
+        for jobs in [2, 3, 4, 8] {
+            let mut par = BatchPipeline::new(secret(), jobs);
+            par.discover_corpus(&inputs);
+            assert_eq!(
+                state_fingerprint(seq.anonymizer()),
+                state_fingerprint(par.anonymizer()),
+                "jobs={jobs}"
+            );
+            assert_eq!(
+                seq.anonymizer().total_stats(),
+                par.anonymizer().total_stats(),
+                "jobs={jobs}"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_discovery_outputs_match_sequential_discovery_bytes() {
+        // End to end through the full pipeline: pinning discovery
+        // sequential vs letting it shard changes no output byte.
+        let inputs = corpus();
+        for jobs in [2, 4, 8] {
+            let pinned = BatchPipeline::new(secret(), jobs)
+                .with_sequential_discovery(true)
+                .run(&inputs);
+            let sharded = BatchPipeline::new(secret(), jobs).run(&inputs);
+            assert_eq!(pinned.outputs.len(), sharded.outputs.len());
+            for (a, b) in pinned.outputs.iter().zip(&sharded.outputs) {
+                assert_eq!(a.name, b.name);
+                assert_eq!(a.text, b.text, "jobs={jobs} diverged on {}", a.name);
+                assert_eq!(a.stats, b.stats, "jobs={jobs} stats diverged");
+            }
+            assert_eq!(pinned.totals, sharded.totals);
+        }
+    }
+
+    #[test]
+    fn sharded_discovery_contains_panics_like_sequential() {
+        // A poisoned file mid-corpus: the failure report and every other
+        // file's bytes match the sequential-discovery run exactly.
+        let mut inputs = corpus();
+        inputs[2].text.push_str("POISON PILL here\n");
+        let reference = BatchPipeline::new(faulty("POISON", BatchPhase::Discover), 1).run(&inputs);
+        assert_eq!(reference.failures.len(), 1);
+        for jobs in [2, 4, 8] {
+            let run = BatchPipeline::new(faulty("POISON", BatchPhase::Discover), jobs).run(&inputs);
+            assert_eq!(run.failures.len(), 1, "jobs={jobs}");
+            assert_eq!(run.failures[0].name, "r3.cfg");
+            assert_eq!(run.failures[0].phase, BatchPhase::Discover);
+            assert_eq!(run.outputs.len(), reference.outputs.len());
+            for (a, b) in reference.outputs.iter().zip(&run.outputs) {
+                assert_eq!(a.text, b.text, "jobs={jobs} diverged on {}", a.name);
+            }
+        }
+    }
+
+    #[test]
+    fn discover_corpus_matches_run_state() {
+        // The benchmark entry point warms exactly the state `run` does.
+        let inputs = corpus();
+        let mut via_run = BatchPipeline::new(secret(), 4);
+        via_run.run(&inputs);
+        let mut via_discover = BatchPipeline::new(secret(), 4);
+        let failures = via_discover.discover_corpus(&inputs);
+        assert!(failures.is_empty());
+        assert_eq!(
+            state_fingerprint(via_run.anonymizer()),
+            state_fingerprint(via_discover.anonymizer())
+        );
+    }
+
+    #[test]
+    fn prefilter_counters_are_mode_invariant() {
+        // Fast/slow line counts are pure functions of the corpus: the
+        // sequential scan and any shard layout agree (cache hits, by
+        // design, may not — they live in the timing section).
+        let inputs = corpus();
+        let mut seq = BatchPipeline::new(secret(), 1);
+        seq.discover_corpus(&inputs);
+        let s = *seq.anonymizer().prefilter_stats();
+        assert!(s.fast_path_lines > 0, "corpus has fast-path lines");
+        assert!(s.slow_path_lines > 0, "corpus has slow-path lines");
+        for jobs in [2, 4, 8] {
+            let mut par = BatchPipeline::new(secret(), jobs);
+            par.discover_corpus(&inputs);
+            let p = *par.anonymizer().prefilter_stats();
+            assert_eq!(s.fast_path_lines, p.fast_path_lines, "jobs={jobs}");
+            assert_eq!(s.slow_path_lines, p.slow_path_lines, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn disabling_the_prefilter_changes_no_byte_or_fire_count() {
+        let inputs = corpus();
+        let run = BatchPipeline::new(secret(), 4).run(&inputs);
+        let mut off = secret();
+        off.disable_prefilter = true;
+        let run_off = BatchPipeline::new(off, 4).run(&inputs);
+        for (a, b) in run.outputs.iter().zip(&run_off.outputs) {
+            assert_eq!(a.text, b.text, "prefilter changed bytes of {}", a.name);
+            assert_eq!(a.stats, b.stats);
+        }
+        assert_eq!(
+            run.totals.rule_fires_complete(),
+            run_off.totals.rule_fires_complete()
+        );
     }
 }

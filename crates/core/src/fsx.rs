@@ -218,7 +218,7 @@ fn crash_hook_tick(target: &Path) {
 /// stable storage, or it returns `Err` and `target` is untouched (a
 /// pre-existing file keeps its old content; a fresh path stays absent)
 /// with no staging file left behind. Transient errors are retried up to
-/// [`MAX_ATTEMPTS`] times with linear backoff; `stats` counts completed
+/// up to 4 times with linear backoff; `stats` counts completed
 /// publishes, fsyncs, and absorbed retries.
 pub fn write_atomic(
     fs: &dyn Fs,

@@ -21,7 +21,7 @@ use std::collections::BTreeSet;
 use confanon_testkit::json::Json;
 
 /// Everything the anonymizer saw that must not appear in the output.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct LeakRecord {
     /// Public ASNs located by the 12 locator rules, as decimal strings.
     pub asns: BTreeSet<String>,

@@ -40,9 +40,11 @@
 // Fail-closed: library code must never abort on input-derived data. Test
 // modules keep the ergonomic forms.
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+#![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod anonymizer;
 pub mod batch;
+pub mod discover;
 pub mod error;
 pub mod figure1;
 pub mod fsx;
@@ -59,13 +61,14 @@ pub mod stats;
 
 pub use anonymizer::{AnonymizedConfig, Anonymizer, AnonymizerConfig, IpScheme};
 pub use batch::{BatchInput, BatchOutput, BatchPipeline, BatchReport};
+pub use discover::{ObservationLog, ObservedIp};
 pub use error::{AnonError, BatchFailure, BatchPhase};
 pub use fsx::{write_atomic, DurabilityStats, Fs, StdFs};
 pub use input::{sanitize_bytes, InputSanitation, MAX_LINE_LEN};
 pub use iterate::{iterate_to_closure, IterationTrace};
-pub use leak::{LeakReport, LeakScanner};
+pub use leak::{LeakRecord, LeakReport, LeakScanner};
 pub use manifest::{FileEntry, FileStatus, RunManifest, RUN_MANIFEST_NAME, RUN_MANIFEST_SCHEMA};
 pub use passlist::PassList;
 pub use publish::Publisher;
-pub use rules::{RuleCategory, RuleId, ALL_RULES};
+pub use rules::{LineClass, Prefilter, PrefilterStats, RuleCategory, RuleId, ALL_RULES};
 pub use stats::AnonymizationStats;

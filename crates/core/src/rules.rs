@@ -289,6 +289,192 @@ impl fmt::Display for RuleId {
     }
 }
 
+/// Verdict of the rule-engine prefilter for one command line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LineClass {
+    /// The line *may* trigger a contextual rule (R06–R21): the full
+    /// lowered-token context matcher must run.
+    ContextScan,
+    /// No contextual rule can possibly fire on this line; the per-token
+    /// pass (addresses, communities, segmentation + hashing) suffices.
+    TokenLocal,
+}
+
+/// The contextual-rule prefilter: one cheap scan that decides whether a
+/// line can trigger any of the context rules at all.
+///
+/// Every context arm in the anonymizer anchors a literal head keyword at
+/// token 0 (`router`, `neighbor`, `set`, …), and the only context rule
+/// that fires at an arbitrary token position — R20's
+/// `password`/`secret`/`key`/`md5` trailer — requires one of those four
+/// literals to appear *somewhere* in the line. So a line whose first
+/// token matches none of the 13 heads and which contains none of the
+/// four secret keywords as a substring provably cannot fire a context
+/// rule, and the expensive path (lowercasing every token, running the
+/// slice-pattern matcher, scanning for secret keywords token by token)
+/// can be skipped without changing a byte of output or a single rule
+/// fire count.
+///
+/// The filter is a *conservative superset*: false positives (e.g. a line
+/// containing `keyboard`, which contains the substring `key`) merely run
+/// the full matcher needlessly; false negatives are impossible by
+/// construction. The determinism property suite cross-checks this on
+/// random and chaos-mutated corpora.
+pub struct Prefilter;
+
+/// First tokens that can anchor a contextual-rule arm, grouped by first
+/// byte for single-comparison dispatch.
+const RULE_HEADS_BY_BYTE: [(u8, &[&str]); 10] = [
+    (b'b', &["bgp"]),
+    (b'd', &["dialer"]),
+    (b'h', &["hostname"]),
+    (b'i', &["ip"]),
+    (b'l', &["logging"]),
+    (b'n', &["neighbor", "ntp"]),
+    (b'r', &["router", "radius-server"]),
+    (b's', &["set", "snmp-server"]),
+    (b't', &["tacacs-server"]),
+    (b'u', &["username"]),
+];
+
+/// Keywords whose presence *anywhere* on a line can trigger R20's
+/// hash-after-keyword trailer.
+const SECRET_KEYWORDS: [&[u8]; 4] = [b"password", b"secret", b"key", b"md5"];
+
+impl Prefilter {
+    /// Classifies one line. Case-insensitive, allocation-free.
+    pub fn classify(line: &str) -> LineClass {
+        if Self::head_can_anchor_rule(line) || Self::contains_secret_keyword(line) {
+            LineClass::ContextScan
+        } else {
+            LineClass::TokenLocal
+        }
+    }
+
+    /// Does the line's first token equal one of the 13 rule heads?
+    fn head_can_anchor_rule(line: &str) -> bool {
+        let bytes = line.as_bytes();
+        let Some(start) = bytes.iter().position(|b| !b.is_ascii_whitespace()) else {
+            return false;
+        };
+        let end = bytes[start..]
+            .iter()
+            .position(u8::is_ascii_whitespace)
+            .map_or(bytes.len(), |e| start + e);
+        let head = &bytes[start..end];
+        let Some(first) = head.first().map(u8::to_ascii_lowercase) else {
+            return false;
+        };
+        RULE_HEADS_BY_BYTE
+            .iter()
+            .filter(|(b, _)| *b == first)
+            .flat_map(|(_, heads)| heads.iter())
+            .any(|h| head.eq_ignore_ascii_case(h.as_bytes()))
+    }
+
+    /// Single pass over the line: at each byte whose lowercase form is
+    /// `p`/`s`/`k`/`m`, compare the one candidate keyword in place.
+    fn contains_secret_keyword(line: &str) -> bool {
+        let bytes = line.as_bytes();
+        for i in 0..bytes.len() {
+            let kw: &[u8] = match bytes[i].to_ascii_lowercase() {
+                b'p' => SECRET_KEYWORDS[0],
+                b's' => SECRET_KEYWORDS[1],
+                b'k' => SECRET_KEYWORDS[2],
+                b'm' => SECRET_KEYWORDS[3],
+                _ => continue,
+            };
+            if bytes.len() - i >= kw.len() && bytes[i..i + kw.len()].eq_ignore_ascii_case(kw) {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Prefilter behaviour counters, kept *outside* [`crate::stats::AnonymizationStats`]
+/// deliberately: cache state varies with work-stealing order on rewrite
+/// clones, and per-file stats must stay byte-deterministic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PrefilterStats {
+    /// Lines classified [`LineClass::TokenLocal`] (context matcher skipped).
+    pub fast_path_lines: u64,
+    /// Lines classified [`LineClass::ContextScan`] (full matcher ran).
+    pub slow_path_lines: u64,
+    /// Classifications answered from the interned line cache. Unlike the
+    /// two path counters (pure functions of line content), this varies
+    /// with shard layout, so it reports under a timing-section metrics
+    /// key.
+    pub cache_hits: u64,
+}
+
+impl PrefilterStats {
+    /// Adds another instance's counts (commutative).
+    pub fn absorb(&mut self, other: &PrefilterStats) {
+        self.fast_path_lines += other.fast_path_lines;
+        self.slow_path_lines += other.slow_path_lines;
+        self.cache_hits += other.cache_hits;
+    }
+}
+
+/// Interned per-line classification cache in front of
+/// [`Prefilter::classify`].
+///
+/// Router configs repeat lines heavily (`!`, ` no ip directed-broadcast`,
+/// …), so most classifications are answered by one hash lookup. The
+/// cache stores a pure function of the line text and is therefore
+/// harmless to clone, clear, or cap: a hit and a miss produce the same
+/// verdict. Insertion stops at a fixed cap so a hostile corpus of unique
+/// lines cannot grow it without bound.
+#[derive(Debug, Clone, Default)]
+pub struct LineClassCache {
+    map: std::collections::HashMap<String, LineClass>,
+}
+
+/// Distinct-line cap for [`LineClassCache`]; beyond it, classifications
+/// still happen but are no longer interned.
+const LINE_CACHE_CAP: usize = 4096;
+
+/// Lines longer than this bypass the cache: repeated lines in real
+/// configs are short boilerplate (` exit`, ` no shutdown`), while long
+/// lines are identifier-bearing and nearly always unique, so hashing and
+/// interning them costs more than the one [`Prefilter::classify`] scan
+/// they would save.
+const LINE_CACHE_MAX_LEN: usize = 96;
+
+impl LineClassCache {
+    /// Classifies `line`, consulting and (under the cap) populating the
+    /// cache, and bumps the matching counters.
+    pub fn classify(&mut self, line: &str, stats: &mut PrefilterStats) -> LineClass {
+        if line.len() > LINE_CACHE_MAX_LEN {
+            let c = Prefilter::classify(line);
+            match c {
+                LineClass::ContextScan => stats.slow_path_lines += 1,
+                LineClass::TokenLocal => stats.fast_path_lines += 1,
+            }
+            return c;
+        }
+        let class = match self.map.get(line) {
+            Some(&c) => {
+                stats.cache_hits += 1;
+                c
+            }
+            None => {
+                let c = Prefilter::classify(line);
+                if self.map.len() < LINE_CACHE_CAP {
+                    self.map.insert(line.to_string(), c);
+                }
+                c
+            }
+        };
+        match class {
+            LineClass::ContextScan => stats.slow_path_lines += 1,
+            LineClass::TokenLocal => stats.fast_path_lines += 1,
+        }
+        class
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -329,5 +515,110 @@ mod tests {
     #[test]
     fn display_uses_names() {
         assert_eq!(RuleId::R09AsPathAccessListRegex.to_string(), "as-path-regexp");
+    }
+
+    #[test]
+    fn prefilter_flags_every_context_rule_anchor() {
+        // One exemplar line per contextual arm of the matcher; the
+        // prefilter may never classify any of them TokenLocal.
+        let anchored = [
+            "router bgp 701",
+            " neighbor 10.0.0.2 remote-as 701",
+            " neighbor 10.0.0.2 local-as 65000",
+            " set as-path prepend 701 701",
+            " bgp confederation identifier 701",
+            " bgp confederation peers 702 703",
+            " bgp listen range 10.0.0.0/8 peer-group PG remote-as 701",
+            " set extcommunity rt 701:100",
+            "ip as-path access-list 50 permit _701_",
+            "ip community-list 1 permit 701:120",
+            "ip community-list expanded CL permit _701:.*_",
+            " set community 701:120 additive",
+            "hostname cr1.foo.com",
+            "ip domain-name foo.com",
+            "ip domain name foo.com",
+            "snmp-server community s3cr3t RO",
+            "username admin password 7 094F471A",
+            "dialer string 14155551234",
+            "ntp server ntp.foo.com",
+            "logging host log.foo.com",
+            "tacacs-server host tac.foo.com",
+            "radius-server host rad.foo.com",
+            "ip name-server 1.2.3.4",
+            // R20 trailer keywords at arbitrary positions:
+            "enable secret 5 $1$abcd$efgh",
+            "enable password 7 ABCD",
+            " ip ospf message-digest-key 1 md5 s3cr3t",
+            " standby 1 authentication md5 key-string k3y",
+            "crypto isakmp key k3y address 0.0.0.0",
+            // Case-insensitivity:
+            "ROUTER BGP 701",
+            "Enable SECRET 5 x",
+        ];
+        for line in anchored {
+            assert_eq!(
+                Prefilter::classify(line),
+                LineClass::ContextScan,
+                "prefilter missed {line:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn prefilter_fast_paths_common_token_local_lines() {
+        // `ip …` lines anchor a head, so they stay on the slow path; the
+        // genuinely fast lines have non-head first tokens and no secret
+        // keywords.
+        assert_eq!(
+            Prefilter::classify(" ip address 1.2.3.4 255.255.255.0"),
+            LineClass::ContextScan
+        );
+        let fast = [
+            "interface Ethernet0/0",
+            " no shutdown",
+            " route-map CHI-IMPORT permit 10",
+            " access-list 143 permit ip 1.2.3.0 0.0.0.255 any",
+            "",
+            "   ",
+            "version 12.2",
+        ];
+        for line in fast {
+            assert_eq!(
+                Prefilter::classify(line),
+                LineClass::TokenLocal,
+                "prefilter slow-pathed {line:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn prefilter_is_substring_conservative() {
+        // False positives are allowed (and expected) — `keyboard`
+        // contains `key` — but head matching is whole-token, so a first
+        // token merely *starting* with a head is not anchored.
+        assert_eq!(Prefilter::classify("x keyboard y"), LineClass::ContextScan);
+        assert_eq!(Prefilter::classify("ipx network 1"), LineClass::TokenLocal);
+        assert_eq!(Prefilter::classify("settings on"), LineClass::TokenLocal);
+    }
+
+    #[test]
+    fn line_cache_hits_and_caps() {
+        let mut cache = LineClassCache::default();
+        let mut stats = PrefilterStats::default();
+        assert_eq!(cache.classify("interface e0", &mut stats), LineClass::TokenLocal);
+        assert_eq!(cache.classify("interface e0", &mut stats), LineClass::TokenLocal);
+        assert_eq!(cache.classify("router bgp 1", &mut stats), LineClass::ContextScan);
+        assert_eq!(stats.fast_path_lines, 2);
+        assert_eq!(stats.slow_path_lines, 1);
+        assert_eq!(stats.cache_hits, 1);
+
+        // Past the cap, verdicts keep flowing (uncached) and stay right.
+        for i in 0..5000 {
+            cache.classify(&format!("unique line {i}"), &mut stats);
+        }
+        assert_eq!(
+            cache.classify("router bgp 2", &mut stats),
+            LineClass::ContextScan
+        );
     }
 }

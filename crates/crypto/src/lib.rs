@@ -22,6 +22,8 @@
 //! so the reproduction is fully self-contained, and it is bit-for-bit
 //! standard SHA-1/HMAC so digests can be checked externally.
 
+#![deny(rustdoc::broken_intra_doc_links)]
+
 pub mod hasher;
 pub mod hmac;
 pub mod permute;

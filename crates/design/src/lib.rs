@@ -17,6 +17,8 @@
 //! classful network that changed class, a route-map whose name hashed
 //! inconsistently) shows up as an inequality.
 
+#![deny(rustdoc::broken_intra_doc_links)]
+
 pub mod extract;
 pub mod model;
 pub mod report;

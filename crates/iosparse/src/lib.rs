@@ -21,6 +21,8 @@
 //!   they exist so pre/post comparisons can be computed the same way the
 //!   paper's colleague-run test suites did (§5).
 
+#![deny(rustdoc::broken_intra_doc_links)]
+
 pub mod commands;
 pub mod config;
 pub mod line;

@@ -43,12 +43,13 @@ const FREE_TEXT_HEADS: [&str; 2] = ["description", "remark"];
 /// assert_eq!(kinds, [LineKind::BannerHeader, LineKind::BannerBody,
 ///                    LineKind::BannerEnd, LineKind::Command]);
 /// ```
-pub fn classify_lines(lines: &[String]) -> Vec<LineKind> {
+pub fn classify_lines<S: AsRef<str>>(lines: &[S]) -> Vec<LineKind> {
     let mut out = Vec::with_capacity(lines.len());
     // Some(delim) while inside a banner block.
     let mut banner_delim: Option<String> = None;
 
     for line in lines {
+        let line = line.as_ref();
         if let Some(delim) = &banner_delim {
             if line.contains(delim.as_str()) {
                 out.push(LineKind::BannerEnd);
@@ -69,13 +70,15 @@ pub fn classify_lines(lines: &[String]) -> Vec<LineKind> {
             continue;
         }
 
-        let toks = tokenize(line);
-        let head = toks[0].text.to_ascii_lowercase();
-        if FREE_TEXT_HEADS.contains(&head.as_str()) {
+        // Only the head token matters for every non-banner line, so the
+        // full (allocating) tokenization is reserved for `banner` lines.
+        let head = trimmed.split_ascii_whitespace().next().unwrap_or("");
+        if FREE_TEXT_HEADS.iter().any(|h| head.eq_ignore_ascii_case(h)) {
             out.push(LineKind::FreeText);
             continue;
         }
-        if head == "banner" {
+        if head.eq_ignore_ascii_case("banner") {
+            let toks = tokenize(line);
             // `banner <type> <delim>[text]` — the delimiter is the first
             // character of the token after the banner type (commonly `^C`,
             // written as caret-C, or any punctuation character).

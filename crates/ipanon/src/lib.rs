@@ -37,6 +37,8 @@
 //! All schemes are keyed by the owner secret and fully deterministic, so
 //! re-running the anonymizer on the same network maps it consistently.
 
+#![deny(rustdoc::broken_intra_doc_links)]
+
 mod cryptopan;
 mod scramble;
 mod trie;

@@ -20,6 +20,8 @@
 //! assert_eq!(ip.class(), AddrClass::A);
 //! ```
 
+#![deny(rustdoc::broken_intra_doc_links)]
+
 mod addr;
 mod addr6;
 mod class;

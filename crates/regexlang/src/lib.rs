@@ -38,6 +38,8 @@
 //! assert!(!re.is_match("1701 40"));
 //! ```
 
+#![deny(rustdoc::broken_intra_doc_links)]
+
 pub mod ast;
 pub mod class;
 pub mod dfa;

@@ -7,13 +7,13 @@
 //! * [`rng`] — a deterministic xorshift64\* PRNG behind `rand`-shaped
 //!   traits (`Rng`, `SeedableRng`, `SliceRandom`), so the corpus
 //!   generator and benches keep their generic `<R: Rng>` signatures.
-//! * [`props`] — a property-test harness (`props!` macro) with random
+//! * [`mod@props`] — a property-test harness (`props!` macro) with random
 //!   case generation, integrated shrinking over the recorded choice
 //!   stream, and a `TESTKIT_SEED` / `TESTKIT_CASES` env override.
 //! * [`json`] — a tiny JSON value type with a writer *and* parser,
 //!   replacing `serde_json` for stats/report emission and the
 //!   `confanon scan --record` input path.
-//! * [`bench`] — a wall-clock bench runner replacing `criterion`,
+//! * [`mod@bench`] — a wall-clock bench runner replacing `criterion`,
 //!   with warmup, calibration, median-of-batches timing, and JSON
 //!   report emission.
 //! * [`chaos`] — a seeded corpus mutator (truncation, invalid UTF-8
@@ -26,6 +26,8 @@
 //! Everything here is deterministic by default: property tests derive
 //! their seed from the test name so CI runs are reproducible, and the
 //! PRNG is a fixed algorithm with no platform entropy.
+
+#![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod bench;
 pub mod chaos;

@@ -9,7 +9,7 @@
 //! and hand-written recursive generators — shrinks for free, and smaller
 //! stream values map to smaller generated values by construction.
 //!
-//! Tests are written with the [`props!`] macro:
+//! Tests are written with the [`crate::props!`] macro:
 //!
 //! ```ignore
 //! confanon_testkit::props! {

@@ -17,6 +17,8 @@
 //!   can an attacker pinging consecutive addresses actually recover the
 //!   histogram the fingerprint needs?
 
+#![deny(rustdoc::broken_intra_doc_links)]
+
 pub mod fingerprint;
 pub mod probe;
 pub mod suite1;

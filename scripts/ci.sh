@@ -14,6 +14,11 @@ cargo test -q --workspace --offline
 echo "==> clippy (offline, deny warnings)"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
+echo "==> doc build (offline, broken intra-doc links denied)"
+# Every crate root carries #![deny(rustdoc::broken_intra_doc_links)], so
+# a dangling [`link`] anywhere fails this step.
+cargo doc --workspace --no-deps --offline
+
 echo "==> smoke bench: batch pipeline throughput"
 # The ISSUE's smoke bench target is a corpus directory; `examples/` holds
 # Rust examples, so generate a small synthetic corpus and batch it.
@@ -28,6 +33,25 @@ trap 'rm -rf "$corpus_dir"' EXIT
 echo "==> BENCH_pipeline.json"
 cat BENCH_pipeline.json
 echo
+
+echo "==> discovery bench block: present, fire-count invariant, speedup"
+# The sharded-discovery bench must have run and recorded its block, the
+# prefilter must not change a single per-rule fire count, and sharded
+# discovery must beat the sequential baseline. The 1.5x bar needs real
+# cores for the scan to fan out over; on a single-core runner only the
+# deferred per-identifier trie/record work can win, so the bar there is
+# no-regression (>= 1.0).
+grep -q '"discovery"'     BENCH_pipeline.json || { echo "missing discovery block"; exit 1; }
+grep -q '"sharded_ns"'    BENCH_pipeline.json || { echo "missing sharded_ns"; exit 1; }
+grep -q '"rule_fires_identical": true' BENCH_pipeline.json || {
+    echo "prefilter changed per-rule fire counts"; exit 1;
+}
+speedup=$(sed -n 's/.*"sharded_speedup": \([0-9.]*\).*/\1/p' BENCH_pipeline.json)
+cores=$(sed -n 's/.*"parallelism": \([0-9]*\).*/\1/p' BENCH_pipeline.json)
+bar=1.0; [ "${cores:-1}" -ge 2 ] && bar=1.5
+awk -v s="$speedup" -v b="$bar" 'BEGIN { exit !(s >= b) }' || {
+    echo "sharded discovery speedup $speedup below the $bar bar (cores=$cores)"; exit 1;
+}
 
 echo "==> BENCH_durability.json"
 cat BENCH_durability.json

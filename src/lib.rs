@@ -34,6 +34,8 @@
 //! assert!(!out.text.contains("12.126.236.17"));
 //! ```
 
+#![deny(rustdoc::broken_intra_doc_links)]
+
 // Fail-closed: library code must never abort on input-derived data.
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 

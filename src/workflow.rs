@@ -288,7 +288,10 @@ impl GatedCorpusRun {
                 "counters",
                 counters_with_prefixes(
                     &self.obs,
-                    &["phase.rewrite.", "phase.publish.", "gate."],
+                    // `discovery.` (unlike `phase.discover.`) holds the
+                    // shard-layout-dependent values: shard count and
+                    // prefilter cache hits vary with `--jobs`.
+                    &["phase.rewrite.", "phase.publish.", "gate.", "discovery."],
                 ),
             )
             .with("spans", self.obs.span_summary_json())

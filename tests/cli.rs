@@ -256,6 +256,58 @@ fn batch_unknown_rule_is_a_usage_error() {
 }
 
 #[test]
+fn batch_jobs_validation_and_clamping() {
+    let root = tmpdir("batch-jobs");
+    let corpus = root.join("corpus");
+    std::fs::create_dir_all(&corpus).expect("mkdir");
+    std::fs::write(corpus.join("r1.cfg"), "hostname r1\n").expect("write");
+
+    // Absurd --jobs values are a usage error, not a silent thread army.
+    let out = bin()
+        .args(["batch", "--secret", "s", "--jobs", "100000"])
+        .arg(&corpus)
+        .output()
+        .expect("batch");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("512"), "cap named in the error: {stderr}");
+
+    // Non-numeric values stay a usage error.
+    let out = bin()
+        .args(["batch", "--secret", "s", "--jobs", "four"])
+        .arg(&corpus)
+        .output()
+        .expect("batch");
+    assert_eq!(out.status.code(), Some(2));
+
+    // --jobs 0 (core count) and --jobs above the file count (clamped to
+    // one worker per file) both run to a clean release.
+    for jobs in ["0", "64"] {
+        let out_dir = root.join(format!("out-{jobs}"));
+        let out = bin()
+            .args(["batch", "--secret", "s", "--jobs", jobs])
+            .arg("--out-dir")
+            .arg(&out_dir)
+            .arg(&corpus)
+            .output()
+            .expect("batch");
+        assert_eq!(
+            out.status.code(),
+            Some(0),
+            "--jobs {jobs}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let released = std::fs::read_dir(&out_dir)
+            .expect("out dir")
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().extension().is_some_and(|x| x == "anon"))
+            .count();
+        assert_eq!(released, 1, "--jobs {jobs}");
+    }
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
 fn batch_missing_dir_is_an_io_error() {
     let out = bin()
         .args(["batch", "--secret", "s", "/nonexistent/confanon-test-dir"])

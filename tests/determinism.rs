@@ -169,6 +169,133 @@ fn chaos_corpus_identical_across_job_counts_including_failure_report() {
     }
 }
 
+/// A fresh random corpus for property runs (distinct topology per seed).
+fn seeded_corpus(seed: u64) -> Vec<(String, String)> {
+    let ds = generate_dataset(&DatasetSpec {
+        seed: seed ^ 0x5EED_CAFE,
+        networks: 1,
+        mean_routers: 5,
+        backbone_fraction: 0.5,
+    });
+    ds.networks[0]
+        .routers
+        .iter()
+        .map(|r| (format!("{}.cfg", r.hostname), r.config.clone()))
+        .collect()
+}
+
+fn batch_inputs(files: &[(String, String)]) -> Vec<BatchInput> {
+    files
+        .iter()
+        .map(|(name, text)| BatchInput {
+            name: name.clone(),
+            text: text.clone(),
+        })
+        .collect()
+}
+
+/// `(name, payload)` pairs: released outputs and reported failures.
+type NamedPairs = Vec<(String, String)>;
+
+/// `(name, bytes)` pairs plus the failure report — everything a manifest
+/// is derived from (digests are a pure function of released bytes).
+fn run_view(report: &confanon::core::BatchReport) -> (NamedPairs, NamedPairs) {
+    (
+        report
+            .outputs
+            .iter()
+            .map(|o| (o.name.clone(), o.text.clone()))
+            .collect(),
+        report
+            .failures
+            .iter()
+            .map(|f| (f.name.clone(), f.cause.clone()))
+            .collect(),
+    )
+}
+
+/// Warmed-anonymizer fingerprint: the state a resumed run would inherit.
+fn state_view(p: &BatchPipeline) -> (Vec<String>, confanon::core::LeakRecord, (usize, usize)) {
+    (
+        p.anonymizer().emitted_exclusions(),
+        p.anonymizer().leak_record().clone(),
+        p.anonymizer().trie_node_counts(),
+    )
+}
+
+confanon_testkit::props! {
+    cases = 4;
+
+    /// PR-5 tentpole property: sharded discovery is observationally
+    /// identical to the sequential baseline on random corpora — released
+    /// bytes, rule-fire totals, and the warmed state that manifests and
+    /// resumed runs are derived from — at every worker count.
+    fn sharded_discovery_equals_sequential_on_random_corpora(seed in 0u64..1_000_000) {
+        let files = seeded_corpus(seed);
+        let inputs = batch_inputs(&files);
+        let cfg = || AnonymizerConfig::new(b"owner-secret".to_vec());
+        let mut reference = BatchPipeline::new(cfg(), 4).with_sequential_discovery(true);
+        let ref_report = reference.run(&inputs);
+        for jobs in [1usize, 2, 4, 8] {
+            let mut sharded = BatchPipeline::new(cfg(), jobs);
+            let report = sharded.run(&inputs);
+            assert_eq!(run_view(&ref_report), run_view(&report), "jobs={jobs}");
+            assert_eq!(ref_report.totals, report.totals, "jobs={jobs}");
+            assert_eq!(
+                state_view(&reference),
+                state_view(&sharded),
+                "warmed state diverged at jobs={jobs}"
+            );
+        }
+    }
+
+    /// The same equivalence over chaos-mutated corpora with a planted
+    /// discovery-phase panic: the fail-closed path (who failed, with what
+    /// cause, and what still got released) must not depend on sharding.
+    fn sharded_discovery_equals_sequential_under_chaos(seed in 0u64..1_000_000) {
+        let mut files = chaos_corpus(seed);
+        files[2].1.push_str("\nCHAOS-FAULT marker\n");
+        let inputs = batch_inputs(&files);
+        let cfg = || {
+            let mut c = AnonymizerConfig::new(b"owner-secret".to_vec());
+            c.fault_marker = Some(("CHAOS-FAULT".to_string(), BatchPhase::Discover));
+            c
+        };
+        let mut reference = BatchPipeline::new(cfg(), 4).with_sequential_discovery(true);
+        let ref_report = reference.run(&inputs);
+        assert!(!ref_report.failures.is_empty(), "planted fault must fire");
+        for jobs in [2usize, 8] {
+            let mut sharded = BatchPipeline::new(cfg(), jobs);
+            let report = sharded.run(&inputs);
+            assert_eq!(run_view(&ref_report), run_view(&report), "jobs={jobs}");
+            assert_eq!(ref_report.totals, report.totals, "jobs={jobs}");
+            assert_eq!(state_view(&reference), state_view(&sharded), "jobs={jobs}");
+        }
+    }
+
+    /// Prefilter property: the first-byte/substring fast path changes no
+    /// released byte and no per-rule fire count versus running every line
+    /// through the full contextual matcher — on clean and chaos corpora.
+    fn prefilter_equals_full_matcher(seed in 0u64..1_000_000) {
+        for files in [seeded_corpus(seed), chaos_corpus(seed)] {
+            let inputs = batch_inputs(&files);
+            let cfg = |prefilter: bool| {
+                let mut c = AnonymizerConfig::new(b"owner-secret".to_vec());
+                c.disable_prefilter = !prefilter;
+                c
+            };
+            let fast = BatchPipeline::new(cfg(true), 4).run(&inputs);
+            let full = BatchPipeline::new(cfg(false), 4).run(&inputs);
+            assert_eq!(run_view(&full), run_view(&fast));
+            assert_eq!(
+                full.totals.rule_fires_complete(),
+                fast.totals.rule_fires_complete(),
+                "per-rule fire counts must be prefilter-invariant"
+            );
+        }
+    }
+}
+
 /// Golden fail-closed test: a leak planted by disabling a locator rule
 /// (the §6.1 ablation experiment) is caught by the gate and quarantined —
 /// the releasable set never contains the leaking bytes.
