@@ -66,6 +66,12 @@ impl AsnMap {
         }
         x
     }
+
+    /// Parameter check value of the underlying permutation (for
+    /// persisted-state validation; does not reveal the key).
+    pub fn check_value(&self) -> u64 {
+        self.perm.check_value()
+    }
 }
 
 /// BGP community (`asn:value`) anonymization.
@@ -105,6 +111,15 @@ impl CommunityMap {
     /// Maps a structured community.
     pub fn map_pair(&self, asn: u16, value: u16) -> (u16, u16) {
         (self.asn.map(asn), self.map_value(value))
+    }
+
+    /// Combined parameter check value over the ASN and value halves.
+    pub fn check_value(&self) -> u64 {
+        self.asn
+            .check_value()
+            .rotate_left(32)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ self.value.check_value()
     }
 
     /// Anonymizes a textual `asn:value` token, returning `None` when the
@@ -230,6 +245,15 @@ impl LargeCommunityMap {
             asn32: crate::map32::AsnMap32::new(owner_secret),
             value: confanon_crypto::FeistelPermutation32::new(owner_secret, "large-community"),
         }
+    }
+
+    /// Combined parameter check value over the admin and data halves.
+    pub fn check_value(&self) -> u64 {
+        self.asn32
+            .check_value()
+            .rotate_left(32)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ self.value.check_value()
     }
 
     /// Anonymizes a textual `ga:d1:d2` token; `None` when the token is

@@ -64,6 +64,15 @@ impl AsnMap32 {
         &self.map16
     }
 
+    /// Combined parameter check value over the 2-byte and 4-byte halves.
+    pub fn check_value(&self) -> u64 {
+        self.map16
+            .check_value()
+            .rotate_left(32)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ self.perm.check_value()
+    }
+
     /// Maps one ASN, preserving the 2-byte/4-byte split and passing
     /// reserved/private values through.
     pub fn map(&self, asn: u32) -> u32 {

@@ -138,6 +138,34 @@ pub struct Anonymizer {
     /// log the address's first corpus position here for the canonical
     /// replay. See [`crate::discover`].
     observe: Option<ObservationLog>,
+    /// Append-only journal of every distinct trie-mapped identifier in
+    /// first-mapped order — the replayable transcript persistent state
+    /// (`crate::state`) serializes. Re-mapping the journal through a
+    /// fresh anonymizer with the same secret rebuilds the tries
+    /// node-for-node (mappings are sticky, so the trie is a function of
+    /// the first-insertion sequence alone).
+    journal: IdJournal,
+}
+
+/// The identifier journal: distinct mapped addresses in first-mapped
+/// order (see [`Anonymizer::journal`]).
+#[derive(Clone, Default)]
+struct IdJournal {
+    seen4: HashSet<u32>,
+    seen6: HashSet<u128>,
+    order: Vec<ObservedIp>,
+}
+
+impl IdJournal {
+    fn note(&mut self, obs: ObservedIp) {
+        let fresh = match obs {
+            ObservedIp::V4(ip) => self.seen4.insert(ip.0),
+            ObservedIp::V6(ip) => self.seen6.insert(ip.0),
+        };
+        if fresh {
+            self.order.push(obs);
+        }
+    }
 }
 
 impl Anonymizer {
@@ -167,6 +195,7 @@ impl Anonymizer {
             line_cache: LineClassCache::default(),
             prefilter_stats: PrefilterStats::default(),
             observe: None,
+            journal: IdJournal::default(),
         }
     }
 
@@ -969,6 +998,7 @@ impl Anonymizer {
             log.note_v4(ip);
             return ip;
         }
+        self.journal.note(ObservedIp::V4(ip));
         if self.enabled(RuleId::R28LeakHighlighting) {
             self.record.ips.insert(ip.to_string());
         }
@@ -998,6 +1028,7 @@ impl Anonymizer {
             log.note_v6(ip);
             return ip;
         }
+        self.journal.note(ObservedIp::V6(ip));
         if self.enabled(RuleId::R28LeakHighlighting) {
             self.record.ips.insert(ip.to_string());
         }
@@ -1048,6 +1079,7 @@ impl Anonymizer {
     /// once per identifier, where the sequential scan pays per
     /// occurrence. Called in canonical first-occurrence order.
     pub(crate) fn replay_observed(&mut self, obs: ObservedIp) {
+        self.journal.note(obs);
         let (original, image) = match obs {
             ObservedIp::V4(ip) => (
                 ip.to_string(),
@@ -1068,6 +1100,65 @@ impl Anonymizer {
     /// from shard workers after sharded discovery).
     pub fn prefilter_stats(&self) -> &PrefilterStats {
         &self.prefilter_stats
+    }
+
+    /// The identifier journal: every distinct trie-mapped address in
+    /// first-mapped order. Replaying it through a fresh anonymizer with
+    /// the same secret rebuilds the mapping state exactly (persistent
+    /// state rests on this; see `crate::state`).
+    pub fn journal(&self) -> &[ObservedIp] {
+        &self.journal.order
+    }
+
+    /// Replays a persisted identifier journal into this (fresh)
+    /// anonymizer: rebuilds the tries through the original insertion
+    /// sequence and re-populates the journal itself, the leak record's
+    /// address entries, and the emitted-image set.
+    pub fn replay_journal(&mut self, entries: &[ObservedIp]) {
+        for &obs in entries {
+            self.replay_observed(obs);
+        }
+    }
+
+    /// Merges a persisted leak record (word/ASN entries have no trie
+    /// state and are restored by merge, not replay).
+    pub fn merge_leak_record(&mut self, record: &LeakRecord) {
+        self.record.merge(record);
+    }
+
+    /// Merges persisted emitted-image exclusions.
+    pub fn extend_emitted(&mut self, images: impl IntoIterator<Item = String>) {
+        self.emitted.extend(images);
+    }
+
+    /// Folds an externally stored per-file stats block into the running
+    /// totals — how a warm run accounts for files it skipped scanning.
+    pub fn absorb_stats(&mut self, stats: &AnonymizationStats) {
+        self.total_stats.merge(stats);
+    }
+
+    /// Folds externally stored prefilter path counts (per-line pure
+    /// functions, so stored per-file counts sum exactly like a rescan).
+    pub fn absorb_prefilter_counts(&mut self, fast_path_lines: u64, slow_path_lines: u64) {
+        self.prefilter_stats.fast_path_lines += fast_path_lines;
+        self.prefilter_stats.slow_path_lines += slow_path_lines;
+    }
+
+    /// Structure digests of the (v4, v6) tries — the post-replay
+    /// integrity check for persisted state.
+    pub fn trie_digests(&self) -> (u64, u64) {
+        (self.ip.structure_digest(), self.ip6.structure_digest())
+    }
+
+    /// Domain-separated check value over every keyed permutation the
+    /// anonymizer uses (ASN, community value, large-community halves),
+    /// as a hex string. Persisted state stores it so a load under
+    /// different permutation parameters is refused even if the secret
+    /// fingerprint were to collide.
+    pub fn perm_fingerprint(&self) -> String {
+        let a = self.community.check_value();
+        let b = self.large_community.check_value();
+        format!("{a:016x}{b:016x}")
     }
 }
 

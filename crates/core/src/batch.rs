@@ -52,7 +52,7 @@
 //! panic is likewise recovered: slot writes are index-disjoint, so a
 //! poisoned lock holds no broken invariant.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -85,6 +85,22 @@ pub struct BatchOutput {
     pub stats: AnonymizationStats,
 }
 
+/// What one file's discovery pass contributed to the shared state's
+/// order-independent accumulators: its per-file statistics and its
+/// prefilter path counts (pure functions of the file's lines). Persisted
+/// state stores one of these per file so an incremental run can skip the
+/// file entirely and still report deterministic metrics byte-identical
+/// to a cold run over the same corpus.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FileDiscovery {
+    /// The per-file counters [`Anonymizer::discover_config`] returned.
+    pub stats: AnonymizationStats,
+    /// Prefilter fast-path lines this file contributed.
+    pub prefilter_fast: u64,
+    /// Prefilter slow-path lines this file contributed.
+    pub prefilter_slow: u64,
+}
+
 /// The whole-corpus result.
 pub struct BatchReport {
     /// Per-file outputs for every file that survived both passes, in
@@ -96,6 +112,11 @@ pub struct BatchReport {
     /// Files whose rewrite was skipped (`--resume` verified their
     /// released bytes already match), in input order.
     pub skipped: Vec<String>,
+    /// Per-file discovery contributions, keyed by input name: freshly
+    /// scanned files record what discovery measured; prewarmed files
+    /// (incremental runs) echo back their stored contributions. Files
+    /// whose discovery panicked have no entry.
+    pub discoveries: BTreeMap<String, FileDiscovery>,
     /// Aggregate counters across the emitted outputs.
     pub totals: AnonymizationStats,
     /// Worker threads used for the rewrite pass.
@@ -181,6 +202,15 @@ impl BatchPipeline {
         &self.anonymizer
     }
 
+    /// Mutable access to the pipeline's anonymizer, so a persisted state
+    /// can be restored into it *before* the run (see
+    /// [`crate::state::AnonState::restore_into`]). Restoring after
+    /// discovery has begun would fork the insertion order the mappings
+    /// depend on; callers restore first, then [`Self::run_incremental`].
+    pub fn anonymizer_mut(&mut self) -> &mut Anonymizer {
+        &mut self.anonymizer
+    }
+
     /// Consumes the pipeline, returning the warmed anonymizer.
     pub fn into_anonymizer(self) -> Anonymizer {
         self.anonymizer
@@ -201,6 +231,25 @@ impl BatchPipeline {
     /// re-emitted. Byte-identity of the re-emitted files follows: the
     /// warmed state is the same, and rewrite is a pure function of it.
     pub fn run_skipping(&mut self, inputs: &[BatchInput], skip: &BTreeSet<String>) -> BatchReport {
+        self.run_incremental(inputs, skip, &BTreeMap::new())
+    }
+
+    /// [`Self::run_skipping`] with a prewarmed-discovery map: files whose
+    /// name has an entry are *not* scanned at all — the run trusts that
+    /// their identifier contributions are already present in the
+    /// anonymizer (restored from persisted state via journal replay) and
+    /// synthesizes their deterministic per-file counters from the stored
+    /// [`FileDiscovery`] instead, so the metrics document stays
+    /// byte-identical to a cold run over the same corpus. Discovery of
+    /// the remaining files runs in corpus order (sequential or sharded),
+    /// observing with their *original* corpus positions so the canonical
+    /// replay order matches the cold run's first-occurrence order.
+    pub fn run_incremental(
+        &mut self,
+        inputs: &[BatchInput],
+        skip: &BTreeSet<String>,
+        prewarmed: &BTreeMap<String, FileDiscovery>,
+    ) -> BatchReport {
         let mut obs = ObsShard::new(self.clock);
 
         // Pass 1 — discovery with per-file containment, sequential or
@@ -214,7 +263,8 @@ impl BatchPipeline {
         // section.
         let t_discover = obs.span_start();
         let mut failed: Vec<Option<BatchFailure>> = vec![None; inputs.len()];
-        self.discover_pass(inputs, &mut failed, &mut obs);
+        let mut discoveries: BTreeMap<String, FileDiscovery> = BTreeMap::new();
+        self.discover_pass(inputs, prewarmed, &mut failed, &mut obs, &mut discoveries);
         obs.span_end("discover", "phase", 0, t_discover);
 
         // Prefilter path counters are pure functions of line content —
@@ -264,6 +314,7 @@ impl BatchPipeline {
             outputs,
             failures,
             skipped,
+            discoveries,
             totals,
             jobs,
             durability: DurabilityStats::default(),
@@ -280,24 +331,52 @@ impl BatchPipeline {
     pub fn discover_corpus(&mut self, inputs: &[BatchInput]) -> Vec<BatchFailure> {
         let mut obs = ObsShard::new(self.clock);
         let mut failed: Vec<Option<BatchFailure>> = vec![None; inputs.len()];
-        self.discover_pass(inputs, &mut failed, &mut obs);
+        let mut discoveries = BTreeMap::new();
+        self.discover_pass(inputs, &BTreeMap::new(), &mut failed, &mut obs, &mut discoveries);
         failed.into_iter().flatten().collect()
     }
 
-    /// Discovery dispatch: the sharded scan pays a worker-spawn and
-    /// merge/replay cost that only amortizes over multiple files, so
-    /// single-file (or single-job, or explicitly pinned) runs take the
-    /// sequential path.
+    /// Discovery dispatch: prewarmed files contribute their stored,
+    /// order-independent accumulators (statistics, prefilter path
+    /// counts) and synthesized per-file counters without being scanned —
+    /// their trie insertions are already present via journal replay.
+    /// The remaining files scan sequentially or sharded; the sharded
+    /// path pays a worker-spawn and merge/replay cost that only
+    /// amortizes over multiple files, so single-file (or single-job, or
+    /// explicitly pinned) runs take the sequential path.
     fn discover_pass(
         &mut self,
         inputs: &[BatchInput],
+        prewarmed: &BTreeMap<String, FileDiscovery>,
         failed: &mut [Option<BatchFailure>],
         obs: &mut ObsShard,
+        discoveries: &mut BTreeMap<String, FileDiscovery>,
     ) {
-        if self.sequential_discovery || self.jobs <= 1 || inputs.len() <= 1 {
-            self.discover_sequential(inputs, failed, obs);
+        let mut to_scan: Vec<usize> = Vec::with_capacity(inputs.len());
+        for (i, f) in inputs.iter().enumerate() {
+            match prewarmed.get(&f.name) {
+                Some(d) => {
+                    // The deterministic per-file counters a cold scan
+                    // would have recorded, reconstructed from the stored
+                    // contribution (the file's text is watermark-verified
+                    // unchanged, so byte/line counts are the cold run's).
+                    obs.count("phase.discover.files", 1);
+                    obs.count("phase.discover.input_bytes", f.text.len() as u64);
+                    obs.record("file.input_bytes", f.text.len() as u64);
+                    obs.record("file.input_lines", d.stats.lines_total);
+                    obs.count("discovery.files_prewarmed", 1);
+                    self.anonymizer.absorb_stats(&d.stats);
+                    self.anonymizer
+                        .absorb_prefilter_counts(d.prefilter_fast, d.prefilter_slow);
+                    discoveries.insert(f.name.clone(), d.clone());
+                }
+                None => to_scan.push(i),
+            }
+        }
+        if self.sequential_discovery || self.jobs <= 1 || to_scan.len() <= 1 {
+            self.discover_sequential(inputs, &to_scan, failed, obs, discoveries);
         } else {
-            self.discover_sharded(inputs, failed, obs);
+            self.discover_sharded(inputs, &to_scan, failed, obs, discoveries);
         }
     }
 
@@ -307,10 +386,14 @@ impl BatchPipeline {
     fn discover_sequential(
         &mut self,
         inputs: &[BatchInput],
+        indices: &[usize],
         failed: &mut [Option<BatchFailure>],
         obs: &mut ObsShard,
+        discoveries: &mut BTreeMap<String, FileDiscovery>,
     ) {
-        for (i, f) in inputs.iter().enumerate() {
+        for &i in indices {
+            let f = &inputs[i];
+            let pf_before = *self.anonymizer.prefilter_stats();
             let t_file = obs.span_start();
             let result = catch_unwind(AssertUnwindSafe(|| self.anonymizer.discover_config(&f.text)));
             obs.span_end(&f.name, "discover", 0, t_file);
@@ -320,6 +403,15 @@ impl BatchPipeline {
             match result {
                 Ok(stats) => {
                     obs.record("file.input_lines", stats.lines_total);
+                    let pf = *self.anonymizer.prefilter_stats();
+                    discoveries.insert(
+                        f.name.clone(),
+                        FileDiscovery {
+                            stats,
+                            prefilter_fast: pf.fast_path_lines - pf_before.fast_path_lines,
+                            prefilter_slow: pf.slow_path_lines - pf_before.slow_path_lines,
+                        },
+                    );
                 }
                 Err(payload) => {
                     obs.count("phase.discover.panics_contained", 1);
@@ -341,17 +433,22 @@ impl BatchPipeline {
     fn discover_sharded(
         &mut self,
         inputs: &[BatchInput],
+        indices: &[usize],
         failed: &mut [Option<BatchFailure>],
         obs: &mut ObsShard,
+        discoveries: &mut BTreeMap<String, FileDiscovery>,
     ) {
-        let workers = self.jobs.min(inputs.len());
+        let workers = self.jobs.min(indices.len());
         let clock = obs.clock();
         obs.count("discovery.shards", workers as u64);
         let template = self.anonymizer.observer();
-        // Contiguous ranges keep every observation's corpus position
-        // globally ordered no matter which worker logged it.
+        // Contiguous ranges over the to-scan list keep every
+        // observation's corpus position globally ordered no matter which
+        // worker logged it; each observation carries its file's
+        // *original* corpus index, so the canonical replay matches a
+        // cold sequential scan's first-occurrence order.
         let bounds: Vec<(usize, usize)> = (0..workers)
-            .map(|w| (w * inputs.len() / workers, (w + 1) * inputs.len() / workers))
+            .map(|w| (w * indices.len() / workers, (w + 1) * indices.len() / workers))
             .collect();
 
         let mut shards: Vec<(Anonymizer, ObsShard)> = Vec::with_capacity(workers);
@@ -366,7 +463,10 @@ impl BatchPipeline {
                         let mut shard = ObsShard::new(clock);
                         let tid = w as u32 + 1;
                         let mut fails: Vec<(usize, BatchFailure)> = Vec::new();
-                        for (i, f) in inputs.iter().enumerate().take(hi).skip(lo) {
+                        let mut found: Vec<(String, FileDiscovery)> = Vec::new();
+                        for &i in &indices[lo..hi] {
+                            let f = &inputs[i];
+                            let pf_before = *anon.prefilter_stats();
                             let t_file = shard.span_start();
                             let result = catch_unwind(AssertUnwindSafe(|| {
                                 anon.observe_file(i as u64, &f.text)
@@ -378,6 +478,17 @@ impl BatchPipeline {
                             match result {
                                 Ok(stats) => {
                                     shard.record("file.input_lines", stats.lines_total);
+                                    let pf = *anon.prefilter_stats();
+                                    found.push((
+                                        f.name.clone(),
+                                        FileDiscovery {
+                                            stats,
+                                            prefilter_fast: pf.fast_path_lines
+                                                - pf_before.fast_path_lines,
+                                            prefilter_slow: pf.slow_path_lines
+                                                - pf_before.slow_path_lines,
+                                        },
+                                    ));
                                 }
                                 Err(payload) => {
                                     // The observations logged before the
@@ -396,15 +507,18 @@ impl BatchPipeline {
                                 }
                             }
                         }
-                        (anon, fails, shard)
+                        (anon, fails, found, shard)
                     })
                 })
                 .collect();
             for (w, handle) in handles.into_iter().enumerate() {
                 match handle.join() {
-                    Ok((anon, fails, shard)) => {
+                    Ok((anon, fails, found, shard)) => {
                         for (i, f) in fails {
                             failed[i] = Some(f);
+                        }
+                        for (name, d) in found {
+                            discoveries.insert(name, d);
                         }
                         shards.push((anon, shard));
                     }
@@ -413,7 +527,7 @@ impl BatchPipeline {
                         // containment (should be impossible). Fail
                         // closed: report every file of the shard and
                         // forfeit its observations.
-                        for i in bounds[w].0..bounds[w].1 {
+                        for &i in &indices[bounds[w].0..bounds[w].1] {
                             if failed[i].is_none() {
                                 failed[i] = Some(BatchFailure {
                                     name: inputs[i].name.clone(),
@@ -928,6 +1042,107 @@ mod tests {
             assert_eq!(s.fast_path_lines, p.fast_path_lines, "jobs={jobs}");
             assert_eq!(s.slow_path_lines, p.slow_path_lines, "jobs={jobs}");
         }
+    }
+
+    #[test]
+    fn discoveries_are_mode_and_job_invariant() {
+        // The per-file discovery records (stats + prefilter deltas) are
+        // pure functions of each file's text: sequential and sharded
+        // scans agree at every job count, and the deltas sum to the
+        // whole-corpus prefilter counters.
+        let inputs = corpus();
+        let mut seq = BatchPipeline::new(secret(), 1);
+        let reference = seq.run(&inputs).discoveries;
+        assert_eq!(reference.len(), inputs.len());
+        let s = *seq.anonymizer().prefilter_stats();
+        assert_eq!(
+            reference.values().map(|d| d.prefilter_fast).sum::<u64>(),
+            s.fast_path_lines
+        );
+        assert_eq!(
+            reference.values().map(|d| d.prefilter_slow).sum::<u64>(),
+            s.slow_path_lines
+        );
+        for jobs in [2, 4, 8] {
+            let mut par = BatchPipeline::new(secret(), jobs);
+            assert_eq!(par.run(&inputs).discoveries, reference, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn incremental_prewarmed_run_matches_cold_run() {
+        // The tentpole equivalence at the pipeline level: session 1 over
+        // a prefix of the corpus, state captured and restored via
+        // journal replay, session 2 prewarmed over the grown corpus —
+        // every byte, per-file stat, and state fingerprint matches one
+        // continuous cold run, at several job counts.
+        let inputs = corpus();
+        let mut cold = BatchPipeline::new(secret(), 2);
+        let cold_report = cold.run(&inputs);
+
+        let mut s1 = BatchPipeline::new(secret(), 2);
+        let r1 = s1.run(&inputs[..4]);
+        let state = crate::state::AnonState::capture(
+            s1.anonymizer(),
+            "test-fingerprint".to_string(),
+            BTreeMap::new(),
+        );
+
+        for jobs in [1, 2, 4] {
+            let mut s2 = BatchPipeline::new(secret(), jobs);
+            state
+                .restore_into("state.json", s2.anonymizer_mut())
+                .expect("restore");
+            let r2 = s2.run_incremental(&inputs, &BTreeSet::new(), &r1.discoveries);
+            assert_eq!(r2.outputs.len(), cold_report.outputs.len());
+            for (a, b) in cold_report.outputs.iter().zip(&r2.outputs) {
+                assert_eq!(a.name, b.name);
+                assert_eq!(a.text, b.text, "jobs={jobs} diverged on {}", a.name);
+                assert_eq!(a.stats, b.stats, "jobs={jobs} stats diverged on {}", a.name);
+            }
+            assert_eq!(r2.discoveries, cold_report.discoveries, "jobs={jobs}");
+            assert_eq!(
+                s2.anonymizer().total_stats(),
+                cold.anonymizer().total_stats(),
+                "jobs={jobs}"
+            );
+            assert_eq!(
+                state_fingerprint(s2.anonymizer()),
+                state_fingerprint(cold.anonymizer()),
+                "jobs={jobs}"
+            );
+        }
+    }
+
+    #[test]
+    fn fully_prewarmed_run_scans_nothing_and_reports_cold_state() {
+        // An unchanged corpus under warm state: every file prewarmed and
+        // rewrite-skipped — no outputs, but the retained state and the
+        // per-file discovery map still match the cold run exactly.
+        let inputs = corpus();
+        let mut cold = BatchPipeline::new(secret(), 2);
+        let cold_report = cold.run(&inputs);
+        let state = crate::state::AnonState::capture(
+            cold.anonymizer(),
+            "test-fingerprint".to_string(),
+            BTreeMap::new(),
+        );
+
+        let skip: BTreeSet<String> = inputs.iter().map(|f| f.name.clone()).collect();
+        let mut warm = BatchPipeline::new(secret(), 4);
+        state
+            .restore_into("state.json", warm.anonymizer_mut())
+            .expect("restore");
+        let r = warm.run_incremental(&inputs, &skip, &cold_report.discoveries);
+        assert!(r.outputs.is_empty());
+        assert!(r.failures.is_empty());
+        assert_eq!(r.skipped.len(), inputs.len());
+        assert_eq!(r.discoveries, cold_report.discoveries);
+        assert_eq!(warm.anonymizer().total_stats(), cold.anonymizer().total_stats());
+        assert_eq!(
+            state_fingerprint(warm.anonymizer()),
+            state_fingerprint(cold.anonymizer())
+        );
     }
 
     #[test]

@@ -65,6 +65,38 @@ impl fmt::Display for BatchFailure {
     }
 }
 
+/// Why a persisted state directory was refused. Each kind carries its
+/// own stable name so CLI regression tests (and operators) can tell a
+/// stale-format state from a wrong-secret one from a corrupted one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StateErrorKind {
+    /// The state file's schema tag is not the supported version.
+    VersionMismatch,
+    /// The state was written under a different owner secret (or its
+    /// permutation parameters no longer match).
+    FingerprintMismatch,
+    /// The state file is truncated, unparseable, structurally invalid,
+    /// or its journal replay failed the trie structure check.
+    Corrupted,
+}
+
+impl StateErrorKind {
+    /// Stable lowercase name, used in error messages and tests.
+    pub fn name(self) -> &'static str {
+        match self {
+            StateErrorKind::VersionMismatch => "state version mismatch",
+            StateErrorKind::FingerprintMismatch => "state fingerprint mismatch",
+            StateErrorKind::Corrupted => "state corrupted",
+        }
+    }
+}
+
+impl fmt::Display for StateErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Structured pipeline error. Each variant maps to one distinct CLI exit
 /// code (see the `confanon` binary): automation can branch on the class
 /// without parsing messages.
@@ -106,6 +138,18 @@ pub enum AnonError {
         /// The underlying OS error message.
         message: String,
     },
+    /// A persisted anonymizer state (`--state DIR`) was present but
+    /// unusable: wrong schema version, wrong owner secret, or corrupted.
+    /// Refusing is fail-closed — silently starting cold would fork the
+    /// mapping history the state exists to keep stable.
+    StateInvalid {
+        /// The state file involved.
+        path: String,
+        /// Which precondition failed.
+        kind: StateErrorKind,
+        /// Human-readable detail.
+        message: String,
+    },
 }
 
 impl fmt::Display for AnonError {
@@ -127,6 +171,9 @@ impl fmt::Display for AnonError {
                 "run interrupted (manifest intact): I/O error on {path}: {message}; \
                  re-run with --resume to continue"
             ),
+            AnonError::StateInvalid { path, kind, message } => {
+                write!(f, "{kind} at {path}: {message}")
+            }
         }
     }
 }
@@ -166,5 +213,24 @@ mod tests {
         };
         assert!(r.to_string().contains("--resume"));
         assert!(r.to_string().contains("manifest intact"));
+    }
+
+    #[test]
+    fn state_error_kinds_have_distinct_names() {
+        let kinds = [
+            StateErrorKind::VersionMismatch,
+            StateErrorKind::FingerprintMismatch,
+            StateErrorKind::Corrupted,
+        ];
+        let names: std::collections::BTreeSet<&str> =
+            kinds.iter().map(|k| k.name()).collect();
+        assert_eq!(names.len(), kinds.len());
+        let e = AnonError::StateInvalid {
+            path: "state/state.json".into(),
+            kind: StateErrorKind::VersionMismatch,
+            message: "schema \"confanon-state-v0\"".into(),
+        };
+        assert!(e.to_string().contains("state version mismatch"));
+        assert!(e.to_string().contains("state/state.json"));
     }
 }

@@ -57,12 +57,14 @@ pub mod manifest;
 pub mod passlist;
 pub mod publish;
 pub mod rules;
+pub mod state;
 pub mod stats;
 
 pub use anonymizer::{AnonymizedConfig, Anonymizer, AnonymizerConfig, IpScheme};
-pub use batch::{BatchInput, BatchOutput, BatchPipeline, BatchReport};
+pub use batch::{BatchInput, BatchOutput, BatchPipeline, BatchReport, FileDiscovery};
 pub use discover::{ObservationLog, ObservedIp};
-pub use error::{AnonError, BatchFailure, BatchPhase};
+pub use error::{AnonError, BatchFailure, BatchPhase, StateErrorKind};
+pub use state::{AnonState, FileMark, STATE_FILE_NAME, STATE_SCHEMA};
 pub use fsx::{write_atomic, DurabilityStats, Fs, StdFs};
 pub use input::{sanitize_bytes, InputSanitation, MAX_LINE_LEN};
 pub use iterate::{iterate_to_closure, IterationTrace};

@@ -172,6 +172,99 @@ impl<'a> Publisher<'a> {
         Ok((p, verified))
     }
 
+    /// Starts a warm incremental run over a corpus that may have grown,
+    /// shrunk, or been edited since the previous completed run whose
+    /// outputs still sit in `out_dir`.
+    ///
+    /// `unchanged` names the files whose content watermark matched the
+    /// persisted anonymizer state: their previously-released bytes are
+    /// digest-verified against the prior manifest and, when they verify,
+    /// pre-marked `released` in the *new* manifest so the pipeline can
+    /// skip re-emitting them. Everything else starts `pending`. On-disk
+    /// outputs the new manifest does not vouch for — deleted corpus
+    /// files, edited files, unverifiable bytes — are removed, so the
+    /// output directory after the warm run is byte-identical to a cold
+    /// run over the same corpus.
+    ///
+    /// With no readable prior manifest this is exactly
+    /// [`Publisher::begin`] plus an empty verified set. A prior manifest
+    /// under a different owner secret is refused
+    /// ([`AnonError::InvalidInput`]). Unlike [`Publisher::resume`], the
+    /// corpus file list is free to differ from the prior run's — that is
+    /// the point of an incremental run.
+    pub fn begin_incremental(
+        fs: &'a dyn Fs,
+        out_dir: &Path,
+        secret: &[u8],
+        names: &[String],
+        unchanged: &BTreeSet<String>,
+    ) -> Result<(Publisher<'a>, BTreeSet<String>), AnonError> {
+        let manifest_path = out_dir.join(RUN_MANIFEST_NAME);
+        let prior = match fs.read(&manifest_path) {
+            Err(_) => None,
+            Ok(bytes) => Some(RunManifest::from_json_str(&String::from_utf8_lossy(&bytes))?),
+        };
+        let Some(prior) = prior else {
+            let p = Publisher::begin(fs, out_dir, secret, names)?;
+            return Ok((p, BTreeSet::new()));
+        };
+        if prior.secret_fingerprint != RunManifest::fingerprint(secret) {
+            return Err(AnonError::InvalidInput {
+                message: format!(
+                    "{}: owner secret does not match the previous run \
+                     (fingerprint mismatch)",
+                    manifest_path.display()
+                ),
+            });
+        }
+
+        sweep_tmp_files(out_dir);
+
+        // Carry forward only claims that verify *now*: the file must be
+        // watermark-unchanged, journaled `released` by the prior run,
+        // and its on-disk bytes must still match the journaled digest.
+        let mut manifest = RunManifest::new(secret, names);
+        let mut verified = BTreeSet::new();
+        for entry in &mut manifest.files {
+            if !unchanged.contains(&entry.name) {
+                continue;
+            }
+            let carried = prior.entry(&entry.name).and_then(|old| {
+                if old.status != FileStatus::Released {
+                    return None;
+                }
+                let digest = old.digest.as_deref()?;
+                let bytes = fs.read(&released_path(out_dir, &entry.name)).ok()?;
+                (RunManifest::digest_hex(&bytes) == digest).then(|| digest.to_string())
+            });
+            if let Some(digest) = carried {
+                entry.status = FileStatus::Released;
+                entry.digest = Some(digest);
+                verified.insert(entry.name.clone());
+            }
+        }
+
+        // Remove every prior output the new manifest does not vouch for:
+        // stale bytes of edited files (they re-publish), and outputs of
+        // corpus files that no longer exist (a cold run would not emit
+        // them).
+        for old in &prior.files {
+            if !verified.contains(&old.name) {
+                let _ = fs.remove_file(&released_path(out_dir, &old.name));
+            }
+        }
+
+        let mut p = Publisher {
+            fs,
+            out_dir: out_dir.to_path_buf(),
+            manifest,
+            manifest_durable: false,
+            stats: DurabilityStats::default(),
+        };
+        p.journal()?;
+        Ok((p, verified))
+    }
+
     /// Durably rewrites the journal with the current in-memory state.
     fn journal(&mut self) -> Result<(), AnonError> {
         let path = self.out_dir.join(RUN_MANIFEST_NAME);
@@ -426,6 +519,89 @@ mod tests {
         );
         let _ = std::fs::remove_dir_all(&dir);
         let _ = std::fs::remove_dir_all(&qdir);
+    }
+
+    #[test]
+    fn begin_incremental_without_prior_manifest_is_begin() {
+        let dir = tmpdir("incr-cold");
+        let ns = names(&["a.cfg", "b.cfg"]);
+        let unchanged = BTreeSet::from(["a.cfg".to_string()]);
+        let (p, verified) =
+            Publisher::begin_incremental(&StdFs, &dir, b"s", &ns, &unchanged).expect("begin");
+        assert!(verified.is_empty(), "nothing to carry on a cold start");
+        assert_eq!(p.manifest().pending_count(), 2);
+        assert_eq!(manifest_on_disk(&dir).pending_count(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn begin_incremental_carries_verified_and_prunes_the_rest() {
+        let dir = tmpdir("incr-warm");
+        let ns = names(&["a.cfg", "b.cfg", "gone.cfg"]);
+        let mut p = Publisher::begin(&StdFs, &dir, b"s", &ns).expect("begin");
+        p.release("a.cfg", b"anon a\n").expect("a");
+        p.release("b.cfg", b"anon b\n").expect("b");
+        p.release("gone.cfg", b"anon gone\n").expect("gone");
+        drop(p);
+
+        // The corpus grows by new.cfg, loses gone.cfg, and b.cfg was
+        // edited (not in the unchanged set). Only a.cfg carries forward.
+        let ns2 = names(&["a.cfg", "b.cfg", "new.cfg"]);
+        let unchanged = BTreeSet::from(["a.cfg".to_string()]);
+        let (p2, verified) =
+            Publisher::begin_incremental(&StdFs, &dir, b"s", &ns2, &unchanged).expect("warm");
+        assert_eq!(verified, BTreeSet::from(["a.cfg".to_string()]));
+        assert_eq!(
+            std::fs::read(dir.join("a.cfg.anon")).expect("kept"),
+            b"anon a\n"
+        );
+        assert!(!dir.join("b.cfg.anon").exists(), "edited file's bytes pruned");
+        assert!(!dir.join("gone.cfg.anon").exists(), "deleted file's bytes pruned");
+        let m = p2.manifest();
+        assert_eq!(m.entry("a.cfg").map(|e| e.status), Some(FileStatus::Released));
+        assert_eq!(m.entry("b.cfg").map(|e| e.status), Some(FileStatus::Pending));
+        assert_eq!(m.entry("new.cfg").map(|e| e.status), Some(FileStatus::Pending));
+        assert!(m.entry("gone.cfg").is_none(), "new manifest covers the new corpus");
+        assert_eq!(manifest_on_disk(&dir), *m);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn begin_incremental_demotes_unchanged_files_with_tampered_bytes() {
+        // An "unchanged" input whose released bytes were tampered with on
+        // disk must not carry forward: trust digests, not watermarks.
+        let dir = tmpdir("incr-tamper");
+        let ns = names(&["a.cfg"]);
+        let mut p = Publisher::begin(&StdFs, &dir, b"s", &ns).expect("begin");
+        p.release("a.cfg", b"anon a\n").expect("a");
+        drop(p);
+        std::fs::write(dir.join("a.cfg.anon"), b"tampered").expect("tamper");
+
+        let unchanged = BTreeSet::from(["a.cfg".to_string()]);
+        let (p2, verified) =
+            Publisher::begin_incremental(&StdFs, &dir, b"s", &ns, &unchanged).expect("warm");
+        assert!(verified.is_empty());
+        assert!(!dir.join("a.cfg.anon").exists(), "tampered bytes pruned");
+        assert_eq!(
+            p2.manifest().entry("a.cfg").map(|e| e.status),
+            Some(FileStatus::Pending)
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn begin_incremental_rejects_a_foreign_manifest() {
+        let dir = tmpdir("incr-foreign");
+        let ns = names(&["a.cfg"]);
+        drop(Publisher::begin(&StdFs, &dir, b"s", &ns).expect("begin"));
+        assert!(
+            matches!(
+                Publisher::begin_incremental(&StdFs, &dir, b"other", &ns, &BTreeSet::new()),
+                Err(AnonError::InvalidInput { .. })
+            ),
+            "wrong secret"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

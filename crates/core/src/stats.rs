@@ -154,6 +154,54 @@ impl AnonymizationStats {
             .with("comment_word_fraction", self.comment_word_fraction())
             .with("rule_fires", fires)
     }
+
+    /// Parses the shape produced by [`AnonymizationStats::to_json`]. The
+    /// derived `comment_word_fraction` member is ignored (it is a
+    /// function of the counters); missing counters read as 0 so minor
+    /// schema growth stays loadable.
+    pub fn from_json(doc: &Json) -> Result<AnonymizationStats, String> {
+        let counter = |key: &str| -> Result<u64, String> {
+            match doc.get(key) {
+                None => Ok(0),
+                Some(v) => v
+                    .as_u64()
+                    .ok_or_else(|| format!("{key:?} must be a non-negative integer")),
+            }
+        };
+        let mut rule_fires = BTreeMap::new();
+        if let Some(fires) = doc.get("rule_fires") {
+            let Json::Obj(members) = fires else {
+                return Err("\"rule_fires\" must be an object".to_string());
+            };
+            for (rule, count) in members {
+                let count = count
+                    .as_u64()
+                    .ok_or_else(|| format!("rule_fires[{rule:?}] must be an integer"))?;
+                rule_fires.insert(rule.clone(), count);
+            }
+        }
+        Ok(AnonymizationStats {
+            lines_total: counter("lines_total")?,
+            comment_lines_stripped: counter("comment_lines_stripped")?,
+            freetext_lines_dropped: counter("freetext_lines_dropped")?,
+            banner_lines_dropped: counter("banner_lines_dropped")?,
+            unterminated_banners: counter("unterminated_banners")?,
+            words_total: counter("words_total")?,
+            words_removed_as_comments: counter("words_removed_as_comments")?,
+            segments_passed: counter("segments_passed")?,
+            segments_hashed: counter("segments_hashed")?,
+            ips_mapped: counter("ips_mapped")?,
+            ips_special_passthrough: counter("ips_special_passthrough")?,
+            ips6_mapped: counter("ips6_mapped")?,
+            asns_mapped: counter("asns_mapped")?,
+            communities_mapped: counter("communities_mapped")?,
+            regexps_rewritten: counter("regexps_rewritten")?,
+            regexps_fallback_hashed: counter("regexps_fallback_hashed")?,
+            phone_numbers_mapped: counter("phone_numbers_mapped")?,
+            secrets_hashed: counter("secrets_hashed")?,
+            rule_fires,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -197,6 +245,35 @@ mod tests {
             s.rules_fired_total(),
             "category rollup conserves the total"
         );
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let mut s = AnonymizationStats {
+            lines_total: 42,
+            words_total: 400,
+            words_removed_as_comments: 6,
+            ips_mapped: 7,
+            ips6_mapped: 3,
+            asns_mapped: 2,
+            secrets_hashed: 1,
+            ..Default::default()
+        };
+        s.fire(RuleId::R22Ipv4Literal);
+        s.fire(RuleId::R06RouterBgpAsn);
+        let back = AnonymizationStats::from_json(&s.to_json()).expect("parse");
+        assert_eq!(back, s);
+        // Text round trip through the parser too.
+        let doc = Json::parse(&s.to_json().to_string()).expect("reparse");
+        assert_eq!(AnonymizationStats::from_json(&doc).expect("parse"), s);
+    }
+
+    #[test]
+    fn from_json_rejects_bad_shapes() {
+        let doc = Json::obj().with("lines_total", "ten");
+        assert!(AnonymizationStats::from_json(&doc).is_err());
+        let doc = Json::obj().with("rule_fires", Json::Arr(vec![]));
+        assert!(AnonymizationStats::from_json(&doc).is_err());
     }
 
     #[test]

@@ -69,6 +69,21 @@ impl FeistelPermutation {
         }
         ((l as u16) << 8) | r as u16
     }
+
+    /// A check value summarizing the permutation's parameters: the images
+    /// of a few fixed probe points, folded into one `u64`. Two instances
+    /// agree on it exactly when they were built from the same key and
+    /// domain (up to probe collisions, negligible for a keyed PRF), so
+    /// persisted-state loaders can detect a parameter mismatch without
+    /// storing the key itself.
+    pub fn check_value(&self) -> u64 {
+        const PROBES: [u16; 4] = [0, 1, 0x0102, 0xFEDC];
+        let mut acc: u64 = 0;
+        for p in PROBES {
+            acc = (acc << 16) | u64::from(self.apply(p));
+        }
+        acc
+    }
 }
 
 #[cfg(test)]
@@ -175,6 +190,17 @@ impl FeistelPermutation32 {
             r = nr;
         }
         (u32::from(l) << 16) | u32::from(r)
+    }
+
+    /// Parameter check value (see [`FeistelPermutation::check_value`]):
+    /// two fixed probe images folded into one `u64`.
+    pub fn check_value(&self) -> u64 {
+        const PROBES: [u32; 2] = [0x0000_0001, 0xFEDC_BA98];
+        let mut acc: u64 = 0;
+        for p in PROBES {
+            acc = (acc << 32) | u64::from(self.apply(p));
+        }
+        acc
     }
 }
 

@@ -84,6 +84,26 @@ impl IpAnonymizer {
         self.nodes.len()
     }
 
+    /// FNV-1a digest of the full node table — flip bit and child ids in
+    /// allocation order — so a persisted-state load can verify that its
+    /// journal replay rebuilt the trie node-for-node.
+    pub fn structure_digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |byte: u8| {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x1_0000_0000_01b3);
+        };
+        for node in &self.nodes {
+            mix(u8::from(node.flip));
+            for child in node.child {
+                for b in child.to_be_bytes() {
+                    mix(b);
+                }
+            }
+        }
+        h
+    }
+
     /// Whether a freshly created node at `depth` (with input path
     /// `path_bits`, the bits above `depth`) must have `flip = 0`.
     fn forced_identity(path_bits: u32, depth: u8, trailing_zero_from: u8) -> bool {

@@ -54,6 +54,26 @@ impl Ip6Anonymizer {
         self.nodes.len()
     }
 
+    /// FNV-1a digest of the node table (see
+    /// [`crate::IpAnonymizer::structure_digest`]): the post-replay check
+    /// that persisted state reconstructed this trie node-for-node.
+    pub fn structure_digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |byte: u8| {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x1_0000_0000_01b3);
+        };
+        for node in &self.nodes {
+            mix(u8::from(node.flip));
+            for child in node.child {
+                for b in child.to_be_bytes() {
+                    mix(b);
+                }
+            }
+        }
+        h
+    }
+
     /// Whether a fresh node must have `flip = 0`.
     fn forced_identity(path_bits: u128, depth: u8, trailing_zero_from: u8) -> bool {
         // Pin the first three bits: `2000::/3` (global unicast) maps to

@@ -173,4 +173,47 @@ ls "$crash_dir/out" | grep -q '\.fsx-tmp' && {
 diff -r "$crash_dir/out" "$crash_dir/golden1"
 diff -r "$crash_dir/out" "$crash_dir/golden4"
 
+echo "==> incremental smoke: --state warm runs match from-scratch runs"
+# Cold run over the corpus with --state, append three generated configs
+# (a second generator network — its files sort after the originals, the
+# append-growth precondition), then warm-rerun and demand byte-identity
+# with from-scratch runs over the grown corpus at --jobs 1 and 4. The
+# metrics `state` block must account for every skipped file.
+incr_dir="$(mktemp -d)"
+trap 'rm -rf "$corpus_dir" "$obs_dir" "$chaos_dir" "$crash_dir" "$incr_dir"' EXIT
+
+cp -r "$corpus_dir" "$incr_dir/grown"
+./target/release/confanon generate --networks 2 --routers 3 --seed 7791 \
+    --out-dir "$incr_dir/extra"
+# Take 3 files from the later-sorting generated network, renamed into a
+# directory that sorts after everything already in the corpus.
+mkdir -p "$incr_dir/grown/zz-added"
+extra_net=$(ls "$incr_dir/extra" | sort | tail -n 1)
+ls "$incr_dir/extra/$extra_net" | sort | head -n 3 | while read -r f; do
+    cp "$incr_dir/extra/$extra_net/$f" "$incr_dir/grown/zz-added/$f"
+done
+[ "$(ls "$incr_dir/grown/zz-added" | wc -l)" -eq 3 ] || {
+    echo "incremental smoke: expected 3 appended configs"; exit 1;
+}
+small_n=$(find "$corpus_dir" -name '*.cfg' | wc -l)
+
+./target/release/confanon batch "$corpus_dir" --jobs 4 \
+    --out-dir "$incr_dir/out" --state "$incr_dir/st"
+for jobs in 1 4; do
+    rm -rf "$incr_dir/out-warm" "$incr_dir/st-warm"
+    cp -r "$incr_dir/out" "$incr_dir/out-warm"
+    cp -r "$incr_dir/st" "$incr_dir/st-warm"
+    ./target/release/confanon batch "$incr_dir/grown" --jobs "$jobs" \
+        --out-dir "$incr_dir/out-warm" --state "$incr_dir/st-warm" \
+        --metrics "$incr_dir/metrics-warm.json"
+    ./target/release/confanon batch "$incr_dir/grown" --jobs "$jobs" \
+        --out-dir "$incr_dir/out-scratch-$jobs" --state "$incr_dir/st-scratch-$jobs"
+    diff -r "$incr_dir/out-warm" "$incr_dir/out-scratch-$jobs" || {
+        echo "incremental smoke: warm run differs from scratch at --jobs $jobs"; exit 1;
+    }
+    grep -q "\"files_skipped\": $small_n" "$incr_dir/metrics-warm.json" || {
+        echo "incremental smoke: warm run did not skip all $small_n unchanged files"; exit 1;
+    }
+done
+
 echo "CI OK"

@@ -62,9 +62,11 @@ use std::process::ExitCode;
 
 use confanon::confgen::{generate_dataset, DatasetSpec};
 use confanon::core::{
-    sanitize_bytes, write_atomic, AnonError, AnonymizedConfig, Anonymizer, AnonymizerConfig,
-    DurabilityStats, Publisher, StdFs, ALL_RULES, RUN_MANIFEST_NAME,
+    sanitize_bytes, write_atomic, AnonError, AnonState, AnonymizedConfig, Anonymizer,
+    AnonymizerConfig, DurabilityStats, FileDiscovery, Publisher, RunManifest, StdFs, ALL_RULES,
+    RUN_MANIFEST_NAME,
 };
+use confanon::core::state::{state_path, FileMark};
 use confanon::iosparse::Config;
 use confanon::obs::{
     chrome_trace_json, is_observability_artifact, metrics_doc, validate_metrics, validate_trace,
@@ -103,6 +105,7 @@ fn exit_for(e: &AnonError) -> u8 {
         AnonError::PanicContained { .. } => EXIT_PANIC_CONTAINED,
         AnonError::LeakGated { .. } => EXIT_LEAK_GATED,
         AnonError::ResumableInterrupted { .. } => EXIT_RESUMABLE,
+        AnonError::StateInvalid { .. } => EXIT_USAGE,
     }
 }
 
@@ -127,7 +130,8 @@ fn main() -> ExitCode {
                  \u{20}   prints to stdout.\n\
                  batch [--jobs N] [--secret <secret>] [--out-dir DIR] [--quarantine-dir DIR]\n\
                  \u{20}     [--disable-rule NAME[,NAME...]] [--metrics FILE] [--trace FILE]\n\
-                 \u{20}     [--bench-json FILE] [--bench-durability FILE] [--resume] DIR\n\
+                 \u{20}     [--bench-json FILE] [--bench-durability FILE] [--resume]\n\
+                 \u{20}     [--state DIR] DIR\n\
                  \u{20}   Anonymize every .cfg under DIR (recursively, one keyed state)\n\
                  \u{20}   using N discovery/rewrite workers. 0 = logical core count; values\n\
                  \u{20}   above the corpus size are clamped to one worker per file; values\n\
@@ -140,6 +144,11 @@ fn main() -> ExitCode {
                  \u{20}   journal digests and re-processes only what is missing or torn.\n\
                  \u{20}   --metrics writes a confanon-metrics-v1 document (deterministic +\n\
                  \u{20}   timing sections); --trace writes Chrome trace-event JSON.\n\
+                 \u{20}   --state DIR persists the full mapping state (confanon-state-v1)\n\
+                 \u{20}   after publishing; a warm rerun skips watermark-unchanged files\n\
+                 \u{20}   and keeps every previously issued mapping stable. Requires\n\
+                 \u{20}   --out-dir; an invalid, foreign, or corrupt state refuses with\n\
+                 \u{20}   exit 2.\n\
                  \u{20}   Exit codes: 0 ok, 1 I/O, 2 usage, 3 panic-contained, 4 leak-gated,\n\
                  \u{20}   5 interrupted-but-resumable (journal intact; re-run with --resume).\n\
                  chaos [--seed S] [--count N] --out-dir DIR\n\
@@ -403,6 +412,20 @@ fn cmd_batch(args: &[String]) -> ExitCode {
         eprintln!("batch: --resume requires --out-dir (the run journal lives there)");
         return ExitCode::from(EXIT_USAGE);
     }
+    let state_dir = opts.get("state").map(PathBuf::from);
+    if state_dir.is_some() && out_dir.is_none() {
+        eprintln!(
+            "batch: --state requires --out-dir (incremental runs verify \
+             previously released outputs there)"
+        );
+        return ExitCode::from(EXIT_USAGE);
+    }
+    if let Some(d) = &state_dir {
+        if let Err(e) = std::fs::create_dir_all(d) {
+            eprintln!("batch: cannot create {}: {e}", d.display());
+            return ExitCode::from(EXIT_IO);
+        }
+    }
     // Create the release directory up front: it must exist (possibly
     // empty) even when the gate withholds every file, and an unwritable
     // target should fail before any anonymization work is done.
@@ -473,11 +496,72 @@ fn cmd_batch(args: &[String]) -> ExitCode {
     }
     bin_obs.span_end("sanitize", "phase", 0, t_sanitize);
 
+    // Incremental state: load and validate any persisted anonymizer
+    // state, compute each file's content watermark (digest of the
+    // sanitized text — what the pipeline actually anonymizes), and
+    // derive the set of files whose stored watermark still matches:
+    // they skip the discovery scan entirely and, once their released
+    // bytes digest-verify, the rewrite too.
+    let names: Vec<String> = files.iter().map(|(n, _)| n.clone()).collect();
+    let fingerprint = RunManifest::fingerprint(&secret_bytes);
+    let watermarks: BTreeMap<String, String> = files
+        .iter()
+        .map(|(n, t)| (n.clone(), RunManifest::digest_hex(t.as_bytes())))
+        .collect();
+    let mut loaded_state: Option<AnonState> = None;
+    let mut state_file = String::new();
+    if let Some(sdir) = &state_dir {
+        state_file = state_path(sdir).display().to_string();
+        match AnonState::load(&StdFs, sdir) {
+            Ok(None) => {}
+            Ok(Some(state)) => {
+                // Owner binding is checked up front: a wrong secret (or
+                // changed permutation parameters) must refuse before any
+                // work, not fork the mapping history.
+                let expect_perms = Anonymizer::new(cfg.clone()).perm_fingerprint();
+                if let Err(e) = state.check_owner(&state_file, &fingerprint, &expect_perms) {
+                    eprintln!("batch: {e}");
+                    return ExitCode::from(exit_for(&e));
+                }
+                loaded_state = Some(state);
+            }
+            Err(e) => {
+                eprintln!("batch: {e}");
+                return ExitCode::from(exit_for(&e));
+            }
+        }
+    }
+    let mut unchanged: BTreeSet<String> = BTreeSet::new();
+    let mut prewarmed: BTreeMap<String, FileDiscovery> = BTreeMap::new();
+    if let Some(state) = &loaded_state {
+        for (name, mark) in &state.files {
+            if watermarks.get(name).is_some_and(|w| *w == mark.watermark) {
+                unchanged.insert(name.clone());
+                prewarmed.insert(
+                    name.clone(),
+                    FileDiscovery {
+                        stats: mark.stats.clone(),
+                        prefilter_fast: mark.prefilter_fast,
+                        prefilter_slow: mark.prefilter_slow,
+                    },
+                );
+            }
+        }
+        eprintln!(
+            "state: loaded {state_file} ({} mapped identifier(s)); \
+             {} of {} file(s) unchanged",
+            state.journal.len(),
+            unchanged.len(),
+            files.len()
+        );
+    }
+
     // With an output directory, the run is journaled: a complete
     // all-pending manifest is durably on disk before any anonymization
-    // work, and --resume re-verifies a prior journal's claims to build
-    // the skip set.
-    let names: Vec<String> = files.iter().map(|(n, _)| n.clone()).collect();
+    // work. --resume re-verifies a prior journal's claims to build the
+    // skip set; a warm --state run instead carries forward released
+    // outputs of watermark-unchanged files (digest-verified) and prunes
+    // whatever the new corpus no longer vouches for.
     let fs = StdFs;
     let mut skip = BTreeSet::new();
     let mut publisher = match &out_dir {
@@ -487,6 +571,13 @@ fn cmd_batch(args: &[String]) -> ExitCode {
                     skip = verified;
                     p
                 })
+            } else if state_dir.is_some() {
+                Publisher::begin_incremental(&fs, dir, &secret_bytes, &names, &unchanged).map(
+                    |(p, verified)| {
+                        skip = verified;
+                        p
+                    },
+                )
             } else {
                 Publisher::begin(&fs, dir, &secret_bytes, &names)
             };
@@ -502,8 +593,39 @@ fn cmd_batch(args: &[String]) -> ExitCode {
     };
 
     let start = std::time::Instant::now();
-    let mut run =
-        confanon::workflow::anonymize_corpus_gated_clocked(&files, cfg.clone(), jobs, &skip, clock);
+    let mut restored_nodes = (0u64, 0u64);
+    let mut run = match &loaded_state {
+        Some(state) => {
+            match confanon::workflow::anonymize_corpus_gated_stateful(
+                &files,
+                cfg.clone(),
+                jobs,
+                &skip,
+                clock,
+                confanon::workflow::WarmStart {
+                    state,
+                    state_file: &state_file,
+                    prewarmed: &prewarmed,
+                },
+            ) {
+                Ok((run, restored)) => {
+                    restored_nodes = restored;
+                    run
+                }
+                Err(e) => {
+                    eprintln!("batch: {e}");
+                    return ExitCode::from(exit_for(&e));
+                }
+            }
+        }
+        None => confanon::workflow::anonymize_corpus_gated_clocked(
+            &files,
+            cfg.clone(),
+            jobs,
+            &skip,
+            clock,
+        ),
+    };
     let elapsed = start.elapsed();
 
     // The gate report (and any withheld bytes) go to the quarantine
@@ -561,6 +683,47 @@ fn cmd_batch(args: &[String]) -> ExitCode {
             quarantine_dir.join("leak_report.json").display()
         );
     }
+    // Persist the anonymizer state LAST: outputs and the manifest are
+    // already durable, so a crash before this write leaves a resumable
+    // run whose warm rerun replays back to the identical mapping state.
+    if let Some(sdir) = &state_dir {
+        let marks: BTreeMap<String, FileMark> = run
+            .discoveries
+            .iter()
+            .filter_map(|(name, d)| {
+                watermarks.get(name).map(|w| {
+                    (
+                        name.clone(),
+                        FileMark {
+                            watermark: w.clone(),
+                            stats: d.stats.clone(),
+                            prefilter_fast: d.prefilter_fast,
+                            prefilter_slow: d.prefilter_slow,
+                        },
+                    )
+                })
+            })
+            .collect();
+        let state = AnonState::capture(&run.anonymizer, fingerprint.clone(), marks);
+        let target = state_path(sdir);
+        let result = match &mut publisher {
+            Some(p) => p.write_report(&target, &state.to_bytes()),
+            None => write_atomic(&StdFs, &target, &state.to_bytes(), &mut durability),
+        };
+        if let Err(e) = result {
+            let e = match e {
+                AnonError::Io { path, message }
+                    if publisher.as_ref().is_some_and(|p| p.manifest_durable()) =>
+                {
+                    AnonError::ResumableInterrupted { path, message }
+                }
+                other => other,
+            };
+            eprintln!("batch: {e}");
+            return ExitCode::from(exit_for(&e));
+        }
+        eprintln!("state written to {}", target.display());
+    }
     if let Some(p) = publisher {
         let (_manifest, stats) = p.finish();
         durability.merge(&stats);
@@ -609,10 +772,25 @@ fn cmd_batch(args: &[String]) -> ExitCode {
     }
 
     if let Some(metrics_path) = opts.get("metrics") {
-        let timing = run
+        let mut timing = run
             .metrics_timing_json()
             .with("durability", durability.to_json())
             .with("elapsed_ns", elapsed.as_nanos() as f64);
+        if state_dir.is_some() {
+            // Timing section: skip counts depend on what state was on
+            // disk, not on the corpus alone, so they must not perturb
+            // deterministic-metrics equivalence between warm and cold.
+            timing = timing.with(
+                "state",
+                Json::obj()
+                    .with("loaded", loaded_state.is_some())
+                    .with("created", true)
+                    .with("files_skipped", prewarmed.len() as u64)
+                    .with("files_processed", (files.len() - prewarmed.len()) as u64)
+                    .with("trie4_nodes_restored", restored_nodes.0)
+                    .with("trie6_nodes_restored", restored_nodes.1),
+            );
+        }
         let doc = metrics_doc(run.metrics_deterministic_json(), timing);
         let mut report_stats = DurabilityStats::default();
         if let Err(e) = write_atomic(

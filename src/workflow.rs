@@ -5,14 +5,14 @@
 //! [`Anonymizer`], scan the output against ground truth, and run both
 //! validation suites pre vs post.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::path::Path;
 
 use confanon_confgen::Network;
 use confanon_core::leak::{LeakRecord, LeakReport, LeakScanner};
 use confanon_core::{
-    AnonError, AnonymizationStats, Anonymizer, AnonymizerConfig, BatchFailure, BatchInput,
-    BatchOutput, BatchPipeline, BatchReport, Publisher,
+    AnonError, AnonState, AnonymizationStats, Anonymizer, AnonymizerConfig, BatchFailure,
+    BatchInput, BatchOutput, BatchPipeline, BatchReport, FileDiscovery, Publisher,
 };
 use confanon_design::RoutingDesign;
 use confanon_iosparse::Config;
@@ -147,6 +147,10 @@ pub struct GatedCorpusRun {
     /// Files whose rewrite was skipped because `--resume` verified
     /// their released bytes on disk, in input order.
     pub skipped: Vec<String>,
+    /// Per-file discovery contributions (stats, prefilter path counts),
+    /// keyed by input name — what a `--state` run persists per file so
+    /// a later warm run can skip unchanged files entirely.
+    pub discoveries: BTreeMap<String, FileDiscovery>,
     /// Aggregate counters across all emitted-or-quarantined outputs.
     pub totals: AnonymizationStats,
     /// Worker threads used for the rewrite pass.
@@ -350,6 +354,57 @@ pub fn anonymize_corpus_gated_clocked(
     skip: &BTreeSet<String>,
     clock: Clock,
 ) -> GatedCorpusRun {
+    let pipeline = BatchPipeline::new(cfg, jobs).with_clock(clock);
+    gated_run_on(pipeline, files, skip, &BTreeMap::new())
+}
+
+/// A warm start for [`anonymize_corpus_gated_stateful`]: the loaded
+/// state document, the path it came from (for error attribution), and
+/// the per-file discoveries whose content watermark matched — those
+/// files are not scanned again.
+pub struct WarmStart<'a> {
+    /// Loaded and owner-checked `confanon-state-v1` document.
+    pub state: &'a AnonState,
+    /// Path the state was loaded from, used in error messages.
+    pub state_file: &'a str,
+    /// Watermark-matched files and their stored discovery contributions.
+    pub prewarmed: &'a BTreeMap<String, FileDiscovery>,
+}
+
+/// [`anonymize_corpus_gated_clocked`] warm-started from a persisted
+/// anonymizer state (`confanon batch --state DIR`): the state's
+/// identifier journal is replayed into the fresh pipeline *before*
+/// discovery (restoring every previously-issued mapping), and files in
+/// [`WarmStart::prewarmed`] — whose content watermark matched the state
+/// — are not scanned at all; their stored per-file contributions are
+/// absorbed instead so the deterministic metrics match a cold run.
+/// Returns the run plus the restored (v4, v6) trie node counts. Fails
+/// only if the state's journal does not rebuild the tries it claims
+/// ([`AnonError::StateInvalid`]); owner/version validation happens at
+/// load time.
+pub fn anonymize_corpus_gated_stateful(
+    files: &[(String, String)],
+    cfg: AnonymizerConfig,
+    jobs: usize,
+    skip: &BTreeSet<String>,
+    clock: Clock,
+    warm: WarmStart<'_>,
+) -> Result<(GatedCorpusRun, (u64, u64)), AnonError> {
+    let mut pipeline = BatchPipeline::new(cfg, jobs).with_clock(clock);
+    let restored = warm
+        .state
+        .restore_into(warm.state_file, pipeline.anonymizer_mut())?;
+    Ok((gated_run_on(pipeline, files, skip, warm.prewarmed), restored))
+}
+
+/// The shared gated-run body: batch pipeline (with optional prewarmed
+/// skip map), then the §6.1 per-output leak gate.
+fn gated_run_on(
+    mut pipeline: BatchPipeline,
+    files: &[(String, String)],
+    skip: &BTreeSet<String>,
+    prewarmed: &BTreeMap<String, FileDiscovery>,
+) -> GatedCorpusRun {
     let inputs: Vec<BatchInput> = files
         .iter()
         .map(|(name, text)| BatchInput {
@@ -357,8 +412,7 @@ pub fn anonymize_corpus_gated_clocked(
             text: text.clone(),
         })
         .collect();
-    let mut pipeline = BatchPipeline::new(cfg, jobs).with_clock(clock);
-    let report = pipeline.run_skipping(&inputs, skip);
+    let report = pipeline.run_incremental(&inputs, skip, prewarmed);
     let mut obs = report.obs;
     let anonymizer = pipeline.into_anonymizer();
 
@@ -390,6 +444,7 @@ pub fn anonymize_corpus_gated_clocked(
         quarantined,
         failures: report.failures,
         skipped: report.skipped,
+        discoveries: report.discoveries,
         totals: report.totals,
         jobs: report.jobs,
         anonymizer,

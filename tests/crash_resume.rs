@@ -188,6 +188,63 @@ fn every_crash_point_resumes_to_the_golden_run() {
 }
 
 #[test]
+fn state_runs_crash_resume_through_every_point() {
+    // `--state` appends one durable write (state.json, written after
+    // the manifest is final) to the run's crash-point enumeration. From
+    // every point — including a crash squarely *between* the last
+    // output/manifest write and the state write — `--resume --state`
+    // must reach the golden artifacts: released bytes, manifest, and
+    // the state document itself.
+    let root = tmpdir("state-points");
+    let corpus = generate_corpus(&root);
+
+    let golden_dir = root.join("golden");
+    let golden_state = root.join("golden-state");
+    let gs = golden_state.to_string_lossy().to_string();
+    let (code, stderr) =
+        run_batch(&corpus, &golden_dir, 1, None, false, &["--state", &gs]);
+    assert_eq!(code, Some(0), "golden run: {stderr}");
+    let writes = atomic_writes_from_stderr(&stderr);
+    assert!(writes >= 4, "state run too small to exercise crash points");
+    let golden = snapshot(&golden_dir);
+    let golden_st = snapshot(&golden_state);
+    assert!(
+        golden_st.contains_key("state.json"),
+        "state run must persist state.json"
+    );
+
+    for k in 1..=writes {
+        let out_dir = root.join(format!("out-k{k}"));
+        let st_dir = root.join(format!("st-k{k}"));
+        let st = st_dir.to_string_lossy().to_string();
+
+        let (code, stderr) =
+            run_batch(&corpus, &out_dir, 2, Some(k), false, &["--state", &st]);
+        assert_ne!(code, Some(0), "k={k}: crash run must not exit cleanly: {stderr}");
+        assert_journal_invariant(&out_dir, &format!("state k={k} post-crash"));
+        assert!(
+            !snapshot(&st_dir).keys().any(|p| p.ends_with(".fsx-tmp")),
+            "k={k}: staging residue in the state directory"
+        );
+
+        let (code, stderr) =
+            run_batch(&corpus, &out_dir, 1, None, true, &["--state", &st]);
+        assert_eq!(code, Some(0), "k={k}: resume failed: {stderr}");
+        assert_eq!(
+            snapshot(&out_dir),
+            golden,
+            "k={k}: resumed outputs differ from the golden run"
+        );
+        assert_eq!(
+            snapshot(&st_dir),
+            golden_st,
+            "k={k}: resumed state differs from the golden run"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
 fn resume_protocol_rejects_bad_preconditions() {
     let root = tmpdir("protocol");
     let corpus = generate_corpus(&root);
