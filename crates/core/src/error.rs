@@ -150,6 +150,33 @@ pub enum AnonError {
         /// Human-readable detail.
         message: String,
     },
+    /// The serve daemon could not bind its listen endpoint (TCP address
+    /// or Unix socket path). Nothing was served; no tenant state was
+    /// touched.
+    BindFailed {
+        /// The endpoint as given (`host:port` or `unix:PATH`).
+        addr: String,
+        /// The underlying OS error message.
+        message: String,
+    },
+    /// A machine-readable configuration file (`confanon.toml`) failed
+    /// to parse or violated a structural requirement (duplicate tenant,
+    /// missing secret, no endpoint).
+    ConfigInvalid {
+        /// The config file involved.
+        path: String,
+        /// What was wrong, with a line number where applicable.
+        message: String,
+    },
+    /// `--require-clean-state`: a tenant's persisted state directory
+    /// was present but unusable, and the operator asked for refusal at
+    /// startup instead of the default per-tenant quarantine.
+    TenantStateRefused {
+        /// The tenant whose state was refused.
+        tenant: String,
+        /// The underlying state defect.
+        message: String,
+    },
 }
 
 impl fmt::Display for AnonError {
@@ -168,11 +195,20 @@ impl fmt::Display for AnonError {
             AnonError::InvalidInput { message } => write!(f, "invalid input: {message}"),
             AnonError::ResumableInterrupted { path, message } => write!(
                 f,
-                "run interrupted (manifest intact): I/O error on {path}: {message}; \
+                "run interrupted (manifest intact): {path}: {message}; \
                  re-run with --resume to continue"
             ),
             AnonError::StateInvalid { path, kind, message } => {
                 write!(f, "{kind} at {path}: {message}")
+            }
+            AnonError::BindFailed { addr, message } => {
+                write!(f, "bind failed on {addr}: {message}")
+            }
+            AnonError::ConfigInvalid { path, message } => {
+                write!(f, "invalid config {path}: {message}")
+            }
+            AnonError::TenantStateRefused { tenant, message } => {
+                write!(f, "tenant {tenant:?} state refused: {message}")
             }
         }
     }
@@ -213,6 +249,28 @@ mod tests {
         };
         assert!(r.to_string().contains("--resume"));
         assert!(r.to_string().contains("manifest intact"));
+    }
+
+    #[test]
+    fn serve_error_messages_are_distinct() {
+        let bind = AnonError::BindFailed {
+            addr: "127.0.0.1:4040".into(),
+            message: "address in use".into(),
+        };
+        assert!(bind.to_string().contains("bind failed"));
+        assert!(bind.to_string().contains("127.0.0.1:4040"));
+        let cfgerr = AnonError::ConfigInvalid {
+            path: "confanon.toml".into(),
+            message: "line 3: expected `key = value`".into(),
+        };
+        assert!(cfgerr.to_string().contains("invalid config"));
+        assert!(cfgerr.to_string().contains("confanon.toml"));
+        let refused = AnonError::TenantStateRefused {
+            tenant: "alpha".into(),
+            message: "state corrupted at alpha/state.json".into(),
+        };
+        assert!(refused.to_string().contains("state refused"));
+        assert!(refused.to_string().contains("alpha"));
     }
 
     #[test]

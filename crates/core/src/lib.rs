@@ -57,8 +57,11 @@ pub mod manifest;
 pub mod passlist;
 pub mod publish;
 pub mod rules;
+pub mod serve;
+pub mod signals;
 pub mod state;
 pub mod stats;
+pub mod tenant;
 
 pub use anonymizer::{AnonymizedConfig, Anonymizer, AnonymizerConfig, IpScheme};
 pub use batch::{BatchInput, BatchOutput, BatchPipeline, BatchReport, FileDiscovery};
@@ -73,4 +76,8 @@ pub use manifest::{FileEntry, FileStatus, RunManifest, RUN_MANIFEST_NAME, RUN_MA
 pub use passlist::PassList;
 pub use publish::Publisher;
 pub use rules::{LineClass, Prefilter, PrefilterStats, RuleCategory, RuleId, ALL_RULES};
+pub use serve::{
+    run_daemon, ServeConfig, ServeOptions, ServeSummary, Status, Verb, MAX_PAYLOAD, PROTOCOL,
+};
 pub use stats::AnonymizationStats;
+pub use tenant::{FlushMode, Tenant, TenantHealth, TenantSpec};

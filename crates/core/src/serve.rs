@@ -1,0 +1,1448 @@
+//! `confanon serve` — the fault-tolerant multi-tenant anonymization
+//! daemon.
+//!
+//! The paper's workflow is one-shot batch anonymization; the
+//! clearinghouse vision (§7) is a *service*: many operators submit
+//! configuration files over months, and each operator's mappings must
+//! stay consistent across submissions yet strictly isolated from every
+//! other operator's. This module provides that service on `std` alone —
+//! scoped threads and a poll-based blocking accept loop, no async
+//! runtime — reusing the existing pillars: [`crate::state::AnonState`]
+//! for resident-and-persistent per-tenant mapping state,
+//! [`crate::fsx::write_atomic`] for torn-write-free flushes, and the
+//! §6.1 leak gate per request.
+//!
+//! ## Wire protocol
+//!
+//! A length-prefixed line protocol, same shape both directions: one
+//! ASCII header line, then exactly `len` payload bytes.
+//!
+//! ```text
+//! request:  "CONFANON/1 <VERB> <tenant> <name> <len>\n" + payload
+//! response: "CONFANON/1 <STATUS> <len>\n" + payload
+//! ```
+//!
+//! Verbs: `ANON` (anonymize `payload` under `<tenant>`'s state as file
+//! `<name>`), `FLUSH` (durably flush a tenant's state now), `STATS`
+//! (the `confanon-serve-metrics-v1` document), `PING`, `SHUTDOWN`
+//! (graceful drain, same as `SIGTERM`). Tenant/name positions use `-`
+//! when a verb does not need them. Tokens are restricted to
+//! `[A-Za-z0-9._-]` (≤ 128 bytes); payloads are capped at
+//! [`MAX_PAYLOAD`] — a malformed header or oversized length is answered
+//! with an `ERROR` frame and the connection is closed, never buffered.
+//!
+//! Response statuses and the robustness contract they encode:
+//!
+//! * `OK` — payload is the anonymized text (or requested document).
+//! * `BUSY` — the tenant's bounded queue is full. *Retriable*: nothing
+//!   was processed, nothing was buffered. Back-pressure is explicit.
+//! * `TIMEOUT` — the request exceeded the per-request deadline while
+//!   queued or processing. Retriable: mappings are sticky, so a replay
+//!   returns byte-identical output.
+//! * `ERROR` — the request failed closed (contained panic, flush
+//!   failure, malformed frame). The tenant's resident state is the
+//!   state from *before* the request.
+//! * `QUARANTINED` — the §6.1 gate found residual identifiers in this
+//!   request's output; the bytes are withheld and the tenant enters
+//!   quarantine.
+//! * `TENANT-QUARANTINED` — the tenant is quarantined (leak hit
+//!   earlier, or its persisted state was unusable at startup); the
+//!   payload says which.
+//! * `UNKNOWN-TENANT`, `DRAINING`, `BYE` — routing/lifecycle statuses.
+//!
+//! ## Drain and recovery
+//!
+//! `SIGTERM` or a `SHUTDOWN` frame sets one flag. The accept loop
+//! closes, in-flight and already-queued requests finish, idle
+//! connections receive `DRAINING`, every tenant's state is flushed
+//! through `write_atomic`, and the daemon exits 0. A `kill -9` instead
+//! loses nothing that was acknowledged: with `flush = "request"` each
+//! `OK` response is sent only *after* the tenant state hit stable
+//! storage, so a restart reloads every acknowledged mapping via the
+//! state verification path and unacknowledged requests are safely
+//! replayed (sticky mappings make replay byte-identical). A tenant
+//! whose state file is torn or foreign is quarantined with a distinct
+//! error while healthy tenants keep serving.
+
+use std::collections::BTreeMap;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use confanon_testkit::json::Json;
+
+use crate::error::AnonError;
+use crate::fsx::{write_atomic, DurabilityStats, StdFs};
+use crate::rules::ALL_RULES;
+use crate::signals;
+use crate::tenant::{FlushMode, Tenant, TenantSpec};
+
+/// Protocol magic + version, the first token of every frame header.
+pub const PROTOCOL: &str = "CONFANON/1";
+
+/// Hard cap on a frame payload. A header may not announce more: the
+/// daemon answers `ERROR` and closes instead of buffering unboundedly.
+pub const MAX_PAYLOAD: usize = 4 * 1024 * 1024;
+
+/// Hard cap on a frame header line (defense against a peer that never
+/// sends a newline).
+pub const MAX_HEADER: usize = 1024;
+
+/// Default bound of each tenant's work queue.
+pub const DEFAULT_QUEUE_DEPTH: usize = 8;
+
+/// Default per-request deadline (queue wait + processing), in ms.
+pub const DEFAULT_REQUEST_TIMEOUT_MS: u64 = 10_000;
+
+/// How often blocked loops (accept poll, idle connection reads) wake to
+/// check the drain flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(5);
+
+/// Read timeout on accepted connections: the granularity at which an
+/// idle connection notices a drain.
+const CONN_READ_TIMEOUT: Duration = Duration::from_millis(100);
+
+/// A request verb.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verb {
+    /// Anonymize the payload under a tenant's resident state.
+    Anon,
+    /// Durably flush a tenant's state now.
+    Flush,
+    /// Return the `confanon-serve-metrics-v1` stats document.
+    Stats,
+    /// Liveness check.
+    Ping,
+    /// Graceful drain, equivalent to `SIGTERM`.
+    Shutdown,
+}
+
+impl Verb {
+    /// The wire token.
+    pub fn name(self) -> &'static str {
+        match self {
+            Verb::Anon => "ANON",
+            Verb::Flush => "FLUSH",
+            Verb::Stats => "STATS",
+            Verb::Ping => "PING",
+            Verb::Shutdown => "SHUTDOWN",
+        }
+    }
+
+    /// Parses the wire token.
+    pub fn parse(s: &str) -> Option<Verb> {
+        match s {
+            "ANON" => Some(Verb::Anon),
+            "FLUSH" => Some(Verb::Flush),
+            "STATS" => Some(Verb::Stats),
+            "PING" => Some(Verb::Ping),
+            "SHUTDOWN" => Some(Verb::Shutdown),
+            _ => None,
+        }
+    }
+}
+
+/// A response status.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// Success; payload is the result.
+    Ok,
+    /// Tenant queue full; retriable, nothing buffered.
+    Busy,
+    /// This request's output tripped the leak gate; tenant quarantined.
+    Quarantined,
+    /// The tenant is quarantined (earlier leak hit or unusable state).
+    TenantQuarantined,
+    /// No such tenant in the daemon's configuration.
+    UnknownTenant,
+    /// Per-request deadline exceeded; retriable (mappings are sticky).
+    Timeout,
+    /// The request failed closed; tenant state unchanged.
+    Error,
+    /// The daemon is draining; reconnect after restart.
+    Draining,
+    /// Acknowledges a `SHUTDOWN` frame.
+    Bye,
+}
+
+impl Status {
+    /// The wire token.
+    pub fn name(self) -> &'static str {
+        match self {
+            Status::Ok => "OK",
+            Status::Busy => "BUSY",
+            Status::Quarantined => "QUARANTINED",
+            Status::TenantQuarantined => "TENANT-QUARANTINED",
+            Status::UnknownTenant => "UNKNOWN-TENANT",
+            Status::Timeout => "TIMEOUT",
+            Status::Error => "ERROR",
+            Status::Draining => "DRAINING",
+            Status::Bye => "BYE",
+        }
+    }
+
+    /// Parses the wire token.
+    pub fn parse(s: &str) -> Option<Status> {
+        match s {
+            "OK" => Some(Status::Ok),
+            "BUSY" => Some(Status::Busy),
+            "QUARANTINED" => Some(Status::Quarantined),
+            "TENANT-QUARANTINED" => Some(Status::TenantQuarantined),
+            "UNKNOWN-TENANT" => Some(Status::UnknownTenant),
+            "TIMEOUT" => Some(Status::Timeout),
+            "ERROR" => Some(Status::Error),
+            "DRAINING" => Some(Status::Draining),
+            "BYE" => Some(Status::Bye),
+            _ => None,
+        }
+    }
+
+    /// Whether a client may simply resend the same request: the daemon
+    /// guarantees nothing happened (`BUSY`) or that a replay is
+    /// byte-identical (`TIMEOUT`, sticky mappings).
+    pub fn retriable(self) -> bool {
+        matches!(self, Status::Busy | Status::Timeout)
+    }
+}
+
+/// One parsed request frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// What to do.
+    pub verb: Verb,
+    /// Target tenant (`-` on the wire when unused).
+    pub tenant: String,
+    /// Submission name, the per-tenant state's file key.
+    pub name: String,
+    /// The raw bytes to anonymize (empty for control verbs).
+    pub payload: Vec<u8>,
+}
+
+/// Whether `s` is a legal tenant/name token.
+pub fn valid_token(s: &str) -> bool {
+    !s.is_empty()
+        && s.len() <= 128
+        && s.bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'.' || b == b'_' || b == b'-')
+}
+
+/// Encodes a request frame.
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let mut out = format!(
+        "{PROTOCOL} {} {} {} {}\n",
+        req.verb.name(),
+        req.tenant,
+        req.name,
+        req.payload.len()
+    )
+    .into_bytes();
+    out.extend_from_slice(&req.payload);
+    out
+}
+
+/// Encodes a response frame.
+pub fn encode_response(status: Status, payload: &[u8]) -> Vec<u8> {
+    let mut out = format!("{PROTOCOL} {} {}\n", status.name(), payload.len()).into_bytes();
+    out.extend_from_slice(payload);
+    out
+}
+
+fn parse_request_header(line: &str) -> Result<(Verb, String, String, usize), String> {
+    let parts: Vec<&str> = line.split(' ').collect();
+    let [magic, verb, tenant, name, len] = parts.as_slice() else {
+        return Err(format!(
+            "malformed header: expected 5 space-separated fields, got {}",
+            parts.len()
+        ));
+    };
+    if *magic != PROTOCOL {
+        return Err(format!("unknown protocol {magic:?} (expected {PROTOCOL})"));
+    }
+    let Some(verb) = Verb::parse(verb) else {
+        return Err(format!("unknown verb {verb:?}"));
+    };
+    let token_ok = |t: &str| t == "-" || valid_token(t);
+    if !token_ok(tenant) {
+        return Err(format!("invalid tenant token {tenant:?}"));
+    }
+    if !token_ok(name) {
+        return Err(format!("invalid name token {name:?}"));
+    }
+    match verb {
+        Verb::Anon if *tenant == "-" || *name == "-" => {
+            return Err("ANON requires a tenant and a name".to_string());
+        }
+        Verb::Flush if *tenant == "-" => {
+            return Err("FLUSH requires a tenant".to_string());
+        }
+        _ => {}
+    }
+    let Ok(len) = len.parse::<usize>() else {
+        return Err(format!("invalid length {len:?}"));
+    };
+    if len > MAX_PAYLOAD {
+        return Err(format!("payload length {len} exceeds cap {MAX_PAYLOAD}"));
+    }
+    Ok((verb, tenant.to_string(), name.to_string(), len))
+}
+
+/// What one poll of a connection produced.
+#[derive(Debug)]
+pub enum ReadEvent {
+    /// A complete request frame.
+    Request(Request),
+    /// The peer closed (or the connection broke).
+    Eof,
+    /// No complete frame yet; poll again (and check the drain flag).
+    Idle,
+    /// The peer sent garbage; answer `ERROR` and close.
+    Malformed(String),
+}
+
+/// Incremental frame reader over a stream with a read timeout. Keeps
+/// partial bytes across polls so a drain check never loses data, and
+/// enforces the header/payload caps before buffering.
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    pending: Vec<u8>,
+}
+
+impl FrameReader {
+    /// A fresh reader with no buffered bytes.
+    pub fn new() -> FrameReader {
+        FrameReader::default()
+    }
+
+    /// Reads once from `stream` and returns the resulting event. A
+    /// timeout maps to [`ReadEvent::Idle`]; connection errors map to
+    /// [`ReadEvent::Eof`] (the response channel is gone either way).
+    pub fn poll(&mut self, stream: &mut dyn Read) -> ReadEvent {
+        if let Some(ev) = self.try_parse() {
+            return ev;
+        }
+        let mut buf = [0u8; 16 * 1024];
+        match stream.read(&mut buf) {
+            Ok(0) => ReadEvent::Eof,
+            Ok(n) => {
+                self.pending.extend_from_slice(&buf[..n]);
+                self.try_parse().unwrap_or(ReadEvent::Idle)
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock
+                        | io::ErrorKind::TimedOut
+                        | io::ErrorKind::Interrupted
+                ) =>
+            {
+                ReadEvent::Idle
+            }
+            Err(_) => ReadEvent::Eof,
+        }
+    }
+
+    fn try_parse(&mut self) -> Option<ReadEvent> {
+        let Some(nl) = self.pending.iter().position(|&b| b == b'\n') else {
+            if self.pending.len() > MAX_HEADER {
+                return Some(ReadEvent::Malformed(format!(
+                    "header exceeds {MAX_HEADER} bytes without a newline"
+                )));
+            }
+            return None;
+        };
+        if nl > MAX_HEADER {
+            return Some(ReadEvent::Malformed(format!(
+                "header exceeds {MAX_HEADER} bytes"
+            )));
+        }
+        let header = match std::str::from_utf8(&self.pending[..nl]) {
+            Ok(h) => h,
+            Err(_) => return Some(ReadEvent::Malformed("header is not UTF-8".to_string())),
+        };
+        let (verb, tenant, name, len) = match parse_request_header(header) {
+            Ok(parts) => parts,
+            Err(m) => return Some(ReadEvent::Malformed(m)),
+        };
+        let total = nl + 1 + len;
+        if self.pending.len() < total {
+            return None;
+        }
+        let payload = self.pending[nl + 1..total].to_vec();
+        self.pending.drain(..total);
+        Some(ReadEvent::Request(Request {
+            verb,
+            tenant,
+            name,
+            payload,
+        }))
+    }
+}
+
+// ---------------------------------------------------------------------
+// confanon.toml
+// ---------------------------------------------------------------------
+
+/// Parsed `confanon.toml` — the daemon's endpoint, robustness knobs,
+/// and tenant roster. The accepted grammar is the TOML subset the
+/// in-tree reader implements (documented on [`ServeConfig::parse`]);
+/// there is no external TOML crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// TCP endpoint (`host:port`). Exactly one of `listen`/`socket`.
+    pub listen: Option<String>,
+    /// Unix socket path. Exactly one of `listen`/`socket`.
+    pub socket: Option<PathBuf>,
+    /// Bound of each tenant's work queue (back-pressure threshold).
+    pub queue_depth: usize,
+    /// Per-request deadline in milliseconds (queue wait + processing).
+    pub request_timeout_ms: u64,
+    /// When tenant state is durably flushed.
+    pub flush: FlushMode,
+    /// The tenant roster, in file order.
+    pub tenants: Vec<TenantSpec>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            listen: None,
+            socket: None,
+            queue_depth: DEFAULT_QUEUE_DEPTH,
+            request_timeout_ms: DEFAULT_REQUEST_TIMEOUT_MS,
+            flush: FlushMode::Request,
+            tenants: Vec::new(),
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum TomlValue {
+    Str(String),
+    Int(u64),
+    Bool(bool),
+}
+
+fn config_err(path: &str, line_no: usize, message: impl std::fmt::Display) -> AnonError {
+    AnonError::ConfigInvalid {
+        path: path.to_string(),
+        message: format!("line {line_no}: {message}"),
+    }
+}
+
+/// Strips a `#` comment that is outside double quotes.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, b) in line.bytes().enumerate() {
+        match b {
+            b'"' => in_str = !in_str,
+            b'#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_toml_value(raw: &str) -> Result<TomlValue, String> {
+    let raw = raw.trim();
+    if let Some(inner) = raw.strip_prefix('"') {
+        let Some(inner) = inner.strip_suffix('"') else {
+            return Err(format!("unterminated string {raw:?}"));
+        };
+        if inner.contains('"') {
+            return Err("strings may not contain embedded quotes".to_string());
+        }
+        return Ok(TomlValue::Str(inner.to_string()));
+    }
+    match raw {
+        "true" => return Ok(TomlValue::Bool(true)),
+        "false" => return Ok(TomlValue::Bool(false)),
+        _ => {}
+    }
+    if !raw.is_empty() && raw.bytes().all(|b| b.is_ascii_digit()) {
+        return raw
+            .parse::<u64>()
+            .map(TomlValue::Int)
+            .map_err(|e| e.to_string());
+    }
+    Err(format!(
+        "unsupported value {raw:?} (expected \"string\", integer, true, or false)"
+    ))
+}
+
+fn expect_str(path: &str, line_no: usize, key: &str, v: TomlValue) -> Result<String, AnonError> {
+    match v {
+        TomlValue::Str(s) => Ok(s),
+        other => Err(config_err(
+            path,
+            line_no,
+            format!("`{key}` expects a string, got {other:?}"),
+        )),
+    }
+}
+
+fn expect_int(path: &str, line_no: usize, key: &str, v: TomlValue) -> Result<u64, AnonError> {
+    match v {
+        TomlValue::Int(n) => Ok(n),
+        other => Err(config_err(
+            path,
+            line_no,
+            format!("`{key}` expects an integer, got {other:?}"),
+        )),
+    }
+}
+
+impl ServeConfig {
+    /// Parses the `confanon.toml` grammar: top-level `key = value`
+    /// pairs (`listen`, `socket`, `queue_depth`, `request_timeout_ms`,
+    /// `flush = "request" | "drain"`), then one `[tenant.NAME]` section
+    /// per tenant with `secret`, `state_dir`, and optional
+    /// `disable_rule` (comma-separated rule names, validated against
+    /// the rule table). Values are double-quoted strings (no escapes),
+    /// unsigned integers, or `true`/`false`; `#` starts a comment.
+    /// Unknown keys, duplicate tenants, shared state directories, and
+    /// missing required keys are errors — the config gates secrets, so
+    /// it is parsed strictly.
+    pub fn parse(path: &str, text: &str) -> Result<ServeConfig, AnonError> {
+        let mut cfg = ServeConfig::default();
+        // A `[tenant.NAME]` section under construction; `line_no` is the
+        // header's line, for error messages about missing keys.
+        struct PartialTenant {
+            name: String,
+            secret: Option<String>,
+            state_dir: Option<String>,
+            disabled_rules: Vec<String>,
+            line_no: usize,
+        }
+        let mut current: Option<PartialTenant> = None;
+        let mut finished: Vec<TenantSpec> = Vec::new();
+
+        let finish = |t: PartialTenant| -> Result<TenantSpec, AnonError> {
+            let PartialTenant {
+                name,
+                secret,
+                state_dir,
+                disabled_rules,
+                line_no,
+            } = t;
+            let Some(secret) = secret else {
+                return Err(config_err(
+                    path,
+                    line_no,
+                    format!("tenant {name:?} is missing `secret`"),
+                ));
+            };
+            let Some(state_dir) = state_dir else {
+                return Err(config_err(
+                    path,
+                    line_no,
+                    format!("tenant {name:?} is missing `state_dir`"),
+                ));
+            };
+            Ok(TenantSpec {
+                name,
+                secret: secret.into_bytes(),
+                state_dir: PathBuf::from(state_dir),
+                disabled_rules,
+            })
+        };
+
+        for (i, raw_line) in text.lines().enumerate() {
+            let line_no = i + 1;
+            let line = strip_comment(raw_line).trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(section) = line.strip_prefix('[') {
+                let Some(section) = section.strip_suffix(']') else {
+                    return Err(config_err(path, line_no, "unterminated section header"));
+                };
+                let Some(tenant_name) = section.strip_prefix("tenant.") else {
+                    return Err(config_err(
+                        path,
+                        line_no,
+                        format!("unknown section [{section}] (only [tenant.NAME] is accepted)"),
+                    ));
+                };
+                if !valid_token(tenant_name) || tenant_name == "-" {
+                    return Err(config_err(
+                        path,
+                        line_no,
+                        format!("invalid tenant name {tenant_name:?} (use [A-Za-z0-9._-])"),
+                    ));
+                }
+                if let Some(t) = current.take() {
+                    finished.push(finish(t)?);
+                }
+                current = Some(PartialTenant {
+                    name: tenant_name.to_string(),
+                    secret: None,
+                    state_dir: None,
+                    disabled_rules: Vec::new(),
+                    line_no,
+                });
+                continue;
+            }
+            let Some((key, raw_value)) = line.split_once('=') else {
+                return Err(config_err(
+                    path,
+                    line_no,
+                    format!("expected `key = value`, got {line:?}"),
+                ));
+            };
+            let key = key.trim();
+            let value = parse_toml_value(raw_value).map_err(|m| config_err(path, line_no, m))?;
+            match &mut current {
+                None => match key {
+                    "listen" => cfg.listen = Some(expect_str(path, line_no, key, value)?),
+                    "socket" => {
+                        cfg.socket =
+                            Some(PathBuf::from(expect_str(path, line_no, key, value)?));
+                    }
+                    "queue_depth" => {
+                        let n = expect_int(path, line_no, key, value)?;
+                        if n == 0 || n > 4096 {
+                            return Err(config_err(
+                                path,
+                                line_no,
+                                "`queue_depth` must be between 1 and 4096",
+                            ));
+                        }
+                        cfg.queue_depth = n as usize;
+                    }
+                    "request_timeout_ms" => {
+                        let n = expect_int(path, line_no, key, value)?;
+                        if n == 0 {
+                            return Err(config_err(
+                                path,
+                                line_no,
+                                "`request_timeout_ms` must be positive",
+                            ));
+                        }
+                        cfg.request_timeout_ms = n;
+                    }
+                    "flush" => {
+                        let s = expect_str(path, line_no, key, value)?;
+                        cfg.flush = match FlushMode::parse(&s) {
+                            Some(m) => m,
+                            None => {
+                                return Err(config_err(
+                                    path,
+                                    line_no,
+                                    format!("`flush` must be \"request\" or \"drain\", got {s:?}"),
+                                ));
+                            }
+                        };
+                    }
+                    other => {
+                        return Err(config_err(
+                            path,
+                            line_no,
+                            format!("unknown top-level key `{other}`"),
+                        ));
+                    }
+                },
+                Some(PartialTenant {
+                    name,
+                    secret,
+                    state_dir,
+                    disabled_rules: disabled,
+                    ..
+                }) => match key {
+                    "secret" => {
+                        let s = expect_str(path, line_no, key, value)?;
+                        if s.is_empty() {
+                            return Err(config_err(
+                                path,
+                                line_no,
+                                format!("tenant {name:?}: `secret` may not be empty"),
+                            ));
+                        }
+                        *secret = Some(s);
+                    }
+                    "state_dir" => {
+                        let s = expect_str(path, line_no, key, value)?;
+                        if s.is_empty() {
+                            return Err(config_err(
+                                path,
+                                line_no,
+                                format!("tenant {name:?}: `state_dir` may not be empty"),
+                            ));
+                        }
+                        *state_dir = Some(s);
+                    }
+                    "disable_rule" => {
+                        let spec = expect_str(path, line_no, key, value)?;
+                        for rule in spec.split(',').map(str::trim).filter(|r| !r.is_empty()) {
+                            if !ALL_RULES.iter().any(|r| r.name == rule) {
+                                return Err(config_err(
+                                    path,
+                                    line_no,
+                                    format!("unknown rule {rule:?} (see `confanon rules`)"),
+                                ));
+                            }
+                            disabled.push(rule.to_string());
+                        }
+                    }
+                    other => {
+                        return Err(config_err(
+                            path,
+                            line_no,
+                            format!("unknown tenant key `{other}`"),
+                        ));
+                    }
+                },
+            }
+        }
+        if let Some(t) = current.take() {
+            finished.push(finish(t)?);
+        }
+        if finished.is_empty() {
+            return Err(AnonError::ConfigInvalid {
+                path: path.to_string(),
+                message: "no [tenant.NAME] sections — a daemon with no tenants serves nothing"
+                    .to_string(),
+            });
+        }
+        let mut names = std::collections::BTreeSet::new();
+        let mut dirs = std::collections::BTreeSet::new();
+        for t in &finished {
+            if !names.insert(t.name.clone()) {
+                return Err(AnonError::ConfigInvalid {
+                    path: path.to_string(),
+                    message: format!("duplicate tenant {:?}", t.name),
+                });
+            }
+            if !dirs.insert(t.state_dir.clone()) {
+                return Err(AnonError::ConfigInvalid {
+                    path: path.to_string(),
+                    message: format!(
+                        "tenants may not share a state_dir ({})",
+                        t.state_dir.display()
+                    ),
+                });
+            }
+        }
+        cfg.tenants = finished;
+        Ok(cfg)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Daemon
+// ---------------------------------------------------------------------
+
+/// Operational options that come from the CLI rather than the config.
+#[derive(Debug, Clone, Default)]
+pub struct ServeOptions {
+    /// Where to write the bound endpoint (`host:port` or `unix:PATH`)
+    /// once listening — how tests and scripts discover an ephemeral
+    /// port requested with `--listen 127.0.0.1:0`.
+    pub port_file: Option<PathBuf>,
+    /// Refuse to start (exit with the tenant-state code) if any
+    /// tenant's persisted state is unusable, instead of the default
+    /// per-tenant quarantine.
+    pub require_clean_state: bool,
+}
+
+/// What a drained daemon run did, for the exit log line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Frames dispatched (all verbs).
+    pub requests: u64,
+    /// `BUSY` back-pressure rejections.
+    pub busy_rejections: u64,
+    /// Tenants served.
+    pub tenants: usize,
+}
+
+enum Listener {
+    Tcp(TcpListener),
+    #[cfg(unix)]
+    Unix(std::os::unix::net::UnixListener),
+}
+
+enum Conn {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(std::os::unix::net::UnixStream),
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.flush(),
+        }
+    }
+}
+
+impl Conn {
+    fn configure(&self) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => {
+                s.set_nonblocking(false)?;
+                s.set_read_timeout(Some(CONN_READ_TIMEOUT))?;
+                s.set_write_timeout(Some(Duration::from_secs(10)))
+            }
+            #[cfg(unix)]
+            Conn::Unix(s) => {
+                s.set_nonblocking(false)?;
+                s.set_read_timeout(Some(CONN_READ_TIMEOUT))?;
+                s.set_write_timeout(Some(Duration::from_secs(10)))
+            }
+        }
+    }
+}
+
+impl Listener {
+    fn accept(&self) -> io::Result<Conn> {
+        match self {
+            Listener::Tcp(l) => l.accept().map(|(s, _)| Conn::Tcp(s)),
+            #[cfg(unix)]
+            Listener::Unix(l) => l.accept().map(|(s, _)| Conn::Unix(s)),
+        }
+    }
+}
+
+fn bind_endpoint(cfg: &ServeConfig, config_path: &str) -> Result<(Listener, String), AnonError> {
+    match (&cfg.listen, &cfg.socket) {
+        (Some(_), Some(_)) | (None, None) => Err(AnonError::ConfigInvalid {
+            path: config_path.to_string(),
+            message: "exactly one of `listen` (TCP) and `socket` (Unix) must be set".to_string(),
+        }),
+        (Some(addr), None) => {
+            let l = TcpListener::bind(addr).map_err(|e| AnonError::BindFailed {
+                addr: addr.clone(),
+                message: e.to_string(),
+            })?;
+            let advertised = match l.local_addr() {
+                Ok(a) => a.to_string(),
+                Err(_) => addr.clone(),
+            };
+            l.set_nonblocking(true).map_err(|e| AnonError::BindFailed {
+                addr: addr.clone(),
+                message: e.to_string(),
+            })?;
+            Ok((Listener::Tcp(l), advertised))
+        }
+        (None, Some(path)) => bind_unix(path),
+    }
+}
+
+#[cfg(unix)]
+fn bind_unix(path: &std::path::Path) -> Result<(Listener, String), AnonError> {
+    use std::os::unix::net::{UnixListener, UnixStream};
+    let addr = format!("unix:{}", path.display());
+    let bind_err = |e: io::Error| AnonError::BindFailed {
+        addr: addr.clone(),
+        message: e.to_string(),
+    };
+    let listener = match UnixListener::bind(path) {
+        Ok(l) => l,
+        Err(e) if e.kind() == io::ErrorKind::AddrInUse => {
+            // A socket file survives kill -9. If nothing answers it, the
+            // file is stale residue of a dead daemon: reclaim it. If a
+            // peer answers, a live daemon owns the path — refuse.
+            if UnixStream::connect(path).is_ok() {
+                return Err(AnonError::BindFailed {
+                    addr,
+                    message: "address in use by a live daemon".to_string(),
+                });
+            }
+            std::fs::remove_file(path).map_err(bind_err)?;
+            UnixListener::bind(path).map_err(bind_err)?
+        }
+        Err(e) => return Err(bind_err(e)),
+    };
+    listener.set_nonblocking(true).map_err(bind_err)?;
+    Ok((Listener::Unix(listener), addr))
+}
+
+#[cfg(not(unix))]
+fn bind_unix(path: &std::path::Path) -> Result<(Listener, String), AnonError> {
+    Err(AnonError::BindFailed {
+        addr: format!("unix:{}", path.display()),
+        message: "unix sockets are not supported on this platform".to_string(),
+    })
+}
+
+struct DaemonShared {
+    shutdown: AtomicBool,
+    connections: AtomicU64,
+    requests: AtomicU64,
+    busy: AtomicU64,
+    /// Latest per-tenant stats snapshot, refreshed by each worker after
+    /// every request — so `STATS` never has to rendezvous with (or wait
+    /// behind) tenant queues.
+    snapshots: Mutex<BTreeMap<String, Json>>,
+}
+
+impl DaemonShared {
+    fn draining(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst) || signals::term_requested()
+    }
+
+    fn stats_doc(&self) -> Json {
+        let mut tenants = Json::obj();
+        {
+            let snaps = self
+                .snapshots
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            for (name, snap) in snaps.iter() {
+                tenants.set(name, snap.clone());
+            }
+        }
+        let daemon = Json::obj()
+            .with("connections", self.connections.load(Ordering::SeqCst))
+            .with("requests", self.requests.load(Ordering::SeqCst))
+            .with("busy_rejections", self.busy.load(Ordering::SeqCst))
+            .with("draining", self.draining());
+        confanon_obs::serve_metrics_doc(tenants, daemon)
+    }
+
+    fn publish_snapshot(&self, name: &str, snap: Json) {
+        let mut snaps = self.snapshots.lock().unwrap_or_else(|e| e.into_inner());
+        snaps.insert(name.to_string(), snap);
+    }
+}
+
+struct Job {
+    req: Request,
+    reply: mpsc::Sender<(Status, Vec<u8>)>,
+}
+
+/// One tenant's worker loop: owns the tenant exclusively, so request
+/// handling needs no locks and a sibling tenant's failure cannot poison
+/// this one's state. Returns the drain-flush error, if any.
+fn tenant_worker(
+    tenant: &mut Tenant,
+    rx: Receiver<Job>,
+    shared: &DaemonShared,
+) -> Option<AnonError> {
+    let snap = tenant.stats_json();
+    shared.publish_snapshot(&tenant.name, snap);
+    while let Ok(job) = rx.recv() {
+        let (status, payload) = match job.req.verb {
+            Verb::Anon => tenant.handle_anon(&job.req.name, &job.req.payload, &StdFs),
+            Verb::Flush => match tenant.flush(&StdFs) {
+                Ok(()) => (Status::Ok, b"flushed".to_vec()),
+                Err(e) => (Status::Error, e.to_string().into_bytes()),
+            },
+            // The handler routes only tenant verbs here.
+            _ => (Status::Error, b"internal: verb is not tenant-scoped".to_vec()),
+        };
+        let snap = tenant.stats_json();
+        shared.publish_snapshot(&tenant.name, snap);
+        // The requester may have timed out and gone; that's its choice.
+        let _ = job.reply.send((status, payload));
+    }
+    // All senders dropped: the daemon is draining. Flush the resident
+    // state through the atomic-rename discipline, whatever the mode.
+    let result = tenant.flush(&StdFs);
+    let snap = tenant.stats_json();
+    shared.publish_snapshot(&tenant.name, snap);
+    result.err()
+}
+
+fn dispatch_request(
+    req: Request,
+    shared: &DaemonShared,
+    dispatch: &BTreeMap<String, SyncSender<Job>>,
+    timeout: Duration,
+) -> (Status, Vec<u8>) {
+    match req.verb {
+        Verb::Ping => (Status::Ok, b"pong".to_vec()),
+        Verb::Shutdown => {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            (Status::Bye, b"draining".to_vec())
+        }
+        Verb::Stats => (
+            Status::Ok,
+            shared.stats_doc().to_string_pretty().into_bytes(),
+        ),
+        Verb::Anon | Verb::Flush => {
+            let Some(tx) = dispatch.get(&req.tenant) else {
+                let msg = format!("unknown tenant {:?}", req.tenant);
+                return (Status::UnknownTenant, msg.into_bytes());
+            };
+            let (rtx, rrx) = mpsc::channel();
+            match tx.try_send(Job { req, reply: rtx }) {
+                Err(TrySendError::Full(_)) => {
+                    shared.busy.fetch_add(1, Ordering::SeqCst);
+                    (
+                        Status::Busy,
+                        b"tenant queue full; back off and retry".to_vec(),
+                    )
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    (Status::Error, b"tenant worker is gone".to_vec())
+                }
+                Ok(()) => match rrx.recv_timeout(timeout) {
+                    Ok(reply) => reply,
+                    Err(_) => (
+                        Status::Timeout,
+                        b"deadline exceeded; safe to retry (mappings are sticky)".to_vec(),
+                    ),
+                },
+            }
+        }
+    }
+}
+
+fn handle_conn(
+    mut conn: Conn,
+    shared: &DaemonShared,
+    dispatch: &Arc<BTreeMap<String, SyncSender<Job>>>,
+    timeout: Duration,
+) {
+    if conn.configure().is_err() {
+        return;
+    }
+    let mut reader = FrameReader::new();
+    loop {
+        match reader.poll(&mut conn) {
+            ReadEvent::Eof => return,
+            ReadEvent::Idle => {
+                if shared.draining() {
+                    let _ = conn.write_all(&encode_response(
+                        Status::Draining,
+                        b"daemon draining; reconnect after restart",
+                    ));
+                    return;
+                }
+            }
+            ReadEvent::Malformed(m) => {
+                let _ = conn.write_all(&encode_response(Status::Error, m.as_bytes()));
+                return;
+            }
+            ReadEvent::Request(req) => {
+                // In-flight and queued work finishes during a drain, but
+                // a frame parsed after the flag is *new* work: reject it
+                // (SHUTDOWN stays answerable so drains are idempotent).
+                if shared.draining() && req.verb != Verb::Shutdown {
+                    let _ = conn.write_all(&encode_response(
+                        Status::Draining,
+                        b"daemon draining; reconnect after restart",
+                    ));
+                    return;
+                }
+                shared.requests.fetch_add(1, Ordering::SeqCst);
+                let verb = req.verb;
+                let (status, payload) = dispatch_request(req, shared, dispatch, timeout);
+                if conn.write_all(&encode_response(status, &payload)).is_err() {
+                    return;
+                }
+                let _ = conn.flush();
+                if verb == Verb::Shutdown {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Runs the daemon until a graceful drain completes. Binds, opens every
+/// tenant (loading persisted state through the verification path),
+/// serves with scoped threads, and on `SIGTERM`/`SHUTDOWN` drains:
+/// in-flight requests finish, every tenant flushes atomically, and the
+/// function returns the run summary (the caller exits 0). Errors are
+/// startup refusals ([`AnonError::BindFailed`],
+/// [`AnonError::ConfigInvalid`], [`AnonError::TenantStateRefused`]) or
+/// a drain-flush I/O failure.
+pub fn run_daemon(
+    cfg: &ServeConfig,
+    opts: &ServeOptions,
+    config_path: &str,
+) -> Result<ServeSummary, AnonError> {
+    // Open tenants before binding: state refusals must win over bind
+    // errors so `--require-clean-state` is testable without a port.
+    let mut tenants = Vec::new();
+    for spec in &cfg.tenants {
+        let tenant = Tenant::open(spec, cfg.flush, &StdFs);
+        if opts.require_clean_state {
+            if let Some(reason) = tenant.state_defect() {
+                return Err(AnonError::TenantStateRefused {
+                    tenant: spec.name.clone(),
+                    message: reason.to_string(),
+                });
+            }
+        }
+        tenants.push(tenant);
+    }
+
+    let (listener, advertised) = bind_endpoint(cfg, config_path)?;
+    if let Some(pf) = &opts.port_file {
+        let mut stats = DurabilityStats::default();
+        write_atomic(&StdFs, pf, format!("{advertised}\n").as_bytes(), &mut stats)?;
+    }
+    signals::install_term_handler();
+    eprintln!(
+        "serve: listening on {advertised} with {} tenant(s) \
+         (queue depth {}, timeout {} ms, flush {})",
+        tenants.len(),
+        cfg.queue_depth,
+        cfg.request_timeout_ms,
+        cfg.flush.name()
+    );
+
+    let shared = DaemonShared {
+        shutdown: AtomicBool::new(false),
+        connections: AtomicU64::new(0),
+        requests: AtomicU64::new(0),
+        busy: AtomicU64::new(0),
+        snapshots: Mutex::new(BTreeMap::new()),
+    };
+    let timeout = Duration::from_millis(cfg.request_timeout_ms);
+    let tenant_count = tenants.len();
+    let flush_errors: Mutex<Vec<AnonError>> = Mutex::new(Vec::new());
+
+    std::thread::scope(|scope| {
+        let mut senders = BTreeMap::new();
+        for mut tenant in tenants {
+            let (tx, rx) = mpsc::sync_channel::<Job>(cfg.queue_depth);
+            senders.insert(tenant.name.clone(), tx);
+            let shared = &shared;
+            let flush_errors = &flush_errors;
+            scope.spawn(move || {
+                if let Some(e) = tenant_worker(&mut tenant, rx, shared) {
+                    let mut errs = flush_errors.lock().unwrap_or_else(|p| p.into_inner());
+                    errs.push(e);
+                }
+            });
+        }
+        // Handlers hold Arc clones so the senders' lifetime is exactly
+        // "main loop + live connections": when the accept loop drops its
+        // Arc and the last draining handler exits, every tenant channel
+        // disconnects and workers flush.
+        let dispatch = Arc::new(senders);
+        loop {
+            if shared.draining() {
+                break;
+            }
+            match listener.accept() {
+                Ok(conn) => {
+                    shared.connections.fetch_add(1, Ordering::SeqCst);
+                    let shared = &shared;
+                    let dispatch = Arc::clone(&dispatch);
+                    scope.spawn(move || handle_conn(conn, shared, &dispatch, timeout));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(POLL_INTERVAL);
+                }
+                // Transient accept failure (EMFILE and friends): don't
+                // kill the daemon over one connection.
+                Err(_) => std::thread::sleep(POLL_INTERVAL),
+            }
+        }
+        eprintln!("serve: draining ({} tenant(s) to flush)", tenant_count);
+        drop(dispatch);
+    });
+
+    #[cfg(unix)]
+    if let Some(path) = &cfg.socket {
+        let _ = std::fs::remove_file(path);
+    }
+
+    let mut errs = flush_errors.into_inner().unwrap_or_else(|p| p.into_inner());
+    if let Some(e) = errs.drain(..).next() {
+        return Err(e);
+    }
+    Ok(ServeSummary {
+        connections: shared.connections.load(Ordering::SeqCst),
+        requests: shared.requests.load(Ordering::SeqCst),
+        busy_rejections: shared.busy.load(Ordering::SeqCst),
+        tenants: tenant_count,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn anon_req(tenant: &str, name: &str, payload: &[u8]) -> Request {
+        Request {
+            verb: Verb::Anon,
+            tenant: tenant.to_string(),
+            name: name.to_string(),
+            payload: payload.to_vec(),
+        }
+    }
+
+    #[test]
+    fn request_frames_round_trip() {
+        let req = anon_req("alpha", "r1.cfg", b"hostname core1\n");
+        let bytes = encode_request(&req);
+        let mut reader = FrameReader::new();
+        let mut cursor = std::io::Cursor::new(bytes);
+        match reader.poll(&mut cursor) {
+            ReadEvent::Request(parsed) => assert_eq!(parsed, req),
+            other => panic!("expected a request, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn two_frames_in_one_read_both_parse() {
+        let a = anon_req("alpha", "a.cfg", b"interface Ethernet0\n");
+        let b = anon_req("beta", "b.cfg", b"");
+        let mut bytes = encode_request(&a);
+        bytes.extend_from_slice(&encode_request(&b));
+        let mut reader = FrameReader::new();
+        let mut cursor = std::io::Cursor::new(bytes);
+        let first = reader.poll(&mut cursor);
+        let second = reader.poll(&mut cursor);
+        match (first, second) {
+            (ReadEvent::Request(x), ReadEvent::Request(y)) => {
+                assert_eq!(x, a);
+                assert_eq!(y, b);
+            }
+            other => panic!("expected two requests, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn split_delivery_is_reassembled() {
+        let req = anon_req("alpha", "r1.cfg", b"router bgp 65001\n");
+        let bytes = encode_request(&req);
+        let mut reader = FrameReader::new();
+        // Feed one byte at a time: every prefix is Idle, the final byte
+        // completes the frame.
+        let mut parsed = None;
+        for i in 0..bytes.len() {
+            let mut cursor = std::io::Cursor::new(&bytes[i..i + 1]);
+            match reader.poll(&mut cursor) {
+                ReadEvent::Request(r) => {
+                    parsed = Some(r);
+                    assert_eq!(i, bytes.len() - 1, "frame completed early");
+                }
+                ReadEvent::Idle => {}
+                // Cursor returns Ok(0) once exhausted; a 1-byte slice
+                // yields the byte first.
+                other => panic!("unexpected event at byte {i}: {other:?}"),
+            }
+        }
+        assert_eq!(parsed, Some(req));
+    }
+
+    #[test]
+    fn malformed_headers_are_rejected_not_panicked() {
+        let cases: &[&[u8]] = &[
+            b"HTTP/1.1 GET / 0\n",
+            b"CONFANON/1 ANON alpha r1.cfg notanumber\n",
+            b"CONFANON/1 EXPLODE alpha r1.cfg 0\n",
+            b"CONFANON/1 ANON - r1.cfg 0\n",
+            b"CONFANON/1 ANON alpha - 0\n",
+            b"CONFANON/1 FLUSH - - 0\n",
+            b"CONFANON/1 ANON al/pha r1.cfg 0\n",
+            b"CONFANON/1 ANON alpha r1.cfg 0 extra\n",
+            b"CONFANON/1 ANON alpha r1.cfg 999999999999\n",
+            b"\xff\xfe\n",
+        ];
+        for case in cases {
+            let mut reader = FrameReader::new();
+            let mut cursor = std::io::Cursor::new(case.to_vec());
+            match reader.poll(&mut cursor) {
+                ReadEvent::Malformed(_) => {}
+                other => panic!("{case:?}: expected Malformed, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_header_without_newline_is_rejected() {
+        let mut reader = FrameReader::new();
+        let junk = vec![b'A'; MAX_HEADER + 10];
+        let mut cursor = std::io::Cursor::new(junk);
+        match reader.poll(&mut cursor) {
+            ReadEvent::Malformed(m) => assert!(m.contains("header")),
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn response_encoding_has_exact_shape() {
+        let bytes = encode_response(Status::Busy, b"retry");
+        assert_eq!(bytes, b"CONFANON/1 BUSY 5\nretry");
+        assert!(Status::Busy.retriable());
+        assert!(Status::Timeout.retriable());
+        assert!(!Status::Ok.retriable());
+        assert!(!Status::Error.retriable());
+    }
+
+    #[test]
+    fn verb_and_status_tokens_round_trip() {
+        for v in [Verb::Anon, Verb::Flush, Verb::Stats, Verb::Ping, Verb::Shutdown] {
+            assert_eq!(Verb::parse(v.name()), Some(v));
+        }
+        for s in [
+            Status::Ok,
+            Status::Busy,
+            Status::Quarantined,
+            Status::TenantQuarantined,
+            Status::UnknownTenant,
+            Status::Timeout,
+            Status::Error,
+            Status::Draining,
+            Status::Bye,
+        ] {
+            assert_eq!(Status::parse(s.name()), Some(s));
+        }
+        assert_eq!(Verb::parse("anon"), None);
+        assert_eq!(Status::parse("ok"), None);
+    }
+
+    const GOOD_TOML: &str = r#"
+# endpoint
+listen = "127.0.0.1:0"
+queue_depth = 4
+request_timeout_ms = 2500
+flush = "drain"
+
+[tenant.alpha]
+secret = "alpha-secret"
+state_dir = "/tmp/alpha-state"   # per-tenant store
+
+[tenant.beta]
+secret = "beta-secret"
+state_dir = "/tmp/beta-state"
+disable_rule = "neighbor-remote-as"
+"#;
+
+    #[test]
+    fn config_parses_the_documented_grammar() {
+        let cfg = ServeConfig::parse("confanon.toml", GOOD_TOML).unwrap();
+        assert_eq!(cfg.listen.as_deref(), Some("127.0.0.1:0"));
+        assert_eq!(cfg.socket, None);
+        assert_eq!(cfg.queue_depth, 4);
+        assert_eq!(cfg.request_timeout_ms, 2500);
+        assert_eq!(cfg.flush, FlushMode::Drain);
+        assert_eq!(cfg.tenants.len(), 2);
+        assert_eq!(cfg.tenants[0].name, "alpha");
+        assert_eq!(cfg.tenants[0].secret, b"alpha-secret");
+        assert!(cfg.tenants[0].disabled_rules.is_empty());
+        assert_eq!(cfg.tenants[1].disabled_rules, vec!["neighbor-remote-as"]);
+    }
+
+    #[test]
+    fn config_defaults_apply() {
+        let cfg = ServeConfig::parse(
+            "c",
+            "[tenant.a]\nsecret = \"s\"\nstate_dir = \"d\"\n",
+        )
+        .unwrap();
+        assert_eq!(cfg.queue_depth, DEFAULT_QUEUE_DEPTH);
+        assert_eq!(cfg.request_timeout_ms, DEFAULT_REQUEST_TIMEOUT_MS);
+        assert_eq!(cfg.flush, FlushMode::Request);
+    }
+
+    #[test]
+    fn config_rejections_carry_line_numbers() {
+        let cases: &[(&str, &str)] = &[
+            ("listen = \n", "line 1"),
+            ("queue_depth = \"four\"\n[tenant.a]\nsecret=\"s\"\nstate_dir=\"d\"\n", "integer"),
+            ("queue_depth = 0\n[tenant.a]\nsecret=\"s\"\nstate_dir=\"d\"\n", "between"),
+            ("bogus = 1\n", "unknown top-level key"),
+            ("[server]\n", "unknown section"),
+            ("[tenant.a!]\n", "invalid tenant name"),
+            ("[tenant.a]\nstate_dir = \"d\"\n", "missing `secret`"),
+            ("[tenant.a]\nsecret = \"s\"\n", "missing `state_dir`"),
+            ("[tenant.a]\nsecret = \"s\"\nstate_dir = \"d\"\nbogus = 1\n", "unknown tenant key"),
+            (
+                "[tenant.a]\nsecret = \"s\"\nstate_dir = \"d\"\ndisable_rule = \"no-such\"\n",
+                "unknown rule",
+            ),
+            ("not a pair\n", "expected `key = value`"),
+            ("flush = \"sometimes\"\n", "must be \"request\" or \"drain\""),
+            ("", "no [tenant.NAME] sections"),
+        ];
+        for (text, needle) in cases {
+            let err = ServeConfig::parse("confanon.toml", text).unwrap_err();
+            let msg = err.to_string();
+            assert!(
+                msg.contains(needle),
+                "{text:?}: expected {needle:?} in {msg:?}"
+            );
+            assert!(msg.contains("confanon.toml"), "{msg:?} lacks the path");
+        }
+    }
+
+    #[test]
+    fn config_rejects_duplicate_tenants_and_shared_state_dirs() {
+        let dup = "[tenant.a]\nsecret=\"s\"\nstate_dir=\"d1\"\n\
+                   [tenant.a]\nsecret=\"s\"\nstate_dir=\"d2\"\n";
+        assert!(ServeConfig::parse("c", dup)
+            .unwrap_err()
+            .to_string()
+            .contains("duplicate tenant"));
+        let shared = "[tenant.a]\nsecret=\"s\"\nstate_dir=\"d\"\n\
+                      [tenant.b]\nsecret=\"t\"\nstate_dir=\"d\"\n";
+        assert!(ServeConfig::parse("c", shared)
+            .unwrap_err()
+            .to_string()
+            .contains("share a state_dir"));
+    }
+
+    #[test]
+    fn comments_only_strip_outside_quotes() {
+        let cfg = ServeConfig::parse(
+            "c",
+            "[tenant.a]\nsecret = \"se#cret\" # trailing\nstate_dir = \"d\"\n",
+        )
+        .unwrap();
+        assert_eq!(cfg.tenants[0].secret, b"se#cret");
+    }
+
+    #[test]
+    fn endpoint_requires_exactly_one_of_listen_and_socket() {
+        let none = ServeConfig::parse("c", "[tenant.a]\nsecret=\"s\"\nstate_dir=\"d\"\n").unwrap();
+        assert!(matches!(
+            bind_endpoint(&none, "c"),
+            Err(AnonError::ConfigInvalid { .. })
+        ));
+        let both_txt = "listen = \"127.0.0.1:0\"\nsocket = \"/tmp/x.sock\"\n\
+                        [tenant.a]\nsecret=\"s\"\nstate_dir=\"d\"\n";
+        let both = ServeConfig::parse("c", both_txt).unwrap();
+        assert!(matches!(
+            bind_endpoint(&both, "c"),
+            Err(AnonError::ConfigInvalid { .. })
+        ));
+    }
+
+    #[test]
+    fn bind_failure_is_reported_as_bind_failed() {
+        let txt = "listen = \"256.256.256.256:1\"\n[tenant.a]\nsecret=\"s\"\nstate_dir=\"d\"\n";
+        let cfg = ServeConfig::parse("c", txt).unwrap();
+        match bind_endpoint(&cfg, "c") {
+            Err(AnonError::BindFailed { addr, .. }) => {
+                assert_eq!(addr, "256.256.256.256:1");
+            }
+            Err(other) => panic!("expected BindFailed, got {other:?}"),
+            Ok(_) => panic!("expected BindFailed, got a listener"),
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Minimal async-signal-safe termination flag.
+//!
+//! Long runs must not die mid-publish when an operator (or an init
+//! system) sends `SIGTERM`: [`write_atomic`](crate::fsx::write_atomic)
+//! guarantees no torn file, but the default signal disposition kills
+//! the process between journal entries, losing work that `--resume`
+//! then has to redo — and a draining daemon has resident tenant state
+//! to flush first. The handler installed here does the only thing an
+//! async-signal-safe handler may do: set an atomic flag. The publish
+//! loop (and the serve accept loop) polls [`term_requested`] between
+//! atomic writes and converts the flag into an orderly exit — batch
+//! finishes the in-flight rename and returns the resumable
+//! interruption error; serve drains.
+//!
+//! No external crate is involved: `std` already links libc, so the
+//! C `signal(2)` entry point is declared directly. On non-Unix targets
+//! installation is a no-op and the flag can only be set by
+//! [`request_term`].
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static TERM_REQUESTED: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod imp {
+    /// `SIGTERM` on every Unix this crate targets (POSIX reserves 15).
+    const SIGTERM: i32 = 15;
+
+    type SigHandler = extern "C" fn(i32);
+
+    extern "C" {
+        fn signal(signum: i32, handler: SigHandler) -> isize;
+    }
+
+    extern "C" fn on_term(_signum: i32) {
+        // Only async-signal-safe work is allowed here: one atomic store.
+        super::TERM_REQUESTED.store(true, std::sync::atomic::Ordering::SeqCst);
+    }
+
+    pub(super) fn install() {
+        unsafe {
+            // SIG_ERR is ignored deliberately: failing to install keeps
+            // the previous (default) disposition, which is the behavior
+            // the caller had before asking.
+            let _ = signal(SIGTERM, on_term);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub(super) fn install() {}
+}
+
+/// Installs the `SIGTERM` flag handler (idempotent). After this call a
+/// `SIGTERM` no longer kills the process; it sets the flag read by
+/// [`term_requested`]. `SIGINT` (interactive Ctrl-C) keeps its default
+/// kill disposition so a foreground run stays cancellable instantly.
+pub fn install_term_handler() {
+    imp::install();
+}
+
+/// Whether a termination request (signal or [`request_term`]) has been
+/// observed since process start / the last [`clear_term`].
+pub fn term_requested() -> bool {
+    TERM_REQUESTED.load(Ordering::SeqCst)
+}
+
+/// Sets the termination flag without a signal — the in-process
+/// equivalent of `SIGTERM`, used by the serve shutdown frame and by
+/// deterministic tests (the signal itself is inherently racy to aim at
+/// a precise pipeline point).
+pub fn request_term() {
+    TERM_REQUESTED.store(true, Ordering::SeqCst);
+}
+
+/// Clears the flag. Test-only in spirit (the process-wide flag is
+/// shared, so in-process tests must clear what they set); a production
+/// run never needs it.
+pub fn clear_term() {
+    TERM_REQUESTED.store(false, Ordering::SeqCst);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_round_trips() {
+        clear_term();
+        assert!(!term_requested());
+        request_term();
+        assert!(term_requested());
+        clear_term();
+        assert!(!term_requested());
+    }
+
+    #[test]
+    fn install_is_idempotent() {
+        install_term_handler();
+        install_term_handler();
+    }
+}

@@ -95,6 +95,44 @@ pub fn validate_metrics(doc: &Json) -> Result<(), String> {
     Ok(())
 }
 
+/// Schema identifier of the serve-mode `STATS` frame payload.
+pub const SERVE_METRICS_SCHEMA: &str = "confanon-serve-metrics-v1";
+
+/// Assembles the serve stats frame: per-tenant snapshots (an object
+/// keyed by tenant name) plus daemon-wide counters.
+pub fn serve_metrics_doc(tenants: Json, daemon: Json) -> Json {
+    Json::obj()
+        .with("schema", SERVE_METRICS_SCHEMA)
+        .with("tenants", tenants)
+        .with("daemon", daemon)
+}
+
+/// Validates the shape of a parsed serve stats frame: schema marker,
+/// both sections present as objects, and every tenant snapshot carrying
+/// a `health` string (the field quarantine-aware clients branch on).
+pub fn validate_serve_metrics(doc: &Json) -> Result<(), String> {
+    match doc.get("schema").and_then(Json::as_str) {
+        Some(SERVE_METRICS_SCHEMA) => {}
+        Some(other) => return Err(format!("unexpected schema {other:?}")),
+        None => return Err("missing \"schema\" member".to_string()),
+    }
+    for section in ["tenants", "daemon"] {
+        match doc.get(section) {
+            Some(Json::Obj(_)) => {}
+            Some(_) => return Err(format!("\"{section}\" is not an object")),
+            None => return Err(format!("missing \"{section}\" section")),
+        }
+    }
+    if let Some(Json::Obj(members)) = doc.get("tenants") {
+        for (name, snap) in members {
+            if snap.get("health").and_then(Json::as_str).is_none() {
+                return Err(format!("tenant {name:?} snapshot lacks \"health\""));
+            }
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -131,5 +169,28 @@ mod tests {
             .with("deterministic", 3u64)
             .with("timing", Json::obj());
         assert!(validate_metrics(&wrong_type).is_err());
+    }
+
+    #[test]
+    fn serve_metrics_round_trip_and_rejection() {
+        let doc = serve_metrics_doc(
+            Json::obj().with("alpha", Json::obj().with("health", "serving")),
+            Json::obj().with("connections", 3u64),
+        );
+        let parsed = Json::parse(&doc.to_string_pretty()).expect("parses");
+        assert!(validate_serve_metrics(&parsed).is_ok());
+
+        assert!(validate_serve_metrics(&Json::obj()).is_err());
+        assert!(validate_serve_metrics(
+            &Json::obj().with("schema", METRICS_SCHEMA)
+        )
+        .is_err());
+        let healthless = serve_metrics_doc(
+            Json::obj().with("alpha", Json::obj().with("requests", 1u64)),
+            Json::obj(),
+        );
+        assert!(validate_serve_metrics(&healthless)
+            .unwrap_err()
+            .contains("health"));
     }
 }

@@ -22,6 +22,10 @@
 //! * [`faultfs`] — a seeded fault-injecting filesystem (torn writes,
 //!   transient/permanent errors, rename failures) for the durable-write
 //!   crash-consistency properties.
+//! * [`serveclient`] — an independent `CONFANON/1` wire client for the
+//!   serve daemon, implementing the framing from the DESIGN §14 spec
+//!   (not from the server's code) so round-trip tests double as an
+//!   interoperability check.
 //!
 //! Everything here is deterministic by default: property tests derive
 //! their seed from the test name so CI runs are reproducible, and the
@@ -35,3 +39,4 @@ pub mod faultfs;
 pub mod json;
 pub mod props;
 pub mod rng;
+pub mod serveclient;

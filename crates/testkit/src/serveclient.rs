@@ -1,0 +1,302 @@
+//! Independent `CONFANON/1` wire client for the serve daemon.
+//!
+//! This module deliberately re-implements the protocol framing from the
+//! DESIGN §14 specification instead of importing the server's encoder:
+//! the dependency direction (`confanon-core` depends on this crate, not
+//! the reverse) forces it, and the duplication is the point — every
+//! round trip through this client is an interoperability check of the
+//! wire format, not a tautology.
+//!
+//! ## Frame grammar (client view)
+//!
+//! ```text
+//! request:  "CONFANON/1 <VERB> <tenant> <name> <len>\n" + len payload bytes
+//! response: "CONFANON/1 <STATUS> <len>\n"              + len payload bytes
+//! ```
+//!
+//! `<tenant>` and `<name>` are `[A-Za-z0-9._-]{1,128}` tokens, with `-`
+//! as the placeholder for verbs that don't take them (`PING`, `STATS`,
+//! `SHUTDOWN`).
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Protocol tag, first token of every frame in both directions.
+pub const PROTOCOL: &str = "CONFANON/1";
+
+/// Upper bound the client enforces on response payload lengths, so a
+/// corrupt header cannot make a test allocate unboundedly.
+pub const MAX_RESPONSE: usize = 8 * 1024 * 1024;
+
+/// A parsed response frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Reply {
+    /// The status token exactly as received (`OK`, `BUSY`, ...). Kept
+    /// as a string so this client never lags the server's taxonomy.
+    pub status: String,
+    /// The response payload.
+    pub payload: Vec<u8>,
+}
+
+impl Reply {
+    /// Whether the daemon asked the client to retry later (bounded
+    /// queue full, or the per-request deadline passed while queued).
+    pub fn retriable(&self) -> bool {
+        self.status == "BUSY" || self.status == "TIMEOUT"
+    }
+
+    /// The payload as lossy UTF-8, for assertions on error messages.
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.payload).into_owned()
+    }
+}
+
+enum Transport {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(std::os::unix::net::UnixStream),
+}
+
+impl Read for Transport {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Transport::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Transport::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Transport {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Transport::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Transport::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Transport::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Transport::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// A blocking client connection to a serve daemon.
+pub struct ServeClient {
+    transport: Transport,
+}
+
+fn invalid(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+impl ServeClient {
+    /// Connects to `endpoint`: either `host:port` (TCP) or `unix:PATH`
+    /// (Unix-domain socket) — the same syntax `--port-file` advertises.
+    /// A 10-second read/write timeout guards tests against a wedged
+    /// daemon.
+    pub fn connect(endpoint: &str) -> io::Result<ServeClient> {
+        let timeout = Some(Duration::from_secs(10));
+        let transport = if let Some(path) = endpoint.strip_prefix("unix:") {
+            #[cfg(unix)]
+            {
+                let s = std::os::unix::net::UnixStream::connect(path)?;
+                s.set_read_timeout(timeout)?;
+                s.set_write_timeout(timeout)?;
+                Transport::Unix(s)
+            }
+            #[cfg(not(unix))]
+            {
+                let _ = path;
+                return Err(invalid("unix sockets are not supported on this platform"));
+            }
+        } else {
+            let s = TcpStream::connect(endpoint)?;
+            s.set_read_timeout(timeout)?;
+            s.set_write_timeout(timeout)?;
+            Transport::Tcp(s)
+        };
+        Ok(ServeClient { transport })
+    }
+
+    /// Sends one frame and reads the response. `tenant`/`name` use `-`
+    /// as the placeholder when the verb doesn't take them.
+    pub fn request(
+        &mut self,
+        verb: &str,
+        tenant: &str,
+        name: &str,
+        payload: &[u8],
+    ) -> io::Result<Reply> {
+        let header = format!("{PROTOCOL} {verb} {tenant} {name} {}\n", payload.len());
+        self.transport.write_all(header.as_bytes())?;
+        self.transport.write_all(payload)?;
+        self.transport.flush()?;
+        self.read_reply()
+    }
+
+    /// `ANON`: anonymize `payload` as file `name` under `tenant`.
+    pub fn anon(&mut self, tenant: &str, name: &str, payload: &[u8]) -> io::Result<Reply> {
+        self.request("ANON", tenant, name, payload)
+    }
+
+    /// `ANON` with bounded retry on `BUSY`/`TIMEOUT` back-pressure:
+    /// the cooperative-client loop the protocol contract expects.
+    /// Returns the first non-retriable reply, or the last retriable one
+    /// if `attempts` is exhausted.
+    pub fn anon_with_retry(
+        &mut self,
+        tenant: &str,
+        name: &str,
+        payload: &[u8],
+        attempts: usize,
+        backoff: Duration,
+    ) -> io::Result<Reply> {
+        let mut last = self.anon(tenant, name, payload)?;
+        for _ in 1..attempts {
+            if !last.retriable() {
+                return Ok(last);
+            }
+            std::thread::sleep(backoff);
+            last = self.anon(tenant, name, payload)?;
+        }
+        Ok(last)
+    }
+
+    /// `PING`: liveness probe.
+    pub fn ping(&mut self) -> io::Result<Reply> {
+        self.request("PING", "-", "-", b"")
+    }
+
+    /// `STATS`: fetch the `confanon-serve-metrics-v1` frame.
+    pub fn stats(&mut self) -> io::Result<Reply> {
+        self.request("STATS", "-", "-", b"")
+    }
+
+    /// `FLUSH`: force a durable state flush for one tenant.
+    pub fn flush(&mut self, tenant: &str) -> io::Result<Reply> {
+        self.request("FLUSH", tenant, "-", b"")
+    }
+
+    /// `SHUTDOWN`: ask the daemon to drain and exit.
+    pub fn shutdown(&mut self) -> io::Result<Reply> {
+        self.request("SHUTDOWN", "-", "-", b"")
+    }
+
+    fn read_reply(&mut self) -> io::Result<Reply> {
+        // Header: bytes up to '\n', length-capped like the server's.
+        let mut header = Vec::with_capacity(64);
+        loop {
+            let mut byte = [0u8; 1];
+            let n = self.transport.read(&mut byte)?;
+            if n == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed before a response header",
+                ));
+            }
+            if byte[0] == b'\n' {
+                break;
+            }
+            header.push(byte[0]);
+            if header.len() > 1024 {
+                return Err(invalid("response header exceeds 1024 bytes"));
+            }
+        }
+        let header = String::from_utf8(header)
+            .map_err(|_| invalid("response header is not UTF-8"))?;
+        let fields: Vec<&str> = header.split(' ').collect();
+        let [proto, status, len] = fields.as_slice() else {
+            return Err(invalid(format!("malformed response header {header:?}")));
+        };
+        if *proto != PROTOCOL {
+            return Err(invalid(format!("unexpected protocol tag {proto:?}")));
+        }
+        let len: usize = len
+            .parse()
+            .map_err(|_| invalid(format!("bad response length {len:?}")))?;
+        if len > MAX_RESPONSE {
+            return Err(invalid(format!("response length {len} exceeds cap")));
+        }
+        let mut payload = vec![0u8; len];
+        self.transport.read_exact(&mut payload)?;
+        Ok(Reply {
+            status: status.to_string(),
+            payload,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    /// A one-shot fake server speaking the frame grammar from the spec,
+    /// so the client is tested without the real daemon.
+    fn fake_server(respond: &'static [u8]) -> (std::net::SocketAddr, std::thread::JoinHandle<Vec<u8>>) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let handle = std::thread::spawn(move || {
+            let (mut conn, _) = listener.accept().expect("accept");
+            // Read until the full frame (header line + declared payload
+            // length) has arrived — the header and payload may land in
+            // separate TCP segments.
+            let mut got = Vec::new();
+            let mut buf = [0u8; 4096];
+            loop {
+                let n = conn.read(&mut buf).expect("read");
+                if n == 0 {
+                    break;
+                }
+                got.extend_from_slice(&buf[..n]);
+                if let Some(pos) = got.iter().position(|&b| b == b'\n') {
+                    let header = std::str::from_utf8(&got[..pos]).expect("utf8 header");
+                    let len: usize = header
+                        .rsplit(' ')
+                        .next()
+                        .expect("len field")
+                        .parse()
+                        .expect("numeric len");
+                    if got.len() >= pos + 1 + len {
+                        break;
+                    }
+                }
+            }
+            conn.write_all(respond).expect("write");
+            got
+        });
+        (addr, handle)
+    }
+
+    #[test]
+    fn frames_a_request_and_parses_the_reply() {
+        let (addr, server) = fake_server(b"CONFANON/1 OK 5\nhello");
+        let mut client = ServeClient::connect(&addr.to_string()).expect("connect");
+        let reply = client.anon("alpha", "r1.cfg", b"hostname x\n").expect("reply");
+        assert_eq!(reply.status, "OK");
+        assert_eq!(reply.payload, b"hello");
+        assert!(!reply.retriable());
+        let sent = server.join().expect("join");
+        assert_eq!(sent, b"CONFANON/1 ANON alpha r1.cfg 11\nhostname x\n");
+    }
+
+    #[test]
+    fn busy_is_retriable_and_bad_frames_are_errors() {
+        let (addr, _server) = fake_server(b"CONFANON/1 BUSY 5\nretry");
+        let mut client = ServeClient::connect(&addr.to_string()).expect("connect");
+        let reply = client.ping().expect("reply");
+        assert_eq!(reply.status, "BUSY");
+        assert!(reply.retriable());
+
+        let (addr2, _server2) = fake_server(b"HTTP/1.1 200 OK\n");
+        let mut client2 = ServeClient::connect(&addr2.to_string()).expect("connect");
+        let err = client2.ping().expect_err("protocol tag must be checked");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+}

@@ -216,4 +216,81 @@ for jobs in 1 4; do
     }
 done
 
+echo "==> serve smoke: 2-tenant daemon, drain on SIGTERM, warm restart"
+# Start the daemon with two tenants, push a config through each via the
+# `confanon client` test client (an independent wire implementation, so
+# this doubles as a protocol interop check), validate the stats frame,
+# SIGTERM-drain (must exit 0), then restart and demand warm mappings:
+# the same inputs must anonymize byte-identically across the restart.
+serve_dir="$(mktemp -d)"
+serve_pid=""
+trap 'kill "$serve_pid" 2>/dev/null || true; rm -rf "$corpus_dir" "$obs_dir" "$chaos_dir" "$crash_dir" "$incr_dir" "$serve_dir"' EXIT
+
+cat > "$serve_dir/confanon.toml" <<SERVECFG
+[tenant.alpha]
+secret = "alpha-ci-secret"
+state_dir = "$serve_dir/state-alpha"
+
+[tenant.beta]
+secret = "beta-ci-secret"
+state_dir = "$serve_dir/state-beta"
+SERVECFG
+
+a_cfg=$(find "$corpus_dir" -name '*.cfg' | sort | head -n 1)
+b_cfg=$(find "$corpus_dir" -name '*.cfg' | sort | tail -n 1)
+
+start_serve() {
+    : > "$serve_dir/port"
+    ./target/release/confanon serve --config "$serve_dir/confanon.toml" \
+        --listen 127.0.0.1:0 --port-file "$serve_dir/port" &
+    serve_pid=$!
+    for _ in $(seq 1 200); do
+        [ -s "$serve_dir/port" ] && return 0
+        sleep 0.05
+    done
+    echo "serve smoke: daemon never advertised its port"; exit 1
+}
+
+start_serve
+endpoint=$(cat "$serve_dir/port")
+client="./target/release/confanon client --endpoint $endpoint"
+
+$client ping > /dev/null
+$client anon --tenant alpha --name a.cfg "$a_cfg" > "$serve_dir/a-cold.anon"
+$client anon --tenant beta  --name b.cfg "$b_cfg" > "$serve_dir/b-cold.anon"
+[ -s "$serve_dir/a-cold.anon" ] || { echo "serve smoke: empty alpha output"; exit 1; }
+$client stats > "$serve_dir/stats.json"
+./target/release/confanon metrics --serve "$serve_dir/stats.json"
+
+kill -TERM "$serve_pid"
+set +e
+wait "$serve_pid"
+rc=$?
+set -e
+[ "$rc" -eq 0 ] || { echo "serve smoke: SIGTERM drain exited $rc, want 0"; exit 1; }
+for t in state-alpha state-beta; do
+    [ -f "$serve_dir/$t/state.json" ] || {
+        echo "serve smoke: drain did not flush $t/state.json"; exit 1;
+    }
+done
+
+start_serve
+endpoint=$(cat "$serve_dir/port")
+client="./target/release/confanon client --endpoint $endpoint"
+$client anon --tenant alpha --name a.cfg "$a_cfg" > "$serve_dir/a-warm.anon"
+$client anon --tenant beta  --name b.cfg "$b_cfg" > "$serve_dir/b-warm.anon"
+cmp "$serve_dir/a-cold.anon" "$serve_dir/a-warm.anon" || {
+    echo "serve smoke: alpha mappings not warm across restart"; exit 1;
+}
+cmp "$serve_dir/b-cold.anon" "$serve_dir/b-warm.anon" || {
+    echo "serve smoke: beta mappings not warm across restart"; exit 1;
+}
+$client shutdown > /dev/null
+set +e
+wait "$serve_pid"
+rc=$?
+set -e
+serve_pid=""
+[ "$rc" -eq 0 ] || { echo "serve smoke: shutdown-frame drain exited $rc, want 0"; exit 1; }
+
 echo "CI OK"

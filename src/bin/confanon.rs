@@ -90,6 +90,14 @@ const EXIT_LEAK_GATED: u8 = 4;
 /// A durable write failed after the run journal was safely on disk:
 /// nothing published is torn and `--resume` can continue the run.
 const EXIT_RESUMABLE: u8 = 5;
+/// `confanon serve` could not bind its listen endpoint. Nothing was
+/// served; no tenant state was touched.
+const EXIT_BIND: u8 = 6;
+/// `confanon.toml` (or the serve CLI override set) failed validation.
+const EXIT_CONFIG: u8 = 7;
+/// `--require-clean-state`: a tenant's persisted state was present but
+/// unusable, and the operator asked for refusal instead of quarantine.
+const EXIT_TENANT_STATE: u8 = 8;
 
 /// Upper bound on `--jobs`. The pipeline clamps the worker count to the
 /// corpus size anyway; a value beyond any plausible machine is a typo
@@ -106,6 +114,9 @@ fn exit_for(e: &AnonError) -> u8 {
         AnonError::LeakGated { .. } => EXIT_LEAK_GATED,
         AnonError::ResumableInterrupted { .. } => EXIT_RESUMABLE,
         AnonError::StateInvalid { .. } => EXIT_USAGE,
+        AnonError::BindFailed { .. } => EXIT_BIND,
+        AnonError::ConfigInvalid { .. } => EXIT_CONFIG,
+        AnonError::TenantStateRefused { .. } => EXIT_TENANT_STATE,
     }
 }
 
@@ -119,10 +130,12 @@ fn main() -> ExitCode {
         Some("validate") => cmd_validate(&args[1..]),
         Some("scan") => cmd_scan(&args[1..]),
         Some("metrics") => cmd_metrics(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("client") => cmd_client(&args[1..]),
         Some("rules") => cmd_rules(),
         _ => {
             eprintln!(
-                "usage: confanon <anonymize|batch|chaos|generate|validate|scan|metrics|rules> [options]\n\
+                "usage: confanon <anonymize|batch|chaos|generate|validate|scan|metrics|serve|client|rules> [options]\n\
                  \n\
                  anonymize --secret <secret> [--compact] [--audit FILE] [--out-dir DIR] FILE...\n\
                  \u{20}   Anonymize config files under one owner secret. With --out-dir,\n\
@@ -161,10 +174,26 @@ fn main() -> ExitCode {
                  scan --record FILE.json FILE...\n\
                  \u{20}   Flag lines in anonymized files that still contain items from a\n\
                  \u{20}   leak record (JSON with asns/ips/words arrays).\n\
-                 metrics [--deterministic] [--trace FILE] [FILE]\n\
-                 \u{20}   Validate a metrics.json (or, with --trace, a trace file).\n\
+                 metrics [--deterministic] [--trace FILE] [--serve FILE] [FILE]\n\
+                 \u{20}   Validate a metrics.json (or, with --trace, a trace file; with\n\
+                 \u{20}   --serve, a confanon-serve-metrics-v1 stats frame).\n\
                  \u{20}   --deterministic prints only the deterministic section, for\n\
                  \u{20}   diffing two runs.\n\
+                 serve --config confanon.toml [--listen HOST:PORT | --socket PATH]\n\
+                 \u{20}     [--port-file FILE] [--queue-depth N] [--request-timeout-ms MS]\n\
+                 \u{20}     [--flush request|drain] [--require-clean-state]\n\
+                 \u{20}   Multi-tenant anonymization daemon (CONFANON/1 protocol). Each\n\
+                 \u{20}   [tenant.NAME] section holds its own secret + state_dir; tenants\n\
+                 \u{20}   are isolated (bounded queues, per-request panic containment,\n\
+                 \u{20}   per-tenant leak quarantine). SIGTERM or a SHUTDOWN frame drains:\n\
+                 \u{20}   in-flight requests finish, every tenant state flushes atomically,\n\
+                 \u{20}   exit 0. Serve exits: 6 bind failed, 7 config invalid, 8 tenant\n\
+                 \u{20}   state refused (--require-clean-state).\n\
+                 client --endpoint HOST:PORT|unix:PATH <ping|stats|flush|shutdown|anon>\n\
+                 \u{20}     [--tenant NAME] [--name FILE] [--retries N] [FILE]\n\
+                 \u{20}   Minimal CONFANON/1 test client: anon sends FILE (or stdin) and\n\
+                 \u{20}   prints the anonymized payload; stats prints the metrics frame.\n\
+                 \u{20}   Retriable BUSY/TIMEOUT responses exit 75 after --retries.\n\
                  rules\n\
                  \u{20}   Print the 28 contextual rules."
             );
@@ -202,7 +231,7 @@ fn parse_opts(args: &[String]) -> (BTreeMap<String, String>, Vec<String>) {
             // Boolean flags take no value when followed by another flag
             // or nothing.
             let takes_value = i + 1 < args.len() && !args[i + 1].starts_with("--");
-            let boolean = matches!(key, "compact" | "resume" | "deterministic");
+            let boolean = matches!(key, "compact" | "resume" | "deterministic" | "require-clean-state");
             if takes_value && !boolean {
                 opts.insert(key.to_string(), args[i + 1].clone());
                 i += 2;
@@ -343,6 +372,10 @@ fn collect_cfg_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
 }
 
 fn cmd_batch(args: &[String]) -> ExitCode {
+    // SIGTERM must not kill the run between journal entries: the
+    // publish loop polls the flag and converts it into the resumable
+    // exit 5 after the in-flight atomic rename completes.
+    confanon::core::signals::install_term_handler();
     let (opts, pos) = parse_opts(args);
     let Some(dir) = pos.first().map(PathBuf::from) else {
         eprintln!("batch: a corpus directory is required");
@@ -1295,8 +1328,40 @@ fn cmd_metrics(args: &[String]) -> ExitCode {
         };
     }
 
+    if let Some(frame_path) = opts.get("serve") {
+        let text = match std::fs::read_to_string(frame_path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("metrics: {frame_path}: {e}");
+                return ExitCode::from(EXIT_IO);
+            }
+        };
+        return match Json::parse(&text)
+            .map_err(|e| e.to_string())
+            .and_then(|doc| {
+                confanon::obs::validate_serve_metrics(&doc)?;
+                Ok(doc)
+            }) {
+            Ok(doc) => {
+                let tenants = match doc.get("tenants") {
+                    Some(Json::Obj(members)) => members.len(),
+                    _ => 0,
+                };
+                eprintln!(
+                    "{frame_path}: valid {} ({tenants} tenant(s))",
+                    confanon::obs::SERVE_METRICS_SCHEMA
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("metrics: {frame_path}: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
     let Some(path) = files.first() else {
-        eprintln!("metrics: a metrics.json file (or --trace FILE) is required");
+        eprintln!("metrics: a metrics.json file (or --trace/--serve FILE) is required");
         return ExitCode::from(EXIT_USAGE);
     };
     let text = match std::fs::read_to_string(path) {
@@ -1331,6 +1396,207 @@ fn cmd_metrics(args: &[String]) -> ExitCode {
         eprintln!("{path}: valid {}", confanon::obs::METRICS_SCHEMA);
     }
     ExitCode::SUCCESS
+}
+
+fn cmd_serve(args: &[String]) -> ExitCode {
+    use confanon::core::serve::{run_daemon, ServeConfig, ServeOptions};
+    use confanon::core::tenant::FlushMode;
+
+    let (opts, pos) = parse_opts(args);
+    if let Some(extra) = pos.first() {
+        eprintln!("serve: unexpected positional argument {extra:?}");
+        return ExitCode::from(EXIT_USAGE);
+    }
+    let Some(config_path) = opts.get("config") else {
+        eprintln!("serve: --config confanon.toml is required (tenant roster + endpoint)");
+        return ExitCode::from(EXIT_USAGE);
+    };
+    let text = match std::fs::read_to_string(config_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("serve: {config_path}: {e}");
+            return ExitCode::from(EXIT_IO);
+        }
+    };
+    let mut cfg = match ServeConfig::parse(config_path, &text) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("serve: {e}");
+            return ExitCode::from(exit_for(&e));
+        }
+    };
+
+    // CLI overrides beat the file; an endpoint override replaces the
+    // file's endpoint entirely (exactly one may remain set).
+    if let Some(listen) = opts.get("listen") {
+        cfg.listen = Some(listen.clone());
+        cfg.socket = None;
+    }
+    if let Some(socket) = opts.get("socket") {
+        cfg.socket = Some(PathBuf::from(socket));
+        cfg.listen = None;
+    }
+    if let Some(depth) = opts.get("queue-depth") {
+        match depth.parse::<usize>() {
+            Ok(n) if (1..=4096).contains(&n) => cfg.queue_depth = n,
+            _ => {
+                eprintln!("serve: --queue-depth must be an integer in 1..=4096");
+                return ExitCode::from(EXIT_USAGE);
+            }
+        }
+    }
+    if let Some(ms) = opts.get("request-timeout-ms") {
+        match ms.parse::<u64>() {
+            Ok(n) if n > 0 => cfg.request_timeout_ms = n,
+            _ => {
+                eprintln!("serve: --request-timeout-ms must be a positive integer");
+                return ExitCode::from(EXIT_USAGE);
+            }
+        }
+    }
+    if let Some(mode) = opts.get("flush") {
+        match FlushMode::parse(mode) {
+            Some(m) => cfg.flush = m,
+            None => {
+                eprintln!("serve: --flush must be `request` or `drain`");
+                return ExitCode::from(EXIT_USAGE);
+            }
+        }
+    }
+    let serve_opts = ServeOptions {
+        port_file: opts.get("port-file").map(PathBuf::from),
+        require_clean_state: opts.contains_key("require-clean-state"),
+    };
+
+    match run_daemon(&cfg, &serve_opts, config_path) {
+        Ok(summary) => {
+            eprintln!(
+                "serve: drained cleanly — {} connection(s), {} request(s), \
+                 {} busy rejection(s), {} tenant(s) flushed",
+                summary.connections, summary.requests, summary.busy_rejections, summary.tenants
+            );
+            ExitCode::from(EXIT_OK)
+        }
+        Err(e) => {
+            eprintln!("serve: {e}");
+            ExitCode::from(exit_for(&e))
+        }
+    }
+}
+
+/// Exit code for "the daemon said try again later" — the conventional
+/// sysexits `EX_TEMPFAIL`, distinct from every pipeline error code.
+const EXIT_RETRIABLE: u8 = 75;
+
+fn cmd_client(args: &[String]) -> ExitCode {
+    use confanon_testkit::serveclient::ServeClient;
+    use std::io::Read as _;
+
+    let (opts, pos) = parse_opts(args);
+    let Some(endpoint) = opts.get("endpoint") else {
+        eprintln!("client: --endpoint HOST:PORT (or unix:PATH) is required");
+        return ExitCode::from(EXIT_USAGE);
+    };
+    let Some(action) = pos.first().map(String::as_str) else {
+        eprintln!("client: an action is required: ping|stats|flush|shutdown|anon");
+        return ExitCode::from(EXIT_USAGE);
+    };
+    if !matches!(action, "ping" | "stats" | "flush" | "shutdown" | "anon") {
+        eprintln!("client: unknown action {action:?} (ping|stats|flush|shutdown|anon)");
+        return ExitCode::from(EXIT_USAGE);
+    }
+    let mut client = match ServeClient::connect(endpoint) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("client: {endpoint}: {e}");
+            return ExitCode::from(EXIT_IO);
+        }
+    };
+
+    let reply = match action {
+        "ping" => client.ping(),
+        "stats" => client.stats(),
+        "shutdown" => client.shutdown(),
+        "flush" => {
+            let Some(tenant) = opts.get("tenant") else {
+                eprintln!("client: flush requires --tenant NAME");
+                return ExitCode::from(EXIT_USAGE);
+            };
+            client.flush(tenant)
+        }
+        "anon" => {
+            let Some(tenant) = opts.get("tenant") else {
+                eprintln!("client: anon requires --tenant NAME");
+                return ExitCode::from(EXIT_USAGE);
+            };
+            let (payload, default_name) = match pos.get(1) {
+                Some(file) => match std::fs::read(file) {
+                    Ok(bytes) => {
+                        let name = Path::new(file)
+                            .file_name()
+                            .map(|n| n.to_string_lossy().into_owned())
+                            .unwrap_or_else(|| "stdin".to_string());
+                        (bytes, name)
+                    }
+                    Err(e) => {
+                        eprintln!("client: {file}: {e}");
+                        return ExitCode::from(EXIT_IO);
+                    }
+                },
+                None => {
+                    let mut bytes = Vec::new();
+                    if let Err(e) = std::io::stdin().read_to_end(&mut bytes) {
+                        eprintln!("client: stdin: {e}");
+                        return ExitCode::from(EXIT_IO);
+                    }
+                    (bytes, "stdin".to_string())
+                }
+            };
+            let name = opts.get("name").cloned().unwrap_or(default_name);
+            let retries: usize = match opts.get("retries").map(|r| r.parse()) {
+                None => 10,
+                Some(Ok(n)) if n >= 1 => n,
+                Some(_) => {
+                    eprintln!("client: --retries must be a positive integer");
+                    return ExitCode::from(EXIT_USAGE);
+                }
+            };
+            client.anon_with_retry(
+                tenant,
+                &name,
+                &payload,
+                retries,
+                std::time::Duration::from_millis(50),
+            )
+        }
+        // Validated above; unreachable by construction.
+        _ => unreachable!("action validated before connect"),
+    };
+
+    match reply {
+        Ok(reply) => {
+            use std::io::Write as _;
+            let ok = matches!(reply.status.as_str(), "OK" | "BYE");
+            if ok {
+                let mut stdout = std::io::stdout().lock();
+                if stdout.write_all(&reply.payload).is_err() {
+                    return ExitCode::from(EXIT_IO);
+                }
+                ExitCode::from(EXIT_OK)
+            } else {
+                eprintln!("client: {}: {}", reply.status, reply.text());
+                if reply.retriable() {
+                    ExitCode::from(EXIT_RETRIABLE)
+                } else {
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Err(e) => {
+            eprintln!("client: {endpoint}: {e}");
+            ExitCode::from(EXIT_IO)
+        }
+    }
 }
 
 fn cmd_rules() -> ExitCode {

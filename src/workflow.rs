@@ -480,6 +480,17 @@ pub fn publish_gated_run(
     let failed: Vec<String> = run.failures.iter().map(|f| f.name.clone()).collect();
     publisher.mark_failed(&failed)?;
     for o in &run.clean {
+        // SIGTERM drains, it doesn't kill: the flag is polled between
+        // atomic writes, so the in-flight rename always completes and
+        // the journal stays consistent. The remaining files are exactly
+        // what `--resume` will find missing.
+        if confanon_core::signals::term_requested() {
+            return Err(AnonError::ResumableInterrupted {
+                path: o.name.clone(),
+                message: "SIGTERM received; stopping after the last completed atomic write"
+                    .to_string(),
+            });
+        }
         publisher.release(&o.name, o.text.as_bytes())?;
     }
     if let Some(qdir) = quarantine_dir {

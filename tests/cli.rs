@@ -647,3 +647,142 @@ fn invalid_state_documents_refuse_with_exit_2() {
     );
     let _ = std::fs::remove_dir_all(&root);
 }
+
+/// Satellite: the serve-mode exit-code taxonomy. Each failure class
+/// gets its own code *and* its own unmistakable message, so automation
+/// can branch on the code and operators can read the reason.
+#[test]
+fn serve_exit_codes_are_distinct() {
+    let root = tmpdir("serve-exits");
+
+    // Exit 7: config parse failure, with a line-numbered message.
+    let bad = root.join("bad.toml");
+    std::fs::write(&bad, "listen = \"127.0.0.1:0\"\nqueue_depth = \"deep\"\n").expect("write");
+    let out = bin()
+        .args(["serve", "--config"])
+        .arg(&bad)
+        .output()
+        .expect("run serve");
+    assert_eq!(out.status.code(), Some(7), "config parse failure");
+    let config_err = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(config_err.contains("invalid config"), "{config_err}");
+    assert!(config_err.contains("line 2"), "{config_err}");
+
+    // Exit 6: bind failure on an unroutable listen address.
+    let good = root.join("good.toml");
+    std::fs::write(
+        &good,
+        format!(
+            "[tenant.alpha]\nsecret = \"s\"\nstate_dir = \"{}\"\n",
+            root.join("state-alpha").display()
+        ),
+    )
+    .expect("write");
+    let out = bin()
+        .args(["serve", "--config"])
+        .arg(&good)
+        .args(["--listen", "256.256.256.256:1"])
+        .output()
+        .expect("run serve");
+    assert_eq!(out.status.code(), Some(6), "bind failure");
+    let bind_err = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(bind_err.contains("bind failed"), "{bind_err}");
+    assert!(bind_err.contains("256.256.256.256:1"), "{bind_err}");
+
+    // Exit 8: --require-clean-state refusal on a torn tenant state.
+    let torn_dir = root.join("state-torn");
+    std::fs::create_dir_all(&torn_dir).expect("mk state");
+    std::fs::write(torn_dir.join("state.json"), b"{ torn").expect("write torn");
+    let torn_cfg = root.join("torn.toml");
+    std::fs::write(
+        &torn_cfg,
+        format!(
+            "[tenant.alpha]\nsecret = \"s\"\nstate_dir = \"{}\"\n",
+            torn_dir.display()
+        ),
+    )
+    .expect("write");
+    let out = bin()
+        .args(["serve", "--config"])
+        .arg(&torn_cfg)
+        .args(["--listen", "127.0.0.1:0", "--require-clean-state"])
+        .output()
+        .expect("run serve");
+    assert_eq!(out.status.code(), Some(8), "tenant-state refusal");
+    let refusal = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(refusal.contains("state refused"), "{refusal}");
+    assert!(refusal.contains("alpha"), "{refusal}");
+
+    // Without --require-clean-state the same torn state is NOT a
+    // startup failure — the tenant opens quarantined instead. Exits 0
+    // after a shutdown frame (proven end-to-end in tests/serve.rs);
+    // here we only assert the three failure messages are distinct.
+    for (a, b) in [
+        (&config_err, &bind_err),
+        (&config_err, &refusal),
+        (&bind_err, &refusal),
+    ] {
+        assert_ne!(a, b, "failure messages must be distinguishable");
+    }
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// `confanon metrics --serve` validates the daemon's stats frame the
+/// same way `metrics FILE` validates a batch metrics document.
+#[test]
+fn metrics_validates_serve_stats_frames() {
+    let root = tmpdir("serve-metrics");
+    let valid = root.join("frame.json");
+    std::fs::write(
+        &valid,
+        r#"{"schema": "confanon-serve-metrics-v1",
+            "tenants": {"alpha": {"health": "serving"}},
+            "daemon": {"connections": 1}}"#,
+    )
+    .expect("write frame");
+    let out = bin()
+        .args(["metrics", "--serve"])
+        .arg(&valid)
+        .output()
+        .expect("run metrics");
+    assert!(out.status.success(), "valid frame must validate");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("confanon-serve-metrics-v1"),
+        "stderr names the schema"
+    );
+
+    let invalid = root.join("bad-frame.json");
+    std::fs::write(
+        &invalid,
+        r#"{"schema": "confanon-serve-metrics-v1",
+            "tenants": {"alpha": {"requests": 3}},
+            "daemon": {}}"#,
+    )
+    .expect("write frame");
+    let out = bin()
+        .args(["metrics", "--serve"])
+        .arg(&invalid)
+        .output()
+        .expect("run metrics");
+    assert_eq!(out.status.code(), Some(1), "healthless snapshot must fail");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("health"),
+        "stderr names the missing member"
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// The client subcommand's usage errors are exit 2 like every other.
+#[test]
+fn client_usage_errors() {
+    let out = bin().args(["client", "ping"]).output().expect("run client");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--endpoint"));
+
+    let out = bin()
+        .args(["client", "--endpoint", "127.0.0.1:1", "frobnicate"])
+        .output()
+        .expect("run client");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown action"));
+}
