@@ -140,6 +140,9 @@ pub struct DurabilityStats {
     pub fsyncs: u64,
     /// Transient errors absorbed by retry instead of failing the run.
     pub transient_retries: u64,
+    /// Permanent errors (ENOSPC, EACCES, EIO...) that failed a publish
+    /// outright — what pushes a serve tenant into DEGRADED mode.
+    pub permanent_failures: u64,
 }
 
 impl DurabilityStats {
@@ -148,6 +151,7 @@ impl DurabilityStats {
         self.atomic_writes += other.atomic_writes;
         self.fsyncs += other.fsyncs;
         self.transient_retries += other.transient_retries;
+        self.permanent_failures += other.permanent_failures;
     }
 
     /// The counters as a JSON object (for bench reports).
@@ -156,6 +160,7 @@ impl DurabilityStats {
             .with("atomic_writes", self.atomic_writes)
             .with("fsyncs", self.fsyncs)
             .with("transient_retries", self.transient_retries)
+            .with("permanent_failures", self.permanent_failures)
     }
 }
 
@@ -253,6 +258,7 @@ pub fn write_atomic(
                 std::thread::sleep(Duration::from_millis(u64::from(attempt)));
                 continue;
             }
+            stats.permanent_failures += 1;
             return Err(io_error(target, &e));
         }
         // Step 3: publish in one atomic step.
@@ -263,6 +269,7 @@ pub fn write_atomic(
                 std::thread::sleep(Duration::from_millis(u64::from(attempt)));
                 continue;
             }
+            stats.permanent_failures += 1;
             return Err(io_error(target, &e));
         }
         // Step 4: make the rename durable. A permanent failure here
@@ -284,6 +291,7 @@ pub fn write_atomic(
                         let _ = fs.remove_file(target);
                         let _ = fs.sync_dir(&parent);
                     }
+                    stats.permanent_failures += 1;
                     return Err(io_error(target, &e));
                 }
             }
@@ -387,16 +395,39 @@ mod tests {
             atomic_writes: 1,
             fsyncs: 2,
             transient_retries: 3,
+            permanent_failures: 4,
         };
         a.merge(&DurabilityStats {
             atomic_writes: 10,
             fsyncs: 20,
             transient_retries: 30,
+            permanent_failures: 40,
         });
         assert_eq!(a.atomic_writes, 11);
         assert_eq!(a.fsyncs, 22);
         assert_eq!(a.transient_retries, 33);
+        assert_eq!(a.permanent_failures, 44);
         assert!(a.to_json().get("fsyncs").is_some());
+        assert!(a.to_json().get("permanent_failures").is_some());
+    }
+
+    #[test]
+    fn enospc_is_a_counted_permanent_failure_and_heals() {
+        let dir = tmpdir("enospc");
+        let fs = FaultFs::quiet(5);
+        fs.set_enospc(true);
+        let mut stats = DurabilityStats::default();
+        let target = dir.join("out.anon");
+        let err = write_atomic(&fs, &target, b"x", &mut stats).expect_err("full disk");
+        assert!(err.to_string().contains("no space left"), "{err}");
+        assert_eq!(stats.permanent_failures, 1);
+        assert_eq!(stats.atomic_writes, 0);
+        assert!(!target.exists(), "failed publish must not surface a target");
+        // Device freed: the same path publishes cleanly.
+        fs.set_enospc(false);
+        write_atomic(&fs, &target, b"x", &mut stats).expect("healed write");
+        assert_eq!(stats.atomic_writes, 1);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     // ---- fault-injection properties (testkit FaultFs) ------------------

@@ -48,7 +48,25 @@
 //! * `TENANT-QUARANTINED` — the tenant is quarantined (leak hit
 //!   earlier, or its persisted state was unusable at startup); the
 //!   payload says which.
+//! * `DEGRADED` — the payload *is* the anonymized text (mappings are
+//!   resident and sticky), but a permanent fs error suspended this
+//!   tenant's durable flushing; a recovery probe resumes flushing (and
+//!   plain `OK`) once the state directory heals.
 //! * `UNKNOWN-TENANT`, `DRAINING`, `BYE` — routing/lifecycle statuses.
+//!
+//! ## Hostile wire
+//!
+//! DESIGN §15 specifies the fail-closed-but-keep-serving envelope this
+//! module enforces per connection: a malformed frame is classified by
+//! [`FrameDefect`] and answered with one `ERROR` frame before the
+//! close; a connection that dribbles a frame past `read_deadline_ms`
+//! or goes byte-silent past `idle_timeout_ms` is closed; a payload
+//! over a tenant's `max_request_bytes` quota is rejected without
+//! touching the worker; and connections past `max_connections` are
+//! shed with a retriable `BUSY` frame carrying a `retry-after-ms=`
+//! hint. Every such event feeds the `daemon.faults` counters of the
+//! `confanon-serve-metrics-v1` document. The seeded chaos harness in
+//! `confanon_testkit::netchaos` replays all of it deterministically.
 //!
 //! ## Drain and recovery
 //!
@@ -71,7 +89,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use confanon_testkit::json::Json;
 
@@ -97,6 +115,26 @@ pub const DEFAULT_QUEUE_DEPTH: usize = 8;
 
 /// Default per-request deadline (queue wait + processing), in ms.
 pub const DEFAULT_REQUEST_TIMEOUT_MS: u64 = 10_000;
+
+/// Default idle timeout: a connection that delivers no bytes for this
+/// long is closed (it was previously held forever).
+pub const DEFAULT_IDLE_TIMEOUT_MS: u64 = 30_000;
+
+/// Default read deadline: the maximum wall-clock a single frame may
+/// take from its first byte to completion. Defeats slowloris dribble
+/// that always makes *some* progress and so never trips the idle clock.
+pub const DEFAULT_READ_DEADLINE_MS: u64 = 10_000;
+
+/// Default bound on concurrently-served connections; arrivals beyond it
+/// are shed with a retriable `BUSY` frame carrying a backoff hint.
+pub const DEFAULT_MAX_CONNECTIONS: usize = 64;
+
+/// Default interval between tenant recovery probes (state-quarantine
+/// re-verification and degraded-flush retries).
+pub const DEFAULT_RECOVERY_PROBE_MS: u64 = 1_000;
+
+/// Default `retry-after-ms` hint carried by `BUSY` frames.
+pub const DEFAULT_BUSY_RETRY_HINT_MS: u64 = 100;
 
 /// How often blocked loops (accept poll, idle connection reads) wake to
 /// check the drain flag.
@@ -157,6 +195,10 @@ pub enum Status {
     Quarantined,
     /// The tenant is quarantined (earlier leak hit or unusable state).
     TenantQuarantined,
+    /// Success — payload is the anonymized text — but the tenant's
+    /// durable flushing is suspended by a permanent fs error; the
+    /// mapping is resident-only until a recovery probe lands a flush.
+    Degraded,
     /// No such tenant in the daemon's configuration.
     UnknownTenant,
     /// Per-request deadline exceeded; retriable (mappings are sticky).
@@ -177,6 +219,7 @@ impl Status {
             Status::Busy => "BUSY",
             Status::Quarantined => "QUARANTINED",
             Status::TenantQuarantined => "TENANT-QUARANTINED",
+            Status::Degraded => "DEGRADED",
             Status::UnknownTenant => "UNKNOWN-TENANT",
             Status::Timeout => "TIMEOUT",
             Status::Error => "ERROR",
@@ -192,6 +235,7 @@ impl Status {
             "BUSY" => Some(Status::Busy),
             "QUARANTINED" => Some(Status::Quarantined),
             "TENANT-QUARANTINED" => Some(Status::TenantQuarantined),
+            "DEGRADED" => Some(Status::Degraded),
             "UNKNOWN-TENANT" => Some(Status::UnknownTenant),
             "TIMEOUT" => Some(Status::Timeout),
             "ERROR" => Some(Status::Error),
@@ -251,41 +295,114 @@ pub fn encode_response(status: Status, payload: &[u8]) -> Vec<u8> {
     out
 }
 
-fn parse_request_header(line: &str) -> Result<(Verb, String, String, usize), String> {
+/// The malformed-frame taxonomy (DESIGN §15). Every frame a peer can
+/// send that is not a well-formed request lands in exactly one class;
+/// the daemon answers with one `ERROR` frame naming the class
+/// (`malformed-frame/<class>: detail`), counts it into
+/// `daemon.faults.frames_rejected`, and closes the connection — it
+/// never buffers past the caps and never lets garbage near a worker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameDefect {
+    /// The first token was not [`PROTOCOL`].
+    BadProtocol(String),
+    /// The verb token names no known verb.
+    UnknownVerb(String),
+    /// A tenant/name token violates the token grammar, or a required
+    /// token was the `-` placeholder.
+    BadToken(String),
+    /// The length field is not a base-10 integer.
+    BadLength(String),
+    /// The announced payload length exceeds [`MAX_PAYLOAD`].
+    Oversized {
+        /// The announced length.
+        len: usize,
+    },
+    /// The header line exceeds [`MAX_HEADER`] bytes (with or without a
+    /// newline in sight).
+    HeaderOverflow,
+    /// The header line is not UTF-8.
+    NotUtf8,
+    /// The header does not have exactly five space-separated fields.
+    FieldCount(usize),
+}
+
+impl FrameDefect {
+    /// The stable class slug, the token after `malformed-frame/` in
+    /// `ERROR` payloads.
+    pub fn class(&self) -> &'static str {
+        match self {
+            FrameDefect::BadProtocol(_) => "bad-protocol",
+            FrameDefect::UnknownVerb(_) => "unknown-verb",
+            FrameDefect::BadToken(_) => "bad-token",
+            FrameDefect::BadLength(_) => "bad-length",
+            FrameDefect::Oversized { .. } => "oversized-payload",
+            FrameDefect::HeaderOverflow => "header-overflow",
+            FrameDefect::NotUtf8 => "non-utf8-header",
+            FrameDefect::FieldCount(_) => "field-count",
+        }
+    }
+}
+
+impl std::fmt::Display for FrameDefect {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "malformed-frame/{}: ", self.class())?;
+        match self {
+            FrameDefect::BadProtocol(got) => {
+                write!(f, "unknown protocol {got:?} (expected {PROTOCOL})")
+            }
+            FrameDefect::UnknownVerb(got) => write!(f, "unknown verb {got:?}"),
+            FrameDefect::BadToken(detail) => write!(f, "{detail}"),
+            FrameDefect::BadLength(got) => write!(f, "invalid length {got:?}"),
+            FrameDefect::Oversized { len } => {
+                write!(f, "payload length {len} exceeds cap {MAX_PAYLOAD}")
+            }
+            FrameDefect::HeaderOverflow => {
+                write!(f, "header exceeds {MAX_HEADER} bytes")
+            }
+            FrameDefect::NotUtf8 => write!(f, "header is not UTF-8"),
+            FrameDefect::FieldCount(got) => {
+                write!(f, "expected 5 space-separated fields, got {got}")
+            }
+        }
+    }
+}
+
+fn parse_request_header(line: &str) -> Result<(Verb, String, String, usize), FrameDefect> {
     let parts: Vec<&str> = line.split(' ').collect();
     let [magic, verb, tenant, name, len] = parts.as_slice() else {
-        return Err(format!(
-            "malformed header: expected 5 space-separated fields, got {}",
-            parts.len()
-        ));
+        return Err(FrameDefect::FieldCount(parts.len()));
     };
     if *magic != PROTOCOL {
-        return Err(format!("unknown protocol {magic:?} (expected {PROTOCOL})"));
+        return Err(FrameDefect::BadProtocol((*magic).to_string()));
     }
     let Some(verb) = Verb::parse(verb) else {
-        return Err(format!("unknown verb {verb:?}"));
+        return Err(FrameDefect::UnknownVerb((*verb).to_string()));
     };
     let token_ok = |t: &str| t == "-" || valid_token(t);
     if !token_ok(tenant) {
-        return Err(format!("invalid tenant token {tenant:?}"));
+        return Err(FrameDefect::BadToken(format!(
+            "invalid tenant token {tenant:?}"
+        )));
     }
     if !token_ok(name) {
-        return Err(format!("invalid name token {name:?}"));
+        return Err(FrameDefect::BadToken(format!("invalid name token {name:?}")));
     }
     match verb {
         Verb::Anon if *tenant == "-" || *name == "-" => {
-            return Err("ANON requires a tenant and a name".to_string());
+            return Err(FrameDefect::BadToken(
+                "ANON requires a tenant and a name".to_string(),
+            ));
         }
         Verb::Flush if *tenant == "-" => {
-            return Err("FLUSH requires a tenant".to_string());
+            return Err(FrameDefect::BadToken("FLUSH requires a tenant".to_string()));
         }
         _ => {}
     }
     let Ok(len) = len.parse::<usize>() else {
-        return Err(format!("invalid length {len:?}"));
+        return Err(FrameDefect::BadLength((*len).to_string()));
     };
     if len > MAX_PAYLOAD {
-        return Err(format!("payload length {len} exceeds cap {MAX_PAYLOAD}"));
+        return Err(FrameDefect::Oversized { len });
     }
     Ok((verb, tenant.to_string(), name.to_string(), len))
 }
@@ -300,7 +417,7 @@ pub enum ReadEvent {
     /// No complete frame yet; poll again (and check the drain flag).
     Idle,
     /// The peer sent garbage; answer `ERROR` and close.
-    Malformed(String),
+    Malformed(FrameDefect),
 }
 
 /// Incremental frame reader over a stream with a read timeout. Keeps
@@ -345,23 +462,25 @@ impl FrameReader {
         }
     }
 
+    /// Bytes buffered toward the next frame — the progress signal the
+    /// connection handler's idle/read-deadline clocks key off.
+    pub fn buffered(&self) -> usize {
+        self.pending.len()
+    }
+
     fn try_parse(&mut self) -> Option<ReadEvent> {
         let Some(nl) = self.pending.iter().position(|&b| b == b'\n') else {
             if self.pending.len() > MAX_HEADER {
-                return Some(ReadEvent::Malformed(format!(
-                    "header exceeds {MAX_HEADER} bytes without a newline"
-                )));
+                return Some(ReadEvent::Malformed(FrameDefect::HeaderOverflow));
             }
             return None;
         };
         if nl > MAX_HEADER {
-            return Some(ReadEvent::Malformed(format!(
-                "header exceeds {MAX_HEADER} bytes"
-            )));
+            return Some(ReadEvent::Malformed(FrameDefect::HeaderOverflow));
         }
         let header = match std::str::from_utf8(&self.pending[..nl]) {
             Ok(h) => h,
-            Err(_) => return Some(ReadEvent::Malformed("header is not UTF-8".to_string())),
+            Err(_) => return Some(ReadEvent::Malformed(FrameDefect::NotUtf8)),
         };
         let (verb, tenant, name, len) = match parse_request_header(header) {
             Ok(parts) => parts,
@@ -400,6 +519,18 @@ pub struct ServeConfig {
     pub queue_depth: usize,
     /// Per-request deadline in milliseconds (queue wait + processing).
     pub request_timeout_ms: u64,
+    /// Close a connection that delivers no bytes for this long (ms).
+    pub idle_timeout_ms: u64,
+    /// Close a connection whose in-progress frame takes longer than
+    /// this to complete (ms) — the anti-slowloris clock.
+    pub read_deadline_ms: u64,
+    /// Bound on concurrently-served connections; excess arrivals are
+    /// shed with a retriable `BUSY` frame.
+    pub max_connections: usize,
+    /// Interval between tenant recovery probes (ms).
+    pub recovery_probe_ms: u64,
+    /// The `retry-after-ms` hint `BUSY` frames carry (ms).
+    pub busy_retry_hint_ms: u64,
     /// When tenant state is durably flushed.
     pub flush: FlushMode,
     /// The tenant roster, in file order.
@@ -413,6 +544,11 @@ impl Default for ServeConfig {
             socket: None,
             queue_depth: DEFAULT_QUEUE_DEPTH,
             request_timeout_ms: DEFAULT_REQUEST_TIMEOUT_MS,
+            idle_timeout_ms: DEFAULT_IDLE_TIMEOUT_MS,
+            read_deadline_ms: DEFAULT_READ_DEADLINE_MS,
+            max_connections: DEFAULT_MAX_CONNECTIONS,
+            recovery_probe_ms: DEFAULT_RECOVERY_PROBE_MS,
+            busy_retry_hint_ms: DEFAULT_BUSY_RETRY_HINT_MS,
             flush: FlushMode::Request,
             tenants: Vec::new(),
         }
@@ -498,10 +634,14 @@ fn expect_int(path: &str, line_no: usize, key: &str, v: TomlValue) -> Result<u64
 impl ServeConfig {
     /// Parses the `confanon.toml` grammar: top-level `key = value`
     /// pairs (`listen`, `socket`, `queue_depth`, `request_timeout_ms`,
+    /// `idle_timeout_ms`, `read_deadline_ms`, `max_connections`,
+    /// `recovery_probe_ms`, `busy_retry_hint_ms`,
     /// `flush = "request" | "drain"`), then one `[tenant.NAME]` section
     /// per tenant with `secret`, `state_dir`, and optional
     /// `disable_rule` (comma-separated rule names, validated against
-    /// the rule table). Values are double-quoted strings (no escapes),
+    /// the rule table), `max_request_bytes` (per-tenant payload quota,
+    /// ≤ [`MAX_PAYLOAD`]), and `queue_depth` (per-tenant override of
+    /// the daemon-wide bound). Values are double-quoted strings (no escapes),
     /// unsigned integers, or `true`/`false`; `#` starts a comment.
     /// Unknown keys, duplicate tenants, shared state directories, and
     /// missing required keys are errors — the config gates secrets, so
@@ -515,6 +655,8 @@ impl ServeConfig {
             secret: Option<String>,
             state_dir: Option<String>,
             disabled_rules: Vec<String>,
+            max_request_bytes: usize,
+            queue_depth: Option<usize>,
             line_no: usize,
         }
         let mut current: Option<PartialTenant> = None;
@@ -526,6 +668,8 @@ impl ServeConfig {
                 secret,
                 state_dir,
                 disabled_rules,
+                max_request_bytes,
+                queue_depth,
                 line_no,
             } = t;
             let Some(secret) = secret else {
@@ -547,6 +691,8 @@ impl ServeConfig {
                 secret: secret.into_bytes(),
                 state_dir: PathBuf::from(state_dir),
                 disabled_rules,
+                max_request_bytes,
+                queue_depth,
             })
         };
 
@@ -582,6 +728,8 @@ impl ServeConfig {
                     secret: None,
                     state_dir: None,
                     disabled_rules: Vec::new(),
+                    max_request_bytes: MAX_PAYLOAD,
+                    queue_depth: None,
                     line_no,
                 });
                 continue;
@@ -624,6 +772,34 @@ impl ServeConfig {
                         }
                         cfg.request_timeout_ms = n;
                     }
+                    "idle_timeout_ms" | "read_deadline_ms" | "recovery_probe_ms"
+                    | "busy_retry_hint_ms" => {
+                        let n = expect_int(path, line_no, key, value)?;
+                        if n == 0 {
+                            return Err(config_err(
+                                path,
+                                line_no,
+                                format!("`{key}` must be positive"),
+                            ));
+                        }
+                        match key {
+                            "idle_timeout_ms" => cfg.idle_timeout_ms = n,
+                            "read_deadline_ms" => cfg.read_deadline_ms = n,
+                            "recovery_probe_ms" => cfg.recovery_probe_ms = n,
+                            _ => cfg.busy_retry_hint_ms = n,
+                        }
+                    }
+                    "max_connections" => {
+                        let n = expect_int(path, line_no, key, value)?;
+                        if n == 0 || n > 4096 {
+                            return Err(config_err(
+                                path,
+                                line_no,
+                                "`max_connections` must be between 1 and 4096",
+                            ));
+                        }
+                        cfg.max_connections = n as usize;
+                    }
                     "flush" => {
                         let s = expect_str(path, line_no, key, value)?;
                         cfg.flush = match FlushMode::parse(&s) {
@@ -650,6 +826,8 @@ impl ServeConfig {
                     secret,
                     state_dir,
                     disabled_rules: disabled,
+                    max_request_bytes,
+                    queue_depth,
                     ..
                 }) => match key {
                     "secret" => {
@@ -686,6 +864,31 @@ impl ServeConfig {
                             }
                             disabled.push(rule.to_string());
                         }
+                    }
+                    "max_request_bytes" => {
+                        let n = expect_int(path, line_no, key, value)?;
+                        if n == 0 || n as usize > MAX_PAYLOAD {
+                            return Err(config_err(
+                                path,
+                                line_no,
+                                format!(
+                                    "tenant {name:?}: `max_request_bytes` must be between 1 \
+                                     and {MAX_PAYLOAD}"
+                                ),
+                            ));
+                        }
+                        *max_request_bytes = n as usize;
+                    }
+                    "queue_depth" => {
+                        let n = expect_int(path, line_no, key, value)?;
+                        if n == 0 || n > 4096 {
+                            return Err(config_err(
+                                path,
+                                line_no,
+                                format!("tenant {name:?}: `queue_depth` must be between 1 and 4096"),
+                            ));
+                        }
+                        *queue_depth = Some(n as usize);
                     }
                     other => {
                         return Err(config_err(
@@ -894,8 +1097,18 @@ fn bind_unix(path: &std::path::Path) -> Result<(Listener, String), AnonError> {
 struct DaemonShared {
     shutdown: AtomicBool,
     connections: AtomicU64,
+    /// Connections currently being served — the gauge load-shedding
+    /// compares against `max_connections`.
+    live: AtomicU64,
     requests: AtomicU64,
     busy: AtomicU64,
+    /// DESIGN §15 fault taxonomy, exported as `daemon.faults`.
+    frames_rejected: AtomicU64,
+    read_timeouts: AtomicU64,
+    idle_closed: AtomicU64,
+    connections_shed: AtomicU64,
+    recoveries: AtomicU64,
+    degraded_transitions: AtomicU64,
     /// Latest per-tenant stats snapshot, refreshed by each worker after
     /// every request — so `STATS` never has to rendezvous with (or wait
     /// behind) tenant queues.
@@ -903,6 +1116,23 @@ struct DaemonShared {
 }
 
 impl DaemonShared {
+    fn new() -> DaemonShared {
+        DaemonShared {
+            shutdown: AtomicBool::new(false),
+            connections: AtomicU64::new(0),
+            live: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+            busy: AtomicU64::new(0),
+            frames_rejected: AtomicU64::new(0),
+            read_timeouts: AtomicU64::new(0),
+            idle_closed: AtomicU64::new(0),
+            connections_shed: AtomicU64::new(0),
+            recoveries: AtomicU64::new(0),
+            degraded_transitions: AtomicU64::new(0),
+            snapshots: Mutex::new(BTreeMap::new()),
+        }
+    }
+
     fn draining(&self) -> bool {
         self.shutdown.load(Ordering::SeqCst) || signals::term_requested()
     }
@@ -918,10 +1148,20 @@ impl DaemonShared {
                 tenants.set(name, snap.clone());
             }
         }
+        let faults = confanon_obs::serve_faults_json([
+            self.frames_rejected.load(Ordering::SeqCst),
+            self.read_timeouts.load(Ordering::SeqCst),
+            self.idle_closed.load(Ordering::SeqCst),
+            self.connections_shed.load(Ordering::SeqCst),
+            self.recoveries.load(Ordering::SeqCst),
+            self.degraded_transitions.load(Ordering::SeqCst),
+        ]);
         let daemon = Json::obj()
             .with("connections", self.connections.load(Ordering::SeqCst))
+            .with("live_connections", self.live.load(Ordering::SeqCst))
             .with("requests", self.requests.load(Ordering::SeqCst))
             .with("busy_rejections", self.busy.load(Ordering::SeqCst))
+            .with("faults", faults)
             .with("draining", self.draining());
         confanon_obs::serve_metrics_doc(tenants, daemon)
     }
@@ -930,6 +1170,12 @@ impl DaemonShared {
         let mut snaps = self.snapshots.lock().unwrap_or_else(|e| e.into_inner());
         snaps.insert(name.to_string(), snap);
     }
+
+    /// The `BUSY` payload with the backoff hint clients key off:
+    /// `retry-after-ms=<N>; <why>`.
+    fn busy_payload(&self, hint_ms: u64, why: &str) -> Vec<u8> {
+        format!("retry-after-ms={hint_ms}; {why}").into_bytes()
+    }
 }
 
 struct Job {
@@ -937,17 +1183,45 @@ struct Job {
     reply: mpsc::Sender<(Status, Vec<u8>)>,
 }
 
+/// A tenant's dispatch port: its queue sender plus the per-tenant
+/// quota the connection handler enforces *before* a byte of payload
+/// reaches the worker.
+struct TenantPort {
+    tx: SyncSender<Job>,
+    max_request_bytes: usize,
+}
+
 /// One tenant's worker loop: owns the tenant exclusively, so request
 /// handling needs no locks and a sibling tenant's failure cannot poison
-/// this one's state. Returns the drain-flush error, if any.
+/// this one's state. Between jobs it runs the DESIGN §15 self-healing
+/// probe: every `probe_interval` of queue silence, a state-quarantined
+/// tenant re-verifies its persisted state through the §13 load path and
+/// a degraded tenant retries its suspended flush — both un-gate
+/// themselves the moment the store heals, with no operator action.
+/// (Leak quarantine is deliberately *not* probed: a tripped §6.1 gate
+/// means output was withheld, and only an operator can declare that
+/// incident closed.) Returns the drain-flush error, if any.
 fn tenant_worker(
     tenant: &mut Tenant,
     rx: Receiver<Job>,
     shared: &DaemonShared,
+    probe_interval: Duration,
 ) -> Option<AnonError> {
     let snap = tenant.stats_json();
     shared.publish_snapshot(&tenant.name, snap);
-    while let Ok(job) = rx.recv() {
+    loop {
+        let job = match rx.recv_timeout(probe_interval) {
+            Ok(job) => job,
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                if tenant.needs_recovery() && tenant.try_recover(&StdFs) {
+                    shared.recoveries.fetch_add(1, Ordering::SeqCst);
+                    shared.publish_snapshot(&tenant.name, tenant.stats_json());
+                }
+                continue;
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => break,
+        };
+        let was_degraded = matches!(tenant.health(), crate::tenant::TenantHealth::Degraded { .. });
         let (status, payload) = match job.req.verb {
             Verb::Anon => tenant.handle_anon(&job.req.name, &job.req.payload, &StdFs),
             Verb::Flush => match tenant.flush(&StdFs) {
@@ -957,6 +1231,13 @@ fn tenant_worker(
             // The handler routes only tenant verbs here.
             _ => (Status::Error, b"internal: verb is not tenant-scoped".to_vec()),
         };
+        let is_degraded = matches!(tenant.health(), crate::tenant::TenantHealth::Degraded { .. });
+        if is_degraded && !was_degraded {
+            shared.degraded_transitions.fetch_add(1, Ordering::SeqCst);
+        }
+        if was_degraded && !is_degraded {
+            shared.recoveries.fetch_add(1, Ordering::SeqCst);
+        }
         let snap = tenant.stats_json();
         shared.publish_snapshot(&tenant.name, snap);
         // The requester may have timed out and gone; that's its choice.
@@ -973,8 +1254,9 @@ fn tenant_worker(
 fn dispatch_request(
     req: Request,
     shared: &DaemonShared,
-    dispatch: &BTreeMap<String, SyncSender<Job>>,
+    dispatch: &BTreeMap<String, TenantPort>,
     timeout: Duration,
+    busy_hint_ms: u64,
 ) -> (Status, Vec<u8>) {
     match req.verb {
         Verb::Ping => (Status::Ok, b"pong".to_vec()),
@@ -987,17 +1269,26 @@ fn dispatch_request(
             shared.stats_doc().to_string_pretty().into_bytes(),
         ),
         Verb::Anon | Verb::Flush => {
-            let Some(tx) = dispatch.get(&req.tenant) else {
+            let Some(port) = dispatch.get(&req.tenant) else {
                 let msg = format!("unknown tenant {:?}", req.tenant);
                 return (Status::UnknownTenant, msg.into_bytes());
             };
+            if req.payload.len() > port.max_request_bytes {
+                shared.frames_rejected.fetch_add(1, Ordering::SeqCst);
+                let msg = format!(
+                    "quota-exceeded: payload {} bytes exceeds tenant quota {} bytes",
+                    req.payload.len(),
+                    port.max_request_bytes
+                );
+                return (Status::Error, msg.into_bytes());
+            }
             let (rtx, rrx) = mpsc::channel();
-            match tx.try_send(Job { req, reply: rtx }) {
+            match port.tx.try_send(Job { req, reply: rtx }) {
                 Err(TrySendError::Full(_)) => {
                     shared.busy.fetch_add(1, Ordering::SeqCst);
                     (
                         Status::Busy,
-                        b"tenant queue full; back off and retry".to_vec(),
+                        shared.busy_payload(busy_hint_ms, "tenant queue full; back off and retry"),
                     )
                 }
                 Err(TrySendError::Disconnected(_)) => {
@@ -1018,15 +1309,35 @@ fn dispatch_request(
 fn handle_conn(
     mut conn: Conn,
     shared: &DaemonShared,
-    dispatch: &Arc<BTreeMap<String, SyncSender<Job>>>,
-    timeout: Duration,
+    dispatch: &Arc<BTreeMap<String, TenantPort>>,
+    cfg: &ServeConfig,
 ) {
     if conn.configure().is_err() {
         return;
     }
+    let timeout = Duration::from_millis(cfg.request_timeout_ms);
+    let idle_timeout = Duration::from_millis(cfg.idle_timeout_ms);
+    let read_deadline = Duration::from_millis(cfg.read_deadline_ms);
     let mut reader = FrameReader::new();
+    // Two clocks per connection (DESIGN §15): `last_progress` restarts
+    // on every delivered byte and trips the idle timeout; `frame_start`
+    // pins the first byte of an in-progress frame and trips the read
+    // deadline — a dribbler that always makes *some* progress resets
+    // the first clock but never the second.
+    let mut last_progress = Instant::now();
+    let mut frame_start: Option<Instant> = None;
+    let mut seen = 0usize;
     loop {
-        match reader.poll(&mut conn) {
+        let ev = reader.poll(&mut conn);
+        let buffered = reader.buffered();
+        if buffered != seen {
+            seen = buffered;
+            last_progress = Instant::now();
+        }
+        if buffered > 0 && frame_start.is_none() {
+            frame_start = Some(last_progress);
+        }
+        match ev {
             ReadEvent::Eof => return,
             ReadEvent::Idle => {
                 if shared.draining() {
@@ -1036,12 +1347,31 @@ fn handle_conn(
                     ));
                     return;
                 }
+                if let Some(start) = frame_start {
+                    if start.elapsed() >= read_deadline {
+                        shared.read_timeouts.fetch_add(1, Ordering::SeqCst);
+                        let msg = format!(
+                            "read-deadline: frame incomplete after {} ms",
+                            cfg.read_deadline_ms
+                        );
+                        let _ = conn.write_all(&encode_response(Status::Error, msg.as_bytes()));
+                        return;
+                    }
+                }
+                if last_progress.elapsed() >= idle_timeout {
+                    shared.idle_closed.fetch_add(1, Ordering::SeqCst);
+                    let msg = format!("idle-timeout: no bytes for {} ms", cfg.idle_timeout_ms);
+                    let _ = conn.write_all(&encode_response(Status::Error, msg.as_bytes()));
+                    return;
+                }
             }
             ReadEvent::Malformed(m) => {
-                let _ = conn.write_all(&encode_response(Status::Error, m.as_bytes()));
+                shared.frames_rejected.fetch_add(1, Ordering::SeqCst);
+                let _ = conn.write_all(&encode_response(Status::Error, m.to_string().as_bytes()));
                 return;
             }
             ReadEvent::Request(req) => {
+                frame_start = None;
                 // In-flight and queued work finishes during a drain, but
                 // a frame parsed after the flag is *new* work: reject it
                 // (SHUTDOWN stays answerable so drains are idempotent).
@@ -1054,11 +1384,15 @@ fn handle_conn(
                 }
                 shared.requests.fetch_add(1, Ordering::SeqCst);
                 let verb = req.verb;
-                let (status, payload) = dispatch_request(req, shared, dispatch, timeout);
+                let (status, payload) =
+                    dispatch_request(req, shared, dispatch, timeout, cfg.busy_retry_hint_ms);
                 if conn.write_all(&encode_response(status, &payload)).is_err() {
                     return;
                 }
                 let _ = conn.flush();
+                // Queue wait and processing must not count against the
+                // peer's idle budget.
+                last_progress = Instant::now();
                 if verb == Verb::Shutdown {
                     return;
                 }
@@ -1111,26 +1445,29 @@ pub fn run_daemon(
         cfg.flush.name()
     );
 
-    let shared = DaemonShared {
-        shutdown: AtomicBool::new(false),
-        connections: AtomicU64::new(0),
-        requests: AtomicU64::new(0),
-        busy: AtomicU64::new(0),
-        snapshots: Mutex::new(BTreeMap::new()),
-    };
-    let timeout = Duration::from_millis(cfg.request_timeout_ms);
+    let shared = DaemonShared::new();
+    let probe_interval = Duration::from_millis(cfg.recovery_probe_ms);
     let tenant_count = tenants.len();
     let flush_errors: Mutex<Vec<AnonError>> = Mutex::new(Vec::new());
 
     std::thread::scope(|scope| {
         let mut senders = BTreeMap::new();
-        for mut tenant in tenants {
-            let (tx, rx) = mpsc::sync_channel::<Job>(cfg.queue_depth);
-            senders.insert(tenant.name.clone(), tx);
+        // `tenants` was built from `cfg.tenants` in order, so the specs
+        // zip back onto their tenants for the per-tenant knobs.
+        for (mut tenant, spec) in tenants.into_iter().zip(&cfg.tenants) {
+            let depth = spec.queue_depth.unwrap_or(cfg.queue_depth);
+            let (tx, rx) = mpsc::sync_channel::<Job>(depth);
+            senders.insert(
+                tenant.name.clone(),
+                TenantPort {
+                    tx,
+                    max_request_bytes: spec.max_request_bytes,
+                },
+            );
             let shared = &shared;
             let flush_errors = &flush_errors;
             scope.spawn(move || {
-                if let Some(e) = tenant_worker(&mut tenant, rx, shared) {
+                if let Some(e) = tenant_worker(&mut tenant, rx, shared, probe_interval) {
                     let mut errs = flush_errors.lock().unwrap_or_else(|p| p.into_inner());
                     errs.push(e);
                 }
@@ -1146,11 +1483,30 @@ pub fn run_daemon(
                 break;
             }
             match listener.accept() {
-                Ok(conn) => {
+                Ok(mut conn) => {
+                    // Load-shed above the connection bound: one BUSY
+                    // frame with the backoff hint, then close. Nothing
+                    // was read, so the client can simply reconnect.
+                    if shared.live.load(Ordering::SeqCst) >= cfg.max_connections as u64 {
+                        shared.connections_shed.fetch_add(1, Ordering::SeqCst);
+                        let _ = conn.configure();
+                        let _ = conn.write_all(&encode_response(
+                            Status::Busy,
+                            &shared.busy_payload(
+                                cfg.busy_retry_hint_ms,
+                                "connection limit reached; back off and reconnect",
+                            ),
+                        ));
+                        continue;
+                    }
                     shared.connections.fetch_add(1, Ordering::SeqCst);
+                    shared.live.fetch_add(1, Ordering::SeqCst);
                     let shared = &shared;
                     let dispatch = Arc::clone(&dispatch);
-                    scope.spawn(move || handle_conn(conn, shared, &dispatch, timeout));
+                    scope.spawn(move || {
+                        handle_conn(conn, shared, &dispatch, cfg);
+                        shared.live.fetch_sub(1, Ordering::SeqCst);
+                    });
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                     std::thread::sleep(POLL_INTERVAL);
@@ -1279,8 +1635,40 @@ mod tests {
         let junk = vec![b'A'; MAX_HEADER + 10];
         let mut cursor = std::io::Cursor::new(junk);
         match reader.poll(&mut cursor) {
-            ReadEvent::Malformed(m) => assert!(m.contains("header")),
+            ReadEvent::Malformed(m) => {
+                assert_eq!(m, FrameDefect::HeaderOverflow);
+                assert!(m.to_string().contains("header"));
+            }
             other => panic!("expected Malformed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn frame_defects_classify_stably() {
+        let cases: &[(&[u8], &str)] = &[
+            (b"HTTP/1.1 GET / - 0\n", "bad-protocol"),
+            (b"CONFANON/1 EXPLODE alpha r1.cfg 0\n", "unknown-verb"),
+            (b"CONFANON/1 ANON al/pha r1.cfg 0\n", "bad-token"),
+            (b"CONFANON/1 ANON - r1.cfg 0\n", "bad-token"),
+            (b"CONFANON/1 ANON alpha r1.cfg notanumber\n", "bad-length"),
+            (b"CONFANON/1 ANON alpha r1.cfg 999999999999\n", "oversized-payload"),
+            (b"\xff\xfe\n", "non-utf8-header"),
+            (b"CONFANON/1 ANON alpha r1.cfg 0 extra\n", "field-count"),
+        ];
+        for (bytes, class) in cases {
+            let mut reader = FrameReader::new();
+            let mut cursor = std::io::Cursor::new(bytes.to_vec());
+            match reader.poll(&mut cursor) {
+                ReadEvent::Malformed(m) => {
+                    assert_eq!(m.class(), *class, "for {bytes:?}");
+                    let rendered = m.to_string();
+                    assert!(
+                        rendered.starts_with(&format!("malformed-frame/{class}: ")),
+                        "payload {rendered:?} must lead with the class slug"
+                    );
+                }
+                other => panic!("{bytes:?}: expected Malformed, got {other:?}"),
+            }
         }
     }
 
@@ -1304,6 +1692,7 @@ mod tests {
             Status::Busy,
             Status::Quarantined,
             Status::TenantQuarantined,
+            Status::Degraded,
             Status::UnknownTenant,
             Status::Timeout,
             Status::Error,
@@ -1321,11 +1710,18 @@ mod tests {
 listen = "127.0.0.1:0"
 queue_depth = 4
 request_timeout_ms = 2500
+idle_timeout_ms = 9000
+read_deadline_ms = 4000
+max_connections = 32
+recovery_probe_ms = 250
+busy_retry_hint_ms = 40
 flush = "drain"
 
 [tenant.alpha]
 secret = "alpha-secret"
 state_dir = "/tmp/alpha-state"   # per-tenant store
+max_request_bytes = 65536
+queue_depth = 2
 
 [tenant.beta]
 secret = "beta-secret"
@@ -1340,12 +1736,21 @@ disable_rule = "neighbor-remote-as"
         assert_eq!(cfg.socket, None);
         assert_eq!(cfg.queue_depth, 4);
         assert_eq!(cfg.request_timeout_ms, 2500);
+        assert_eq!(cfg.idle_timeout_ms, 9000);
+        assert_eq!(cfg.read_deadline_ms, 4000);
+        assert_eq!(cfg.max_connections, 32);
+        assert_eq!(cfg.recovery_probe_ms, 250);
+        assert_eq!(cfg.busy_retry_hint_ms, 40);
         assert_eq!(cfg.flush, FlushMode::Drain);
         assert_eq!(cfg.tenants.len(), 2);
         assert_eq!(cfg.tenants[0].name, "alpha");
         assert_eq!(cfg.tenants[0].secret, b"alpha-secret");
         assert!(cfg.tenants[0].disabled_rules.is_empty());
+        assert_eq!(cfg.tenants[0].max_request_bytes, 65536);
+        assert_eq!(cfg.tenants[0].queue_depth, Some(2));
         assert_eq!(cfg.tenants[1].disabled_rules, vec!["neighbor-remote-as"]);
+        assert_eq!(cfg.tenants[1].max_request_bytes, MAX_PAYLOAD);
+        assert_eq!(cfg.tenants[1].queue_depth, None);
     }
 
     #[test]
@@ -1357,7 +1762,14 @@ disable_rule = "neighbor-remote-as"
         .unwrap();
         assert_eq!(cfg.queue_depth, DEFAULT_QUEUE_DEPTH);
         assert_eq!(cfg.request_timeout_ms, DEFAULT_REQUEST_TIMEOUT_MS);
+        assert_eq!(cfg.idle_timeout_ms, DEFAULT_IDLE_TIMEOUT_MS);
+        assert_eq!(cfg.read_deadline_ms, DEFAULT_READ_DEADLINE_MS);
+        assert_eq!(cfg.max_connections, DEFAULT_MAX_CONNECTIONS);
+        assert_eq!(cfg.recovery_probe_ms, DEFAULT_RECOVERY_PROBE_MS);
+        assert_eq!(cfg.busy_retry_hint_ms, DEFAULT_BUSY_RETRY_HINT_MS);
         assert_eq!(cfg.flush, FlushMode::Request);
+        assert_eq!(cfg.tenants[0].max_request_bytes, MAX_PAYLOAD);
+        assert_eq!(cfg.tenants[0].queue_depth, None);
     }
 
     #[test]
@@ -1379,6 +1791,24 @@ disable_rule = "neighbor-remote-as"
             ("not a pair\n", "expected `key = value`"),
             ("flush = \"sometimes\"\n", "must be \"request\" or \"drain\""),
             ("", "no [tenant.NAME] sections"),
+            ("idle_timeout_ms = 0\n", "`idle_timeout_ms` must be positive"),
+            ("read_deadline_ms = 0\n", "`read_deadline_ms` must be positive"),
+            ("recovery_probe_ms = 0\n", "`recovery_probe_ms` must be positive"),
+            ("busy_retry_hint_ms = 0\n", "`busy_retry_hint_ms` must be positive"),
+            ("max_connections = 0\n", "`max_connections` must be between"),
+            ("max_connections = 5000\n", "`max_connections` must be between"),
+            (
+                "[tenant.a]\nsecret=\"s\"\nstate_dir=\"d\"\nmax_request_bytes = 0\n",
+                "`max_request_bytes` must be between",
+            ),
+            (
+                "[tenant.a]\nsecret=\"s\"\nstate_dir=\"d\"\nmax_request_bytes = 999999999999\n",
+                "`max_request_bytes` must be between",
+            ),
+            (
+                "[tenant.a]\nsecret=\"s\"\nstate_dir=\"d\"\nqueue_depth = 0\n",
+                "`queue_depth` must be between",
+            ),
         ];
         for (text, needle) in cases {
             let err = ServeConfig::parse("confanon.toml", text).unwrap_err();

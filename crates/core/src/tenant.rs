@@ -86,6 +86,13 @@ pub struct TenantSpec {
     pub state_dir: PathBuf,
     /// Rule ablations (validated names), as in `batch --disable-rule`.
     pub disabled_rules: Vec<String>,
+    /// Per-tenant request-payload quota in bytes (≤ the protocol's
+    /// [`crate::serve::MAX_PAYLOAD`]); an oversized `ANON` is answered
+    /// with an `ERROR` frame before it ever reaches the worker.
+    pub max_request_bytes: usize,
+    /// Per-tenant work-queue bound; `None` uses the daemon-wide
+    /// `queue_depth`.
+    pub queue_depth: Option<usize>,
 }
 
 /// Tenant serving health.
@@ -105,6 +112,15 @@ pub enum TenantHealth {
         /// The load/verification error.
         reason: String,
     },
+    /// A permanent fs error (ENOSPC-class) broke durable flushing. The
+    /// tenant keeps serving `ANON` from its resident mappings — marked
+    /// with the distinct `DEGRADED` status frame — but flush is
+    /// suspended until a recovery probe (or explicit `FLUSH`) lands a
+    /// clean save.
+    Degraded {
+        /// The flush error that started the degradation.
+        reason: String,
+    },
 }
 
 impl TenantHealth {
@@ -114,6 +130,7 @@ impl TenantHealth {
             TenantHealth::Serving => "serving",
             TenantHealth::LeakQuarantined { .. } => "leak-quarantined",
             TenantHealth::StateQuarantined { .. } => "state-quarantined",
+            TenantHealth::Degraded { .. } => "degraded",
         }
     }
 }
@@ -151,6 +168,9 @@ impl FaultHooks {
 pub struct Tenant {
     /// The tenant's wire name.
     pub name: String,
+    /// The spec the tenant was opened from, kept so recovery probes can
+    /// re-run the full §13 open path against a healed state directory.
+    spec: TenantSpec,
     state_dir: PathBuf,
     fingerprint: String,
     anonymizer: Anonymizer,
@@ -224,6 +244,7 @@ impl Tenant {
         obs.count("serve.opened", 1);
         Tenant {
             name: spec.name.clone(),
+            spec: spec.clone(),
             state_dir: spec.state_dir.clone(),
             fingerprint,
             anonymizer,
@@ -257,7 +278,7 @@ impl Tenant {
         self.obs.count("serve.requests", 1);
         self.obs.record("serve.request_bytes", payload.len() as u64);
         match &self.health {
-            TenantHealth::Serving => {}
+            TenantHealth::Serving | TenantHealth::Degraded { .. } => {}
             TenantHealth::LeakQuarantined { reason }
             | TenantHealth::StateQuarantined { reason } => {
                 self.obs.count("serve.rejected_quarantined", 1);
@@ -338,14 +359,31 @@ impl Tenant {
             },
         );
         self.anonymizer = warmed;
-        if self.flush_mode == FlushMode::Request {
+        // Degraded mode suspends the per-request flush entirely — the
+        // disk already said no permanently; hammering it per request
+        // would turn one bad device into a latency storm. Recovery
+        // probes (and explicit FLUSH frames) retry instead.
+        if self.flush_mode == FlushMode::Request
+            && matches!(self.health, TenantHealth::Serving)
+        {
             if let Err(e) = self.flush(fs) {
-                // The mapping is resident but not durable: answer with a
-                // retriable error instead of an `OK` the disk can't back.
+                // The mapping is resident but not durable. Serve the
+                // bytes anyway — mappings stay sticky and deterministic
+                // — but under the distinct DEGRADED status so the
+                // client knows durability is suspended.
                 self.obs.count("serve.flush_failures", 1);
-                let msg = format!("state flush failed (retriable): {e}");
-                return (Status::Error, msg.into_bytes());
+                self.obs.count("serve.degraded_transitions", 1);
+                self.health = TenantHealth::Degraded {
+                    reason: format!(
+                        "state flush failed: {e}; serving from resident \
+                         mappings with flushing suspended"
+                    ),
+                };
             }
+        }
+        if matches!(self.health, TenantHealth::Degraded { .. }) {
+            self.obs.count("serve.requests_degraded", 1);
+            return (Status::Degraded, out.text.into_bytes());
         }
         self.obs.count("serve.requests_ok", 1);
         (Status::Ok, out.text.into_bytes())
@@ -354,6 +392,8 @@ impl Tenant {
     /// Durably flushes the resident state through the atomic-rename
     /// discipline. A state-quarantined tenant flushes nothing — the
     /// defective store on disk is evidence, not something to overwrite.
+    /// A degraded tenant that lands a clean save heals back to serving:
+    /// every mapping issued while the disk was full is now durable.
     pub fn flush(&mut self, fs: &dyn Fs) -> Result<(), AnonError> {
         if matches!(self.health, TenantHealth::StateQuarantined { .. }) {
             return Ok(());
@@ -365,7 +405,52 @@ impl Tenant {
         );
         state.save(fs, &self.state_dir, &mut self.durability)?;
         self.obs.count("serve.flushes", 1);
+        if matches!(self.health, TenantHealth::Degraded { .. }) {
+            self.obs.count("serve.recoveries", 1);
+            self.health = TenantHealth::Serving;
+        }
         Ok(())
+    }
+
+    /// Whether this tenant is in a health state recovery probes can
+    /// heal: state quarantine (re-verify the store) or degradation
+    /// (retry the suspended flush). Leak quarantine is deliberately
+    /// excluded — a tripped §6.1 gate needs operator review, not a
+    /// timer.
+    pub fn needs_recovery(&self) -> bool {
+        matches!(
+            self.health,
+            TenantHealth::StateQuarantined { .. } | TenantHealth::Degraded { .. }
+        )
+    }
+
+    /// One recovery probe. For a state-quarantined tenant, re-runs the
+    /// full §13 open path (load → owner check → journal replay) against
+    /// the state directory; if the store verifies clean now — repaired
+    /// or removed by an operator — the reloaded state replaces the
+    /// empty quarantine state and the tenant serves again. For a
+    /// degraded tenant, retries the suspended flush ([`Tenant::flush`]
+    /// heals on success). Returns `true` if the tenant recovered.
+    pub fn try_recover(&mut self, fs: &dyn Fs) -> bool {
+        match &self.health {
+            TenantHealth::StateQuarantined { .. } => {
+                let fresh = Tenant::open(&self.spec, self.flush_mode, fs);
+                if fresh.state_defect().is_some() {
+                    return false;
+                }
+                // Adopt the verified reload wholesale; keep this
+                // tenant's counters so the stats frame shows the
+                // quarantine epoch and the recovery.
+                self.anonymizer = fresh.anonymizer;
+                self.files = fresh.files;
+                self.fingerprint = fresh.fingerprint;
+                self.health = TenantHealth::Serving;
+                self.obs.count("serve.recoveries", 1);
+                true
+            }
+            TenantHealth::Degraded { .. } => self.flush(fs).is_ok(),
+            _ => false,
+        }
     }
 
     /// The tenant's stats-frame entry: health, state size, and the
@@ -375,7 +460,8 @@ impl Tenant {
         let reason = match &self.health {
             TenantHealth::Serving => String::new(),
             TenantHealth::LeakQuarantined { reason }
-            | TenantHealth::StateQuarantined { reason } => reason.clone(),
+            | TenantHealth::StateQuarantined { reason }
+            | TenantHealth::Degraded { reason } => reason.clone(),
         };
         Json::obj()
             .with("health", self.health.name())
@@ -414,6 +500,8 @@ mod tests {
             secret: format!("{name}-secret").into_bytes(),
             state_dir: dir.to_path_buf(),
             disabled_rules: Vec::new(),
+            max_request_bytes: crate::serve::MAX_PAYLOAD,
+            queue_depth: None,
         }
     }
 
@@ -525,6 +613,90 @@ mod tests {
         tenant.flush(&StdFs).unwrap();
         let reopened = Tenant::open(&spec("alpha", &sdir), FlushMode::Drain, &StdFs);
         assert_eq!(reopened.anonymizer().journal().len(), mapped_before);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn enospc_degrades_serving_and_a_clean_flush_heals() {
+        use confanon_testkit::faultfs::FaultFs;
+        let root = tmpdir("degrade");
+        let sdir = root.join("alpha-state");
+        let fs = FaultFs::quiet(9);
+        let mut tenant = Tenant::open(&spec("alpha", &sdir), FlushMode::Request, &fs);
+
+        // Healthy request: flush lands, plain OK.
+        let (s1, p1) = tenant.handle_anon("r1.cfg", sample(1).as_bytes(), &fs);
+        assert_eq!(s1, Status::Ok);
+
+        // Disk fills: the request is still served (same sticky mapping,
+        // so byte-identical output) but under the DEGRADED status, and
+        // the tenant transitions to degraded health.
+        fs.set_enospc(true);
+        let (s2, p2) = tenant.handle_anon("r1.cfg", sample(1).as_bytes(), &fs);
+        assert_eq!(s2, Status::Degraded);
+        assert_eq!(p1, p2, "degraded replies must stay byte-identical");
+        assert!(matches!(tenant.health(), TenantHealth::Degraded { .. }));
+        assert!(tenant.needs_recovery());
+
+        // While degraded the per-request flush is suspended: new
+        // mappings accumulate resident-only, still DEGRADED.
+        let (s3, _) = tenant.handle_anon("r2.cfg", sample(2).as_bytes(), &fs);
+        assert_eq!(s3, Status::Degraded);
+        let mapped = tenant.anonymizer().journal().len();
+
+        // A probe against the still-full disk fails and stays degraded.
+        assert!(!tenant.try_recover(&fs));
+        assert!(tenant.needs_recovery());
+
+        // Device heals: the probe flushes everything and un-degrades.
+        fs.set_enospc(false);
+        assert!(tenant.try_recover(&fs));
+        assert_eq!(*tenant.health(), TenantHealth::Serving);
+        let (s4, _) = tenant.handle_anon("r3.cfg", sample(3).as_bytes(), &fs);
+        assert_eq!(s4, Status::Ok);
+
+        // Everything issued while degraded is durable: a reopen holds
+        // at least the degraded-era mappings.
+        let reopened = Tenant::open(&spec("alpha", &sdir), FlushMode::Request, &StdFs);
+        assert_eq!(*reopened.health(), TenantHealth::Serving);
+        assert!(reopened.anonymizer().journal().len() >= mapped);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn state_quarantine_recovers_once_the_store_heals() {
+        let root = tmpdir("recover");
+        let sdir = root.join("alpha-state");
+        let mut stats = DurabilityStats::default();
+        crate::fsx::write_atomic(
+            &StdFs,
+            &state_path(&sdir),
+            b"{ torn beyond recognition",
+            &mut stats,
+        )
+        .unwrap();
+        let mut tenant = Tenant::open(&spec("alpha", &sdir), FlushMode::Request, &StdFs);
+        assert!(tenant.state_defect().is_some());
+        assert!(tenant.needs_recovery());
+
+        // The store is still torn: the probe re-verifies and refuses.
+        assert!(!tenant.try_recover(&StdFs));
+        assert!(matches!(tenant.health(), TenantHealth::StateQuarantined { .. }));
+
+        // Operator removes the torn document: the next probe reloads
+        // clean (cold state) and the tenant serves again.
+        std::fs::remove_file(state_path(&sdir)).unwrap();
+        assert!(tenant.try_recover(&StdFs));
+        assert_eq!(*tenant.health(), TenantHealth::Serving);
+        let (s, _) = tenant.handle_anon("r1.cfg", sample(1).as_bytes(), &StdFs);
+        assert_eq!(s, Status::Ok);
+
+        // Leak quarantine is NOT auto-recovered.
+        tenant.health = TenantHealth::LeakQuarantined {
+            reason: "gate hit".to_string(),
+        };
+        assert!(!tenant.needs_recovery());
+        assert!(!tenant.try_recover(&StdFs));
         let _ = std::fs::remove_dir_all(&root);
     }
 

@@ -107,9 +107,23 @@ pub fn serve_metrics_doc(tenants: Json, daemon: Json) -> Json {
         .with("daemon", daemon)
 }
 
+/// The fault counters every serve stats frame must carry in its
+/// `daemon.faults` object (DESIGN §15): the hostile-wire and
+/// self-healing taxonomy, so dashboards can alert on them by name.
+pub const SERVE_FAULT_COUNTERS: [&str; 6] = [
+    "frames_rejected",
+    "read_timeouts",
+    "idle_closed",
+    "connections_shed",
+    "recoveries",
+    "degraded_transitions",
+];
+
 /// Validates the shape of a parsed serve stats frame: schema marker,
-/// both sections present as objects, and every tenant snapshot carrying
-/// a `health` string (the field quarantine-aware clients branch on).
+/// both sections present as objects, every tenant snapshot carrying a
+/// `health` string (the field quarantine-aware clients branch on), and
+/// the daemon section carrying a `faults` object with every
+/// [`SERVE_FAULT_COUNTERS`] member as an integer.
 pub fn validate_serve_metrics(doc: &Json) -> Result<(), String> {
     match doc.get("schema").and_then(Json::as_str) {
         Some(SERVE_METRICS_SCHEMA) => {}
@@ -130,7 +144,28 @@ pub fn validate_serve_metrics(doc: &Json) -> Result<(), String> {
             }
         }
     }
+    let faults = match doc.get("daemon").and_then(|d| d.get("faults")) {
+        Some(f @ Json::Obj(_)) => f,
+        Some(_) => return Err("\"daemon\".\"faults\" is not an object".to_string()),
+        None => return Err("daemon section lacks \"faults\"".to_string()),
+    };
+    for key in SERVE_FAULT_COUNTERS {
+        if faults.get(key).and_then(Json::as_u64).is_none() {
+            return Err(format!("\"daemon\".\"faults\" lacks counter {key:?}"));
+        }
+    }
     Ok(())
+}
+
+/// Builds a fully-populated `faults` object for the daemon section —
+/// the serve layer fills it from its atomics; tests build minimal valid
+/// frames with it.
+pub fn serve_faults_json(counts: [u64; 6]) -> Json {
+    let mut obj = Json::obj();
+    for (key, v) in SERVE_FAULT_COUNTERS.iter().zip(counts) {
+        obj.set(key, v);
+    }
+    obj
 }
 
 #[cfg(test)]
@@ -175,7 +210,9 @@ mod tests {
     fn serve_metrics_round_trip_and_rejection() {
         let doc = serve_metrics_doc(
             Json::obj().with("alpha", Json::obj().with("health", "serving")),
-            Json::obj().with("connections", 3u64),
+            Json::obj()
+                .with("connections", 3u64)
+                .with("faults", serve_faults_json([0, 1, 2, 3, 4, 5])),
         );
         let parsed = Json::parse(&doc.to_string_pretty()).expect("parses");
         assert!(validate_serve_metrics(&parsed).is_ok());
@@ -187,10 +224,34 @@ mod tests {
         .is_err());
         let healthless = serve_metrics_doc(
             Json::obj().with("alpha", Json::obj().with("requests", 1u64)),
-            Json::obj(),
+            Json::obj().with("faults", serve_faults_json([0; 6])),
         );
         assert!(validate_serve_metrics(&healthless)
             .unwrap_err()
             .contains("health"));
+    }
+
+    #[test]
+    fn serve_metrics_require_the_fault_taxonomy() {
+        let tenants = Json::obj().with("alpha", Json::obj().with("health", "serving"));
+        let faultless = serve_metrics_doc(tenants.clone(), Json::obj().with("connections", 1u64));
+        assert!(validate_serve_metrics(&faultless)
+            .unwrap_err()
+            .contains("faults"));
+
+        // Every counter in the taxonomy is individually required.
+        for missing in SERVE_FAULT_COUNTERS {
+            let mut faults = Json::obj();
+            for key in SERVE_FAULT_COUNTERS {
+                if key != missing {
+                    faults.set(key, 0u64);
+                }
+            }
+            let doc = serve_metrics_doc(tenants.clone(), Json::obj().with("faults", faults));
+            assert!(
+                validate_serve_metrics(&doc).unwrap_err().contains(missing),
+                "dropping {missing:?} must fail validation by name"
+            );
+        }
     }
 }

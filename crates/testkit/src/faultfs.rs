@@ -22,6 +22,7 @@
 
 use std::io;
 use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
 
 use crate::rng::{Rng, SeedableRng, XorShift64Star};
@@ -54,6 +55,11 @@ struct Inner {
 pub struct FaultFs {
     rates: Rates,
     inner: Mutex<Inner>,
+    /// When set, every data-path operation fails with a permanent
+    /// "no space left on device" error (budget-exempt) until cleared —
+    /// the ENOSPC scenario a DEGRADED tenant must survive and recover
+    /// from once the device heals.
+    enospc: AtomicBool,
 }
 
 /// What a faultable operation should do, decided before any I/O.
@@ -78,6 +84,7 @@ impl FaultFs {
                 budget: None,
                 injected: 0,
             }),
+            enospc: AtomicBool::new(false),
         }
     }
 
@@ -90,6 +97,28 @@ impl FaultFs {
         fs.rates.sync = 350;
         fs.rates.transient = 1000;
         fs
+    }
+
+    /// An injector with every random rate at zero: all operations
+    /// succeed until a deliberate failure mode ([`FaultFs::set_enospc`])
+    /// is switched on. The base for scripted permanent-failure scenes.
+    pub fn quiet(seed: u64) -> FaultFs {
+        let mut fs = FaultFs::new(seed);
+        fs.rates.write = 0;
+        fs.rates.rename = 0;
+        fs.rates.sync = 0;
+        fs
+    }
+
+    /// Switches the permanent ENOSPC mode on or off. While on, every
+    /// `write_sync`/`rename`/`sync_dir` fails with a permanent
+    /// "no space left on device" error (writes still tear a prefix onto
+    /// disk, as a real out-of-space `write(2)` does); faults injected
+    /// this way ignore any fault budget. Clearing the flag models the
+    /// device being freed — subsequent operations follow the normal
+    /// seeded rates again.
+    pub fn set_enospc(&self, on: bool) {
+        self.enospc.store(on, Ordering::SeqCst);
     }
 
     /// Caps the total number of injected faults; after the budget is
@@ -114,8 +143,16 @@ impl FaultFs {
     }
 
     /// Rolls the dice for one operation: proceed, or fail with a
-    /// transient/permanent error (consuming budget).
+    /// transient/permanent error (consuming budget). The ENOSPC switch
+    /// overrides the dice entirely.
     fn decide(&self, per_mille: u32, what: &str) -> Verdict {
+        if self.enospc.load(Ordering::SeqCst) {
+            let mut g = self.lock();
+            g.injected += 1;
+            return Verdict::Fail(io::Error::other(format!(
+                "no space left on device (injected ENOSPC): {what}"
+            )));
+        }
         let mut g = self.lock();
         if let Some(b) = g.budget {
             if g.injected >= b {
@@ -267,6 +304,32 @@ mod tests {
             }
         }
         assert!(saw_fault, "transient_only at 50% should fault in 100 ops");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn enospc_mode_fails_permanently_until_cleared() {
+        let dir = tmpdir("enospc");
+        let fs = FaultFs::quiet(3);
+        fs.write_sync(&dir.join("before"), b"ok").expect("quiet fs writes");
+
+        fs.set_enospc(true);
+        for i in 0..10 {
+            let err = fs
+                .write_sync(&dir.join(format!("full{i}")), b"x")
+                .expect_err("ENOSPC mode must fail every write");
+            assert!(err.to_string().contains("no space left"), "{err}");
+            // Permanent, not EINTR-class: a retry loop must give up.
+            assert_ne!(err.kind(), io::ErrorKind::Interrupted);
+        }
+        assert!(fs
+            .rename(&dir.join("before"), &dir.join("after"))
+            .is_err());
+        assert!(fs.sync_dir(&dir).is_err());
+        assert!(fs.faults_injected() >= 12);
+
+        fs.set_enospc(false);
+        fs.write_sync(&dir.join("healed"), b"y").expect("healed fs writes");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -20,8 +20,12 @@
 //!   splices, control characters, unterminated banners, oversized
 //!   lines, deep nesting) for hostile-input hardening tests.
 //! * [`faultfs`] — a seeded fault-injecting filesystem (torn writes,
-//!   transient/permanent errors, rename failures) for the durable-write
-//!   crash-consistency properties.
+//!   transient/permanent errors, rename failures, a switchable ENOSPC
+//!   mode) for the durable-write crash-consistency properties.
+//! * [`netchaos`] — seeded network chaos: deterministic hostile-wire
+//!   delivery schedules (dribble, duplication, garbage, mid-frame
+//!   disconnects) and a fault-injecting TCP proxy, the wire-level
+//!   sibling of `faultfs` for serve-daemon hardening tests.
 //! * [`serveclient`] — an independent `CONFANON/1` wire client for the
 //!   serve daemon, implementing the framing from the DESIGN §14 spec
 //!   (not from the server's code) so round-trip tests double as an
@@ -37,6 +41,7 @@ pub mod bench;
 pub mod chaos;
 pub mod faultfs;
 pub mod json;
+pub mod netchaos;
 pub mod props;
 pub mod rng;
 pub mod serveclient;

@@ -1,0 +1,421 @@
+//! Seeded network chaos: hostile-wire fault injection for the serve
+//! daemon.
+//!
+//! The filesystem analogue is [`crate::faultfs`]; this module does the
+//! same for the *wire*. Two pieces:
+//!
+//! * [`mutate_stream`] — turns a byte stream into a deterministic
+//!   schedule of [`WireOp`]s (dribbled chunks, pauses, duplicated
+//!   bytes, garbage splices, early disconnects) driven by the testkit
+//!   PRNG, so every fault schedule replays from a seed. A test writes
+//!   the schedule onto a socket with [`apply_ops`] to play a hostile
+//!   client.
+//! * [`ChaosProxy`] — a TCP proxy that forwards client bytes to an
+//!   upstream daemon through a per-connection fault [`Profile`].
+//!   Connection `i` derives its fault stream from `mix(seed, i)`, so a
+//!   proxy run is reproducible per seed regardless of accept timing.
+//!   Server-to-client bytes are forwarded verbatim: the faults model a
+//!   hostile *network/client*, not a corrupted daemon.
+//!
+//! The [`Profile::lossless`] profile injects only delivery shapes that
+//! preserve stream content (chunking and pauses — the "slowloris"
+//! spectrum), so a protocol that survives it must parse correctly from
+//! arbitrary split points. [`Profile::hostile`] adds content faults
+//! (duplication, garbage, mid-frame disconnects) that a robust daemon
+//! must answer with an error frame or a clean close — never a panic,
+//! never a wedged worker.
+
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::rng::{Rng, SeedableRng, XorShift64Star};
+
+/// One step of a chaotic delivery schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireOp {
+    /// Write these bytes to the peer.
+    Send(Vec<u8>),
+    /// Sleep this many milliseconds before the next op.
+    Pause(u64),
+    /// Close the connection (possibly mid-frame); later ops are moot.
+    Disconnect,
+}
+
+/// Per-mille fault intensities for a chaos stream. All decisions come
+/// from one seeded PRNG stream, so a `(seed, profile, input)` triple
+/// yields exactly one schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Profile {
+    /// Largest chunk a single `Send` carries (dribble granularity).
+    pub max_chunk: usize,
+    /// Chance a chunk is preceded by a pause, per mille.
+    pub pause_per_mille: u32,
+    /// Upper bound of an injected pause, in milliseconds.
+    pub max_pause_ms: u64,
+    /// Chance a chunk is sent twice (duplicated bytes), per mille.
+    pub dup_per_mille: u32,
+    /// Chance a chunk is preceded by garbage bytes, per mille.
+    pub garbage_per_mille: u32,
+    /// Chance the stream disconnects before a chunk (torn frame /
+    /// mid-frame hangup), per mille.
+    pub disconnect_per_mille: u32,
+}
+
+impl Profile {
+    /// Content-preserving chaos: dribbled chunks and pauses only. A
+    /// correct frame parser must produce identical results under it.
+    pub fn lossless() -> Profile {
+        Profile {
+            max_chunk: 7,
+            pause_per_mille: 300,
+            max_pause_ms: 3,
+            dup_per_mille: 0,
+            garbage_per_mille: 0,
+            disconnect_per_mille: 0,
+        }
+    }
+
+    /// Full hostility: dribble plus duplicated bytes, garbage splices,
+    /// and mid-frame disconnects.
+    pub fn hostile() -> Profile {
+        Profile {
+            max_chunk: 11,
+            pause_per_mille: 250,
+            max_pause_ms: 3,
+            dup_per_mille: 120,
+            garbage_per_mille: 150,
+            disconnect_per_mille: 60,
+        }
+    }
+
+    /// Parses a profile name (`lossless` | `hostile`), for CLI use.
+    pub fn parse(name: &str) -> Option<Profile> {
+        match name {
+            "lossless" => Some(Profile::lossless()),
+            "hostile" => Some(Profile::hostile()),
+            _ => None,
+        }
+    }
+}
+
+/// Domain-separated per-connection seed: connection `index` of a proxy
+/// (or schedule `index` of a test) gets an independent but fully
+/// seed-determined fault stream.
+pub fn conn_seed(seed: u64, index: u64) -> u64 {
+    let mut s = seed ^ 0x9E37_79B9_7F4A_7C15 ^ index.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    crate::rng::splitmix64(&mut s)
+}
+
+/// Compiles `bytes` into a seeded chaotic delivery schedule under
+/// `profile`. Deterministic: same `(seed, profile, bytes)`, same ops.
+pub fn mutate_stream(seed: u64, profile: Profile, bytes: &[u8]) -> Vec<WireOp> {
+    let mut rng = XorShift64Star::seed_from_u64(seed ^ 0x4E45_5443_4841_0553);
+    let mut ops = Vec::new();
+    let mut pos = 0;
+    while pos < bytes.len() {
+        if rng.gen_range(0u32..1000) < profile.disconnect_per_mille {
+            ops.push(WireOp::Disconnect);
+            return ops;
+        }
+        if rng.gen_range(0u32..1000) < profile.pause_per_mille {
+            ops.push(WireOp::Pause(rng.gen_range(1..=profile.max_pause_ms.max(1))));
+        }
+        if rng.gen_range(0u32..1000) < profile.garbage_per_mille {
+            let n = rng.gen_range(1usize..=8);
+            let junk: Vec<u8> = (0..n).map(|_| rng.gen_range(0u8..=255)).collect();
+            ops.push(WireOp::Send(junk));
+        }
+        let take = rng.gen_range(1..=profile.max_chunk.max(1)).min(bytes.len() - pos);
+        let chunk = bytes[pos..pos + take].to_vec();
+        if rng.gen_range(0u32..1000) < profile.dup_per_mille {
+            ops.push(WireOp::Send(chunk.clone()));
+        }
+        ops.push(WireOp::Send(chunk));
+        pos += take;
+    }
+    ops.push(WireOp::Disconnect);
+    ops
+}
+
+/// Plays a schedule onto a stream. Stops silently on the first write
+/// error (the peer may have legitimately closed on garbage) and returns
+/// how many ops were applied.
+pub fn apply_ops(stream: &mut dyn Write, ops: &[WireOp]) -> usize {
+    for (i, op) in ops.iter().enumerate() {
+        match op {
+            WireOp::Send(bytes) => {
+                if stream.write_all(bytes).and_then(|()| stream.flush()).is_err() {
+                    return i;
+                }
+            }
+            WireOp::Pause(ms) => std::thread::sleep(Duration::from_millis(*ms)),
+            WireOp::Disconnect => return i + 1,
+        }
+    }
+    ops.len()
+}
+
+/// A seeded fault-injecting TCP proxy in front of a serve daemon.
+///
+/// Client-to-server bytes pass through a per-connection chaos stream;
+/// server-to-client bytes are forwarded verbatim. Dropping the proxy
+/// stops the accept loop and waits for it.
+pub struct ChaosProxy {
+    addr: String,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl ChaosProxy {
+    /// Binds `127.0.0.1:0` and starts proxying to `upstream` (a TCP
+    /// `host:port`). Connection `i` uses fault stream `conn_seed(seed, i)`.
+    pub fn spawn(seed: u64, profile: Profile, upstream: &str) -> io::Result<ChaosProxy> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?.to_string();
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let upstream = upstream.to_string();
+        let accept_thread = std::thread::spawn(move || {
+            let mut index = 0u64;
+            let mut conns: Vec<JoinHandle<()>> = Vec::new();
+            while !stop2.load(Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok((client, _)) => {
+                        let cseed = conn_seed(seed, index);
+                        index += 1;
+                        let upstream = upstream.clone();
+                        let stop = Arc::clone(&stop2);
+                        conns.push(std::thread::spawn(move || {
+                            proxy_conn(client, &upstream, cseed, profile, &stop);
+                        }));
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    Err(_) => std::thread::sleep(Duration::from_millis(2)),
+                }
+            }
+            for c in conns {
+                let _ = c.join();
+            }
+        });
+        Ok(ChaosProxy {
+            addr,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The proxy's own `host:port` — point clients here.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Stops the accept loop and joins every connection thread.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ChaosProxy {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// One proxied connection: chaos client→server, verbatim server→client.
+fn proxy_conn(
+    mut client: TcpStream,
+    upstream: &str,
+    seed: u64,
+    profile: Profile,
+    stop: &AtomicBool,
+) {
+    let Ok(mut server) = TcpStream::connect(upstream) else {
+        return;
+    };
+    let _ = client.set_read_timeout(Some(Duration::from_millis(50)));
+    let _ = server.set_read_timeout(Some(Duration::from_millis(50)));
+    let mut rng = XorShift64Star::seed_from_u64(seed);
+    let mut to_server: Vec<u8> = Vec::new();
+    let mut buf = [0u8; 4096];
+    let mut client_open = true;
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        // Client → chaos → server.
+        if client_open {
+            match client.read(&mut buf) {
+                Ok(0) => client_open = false,
+                Ok(n) => to_server.extend_from_slice(&buf[..n]),
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) => {}
+                Err(_) => client_open = false,
+            }
+        }
+        while !to_server.is_empty() {
+            if rng.gen_range(0u32..1000) < profile.disconnect_per_mille {
+                return; // mid-frame hangup, both directions die
+            }
+            if rng.gen_range(0u32..1000) < profile.pause_per_mille {
+                std::thread::sleep(Duration::from_millis(
+                    rng.gen_range(1..=profile.max_pause_ms.max(1)),
+                ));
+            }
+            if rng.gen_range(0u32..1000) < profile.garbage_per_mille {
+                let n = rng.gen_range(1usize..=8);
+                let junk: Vec<u8> = (0..n).map(|_| rng.gen_range(0u8..=255)).collect();
+                if server.write_all(&junk).is_err() {
+                    return;
+                }
+            }
+            let take = rng
+                .gen_range(1..=profile.max_chunk.max(1))
+                .min(to_server.len());
+            let chunk: Vec<u8> = to_server.drain(..take).collect();
+            if rng.gen_range(0u32..1000) < profile.dup_per_mille && server.write_all(&chunk).is_err()
+            {
+                return;
+            }
+            if server.write_all(&chunk).is_err() {
+                return;
+            }
+        }
+        let _ = server.flush();
+        // Server → verbatim → client.
+        match server.read(&mut buf) {
+            Ok(0) => return,
+            Ok(n) => {
+                if client.write_all(&buf[..n]).is_err() {
+                    return;
+                }
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) => {}
+            Err(_) => return,
+        }
+        if !client_open && to_server.is_empty() {
+            // Half-closed client: drain what the server still says,
+            // then give up after it goes quiet.
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedules_are_deterministic_per_seed() {
+        let input = b"CONFANON/1 PING - - 0\n".repeat(8);
+        for profile in [Profile::lossless(), Profile::hostile()] {
+            let a = mutate_stream(42, profile, &input);
+            let b = mutate_stream(42, profile, &input);
+            assert_eq!(a, b, "same seed must replay the same schedule");
+            let c = mutate_stream(43, profile, &input);
+            assert_ne!(a, c, "different seeds should differ");
+        }
+    }
+
+    #[test]
+    fn lossless_schedule_reassembles_the_exact_stream() {
+        let input: Vec<u8> = (0..=255u8).cycle().take(1000).collect();
+        for seed in 0..20 {
+            let ops = mutate_stream(seed, Profile::lossless(), &input);
+            let mut out = Vec::new();
+            for op in &ops {
+                match op {
+                    WireOp::Send(b) => out.extend_from_slice(b),
+                    WireOp::Pause(ms) => assert!(*ms >= 1),
+                    WireOp::Disconnect => break,
+                }
+            }
+            assert_eq!(out, input, "seed {seed}: lossless must preserve content");
+            assert_eq!(ops.last(), Some(&WireOp::Disconnect));
+        }
+    }
+
+    #[test]
+    fn hostile_schedules_inject_content_faults_somewhere() {
+        let input = vec![b'x'; 4096];
+        let (mut saw_fault, mut saw_cut) = (false, false);
+        for seed in 0..50 {
+            let ops = mutate_stream(seed, Profile::hostile(), &input);
+            let sent: usize = ops
+                .iter()
+                .map(|op| match op {
+                    WireOp::Send(b) => b.len(),
+                    _ => 0,
+                })
+                .sum();
+            if sent != input.len() {
+                saw_fault = true; // garbage, duplication, or truncation
+            }
+            if sent < input.len() {
+                saw_cut = true; // early disconnect tore the stream
+            }
+        }
+        assert!(saw_fault, "50 hostile seeds must mutate content at least once");
+        assert!(saw_cut, "50 hostile seeds must tear the stream at least once");
+    }
+
+    #[test]
+    fn conn_seeds_are_distinct_per_index() {
+        let seeds: std::collections::BTreeSet<u64> =
+            (0..100).map(|i| conn_seed(7, i)).collect();
+        assert_eq!(seeds.len(), 100);
+        assert_eq!(conn_seed(7, 3), conn_seed(7, 3));
+    }
+
+    #[test]
+    fn lossless_proxy_is_transparent_to_an_echo_peer() {
+        // A trivial upstream that echoes one line back; a lossless
+        // chaos proxy in front of it must not change what either side
+        // observes.
+        let upstream = TcpListener::bind("127.0.0.1:0").expect("bind upstream");
+        let up_addr = upstream.local_addr().expect("addr").to_string();
+        let server = std::thread::spawn(move || {
+            let (mut conn, _) = upstream.accept().expect("accept");
+            let mut got = Vec::new();
+            let mut buf = [0u8; 256];
+            loop {
+                let n = conn.read(&mut buf).expect("read");
+                got.extend_from_slice(&buf[..n]);
+                if got.ends_with(b"\n") {
+                    break;
+                }
+            }
+            conn.write_all(&got).expect("echo");
+            got
+        });
+        let mut proxy = ChaosProxy::spawn(11, Profile::lossless(), &up_addr).expect("proxy");
+        let mut client = TcpStream::connect(proxy.addr()).expect("connect");
+        client.write_all(b"hello hostile wire\n").expect("write");
+        let mut reply = Vec::new();
+        let mut buf = [0u8; 256];
+        while !reply.ends_with(b"\n") {
+            let n = client.read(&mut buf).expect("read reply");
+            assert!(n > 0, "proxy closed before the echo");
+            reply.extend_from_slice(&buf[..n]);
+        }
+        assert_eq!(reply, b"hello hostile wire\n");
+        assert_eq!(server.join().expect("join"), b"hello hostile wire\n");
+        proxy.stop();
+    }
+}

@@ -22,8 +22,20 @@ use std::io::{self, Read, Write};
 use std::net::TcpStream;
 use std::time::Duration;
 
+use crate::rng::{Rng, SeedableRng, XorShift64Star};
+
 /// Protocol tag, first token of every frame in both directions.
 pub const PROTOCOL: &str = "CONFANON/1";
+
+/// Extracts the server's backoff hint from a retriable payload. `BUSY`
+/// frames lead with `retry-after-ms=<N>; ` (DESIGN §15); a cooperating
+/// client floors its next delay at `N` milliseconds.
+pub fn parse_retry_hint(payload: &[u8]) -> Option<u64> {
+    let text = std::str::from_utf8(payload).ok()?;
+    let rest = text.strip_prefix("retry-after-ms=")?;
+    let end = rest.find(';')?;
+    rest[..end].parse().ok()
+}
 
 /// Upper bound the client enforces on response payload lengths, so a
 /// corrupt header cannot make a test allocate unboundedly.
@@ -49,6 +61,53 @@ impl Reply {
     /// The payload as lossy UTF-8, for assertions on error messages.
     pub fn text(&self) -> String {
         String::from_utf8_lossy(&self.payload).into_owned()
+    }
+
+    /// The server's `retry-after-ms` backoff hint, if this reply
+    /// carries one.
+    pub fn retry_hint(&self) -> Option<u64> {
+        parse_retry_hint(&self.payload)
+    }
+}
+
+/// Deterministic seeded jittered exponential backoff for retriable
+/// (`BUSY`/`TIMEOUT`) replies.
+///
+/// Delay `k` (0-based) is drawn from the upper half of the capped
+/// exponential window — `exp = min(cap_ms, base_ms · 2^k)`, then
+/// `exp/2 + uniform(0..=exp/2)` — and floored at the server's
+/// `retry-after-ms` hint when one was given. The jitter stream is the
+/// testkit PRNG, so a seed replays the exact schedule: the retry
+/// behavior of a fleet of clients is a testable function, not folklore.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    base_ms: u64,
+    cap_ms: u64,
+    attempt: u32,
+    rng: XorShift64Star,
+}
+
+impl Backoff {
+    /// A fresh schedule. `base_ms` is the first window; `cap_ms` bounds
+    /// the window growth (both floored at 1 ms).
+    pub fn new(seed: u64, base_ms: u64, cap_ms: u64) -> Backoff {
+        Backoff {
+            base_ms: base_ms.max(1),
+            cap_ms: cap_ms.max(1),
+            attempt: 0,
+            rng: XorShift64Star::seed_from_u64(seed ^ 0xBAC0_0FF5),
+        }
+    }
+
+    /// The next delay, honoring the server's hint as a floor.
+    pub fn next_delay(&mut self, hint: Option<u64>) -> Duration {
+        let exp = self
+            .base_ms
+            .saturating_mul(1u64.checked_shl(self.attempt).unwrap_or(u64::MAX))
+            .min(self.cap_ms);
+        self.attempt = self.attempt.saturating_add(1);
+        let jittered = exp / 2 + self.rng.gen_range(0..=exp / 2);
+        Duration::from_millis(jittered.max(hint.unwrap_or(0)))
     }
 }
 
@@ -163,6 +222,29 @@ impl ServeClient {
                 return Ok(last);
             }
             std::thread::sleep(backoff);
+            last = self.anon(tenant, name, payload)?;
+        }
+        Ok(last)
+    }
+
+    /// `ANON` with seeded jittered exponential backoff on retriable
+    /// replies, honoring the server's `retry-after-ms` hint. Returns
+    /// the first non-retriable reply, or the last retriable one if
+    /// `attempts` is exhausted.
+    pub fn anon_with_backoff(
+        &mut self,
+        tenant: &str,
+        name: &str,
+        payload: &[u8],
+        attempts: usize,
+        backoff: &mut Backoff,
+    ) -> io::Result<Reply> {
+        let mut last = self.anon(tenant, name, payload)?;
+        for _ in 1..attempts {
+            if !last.retriable() {
+                return Ok(last);
+            }
+            std::thread::sleep(backoff.next_delay(last.retry_hint()));
             last = self.anon(tenant, name, payload)?;
         }
         Ok(last)
@@ -284,6 +366,52 @@ mod tests {
         assert!(!reply.retriable());
         let sent = server.join().expect("join");
         assert_eq!(sent, b"CONFANON/1 ANON alpha r1.cfg 11\nhostname x\n");
+    }
+
+    #[test]
+    fn backoff_schedule_is_deterministic_jittered_exponential() {
+        // Same seed → the exact same schedule, delay k inside the
+        // upper half of the capped window min(cap, base·2^k).
+        let schedule = |seed: u64| -> Vec<u64> {
+            let mut b = Backoff::new(seed, 10, 200);
+            (0..8).map(|_| b.next_delay(None).as_millis() as u64).collect()
+        };
+        let a = schedule(42);
+        assert_eq!(a, schedule(42), "seeded schedule must replay exactly");
+        assert_ne!(a, schedule(43), "different seeds must jitter differently");
+        for (k, d) in a.iter().enumerate() {
+            let exp = (10u64 << k.min(10)).min(200);
+            assert!(
+                (exp / 2..=exp).contains(d),
+                "delay {k} = {d} outside [{}..={exp}]",
+                exp / 2
+            );
+        }
+        // The cap holds forever (no overflow at large attempt counts).
+        let mut b = Backoff::new(1, 10, 200);
+        for _ in 0..80 {
+            assert!(b.next_delay(None).as_millis() <= 200);
+        }
+    }
+
+    #[test]
+    fn backoff_honors_the_server_hint_as_a_floor() {
+        let mut b = Backoff::new(7, 2, 16);
+        let hinted = b.next_delay(Some(500));
+        assert_eq!(hinted.as_millis(), 500, "hint above the window wins");
+        let mut c = Backoff::new(7, 1000, 4000);
+        let d = c.next_delay(Some(3));
+        assert!(d.as_millis() >= 500, "a tiny hint must not shrink the window");
+    }
+
+    #[test]
+    fn retry_hint_parses_only_the_documented_prefix() {
+        assert_eq!(parse_retry_hint(b"retry-after-ms=120; queue full"), Some(120));
+        assert_eq!(parse_retry_hint(b"retry-after-ms=0; shed"), Some(0));
+        assert_eq!(parse_retry_hint(b"queue full"), None);
+        assert_eq!(parse_retry_hint(b"retry-after-ms=abc; x"), None);
+        assert_eq!(parse_retry_hint(b"retry-after-ms=12"), None);
+        assert_eq!(parse_retry_hint(b"\xff\xfe"), None);
     }
 
     #[test]

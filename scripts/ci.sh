@@ -293,4 +293,94 @@ set -e
 serve_pid=""
 [ "$rc" -eq 0 ] || { echo "serve smoke: shutdown-frame drain exited $rc, want 0"; exit 1; }
 
+echo "==> serve-chaos smoke: hostile wire via the netchaos proxy"
+# Put the seeded fault-injecting proxy (torn frames, dribbles, garbage,
+# mid-frame disconnects — all a pure function of --seed) in front of a
+# live daemon, hammer it with a client whose failures are expected, and
+# demand that (a) a healthy client connecting directly still gets real
+# output, (b) the stats frame validates and carries the full
+# daemon.faults counter taxonomy, and (c) both the proxy and the daemon
+# drain cleanly on SIGTERM.
+wire_dir="$(mktemp -d)"
+proxy_pid=""
+trap 'kill "$serve_pid" "$proxy_pid" 2>/dev/null || true; rm -rf "$corpus_dir" "$obs_dir" "$chaos_dir" "$crash_dir" "$incr_dir" "$serve_dir" "$wire_dir"' EXIT
+
+cat > "$wire_dir/confanon.toml" <<WIRECFG
+idle_timeout_ms = 2000
+read_deadline_ms = 800
+
+[tenant.alpha]
+secret = "alpha-wire-secret"
+state_dir = "$wire_dir/state-alpha"
+max_request_bytes = 1048576
+
+[tenant.mallory]
+secret = "mallory-wire-secret"
+state_dir = "$wire_dir/state-mallory"
+WIRECFG
+
+: > "$wire_dir/port"
+./target/release/confanon serve --config "$wire_dir/confanon.toml" \
+    --listen 127.0.0.1:0 --port-file "$wire_dir/port" &
+serve_pid=$!
+for _ in $(seq 1 200); do
+    [ -s "$wire_dir/port" ] && break
+    sleep 0.05
+done
+[ -s "$wire_dir/port" ] || { echo "serve-chaos smoke: daemon never advertised"; exit 1; }
+endpoint=$(cat "$wire_dir/port")
+
+: > "$wire_dir/proxyport"
+./target/release/confanon netchaos --upstream "$endpoint" --seed 2004 \
+    --profile hostile --port-file "$wire_dir/proxyport" &
+proxy_pid=$!
+for _ in $(seq 1 200); do
+    [ -s "$wire_dir/proxyport" ] && break
+    sleep 0.05
+done
+[ -s "$wire_dir/proxyport" ] || { echo "serve-chaos smoke: proxy never advertised"; exit 1; }
+proxy=$(cat "$wire_dir/proxyport")
+
+# The hostile leg: valid requests launched into the mutating proxy.
+# Any exit code is acceptable — the proxy tears what it relays — but
+# the daemon behind it must not care.
+for i in 1 2 3 4 5 6; do
+    printf 'hostname storm%s\nrouter bgp 65%03d\n' "$i" "$i" | \
+        ./target/release/confanon client --endpoint "$proxy" \
+            anon --tenant mallory --name "s$i.cfg" --retries 2 \
+        > /dev/null 2>&1 || true
+done
+
+# The healthy leg, direct: must produce non-empty anonymized output.
+./target/release/confanon client --endpoint "$endpoint" \
+    anon --tenant alpha --name a.cfg "$a_cfg" > "$wire_dir/a.anon"
+[ -s "$wire_dir/a.anon" ] || { echo "serve-chaos smoke: empty healthy output"; exit 1; }
+
+# The stats frame still validates and carries every fault counter.
+./target/release/confanon client --endpoint "$endpoint" stats \
+    > "$wire_dir/stats.json"
+./target/release/confanon metrics --serve "$wire_dir/stats.json"
+for counter in frames_rejected read_timeouts idle_closed connections_shed \
+               recoveries degraded_transitions; do
+    grep -q "\"$counter\"" "$wire_dir/stats.json" || {
+        echo "serve-chaos smoke: stats frame lacks faults.$counter"; exit 1;
+    }
+done
+
+kill -TERM "$proxy_pid"
+set +e
+wait "$proxy_pid"
+rc=$?
+set -e
+proxy_pid=""
+[ "$rc" -eq 0 ] || { echo "serve-chaos smoke: proxy SIGTERM exited $rc, want 0"; exit 1; }
+
+kill -TERM "$serve_pid"
+set +e
+wait "$serve_pid"
+rc=$?
+set -e
+serve_pid=""
+[ "$rc" -eq 0 ] || { echo "serve-chaos smoke: daemon drain exited $rc, want 0"; exit 1; }
+
 echo "CI OK"

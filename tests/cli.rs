@@ -737,7 +737,10 @@ fn metrics_validates_serve_stats_frames() {
         &valid,
         r#"{"schema": "confanon-serve-metrics-v1",
             "tenants": {"alpha": {"health": "serving"}},
-            "daemon": {"connections": 1}}"#,
+            "daemon": {"connections": 1,
+                       "faults": {"frames_rejected": 0, "read_timeouts": 0,
+                                  "idle_closed": 0, "connections_shed": 0,
+                                  "recoveries": 0, "degraded_transitions": 0}}}"#,
     )
     .expect("write frame");
     let out = bin()
@@ -769,7 +772,51 @@ fn metrics_validates_serve_stats_frames() {
         String::from_utf8_lossy(&out.stderr).contains("health"),
         "stderr names the missing member"
     );
+
+    // A frame predating the fault taxonomy (no daemon.faults) is now
+    // rejected, and the error names the missing counter group.
+    let faultless = root.join("faultless-frame.json");
+    std::fs::write(
+        &faultless,
+        r#"{"schema": "confanon-serve-metrics-v1",
+            "tenants": {"alpha": {"health": "serving"}},
+            "daemon": {"connections": 1}}"#,
+    )
+    .expect("write frame");
+    let out = bin()
+        .args(["metrics", "--serve"])
+        .arg(&faultless)
+        .output()
+        .expect("run metrics");
+    assert_eq!(out.status.code(), Some(1), "faultless frame must fail");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("faults"),
+        "stderr names the missing fault object"
+    );
     let _ = std::fs::remove_dir_all(&root);
+}
+
+/// The netchaos proxy subcommand's usage/bind errors follow the same
+/// exit-code taxonomy as serve.
+#[test]
+fn netchaos_usage_and_bind_errors() {
+    let out = bin().args(["netchaos"]).output().expect("run netchaos");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--upstream"));
+
+    let out = bin()
+        .args(["netchaos", "--upstream", "127.0.0.1:1", "--profile", "mild"])
+        .output()
+        .expect("run netchaos");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown profile"));
+
+    let out = bin()
+        .args(["netchaos", "--upstream", "127.0.0.1:1", "--seed", "banana"])
+        .output()
+        .expect("run netchaos");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--seed"));
 }
 
 /// The client subcommand's usage errors are exit 2 like every other.
@@ -785,4 +832,26 @@ fn client_usage_errors() {
         .expect("run client");
     assert_eq!(out.status.code(), Some(2));
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown action"));
+}
+
+/// The client's backoff knobs are validated before any connection is
+/// attempted, so bad values are usage errors even with no daemon up.
+#[test]
+fn client_backoff_flag_validation() {
+    for (flag, value) in [
+        ("--backoff-base-ms", "0"),
+        ("--backoff-cap-ms", "zero"),
+        ("--backoff-seed", "banana"),
+    ] {
+        let out = bin()
+            .args(["client", "--endpoint", "127.0.0.1:1", "anon"])
+            .args(["--tenant", "alpha", flag, value])
+            .output()
+            .expect("run client");
+        assert_eq!(out.status.code(), Some(2), "{flag} {value}");
+        assert!(
+            String::from_utf8_lossy(&out.stderr).contains(flag.trim_start_matches("--")),
+            "{flag}: stderr names the flag"
+        );
+    }
 }
