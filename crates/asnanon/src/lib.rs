@@ -25,7 +25,7 @@ pub mod map;
 pub mod map32;
 pub mod rewrite;
 
-pub use map::{AsnMap, CommunityMap, LargeCommunityMap, PRIVATE_ASN_START};
+pub use map::{is_public, AsnMap, CommunityMap, LargeCommunityMap, PRIVATE_ASN_START, PUBLIC_ASN_COUNT};
 pub use map32::{is_public32, AsnMap32, AS_TRANS, PRIVATE_ASN32_START};
 pub use rewrite::{
     rewrite_aspath_regex, rewrite_aspath_regex32, rewrite_community_regex, Rewrite32Error,

@@ -6,6 +6,12 @@ use confanon_crypto::FeistelPermutation;
 /// RFC 1930 / IANA).
 pub const PRIVATE_ASN_START: u16 = 64512;
 
+/// Size of the public 16-bit ASN space the permutation acts on
+/// (`1..=64511`) — the denominator of any known-plaintext attack's
+/// chance level: guessing one mapping blind succeeds with probability
+/// `1 / PUBLIC_ASN_COUNT`.
+pub const PUBLIC_ASN_COUNT: u64 = PRIVATE_ASN_START as u64 - 1;
+
 /// True if `asn` is in the public, globally-unique range that must be
 /// anonymized. ASN 0 is reserved and treated like a private value (it
 /// cannot identify anyone).

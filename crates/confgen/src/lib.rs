@@ -35,6 +35,9 @@ pub mod truth;
 pub mod versions;
 
 pub use features::NetworkFeatures;
-pub use spec::{generate_dataset, paper_dataset_spec, small_dataset_spec, Dataset, DatasetSpec};
+pub use spec::{
+    generate_dataset, generate_decoy_routers, paper_dataset_spec, small_dataset_spec, Dataset,
+    DatasetSpec,
+};
 pub use topo::{Network, NetworkProfile, Router, RouterRole};
 pub use truth::GroundTruth;

@@ -121,9 +121,52 @@ pub fn generate_dataset(spec: &DatasetSpec) -> Dataset {
     }
 }
 
+/// Generates `count` synthetic decoy routers — NetCloak-style chaff a
+/// corpus owner injects into a released set to dilute structural
+/// fingerprints. A pure function of `(seed, count)`: the same arguments
+/// always yield the same routers, which is what lets `--resume` and
+/// incremental runs regenerate an identical decoy set.
+///
+/// The decoys are ordinary [`Router`]s from the same generator the
+/// validation corpus uses, so they are statistically indistinguishable
+/// from real synthetic routers and anonymize through the normal
+/// pipeline like any other input.
+pub fn generate_decoy_routers(seed: u64, count: usize) -> Vec<Router> {
+    if count == 0 {
+        return Vec::new();
+    }
+    // One enterprise-profile network sized so the scale jitter
+    // ([0.3, 2.2] x 0.8 around the mean) can never undershoot `count`.
+    let ds = generate_dataset(&DatasetSpec {
+        seed,
+        networks: 1,
+        mean_routers: count * 4 + 3,
+        backbone_fraction: 0.0,
+    });
+    let mut routers = ds.networks.into_iter().next().map(|n| n.routers).unwrap_or_default();
+    routers.truncate(count);
+    routers
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn decoys_are_deterministic_and_sized() {
+        let a = generate_decoy_routers(99, 3);
+        let b = generate_decoy_routers(99, 3);
+        assert_eq!(a.len(), 3);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.hostname, y.hostname);
+            assert_eq!(x.config, y.config);
+        }
+        assert_ne!(
+            generate_decoy_routers(100, 3)[0].config, a[0].config,
+            "different seed, different chaff"
+        );
+        assert!(generate_decoy_routers(1, 0).is_empty());
+    }
 
     #[test]
     fn small_dataset_generates() {

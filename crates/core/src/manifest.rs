@@ -95,6 +95,15 @@ pub struct FileEntry {
     pub status: FileStatus,
     /// Hex SHA-1 of the published bytes (released/quarantined only).
     pub digest: Option<String>,
+    /// True for NetCloak-style decoy inputs (`batch --decoys N`):
+    /// synthetic chaff the owner injected to dilute structural
+    /// fingerprints. The flag is the owner's provenance record — the
+    /// released *bytes* carry no marker — so the owner can strip or
+    /// account for decoys later while a recipient of the corpus alone
+    /// cannot tell them apart. Serialized only when true, so runs
+    /// without decoys produce byte-identical manifests to older
+    /// versions.
+    pub decoy: bool,
 }
 
 /// The run journal: secret fingerprint plus per-file state, in corpus
@@ -118,6 +127,7 @@ impl RunManifest {
                     name: n.clone(),
                     status: FileStatus::Pending,
                     digest: None,
+                    decoy: false,
                 })
                 .collect(),
         }
@@ -156,6 +166,29 @@ impl RunManifest {
         }
     }
 
+    /// Flags every entry named in `names` as a decoy. Returns false if
+    /// any name is unknown (a corpus/manifest mismatch — callers treat
+    /// it like [`RunManifest::set`] failing).
+    pub fn mark_decoys(&mut self, names: &std::collections::BTreeSet<String>) -> bool {
+        let mut remaining = names.len();
+        for f in &mut self.files {
+            if names.contains(&f.name) {
+                f.decoy = true;
+                remaining -= 1;
+            }
+        }
+        remaining == 0
+    }
+
+    /// Names of the entries flagged as decoys, in corpus order.
+    pub fn decoy_names(&self) -> Vec<String> {
+        self.files
+            .iter()
+            .filter(|f| f.decoy)
+            .map(|f| f.name.clone())
+            .collect()
+    }
+
     /// Number of entries still pending.
     pub fn pending_count(&self) -> usize {
         self.files
@@ -175,6 +208,9 @@ impl RunManifest {
                     .with("status", f.status.name());
                 if let Some(d) = &f.digest {
                     o.set("digest", d.as_str());
+                }
+                if f.decoy {
+                    o.set("decoy", true);
                 }
                 o
             })
@@ -229,10 +265,12 @@ impl RunManifest {
                 ))
             })?;
             let digest = f.get("digest").and_then(Json::as_str).map(str::to_string);
+            let decoy = f.get("decoy").and_then(Json::as_bool).unwrap_or(false);
             files.push(FileEntry {
                 name,
                 status,
                 digest,
+                decoy,
             });
         }
         Ok(RunManifest {
@@ -280,6 +318,40 @@ mod tests {
         let text = String::from_utf8(m.to_bytes()).expect("utf8");
         let back = RunManifest::from_json_str(&text).expect("parse");
         assert_eq!(back, m);
+    }
+
+    #[test]
+    fn decoy_flags_round_trip_and_stay_off_the_wire_when_absent() {
+        let mut m = RunManifest::new(b"secret", &names(&["a.cfg", "net/zz-decoy-0.cfg"]));
+        let marked: std::collections::BTreeSet<String> =
+            ["net/zz-decoy-0.cfg".to_string()].into();
+        assert!(m.mark_decoys(&marked));
+        assert_eq!(m.decoy_names(), vec!["net/zz-decoy-0.cfg".to_string()]);
+
+        let text = String::from_utf8(m.to_bytes()).expect("utf8");
+        assert!(text.contains("\"decoy\""), "flag serialized when set");
+        let back = RunManifest::from_json_str(&text).expect("parse");
+        assert_eq!(back, m);
+
+        // Status updates preserve the provenance flag.
+        assert!(m.set("net/zz-decoy-0.cfg", FileStatus::Released, Some("ab".into())));
+        assert_eq!(m.decoy_names().len(), 1);
+
+        // Unknown names fail, mirroring `set`.
+        let unknown: std::collections::BTreeSet<String> = ["nope.cfg".to_string()].into();
+        assert!(!m.mark_decoys(&unknown));
+    }
+
+    #[test]
+    fn decoy_free_manifests_keep_the_v1_wire_format() {
+        let m = RunManifest::new(b"s", &names(&["a", "b"]));
+        let text = String::from_utf8(m.to_bytes()).expect("utf8");
+        assert!(
+            !text.contains("decoy"),
+            "no-decoy runs must serialize byte-identically to older versions"
+        );
+        let back = RunManifest::from_json_str(&text).expect("parse");
+        assert!(back.decoy_names().is_empty());
     }
 
     #[test]

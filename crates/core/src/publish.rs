@@ -344,6 +344,22 @@ impl<'a> Publisher<'a> {
         self.journal()
     }
 
+    /// Journals every name in `names` as a decoy input (`--decoys N`) in
+    /// one durable write — the owner's provenance record for injected
+    /// chaff. Called right after `begin`/`resume`/`begin_incremental`
+    /// so the flags are on disk before any decoy bytes publish.
+    pub fn mark_decoys(&mut self, names: &BTreeSet<String>) -> Result<(), AnonError> {
+        if names.is_empty() {
+            return Ok(());
+        }
+        if !self.manifest.mark_decoys(names) {
+            return Err(AnonError::InvalidInput {
+                message: format!("{RUN_MANIFEST_NAME}: decoy name not in corpus"),
+            });
+        }
+        self.journal()
+    }
+
     /// Writes an unjournaled artifact (a leak report, a bench file)
     /// atomically and durably through the same counters.
     pub fn write_report(&mut self, path: &Path, bytes: &[u8]) -> Result<(), AnonError> {
@@ -601,6 +617,37 @@ mod tests {
             ),
             "wrong secret"
         );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mark_decoys_journals_provenance_and_survives_resume() {
+        let dir = tmpdir("decoys");
+        let ns = names(&["a.cfg", "net/zz-decoy-0.cfg"]);
+        let mut p = Publisher::begin(&StdFs, &dir, b"s", &ns).expect("begin");
+        let decoys = BTreeSet::from(["net/zz-decoy-0.cfg".to_string()]);
+        p.mark_decoys(&decoys).expect("mark");
+        assert_eq!(
+            manifest_on_disk(&dir).decoy_names(),
+            vec!["net/zz-decoy-0.cfg".to_string()],
+            "flags are journaled before any bytes publish"
+        );
+        p.release("a.cfg", b"real").expect("a");
+        p.release("net/zz-decoy-0.cfg", b"chaff").expect("decoy");
+        drop(p);
+
+        // Resume keeps the provenance flag even while re-verifying.
+        let (p2, verified) = Publisher::resume(&StdFs, &dir, b"s", &ns).expect("resume");
+        assert_eq!(verified.len(), 2);
+        assert_eq!(p2.manifest().decoy_names(), vec!["net/zz-decoy-0.cfg".to_string()]);
+
+        // Unknown decoy names are a corpus/journal mismatch.
+        let mut p3 = Publisher::begin(&StdFs, &dir, b"s", &ns).expect("begin again");
+        let bogus = BTreeSet::from(["missing.cfg".to_string()]);
+        assert!(matches!(
+            p3.mark_decoys(&bogus),
+            Err(AnonError::InvalidInput { .. })
+        ));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

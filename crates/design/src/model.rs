@@ -125,6 +125,39 @@ impl RoutingDesign {
     pub fn interface_count(&self) -> usize {
         self.routers.iter().map(|r| r.interface_count).sum()
     }
+
+    /// Enumerates the design as a set of atomic, name-abstracted facts —
+    /// the §5 "extraction facts" a researcher would tabulate. Each fact
+    /// is a stable string, so pre/post fact sets diff with plain set
+    /// operations and the surviving fraction is the utility score the
+    /// risk–utility audit reports.
+    ///
+    /// Router facts are keyed by file-order index, which anonymization
+    /// preserves; whole-network facts (adjacency set, session sets) are
+    /// single atoms, so a run that perturbs any part of them loses the
+    /// whole fact — the conservative direction for a utility *score*.
+    pub fn facts(&self) -> BTreeSet<String> {
+        let mut facts = BTreeSet::new();
+        for (i, r) in self.routers.iter().enumerate() {
+            facts.insert(format!("router{i}:interfaces={}", r.interface_count));
+            facts.insert(format!("router{i}:igps={:?}", r.igps));
+            facts.insert(format!(
+                "router{i}:igp_covered={}",
+                r.igp_covered_interfaces
+            ));
+            facts.insert(format!("router{i}:bgp_speaker={}", r.bgp_speaker));
+            facts.insert(format!("router{i}:neighbors={}", r.neighbors.len()));
+            facts.insert(format!(
+                "router{i}:ibgp_neighbors={}",
+                r.neighbors.iter().filter(|n| n.ibgp).count()
+            ));
+        }
+        facts.insert(format!("adjacencies={:?}", self.adjacencies));
+        facts.insert(format!("ibgp_sessions={:?}", self.internal_bgp_sessions));
+        facts.insert(format!("ebgp_sessions={}", self.external_bgp_sessions));
+        facts.insert(format!("bgp_speakers={}", self.bgp_speaker_count()));
+        facts
+    }
 }
 
 #[cfg(test)]
@@ -161,5 +194,28 @@ mod tests {
         };
         assert_eq!(d.bgp_speaker_count(), 1);
         assert_eq!(d.interface_count(), 5);
+    }
+
+    #[test]
+    fn facts_enumerate_and_diff() {
+        let a = RoutingDesign {
+            routers: vec![RouterDesign {
+                interface_count: 3,
+                bgp_speaker: true,
+                ..Default::default()
+            }],
+            external_bgp_sessions: 2,
+            ..Default::default()
+        };
+        let fa = a.facts();
+        assert!(fa.contains("router0:interfaces=3"));
+        assert!(fa.contains("ebgp_sessions=2"));
+        assert_eq!(fa, a.clone().facts(), "pure function of the design");
+
+        let mut b = a.clone();
+        b.external_bgp_sessions = 0;
+        let fb = b.facts();
+        let preserved = fa.intersection(&fb).count();
+        assert_eq!(fa.len() - preserved, 1, "exactly the session fact differs");
     }
 }

@@ -58,15 +58,34 @@ pub const METRICS_FILE_NAME: &str = "metrics.json";
 /// `confanon validate` and batch input discovery skip files by it.
 pub const TRACE_SUFFIX: &str = ".trace.json";
 
+/// Conventional file name of the risk–utility audit report written by
+/// `confanon audit --risk` (schema `confanon-risk-v1`); corpus
+/// discovery and `confanon validate` skip it by this name.
+pub const RISK_REPORT_FILE_NAME: &str = "risk_report.json";
+
 /// True for file names that are observability artifacts rather than
-/// configuration data: the metrics document and trace files. Corpus
-/// discovery and post-run validation must never treat these as configs,
-/// exactly as they already skip the run journal.
+/// configuration data: the metrics document, trace files, and the
+/// risk-audit report. Corpus discovery and post-run validation must
+/// never treat these as configs, exactly as they already skip the run
+/// journal.
 pub fn is_observability_artifact(file_name: &str) -> bool {
     file_name == METRICS_FILE_NAME
         || file_name == "trace.json"
+        || file_name == RISK_REPORT_FILE_NAME
         || file_name.ends_with(TRACE_SUFFIX)
 }
+
+/// The deterministic counters every risk-audit run records into its
+/// report's `counters` object (DESIGN §16): corpus shape and attack
+/// volume, so two reports can be compared for coverage before their
+/// rates are compared for risk. All are integers derived from the
+/// input corpus — never wall-clock.
+pub const AUDIT_COUNTERS: [&str; 4] = [
+    "audit.networks",
+    "audit.routers",
+    "audit.attack_trials",
+    "audit.tradeoff_rows",
+];
 
 /// Assembles the two sections into the versioned metrics document.
 pub fn metrics_doc(deterministic: Json, timing: Json) -> Json {
@@ -177,6 +196,7 @@ mod tests {
         assert!(is_observability_artifact("metrics.json"));
         assert!(is_observability_artifact("trace.json"));
         assert!(is_observability_artifact("run.trace.json"));
+        assert!(is_observability_artifact("risk_report.json"));
         assert!(!is_observability_artifact("r1.cfg"));
         assert!(!is_observability_artifact("metrics.json.cfg"));
         assert!(!is_observability_artifact("leak_report.json"));

@@ -1,0 +1,430 @@
+//! The attack battery: three deterministic de-anonymization attacks,
+//! each a pure function of `(pre corpus, post corpus, options)`.
+//!
+//! The threat model is the paper's §6: the attacker holds the *released*
+//! bytes only — never `run_manifest.json`, never the owner secret used
+//! for scoring — plus whatever public knowledge the specific attack
+//! grants (a candidate-network set, the population's degree signatures,
+//! or *m* known plaintext/ciphertext ASN pairs). The pre-anonymization
+//! corpus appears in these signatures purely as ground truth for
+//! *scoring* the attacker's guesses.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use confanon_asnanon::{is_public, AsnMap, PUBLIC_ASN_COUNT};
+use confanon_confgen::{generate_dataset, DatasetSpec};
+use confanon_design::extract_design;
+use confanon_iosparse::Config;
+use confanon_testkit::rng::{Rng, SeedableRng, StdRng};
+use confanon_validate::{subnet_fingerprint, FingerprintIndex};
+
+use crate::corpus::NetworkView;
+
+/// Seed salt separating the distractor-candidate stream from everything
+/// else derived from the audit seed.
+const DISTRACTOR_SALT: u64 = 0xD15A_57E5_0000_0001;
+
+/// Seed salt for the known-plaintext pair selection.
+const KNOWN_PAIR_SALT: u64 = 0x4B50_A125_0000_0002;
+
+/// Outcome of the §6.2/§6.3 prefix-structure fingerprint attack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrefixAttack {
+    /// Networks probed (every released network, decoys included — the
+    /// attacker cannot tell chaff from signal).
+    pub trials: u64,
+    /// Networks whose subnet fingerprint matched exactly one candidate,
+    /// and that candidate was the true source network.
+    pub successes: u64,
+    /// Networks whose true source ranked within the top-*k* candidates
+    /// by fingerprint distance.
+    pub top_k_successes: u64,
+    /// Size of the candidate index the attacker searched.
+    pub candidates_total: u64,
+}
+
+/// Runs the prefix-structure fingerprint attack: each released
+/// network's subnet-size histogram is matched against a candidate index
+/// holding every pre-anonymization network plus `distractors` seeded
+/// synthetic networks (public knowledge an attacker could assemble from
+/// looking like-sized networks up).
+pub fn prefix_attack(
+    pre: &[NetworkView],
+    post: &[NetworkView],
+    seed: u64,
+    top_k: usize,
+    distractors: usize,
+) -> PrefixAttack {
+    let mut index = FingerprintIndex::new();
+    for n in pre {
+        index.insert(&n.name, subnet_fingerprint(&n.configs));
+    }
+    if distractors > 0 {
+        let ds = generate_dataset(&DatasetSpec {
+            seed: seed ^ DISTRACTOR_SALT,
+            networks: distractors,
+            mean_routers: 6,
+            backbone_fraction: 0.35,
+        });
+        for (i, n) in ds.networks.iter().enumerate() {
+            let configs: Vec<Config> =
+                n.routers.iter().map(|r| Config::parse(&r.config)).collect();
+            index.insert(&format!("distractor-{i}"), subnet_fingerprint(&configs));
+        }
+    }
+
+    let mut out = PrefixAttack {
+        trials: 0,
+        successes: 0,
+        top_k_successes: 0,
+        candidates_total: index.len() as u64,
+    };
+    for n in post {
+        out.trials += 1;
+        let probe = subnet_fingerprint(&n.configs);
+        if index.exact_unique(&probe) == Some(n.name.as_str()) {
+            out.successes += 1;
+        }
+        if index
+            .match_top_k(&probe, top_k)
+            .iter()
+            .any(|m| m.name == n.name)
+        {
+            out.top_k_successes += 1;
+        }
+    }
+    out
+}
+
+/// Outcome of the per-router degree-matching attack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DegreeAttack {
+    /// Routers probed: every *real* released router (decoys are excluded
+    /// from trials — they have no true identity to recover — but they
+    /// still sit in the released population the attacker searches).
+    pub trials: u64,
+    /// Routers whose (interface count, BGP neighbor count, speaker)
+    /// signature is unique in the known population and points at the
+    /// router's true source file.
+    pub successes: u64,
+}
+
+/// A router's degree signature: structure the anonymizer preserves by
+/// design, and therefore exactly what re-identification can lean on.
+type Signature = (usize, usize, bool);
+
+fn signatures(view: &NetworkView) -> Vec<Signature> {
+    extract_design(&view.configs)
+        .routers
+        .iter()
+        .map(|r| (r.interface_count, r.neighbors.len(), r.bgp_speaker))
+        .collect()
+}
+
+/// Runs the degree-matching attack: the attacker knows every source
+/// router's degree signature (ground truth from the pre corpus) and
+/// claims a released router re-identified when its signature is unique
+/// in that population and the unique owner is the router's true source.
+pub fn degree_attack(pre: &[NetworkView], post: &[NetworkView]) -> DegreeAttack {
+    let mut owners: BTreeMap<Signature, Vec<(&str, &str)>> = BTreeMap::new();
+    for n in pre {
+        for (i, sig) in signatures(n).into_iter().enumerate() {
+            if let Some(file) = n.files.get(i) {
+                owners.entry(sig).or_default().push((n.name.as_str(), file));
+            }
+        }
+    }
+
+    let mut out = DegreeAttack {
+        trials: 0,
+        successes: 0,
+    };
+    for n in post {
+        for (i, sig) in signatures(n).into_iter().enumerate() {
+            if n.decoy.get(i).copied().unwrap_or(false) {
+                continue;
+            }
+            let Some(file) = n.files.get(i) else {
+                continue;
+            };
+            out.trials += 1;
+            if let Some(list) = owners.get(&sig) {
+                if let [(owner_net, owner_file)] = list.as_slice() {
+                    if *owner_net == n.name && *owner_file == file {
+                        out.successes += 1;
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Outcome of the known-plaintext attack on the ASN permutation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AsnAttack {
+    /// Target ASNs the attacker tried to recover (the pre corpus's
+    /// public ASNs minus the known pairs).
+    pub trials: u64,
+    /// Targets recovered by any strategy.
+    pub successes: u64,
+    /// Targets that survived into the released bytes in plaintext — the
+    /// direct cost of disabling an ASN rule, counted inside `successes`.
+    pub plaintext_survivors: u64,
+    /// Per-target success probability of blind guessing: one over the
+    /// public ASN space the permutation walks.
+    pub chance_level: f64,
+}
+
+/// Public ASNs observable in a corpus: numeric tokens directly following
+/// `router bgp`, `remote-as`, or `local-as` — the contexts the paper's
+/// rules 6/7 anonymize.
+fn observed_asns(views: &[NetworkView]) -> BTreeSet<u16> {
+    let mut out = BTreeSet::new();
+    for view in views {
+        for config in &view.configs {
+            for line in config.lines() {
+                let mut prev: Option<&str> = None;
+                for tok in line.split_whitespace() {
+                    if matches!(prev, Some("bgp" | "remote-as" | "local-as")) {
+                        if let Ok(v) = tok.parse::<u16>() {
+                            if is_public(v) {
+                                out.insert(v);
+                            }
+                        }
+                    }
+                    prev = Some(tok);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Clamps an attacker's arithmetic guess back into the public ASN space.
+fn clamp_public(v: i64) -> u16 {
+    v.clamp(1, PUBLIC_ASN_COUNT as i64) as u16
+}
+
+/// Runs the known-plaintext ASN attack. The attacker holds `known_pairs`
+/// seeded `(plain, anon)` pairs (an insider leak, or ASNs recognized
+/// from public peering data) and, for every anonymized ASN visible in
+/// the released corpus, guesses its plaintext by identity,
+/// nearest-known-pair offset, and linear interpolation between the
+/// bracketing known pairs. A target also counts as recovered when its
+/// plaintext survives verbatim in the released bytes.
+///
+/// `secret` is the *owner's* secret, used only to score guesses against
+/// the true permutation — the attacker never evaluates it.
+pub fn asn_attack(
+    pre: &[NetworkView],
+    post: &[NetworkView],
+    secret: &[u8],
+    seed: u64,
+    known_pairs: usize,
+) -> AsnAttack {
+    let plain: Vec<u16> = observed_asns(pre).into_iter().collect();
+    let post_tokens = observed_asns(post);
+    let map = AsnMap::new(secret);
+    let chance_level = 1.0 / PUBLIC_ASN_COUNT as f64;
+
+    // Seeded known-pair selection: shuffle the plain ASNs, take the
+    // first m as the attacker's leak.
+    let mut order: Vec<usize> = (0..plain.len()).collect();
+    let mut rng = StdRng::seed_from_u64(seed ^ KNOWN_PAIR_SALT);
+    for i in (1..order.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        order.swap(i, j);
+    }
+    let m = known_pairs.min(plain.len());
+    let known: Vec<(u16, u16)> = order[..m]
+        .iter()
+        .map(|&i| (plain[i], map.map(plain[i])))
+        .collect();
+    let known_set: BTreeSet<u16> = known.iter().map(|(p, _)| *p).collect();
+    // Interpolation wants the pairs sorted by anonymized value.
+    let mut by_anon = known.clone();
+    by_anon.sort_by_key(|(_, c)| *c);
+
+    let mut out = AsnAttack {
+        trials: 0,
+        successes: 0,
+        plaintext_survivors: 0,
+        chance_level,
+    };
+    for &p in plain.iter().filter(|p| !known_set.contains(p)) {
+        out.trials += 1;
+        if post_tokens.contains(&p) {
+            out.plaintext_survivors += 1;
+            out.successes += 1;
+            continue;
+        }
+        let c = map.map(p);
+        if !post_tokens.contains(&c) {
+            continue; // the ciphertext never surfaced; nothing to attack
+        }
+        let mut guesses: Vec<u16> = vec![c]; // identity: hope the map is trivial
+        if let Some((pk, ck)) = known
+            .iter()
+            .min_by_key(|(_, ck)| (i64::from(*ck) - i64::from(c)).abs())
+        {
+            // Nearest-known-pair offset: assume a locally constant shift.
+            guesses.push(clamp_public(
+                i64::from(c) + i64::from(*pk) - i64::from(*ck),
+            ));
+        }
+        let below = by_anon.iter().rev().find(|(_, ck)| *ck <= c);
+        let above = by_anon.iter().find(|(_, ck)| *ck >= c);
+        if let (Some((pl, cl)), Some((ph, ch))) = (below, above) {
+            if ch > cl {
+                // Linear interpolation between the bracketing pairs.
+                let num = (i64::from(*ph) - i64::from(*pl)) * (i64::from(c) - i64::from(*cl));
+                let den = i64::from(*ch) - i64::from(*cl);
+                guesses.push(clamp_public(i64::from(*pl) + num / den));
+            }
+        }
+        if guesses.contains(&p) {
+            out.successes += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::group_networks;
+
+    fn corpus(v: &[(&str, &str)]) -> Vec<NetworkView> {
+        let files: Vec<(String, String)> =
+            v.iter().map(|(n, t)| (n.to_string(), t.to_string())).collect();
+        group_networks(&files, &BTreeSet::new())
+    }
+
+    fn net(name: &str, subnets: &[(&str, &str)]) -> (String, String) {
+        let mut text = String::from("hostname r\n");
+        for (i, (addr, mask)) in subnets.iter().enumerate() {
+            text.push_str(&format!(
+                "interface Ethernet{i}\n ip address {addr} {mask}\n"
+            ));
+        }
+        (format!("{name}/r1.cfg"), text)
+    }
+
+    #[test]
+    fn prefix_attack_recovers_identical_structure_and_misses_divergent() {
+        let a = net("alpha", &[("10.0.0.1", "255.255.255.252"), ("10.1.0.1", "255.255.255.0")]);
+        let b = net("beta", &[("10.2.0.1", "255.255.0.0")]);
+        let files = vec![a.clone(), b.clone()];
+        let pre = group_networks(&files, &BTreeSet::new());
+        // Structure-preserving release: same subnet sizes, new addresses.
+        let post_files = vec![
+            net("alpha", &[("172.16.0.1", "255.255.255.252"), ("172.17.0.1", "255.255.255.0")]),
+            net("beta", &[("172.18.0.1", "255.255.0.0")]),
+        ];
+        let post = group_networks(&post_files, &BTreeSet::new());
+        let r = prefix_attack(&pre, &post, 7, 3, 0);
+        assert_eq!((r.trials, r.successes, r.top_k_successes), (2, 2, 2));
+        assert_eq!(r.candidates_total, 2);
+
+        // A structure-scrambling release defeats the exact match.
+        let scrambled = corpus(&[("alpha/r1.cfg", "hostname r\n"), ("beta/r1.cfg", "hostname r\n")]);
+        let r2 = prefix_attack(&pre, &scrambled, 7, 3, 0);
+        assert_eq!(r2.successes, 0);
+    }
+
+    #[test]
+    fn prefix_attack_distractors_grow_the_candidate_set_deterministically() {
+        let files = vec![net("alpha", &[("10.0.0.1", "255.255.255.0")])];
+        let views = group_networks(&files, &BTreeSet::new());
+        let a = prefix_attack(&views, &views, 7, 3, 4);
+        let b = prefix_attack(&views, &views, 7, 3, 4);
+        assert_eq!(a, b, "same seed, same battery");
+        assert_eq!(a.candidates_total, 5);
+        // The seed reaches the distractor stream: different seeds yield
+        // different distractor corpora (the attack counts may coincide).
+        let d1 = generate_dataset(&DatasetSpec {
+            seed: 7 ^ DISTRACTOR_SALT,
+            networks: 1,
+            mean_routers: 6,
+            backbone_fraction: 0.35,
+        });
+        let d2 = generate_dataset(&DatasetSpec {
+            seed: 8 ^ DISTRACTOR_SALT,
+            networks: 1,
+            mean_routers: 6,
+            backbone_fraction: 0.35,
+        });
+        assert_ne!(d1.networks[0].routers[0].config, d2.networks[0].routers[0].config);
+    }
+
+    #[test]
+    fn degree_attack_requires_a_unique_population_signature() {
+        let unique = corpus(&[
+            ("alpha/r1.cfg", "hostname a\ninterface Ethernet0\n ip address 10.0.0.1 255.255.255.0\n"),
+            ("beta/r1.cfg", "hostname b\ninterface Ethernet0\n ip address 10.1.0.1 255.255.255.0\ninterface Ethernet1\n ip address 10.2.0.1 255.255.255.0\n"),
+        ]);
+        let r = degree_attack(&unique, &unique);
+        assert_eq!((r.trials, r.successes), (2, 2), "unique signatures re-identify");
+
+        // Two identical routers: signatures collide, nobody re-identifies.
+        let twins = corpus(&[
+            ("alpha/r1.cfg", "hostname a\ninterface Ethernet0\n ip address 10.0.0.1 255.255.255.0\n"),
+            ("beta/r1.cfg", "hostname b\ninterface Ethernet0\n ip address 10.1.0.1 255.255.255.0\n"),
+        ]);
+        let r2 = degree_attack(&twins, &twins);
+        assert_eq!((r2.trials, r2.successes), (2, 0));
+    }
+
+    #[test]
+    fn degree_attack_skips_decoy_trials() {
+        let files: Vec<(String, String)> = vec![
+            ("alpha/r1.cfg".to_string(), "hostname a\ninterface Ethernet0\n ip address 10.0.0.1 255.255.255.0\n".to_string()),
+            ("alpha/zz-decoy-0.cfg".to_string(), "hostname d\n".to_string()),
+        ];
+        let pre = group_networks(&[files[0].clone()], &BTreeSet::new());
+        let decoys = BTreeSet::from(["alpha/zz-decoy-0.cfg".to_string()]);
+        let post = group_networks(&files, &decoys);
+        let r = degree_attack(&pre, &post);
+        assert_eq!(r.trials, 1, "chaff has no identity to recover");
+    }
+
+    #[test]
+    fn asn_attack_scores_zero_against_the_permutation_and_catches_plaintext() {
+        let pre = corpus(&[(
+            "alpha/r1.cfg",
+            "router bgp 2914\n neighbor 10.0.0.2 remote-as 174\n neighbor 10.0.0.3 remote-as 3356\n neighbor 10.0.0.4 remote-as 701\n",
+        )]);
+        let map = AsnMap::new(b"s");
+        let anonymized = format!(
+            "router bgp {}\n neighbor 10.0.0.2 remote-as {}\n neighbor 10.0.0.3 remote-as {}\n neighbor 10.0.0.4 remote-as {}\n",
+            map.map(2914),
+            map.map(174),
+            map.map(3356),
+            map.map(701)
+        );
+        let post = corpus(&[("alpha/r1.cfg", anonymized.as_str())]);
+        let r = asn_attack(&pre, &post, b"s", 7, 1);
+        assert_eq!(r.trials, 3, "4 observed ASNs minus 1 known pair");
+        assert_eq!(r.successes, 0, "the Feistel permutation resists extension");
+        assert!(r.chance_level > 0.0 && r.chance_level < 1e-4);
+        assert_eq!(r, asn_attack(&pre, &post, b"s", 7, 1), "replayable");
+
+        // A release that leaks ASNs in plaintext is caught immediately.
+        let leaky = asn_attack(&pre, &pre, b"s", 7, 1);
+        assert_eq!(leaky.successes, leaky.trials);
+        assert_eq!(leaky.plaintext_survivors, leaky.trials);
+    }
+
+    #[test]
+    fn asn_attack_handles_empty_and_tiny_corpora() {
+        let empty = corpus(&[("alpha/r1.cfg", "hostname a\n")]);
+        let r = asn_attack(&empty, &empty, b"s", 1, 4);
+        assert_eq!((r.trials, r.successes), (0, 0));
+
+        // Fewer observed ASNs than requested pairs: everything is known.
+        let one = corpus(&[("alpha/r1.cfg", "router bgp 2914\n")]);
+        let r2 = asn_attack(&one, &one, b"s", 1, 4);
+        assert_eq!(r2.trials, 0);
+    }
+}

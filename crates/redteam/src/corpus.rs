@@ -1,0 +1,96 @@
+//! Corpus views: re-grouping a flat file list into per-network units.
+//!
+//! Both sides of an audit arrive as `(corpus-relative name, text)` pairs
+//! in corpus order — the same sorted order `confanon batch` fixes. The
+//! attacks work per *network* (the paper's unit of release), so this
+//! module groups files by their first path component, parses each into a
+//! [`Config`], and carries the owner's decoy provenance alongside.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use confanon_iosparse::Config;
+
+/// One network's slice of a corpus: parallel vectors of file names,
+/// parsed configs, and decoy provenance flags, all in corpus order.
+#[derive(Debug, Clone)]
+pub struct NetworkView {
+    /// The network name: the first path component of its files, or `"."`
+    /// for files at the corpus root.
+    pub name: String,
+    /// Corpus-relative file names.
+    pub files: Vec<String>,
+    /// Parsed configs, parallel to `files`.
+    pub configs: Vec<Config>,
+    /// Decoy provenance, parallel to `files`: true for injected chaff.
+    /// Only the corpus *owner* knows these — attacks see the flag solely
+    /// to score their trials against ground truth, never to pick inputs.
+    pub decoy: Vec<bool>,
+}
+
+impl NetworkView {
+    /// Number of decoy files in this view.
+    pub fn decoy_count(&self) -> usize {
+        self.decoy.iter().filter(|d| **d).count()
+    }
+}
+
+/// Groups `files` into [`NetworkView`]s by first path component,
+/// returning the views in name order. `decoys` names the injected chaff
+/// files (empty for an original corpus).
+pub fn group_networks(files: &[(String, String)], decoys: &BTreeSet<String>) -> Vec<NetworkView> {
+    let mut groups: BTreeMap<String, NetworkView> = BTreeMap::new();
+    for (name, text) in files {
+        let net = match name.split_once('/') {
+            Some((head, _)) => head,
+            None => ".",
+        };
+        let view = groups.entry(net.to_string()).or_insert_with(|| NetworkView {
+            name: net.to_string(),
+            files: Vec::new(),
+            configs: Vec::new(),
+            decoy: Vec::new(),
+        });
+        view.files.push(name.clone());
+        view.configs.push(Config::parse(text));
+        view.decoy.push(decoys.contains(name));
+    }
+    groups.into_values().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn files(v: &[(&str, &str)]) -> Vec<(String, String)> {
+        v.iter().map(|(n, t)| (n.to_string(), t.to_string())).collect()
+    }
+
+    #[test]
+    fn groups_by_first_component_in_name_order() {
+        let fs = files(&[
+            ("beta/r1.cfg", "hostname b1\n"),
+            ("alpha/r1.cfg", "hostname a1\n"),
+            ("alpha/r2.cfg", "hostname a2\n"),
+            ("loose.cfg", "hostname loose\n"),
+        ]);
+        let views = group_networks(&fs, &BTreeSet::new());
+        let names: Vec<&str> = views.iter().map(|v| v.name.as_str()).collect();
+        assert_eq!(names, vec![".", "alpha", "beta"]);
+        assert_eq!(views[1].files, vec!["alpha/r1.cfg", "alpha/r2.cfg"]);
+        assert_eq!(views[1].configs.len(), 2);
+        assert_eq!(views[0].files, vec!["loose.cfg"]);
+    }
+
+    #[test]
+    fn decoy_provenance_rides_along() {
+        let fs = files(&[
+            ("net/r1.cfg", "hostname r1\n"),
+            ("net/zz-decoy-0.cfg", "hostname chaff\n"),
+        ]);
+        let decoys = BTreeSet::from(["net/zz-decoy-0.cfg".to_string()]);
+        let views = group_networks(&fs, &decoys);
+        assert_eq!(views.len(), 1);
+        assert_eq!(views[0].decoy, vec![false, true]);
+        assert_eq!(views[0].decoy_count(), 1);
+    }
+}

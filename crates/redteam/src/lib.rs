@@ -1,0 +1,55 @@
+//! # confanon-redteam — the seeded de-anonymization red team
+//!
+//! §6 of the paper analyzes what an attacker holding only the *released*
+//! corpus can still learn. This crate makes that analysis executable: a
+//! deterministic battery of de-anonymization attacks that run against
+//! anonymized output (never the originals), each seeded through the
+//! testkit PRNG so success rates are exact, replayable numbers rather
+//! than anecdotes:
+//!
+//! * [`prefix_attack`] — §6.2/§6.3 structural fingerprinting: match each
+//!   released network's subnet-size histogram against a candidate set
+//!   (the true pre-anonymization networks plus seeded confgen
+//!   distractors) through [`confanon_validate::FingerprintIndex`],
+//!   scoring exact-unique recovery and top-*k* recovery.
+//! * [`degree_attack`] — per-router re-identification by degree: an
+//!   attacker who knows the population's (interface count, BGP neighbor
+//!   count, speaker) signatures tries to pin each released router to its
+//!   source. Structure preservation is exactly what keeps these
+//!   signatures stable, so this measures the utility/risk coupling.
+//! * [`asn_attack`] — known-plaintext attack on the ASN permutation: the
+//!   attacker holds *m* `(plain, anon)` pairs and tries to extend them to
+//!   the rest of the public ASNs via identity, nearest-known-offset, and
+//!   interpolation guesses. Against the cycle-walked Feistel permutation
+//!   every strategy should sit at chance level
+//!   (`1 /` [`confanon_asnanon::PUBLIC_ASN_COUNT`]); against a run with
+//!   an ASN rule disabled, plaintext survival makes the rate jump — the
+//!   quantified cost of `--disable-rule`.
+//!
+//! The counterweight is [`utility_score`]: the fraction of §5 extraction
+//! facts (validation suites 1 and 2, enumerated by
+//! [`confanon_design::RoutingDesign::facts`]) that survive from the
+//! original corpus into the released one. [`build_risk_report`] folds
+//! attacks and utility into the versioned `confanon-risk-v1` document
+//! whose tradeoff table is the deliverable: one row per anonymization
+//! variant, each pairing measured risk with measured utility.
+//!
+//! Everything here is a pure function of `(corpora, secret, options)` —
+//! no clock, no I/O — which is what makes risk reports byte-identical
+//! across runs and `--jobs` values.
+
+#![deny(rustdoc::broken_intra_doc_links)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod attacks;
+pub mod corpus;
+pub mod report;
+pub mod utility;
+
+pub use attacks::{asn_attack, degree_attack, prefix_attack, AsnAttack, DegreeAttack, PrefixAttack};
+pub use corpus::{group_networks, NetworkView};
+pub use report::{
+    build_risk_report, rate, run_suite, tradeoff_line, validate_risk_report, AttackSuite,
+    AuditOptions, TradeoffRow, RISK_SCHEMA,
+};
+pub use utility::{utility_score, UtilityScore};

@@ -1,0 +1,454 @@
+//! The `confanon-risk-v1` report: the attack battery and the utility
+//! score folded into one versioned, validator-checked document.
+//!
+//! The report is built exclusively from [`AttackSuite`] values — pure
+//! functions of the corpora — so its bytes are a deterministic function
+//! of `(pre corpus, post corpus, secret, options)`. `tests/audit_risk.rs`
+//! holds that to byte-identity across repeated runs and `--jobs` values;
+//! `tests/golden/risk_report.json` pins the seed corpus's document.
+
+use std::collections::BTreeSet;
+
+use confanon_testkit::json::Json;
+
+use crate::attacks::{asn_attack, degree_attack, prefix_attack, AsnAttack, DegreeAttack, PrefixAttack};
+use crate::corpus::group_networks;
+use crate::utility::{utility_score, UtilityScore};
+
+/// Schema tag of the risk report document.
+pub const RISK_SCHEMA: &str = "confanon-risk-v1";
+
+/// Knobs of one audit run. Every field feeds the report's `params` /
+/// `seed` members, so two reports are comparable exactly when these
+/// match.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AuditOptions {
+    /// Seed of every attack's PRNG stream (known-pair selection,
+    /// distractor candidates).
+    pub seed: u64,
+    /// `k` for top-*k* prefix-fingerprint recovery.
+    pub top_k: usize,
+    /// Known `(plain, anon)` ASN pairs handed to the attacker.
+    pub known_pairs: usize,
+    /// Synthetic distractor networks added to the prefix-attack
+    /// candidate set.
+    pub candidates: usize,
+}
+
+impl Default for AuditOptions {
+    fn default() -> AuditOptions {
+        AuditOptions {
+            seed: 0,
+            top_k: 3,
+            known_pairs: 4,
+            candidates: 8,
+        }
+    }
+}
+
+/// One full battery run: the three attacks plus the utility score over a
+/// `(pre, post)` corpus pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AttackSuite {
+    /// Networks in the released corpus.
+    pub networks: u64,
+    /// Router files in the released corpus (decoys included).
+    pub routers: u64,
+    /// Of those, injected decoy files.
+    pub decoy_files: u64,
+    /// Prefix-structure fingerprint attack outcome.
+    pub prefix: PrefixAttack,
+    /// Degree-matching attack outcome.
+    pub degree: DegreeAttack,
+    /// Known-plaintext ASN attack outcome.
+    pub asn: AsnAttack,
+    /// §5 fact survival.
+    pub utility: UtilityScore,
+}
+
+impl AttackSuite {
+    /// The headline risk number: the strongest attack's success rate.
+    pub fn risk_overall(&self) -> f64 {
+        rate(self.prefix.successes, self.prefix.trials)
+            .max(rate(self.degree.successes, self.degree.trials))
+            .max(rate(self.asn.successes, self.asn.trials))
+    }
+
+    /// Total attack trials across the battery.
+    pub fn attack_trials(&self) -> u64 {
+        self.prefix.trials + self.degree.trials + self.asn.trials
+    }
+}
+
+/// A success rate rounded to six decimals — enough resolution for any
+/// corpus the battery can hold, few enough digits that the JSON bytes
+/// stay readable and stable. Zero trials score zero risk.
+pub fn rate(successes: u64, trials: u64) -> f64 {
+    if trials == 0 {
+        0.0
+    } else {
+        (successes as f64 / trials as f64 * 1e6).round() / 1e6
+    }
+}
+
+/// Runs the whole battery over a `(pre, post)` corpus pair. `decoys`
+/// names the injected chaff files in `post` (owner provenance, used only
+/// for scoring); `secret` is the owner secret the released corpus was
+/// anonymized under, used only to score ASN guesses.
+pub fn run_suite(
+    pre: &[(String, String)],
+    post: &[(String, String)],
+    decoys: &BTreeSet<String>,
+    secret: &[u8],
+    opts: &AuditOptions,
+) -> AttackSuite {
+    let pre_views = group_networks(pre, &BTreeSet::new());
+    let post_views = group_networks(post, decoys);
+    AttackSuite {
+        networks: post_views.len() as u64,
+        routers: post_views.iter().map(|v| v.files.len() as u64).sum(),
+        decoy_files: post_views.iter().map(|v| v.decoy_count() as u64).sum(),
+        prefix: prefix_attack(&pre_views, &post_views, opts.seed, opts.top_k, opts.candidates),
+        degree: degree_attack(&pre_views, &post_views),
+        asn: asn_attack(&pre_views, &post_views, secret, opts.seed, opts.known_pairs),
+        utility: utility_score(&pre_views, &post_views),
+    }
+}
+
+/// One row of the risk–utility tradeoff table: a labelled anonymization
+/// variant and its battery outcome.
+#[derive(Debug, Clone)]
+pub struct TradeoffRow {
+    /// Human-readable variant label (`baseline`, `disable:…`, `scramble`,
+    /// `decoys:N`).
+    pub label: String,
+    /// Rules disabled for this variant (empty for baseline).
+    pub disabled_rules: Vec<String>,
+    /// The battery outcome for this variant.
+    pub suite: AttackSuite,
+}
+
+fn prefix_json(a: &PrefixAttack, top_k: usize) -> Json {
+    Json::obj()
+        .with("trials", a.trials)
+        .with("successes", a.successes)
+        .with("rate", rate(a.successes, a.trials))
+        .with("top_k", top_k as u64)
+        .with("top_k_successes", a.top_k_successes)
+        .with("top_k_rate", rate(a.top_k_successes, a.trials))
+        .with("candidates_total", a.candidates_total)
+}
+
+fn degree_json(a: &DegreeAttack) -> Json {
+    Json::obj()
+        .with("trials", a.trials)
+        .with("successes", a.successes)
+        .with("rate", rate(a.successes, a.trials))
+}
+
+fn asn_json(a: &AsnAttack) -> Json {
+    Json::obj()
+        .with("trials", a.trials)
+        .with("successes", a.successes)
+        .with("rate", rate(a.successes, a.trials))
+        .with("plaintext_survivors", a.plaintext_survivors)
+        .with("chance_level", a.chance_level)
+}
+
+/// [`UtilityScore::fraction`] in the same six-decimal rounding as the
+/// attack rates, so the document's numbers share one precision.
+fn utility_fraction(u: &UtilityScore) -> f64 {
+    if u.facts_total == 0 {
+        1.0
+    } else {
+        rate(u.facts_preserved, u.facts_total)
+    }
+}
+
+fn utility_json(u: &UtilityScore) -> Json {
+    Json::obj()
+        .with("facts_total", u.facts_total)
+        .with("facts_preserved", u.facts_preserved)
+        .with("fraction", utility_fraction(u))
+}
+
+fn row_json(row: &TradeoffRow) -> Json {
+    let s = &row.suite;
+    Json::obj()
+        .with("label", row.label.as_str())
+        .with(
+            "disabled_rules",
+            Json::Arr(row.disabled_rules.iter().map(|r| Json::from(r.as_str())).collect()),
+        )
+        .with("prefix_rate", rate(s.prefix.successes, s.prefix.trials))
+        .with("degree_rate", rate(s.degree.successes, s.degree.trials))
+        .with("asn_rate", rate(s.asn.successes, s.asn.trials))
+        .with("utility", utility_fraction(&s.utility))
+        .with("risk_overall", s.risk_overall())
+}
+
+/// The grep-able one-line rendering of a tradeoff row the CLI prints and
+/// `scripts/ci.sh` asserts on.
+pub fn tradeoff_line(label: &str, suite: &AttackSuite) -> String {
+    format!(
+        "tradeoff {label} prefix={:.3} degree={:.3} asn={:.3} utility={:.3}",
+        rate(suite.prefix.successes, suite.prefix.trials),
+        rate(suite.degree.successes, suite.degree.trials),
+        rate(suite.asn.successes, suite.asn.trials),
+        suite.utility.fraction()
+    )
+}
+
+/// Builds the `confanon-risk-v1` document: headline attacks/utility from
+/// `baseline`, a tradeoff table of `baseline` followed by `sweeps`, and
+/// the `confanon_obs::AUDIT_COUNTERS`-shaped counters object (the
+/// names are duplicated here rather than imported to keep this crate's
+/// dependency set to the analysis layers).
+pub fn build_risk_report(opts: &AuditOptions, baseline: &AttackSuite, sweeps: &[TradeoffRow]) -> Json {
+    let mut rows = vec![TradeoffRow {
+        label: "baseline".to_string(),
+        disabled_rules: Vec::new(),
+        suite: *baseline,
+    }];
+    rows.extend(sweeps.iter().cloned());
+    let counters = Json::obj()
+        .with("audit.networks", baseline.networks)
+        .with("audit.routers", baseline.routers)
+        .with("audit.attack_trials", baseline.attack_trials())
+        .with("audit.tradeoff_rows", rows.len() as u64);
+    Json::obj()
+        .with("schema", RISK_SCHEMA)
+        .with("seed", opts.seed)
+        .with(
+            "params",
+            Json::obj()
+                .with("top_k", opts.top_k as u64)
+                .with("known_pairs", opts.known_pairs as u64)
+                .with("candidates", opts.candidates as u64),
+        )
+        .with(
+            "corpus",
+            Json::obj()
+                .with("networks", baseline.networks)
+                .with("routers", baseline.routers)
+                .with("decoy_files", baseline.decoy_files),
+        )
+        .with("counters", counters)
+        .with(
+            "attacks",
+            Json::obj()
+                .with("prefix_fingerprint", prefix_json(&baseline.prefix, opts.top_k))
+                .with("degree_matching", degree_json(&baseline.degree))
+                .with("asn_known_plaintext", asn_json(&baseline.asn)),
+        )
+        .with("utility", utility_json(&baseline.utility))
+        .with("tradeoff", Json::Arr(rows.iter().map(row_json).collect()))
+}
+
+fn require_u64(obj: &Json, ctx: &str, key: &str) -> Result<u64, String> {
+    obj.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("{ctx}: missing integer {key:?}"))
+}
+
+fn require_rate(obj: &Json, ctx: &str, key: &str) -> Result<f64, String> {
+    let v = obj
+        .get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("{ctx}: missing number {key:?}"))?;
+    if !(0.0..=1.0).contains(&v) {
+        return Err(format!("{ctx}: {key} = {v} outside [0, 1]"));
+    }
+    Ok(v)
+}
+
+/// Checks one attack object: trials/successes/rate present, successes
+/// bounded by trials, and the rate consistent with the counts ("summing"
+/// — a report must never claim a rate its own counts contradict).
+fn check_attack(doc: &Json, name: &str) -> Result<(), String> {
+    let a = doc
+        .get("attacks")
+        .and_then(|s| s.get(name))
+        .ok_or_else(|| format!("missing attack {name:?}"))?;
+    let trials = require_u64(a, name, "trials")?;
+    let successes = require_u64(a, name, "successes")?;
+    if successes > trials {
+        return Err(format!("{name}: successes {successes} > trials {trials}"));
+    }
+    let r = require_rate(a, name, "rate")?;
+    if (r - rate(successes, trials)).abs() > 1e-6 {
+        return Err(format!("{name}: rate {r} inconsistent with {successes}/{trials}"));
+    }
+    Ok(())
+}
+
+/// Validates a parsed risk report: schema tag, every required section,
+/// per-attack count/rate consistency, utility-fraction consistency, and
+/// a well-formed non-empty tradeoff table whose `risk_overall` is the
+/// max of its attack rates. `confanon audit --check-report` is this
+/// function behind an exit code.
+pub fn validate_risk_report(doc: &Json) -> Result<(), String> {
+    match doc.get("schema").and_then(Json::as_str) {
+        Some(RISK_SCHEMA) => {}
+        Some(other) => return Err(format!("unexpected schema {other:?}")),
+        None => return Err("missing \"schema\" member".to_string()),
+    }
+    doc.get("seed")
+        .and_then(Json::as_u64)
+        .ok_or("missing integer \"seed\"")?;
+    for section in ["params", "corpus", "counters", "attacks", "utility"] {
+        match doc.get(section) {
+            Some(Json::Obj(_)) => {}
+            Some(_) => return Err(format!("\"{section}\" is not an object")),
+            None => return Err(format!("missing \"{section}\" section")),
+        }
+    }
+    if let Some(counters) = doc.get("counters") {
+        for key in ["audit.networks", "audit.routers", "audit.attack_trials", "audit.tradeoff_rows"] {
+            require_u64(counters, "counters", key)?;
+        }
+    }
+    for name in ["prefix_fingerprint", "degree_matching", "asn_known_plaintext"] {
+        check_attack(doc, name)?;
+    }
+    if let Some(u) = doc.get("utility") {
+        let total = require_u64(u, "utility", "facts_total")?;
+        let preserved = require_u64(u, "utility", "facts_preserved")?;
+        if preserved > total {
+            return Err(format!("utility: preserved {preserved} > total {total}"));
+        }
+        let f = require_rate(u, "utility", "fraction")?;
+        let expect = if total == 0 { 1.0 } else { rate(preserved, total) };
+        if (f - expect).abs() > 1e-6 {
+            return Err(format!(
+                "utility: fraction {f} inconsistent with {preserved}/{total}"
+            ));
+        }
+    }
+    let rows = doc
+        .get("tradeoff")
+        .and_then(Json::as_array)
+        .ok_or("missing \"tradeoff\" array")?;
+    if rows.is_empty() {
+        return Err("tradeoff table is empty".to_string());
+    }
+    for (i, row) in rows.iter().enumerate() {
+        let ctx = format!("tradeoff[{i}]");
+        row.get("label")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{ctx}: missing label"))?;
+        row.get("disabled_rules")
+            .and_then(Json::as_array)
+            .ok_or_else(|| format!("{ctx}: missing disabled_rules array"))?;
+        let p = require_rate(row, &ctx, "prefix_rate")?;
+        let d = require_rate(row, &ctx, "degree_rate")?;
+        let a = require_rate(row, &ctx, "asn_rate")?;
+        require_rate(row, &ctx, "utility")?;
+        let overall = require_rate(row, &ctx, "risk_overall")?;
+        if (overall - p.max(d).max(a)).abs() > 1e-6 {
+            return Err(format!(
+                "{ctx}: risk_overall {overall} is not the max attack rate"
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_corpus() -> Vec<(String, String)> {
+        vec![
+            (
+                "alpha/r1.cfg".to_string(),
+                "hostname a1\ninterface Ethernet0\n ip address 10.0.0.1 255.255.255.252\nrouter bgp 2914\n neighbor 10.0.0.2 remote-as 174\n neighbor 10.0.0.5 remote-as 701\n neighbor 10.0.0.6 remote-as 3356\n neighbor 10.0.0.7 remote-as 7018\n neighbor 10.0.0.8 remote-as 1299\n"
+                    .to_string(),
+            ),
+            (
+                "beta/r1.cfg".to_string(),
+                "hostname b1\ninterface Ethernet0\n ip address 10.1.0.1 255.255.0.0\ninterface Ethernet1\n ip address 10.2.0.1 255.255.255.0\n"
+                    .to_string(),
+            ),
+        ]
+    }
+
+    #[test]
+    fn suite_and_report_are_deterministic_and_valid() {
+        let corpus = tiny_corpus();
+        let opts = AuditOptions { seed: 7, ..AuditOptions::default() };
+        let s1 = run_suite(&corpus, &corpus, &BTreeSet::new(), b"s", &opts);
+        let s2 = run_suite(&corpus, &corpus, &BTreeSet::new(), b"s", &opts);
+        assert_eq!(s1, s2);
+        assert_eq!(s1.networks, 2);
+        assert_eq!(s1.routers, 2);
+
+        let report = build_risk_report(&opts, &s1, &[]);
+        assert_eq!(
+            report.to_string_pretty(),
+            build_risk_report(&opts, &s2, &[]).to_string_pretty(),
+            "byte-identical documents"
+        );
+        validate_risk_report(&report).expect("self-built reports validate");
+        let reparsed = Json::parse(&report.to_string_pretty()).expect("parses");
+        validate_risk_report(&reparsed).expect("round-trips");
+    }
+
+    #[test]
+    fn validator_rejects_inconsistent_documents() {
+        assert!(validate_risk_report(&Json::obj()).is_err());
+        assert!(validate_risk_report(&Json::obj().with("schema", "other-v9")).is_err());
+
+        let corpus = tiny_corpus();
+        let opts = AuditOptions::default();
+        let suite = run_suite(&corpus, &corpus, &BTreeSet::new(), b"s", &opts);
+        let good = build_risk_report(&opts, &suite, &[]);
+
+        // successes > trials
+        let mut bad = good.clone();
+        if let Some(a) = bad.get_mut("attacks").and_then(|s| s.get_mut("degree_matching")) {
+            a.set("successes", 1_000_000u64);
+        }
+        assert!(validate_risk_report(&bad).unwrap_err().contains("degree"));
+
+        // rate contradicting the counts
+        let mut bad = good.clone();
+        if let Some(a) = bad.get_mut("attacks").and_then(|s| s.get_mut("prefix_fingerprint")) {
+            a.set("rate", 0.123456);
+        }
+        assert!(validate_risk_report(&bad).unwrap_err().contains("inconsistent"));
+
+        // a tradeoff row whose risk_overall is not the max
+        let mut bad = good.clone();
+        if let Some(Json::Arr(rows)) = bad.get_mut("tradeoff") {
+            rows[0].set("risk_overall", 0.0);
+            rows[0].set("prefix_rate", 1.0);
+        }
+        assert!(validate_risk_report(&bad).unwrap_err().contains("risk_overall"));
+
+        // empty tradeoff table
+        let mut bad = good.clone();
+        if let Some(t) = bad.get_mut("tradeoff") {
+            *t = Json::Arr(Vec::new());
+        }
+        assert!(validate_risk_report(&bad).unwrap_err().contains("empty"));
+    }
+
+    #[test]
+    fn tradeoff_lines_are_grepable() {
+        let corpus = tiny_corpus();
+        let opts = AuditOptions::default();
+        let suite = run_suite(&corpus, &corpus, &BTreeSet::new(), b"s", &opts);
+        let line = tradeoff_line("baseline", &suite);
+        assert!(line.starts_with("tradeoff baseline prefix="));
+        assert!(line.contains(" utility="));
+    }
+
+    #[test]
+    fn rate_is_bounded_and_rounded() {
+        assert_eq!(rate(0, 0), 0.0);
+        assert_eq!(rate(1, 2), 0.5);
+        assert_eq!(rate(1, 3), 0.333333);
+        assert_eq!(rate(7, 7), 1.0);
+    }
+}

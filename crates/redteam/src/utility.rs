@@ -1,0 +1,121 @@
+//! The utility side of the tradeoff: how much of the §5 research value
+//! survives anonymization.
+//!
+//! Every fact the validation suites would tabulate — the ten compared
+//! [`NetworkProperties`] fields per network (suite 1) and the
+//! name-abstracted routing-design facts (suite 2, via
+//! [`confanon_design::RoutingDesign::facts`]) — is rendered as a stable
+//! string, network-prefixed. Utility is then a plain set intersection:
+//! the fraction of the original corpus's facts still derivable from the
+//! released corpus. Decoys are *not* filtered out of the released side:
+//! a researcher consuming the corpus cannot distinguish them, so chaff
+//! that perturbs a network's aggregate properties genuinely costs
+//! utility, and the score says so.
+
+use std::collections::BTreeSet;
+
+use confanon_design::extract_design;
+use confanon_validate::{network_properties, NetworkProperties};
+
+use crate::corpus::NetworkView;
+
+/// The utility score: §5 extraction facts preserved across anonymization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UtilityScore {
+    /// Facts derivable from the original corpus.
+    pub facts_total: u64,
+    /// Of those, facts still derivable from the released corpus.
+    pub facts_preserved: u64,
+}
+
+impl UtilityScore {
+    /// Preserved fraction in `[0, 1]`; an empty corpus preserves
+    /// everything vacuously.
+    pub fn fraction(&self) -> f64 {
+        if self.facts_total == 0 {
+            1.0
+        } else {
+            self.facts_preserved as f64 / self.facts_total as f64
+        }
+    }
+}
+
+/// Suite-1 facts: one per compared property field (`lines` is excluded
+/// there too — comment stripping legitimately changes it).
+fn property_facts(net: &str, p: &NetworkProperties, facts: &mut BTreeSet<String>) {
+    facts.insert(format!("{net}:props:routers={}", p.routers));
+    facts.insert(format!("{net}:props:bgp_speakers={}", p.bgp_speakers));
+    facts.insert(format!("{net}:props:interfaces={}", p.interfaces));
+    facts.insert(format!("{net}:props:subnet_histogram={:?}", p.subnet_histogram));
+    facts.insert(format!("{net}:props:bgp_neighbors={}", p.bgp_neighbors));
+    facts.insert(format!("{net}:props:route_map_clauses={}", p.route_map_clauses));
+    facts.insert(format!(
+        "{net}:props:distinct_route_maps={}",
+        p.distinct_route_maps
+    ));
+    facts.insert(format!("{net}:props:acl_entries={}", p.acl_entries));
+    facts.insert(format!("{net}:props:ipv6_interfaces={}", p.ipv6_interfaces));
+    facts.insert(format!(
+        "{net}:props:ipv6_subnet_histogram={:?}",
+        p.ipv6_subnet_histogram
+    ));
+}
+
+fn corpus_facts(views: &[NetworkView]) -> BTreeSet<String> {
+    let mut facts = BTreeSet::new();
+    for view in views {
+        property_facts(&view.name, &network_properties(&view.configs), &mut facts);
+        for fact in extract_design(&view.configs).facts() {
+            facts.insert(format!("{}:design:{fact}", view.name));
+        }
+    }
+    facts
+}
+
+/// Scores the released corpus against the original: the fraction of §5
+/// extraction facts (suites 1 and 2) that survived.
+pub fn utility_score(pre: &[NetworkView], post: &[NetworkView]) -> UtilityScore {
+    let pre_facts = corpus_facts(pre);
+    let post_facts = corpus_facts(post);
+    UtilityScore {
+        facts_total: pre_facts.len() as u64,
+        facts_preserved: pre_facts.intersection(&post_facts).count() as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::group_networks;
+
+    fn corpus(v: &[(&str, &str)]) -> Vec<NetworkView> {
+        let files: Vec<(String, String)> =
+            v.iter().map(|(n, t)| (n.to_string(), t.to_string())).collect();
+        group_networks(&files, &BTreeSet::new())
+    }
+
+    #[test]
+    fn identical_corpora_preserve_everything() {
+        let views = corpus(&[(
+            "alpha/r1.cfg",
+            "hostname r1\ninterface Ethernet0\n ip address 10.0.0.1 255.255.255.0\nrouter bgp 2914\n neighbor 10.0.0.2 remote-as 174\n",
+        )]);
+        let u = utility_score(&views, &views);
+        assert!(u.facts_total > 0);
+        assert_eq!(u.facts_preserved, u.facts_total);
+        assert_eq!(u.fraction(), 1.0);
+    }
+
+    #[test]
+    fn structural_damage_costs_utility() {
+        let pre = corpus(&[(
+            "alpha/r1.cfg",
+            "hostname r1\ninterface Ethernet0\n ip address 10.0.0.1 255.255.255.0\n",
+        )]);
+        let post = corpus(&[("alpha/r1.cfg", "hostname r1\n")]);
+        let u = utility_score(&pre, &post);
+        assert!(u.facts_preserved < u.facts_total);
+        assert!(u.fraction() < 1.0);
+        assert_eq!(UtilityScore { facts_total: 0, facts_preserved: 0 }.fraction(), 1.0);
+    }
+}

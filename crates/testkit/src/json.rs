@@ -89,6 +89,15 @@ impl Json {
         }
     }
 
+    /// Mutable object member lookup (for tests that corrupt documents
+    /// in place to exercise validators).
+    pub fn get_mut(&mut self, key: &str) -> Option<&mut Json> {
+        match self {
+            Json::Obj(members) => members.iter_mut().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
     pub fn as_str(&self) -> Option<&str> {
         match self {
             Json::Str(s) => Some(s),

@@ -110,6 +110,104 @@ impl FingerprintStudy {
     }
 }
 
+/// One candidate returned by [`FingerprintIndex::match_top_k`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FingerprintMatch {
+    /// The candidate's name.
+    pub name: String,
+    /// L1 distance between the probe and the candidate fingerprint.
+    pub distance: u64,
+}
+
+/// A reusable cross-corpus matching index over subnet fingerprints —
+/// the §6.2 attack made operational.
+///
+/// The fingerprint *study* ([`FingerprintStudy`]) measures how unique
+/// fingerprints are within one population; the *index* answers the
+/// attacker's actual question: given an anonymized network's
+/// fingerprint, which member of a public candidate set is it? Both the
+/// validation suites and the `confanon audit --risk` red team share
+/// this entry point instead of re-walking the subnet trie themselves.
+///
+/// Matching is deterministic: candidates are ranked by L1 distance
+/// over the union of prefix lengths, ties broken by candidate name, so
+/// the same probe against the same index always returns the same
+/// ranking.
+#[derive(Debug, Clone, Default)]
+pub struct FingerprintIndex {
+    /// Candidate fingerprints, keyed by name (sorted — determinism).
+    entries: BTreeMap<String, SubnetFingerprint>,
+}
+
+impl FingerprintIndex {
+    /// An empty index.
+    pub fn new() -> FingerprintIndex {
+        FingerprintIndex::default()
+    }
+
+    /// Adds (or replaces) a named candidate fingerprint.
+    pub fn insert(&mut self, name: &str, fp: SubnetFingerprint) {
+        self.entries.insert(name.to_string(), fp);
+    }
+
+    /// Number of candidates.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the index holds no candidates.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// L1 distance between two fingerprints over the union of their
+    /// prefix lengths (absent = count 0).
+    pub fn distance(a: &SubnetFingerprint, b: &SubnetFingerprint) -> u64 {
+        let mut d = 0u64;
+        let mut seen = std::collections::BTreeSet::new();
+        for len in a.keys().chain(b.keys()) {
+            if seen.insert(*len) {
+                let ca = a.get(len).copied().unwrap_or(0) as u64;
+                let cb = b.get(len).copied().unwrap_or(0) as u64;
+                d = d.saturating_add(ca.abs_diff(cb));
+            }
+        }
+        d
+    }
+
+    /// The `k` nearest candidates to `probe`, ranked by (distance,
+    /// name).
+    pub fn match_top_k(&self, probe: &SubnetFingerprint, k: usize) -> Vec<FingerprintMatch> {
+        let mut ranked: Vec<FingerprintMatch> = self
+            .entries
+            .iter()
+            .map(|(name, fp)| FingerprintMatch {
+                name: name.clone(),
+                distance: Self::distance(probe, fp),
+            })
+            .collect();
+        ranked.sort_by(|x, y| (x.distance, &x.name).cmp(&(y.distance, &y.name)));
+        ranked.truncate(k);
+        ranked
+    }
+
+    /// The unique exact match: `Some(name)` iff exactly one candidate
+    /// sits at distance 0 from the probe — the certain-identification
+    /// criterion the §6.2 analysis asks about.
+    pub fn exact_unique(&self, probe: &SubnetFingerprint) -> Option<&str> {
+        let mut hit: Option<&str> = None;
+        for (name, fp) in &self.entries {
+            if Self::distance(probe, fp) == 0 {
+                if hit.is_some() {
+                    return None;
+                }
+                hit = Some(name.as_str());
+            }
+        }
+        hit
+    }
+}
+
 /// Renders a subnet fingerprint to a stable string key.
 pub fn subnet_key(fp: &SubnetFingerprint) -> String {
     fp.iter()
@@ -192,6 +290,62 @@ mod tests {
         let s = FingerprintStudy::from_keys(&[]);
         assert_eq!(s.networks, 0);
         assert_eq!(s.entropy_bits, 0.0);
+    }
+
+    fn fp(pairs: &[(u8, usize)]) -> SubnetFingerprint {
+        pairs.iter().copied().collect()
+    }
+
+    #[test]
+    fn index_distance_is_l1_over_the_union() {
+        let a = fp(&[(24, 2), (30, 5)]);
+        let b = fp(&[(24, 2), (30, 3), (28, 1)]);
+        assert_eq!(FingerprintIndex::distance(&a, &b), 3);
+        assert_eq!(FingerprintIndex::distance(&b, &a), 3, "symmetric");
+        assert_eq!(FingerprintIndex::distance(&a, &a), 0);
+        assert_eq!(FingerprintIndex::distance(&fp(&[]), &a), 7);
+    }
+
+    #[test]
+    fn index_ranks_by_distance_then_name() {
+        let mut idx = FingerprintIndex::new();
+        idx.insert("net-b", fp(&[(24, 2)]));
+        idx.insert("net-a", fp(&[(24, 2)]));
+        idx.insert("net-c", fp(&[(24, 5)]));
+        let ranked = idx.match_top_k(&fp(&[(24, 2)]), 2);
+        assert_eq!(ranked.len(), 2);
+        assert_eq!(ranked[0].name, "net-a");
+        assert_eq!(ranked[0].distance, 0);
+        assert_eq!(ranked[1].name, "net-b");
+        assert_eq!(ranked[1].distance, 0);
+    }
+
+    #[test]
+    fn index_exact_unique_requires_a_single_zero_distance_candidate() {
+        let mut idx = FingerprintIndex::new();
+        idx.insert("alone", fp(&[(30, 4)]));
+        idx.insert("other", fp(&[(30, 7)]));
+        assert_eq!(idx.exact_unique(&fp(&[(30, 4)])), Some("alone"));
+        assert_eq!(idx.exact_unique(&fp(&[(30, 5)])), None, "no exact hit");
+        idx.insert("twin", fp(&[(30, 4)]));
+        assert_eq!(idx.exact_unique(&fp(&[(30, 4)])), None, "collision class");
+        assert_eq!(idx.len(), 3);
+        assert!(!idx.is_empty());
+    }
+
+    #[test]
+    fn index_matches_across_pre_and_post_corpora() {
+        // Structure preservation means the anonymized network's
+        // fingerprint equals its own pre fingerprint: the index built
+        // from "public" candidates re-identifies it exactly.
+        let pre = Config::parse(
+            "interface a\n ip address 10.0.0.1 255.255.255.252\ninterface b\n ip address 10.0.1.1 255.255.255.0\n",
+        );
+        let mut idx = FingerprintIndex::new();
+        idx.insert("victim", subnet_fingerprint(std::slice::from_ref(&pre)));
+        idx.insert("distractor", fp(&[(16, 1)]));
+        let probe = subnet_fingerprint(&[pre]);
+        assert_eq!(idx.exact_unique(&probe), Some("victim"));
     }
 
     #[test]

@@ -25,7 +25,8 @@ pub mod suite1;
 pub mod suite2;
 
 pub use fingerprint::{
-    peering_fingerprint, subnet_fingerprint, FingerprintStudy, PeeringFingerprint,
+    peering_fingerprint, subnet_fingerprint, FingerprintIndex, FingerprintMatch,
+    FingerprintStudy, PeeringFingerprint,
 };
 pub use probe::{run_probe_study, ProbeModel, ProbeStudy};
 pub use suite1::{compare_properties, network_properties, NetworkProperties, Suite1Report};

@@ -383,4 +383,49 @@ set -e
 serve_pid=""
 [ "$rc" -eq 0 ] || { echo "serve-chaos smoke: daemon drain exited $rc, want 0"; exit 1; }
 
+echo "==> audit smoke: seeded risk-utility report over the seed corpus"
+# Run the red team against the observability smoke's released corpus
+# ($obs_dir/out1 — a complete journaled batch output), validate the
+# report through the CLI checker, demand the greppable tradeoff table
+# (baseline + both default rule ablations + the decoy row), prove the
+# report byte-identical across --jobs, and hold the paper's core claim:
+# the keyed ASN permutation gives the known-plaintext attacker nothing.
+audit_dir="$(mktemp -d)"
+trap 'kill "$serve_pid" "$proxy_pid" 2>/dev/null || true; rm -rf "$corpus_dir" "$obs_dir" "$chaos_dir" "$crash_dir" "$incr_dir" "$serve_dir" "$wire_dir" "$audit_dir"' EXIT
+
+./target/release/confanon audit --risk --secret smoke-bench-secret \
+    --decoys 2 --jobs 1 \
+    --pre-dir "$corpus_dir" --post-dir "$obs_dir/out1" \
+    --report "$audit_dir/risk-j1.json" > "$audit_dir/tradeoff.txt"
+./target/release/confanon audit --check-report "$audit_dir/risk-j1.json"
+
+for row in "tradeoff baseline " "tradeoff disable:router-bgp-asn " \
+           "tradeoff disable:neighbor-remote-as " "tradeoff scramble " \
+           "tradeoff decoys:2 "; do
+    grep -q "^$row" "$audit_dir/tradeoff.txt" || {
+        echo "audit smoke: missing table row '$row'"; cat "$audit_dir/tradeoff.txt"; exit 1;
+    }
+done
+
+./target/release/confanon audit --risk --secret smoke-bench-secret \
+    --decoys 2 --jobs 4 \
+    --pre-dir "$corpus_dir" --post-dir "$obs_dir/out1" \
+    --report "$audit_dir/risk-j4.json" > /dev/null
+cmp "$audit_dir/risk-j1.json" "$audit_dir/risk-j4.json" || {
+    echo "audit smoke: risk report differs between --jobs 1 and --jobs 4"; exit 1;
+}
+
+# The baseline known-plaintext ASN attack must recover nothing: the
+# asn_known_plaintext block is the first "successes" after the degree
+# block, so pull it structurally rather than by line position.
+asn_successes=$(sed -n '/"asn_known_plaintext"/,/}/s/.*"successes": \([0-9]*\).*/\1/p' \
+    "$audit_dir/risk-j1.json")
+[ "$asn_successes" = "0" ] || {
+    echo "audit smoke: known-plaintext ASN attack recovered $asn_successes ASN(s), want 0"
+    exit 1
+}
+
+echo "==> audit tradeoff table"
+cat "$audit_dir/tradeoff.txt"
+
 echo "CI OK"

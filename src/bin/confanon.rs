@@ -8,12 +8,14 @@
 //! confanon anonymize --secret <secret> [--compact] [--audit FILE] [--out-dir DIR] FILE...
 //! confanon batch     [--jobs N] [--secret S] [--out-dir DIR] [--quarantine-dir DIR]
 //!                    [--disable-rule NAMES] [--metrics FILE] [--trace FILE]
-//!                    [--bench-json FILE] [--bench-durability FILE] [--resume] DIR
+//!                    [--bench-json FILE] [--bench-durability FILE] [--resume]
+//!                    [--decoys N] DIR
 //! confanon chaos     [--seed S] [--count N] --out-dir DIR
 //! confanon generate  [--networks N] [--routers M] [--seed S] --out-dir DIR
 //! confanon validate  --pre-dir DIR --post-dir DIR
 //! confanon scan      --record FILE.json FILE...
 //! confanon metrics   [--deterministic] [--trace FILE] [FILE]
+//! confanon audit     --risk --pre-dir DIR --post-dir DIR --secret <secret> [...]
 //! confanon rules
 //! ```
 //!
@@ -130,13 +132,14 @@ fn main() -> ExitCode {
         Some("validate") => cmd_validate(&args[1..]),
         Some("scan") => cmd_scan(&args[1..]),
         Some("metrics") => cmd_metrics(&args[1..]),
+        Some("audit") => cmd_audit(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("client") => cmd_client(&args[1..]),
         Some("netchaos") => cmd_netchaos(&args[1..]),
         Some("rules") => cmd_rules(),
         _ => {
             eprintln!(
-                "usage: confanon <anonymize|batch|chaos|generate|validate|scan|metrics|serve|client|netchaos|rules> [options]\n\
+                "usage: confanon <anonymize|batch|chaos|generate|validate|scan|metrics|audit|serve|client|netchaos|rules> [options]\n\
                  \n\
                  anonymize --secret <secret> [--compact] [--audit FILE] [--out-dir DIR] FILE...\n\
                  \u{20}   Anonymize config files under one owner secret. With --out-dir,\n\
@@ -145,7 +148,7 @@ fn main() -> ExitCode {
                  batch [--jobs N] [--secret <secret>] [--out-dir DIR] [--quarantine-dir DIR]\n\
                  \u{20}     [--disable-rule NAME[,NAME...]] [--metrics FILE] [--trace FILE]\n\
                  \u{20}     [--bench-json FILE] [--bench-durability FILE] [--resume]\n\
-                 \u{20}     [--state DIR] DIR\n\
+                 \u{20}     [--state DIR] [--decoys N] DIR\n\
                  \u{20}   Anonymize every .cfg under DIR (recursively, one keyed state)\n\
                  \u{20}   using N discovery/rewrite workers. 0 = logical core count; values\n\
                  \u{20}   above the corpus size are clamped to one worker per file; values\n\
@@ -163,6 +166,9 @@ fn main() -> ExitCode {
                  \u{20}   and keeps every previously issued mapping stable. Requires\n\
                  \u{20}   --out-dir; an invalid, foreign, or corrupt state refuses with\n\
                  \u{20}   exit 2.\n\
+                 \u{20}   --decoys N injects N NetCloak-style synthetic chaff routers per\n\
+                 \u{20}   network, appended after the real corpus (real outputs stay\n\
+                 \u{20}   byte-identical) and flagged \"decoy\" in run_manifest.json.\n\
                  \u{20}   Exit codes: 0 ok, 1 I/O, 2 usage, 3 panic-contained, 4 leak-gated,\n\
                  \u{20}   5 interrupted-but-resumable (journal intact; re-run with --resume).\n\
                  chaos [--seed S] [--count N] --out-dir DIR\n\
@@ -180,6 +186,21 @@ fn main() -> ExitCode {
                  \u{20}   --serve, a confanon-serve-metrics-v1 stats frame).\n\
                  \u{20}   --deterministic prints only the deterministic section, for\n\
                  \u{20}   diffing two runs.\n\
+                 audit --risk --pre-dir DIR --post-dir DIR --secret <secret>\n\
+                 \u{20}     [--seed S] [--top-k K] [--known-pairs M] [--candidates N]\n\
+                 \u{20}     [--disable-rule NAME[,NAME...]] [--decoys N] [--jobs N]\n\
+                 \u{20}     [--report FILE]\n\
+                 audit --check-report FILE\n\
+                 \u{20}   Quantified risk–utility audit: runs a seeded de-anonymization\n\
+                 \u{20}   red team (prefix-structure fingerprinting, degree-distribution\n\
+                 \u{20}   matching, known-plaintext ASN recovery) against the released\n\
+                 \u{20}   bytes in --post-dir (must hold a run_manifest.json), scores the\n\
+                 \u{20}   fraction of routing-design facts preserved, and sweeps weakened\n\
+                 \u{20}   variants (rule ablations, scrambled IPs, decoy chaff) into a\n\
+                 \u{20}   tradeoff table. Writes a confanon-risk-v1 report (default\n\
+                 \u{20}   <post-dir>/risk_report.json); byte-identical for a given corpus,\n\
+                 \u{20}   secret, and seed at any --jobs value. --check-report validates\n\
+                 \u{20}   an existing report.\n\
                  serve --config confanon.toml [--listen HOST:PORT | --socket PATH]\n\
                  \u{20}     [--port-file FILE] [--queue-depth N] [--request-timeout-ms MS]\n\
                  \u{20}     [--idle-timeout-ms MS] [--max-connections N]\n\
@@ -252,7 +273,10 @@ fn parse_opts(args: &[String]) -> (BTreeMap<String, String>, Vec<String>) {
             // Boolean flags take no value when followed by another flag
             // or nothing.
             let takes_value = i + 1 < args.len() && !args[i + 1].starts_with("--");
-            let boolean = matches!(key, "compact" | "resume" | "deterministic" | "require-clean-state");
+            let boolean = matches!(
+                key,
+                "compact" | "resume" | "deterministic" | "require-clean-state" | "risk"
+            );
             if takes_value && !boolean {
                 opts.insert(key.to_string(), args[i + 1].clone());
                 i += 2;
@@ -444,6 +468,15 @@ fn cmd_batch(args: &[String]) -> ExitCode {
         }
     }
 
+    let decoys_per_network: usize = match opts.get("decoys").map(|d| d.parse()) {
+        None => 0,
+        Some(Ok(n)) => n,
+        Some(Err(_)) => {
+            eprintln!("batch: --decoys must be a non-negative integer");
+            return ExitCode::from(EXIT_USAGE);
+        }
+    };
+
     let out_dir = opts.get("out-dir").map(PathBuf::from);
     // Quarantined bytes must never land in the output directory: a
     // release step that globs --out-dir would ship them.
@@ -550,6 +583,25 @@ fn cmd_batch(args: &[String]) -> ExitCode {
     }
     bin_obs.span_end("sanitize", "phase", 0, t_sanitize);
 
+    // NetCloak-style chaff: decoys append at the END of the corpus
+    // vector, so every real file keeps the exact mappings (and released
+    // bytes) of a decoy-free run. Injection is a pure function of
+    // (secret, network names, N), which keeps --resume and --state
+    // reruns corpus-stable.
+    let decoy_names: BTreeSet<String> = if decoys_per_network > 0 {
+        let injected =
+            confanon::workflow::inject_decoys(&mut files, &secret_bytes, decoys_per_network);
+        eprintln!(
+            "decoys: injected {} synthetic chaff file(s) ({} requested per network)",
+            injected.len(),
+            decoys_per_network
+        );
+        bin_obs.count("phase.decoys.files", injected.len() as u64);
+        injected
+    } else {
+        BTreeSet::new()
+    };
+
     // Incremental state: load and validate any persisted anonymizer
     // state, compute each file's content watermark (digest of the
     // sanitized text — what the pipeline actually anonymizes), and
@@ -645,6 +697,15 @@ fn cmd_batch(args: &[String]) -> ExitCode {
         }
         None => None,
     };
+    // Every Publisher constructor (begin, resume, begin_incremental)
+    // builds or rebuilds the manifest from the name list alone, so the
+    // decoy provenance flags must be re-stamped on each run.
+    if let Some(p) = &mut publisher {
+        if let Err(e) = p.mark_decoys(&decoy_names) {
+            eprintln!("batch: {e}");
+            return ExitCode::from(exit_for(&e));
+        }
+    }
 
     let start = std::time::Instant::now();
     let mut restored_nodes = (0u64, 0u64);
@@ -1417,6 +1478,263 @@ fn cmd_metrics(args: &[String]) -> ExitCode {
         eprintln!("{path}: valid {}", confanon::obs::METRICS_SCHEMA);
     }
     ExitCode::SUCCESS
+}
+
+/// `confanon audit --risk`: the quantified risk–utility harness.
+///
+/// Prices a *released* corpus the way an adversary would: the red team
+/// sees only the anonymized bytes (plus, for the known-plaintext ASN
+/// attack, the handful of pairs a BGP looking glass would leak), while
+/// the utility score diffs the §5 routing-design facts extractable
+/// before and after anonymization. Everything is seeded — the written
+/// `confanon-risk-v1` report is byte-identical across repeats and
+/// `--jobs` values for a fixed corpus, secret, and seed.
+fn cmd_audit(args: &[String]) -> ExitCode {
+    use confanon::core::FileStatus;
+    use confanon::obs::RISK_REPORT_FILE_NAME;
+    use confanon::redteam::{tradeoff_line, validate_risk_report, AuditOptions};
+
+    let (opts, _pos) = parse_opts(args);
+
+    // Validation mode: `audit --check-report FILE` mirrors `confanon
+    // metrics` — parse, validate against confanon-risk-v1, exit nonzero
+    // on any malformation.
+    if let Some(path) = opts.get("check-report") {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("audit: {path}: {e}");
+                return ExitCode::from(EXIT_IO);
+            }
+        };
+        return match Json::parse(&text)
+            .map_err(|e| e.to_string())
+            .and_then(|doc| {
+                validate_risk_report(&doc)?;
+                Ok(doc)
+            }) {
+            Ok(doc) => {
+                let rows = doc
+                    .get("tradeoff")
+                    .and_then(Json::as_array)
+                    .map_or(0, |a| a.len());
+                eprintln!(
+                    "{path}: valid {} ({rows} tradeoff row(s))",
+                    confanon::redteam::RISK_SCHEMA
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("audit: {path}: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    if !opts.contains_key("risk") {
+        eprintln!("audit: --risk is required (or --check-report FILE)");
+        return ExitCode::from(EXIT_USAGE);
+    }
+    let (Some(pre_dir), Some(post_dir)) = (
+        opts.get("pre-dir").map(PathBuf::from),
+        opts.get("post-dir").map(PathBuf::from),
+    ) else {
+        eprintln!("audit: --risk requires --pre-dir DIR and --post-dir DIR");
+        return ExitCode::from(EXIT_USAGE);
+    };
+    let Some(secret) = opts.get("secret") else {
+        eprintln!("audit: --secret is required (the owner secret the corpus was anonymized under)");
+        return ExitCode::from(EXIT_USAGE);
+    };
+    let secret_bytes = secret.clone().into_bytes();
+
+    // Numeric knobs, each falling back to the AuditOptions default.
+    let defaults = AuditOptions::default();
+    let parse_usize = |key: &str, fallback: usize| -> Result<usize, ExitCode> {
+        match opts.get(key).map(|v| v.parse()) {
+            None => Ok(fallback),
+            Some(Ok(n)) => Ok(n),
+            Some(Err(_)) => {
+                eprintln!("audit: --{key} must be a non-negative integer");
+                Err(ExitCode::from(EXIT_USAGE))
+            }
+        }
+    };
+    let top_k = match parse_usize("top-k", defaults.top_k) {
+        Ok(n) => n,
+        Err(c) => return c,
+    };
+    let known_pairs = match parse_usize("known-pairs", defaults.known_pairs) {
+        Ok(n) => n,
+        Err(c) => return c,
+    };
+    let candidates = match parse_usize("candidates", defaults.candidates) {
+        Ok(n) => n,
+        Err(c) => return c,
+    };
+    let decoy_sweep = match parse_usize("decoys", 0) {
+        Ok(n) => n,
+        Err(c) => return c,
+    };
+    let jobs = match parse_usize("jobs", 0) {
+        Ok(n) if n <= MAX_JOBS => n,
+        Ok(n) => {
+            eprintln!("audit: --jobs {n} exceeds the {MAX_JOBS}-worker cap");
+            return ExitCode::from(EXIT_USAGE);
+        }
+        Err(c) => return c,
+    };
+    let seed: u64 = match opts.get("seed").map(|s| s.parse()) {
+        None => defaults.seed,
+        Some(Ok(s)) => s,
+        Some(Err(_)) => {
+            eprintln!("audit: --seed must be a non-negative integer");
+            return ExitCode::from(EXIT_USAGE);
+        }
+    };
+    let sweep_rules: Vec<String> = match opts.get("disable-rule") {
+        Some(spec) => {
+            let mut rules = Vec::new();
+            for name in spec.split(',').map(str::trim).filter(|n| !n.is_empty()) {
+                if !ALL_RULES.iter().any(|r| r.name == name) {
+                    eprintln!("audit: unknown rule {name:?} (see `confanon rules`)");
+                    return ExitCode::from(EXIT_USAGE);
+                }
+                rules.push(name.to_string());
+            }
+            rules
+        }
+        None => confanon::workflow::DEFAULT_SWEEP_RULES
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+    };
+
+    // The released side must be an anonymized output directory: the run
+    // journal is both the file list and the decoy provenance record.
+    // Anything else — a raw corpus, an empty directory — is a usage
+    // error, not an I/O error: auditing non-anonymized bytes as if they
+    // were a release would report nonsense risk numbers.
+    let manifest_path = post_dir.join(RUN_MANIFEST_NAME);
+    let manifest = match std::fs::read_to_string(&manifest_path)
+        .map_err(|e| e.to_string())
+        .and_then(|t| RunManifest::from_json_str(&t).map_err(|e| e.to_string()))
+    {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!(
+                "audit: {} is not an anonymized output directory \
+                 (no readable {RUN_MANIFEST_NAME}: {e})",
+                post_dir.display()
+            );
+            return ExitCode::from(EXIT_USAGE);
+        }
+    };
+    if manifest.secret_fingerprint != RunManifest::fingerprint(&secret_bytes) {
+        // Proceed anyway: auditing a foreign-secret release against
+        // this secret is the negative control (scores must collapse to
+        // chance), so a mismatch is a warning, not a refusal.
+        eprintln!(
+            "audit: warning: --secret does not match the manifest's owner \
+             fingerprint; attack scores will reflect a wrong-key adversary"
+        );
+    }
+    let decoys: BTreeSet<String> = manifest.decoy_names().into_iter().collect();
+    let mut post: Vec<(String, String)> = Vec::new();
+    for f in &manifest.files {
+        if f.status != FileStatus::Released {
+            continue;
+        }
+        let path = post_dir.join(format!("{}.anon", f.name));
+        match read_config_lossy(&path) {
+            Ok(text) => post.push((f.name.clone(), text)),
+            Err(e) => {
+                eprintln!("audit: {e}");
+                return ExitCode::from(EXIT_IO);
+            }
+        }
+    }
+    if post.is_empty() {
+        eprintln!(
+            "audit: no released outputs in {} (manifest has no released entries)",
+            post_dir.display()
+        );
+        return ExitCode::from(EXIT_USAGE);
+    }
+
+    // The pre side re-reads the original corpus exactly the way batch
+    // does (sorted recursion, hostile-input repair) so names line up
+    // with the manifest entries.
+    let mut pre_paths = Vec::new();
+    if let Err(e) = collect_cfg_files(&pre_dir, &mut pre_paths) {
+        eprintln!("audit: {e}");
+        return ExitCode::from(EXIT_IO);
+    }
+    if pre_paths.is_empty() {
+        eprintln!("audit: no .cfg files under {}", pre_dir.display());
+        return ExitCode::from(EXIT_USAGE);
+    }
+    let mut pre: Vec<(String, String)> = Vec::with_capacity(pre_paths.len());
+    for p in &pre_paths {
+        let rel = p
+            .strip_prefix(&pre_dir)
+            .unwrap_or(p)
+            .to_string_lossy()
+            .to_string();
+        match read_config_lossy(p) {
+            Ok(text) => pre.push((rel, text)),
+            Err(e) => {
+                eprintln!("audit: {e}");
+                return ExitCode::from(EXIT_IO);
+            }
+        }
+    }
+
+    let audit = confanon::workflow::risk_audit(&confanon::workflow::RiskAuditInput {
+        pre: &pre,
+        post: &post,
+        decoys: &decoys,
+        secret: &secret_bytes,
+        jobs,
+        opts: AuditOptions {
+            seed,
+            top_k,
+            known_pairs,
+            candidates,
+        },
+        sweep_rules: &sweep_rules,
+        decoy_sweep,
+    });
+    // Self-check before writing: a report this command emits must pass
+    // its own validator, or the schema contract is broken.
+    if let Err(e) = validate_risk_report(&audit.report) {
+        eprintln!("audit: internal error: generated report failed validation: {e}");
+        return ExitCode::from(EXIT_IO);
+    }
+
+    let report_path = opts
+        .get("report")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| post_dir.join(RISK_REPORT_FILE_NAME));
+    let mut durability = DurabilityStats::default();
+    let json = audit.report.to_string_pretty();
+    if let Err(e) = write_atomic(&StdFs, &report_path, json.as_bytes(), &mut durability) {
+        eprintln!("audit: {e}");
+        return ExitCode::from(exit_for(&e));
+    }
+
+    println!("{}", tradeoff_line("baseline", &audit.baseline));
+    for row in &audit.rows {
+        println!("{}", tradeoff_line(&row.label, &row.suite));
+    }
+    eprintln!(
+        "risk report written to {} ({} tradeoff row(s), risk {:.3}, utility {:.3})",
+        report_path.display(),
+        audit.rows.len() + 1,
+        audit.baseline.risk_overall(),
+        audit.baseline.utility.fraction()
+    );
+    ExitCode::from(EXIT_OK)
 }
 
 fn cmd_serve(args: &[String]) -> ExitCode {

@@ -22,7 +22,10 @@
 //! * [`design`] — routing-design extraction;
 //! * [`validate`] — the two validation suites and fingerprint studies;
 //! * [`obs`] — the deterministic observability layer (spans, counters,
-//!   histograms, `metrics.json`, Chrome trace export).
+//!   histograms, `metrics.json`, Chrome trace export);
+//! * [`redteam`] — the seeded de-anonymization red team and the
+//!   `confanon-risk-v1` risk–utility report behind `confanon audit
+//!   --risk`.
 //!
 //! ## Quickstart
 //!
@@ -50,5 +53,6 @@ pub use confanon_iosparse as iosparse;
 pub use confanon_ipanon as ipanon;
 pub use confanon_netprim as netprim;
 pub use confanon_obs as obs;
+pub use confanon_redteam as redteam;
 pub use confanon_regexlang as regexlang;
 pub use confanon_validate as validate;

@@ -8,15 +8,18 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::path::Path;
 
-use confanon_confgen::Network;
+use confanon_confgen::{generate_decoy_routers, Network};
 use confanon_core::leak::{LeakRecord, LeakReport, LeakScanner};
 use confanon_core::{
     AnonError, AnonState, AnonymizationStats, Anonymizer, AnonymizerConfig, BatchFailure,
-    BatchInput, BatchOutput, BatchPipeline, BatchReport, FileDiscovery, Publisher,
+    BatchInput, BatchOutput, BatchPipeline, BatchReport, FileDiscovery, IpScheme, Publisher,
+    RunManifest, ALL_RULES,
 };
+use confanon_crypto::Sha1;
 use confanon_design::RoutingDesign;
 use confanon_iosparse::Config;
 use confanon_obs::{Clock, ObsShard};
+use confanon_redteam::{build_risk_report, run_suite, AttackSuite, AuditOptions, TradeoffRow};
 use confanon_testkit::json::Json;
 use confanon_validate::{compare_designs, compare_properties, Suite1Report, Suite2Report};
 
@@ -507,6 +510,192 @@ pub fn publish_gated_run(
         quarantined: run.quarantined.len(),
         failed: failed.len(),
     })
+}
+
+/// Domain separator for per-network decoy seeds.
+const DECOY_SEED_DOMAIN: &[u8] = b"confanon-decoy-seed\x00";
+
+/// The rules `confanon audit --risk` ablates by default for the
+/// tradeoff table: the two ASN rules whose loss the known-plaintext
+/// attack prices directly.
+pub const DEFAULT_SWEEP_RULES: [&str; 2] = ["router-bgp-asn", "neighbor-remote-as"];
+
+/// Injects `per_network` NetCloak-style decoy routers into each
+/// top-level network directory of `files`, returning the injected
+/// names. Decoys are appended at the *end* of the corpus vector, so the
+/// shared mapping state issued to every real file is untouched
+/// (append-growth equivalence — the invariant `tests/incremental.rs`
+/// pins) and real outputs stay byte-identical to a decoy-free run.
+///
+/// Each network's decoy set is a pure function of `(owner secret,
+/// network name, per_network)` — seeded through the secret's manifest
+/// fingerprint — so `--resume` and `--state` re-runs regenerate an
+/// identical corpus. Names collide into the `zz-decoy-<i>.cfg` slot at
+/// the end of each directory's sort order; a corpus that already holds
+/// a file by that name keeps its own file (no decoy is injected there).
+pub fn inject_decoys(
+    files: &mut Vec<(String, String)>,
+    secret: &[u8],
+    per_network: usize,
+) -> BTreeSet<String> {
+    let mut injected = BTreeSet::new();
+    if per_network == 0 {
+        return injected;
+    }
+    let mut groups: Vec<String> = Vec::new();
+    for (name, _) in files.iter() {
+        let g = match name.split_once('/') {
+            Some((head, _)) => head.to_string(),
+            None => String::new(),
+        };
+        if !groups.contains(&g) {
+            groups.push(g);
+        }
+    }
+    let existing: BTreeSet<String> = files.iter().map(|(n, _)| n.clone()).collect();
+    let fingerprint = RunManifest::fingerprint(secret);
+    for group in groups {
+        let mut h = Sha1::new();
+        h.update(DECOY_SEED_DOMAIN);
+        h.update(fingerprint.as_bytes());
+        h.update(group.as_bytes());
+        let digest = h.finalize();
+        let mut seed_bytes = [0u8; 8];
+        seed_bytes.copy_from_slice(&digest[..8]);
+        let seed = u64::from_be_bytes(seed_bytes);
+        for (i, router) in generate_decoy_routers(seed, per_network).iter().enumerate() {
+            let name = if group.is_empty() {
+                format!("zz-decoy-{i}.cfg")
+            } else {
+                format!("{group}/zz-decoy-{i}.cfg")
+            };
+            if existing.contains(&name) {
+                continue;
+            }
+            injected.insert(name.clone());
+            files.push((name, router.config.clone()));
+        }
+    }
+    injected
+}
+
+/// Inputs of one risk–utility audit (`confanon audit --risk`).
+pub struct RiskAuditInput<'a> {
+    /// The original (pre-anonymization) corpus, sanitized, in corpus
+    /// order.
+    pub pre: &'a [(String, String)],
+    /// The released corpus under audit: `(corpus name, released text)`.
+    pub post: &'a [(String, String)],
+    /// Names in `post` flagged as decoys by the run manifest.
+    pub decoys: &'a BTreeSet<String>,
+    /// The owner secret the released corpus was anonymized under.
+    pub secret: &'a [u8],
+    /// Worker threads for the in-memory sweep re-anonymizations.
+    pub jobs: usize,
+    /// Attack battery knobs.
+    pub opts: AuditOptions,
+    /// Rule names to ablate, one tradeoff row each.
+    pub sweep_rules: &'a [String],
+    /// Decoys per network for the synthetic decoy row (0 = no row).
+    pub decoy_sweep: usize,
+}
+
+/// Outcome of a risk–utility audit: the baseline battery, the sweep
+/// rows, and the assembled `confanon-risk-v1` document.
+pub struct RiskAudit {
+    /// Battery outcome against the actual released bytes.
+    pub baseline: AttackSuite,
+    /// Sweep rows (rule ablations, scramble, decoys), in table order.
+    pub rows: Vec<TradeoffRow>,
+    /// The full report document.
+    pub report: Json,
+}
+
+/// The hypothetical release of a re-anonymized corpus: every output the
+/// pipeline produced, in corpus order, *including* gate-quarantined
+/// bytes — a sweep row prices "what if these bytes shipped", which is
+/// exactly the release the leak gate exists to refuse.
+fn hypothetical_release(files: &[(String, String)], run: &GatedCorpusRun) -> Vec<(String, String)> {
+    let mut by_name: BTreeMap<&str, &str> = BTreeMap::new();
+    for o in &run.clean {
+        by_name.insert(o.name.as_str(), o.text.as_str());
+    }
+    for q in &run.quarantined {
+        by_name.insert(q.output.name.as_str(), q.output.text.as_str());
+    }
+    files
+        .iter()
+        .filter_map(|(name, _)| {
+            by_name
+                .get(name.as_str())
+                .map(|text| (name.clone(), text.to_string()))
+        })
+        .collect()
+}
+
+/// Runs the full risk–utility audit: the attack battery against the
+/// actual released corpus (the headline numbers), then one tradeoff row
+/// per anonymization variant — each sweep re-anonymizes the original
+/// corpus *in memory* with the variant's config and attacks the
+/// hypothetical release:
+///
+/// * one row per name in `sweep_rules`, anonymized with that rule
+///   disabled (unknown names are skipped — hostile reports must not
+///   panic the audit);
+/// * a `scramble` row under [`IpScheme::Scramble`], pricing what
+///   structure destruction buys in risk and costs in utility;
+/// * when `decoy_sweep > 0`, a `decoys:N` row with [`inject_decoys`]
+///   chaff added before anonymization.
+///
+/// Pure of I/O and wall-clock, so the returned report is byte-identical
+/// across runs and `--jobs` values.
+pub fn risk_audit(input: &RiskAuditInput<'_>) -> RiskAudit {
+    let baseline = run_suite(input.pre, input.post, input.decoys, input.secret, &input.opts);
+
+    let mut rows = Vec::new();
+    let no_decoys = BTreeSet::new();
+    for rule_name in input.sweep_rules {
+        let Some(rule) = ALL_RULES.iter().find(|r| r.name == *rule_name) else {
+            continue;
+        };
+        let cfg = AnonymizerConfig::new(input.secret.to_vec()).without_rule(rule.id);
+        let run = anonymize_corpus_gated(input.pre, cfg, input.jobs);
+        let release = hypothetical_release(input.pre, &run);
+        rows.push(TradeoffRow {
+            label: format!("disable:{rule_name}"),
+            disabled_rules: vec![rule_name.clone()],
+            suite: run_suite(input.pre, &release, &no_decoys, input.secret, &input.opts),
+        });
+    }
+
+    let mut scramble_cfg = AnonymizerConfig::new(input.secret.to_vec());
+    scramble_cfg.ip_scheme = IpScheme::Scramble;
+    let run = anonymize_corpus_gated(input.pre, scramble_cfg, input.jobs);
+    let release = hypothetical_release(input.pre, &run);
+    rows.push(TradeoffRow {
+        label: "scramble".to_string(),
+        disabled_rules: Vec::new(),
+        suite: run_suite(input.pre, &release, &no_decoys, input.secret, &input.opts),
+    });
+
+    if input.decoy_sweep > 0 {
+        let mut chaffed = input.pre.to_vec();
+        let decoys = inject_decoys(&mut chaffed, input.secret, input.decoy_sweep);
+        let run = anonymize_corpus_gated(&chaffed, AnonymizerConfig::new(input.secret.to_vec()), input.jobs);
+        let release = hypothetical_release(&chaffed, &run);
+        rows.push(TradeoffRow {
+            label: format!("decoys:{}", input.decoy_sweep),
+            disabled_rules: Vec::new(),
+            suite: run_suite(input.pre, &release, &decoys, input.secret, &input.opts),
+        });
+    }
+
+    let report = build_risk_report(&input.opts, &baseline, &rows);
+    RiskAudit {
+        baseline,
+        rows,
+        report,
+    }
 }
 
 /// Anonymizes every network of a dataset in parallel (one thread per

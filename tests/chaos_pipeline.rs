@@ -227,3 +227,58 @@ fn unsanitized_mutations_never_panic_the_anonymizer() {
         assert!(out.failures.is_empty(), "round {round}: {:?}", out.failures);
     }
 }
+
+// ---- the red team under hostility ----------------------------------
+
+// Whatever chaos does to the corpus, the risk audit holds its
+// contract: the attack battery never panics, the assembled
+// `confanon-risk-v1` document passes its own validator (which enforces
+// that successes never exceed trials and every published rate is
+// consistent with its counts), and the corpus accounting matches what
+// the pipeline actually released.
+confanon_testkit::props! {
+    cases = 6;
+
+    fn hostile_corpus_yields_a_valid_risk_report(seed in 0u64..1_000_000) {
+        use confanon::redteam::{build_risk_report, run_suite, validate_risk_report, AuditOptions};
+
+        let pre = chaos_corpus(seed);
+        let out = run(&pre, 3);
+        // A real release: only what the gate let through.
+        let post: Vec<(String, String)> = out
+            .clean
+            .iter()
+            .map(|o| (o.name.clone(), o.text.clone()))
+            .collect();
+
+        let opts = AuditOptions { seed, ..AuditOptions::default() };
+        let no_decoys = std::collections::BTreeSet::new();
+        let suite = run_suite(&pre, &post, &no_decoys, b"chaos-secret", &opts);
+        let report = build_risk_report(&opts, &suite, &[]);
+        validate_risk_report(&report).unwrap_or_else(|e| {
+            panic!("seed {seed}: hostile corpus broke the risk report: {e}")
+        });
+
+        // The battery is replayable even on mutilated input.
+        assert_eq!(
+            suite,
+            run_suite(&pre, &post, &no_decoys, b"chaos-secret", &opts),
+            "seed {seed}: attack battery must be deterministic"
+        );
+        // Accounting: trials decompose exactly into the three attacks,
+        // and every rate is a probability.
+        assert_eq!(
+            suite.attack_trials(),
+            suite.prefix.trials + suite.degree.trials + suite.asn.trials,
+            "seed {seed}: trial accounting must sum"
+        );
+        let overall = suite.risk_overall();
+        assert!(
+            (0.0..=1.0).contains(&overall),
+            "seed {seed}: risk_overall {overall} out of range"
+        );
+        assert!(suite.prefix.successes <= suite.prefix.trials);
+        assert!(suite.degree.successes <= suite.degree.trials);
+        assert!(suite.asn.successes <= suite.asn.trials);
+    }
+}

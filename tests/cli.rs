@@ -855,3 +855,279 @@ fn client_backoff_flag_validation() {
         );
     }
 }
+
+// ---- risk audit (`confanon-risk-v1`): golden + negative paths -------
+
+/// The fixed two-network corpus behind `tests/golden/risk_report.json`.
+/// Regenerating the golden: `batch --secret golden-audit-secret
+/// --jobs 1 --out-dir OUT` over this corpus, then `audit --risk
+/// --pre-dir CORPUS --post-dir OUT --secret golden-audit-secret
+/// --decoys 1 --jobs 1` and copy the resulting `risk_report.json`.
+fn write_audit_corpus(root: &Path) -> std::path::PathBuf {
+    let corpus = root.join("corpus");
+    for (name, body) in [
+        (
+            "alpha/edge1.cfg",
+            "hostname edge1.alpha.example.com\n\
+             router bgp 64801\n \
+             neighbor 12.126.236.17 remote-as 701\n \
+             neighbor 4.68.121.9 remote-as 3356\n \
+             neighbor 203.181.248.27 remote-as 2914\n\
+             interface Ethernet0\n \
+             ip address 192.168.41.5 255.255.255.0\n\
+             interface Serial1\n \
+             ip address 10.40.7.2 255.255.255.252\n",
+        ),
+        (
+            "alpha/core9.cfg",
+            "hostname core9.alpha.example.com\n\
+             router bgp 64801\n \
+             neighbor 12.126.236.18 remote-as 1239\n \
+             neighbor 192.205.32.109 remote-as 7018\n\
+             interface Ethernet0\n \
+             ip address 192.168.44.1 255.255.255.0\n\
+             access-list 10 permit 172.22.9.0 0.0.0.255\n",
+        ),
+        (
+            "beta/gw3.cfg",
+            "hostname gw3.beta.example.net\n\
+             router bgp 64702\n \
+             neighbor 144.232.8.90 remote-as 1239\n \
+             neighbor 195.219.0.5 remote-as 6453\n\
+             interface FastEthernet0/0\n \
+             ip address 172.19.3.1 255.255.252.0\n\
+             interface FastEthernet0/1\n \
+             ip address 172.19.8.1 255.255.255.128\n",
+        ),
+        (
+            "beta/gw4.cfg",
+            "hostname gw4.beta.example.net\n\
+             router bgp 64702\n \
+             neighbor 157.130.10.1 remote-as 701\n \
+             neighbor 80.231.10.7 remote-as 1299\n\
+             interface FastEthernet0/0\n \
+             ip address 172.19.12.1 255.255.255.0\n",
+        ),
+    ] {
+        let path = corpus.join(name);
+        std::fs::create_dir_all(path.parent().expect("parent")).expect("mk net dir");
+        std::fs::write(&path, body).expect("write cfg");
+    }
+    corpus
+}
+
+/// Runs batch then `audit --risk` over the fixed corpus; returns
+/// (audit output, report path).
+fn golden_audit_run(root: &Path) -> (std::process::Output, std::path::PathBuf) {
+    let corpus = write_audit_corpus(root);
+    let out_dir = root.join("out");
+    let out = bin()
+        .args(["batch", "--secret", "golden-audit-secret", "--jobs", "1"])
+        .arg("--out-dir")
+        .arg(&out_dir)
+        .arg(&corpus)
+        .output()
+        .expect("run batch");
+    assert!(
+        out.status.success(),
+        "golden corpus batch failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let audit = bin()
+        .args(["audit", "--risk", "--secret", "golden-audit-secret"])
+        .args(["--decoys", "1", "--jobs", "1"])
+        .arg("--pre-dir")
+        .arg(&corpus)
+        .arg("--post-dir")
+        .arg(&out_dir)
+        .output()
+        .expect("run audit");
+    (audit, out_dir.join("risk_report.json"))
+}
+
+#[test]
+fn golden_risk_report_is_byte_stable() {
+    let root = tmpdir("golden-audit");
+    let (audit, report_path) = golden_audit_run(&root);
+    assert!(
+        audit.status.success(),
+        "audit failed: {}",
+        String::from_utf8_lossy(&audit.stderr)
+    );
+
+    // The tradeoff table goes to stdout, one line per row, baseline
+    // first — this is the greppable CI surface.
+    let stdout = String::from_utf8_lossy(&audit.stdout);
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert!(
+        lines.first().is_some_and(|l| l.starts_with("tradeoff baseline ")),
+        "{stdout}"
+    );
+    for label in ["disable:router-bgp-asn", "disable:neighbor-remote-as", "scramble", "decoys:1"] {
+        assert!(
+            lines.iter().any(|l| l.starts_with(&format!("tradeoff {label} "))),
+            "missing tradeoff row {label}: {stdout}"
+        );
+    }
+
+    // Byte-for-byte against the checked-in golden: any drift in attack
+    // seeding, rate arithmetic, report serialization, or the
+    // anonymizer itself is a diff to explain deliberately.
+    let golden_path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/risk_report.json");
+    let golden = std::fs::read(&golden_path).expect("read golden risk report");
+    let produced = std::fs::read(&report_path).expect("read produced report");
+    assert_eq!(
+        produced,
+        golden,
+        "risk_report.json changed — if intentional, regenerate \
+         tests/golden/risk_report.json and document the break"
+    );
+
+    // And the golden validates through the CLI checker.
+    let check = bin()
+        .args(["audit", "--check-report"])
+        .arg(&golden_path)
+        .output()
+        .expect("run check-report");
+    assert!(check.status.success(), "{}", String::from_utf8_lossy(&check.stderr));
+    assert!(
+        String::from_utf8_lossy(&check.stderr).contains("confanon-risk-v1"),
+        "checker names the schema"
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// `audit --risk` refuses a post-dir that is not an anonymized output
+/// directory (no run manifest) with a usage error, not an I/O error:
+/// scoring raw bytes as a release would produce nonsense numbers.
+#[test]
+fn audit_refuses_non_anonymized_post_dir() {
+    let root = tmpdir("audit-refuse");
+    let corpus = write_audit_corpus(&root);
+    let out = bin()
+        .args(["audit", "--risk", "--secret", "s"])
+        .arg("--pre-dir")
+        .arg(&corpus)
+        .arg("--post-dir")
+        .arg(&corpus)
+        .output()
+        .expect("run audit");
+    assert_eq!(out.status.code(), Some(2), "non-anonymized post-dir");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("not an anonymized output directory"),
+        "stderr explains the refusal"
+    );
+
+    // Missing required flags are usage errors too.
+    let out = bin().args(["audit"]).output().expect("run audit");
+    assert_eq!(out.status.code(), Some(2), "bare audit");
+    let out = bin()
+        .args(["audit", "--risk"])
+        .output()
+        .expect("run audit");
+    assert_eq!(out.status.code(), Some(2), "audit --risk without dirs");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// `audit --check-report` rejects malformed reports: torn JSON, a
+/// foreign schema, and internally inconsistent rates each fail with a
+/// nonzero exit and a reason on stderr.
+#[test]
+fn audit_check_report_rejects_malformed_documents() {
+    let root = tmpdir("audit-check");
+    let golden = std::fs::read_to_string(
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/risk_report.json"),
+    )
+    .expect("read golden");
+
+    let run = |tag: &str, body: &str| -> (Option<i32>, String) {
+        let path = root.join(format!("{tag}.json"));
+        std::fs::write(&path, body).expect("write report");
+        let out = bin()
+            .args(["audit", "--check-report"])
+            .arg(&path)
+            .output()
+            .expect("run check-report");
+        (
+            out.status.code(),
+            String::from_utf8_lossy(&out.stderr).to_string(),
+        )
+    };
+
+    let (code, stderr) = run("torn", &golden[..golden.len() / 2]);
+    assert_eq!(code, Some(1), "torn JSON: {stderr}");
+
+    let (code, stderr) = run("schema", &golden.replace("confanon-risk-v1", "confanon-risk-v99"));
+    assert_eq!(code, Some(1), "foreign schema: {stderr}");
+    assert!(stderr.contains("schema"), "{stderr}");
+
+    let (code, stderr) = run(
+        "sections",
+        &golden.replace("\"utility\": {", "\"utility_gone\": {"),
+    );
+    assert_eq!(code, Some(1), "missing utility section: {stderr}");
+    assert!(stderr.contains("utility"), "{stderr}");
+
+    // A missing file is an I/O error, not a validation failure.
+    let out = bin()
+        .args(["audit", "--check-report"])
+        .arg(root.join("absent.json"))
+        .output()
+        .expect("run check-report");
+    assert_eq!(out.status.code(), Some(1));
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// `batch --decoys N` appends chaff without perturbing real outputs:
+/// every real released file is byte-identical to a decoy-free run, and
+/// only decoys are flagged in the manifest.
+#[test]
+fn batch_decoys_leave_real_outputs_byte_identical() {
+    let root = tmpdir("batch-decoys");
+    let corpus = write_audit_corpus(&root);
+    let plain_dir = root.join("plain");
+    let chaff_dir = root.join("chaff");
+    for (dir, extra) in [(&plain_dir, None), (&chaff_dir, Some(["--decoys", "2"]))] {
+        let mut cmd = bin();
+        cmd.args(["batch", "--secret", "decoy-cli-secret", "--jobs", "1"])
+            .arg("--out-dir")
+            .arg(dir)
+            .arg(&corpus);
+        if let Some(extra) = extra {
+            cmd.args(extra);
+        }
+        let out = cmd.output().expect("run batch");
+        assert!(
+            out.status.success(),
+            "batch failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+
+    let manifest = confanon::core::RunManifest::from_json_str(
+        &std::fs::read_to_string(chaff_dir.join("run_manifest.json")).expect("read manifest"),
+    )
+    .expect("parse manifest");
+    let decoys = manifest.decoy_names();
+    assert_eq!(decoys.len(), 4, "2 decoys per network x 2 networks: {decoys:?}");
+    assert!(
+        decoys.iter().all(|n| n.contains("zz-decoy-")),
+        "decoy names are the reserved chaff slots: {decoys:?}"
+    );
+
+    for f in &manifest.files {
+        let chaffed = chaff_dir.join(format!("{}.anon", f.name));
+        assert!(chaffed.is_file(), "{} must be released", f.name);
+        if f.decoy {
+            continue;
+        }
+        let plain = plain_dir.join(format!("{}.anon", f.name));
+        assert_eq!(
+            std::fs::read(&plain).expect("read plain"),
+            std::fs::read(&chaffed).expect("read chaffed"),
+            "{}: real output must not move when chaff is added",
+            f.name
+        );
+    }
+    let _ = std::fs::remove_dir_all(&root);
+}
