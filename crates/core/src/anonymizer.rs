@@ -7,12 +7,16 @@
 //! addresses, then the generic "hash anything not on the pass-list"
 //! fallback, so nothing escapes by being unrecognized.
 
-use std::collections::HashSet;
+use std::borrow::Cow;
+use std::collections::{HashMap, HashSet};
 
 use confanon_asnanon::rewrite::{rewrite_aspath_regex_full, rewrite_community_regex_full};
 use confanon_asnanon::{AsnMap, CommunityMap, LargeCommunityMap, RewriteOptions};
 use confanon_crypto::TokenHasher;
-use confanon_iosparse::{classify_lines, rebuild, segment, tokenize, LineKind, Segment};
+use confanon_iosparse::{
+    classify_lines, rebuild, rebuild_sparse, segment, tokenize, LineKind, Segment, BYTE_CLASS,
+    CLASS_ALPHA, CLASS_DIGIT,
+};
 use confanon_ipanon::{Ip6Anonymizer, IpAnonymizer, RandomScramble};
 use confanon_netprim::{special6_kind, special_kind, Ip, Ip6};
 
@@ -21,7 +25,14 @@ use crate::error::BatchPhase;
 use crate::leak::LeakRecord;
 use crate::passlist::PassList;
 use crate::rules::{LineClass, LineClassCache, PrefilterStats, RuleId};
-use crate::stats::AnonymizationStats;
+use crate::stats::{AnonymizationStats, RewriteStats};
+
+/// Distinct-token cap for the salted-hash memo: beyond it, hashes are
+/// still computed but no longer interned, so a hostile corpus of unique
+/// identifiers cannot grow the memo without bound. The memo is a pure
+/// function of (owner secret, token), so capping — like clearing or
+/// cloning it — can never change an output byte.
+const HASH_MEMO_CAP: usize = 65_536;
 
 /// Which IP-address mapping the pipeline uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -66,6 +77,14 @@ pub struct AnonymizerConfig {
     /// exists for the differential property tests and the
     /// `--bench-json` prefilter benchmark.
     pub disable_prefilter: bool,
+    /// Disables the zero-copy rewrite path: every command line goes
+    /// through the pre-refactor always-allocating pipeline (per-token
+    /// `String`s, dense [`confanon_iosparse::rebuild`], uncached salted
+    /// hashing). Output bytes and rule fires are identical either way —
+    /// this exists for the differential property tests and the
+    /// `--bench-json` `rewrite` benchmark's before/after comparison (see
+    /// DESIGN.md §17).
+    pub disable_zero_copy: bool,
 }
 
 impl AnonymizerConfig {
@@ -79,6 +98,7 @@ impl AnonymizerConfig {
             ip_scheme: IpScheme::default(),
             fault_marker: None,
             disable_prefilter: false,
+            disable_zero_copy: false,
         }
     }
 
@@ -133,6 +153,16 @@ pub struct Anonymizer {
     /// line, so cache state can never change behaviour).
     line_cache: LineClassCache,
     prefilter_stats: PrefilterStats,
+    /// Interned salted token hashes (a pure function of the owner secret
+    /// and the token — identifiers repeat heavily in real configs, so
+    /// most SHA-1 invocations are answered by one lookup). Capped at
+    /// [`HASH_MEMO_CAP`].
+    hash_memo: HashMap<String, String>,
+    /// Borrow-or-own accounting for the zero-copy rewrite path. Kept
+    /// outside [`AnonymizationStats`] deliberately: borrow verdicts only
+    /// exist in emit mode, and per-file stats must stay identical
+    /// between the discovery and emit passes.
+    rewrite_stats: RewriteStats,
     /// `Some` only on shard-scan clones during sharded discovery: instead
     /// of mutating the tries, [`Anonymizer::map_ip`]/[`Anonymizer::map_ip6`]
     /// log the address's first corpus position here for the canonical
@@ -194,6 +224,8 @@ impl Anonymizer {
             emit: true,
             line_cache: LineClassCache::default(),
             prefilter_stats: PrefilterStats::default(),
+            hash_memo: HashMap::new(),
+            rewrite_stats: RewriteStats::default(),
             observe: None,
             journal: IdJournal::default(),
         }
@@ -243,12 +275,28 @@ impl Anonymizer {
     /// One token hash, skipped (empty string) during discovery: the hash
     /// is a pure function of the owner secret and the token, so eliding
     /// it cannot change any mapping state a later emit pass depends on.
-    fn hash_emit(&self, tok: &str) -> String {
-        if self.emit {
-            self.hasher.hash_token(tok)
-        } else {
-            String::new()
+    ///
+    /// Emitted hashes are interned in [`Anonymizer::hash_memo`]; the
+    /// legacy `disable_zero_copy` path bypasses the memo so the
+    /// differential benchmark measures the genuinely uncached
+    /// pre-refactor cost.
+    fn hash_emit(&mut self, tok: &str) -> String {
+        if !self.emit {
+            return String::new();
         }
+        if self.cfg.disable_zero_copy {
+            return self.hasher.hash_token(tok);
+        }
+        if let Some(h) = self.hash_memo.get(tok) {
+            self.rewrite_stats.hash_memo_hits += 1;
+            return h.clone();
+        }
+        let h = self.hasher.hash_token(tok);
+        self.rewrite_stats.hash_memo_misses += 1;
+        if self.hash_memo.len() < HASH_MEMO_CAP {
+            self.hash_memo.insert(tok.to_string(), h.clone());
+        }
+        h
     }
 
     /// Runs the full rule pipeline over one configuration *without*
@@ -419,18 +467,103 @@ impl Anonymizer {
         AnonymizedConfig { text: out, stats }
     }
 
-    /// Token-level rewriting of one command line.
-    fn anonymize_command_line(&mut self, line: &str, stats: &mut AnonymizationStats) -> String {
+    /// Token-level rewriting of one command line, borrow-or-own: the
+    /// returned [`Cow`] is `Borrowed` (no allocation, no copy) exactly
+    /// when no rewrite changed a byte of the line, and `Owned` otherwise.
+    ///
+    /// The borrow verdict is a *byte* property, not a rule-fire
+    /// property: classification-only fires (a pass-listed keyword still
+    /// fires R01, a special address passes through under R25) leave the
+    /// line `Borrowed`, and a coincidental identity (a permutation
+    /// fixed point emitting the original digits) is normalized back to
+    /// "untouched" before assembly. DESIGN.md §17 states the invariant
+    /// and the untouched-line identity proof; rule fires and output
+    /// bytes are proven identical to the `disable_zero_copy` legacy
+    /// path by the differential property suite.
+    pub fn anonymize_command_line<'a>(
+        &mut self,
+        line: &'a str,
+        stats: &mut AnonymizationStats,
+    ) -> Cow<'a, str> {
+        if self.cfg.disable_zero_copy {
+            return Cow::Owned(self.anonymize_command_line_legacy(line, stats));
+        }
         let toks = tokenize(line);
         let texts: Vec<&str> = toks.iter().map(|t| t.text).collect();
         stats.words_total += texts.len() as u64;
         let mut out: Vec<Option<String>> = vec![None; texts.len()];
 
         // Prefilter fast path: most lines provably cannot fire a context
-        // rule, and for those the lowercased-token vector and the full
+        // rule, and for those the lowercased line and the full
         // slice-pattern matcher are skipped wholesale. The verdict is a
         // conservative superset (see [`crate::rules::Prefilter`]), so
         // output bytes and rule fire counts are identical either way.
+        let class = if self.cfg.disable_prefilter {
+            LineClass::ContextScan
+        } else {
+            self.line_cache.classify(line, &mut self.prefilter_stats)
+        };
+        if class == LineClass::ContextScan {
+            // One lowercase copy of the whole line instead of one String
+            // per token: ASCII lowercasing is byte-for-byte, so the token
+            // spans index into the lowered copy directly.
+            let lowered = line.to_ascii_lowercase();
+            let lower: Vec<&str> = toks.iter().map(|t| &lowered[t.start..t.end()]).collect();
+            self.apply_context_rules(&lower, &texts, &mut out, stats);
+        }
+
+        // Per-token pass for everything the context rules left alone;
+        // `None` now means "kept verbatim" and stays `None`.
+        for (i, tok) in texts.iter().enumerate() {
+            if out[i].is_some() {
+                continue;
+            }
+            out[i] = self.rewrite_token(tok, stats);
+        }
+
+        if !self.emit {
+            // Discovery discards all output; every counter and mapping
+            // mutation above already happened.
+            return Cow::Borrowed("");
+        }
+        // Normalize coincidental identities — a rewrite that emitted the
+        // original bytes (permutation fixed point, context rule re-issuing
+        // the token) — so the borrow verdict below means exactly "no byte
+        // of this line changed".
+        for (slot, text) in out.iter_mut().zip(&texts) {
+            if slot.as_deref() == Some(*text) {
+                *slot = None;
+            }
+        }
+        self.rewrite_stats.lines_total += 1;
+        self.rewrite_stats.allocations_avoided +=
+            out.iter().filter(|s| s.is_none()).count() as u64;
+        let rebuilt = rebuild_sparse(line, &toks, &out);
+        match &rebuilt {
+            Cow::Borrowed(_) => {
+                self.rewrite_stats.lines_borrowed += 1;
+                // The skipped line rebuild itself.
+                self.rewrite_stats.allocations_avoided += 1;
+            }
+            Cow::Owned(_) => self.rewrite_stats.lines_rewritten += 1,
+        }
+        rebuilt
+    }
+
+    /// The pre-refactor rewrite path, kept in-tree (behind
+    /// [`AnonymizerConfig::disable_zero_copy`]) as the differential
+    /// baseline: every token becomes an owned `String` and the line is
+    /// reassembled through the dense [`rebuild`].
+    fn anonymize_command_line_legacy(
+        &mut self,
+        line: &str,
+        stats: &mut AnonymizationStats,
+    ) -> String {
+        let toks = tokenize(line);
+        let texts: Vec<&str> = toks.iter().map(|t| t.text).collect();
+        stats.words_total += texts.len() as u64;
+        let mut out: Vec<Option<String>> = vec![None; texts.len()];
+
         let class = if self.cfg.disable_prefilter {
             LineClass::ContextScan
         } else {
@@ -842,9 +975,180 @@ impl Anonymizer {
             .collect()
     }
 
+    /// The zero-copy twin of [`Anonymizer::anonymize_token`]: identical
+    /// rule checks, mapping-state mutations, and counters, but returns
+    /// `None` — no allocation — when the token is kept verbatim (pure
+    /// numbers, pass-listed words, disabled-rule keeps). During
+    /// discovery it always returns `None`: output is discarded, and the
+    /// side effects above are all that matters.
+    fn rewrite_token(&mut self, tok: &str, stats: &mut AnonymizationStats) -> Option<String> {
+        // First-byte dispatch: every numeric form below — IPv4 literal,
+        // prefix token, classic and large community, bare integer — is
+        // strict-decimal and therefore starts with a digit, and the IPv6
+        // forms require a ':' somewhere in the token. One byte-class
+        // table load lets the common keyword token (`interface`,
+        // `neighbor`, …) skip every parse attempt wholesale; the order of
+        // checks inside each arm is the legacy order, so rule fires and
+        // side effects are unchanged.
+        let first = tok.as_bytes().first().copied().unwrap_or(b' ');
+        if BYTE_CLASS[usize::from(first)] & CLASS_DIGIT != 0 {
+            // R22/R24/R25: IPv4 literal.
+            if let Ok(ip) = tok.parse::<Ip>() {
+                if self.enabled(RuleId::R22Ipv4Literal) {
+                    let mapped = self.map_ip(ip, stats);
+                    return self.emit.then(|| mapped.to_string());
+                }
+                return None;
+            }
+            // R23: prefix token `a.b.c.d/len`.
+            if let Some((addr, len)) = tok.split_once('/') {
+                if let (Ok(ip), Ok(len)) = (addr.parse::<Ip>(), len.parse::<u8>()) {
+                    if len <= 32 && self.enabled(RuleId::R23PrefixToken) {
+                        stats.fire(RuleId::R23PrefixToken);
+                        let mapped = self.map_ip(ip, stats);
+                        return self.emit.then(|| format!("{mapped}/{len}"));
+                    }
+                    return None;
+                }
+            }
+            // R14: bare community attribute — classic `asn:value` or RFC
+            // 8092 large `ga:d1:d2`.
+            if self.enabled(RuleId::R14CommunityAttributeToken) {
+                if let Some(mapped) = self.try_community(tok, stats) {
+                    stats.fire(RuleId::R14CommunityAttributeToken);
+                    return Some(mapped);
+                }
+                if let Some(mapped) = self.large_community.map_token(tok) {
+                    stats.fire(RuleId::R14CommunityAttributeToken);
+                    stats.communities_mapped += 1;
+                    if let Some(ga) = tok.split(':').next() {
+                        if ga.parse::<u32>().is_ok_and(confanon_asnanon::is_public32) {
+                            self.record.asns.insert(ga.to_string());
+                        }
+                    }
+                    for field in mapped.split(':') {
+                        self.emitted.insert(field.to_string());
+                    }
+                    return Some(mapped);
+                }
+            }
+            if tok.contains(':') {
+                if let Some(result) = self.rewrite_ipv6_forms(tok, stats) {
+                    return result;
+                }
+            }
+            // Simple integers are generally not anonymized (§4.1): kept
+            // verbatim with no clone.
+            if tok.bytes().all(|b| b.is_ascii_digit()) {
+                return None;
+            }
+        } else if tok.contains(':') {
+            if let Some(result) = self.rewrite_ipv6_forms(tok, stats) {
+                return result;
+            }
+        }
+        // R01/R02/R26: segmentation, pass-list, hash.
+        if !self.enabled(RuleId::R26TokenHashing) {
+            return None;
+        }
+        // Fast path: a token that is one pure alphabetic run (most IOS
+        // keywords) needs no segment vector — one byte-class scan and
+        // one pass-list lookup decide it.
+        if tok.bytes().all(|b| BYTE_CLASS[b as usize] & CLASS_ALPHA != 0) {
+            stats.fire(RuleId::R01SplitAlphaRuns);
+            if self.cfg.pass_list.contains(tok) {
+                stats.segments_passed += 1;
+                return None;
+            }
+            stats.fire(RuleId::R26TokenHashing);
+            stats.segments_hashed += 1;
+            if self.enabled(RuleId::R28LeakHighlighting) {
+                self.record_alpha(tok);
+            }
+            return self.emit.then(|| self.hash_emit(tok));
+        }
+        let segs = segment(tok);
+        if segs.len() > 1 {
+            // R02: punctuation split the word into independently checked
+            // segments (`cr1.lax.foo.com`, `Ethernet0/0`).
+            stats.fire(RuleId::R02SplitPunctuation);
+        }
+        // Pass 1 — classification and side effects only: decide whether
+        // any alphabetic segment actually hashes. If none does, the
+        // token is byte-identical and no assembly happens at all.
+        let mut any_hashed = false;
+        for seg in &segs {
+            if let Segment::Alpha(a) = seg {
+                if self.cfg.pass_list.contains(a) {
+                    stats.segments_passed += 1;
+                } else {
+                    any_hashed = true;
+                    stats.fire(RuleId::R26TokenHashing);
+                    stats.segments_hashed += 1;
+                    // `a` is already one non-pass-list alpha segment, so
+                    // the re-segmentation in `record_word` is skipped.
+                    if self.enabled(RuleId::R28LeakHighlighting) {
+                        self.record_alpha(a);
+                    }
+                }
+            }
+        }
+        stats.fire(RuleId::R01SplitAlphaRuns);
+        if !any_hashed || !self.emit {
+            return None;
+        }
+        // Pass 2 — assembly, emit mode only.
+        let mut outb = String::with_capacity(tok.len());
+        for seg in segs {
+            match seg {
+                Segment::Other(o) => outb.push_str(o),
+                Segment::Alpha(a) => {
+                    if self.cfg.pass_list.contains(a) {
+                        outb.push_str(a);
+                    } else {
+                        let h = self.hash_emit(a);
+                        outb.push_str(&h);
+                    }
+                }
+            }
+        }
+        Some(outb)
+    }
+
+    /// R22/R23 for IPv6 (post-paper extension), shared by both arms of
+    /// [`Anonymizer::rewrite_token`]'s first-byte dispatch. Returns
+    /// `Some(result)` when the token matched an IPv6 form — `result` is
+    /// the emit-gated replacement to return as-is — and `None` when the
+    /// token is not IPv6-shaped (caller falls through to the next check).
+    fn rewrite_ipv6_forms(
+        &mut self,
+        tok: &str,
+        stats: &mut AnonymizationStats,
+    ) -> Option<Option<String>> {
+        if !self.enabled(RuleId::R22Ipv4Literal) {
+            return None;
+        }
+        if let Ok(ip6) = tok.parse::<Ip6>() {
+            let mapped = self.map_ip6(ip6, stats);
+            return Some(self.emit.then(|| mapped.to_string()));
+        }
+        if let Some((addr, len)) = tok.rsplit_once('/') {
+            if let (Ok(ip6), Ok(len)) = (addr.parse::<Ip6>(), len.parse::<u8>()) {
+                if len <= 128 {
+                    stats.fire(RuleId::R23PrefixToken);
+                    let mapped = self.map_ip6(ip6, stats);
+                    return Some(self.emit.then(|| format!("{mapped}/{len}")));
+                }
+            }
+        }
+        None
+    }
+
     /// The generic per-token transformation: addresses, prefixes,
     /// community literals, numbers, and the segmentation + pass-list +
-    /// hash fallback.
+    /// hash fallback. This is the pre-refactor always-allocating form,
+    /// kept for the `disable_zero_copy` differential baseline; the hot
+    /// path uses [`Anonymizer::rewrite_token`].
     fn anonymize_token(&mut self, tok: &str, stats: &mut AnonymizationStats) -> String {
         // R22/R24/R25: IPv4 literal.
         if let Ok(ip) = tok.parse::<Ip>() {
@@ -1048,6 +1352,7 @@ impl Anonymizer {
         a.emitted = std::collections::BTreeSet::new();
         a.total_stats = AnonymizationStats::default();
         a.prefilter_stats = PrefilterStats::default();
+        a.rewrite_stats = RewriteStats::default();
         a.observe = Some(ObservationLog::default());
         a
     }
@@ -1069,6 +1374,7 @@ impl Anonymizer {
         self.emitted.extend(shard.emitted);
         self.total_stats.merge(&shard.total_stats);
         self.prefilter_stats.absorb(&shard.prefilter_stats);
+        self.rewrite_stats.absorb(&shard.rewrite_stats);
         shard.observe.unwrap_or_default()
     }
 
@@ -1100,6 +1406,18 @@ impl Anonymizer {
     /// from shard workers after sharded discovery).
     pub fn prefilter_stats(&self) -> &PrefilterStats {
         &self.prefilter_stats
+    }
+
+    /// Borrow-or-own rewrite counters accumulated so far (emit-mode
+    /// only; see [`RewriteStats`]).
+    pub fn rewrite_stats(&self) -> &RewriteStats {
+        &self.rewrite_stats
+    }
+
+    /// Takes (and resets) the accumulated rewrite counters — how the
+    /// batch layer extracts a per-file delta from a rewrite worker.
+    pub fn take_rewrite_stats(&mut self) -> RewriteStats {
+        std::mem::take(&mut self.rewrite_stats)
     }
 
     /// The identifier journal: every distinct trie-mapped address in

@@ -63,7 +63,7 @@ use crate::anonymizer::{Anonymizer, AnonymizerConfig};
 use crate::discover::ObservationLog;
 use crate::error::{BatchFailure, BatchPhase};
 use crate::fsx::DurabilityStats;
-use crate::stats::AnonymizationStats;
+use crate::stats::{AnonymizationStats, RewriteStats};
 
 /// One input file of a batch: a display name and its configuration text.
 #[derive(Debug, Clone)]
@@ -83,6 +83,11 @@ pub struct BatchOutput {
     pub text: String,
     /// Per-file rule counters.
     pub stats: AnonymizationStats,
+    /// Borrow-or-own accounting for this file's emit pass. Carried
+    /// separately from `stats` (which is pinned byte-identical between
+    /// the discovery and emit passes); zero when the legacy
+    /// `disable_zero_copy` path ran.
+    pub rewrite: RewriteStats,
 }
 
 /// What one file's discovery pass contributed to the shared state's
@@ -119,6 +124,9 @@ pub struct BatchReport {
     pub discoveries: BTreeMap<String, FileDiscovery>,
     /// Aggregate counters across the emitted outputs.
     pub totals: AnonymizationStats,
+    /// Aggregate borrow-or-own accounting across the emitted outputs
+    /// (the sum of each output's `rewrite` block).
+    pub rewrite: RewriteStats,
     /// Worker threads used for the rewrite pass.
     pub jobs: usize,
     /// Durability counters for the run's published artifacts. The
@@ -307,15 +315,26 @@ impl BatchPipeline {
         let outputs: Vec<BatchOutput> = slots.into_iter().flatten().collect();
         let failures: Vec<BatchFailure> = failed.into_iter().flatten().collect();
         let mut totals = AnonymizationStats::default();
+        let mut rewrite = RewriteStats::default();
         for o in &outputs {
             totals.merge(&o.stats);
+            rewrite.absorb(&o.rewrite);
         }
+        // Borrow verdicts depend on the emit pass only and never feed the
+        // deterministic metrics section, so they report under the
+        // timing-section `phase.rewrite.` prefix.
+        obs.count("phase.rewrite.lines_borrowed", rewrite.lines_borrowed);
+        obs.count("phase.rewrite.lines_rewritten", rewrite.lines_rewritten);
+        obs.count("phase.rewrite.allocations_avoided", rewrite.allocations_avoided);
+        obs.count("phase.rewrite.hash_memo_hits", rewrite.hash_memo_hits);
+        obs.count("phase.rewrite.hash_memo_misses", rewrite.hash_memo_misses);
         BatchReport {
             outputs,
             failures,
             skipped,
             discoveries,
             totals,
+            rewrite,
             jobs,
             durability: DurabilityStats::default(),
             obs,
@@ -577,6 +596,7 @@ impl BatchPipeline {
                         name: inputs[i].name.clone(),
                         text: out.text,
                         stats: out.stats,
+                        rewrite: anon.take_rewrite_stats(),
                     });
                 }
                 Err(payload) => {
@@ -648,6 +668,7 @@ impl BatchPipeline {
                                     name: inputs[i].name.clone(),
                                     text: out.text,
                                     stats: out.stats,
+                                    rewrite: anon.take_rewrite_stats(),
                                 });
                             }
                             Err(payload) => {
@@ -1160,5 +1181,37 @@ mod tests {
             run.totals.rule_fires_complete(),
             run_off.totals.rule_fires_complete()
         );
+    }
+
+    /// The zero-copy rewrite (DESIGN.md §17) is an optimization, not a
+    /// behavior: against the retained legacy path it must produce the
+    /// same output bytes, the same per-file stats, and the same complete
+    /// fire map — at every job count.
+    #[test]
+    fn disabling_zero_copy_changes_no_byte_or_fire_count() {
+        let inputs = corpus();
+        for jobs in [1, 4] {
+            let run = BatchPipeline::new(secret(), jobs).run(&inputs);
+            let mut off = secret();
+            off.disable_zero_copy = true;
+            let run_off = BatchPipeline::new(off, jobs).run(&inputs);
+            assert_eq!(run.outputs.len(), run_off.outputs.len());
+            for (a, b) in run.outputs.iter().zip(&run_off.outputs) {
+                assert_eq!(a.text, b.text, "zero-copy changed bytes of {}", a.name);
+                assert_eq!(a.stats, b.stats);
+            }
+            assert_eq!(
+                run.totals.rule_fires_complete(),
+                run_off.totals.rule_fires_complete()
+            );
+            // The legacy path reports no borrow accounting; the zero-copy
+            // path accounts for every emitted line exactly once.
+            assert_eq!(run_off.rewrite, RewriteStats::default());
+            assert_eq!(
+                run.rewrite.lines_total,
+                run.rewrite.lines_borrowed + run.rewrite.lines_rewritten
+            );
+            assert!(run.rewrite.lines_total > 0);
+        }
     }
 }

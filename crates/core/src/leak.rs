@@ -16,7 +16,7 @@
 //! false positives, which is exactly what the human reviewer of §6.1 does
 //! with context.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashSet};
 
 use confanon_testkit::json::Json;
 
@@ -114,40 +114,58 @@ impl LeakReport {
 }
 
 /// Scans anonymized text against a [`LeakRecord`].
+///
+/// Construction indexes the record's ordered sets into borrowed hash
+/// sets, so one scanner should be built per *corpus* and reused across
+/// files (the gate loop in `workflow` does exactly this); per-token
+/// membership checks are then O(1) instead of a string-compare walk of
+/// a `BTreeSet`.
 pub struct LeakScanner<'a> {
-    record: &'a LeakRecord,
     excluded: BTreeSet<String>,
+    /// Hash views over the record's sets (borrowing the record).
+    ips: HashSet<&'a str>,
+    asns: HashSet<&'a str>,
+    words: HashSet<&'a str>,
 }
 
 impl<'a> LeakScanner<'a> {
     /// A scanner with no exclusions (the paper's raw grep, tokenized).
     pub fn new(record: &'a LeakRecord) -> LeakScanner<'a> {
+        LeakScanner::with_exclusions(record, [])
+    }
+
+    /// A reusable scanner that suppresses tokens known to be legitimate
+    /// images of the permutation (auditor-with-mapping mode). Build once
+    /// per corpus, then call [`LeakScanner::scan`] per file.
+    pub fn with_exclusions(
+        record: &'a LeakRecord,
+        legitimate_images: impl IntoIterator<Item = String>,
+    ) -> LeakScanner<'a> {
         LeakScanner {
-            record,
-            excluded: BTreeSet::new(),
+            excluded: legitimate_images.into_iter().collect(),
+            ips: record.ips.iter().map(String::as_str).collect(),
+            asns: record.asns.iter().map(String::as_str).collect(),
+            words: record.words.iter().map(String::as_str).collect(),
         }
     }
 
-    /// Suppresses tokens known to be legitimate images of the permutation
-    /// (auditor-with-mapping mode).
+    /// One-shot convenience over [`LeakScanner::with_exclusions`] +
+    /// [`LeakScanner::scan`].
     pub fn scan_excluding(
         record: &'a LeakRecord,
         legitimate_images: impl IntoIterator<Item = String>,
         text: &str,
     ) -> LeakReport {
-        let scanner = LeakScanner {
-            record,
-            excluded: legitimate_images.into_iter().collect(),
-        };
-        scanner.scan(text)
+        LeakScanner::with_exclusions(record, legitimate_images).scan(text)
     }
 
     /// Scans `text`, returning every line still containing a recorded
     /// item as a whole number / quad / word.
     pub fn scan(&self, text: &str) -> LeakReport {
         let mut report = LeakReport::default();
+        let mut buf = String::new();
         for (line_no, line) in text.lines().enumerate() {
-            if let Some(token) = self.first_leak_in(line) {
+            if let Some(token) = self.first_leak_in(line, &mut buf) {
                 report.leaks.push(Leak {
                     line_no,
                     line: line.to_string(),
@@ -158,15 +176,23 @@ impl<'a> LeakScanner<'a> {
         report
     }
 
-    fn first_leak_in(&self, line: &str) -> Option<String> {
+    fn first_leak_in(&self, line: &str, buf: &mut String) -> Option<String> {
         // Address tokens first (digit runs inside a quad are not
         // standalone numbers). `addr/len` prefix tokens match on the
-        // address part.
-        for token in line.split(|c: char| c.is_ascii_whitespace()) {
-            let bare = token.split_once('/').map_or(token, |(a, _)| a);
-            for t in [token, bare] {
-                if self.record.ips.contains(t) && !self.excluded.contains(t) {
-                    return Some(t.to_string());
+        // address part. Recorded addresses always start with a hex digit
+        // or contain `:`, so purely alphabetic tokens skip the lookups.
+        if !self.ips.is_empty() {
+            for token in line.split(|c: char| c.is_ascii_whitespace()) {
+                if token.is_empty()
+                    || (!token.as_bytes()[0].is_ascii_alphanumeric() && !token.contains(':'))
+                {
+                    continue;
+                }
+                let bare = token.split_once('/').map_or(token, |(a, _)| a);
+                for t in [token, bare] {
+                    if self.ips.contains(t) && !self.excluded.contains(t) {
+                        return Some(t.to_string());
+                    }
                 }
             }
         }
@@ -175,48 +201,67 @@ impl<'a> LeakScanner<'a> {
         // scanned per whitespace token so address-shaped tokens can be
         // skipped wholesale: hex groups of an IPv6 token (`3a07:148:577::`)
         // are identifiers even when they happen to be all-decimal.
-        for token in line.split(|c: char| c.is_ascii_whitespace()) {
-            let bare = token.split_once('/').map_or(token, |(a, _)| a);
-            if token.contains(':') && bare.parse::<confanon_netprim::Ip6>().is_ok() {
-                continue;
-            }
-            let bytes = token.as_bytes();
-            let mut i = 0;
-            while i < bytes.len() {
-                if !bytes[i].is_ascii_digit() {
-                    i += 1;
+        if !self.asns.is_empty() {
+            for token in line.split(|c: char| c.is_ascii_whitespace()) {
+                let bare = token.split_once('/').map_or(token, |(a, _)| a);
+                if token.contains(':') && bare.parse::<confanon_netprim::Ip6>().is_ok() {
                     continue;
                 }
-                let start = i;
-                while i < bytes.len() && bytes[i].is_ascii_digit() {
-                    i += 1;
-                }
-                let before = if start > 0 { bytes[start - 1] } else { b' ' };
-                let after = if i < bytes.len() { bytes[i] } else { b' ' };
-                // Runs adjacent to `.` are octets of a dotted quad
-                // (handled above); runs adjacent to letters are fragments
-                // of an identifier (`Serial0/1`'s neighbours are fine,
-                // but the hex of a hashed token is not a number).
-                let in_quad = before == b'.' || after == b'.';
-                let in_ident = before.is_ascii_alphabetic() || after.is_ascii_alphabetic();
-                if !in_quad && !in_ident {
-                    let run = &token[start..i];
-                    if self.record.asns.contains(run) && !self.excluded.contains(run) {
-                        return Some(run.to_string());
+                let bytes = token.as_bytes();
+                let mut i = 0;
+                while i < bytes.len() {
+                    if !bytes[i].is_ascii_digit() {
+                        i += 1;
+                        continue;
+                    }
+                    let start = i;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                    let before = if start > 0 { bytes[start - 1] } else { b' ' };
+                    let after = if i < bytes.len() { bytes[i] } else { b' ' };
+                    // Runs adjacent to `.` are octets of a dotted quad
+                    // (handled above); runs adjacent to letters are fragments
+                    // of an identifier (`Serial0/1`'s neighbours are fine,
+                    // but the hex of a hashed token is not a number).
+                    let in_quad = before == b'.' || after == b'.';
+                    let in_ident = before.is_ascii_alphabetic() || after.is_ascii_alphabetic();
+                    if !in_quad && !in_ident {
+                        let run = &token[start..i];
+                        if self.asns.contains(run) && !self.excluded.contains(run) {
+                            return Some(run.to_string());
+                        }
                     }
                 }
             }
         }
-        // Whole alphabetic runs vs recorded identity words.
-        let mut word = String::new();
-        for c in line.chars().chain(std::iter::once(' ')) {
-            if c.is_ascii_alphabetic() {
-                word.push(c.to_ascii_lowercase());
-            } else if !word.is_empty() {
-                if self.record.words.contains(&word) && !self.excluded.contains(&word) {
-                    return Some(word);
+        // Whole alphabetic runs vs recorded identity words. Runs that are
+        // already lowercase (the overwhelming majority of anonymized
+        // output) are checked as borrowed slices; only mixed-case runs
+        // are lowercased, into a buffer reused across lines.
+        if !self.words.is_empty() {
+            let bytes = line.as_bytes();
+            let mut i = 0;
+            while i < bytes.len() {
+                if !bytes[i].is_ascii_alphabetic() {
+                    i += 1;
+                    continue;
                 }
-                word.clear();
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_alphabetic() {
+                    i += 1;
+                }
+                let run = &line[start..i];
+                let word: &str = if run.bytes().any(|b| b.is_ascii_uppercase()) {
+                    buf.clear();
+                    buf.extend(run.chars().map(|c| c.to_ascii_lowercase()));
+                    buf.as_str()
+                } else {
+                    run
+                };
+                if self.words.contains(word) && !self.excluded.contains(word) {
+                    return Some(word.to_string());
+                }
             }
         }
         None

@@ -68,7 +68,7 @@ pub use batch::{BatchInput, BatchOutput, BatchPipeline, BatchReport, FileDiscove
 pub use discover::{ObservationLog, ObservedIp};
 pub use error::{AnonError, BatchFailure, BatchPhase, StateErrorKind};
 pub use state::{AnonState, FileMark, STATE_FILE_NAME, STATE_SCHEMA};
-pub use fsx::{write_atomic, DurabilityStats, Fs, StdFs};
+pub use fsx::{write_atomic, DurabilityStats, FileBytes, Fs, StdFs, MMAP_MIN_LEN};
 pub use input::{sanitize_bytes, InputSanitation, MAX_LINE_LEN};
 pub use iterate::{iterate_to_closure, IterationTrace};
 pub use leak::{LeakRecord, LeakReport, LeakScanner};
@@ -79,5 +79,5 @@ pub use rules::{LineClass, Prefilter, PrefilterStats, RuleCategory, RuleId, ALL_
 pub use serve::{
     run_daemon, ServeConfig, ServeOptions, ServeSummary, Status, Verb, MAX_PAYLOAD, PROTOCOL,
 };
-pub use stats::AnonymizationStats;
+pub use stats::{AnonymizationStats, RewriteStats};
 pub use tenant::{FlushMode, Tenant, TenantHealth, TenantSpec};

@@ -323,7 +323,8 @@ pub enum LineClass {
 pub struct Prefilter;
 
 /// First tokens that can anchor a contextual-rule arm, grouped by first
-/// byte for single-comparison dispatch.
+/// byte. This is the *source* description; classification dispatches
+/// through the fully-widened 256-entry tables below.
 const RULE_HEADS_BY_BYTE: [(u8, &[&str]); 10] = [
     (b'b', &["bgp"]),
     (b'd', &["dialer"]),
@@ -341,6 +342,43 @@ const RULE_HEADS_BY_BYTE: [(u8, &[&str]); 10] = [
 /// hash-after-keyword trailer.
 const SECRET_KEYWORDS: [&[u8]; 4] = [b"password", b"secret", b"key", b"md5"];
 
+/// The widened head-dispatch table: `HEAD_CANDIDATES[b]` is the list of
+/// head keywords a first token starting with byte `b` could equal (empty
+/// for the 236 bytes that start no head, which is the single-load fast
+/// exit for most lines). Both cases of each head byte are populated so
+/// no per-line lowercasing is needed to index.
+static HEAD_CANDIDATES: [&[&str]; 256] = build_head_candidates();
+
+const fn build_head_candidates() -> [&'static [&'static str]; 256] {
+    let mut table: [&[&str]; 256] = [&[]; 256];
+    let mut i = 0;
+    while i < RULE_HEADS_BY_BYTE.len() {
+        let (byte, heads) = RULE_HEADS_BY_BYTE[i];
+        table[byte as usize] = heads;
+        table[byte.to_ascii_uppercase() as usize] = heads;
+        i += 1;
+    }
+    table
+}
+
+/// The widened secret-keyword dispatch table: `SECRET_CANDIDATE[b]` is
+/// the one keyword that can start at a byte `b` (`p`/`s`/`k`/`m`, either
+/// case), or the empty slice. The scan loop does one indexed load per
+/// byte instead of a lowercase-and-match.
+static SECRET_CANDIDATE: [&[u8]; 256] = build_secret_candidates();
+
+const fn build_secret_candidates() -> [&'static [u8]; 256] {
+    let mut table: [&[u8]; 256] = [&[]; 256];
+    let firsts = [b'p', b's', b'k', b'm'];
+    let mut i = 0;
+    while i < firsts.len() {
+        table[firsts[i] as usize] = SECRET_KEYWORDS[i];
+        table[firsts[i].to_ascii_uppercase() as usize] = SECRET_KEYWORDS[i];
+        i += 1;
+    }
+    table
+}
+
 impl Prefilter {
     /// Classifies one line. Case-insensitive, allocation-free.
     pub fn classify(line: &str) -> LineClass {
@@ -352,39 +390,41 @@ impl Prefilter {
     }
 
     /// Does the line's first token equal one of the 13 rule heads?
+    /// Byte-class dispatched: the whitespace scan goes through
+    /// [`confanon_iosparse::BYTE_CLASS`] and the candidate set comes from
+    /// one [`HEAD_CANDIDATES`] load on the token's first byte.
     fn head_can_anchor_rule(line: &str) -> bool {
+        use confanon_iosparse::{BYTE_CLASS, CLASS_WS};
         let bytes = line.as_bytes();
-        let Some(start) = bytes.iter().position(|b| !b.is_ascii_whitespace()) else {
+        let mut start = 0;
+        while start < bytes.len() && BYTE_CLASS[bytes[start] as usize] & CLASS_WS != 0 {
+            start += 1;
+        }
+        if start >= bytes.len() {
             return false;
-        };
-        let end = bytes[start..]
-            .iter()
-            .position(u8::is_ascii_whitespace)
-            .map_or(bytes.len(), |e| start + e);
+        }
+        let candidates = HEAD_CANDIDATES[bytes[start] as usize];
+        if candidates.is_empty() {
+            return false;
+        }
+        let mut end = start;
+        while end < bytes.len() && BYTE_CLASS[bytes[end] as usize] & CLASS_WS == 0 {
+            end += 1;
+        }
         let head = &bytes[start..end];
-        let Some(first) = head.first().map(u8::to_ascii_lowercase) else {
-            return false;
-        };
-        RULE_HEADS_BY_BYTE
-            .iter()
-            .filter(|(b, _)| *b == first)
-            .flat_map(|(_, heads)| heads.iter())
-            .any(|h| head.eq_ignore_ascii_case(h.as_bytes()))
+        candidates.iter().any(|h| head.eq_ignore_ascii_case(h.as_bytes()))
     }
 
-    /// Single pass over the line: at each byte whose lowercase form is
-    /// `p`/`s`/`k`/`m`, compare the one candidate keyword in place.
+    /// Single pass over the line: one [`SECRET_CANDIDATE`] load per byte;
+    /// at the few bytes with a candidate, compare the keyword in place.
     fn contains_secret_keyword(line: &str) -> bool {
         let bytes = line.as_bytes();
         for i in 0..bytes.len() {
-            let kw: &[u8] = match bytes[i].to_ascii_lowercase() {
-                b'p' => SECRET_KEYWORDS[0],
-                b's' => SECRET_KEYWORDS[1],
-                b'k' => SECRET_KEYWORDS[2],
-                b'm' => SECRET_KEYWORDS[3],
-                _ => continue,
-            };
-            if bytes.len() - i >= kw.len() && bytes[i..i + kw.len()].eq_ignore_ascii_case(kw) {
+            let kw = SECRET_CANDIDATE[bytes[i] as usize];
+            if !kw.is_empty()
+                && bytes.len() - i >= kw.len()
+                && bytes[i..i + kw.len()].eq_ignore_ascii_case(kw)
+            {
                 return true;
             }
         }
@@ -599,6 +639,35 @@ mod tests {
         assert_eq!(Prefilter::classify("x keyboard y"), LineClass::ContextScan);
         assert_eq!(Prefilter::classify("ipx network 1"), LineClass::TokenLocal);
         assert_eq!(Prefilter::classify("settings on"), LineClass::TokenLocal);
+    }
+
+    #[test]
+    fn widened_dispatch_tables_match_their_sources() {
+        // The 256-entry tables are a pure widening of RULE_HEADS_BY_BYTE
+        // and SECRET_KEYWORDS: populated at both cases of each source
+        // byte, empty everywhere else.
+        for b in 0u16..256 {
+            let byte = b as u8;
+            let source: &[&str] = RULE_HEADS_BY_BYTE
+                .iter()
+                .find(|(h, _)| *h == byte.to_ascii_lowercase())
+                .map_or(&[], |(_, heads)| heads);
+            assert_eq!(
+                HEAD_CANDIDATES[b as usize], source,
+                "HEAD_CANDIDATES wrong at byte {byte:#04x}"
+            );
+            let kw: &[u8] = match byte.to_ascii_lowercase() {
+                b'p' => SECRET_KEYWORDS[0],
+                b's' => SECRET_KEYWORDS[1],
+                b'k' => SECRET_KEYWORDS[2],
+                b'm' => SECRET_KEYWORDS[3],
+                _ => &[],
+            };
+            assert_eq!(
+                SECRET_CANDIDATE[b as usize], kw,
+                "SECRET_CANDIDATE wrong at byte {byte:#04x}"
+            );
+        }
     }
 
     #[test]

@@ -56,9 +56,17 @@ pub struct AnonymizationStats {
 }
 
 impl AnonymizationStats {
-    /// Records one firing of `rule`.
+    /// Records one firing of `rule`. The common repeat case (the rule
+    /// already has an entry) is a borrowed lookup — no key `String` is
+    /// allocated on the hot path.
     pub fn fire(&mut self, rule: crate::rules::RuleId) {
-        *self.rule_fires.entry(rule.to_string()).or_insert(0) += 1;
+        let name = rule.info().name;
+        match self.rule_fires.get_mut(name) {
+            Some(count) => *count += 1,
+            None => {
+                self.rule_fires.insert(name.to_string(), 1);
+            }
+        }
     }
 
     /// The paper's comment metric: fraction of words removed as comments.
@@ -204,10 +212,102 @@ impl AnonymizationStats {
     }
 }
 
+/// Borrow-or-own accounting for the zero-copy rewrite path (DESIGN.md
+/// §17).
+///
+/// Kept *outside* [`AnonymizationStats`] deliberately, like
+/// [`crate::rules::PrefilterStats`]: borrow verdicts and hash-memo hits
+/// only exist in emit mode (and memo hits additionally vary with which
+/// worker clone rewrote which file), while per-file stats are pinned
+/// byte-identical between the discovery and emit passes. These counters
+/// therefore report under timing-section metrics keys and in the
+/// `--bench-json` `rewrite` block, never in the deterministic section.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RewriteStats {
+    /// Command lines that went through the emit-mode rewrite path.
+    pub lines_total: u64,
+    /// Lines returned as `Cow::Borrowed` — no rewrite changed a byte, so
+    /// no line-level allocation or copy happened.
+    pub lines_borrowed: u64,
+    /// Lines where at least one token changed (allocated and rebuilt).
+    pub lines_rewritten: u64,
+    /// Allocations the zero-copy path skipped versus the legacy dense
+    /// path: one per token kept verbatim (`None` slot) plus one per
+    /// borrowed line (the elided rebuild `String`).
+    pub allocations_avoided: u64,
+    /// Salted token hashes answered from the memo (SHA-1 skipped).
+    pub hash_memo_hits: u64,
+    /// Salted token hashes actually computed.
+    pub hash_memo_misses: u64,
+}
+
+impl RewriteStats {
+    /// Adds another instance's counts (commutative).
+    pub fn absorb(&mut self, other: &RewriteStats) {
+        self.lines_total += other.lines_total;
+        self.lines_borrowed += other.lines_borrowed;
+        self.lines_rewritten += other.lines_rewritten;
+        self.allocations_avoided += other.allocations_avoided;
+        self.hash_memo_hits += other.hash_memo_hits;
+        self.hash_memo_misses += other.hash_memo_misses;
+    }
+
+    /// Fraction of emit-mode lines that stayed `Borrowed` (0.0 when no
+    /// lines were rewritten yet).
+    pub fn borrowed_fraction(&self) -> f64 {
+        if self.lines_total == 0 {
+            0.0
+        } else {
+            self.lines_borrowed as f64 / self.lines_total as f64
+        }
+    }
+
+    /// The counters as a JSON object (for bench reports).
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .with("lines_total", self.lines_total)
+            .with("lines_borrowed", self.lines_borrowed)
+            .with("lines_rewritten", self.lines_rewritten)
+            .with("borrowed_fraction", self.borrowed_fraction())
+            .with("allocations_avoided", self.allocations_avoided)
+            .with("hash_memo_hits", self.hash_memo_hits)
+            .with("hash_memo_misses", self.hash_memo_misses)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::rules::RuleId;
+
+    #[test]
+    fn rewrite_stats_absorb_and_fraction() {
+        let mut a = RewriteStats {
+            lines_total: 8,
+            lines_borrowed: 6,
+            lines_rewritten: 2,
+            allocations_avoided: 40,
+            hash_memo_hits: 10,
+            hash_memo_misses: 3,
+        };
+        a.absorb(&RewriteStats {
+            lines_total: 2,
+            lines_borrowed: 2,
+            lines_rewritten: 0,
+            allocations_avoided: 10,
+            hash_memo_hits: 1,
+            hash_memo_misses: 0,
+        });
+        assert_eq!(a.lines_total, 10);
+        assert_eq!(a.lines_borrowed, 8);
+        assert_eq!(a.lines_rewritten, 2);
+        assert_eq!(a.allocations_avoided, 50);
+        assert_eq!(a.hash_memo_hits, 11);
+        assert_eq!(a.hash_memo_misses, 3);
+        assert!((a.borrowed_fraction() - 0.8).abs() < 1e-12);
+        assert_eq!(RewriteStats::default().borrowed_fraction(), 0.0);
+        assert!(a.to_json().get("borrowed_fraction").is_some());
+    }
 
     #[test]
     fn comment_fraction() {

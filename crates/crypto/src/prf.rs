@@ -28,11 +28,10 @@ impl Prf {
     /// `domain` separates independent uses of one key (e.g. the IP scheme
     /// vs. the ASN permutation) so outputs never correlate across uses.
     pub fn bytes(&self, domain: &str, input: &[u8]) -> [u8; 20] {
-        let mut msg = Vec::with_capacity(domain.len() + 1 + input.len());
-        msg.extend_from_slice(domain.as_bytes());
-        msg.push(0); // unambiguous separator: domains are ASCII, no NULs
-        msg.extend_from_slice(input);
-        self.mac.mac(&msg)
+        // NUL separator keeps the concatenation unambiguous (domains are
+        // ASCII, no NULs); `mac_parts` feeds the pieces straight into the
+        // hash so no message buffer is allocated.
+        self.mac.mac_parts(&[domain.as_bytes(), &[0], input])
     }
 
     /// A single pseudo-random bit for `(domain, input)`.

@@ -75,13 +75,21 @@ impl Sha1 {
     /// Applies padding and returns the 160-bit digest.
     pub fn finalize(mut self) -> [u8; 20] {
         let bit_len = self.len * 8;
-        // Padding: 0x80, zeros, then the 64-bit big-endian bit length.
-        self.update(&[0x80]);
-        while self.buf_len != 56 {
-            self.update(&[0]);
+        // Padding: 0x80, zeros, then the 64-bit big-endian bit length —
+        // written in bulk straight into the block buffer rather than one
+        // `update(&[0])` at a time (finalize runs twice per HMAC call, so
+        // this sits on the keyed-hash hot path).
+        self.buf[self.buf_len] = 0x80;
+        if self.buf_len >= 56 {
+            // No room for the length field: pad out this block, compress,
+            // and start a fresh one.
+            self.buf[self.buf_len + 1..].fill(0);
+            let block = self.buf;
+            self.compress(&block);
+            self.buf = [0; 64];
+        } else {
+            self.buf[self.buf_len + 1..56].fill(0);
         }
-        // Bypass `update` for the length field so `self.len` bookkeeping
-        // does not matter any more.
         self.buf[56..64].copy_from_slice(&bit_len.to_be_bytes());
         let block = self.buf;
         self.compress(&block);
@@ -113,24 +121,37 @@ impl Sha1 {
         }
 
         let [mut a, mut b, mut c, mut d, mut e] = self.state;
-        for (t, &wt) in w.iter().enumerate() {
-            let (f, k) = match t {
-                0..=19 => ((b & c) | (!b & d), 0x5A827999),
-                20..=39 => (b ^ c ^ d, 0x6ED9EBA1),
-                40..=59 => ((b & c) | (b & d) | (c & d), 0x8F1BBCDC),
-                _ => (b ^ c ^ d, 0xCA62C1D6),
+        // One loop per round group so `f` and `k` are loop constants
+        // instead of a branch taken 80 times per block; the keyed-hash
+        // paths (token digests, trie flip bits) live or die on this
+        // function. `round!` is the standard a..e rotation with the
+        // choice/parity/majority functions in branch-free form.
+        macro_rules! round {
+            ($f:expr, $k:expr, $wt:expr) => {
+                let temp = a
+                    .rotate_left(5)
+                    .wrapping_add($f)
+                    .wrapping_add(e)
+                    .wrapping_add($wt)
+                    .wrapping_add($k);
+                e = d;
+                d = c;
+                c = b.rotate_left(30);
+                b = a;
+                a = temp;
             };
-            let temp = a
-                .rotate_left(5)
-                .wrapping_add(f)
-                .wrapping_add(e)
-                .wrapping_add(wt)
-                .wrapping_add(k);
-            e = d;
-            d = c;
-            c = b.rotate_left(30);
-            b = a;
-            a = temp;
+        }
+        for &wt in &w[0..20] {
+            round!(d ^ (b & (c ^ d)), 0x5A827999, wt);
+        }
+        for &wt in &w[20..40] {
+            round!(b ^ c ^ d, 0x6ED9EBA1, wt);
+        }
+        for &wt in &w[40..60] {
+            round!((b & c) | (d & (b | c)), 0x8F1BBCDC, wt);
+        }
+        for &wt in &w[60..80] {
+            round!(b ^ c ^ d, 0xCA62C1D6, wt);
         }
 
         self.state[0] = self.state[0].wrapping_add(a);

@@ -4,6 +4,55 @@
 //! file byte-for-byte where nothing changed (operators diff pre/post
 //! configs to audit the tool), so tokens carry their positions and the
 //! inter-token whitespace is reconstructable.
+//!
+//! Scanning is byte-table dispatched: one 256-entry class table
+//! ([`BYTE_CLASS`]) answers "is this byte whitespace?" and "is this byte
+//! alphabetic?" with a single indexed load, so [`tokenize`] and
+//! [`segment`] advance through a line without per-byte predicate calls
+//! or branching on byte ranges. The per-char reference scanners
+//! ([`tokenize_chars`], [`segment_chars`]) are kept in-tree as the
+//! differential baseline: the property suite proves both pairs agree on
+//! arbitrary (including chaos-mutated) input.
+
+use std::borrow::Cow;
+
+/// [`BYTE_CLASS`] bit: the byte is ASCII whitespace (what
+/// `u8::is_ascii_whitespace` accepts: space, tab, LF, FF, CR).
+pub const CLASS_WS: u8 = 1 << 0;
+
+/// [`BYTE_CLASS`] bit: the byte is an ASCII letter.
+pub const CLASS_ALPHA: u8 = 1 << 1;
+
+/// [`BYTE_CLASS`] bit: the byte is an ASCII digit.
+pub const CLASS_DIGIT: u8 = 1 << 2;
+
+/// The byte-class dispatch table: `BYTE_CLASS[b]` is a bitset of
+/// `CLASS_*` flags for byte `b`. One load replaces the range comparisons
+/// of `is_ascii_whitespace`/`is_ascii_alphabetic` on the tokenizer's and
+/// segmenter's hot loops, and the rule prefilter reuses the same idea
+/// for its head-byte table (`confanon-core`'s `rules` module).
+pub static BYTE_CLASS: [u8; 256] = build_byte_class();
+
+const fn build_byte_class() -> [u8; 256] {
+    let mut table = [0u8; 256];
+    let mut b = 0usize;
+    while b < 256 {
+        let byte = b as u8;
+        let mut class = 0u8;
+        if byte.is_ascii_whitespace() {
+            class |= CLASS_WS;
+        }
+        if byte.is_ascii_alphabetic() {
+            class |= CLASS_ALPHA;
+        }
+        if byte.is_ascii_digit() {
+            class |= CLASS_DIGIT;
+        }
+        table[b] = class;
+        b += 1;
+    }
+    table
+}
 
 /// A whitespace-delimited token within one line.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -35,6 +84,34 @@ pub fn tokenize(line: &str) -> Vec<Token<'_>> {
     let bytes = line.as_bytes();
     let mut i = 0;
     while i < bytes.len() {
+        // Skip the whitespace run via the class table.
+        while i < bytes.len() && BYTE_CLASS[bytes[i] as usize] & CLASS_WS != 0 {
+            i += 1;
+        }
+        if i >= bytes.len() {
+            break;
+        }
+        let start = i;
+        while i < bytes.len() && BYTE_CLASS[bytes[i] as usize] & CLASS_WS == 0 {
+            i += 1;
+        }
+        out.push(Token {
+            text: &line[start..i],
+            start,
+        });
+    }
+    out
+}
+
+/// The per-char reference tokenizer: byte-for-byte the pre-dispatch
+/// implementation, kept as the differential baseline for
+/// [`tokenize`]. Equivalence on arbitrary input is a property-suite
+/// invariant, not an assumption.
+pub fn tokenize_chars(line: &str) -> Vec<Token<'_>> {
+    let mut out = Vec::new();
+    let bytes = line.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
         if bytes[i].is_ascii_whitespace() {
             i += 1;
             continue;
@@ -58,6 +135,10 @@ pub fn tokenize(line: &str) -> Vec<Token<'_>> {
 /// has a different length the following whitespace is kept as a single
 /// separator run copied from the original (so columns shift but
 /// separators never vanish).
+///
+/// This is the always-allocating baseline assembler; the zero-copy
+/// pipeline uses [`rebuild_sparse`] and reaches for this one only on the
+/// `disable_zero_copy` differential path.
 pub fn rebuild(line: &str, originals: &[Token<'_>], rewritten: &[String]) -> String {
     assert_eq!(originals.len(), rewritten.len());
     let mut out = String::with_capacity(line.len());
@@ -69,6 +150,52 @@ pub fn rebuild(line: &str, originals: &[Token<'_>], rewritten: &[String]) -> Str
     }
     out.push_str(&line[cursor..]); // trailing whitespace, if any
     out
+}
+
+/// Borrow-or-own line assembly: rebuilds `line` from sparse rewrites,
+/// allocating only when at least one token actually changed.
+///
+/// `rewritten[i]` is `Some(new_text)` where token `i` was rewritten and
+/// `None` where it is kept verbatim. When every entry is `None` the
+/// original line *is* the output — the untouched-line identity is
+/// structural, not re-assembled: interleaving the original whitespace
+/// runs with the original token slices reproduces `line`'s exact bytes
+/// (`rebuild` with unchanged texts proves this; see DESIGN.md §17), so
+/// returning `Cow::Borrowed(line)` skips both the allocation and the
+/// copy without changing a byte.
+///
+/// ```
+/// use std::borrow::Cow;
+/// use confanon_iosparse::{rebuild_sparse, tokenize};
+/// let line = " neighbor 12.126.236.17 remote-as 701 ";
+/// let toks = tokenize(line);
+/// let untouched = vec![None; toks.len()];
+/// assert!(matches!(rebuild_sparse(line, &toks, &untouched), Cow::Borrowed(_)));
+/// let mut one = vec![None; toks.len()];
+/// one[3] = Some("1239".to_string());
+/// assert_eq!(rebuild_sparse(line, &toks, &one), " neighbor 12.126.236.17 remote-as 1239 ");
+/// ```
+pub fn rebuild_sparse<'a>(
+    line: &'a str,
+    originals: &[Token<'_>],
+    rewritten: &[Option<String>],
+) -> Cow<'a, str> {
+    assert_eq!(originals.len(), rewritten.len());
+    if rewritten.iter().all(Option::is_none) {
+        return Cow::Borrowed(line);
+    }
+    let mut out = String::with_capacity(line.len());
+    let mut cursor = 0;
+    for (tok, new) in originals.iter().zip(rewritten) {
+        out.push_str(&line[cursor..tok.start]); // the whitespace run
+        match new {
+            Some(s) => out.push_str(s),
+            None => out.push_str(tok.text),
+        }
+        cursor = tok.end();
+    }
+    out.push_str(&line[cursor..]); // trailing whitespace, if any
+    Cow::Owned(out)
 }
 
 /// A segment of a word: a maximal run of alphabetic characters, or a
@@ -106,6 +233,28 @@ pub fn segment(word: &str) -> Vec<Segment<'_>> {
     let mut i = 0;
     while i < bytes.len() {
         let start = i;
+        let alpha = BYTE_CLASS[bytes[i] as usize] & CLASS_ALPHA;
+        while i < bytes.len() && BYTE_CLASS[bytes[i] as usize] & CLASS_ALPHA == alpha {
+            i += 1;
+        }
+        let s = &word[start..i];
+        out.push(if alpha != 0 {
+            Segment::Alpha(s)
+        } else {
+            Segment::Other(s)
+        });
+    }
+    out
+}
+
+/// The per-char reference segmenter, the differential baseline for
+/// [`segment`] (see [`tokenize_chars`]).
+pub fn segment_chars(word: &str) -> Vec<Segment<'_>> {
+    let mut out = Vec::new();
+    let bytes = word.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let start = i;
         let alpha = bytes[i].is_ascii_alphabetic();
         while i < bytes.len() && bytes[i].is_ascii_alphabetic() == alpha {
             i += 1;
@@ -125,6 +274,28 @@ mod tests {
     use super::*;
 
     #[test]
+    fn byte_class_table_matches_std_predicates() {
+        for b in 0u16..256 {
+            let byte = b as u8;
+            assert_eq!(
+                BYTE_CLASS[b as usize] & CLASS_WS != 0,
+                byte.is_ascii_whitespace(),
+                "WS flag wrong for byte {byte:#04x}"
+            );
+            assert_eq!(
+                BYTE_CLASS[b as usize] & CLASS_ALPHA != 0,
+                byte.is_ascii_alphabetic(),
+                "ALPHA flag wrong for byte {byte:#04x}"
+            );
+            assert_eq!(
+                BYTE_CLASS[b as usize] & CLASS_DIGIT != 0,
+                byte.is_ascii_digit(),
+                "DIGIT flag wrong for byte {byte:#04x}"
+            );
+        }
+    }
+
+    #[test]
     fn tokenize_empty_and_blank() {
         assert!(tokenize("").is_empty());
         assert!(tokenize("   \t ").is_empty());
@@ -137,6 +308,20 @@ mod tests {
         assert_eq!((toks[0].text, toks[0].start), ("a", 0));
         assert_eq!((toks[1].text, toks[1].start), ("bb", 3));
         assert_eq!((toks[2].text, toks[2].start), ("ccc", 6));
+    }
+
+    #[test]
+    fn dispatch_and_reference_tokenizers_agree() {
+        for line in [
+            "",
+            "   \t ",
+            " ip address 1.1.1.1 255.255.255.0",
+            "x",
+            "trailing space ",
+            "\tmixed\u{7f}bytes\u{b}here",
+        ] {
+            assert_eq!(tokenize(line), tokenize_chars(line), "line {line:?}");
+        }
     }
 
     #[test]
@@ -155,6 +340,32 @@ mod tests {
         texts[1] = "h0123456789abcdef".to_string();
         let rebuilt = rebuild(line, &toks, &texts);
         assert_eq!(rebuilt, "  route-map h0123456789abcdef deny 10");
+    }
+
+    #[test]
+    fn rebuild_sparse_borrows_untouched_lines() {
+        let line = "  access-list 143 permit ip 1.2.3.0 0.0.0.255 any ";
+        let toks = tokenize(line);
+        let untouched: Vec<Option<String>> = vec![None; toks.len()];
+        let cow = rebuild_sparse(line, &toks, &untouched);
+        assert!(matches!(cow, Cow::Borrowed(_)));
+        assert_eq!(cow, line);
+    }
+
+    #[test]
+    fn rebuild_sparse_matches_dense_rebuild_on_rewrites() {
+        let line = "  route-map UUNET-import deny 10";
+        let toks = tokenize(line);
+        let mut sparse: Vec<Option<String>> = vec![None; toks.len()];
+        sparse[1] = Some("h0123456789abcdef".to_string());
+        let dense: Vec<String> = toks
+            .iter()
+            .zip(&sparse)
+            .map(|(t, s)| s.clone().unwrap_or_else(|| t.text.to_string()))
+            .collect();
+        let cow = rebuild_sparse(line, &toks, &sparse);
+        assert!(matches!(cow, Cow::Owned(_)));
+        assert_eq!(cow, rebuild(line, &toks, &dense));
     }
 
     #[test]
@@ -181,6 +392,13 @@ mod tests {
         assert_eq!(segment("hostname"), vec![Segment::Alpha("hostname")]);
         assert_eq!(segment("10.1.2.3"), vec![Segment::Other("10.1.2.3")]);
         assert!(segment("").is_empty());
+    }
+
+    #[test]
+    fn dispatch_and_reference_segmenters_agree() {
+        for w in ["", "Ethernet0/0", "cr1.lax.foo.com", "AS701", "701:1234", "übergang"] {
+            assert_eq!(segment(w), segment_chars(w), "word {w:?}");
+        }
     }
 
     #[test]

@@ -45,6 +45,11 @@ pub struct IpAnonymizer {
     prf: Prf,
     nodes: Vec<Node>,
     preserve_trailing_zeros: bool,
+    /// [`IpAnonymizer::depth_salt`] for depths 0..=32, computed once at
+    /// construction: the salt is a pure function of (secret, depth), and
+    /// paying one HMAC per *fresh trie node* for one of 33 values was
+    /// measurably the second-largest cost of corpus discovery.
+    depth_salts: [bool; 33],
 }
 
 /// The two special *prefix regions* that must map to themselves and that
@@ -66,10 +71,16 @@ impl IpAnonymizer {
     /// subnet-address (trailing-zero) preservation of §3.2 — rule R24's
     /// ablation switch. Prefix/class/special guarantees are unaffected.
     pub fn with_options(owner_secret: &[u8], preserve_trailing_zeros: bool) -> IpAnonymizer {
+        let prf = Prf::new(owner_secret);
+        let mut depth_salts = [false; 33];
+        for (depth, salt) in depth_salts.iter_mut().enumerate() {
+            *salt = Self::depth_salt(&prf, depth as u8);
+        }
         let mut a = IpAnonymizer {
-            prf: Prf::new(owner_secret),
+            prf,
             nodes: Vec::with_capacity(1024),
             preserve_trailing_zeros,
+            depth_salts,
         };
         a.nodes.push(Node {
             flip: false, // depth-0 bit is class-defining: identity
@@ -175,7 +186,7 @@ impl IpAnonymizer {
                         false
                     } else {
                         self.prf.bit("iptrie", &next_path.to_be_bytes()[..])
-                            ^ Self::depth_salt(&self.prf, depth + 1)
+                            ^ self.depth_salts[usize::from(depth) + 1]
                     };
                     self.nodes.push(Node {
                         flip,

@@ -25,6 +25,9 @@ struct Node {
 pub struct Ip6Anonymizer {
     prf: Prf,
     nodes: Vec<Node>,
+    /// Per-depth PRF salt, precomputed once (pure function of the secret
+    /// and depth — see [`crate::IpAnonymizer`]'s identical cache).
+    depth_salts: [bool; 129],
 }
 
 /// Protected prefix regions: (leading bits left-aligned in u128, length).
@@ -38,9 +41,15 @@ const REGIONS6: [(u128, u8); 2] = [
 impl Ip6Anonymizer {
     /// Creates an anonymizer keyed by the owner secret.
     pub fn new(owner_secret: &[u8]) -> Ip6Anonymizer {
+        let prf = Prf::new(owner_secret);
+        let mut depth_salts = [false; 129];
+        for (depth, salt) in depth_salts.iter_mut().enumerate() {
+            *salt = prf.bit("ip6trie-depth", &[depth as u8]);
+        }
         let mut a = Ip6Anonymizer {
-            prf: Prf::new(owner_secret),
+            prf,
             nodes: Vec::with_capacity(1024),
+            depth_salts,
         };
         a.nodes.push(Node {
             flip: false, // bit 0 pinned (see `forced_identity`)
@@ -113,7 +122,7 @@ impl Ip6Anonymizer {
                         false
                     } else {
                         self.prf.bit("ip6trie", &next_path.to_be_bytes()[..])
-                            ^ self.prf.bit("ip6trie-depth", &[depth + 1])
+                            ^ self.depth_salts[usize::from(depth) + 1]
                     };
                     self.nodes.push(Node {
                         flip,

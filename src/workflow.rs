@@ -422,13 +422,13 @@ fn gated_run_on(
     let mut clean = Vec::new();
     let mut quarantined = Vec::new();
     let t_gate = obs.span_start();
+    // One scanner for the whole corpus: the hash views over the leak
+    // record and the exclusion set are built once, not per file.
+    let scanner =
+        LeakScanner::with_exclusions(anonymizer.leak_record(), anonymizer.emitted_exclusions());
     for output in report.outputs {
         let t_file = obs.span_start();
-        let scan = LeakScanner::scan_excluding(
-            anonymizer.leak_record(),
-            anonymizer.emitted_exclusions(),
-            &output.text,
-        );
+        let scan = scanner.scan(&output.text);
         obs.span_end(&output.name, "leak-scan", 0, t_file);
         if scan.is_clean() {
             clean.push(output);
